@@ -1,0 +1,3 @@
+# mixed query file: datalog and SQL
+Q4(X, Y, Z) :- T1(X, Y), T2(Y, Z, W)
+SELECT a.AuName, j.Topic FROM T1 a, T2 j WHERE a.Journal = j.Journal AND j.Topic = 'XML'
