@@ -1,0 +1,353 @@
+(* Bechamel timing benchmarks, one group per experiment of EXPERIMENTS.md.
+
+   Quality (approximation-ratio) tables come from `bin/experiments.exe`;
+   this harness times the algorithms that produce them. Every workload is
+   generated once, outside the timed thunk, from a fixed seed. *)
+
+open Bechamel
+open Toolkit
+
+module R = Relational
+module D = Deleprop
+module SC = Setcover
+
+let rng seed = Random.State.make [| seed |]
+
+(* ---- prepared workloads (built once) ---- *)
+
+let forest ?(scale = 10) seed =
+  let { Workload.Forest_family.problem; _ } =
+    Workload.Forest_family.generate ~rng:(rng seed)
+      { Workload.Forest_family.default with num_relations = 5; tuples_per_relation = scale;
+        num_queries = 5; max_path_len = 3; deletion_fraction = 0.15 }
+  in
+  problem
+
+let star seed =
+  Workload.Random_family.generate ~rng:(rng seed)
+    { Workload.Random_family.default with num_queries = 4; fact_tuples = 12; dim_tuples = 6 }
+
+let pivot ?(scale = 12) seed =
+  Workload.Pivot_family.generate ~rng:(rng seed)
+    { Workload.Pivot_family.default with depth = 4; tuples_per_relation = scale; num_queries = 4 }
+
+let hard seed =
+  fst
+    (Workload.Hard_family.generate ~rng:(rng seed)
+       { Workload.Hard_family.default with num_red = 8; num_blue = 8; num_sets = 10 })
+
+let prov p = D.Provenance.build p
+
+(* ---- benchmark groups ---- *)
+
+(* E1 (Fig. 1): end-to-end on the running example *)
+let bench_e1 =
+  Test.make_grouped ~name:"e1_fig1"
+    [
+      Test.make ~name:"provenance"
+        (Staged.stage (fun () -> prov (Workload.Author_journal.scenario_q4 ())));
+      (let prov = prov (Workload.Author_journal.scenario_q4 ()) in
+       Test.make ~name:"brute" (Staged.stage (fun () -> D.Brute.solve prov)));
+    ]
+
+(* E2/E8: hard-family reduction + solvers *)
+let bench_e2 =
+  let h = hard 11 in
+  let pv = prov h.D.Hardness.problem in
+  Test.make_grouped ~name:"e2_hard_family"
+    [
+      Test.make ~name:"reduce_thm1"
+        (Staged.stage (fun () ->
+             let rb =
+               Workload.Rbsc_gen.red_blue ~rng:(rng 11) ~num_red:8 ~num_blue:8 ~num_sets:10
+                 ~red_density:0.3 ~blue_density:0.35
+             in
+             D.Hardness.of_red_blue rb));
+      Test.make ~name:"brute" (Staged.stage (fun () -> D.Brute.solve pv));
+      Test.make ~name:"general_approx" (Staged.stage (fun () -> D.General_approx.solve pv));
+    ]
+
+(* E3: general-case approximation on star joins *)
+let bench_e3 =
+  let pv = prov (star 23) in
+  Test.make_grouped ~name:"e3_general"
+    [
+      Test.make ~name:"to_red_blue" (Staged.stage (fun () -> D.Reduction.to_red_blue pv));
+      Test.make ~name:"general_approx" (Staged.stage (fun () -> D.General_approx.solve pv));
+    ]
+
+(* E4/E5: primal-dual across scales (Prop. 1 runtime) *)
+let bench_e5 =
+  Test.make_grouped ~name:"e5_primal_dual"
+    (List.map
+       (fun scale ->
+         let pv = prov (forest ~scale 31) in
+         Test.make ~name:(Printf.sprintf "scale_%d" scale)
+           (Staged.stage (fun () -> D.Primal_dual.solve pv)))
+       [ 10; 20; 40; 80 ])
+
+(* E6: LowDeg sweep *)
+let bench_e6 =
+  let pv = prov (forest ~scale:10 41) in
+  Test.make_grouped ~name:"e6_lowdeg"
+    [
+      Test.make ~name:"single_tau" (Staged.stage (fun () -> D.Lowdeg.solve_with_tau pv ~tau:2));
+      Test.make ~name:"full_sweep" (Staged.stage (fun () -> D.Lowdeg.solve pv));
+    ]
+
+(* E7: DP vs brute force on pivot forests *)
+let bench_e7 =
+  let small = prov (pivot ~scale:8 53) in
+  let large = prov (pivot ~scale:100 53) in
+  Test.make_grouped ~name:"e7_dp_tree"
+    [
+      Test.make ~name:"dp_small" (Staged.stage (fun () -> D.Dp_tree.solve small));
+      Test.make ~name:"brute_small" (Staged.stage (fun () -> D.Brute.solve small));
+      Test.make ~name:"dp_large" (Staged.stage (fun () -> D.Dp_tree.solve large));
+    ]
+
+(* E8: balanced solvers *)
+let bench_e8 =
+  let pv = prov (forest ~scale:8 61) in
+  Test.make_grouped ~name:"e8_balanced"
+    [
+      Test.make ~name:"exact" (Staged.stage (fun () -> D.Balanced.solve_exact pv));
+      Test.make ~name:"general" (Staged.stage (fun () -> D.Balanced.solve_general pv));
+    ]
+
+(* E9: single-query polynomial case *)
+let bench_e9 =
+  let pv =
+    prov
+      (Workload.Random_family.generate_single ~rng:(rng 71)
+         { Workload.Random_family.default with fact_tuples = 40; dim_tuples = 20 })
+  in
+  Test.make_grouped ~name:"e9_single_query"
+    [
+      Test.make ~name:"single_query" (Staged.stage (fun () -> D.Single_query.solve pv));
+      Test.make ~name:"greedy_multi" (Staged.stage (fun () -> D.Single_query.solve_greedy_multi pv));
+    ]
+
+(* E10: hypergraph machinery *)
+let bench_e10 =
+  let qs = (forest ~scale:10 83).D.Problem.queries in
+  Test.make_grouped ~name:"e10_hypergraph"
+    [
+      Test.make ~name:"dual+forest_check"
+        (Staged.stage (fun () -> Hypergraph.Dual.is_forest_case qs));
+      Test.make ~name:"rel_tree" (Staged.stage (fun () -> Hypergraph.Rel_tree.of_queries qs));
+    ]
+
+(* E11: LP build + simplex *)
+let bench_e11 =
+  let pv = prov (forest ~scale:6 97) in
+  Test.make_grouped ~name:"e11_lp"
+    [
+      Test.make ~name:"build" (Staged.stage (fun () -> D.Lp_formulation.build pv));
+      Test.make ~name:"simplex" (Staged.stage (fun () -> D.Lp_formulation.lower_bound pv));
+    ]
+
+(* E12: source side-effect *)
+let bench_e12 =
+  let pv = prov (forest ~scale:10 113) in
+  Test.make_grouped ~name:"e12_source"
+    [
+      Test.make ~name:"exact" (Staged.stage (fun () -> D.Source_side_effect.solve_exact pv));
+      Test.make ~name:"greedy" (Staged.stage (fun () -> D.Source_side_effect.solve_greedy pv));
+    ]
+
+(* E14: cleaning workloads end-to-end *)
+let bench_e14 =
+  let w =
+    Workload.Cleaning.generate ~rng:(rng 127) ~views_with_feedback:4
+      { Workload.Cleaning.default with tuples_per_relation = 5 }
+  in
+  let pv = prov w.Workload.Cleaning.problem in
+  Test.make_grouped ~name:"e14_cleaning"
+    [
+      Test.make ~name:"generate"
+        (Staged.stage (fun () ->
+             Workload.Cleaning.generate ~rng:(rng 127) ~views_with_feedback:4
+               { Workload.Cleaning.default with tuples_per_relation = 5 }));
+      Test.make ~name:"repair_exact" (Staged.stage (fun () -> D.Brute.solve pv));
+    ]
+
+(* E15: ablation variants *)
+let bench_e15 =
+  let pv = prov (forest ~scale:20 131) in
+  Test.make_grouped ~name:"e15_ablations"
+    [
+      Test.make ~name:"pd_full" (Staged.stage (fun () -> D.Primal_dual.solve pv));
+      Test.make ~name:"pd_no_reverse_delete"
+        (Staged.stage (fun () -> D.Primal_dual.solve ~reverse_delete:false pv));
+      Test.make ~name:"lowdeg_no_prune"
+        (Staged.stage (fun () -> D.Lowdeg.solve ~prune_wide:false pv));
+    ]
+
+(* E16: bounded deletion *)
+let bench_e16 =
+  let pv = prov (forest ~scale:8 137) in
+  Test.make_grouped ~name:"e16_bounded"
+    [
+      Test.make ~name:"min_budget" (Staged.stage (fun () -> D.Bounded.min_budget pv));
+      Test.make ~name:"solve_k3" (Staged.stage (fun () -> D.Bounded.solve ~k:3 pv));
+    ]
+
+(* E17: incremental maintenance vs full re-evaluation *)
+let bench_e17 =
+  let p = forest ~scale:60 139 in
+  let db = p.D.Problem.db in
+  let q = List.hd p.D.Problem.queries in
+  let view = Cq.Eval.evaluate db q in
+  let dd =
+    match R.Instance.stuples db with
+    | a :: b :: _ -> R.Stuple.Set.of_list [ a; b ]
+    | l -> R.Stuple.Set.of_list l
+  in
+  Test.make_grouped ~name:"e17_maintenance"
+    [
+      Test.make ~name:"full_reeval"
+        (Staged.stage (fun () -> Cq.Eval.evaluate (R.Instance.delete db dd) q));
+      Test.make ~name:"incremental"
+        (Staged.stage (fun () -> Cq.Maintain.refresh db q ~view dd));
+    ]
+
+(* E18: join planning *)
+let bench_e18 =
+  let p =
+    Workload.Random_family.generate ~rng:(rng 149)
+      { Workload.Random_family.default with num_dimensions = 3; dims_per_query = 3;
+        fact_tuples = 30; dim_tuples = 10; num_queries = 1 }
+  in
+  let q = List.hd p.D.Problem.queries in
+  let adversarial = { q with Cq.Query.body = List.rev q.Cq.Query.body } in
+  Test.make_grouped ~name:"e18_planning"
+    [
+      Test.make ~name:"naive"
+        (Staged.stage (fun () -> Cq.Eval.evaluate ~planned:false p.D.Problem.db adversarial));
+      Test.make ~name:"planned"
+        (Staged.stage (fun () -> Cq.Eval.evaluate ~planned:true p.D.Problem.db adversarial));
+    ]
+
+(* phase-5 substrates: indexes, lineage, causality, UCQ *)
+let bench_phase5 =
+  let p = forest ~scale:40 151 in
+  let db = p.D.Problem.db in
+  let q = List.hd p.D.Problem.queries in
+  let answer =
+    match R.Tuple.Set.elements (Cq.Eval.evaluate db q) with
+    | t :: _ -> Some t
+    | [] -> None
+  in
+  let u =
+    Cq.Ucq.make ~name:"U"
+      [ Cq.Parser.query_of_string "U(K, A) :- R0(K, A)";
+        Cq.Parser.query_of_string "U(K, A) :- R1(K, A, P)" ]
+  in
+  Test.make_grouped ~name:"phase5"
+    ([
+       Test.make ~name:"ucq_eval" (Staged.stage (fun () -> Cq.Ucq.evaluate db u));
+     ]
+    @
+    match answer with
+    | None -> []
+    | Some a ->
+      [
+        Test.make ~name:"why_provenance" (Staged.stage (fun () -> Cq.Lineage.why db q a));
+        Test.make ~name:"where_provenance" (Staged.stage (fun () -> Cq.Lineage.where_ db q a));
+        Test.make ~name:"causality_ranking"
+          (Staged.stage (fun () -> Cq.Causality.ranking db q ~answer:a));
+      ])
+
+(* E21 scaling stages + parallel portfolio + SQL front end *)
+let bench_e21 =
+  let biblio =
+    Workload.Bibliography.generate ~rng:(rng 163)
+      { Workload.Bibliography.default with num_authors = 200; num_journals = 25 }
+  in
+  let pv = prov biblio in
+  let sql_schema = R.Instance.schema biblio.D.Problem.db in
+  Test.make_grouped ~name:"e21_pipeline"
+    [
+      Test.make ~name:"provenance_build" (Staged.stage (fun () -> D.Provenance.build biblio));
+      Test.make ~name:"primal_dual" (Staged.stage (fun () -> D.Primal_dual.solve pv));
+      Test.make ~name:"portfolio_seq"
+        (Staged.stage (fun () -> D.Portfolio.run ~exact_threshold:0 pv));
+      Test.make ~name:"portfolio_parallel"
+        (Staged.stage (fun () -> D.Portfolio.run_parallel ~exact_threshold:0 pv));
+      Test.make ~name:"sql_parse"
+        (Staged.stage (fun () ->
+             Cq.Sql.query_of_string ~schema:sql_schema ~name:"Q"
+               "SELECT a.name, j.topic FROM Author a, Journal j WHERE a.journal = j.journal"));
+    ]
+
+(* containment / minimization micro-benchmarks *)
+let bench_containment =
+  let q_path =
+    Cq.Parser.query_of_string "Q(X, Z) :- R(X, Y), R(Y, Z)"
+  in
+  let q_big =
+    Cq.Parser.query_of_string
+      "Q(X) :- R(X, Y1), R(X, Y2), R(X, Y3), R(X, Y4), R(Y1, Y2)"
+  in
+  Test.make_grouped ~name:"containment"
+    [
+      Test.make ~name:"equivalence"
+        (Staged.stage (fun () -> Cq.Containment.equivalent q_path q_path));
+      Test.make ~name:"minimize" (Staged.stage (fun () -> Cq.Containment.minimize q_big));
+    ]
+
+(* substrate micro-benchmarks *)
+let bench_substrate =
+  let p = forest ~scale:20 103 in
+  let rb =
+    Workload.Rbsc_gen.red_blue ~rng:(rng 5) ~num_red:10 ~num_blue:10 ~num_sets:14
+      ~red_density:0.3 ~blue_density:0.35
+  in
+  Test.make_grouped ~name:"substrate"
+    [
+      Test.make ~name:"eval_views"
+        (Staged.stage (fun () ->
+             List.map (fun q -> Cq.Eval.evaluate p.D.Problem.db q) p.D.Problem.queries));
+      Test.make ~name:"provenance_build" (Staged.stage (fun () -> D.Provenance.build p));
+      Test.make ~name:"rbsc_greedy" (Staged.stage (fun () -> SC.Red_blue.solve_greedy rb));
+      Test.make ~name:"rbsc_lowdeg" (Staged.stage (fun () -> SC.Red_blue.solve_lowdeg rb));
+      Test.make ~name:"rbsc_exact" (Staged.stage (fun () -> SC.Red_blue.solve_exact rb));
+    ]
+
+let all_tests =
+  [
+    bench_e1; bench_e2; bench_e3; bench_e5; bench_e6; bench_e7; bench_e8; bench_e9;
+    bench_e10; bench_e11; bench_e12; bench_e14; bench_e15; bench_e16; bench_e17;
+    bench_e18; bench_e21; bench_containment; bench_phase5; bench_substrate;
+  ]
+
+(* ---- run + report ---- *)
+
+let () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
+  Printf.printf "%-40s  %14s  %8s\n" "benchmark" "time/run" "r2";
+  print_endline (String.make 68 '-');
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ instance ] test in
+      let results = Analyze.all ols instance raw in
+      let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+      List.iter
+        (fun (name, r) ->
+          let est =
+            match Analyze.OLS.estimates r with Some (e :: _) -> e | _ -> nan
+          in
+          let r2 = match Analyze.OLS.r_square r with Some r2 -> r2 | None -> nan in
+          let time =
+            if est > 1e9 then Printf.sprintf "%.3f s" (est /. 1e9)
+            else if est > 1e6 then Printf.sprintf "%.3f ms" (est /. 1e6)
+            else if est > 1e3 then Printf.sprintf "%.3f us" (est /. 1e3)
+            else Printf.sprintf "%.1f ns" est
+          in
+          Printf.printf "%-40s  %14s  %8.4f\n" name time r2)
+        (List.sort (fun (a, _) (b, _) -> String.compare a b) rows))
+    all_tests;
+  print_endline "\nquality tables: run `dune exec bin/experiments.exe` (see EXPERIMENTS.md)"

@@ -1,0 +1,1 @@
+bin/experiments.ml: Arg Cmd Cmdliner Cq Deleprop Float Fun Hypergraph List Option Printf Random Relational Result Setcover String Tables Term Unix Workload

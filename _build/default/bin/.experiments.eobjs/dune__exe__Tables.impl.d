@@ -1,0 +1,1 @@
+bin/tables.ml: Char Filename Float List Printf String Unix

@@ -1,0 +1,499 @@
+(* deleprop: command-line front end.
+
+   Subcommands:
+     classify  -d db.txt -q queries.dl          query classes, forest checks
+     views     -d db.txt -q queries.dl          materialize and print views
+     solve     -d db.txt -q queries.dl -x 'Q(a, b)' [-x ...] [--algo A] [--balanced]
+               propagate the deletions, print the plan and its side-effect
+
+   File formats: see lib/relational/serial.mli (databases) and
+   lib/cq/parser.mli (queries). *)
+
+module R = Relational
+module D = Deleprop
+
+let ( let* ) = Result.bind
+
+let load_db path =
+  try Ok (R.Serial.instance_of_file path) with
+  | R.Serial.Parse_error (line, msg) ->
+    Error (Printf.sprintf "%s:%d: %s" path line msg)
+  | Sys_error m -> Error m
+
+(* query files may mix datalog lines and SQL lines; a line starting with
+   SELECT (any case) is SQL and needs the schema; SQL queries are named
+   Q1, Q2, ... by position *)
+let load_queries ?schema path =
+  try
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    let lines =
+      String.split_on_char '\n' text
+      |> List.map String.trim
+      |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+    in
+    let parse i line =
+      let lower = String.lowercase_ascii line in
+      if String.length lower >= 7 && String.sub lower 0 7 = "select " then
+        match schema with
+        | None -> Error (Printf.sprintf "%s: SQL query needs a database schema" path)
+        | Some schema -> (
+          match Cq.Sql.query_of_string ~schema ~name:(Printf.sprintf "Q%d" (i + 1)) line with
+          | Ok q -> Ok q
+          | Error e -> Error (Format.asprintf "%s: %a" path Cq.Sql.pp_error e))
+      else
+        try Ok (Cq.Parser.query_of_string line)
+        with Cq.Parser.Parse_error m -> Error (Printf.sprintf "%s: %s" path m)
+    in
+    List.mapi parse lines
+    |> List.fold_left
+         (fun acc q ->
+           match (acc, q) with
+           | Ok acc, Ok q -> Ok (q :: acc)
+           | (Error _ as e), _ | _, (Error _ as e) ->
+             (match e with Error m -> Error m | Ok _ -> assert false))
+         (Ok [])
+    |> Result.map List.rev
+  with Sys_error m -> Error m
+
+let parse_deletion spec =
+  try Ok (R.Serial.fact_of_string spec)
+  with R.Serial.Parse_error (_, msg) -> Error (Printf.sprintf "bad deletion %S: %s" spec msg)
+
+(* ---- classify ---- *)
+
+let classify db_path q_path with_stats =
+  let* db = load_db db_path in
+  let* queries = load_queries ~schema:(R.Instance.schema db) q_path in
+  let schema = R.Instance.schema db in
+  List.iter
+    (fun (q : Cq.Query.t) ->
+      Cq.Query.check schema q;
+      Format.printf "%a@.  arity %d; %a@." Cq.Query.pp q (Cq.Query.arity q)
+        Cq.Classify.pp_profile
+        (Cq.Classify.profile schema q))
+    queries;
+  let dual = Hypergraph.Dual.of_queries queries in
+  Format.printf "dual hypergraph: %d relations, %d queries; forest case: %b@."
+    (Hypergraph.Hgraph.num_vertices dual)
+    (Hypergraph.Hgraph.num_edges dual)
+    (Hypergraph.Dual.is_forest_case queries);
+  if with_stats then begin
+    match D.Problem.make ~db ~queries ~deletions:[] ~allow_non_key_preserving:true () with
+    | p -> (
+      match D.Provenance.build p with
+      | prov -> Format.printf "%a@." D.Stats.pp (D.Stats.compute prov)
+      | exception D.Provenance.Ambiguous_witness _ ->
+        Format.printf "stats: skipped (non-key-preserving query set)@.")
+    | exception Invalid_argument m -> Format.printf "stats: skipped (%s)@." m
+  end;
+  Ok ()
+
+(* ---- views ---- *)
+
+let views db_path q_path =
+  let* db = load_db db_path in
+  let* queries = load_queries ~schema:(R.Instance.schema db) q_path in
+  List.iter
+    (fun (q : Cq.Query.t) ->
+      let view = Cq.Eval.evaluate db q in
+      Format.printf "@[<v 2>%s (%d tuples):@ %a@]@." q.name (R.Tuple.Set.cardinal view)
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut R.Tuple.pp)
+        (R.Tuple.Set.elements view))
+    queries;
+  Ok ()
+
+(* ---- solve ---- *)
+
+type algo = Auto | Brute | Primal_dual | Lowdeg | Dp | General | Single
+
+let algo_of_string = function
+  | "auto" -> Ok Auto
+  | "brute" -> Ok Brute
+  | "primal-dual" -> Ok Primal_dual
+  | "lowdeg" -> Ok Lowdeg
+  | "dp" -> Ok Dp
+  | "general" -> Ok General
+  | "single" -> Ok Single
+  | s -> Error (s ^ ": expected auto|brute|primal-dual|lowdeg|dp|general|single")
+
+let report name (o : D.Side_effect.outcome) =
+  Format.printf "algorithm: %s@." name;
+  Format.printf "plan: delete %d source tuple(s)@." (R.Stuple.Set.cardinal o.D.Side_effect.deleted);
+  R.Stuple.Set.iter (fun t -> Format.printf "  - %a@." R.Stuple.pp t) o.D.Side_effect.deleted;
+  Format.printf "%a@." D.Side_effect.pp o;
+  if not (D.Vtuple.Set.is_empty o.D.Side_effect.side_effect) then begin
+    Format.printf "side-effect view tuples:@.";
+    D.Vtuple.Set.iter
+      (fun vt -> Format.printf "  - %a@." D.Vtuple.pp vt)
+      o.D.Side_effect.side_effect
+  end
+
+let solve db_path q_path deletion_specs algo balanced explain_flag =
+  let* db = load_db db_path in
+  let* queries = load_queries ~schema:(R.Instance.schema db) q_path in
+  let* algo = algo_of_string algo in
+  let* deletions =
+    List.fold_left
+      (fun acc spec ->
+        let* acc = acc in
+        let* d = parse_deletion spec in
+        Ok (d :: acc))
+      (Ok []) deletion_specs
+  in
+  let deletions = List.map (fun (q, t) -> (q, [ t ])) deletions in
+  let* problem =
+    try Ok (D.Problem.make ~db ~queries ~deletions ())
+    with Invalid_argument m -> Error m
+  in
+  let* prov =
+    try Ok (D.Provenance.build problem)
+    with D.Provenance.Ambiguous_witness vt ->
+      Error
+        (Format.asprintf
+           "view tuple %a has several witnesses — the query set is not key preserving"
+           D.Vtuple.pp vt)
+  in
+  if balanced then begin
+    let r =
+      match algo with
+      | Brute -> D.Balanced.solve_exact prov
+      | Dp -> (
+        match D.Balanced.solve_dp prov with
+        | Ok r -> r
+        | Error e ->
+          Format.printf "note: %a; falling back to the general approximation@."
+            D.Dp_tree.pp_error e;
+          D.Balanced.solve_general prov)
+      | _ -> D.Balanced.solve_general prov
+    in
+    report "balanced" r.D.Balanced.outcome;
+    if explain_flag then Format.printf "%a@." D.Explain.pp (D.Explain.explain prov r.D.Balanced.deletion);
+    Ok ()
+  end
+  else begin
+    let auto () =
+      (* exact when the pivot DP applies; else primal-dual on forests;
+         else the general reduction *)
+      match D.Dp_tree.solve prov with
+      | Ok r -> ("dp (pivot forest, exact)", r.D.Dp_tree.outcome)
+      | Error _ ->
+        if Hypergraph.Dual.is_forest_case queries then
+          ("primal-dual (forest, l-approx)", (D.Primal_dual.solve prov).D.Primal_dual.outcome)
+        else begin
+          match D.General_approx.solve prov with
+          | Some r -> ("general (Claim 1 approx)", r.D.General_approx.outcome)
+          | None -> failwith "unsolvable instance"
+        end
+    in
+    let name, outcome =
+      match algo with
+      | Auto -> auto ()
+      | Brute -> (
+        match D.Brute.solve prov with
+        | Some r -> ("brute (exact)", r.D.Brute.outcome)
+        | None -> failwith "infeasible")
+      | Primal_dual -> ("primal-dual", (D.Primal_dual.solve prov).D.Primal_dual.outcome)
+      | Lowdeg -> ("lowdeg", (D.Lowdeg.solve prov).D.Lowdeg.outcome)
+      | Dp -> (
+        match D.Dp_tree.solve prov with
+        | Ok r -> ("dp", r.D.Dp_tree.outcome)
+        | Error e -> failwith (Format.asprintf "dp inapplicable: %a" D.Dp_tree.pp_error e))
+      | General -> (
+        match D.General_approx.solve prov with
+        | Some r -> ("general", r.D.General_approx.outcome)
+        | None -> failwith "unsolvable")
+      | Single -> (
+        match D.Single_query.solve prov with
+        | Ok r -> ("single-query", r.D.Single_query.outcome)
+        | Error e -> failwith (Format.asprintf "single inapplicable: %a" D.Single_query.pp_error e))
+    in
+    report name outcome;
+    if explain_flag then
+      Format.printf "%a@." D.Explain.pp (D.Explain.explain prov outcome.D.Side_effect.deleted);
+    Ok ()
+  end
+
+(* ---- source side-effect ---- *)
+
+let source db_path q_path deletion_specs exact =
+  let* db = load_db db_path in
+  let* queries = load_queries ~schema:(R.Instance.schema db) q_path in
+  let* deletions =
+    List.fold_left
+      (fun acc spec ->
+        let* acc = acc in
+        let* d = parse_deletion spec in
+        Ok (d :: acc))
+      (Ok []) deletion_specs
+  in
+  let deletions = List.map (fun (q, t) -> (q, [ t ])) deletions in
+  let* problem =
+    try Ok (D.Problem.make ~db ~queries ~deletions ()) with Invalid_argument m -> Error m
+  in
+  let prov = D.Provenance.build problem in
+  let result =
+    if exact then D.Source_side_effect.solve_exact prov
+    else D.Source_side_effect.solve_greedy prov
+  in
+  match result with
+  | None -> Error "infeasible"
+  | Some r ->
+    Format.printf "objective: fewest deleted source tuples (%s)@."
+      (if exact then "exact" else "greedy");
+    Format.printf "source cost: %g@." r.D.Source_side_effect.source_cost;
+    R.Stuple.Set.iter
+      (fun t -> Format.printf "  - %a@." R.Stuple.pp t)
+      r.D.Source_side_effect.deletion;
+    Format.printf "view damage of this plan: %g@."
+      r.D.Source_side_effect.outcome.D.Side_effect.cost;
+    Ok ()
+
+(* ---- run: whole-instance problem files ---- *)
+
+let run_problem path algo balanced explain_flag =
+  let* problem =
+    try Ok (D.Problem_file.of_file path) with
+    | D.Problem_file.Parse_error (line, m) -> Error (Printf.sprintf "%s:%d: %s" path line m)
+    | Sys_error m -> Error m
+  in
+  let* algo = algo_of_string algo in
+  let* prov =
+    try Ok (D.Provenance.build problem)
+    with D.Provenance.Ambiguous_witness vt ->
+      Error
+        (Format.asprintf
+           "view tuple %a has several witnesses — the query set is not key preserving"
+           D.Vtuple.pp vt)
+  in
+  let queries = problem.D.Problem.queries in
+  if balanced then begin
+    let r =
+      match algo with
+      | Brute -> D.Balanced.solve_exact prov
+      | _ -> D.Balanced.solve_general prov
+    in
+    report "balanced" r.D.Balanced.outcome;
+    if explain_flag then
+      Format.printf "%a@." D.Explain.pp (D.Explain.explain prov r.D.Balanced.deletion);
+    Ok ()
+  end
+  else begin
+    let name, outcome =
+      match algo with
+      | Auto -> (
+        match D.Dp_tree.solve prov with
+        | Ok r -> ("dp (pivot forest, exact)", r.D.Dp_tree.outcome)
+        | Error _ ->
+          if Hypergraph.Dual.is_forest_case queries then
+            ("primal-dual (forest, l-approx)", (D.Primal_dual.solve prov).D.Primal_dual.outcome)
+          else (
+            match D.General_approx.solve prov with
+            | Some r -> ("general (Claim 1 approx)", r.D.General_approx.outcome)
+            | None -> failwith "unsolvable instance"))
+      | Brute -> (
+        match D.Brute.solve prov with
+        | Some r -> ("brute (exact)", r.D.Brute.outcome)
+        | None -> failwith "infeasible")
+      | Primal_dual -> ("primal-dual", (D.Primal_dual.solve prov).D.Primal_dual.outcome)
+      | Lowdeg -> ("lowdeg", (D.Lowdeg.solve prov).D.Lowdeg.outcome)
+      | Dp -> (
+        match D.Dp_tree.solve prov with
+        | Ok r -> ("dp", r.D.Dp_tree.outcome)
+        | Error e -> failwith (Format.asprintf "dp inapplicable: %a" D.Dp_tree.pp_error e))
+      | General -> (
+        match D.General_approx.solve prov with
+        | Some r -> ("general", r.D.General_approx.outcome)
+        | None -> failwith "unsolvable")
+      | Single -> (
+        match D.Single_query.solve prov with
+        | Ok r -> ("single-query", r.D.Single_query.outcome)
+        | Error e ->
+          failwith (Format.asprintf "single inapplicable: %a" D.Single_query.pp_error e))
+    in
+    report name outcome;
+    if explain_flag then
+      Format.printf "%a@." D.Explain.pp (D.Explain.explain prov outcome.D.Side_effect.deleted);
+    Ok ()
+  end
+
+(* ---- insert: missing-answer propagation ---- *)
+
+let insert db_path q_path target_spec objective =
+  let* db = load_db db_path in
+  let* queries = load_queries ~schema:(R.Instance.schema db) q_path in
+  let* qname, target = parse_deletion target_spec in
+  let* problem =
+    try Ok (D.Problem.make ~db ~queries ~deletions:[] ())
+    with Invalid_argument m -> Error m
+  in
+  let* objective =
+    match objective with
+    | "fewest-insertions" -> Ok D.Insertion.Fewest_insertions
+    | "fewest-new-views" -> Ok D.Insertion.Fewest_new_views
+    | s -> Error (s ^ ": expected fewest-insertions|fewest-new-views")
+  in
+  match D.Insertion.solve ~objective problem ~query:qname ~target with
+  | Error e -> Error (Format.asprintf "%a" D.Insertion.pp_error e)
+  | Ok r ->
+    Format.printf "insert %d source tuple(s):@."
+      (R.Stuple.Set.cardinal r.D.Insertion.insertions);
+    R.Stuple.Set.iter (fun t -> Format.printf "  + %a@." R.Stuple.pp t) r.D.Insertion.insertions;
+    Format.printf "collateral new view tuples (weighted %g):@." r.D.Insertion.side_effect;
+    D.Vtuple.Set.iter
+      (fun vt -> Format.printf "  ~ %a@." D.Vtuple.pp vt)
+      r.D.Insertion.new_views;
+    Ok ()
+
+(* ---- diagnose: certain/possible deletions across optimal plans ---- *)
+
+let diagnose db_path q_path deletion_specs =
+  let* db = load_db db_path in
+  let* queries = load_queries ~schema:(R.Instance.schema db) q_path in
+  let* deletions =
+    List.fold_left
+      (fun acc spec ->
+        let* acc = acc in
+        let* d = parse_deletion spec in
+        Ok (d :: acc))
+      (Ok []) deletion_specs
+  in
+  let deletions = List.map (fun (q, t) -> (q, [ t ])) deletions in
+  let* problem =
+    try Ok (D.Problem.make ~db ~queries ~deletions ~allow_non_key_preserving:true ())
+    with Invalid_argument m -> Error m
+  in
+  let result =
+    match D.Provenance.build problem with
+    | prov -> D.Diagnosis.diagnose prov
+    | exception D.Provenance.Ambiguous_witness _ ->
+      D.Diagnosis.diagnose_ground_truth problem
+  in
+  match result with
+  | Some d ->
+    Format.printf "%a@." D.Diagnosis.pp d;
+    Ok ()
+  | None -> Error "infeasible"
+
+(* ---- cmdliner wiring ---- *)
+
+open Cmdliner
+
+let db_arg =
+  Arg.(required & opt (some file) None & info [ "d"; "db" ] ~docv:"DB" ~doc:"Database file.")
+
+let q_arg =
+  Arg.(required & opt (some file) None & info [ "q"; "queries" ] ~docv:"QUERIES" ~doc:"Query file.")
+
+let handle = function Ok () -> `Ok () | Error m -> `Error (false, m)
+
+let classify_cmd =
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print instance statistics.") in
+  Cmd.v (Cmd.info "classify" ~doc:"Classify queries and the dual hypergraph")
+    Term.(ret (const (fun d q s -> handle (classify d q s)) $ db_arg $ q_arg $ stats))
+
+let views_cmd =
+  Cmd.v (Cmd.info "views" ~doc:"Materialize and print the views")
+    Term.(ret (const (fun d q -> handle (views d q)) $ db_arg $ q_arg))
+
+let solve_cmd =
+  let deletions =
+    Arg.(value & opt_all string [] & info [ "x"; "delete" ] ~docv:"FACT"
+           ~doc:"View tuple to delete, e.g. 'Q3(John, XML)'. Repeatable.")
+  in
+  let algo =
+    Arg.(value & opt string "auto" & info [ "a"; "algo" ] ~docv:"ALGO"
+           ~doc:"auto | brute | primal-dual | lowdeg | dp | general | single")
+  in
+  let balanced =
+    Arg.(value & flag & info [ "b"; "balanced" ] ~doc:"Optimize the balanced objective.")
+  in
+  let explain =
+    Arg.(value & flag & info [ "explain" ] ~doc:"Print a per-tuple propagation report.")
+  in
+  Cmd.v (Cmd.info "solve" ~doc:"Propagate view deletions to the source database")
+    Term.(
+      ret
+        (const (fun d q x a b e -> handle (solve d q x a b e))
+        $ db_arg $ q_arg $ deletions $ algo $ balanced $ explain))
+
+let insert_cmd =
+  let target =
+    Arg.(required & opt (some string) None & info [ "t"; "target" ] ~docv:"FACT"
+           ~doc:"Missing view tuple, e.g. 'Q4(Alice, TKDE, XML)'.")
+  in
+  let objective =
+    Arg.(value & opt string "fewest-new-views" & info [ "objective" ] ~docv:"OBJ"
+           ~doc:"fewest-insertions | fewest-new-views")
+  in
+  Cmd.v
+    (Cmd.info "insert" ~doc:"Propagate a missing view answer back as source insertions")
+    Term.(ret (const (fun d q t o -> handle (insert d q t o)) $ db_arg $ q_arg $ target $ objective))
+
+let diagnose_cmd =
+  let deletions =
+    Arg.(value & opt_all string [] & info [ "x"; "delete" ] ~docv:"FACT"
+           ~doc:"View tuple to delete. Repeatable.")
+  in
+  Cmd.v
+    (Cmd.info "diagnose"
+       ~doc:"Enumerate all optimal propagation plans; report certain/possible deletions")
+    Term.(ret (const (fun d q x -> handle (diagnose d q x)) $ db_arg $ q_arg $ deletions))
+
+let run_cmd =
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"PROBLEM"
+           ~doc:"Problem file (db + queries + deletions + weights).")
+  in
+  let algo =
+    Arg.(value & opt string "auto" & info [ "a"; "algo" ] ~docv:"ALGO"
+           ~doc:"auto | brute | primal-dual | lowdeg | dp | general | single")
+  in
+  let balanced =
+    Arg.(value & flag & info [ "b"; "balanced" ] ~doc:"Optimize the balanced objective.")
+  in
+  let explain =
+    Arg.(value & flag & info [ "explain" ] ~doc:"Print a per-tuple propagation report.")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Solve a whole-instance problem file")
+    Term.(
+      ret
+        (const (fun p a b e -> handle (run_problem p a b e))
+        $ path $ algo $ balanced $ explain))
+
+let source_cmd =
+  let deletions =
+    Arg.(value & opt_all string [] & info [ "x"; "delete" ] ~docv:"FACT"
+           ~doc:"View tuple to delete. Repeatable.")
+  in
+  let exact =
+    Arg.(value & flag & info [ "exact" ] ~doc:"Exact branch-and-bound instead of greedy.")
+  in
+  Cmd.v
+    (Cmd.info "source"
+       ~doc:"Propagate with the source side-effect objective (fewest deleted tuples)")
+    Term.(ret (const (fun d q x e -> handle (source d q x e)) $ db_arg $ q_arg $ deletions $ exact))
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let () =
+  (* global -v flag: peel it off before cmdliner parsing *)
+  let verbose = Array.exists (fun a -> a = "-v" || a = "--verbose") Sys.argv in
+  setup_logs verbose;
+  let args =
+    Array.to_list Sys.argv
+    |> List.filter (fun a -> a <> "-v" && a <> "--verbose")
+    |> Array.of_list
+  in
+  let info =
+    Cmd.info "deleprop" ~version:"1.0.0"
+      ~doc:"Deletion propagation for multiple key-preserving conjunctive queries             (-v anywhere enables solver traces)"
+  in
+  exit
+    (Cmd.eval ~argv:args
+       (Cmd.group info
+          [ classify_cmd; views_cmd; solve_cmd; source_cmd; insert_cmd; diagnose_cmd; run_cmd ]))

@@ -1,0 +1,1 @@
+examples/annotation.ml: Cq Deleprop Format List Relational String

@@ -1,0 +1,1 @@
+examples/balanced_tradeoff.ml: Cq Deleprop Format List Option Relational String

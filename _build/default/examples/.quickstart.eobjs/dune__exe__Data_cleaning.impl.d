@@ -1,0 +1,1 @@
+examples/data_cleaning.ml: Cq Deleprop Format List Option Relational

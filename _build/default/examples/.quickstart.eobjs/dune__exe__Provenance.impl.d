@@ -1,0 +1,1 @@
+examples/provenance.ml: Array Cq Deleprop Format List Relational String Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cq Deleprop Format Option Relational

@@ -1,0 +1,1 @@
+examples/view_update.ml: Cq Deleprop Format Relational

@@ -1,0 +1,1 @@
+examples/warehouse.ml: Cq Deleprop Format Hypergraph List Relational

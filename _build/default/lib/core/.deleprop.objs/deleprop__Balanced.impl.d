@@ -1,0 +1,1 @@
+lib/core/balanced.ml: Dp_tree Float List Primal_dual Problem Provenance Reduction Relational Setcover Side_effect Vtuple Weights

@@ -1,0 +1,1 @@
+lib/core/balanced.mli: Dp_tree Problem Provenance Relational Side_effect Stdlib

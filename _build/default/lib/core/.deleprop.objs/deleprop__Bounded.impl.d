@@ -1,0 +1,1 @@
+lib/core/bounded.ml: Array Fun List Option Problem Provenance Relational Side_effect Vtuple Weights

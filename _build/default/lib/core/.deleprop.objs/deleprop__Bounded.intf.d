@@ -1,0 +1,1 @@
+lib/core/bounded.mli: Provenance Relational Side_effect

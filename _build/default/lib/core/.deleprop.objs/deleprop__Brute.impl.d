@@ -1,0 +1,1 @@
+lib/core/brute.ml: Array Cq List Printf Problem Provenance Reduction Relational Setcover Side_effect

@@ -1,0 +1,1 @@
+lib/core/brute.mli: Problem Provenance Relational Side_effect

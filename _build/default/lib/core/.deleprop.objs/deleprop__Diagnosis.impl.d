@@ -1,0 +1,1 @@
+lib/core/diagnosis.ml: Array Cq Float Format Hashtbl List Printf Problem Provenance Relational Side_effect String

@@ -1,0 +1,1 @@
+lib/core/diagnosis.mli: Format Problem Provenance Relational

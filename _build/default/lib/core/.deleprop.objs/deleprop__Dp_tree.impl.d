@@ -1,0 +1,1 @@
+lib/core/dp_tree.ml: Format Hashtbl Hypergraph List Logs Option Problem Provenance Relational Side_effect Vtuple Weights

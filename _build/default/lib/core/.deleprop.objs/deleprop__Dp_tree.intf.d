@@ -1,0 +1,1 @@
+lib/core/dp_tree.mli: Format Provenance Relational Side_effect Stdlib

@@ -1,0 +1,1 @@
+lib/core/explain.ml: Format List Provenance Relational Side_effect Vtuple

@@ -1,0 +1,1 @@
+lib/core/explain.mli: Format Provenance Relational Side_effect Vtuple

@@ -1,0 +1,1 @@
+lib/core/general_approx.ml: Problem Provenance Reduction Relational Setcover Side_effect

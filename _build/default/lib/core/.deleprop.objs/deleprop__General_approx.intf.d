@@ -1,0 +1,1 @@
+lib/core/general_approx.mli: Problem Provenance Relational Side_effect

@@ -1,0 +1,1 @@
+lib/core/hardness.ml: Array Cq Fun Hashtbl List Printf Problem Relational Setcover String Vtuple Weights

@@ -1,0 +1,1 @@
+lib/core/hardness.mli: Problem Relational Setcover Stdlib

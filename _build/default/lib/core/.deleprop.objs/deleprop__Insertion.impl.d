@@ -1,0 +1,1 @@
+lib/core/insertion.ml: Array Cq Format List Problem Relational Vtuple Weights

@@ -1,0 +1,1 @@
+lib/core/insertion.mli: Format Problem Relational Stdlib Vtuple

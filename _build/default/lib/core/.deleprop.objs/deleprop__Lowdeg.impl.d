@@ -1,0 +1,1 @@
+lib/core/lowdeg.ml: Int List Logs Primal_dual Problem Provenance Relational Side_effect Vtuple

@@ -1,0 +1,1 @@
+lib/core/lowdeg.mli: Problem Provenance Relational Side_effect

@@ -1,0 +1,1 @@
+lib/core/lp_formulation.ml: Array Format Hashtbl List Lp Problem Provenance Relational Seq Vtuple Weights

@@ -1,0 +1,1 @@
+lib/core/lp_formulation.mli: Lp Provenance Relational Vtuple

@@ -1,0 +1,1 @@
+lib/core/matview.ml: Cq List Option Problem Relational Smap

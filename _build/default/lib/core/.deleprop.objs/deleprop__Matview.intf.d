@@ -1,0 +1,1 @@
+lib/core/matview.mli: Cq Problem Relational Weights

@@ -1,0 +1,1 @@
+lib/core/portfolio.ml: Brute Domain Dp_tree Float Fun General_approx List Lowdeg Option Primal_dual Provenance Relational Side_effect Single_query Sys Unix

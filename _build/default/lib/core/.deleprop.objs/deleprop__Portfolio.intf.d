@@ -1,0 +1,1 @@
+lib/core/portfolio.mli: Provenance Relational Side_effect

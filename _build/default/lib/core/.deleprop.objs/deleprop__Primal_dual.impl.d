@@ -1,0 +1,1 @@
+lib/core/primal_dual.ml: Hashtbl Hypergraph Int List Logs Option Problem Provenance Relational Side_effect Vtuple Weights

@@ -1,0 +1,1 @@
+lib/core/primal_dual.mli: Provenance Relational Side_effect Vtuple

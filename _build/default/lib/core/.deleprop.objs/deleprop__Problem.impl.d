@@ -1,0 +1,1 @@
+lib/core/problem.ml: Cq Format List Option Relational Smap String Weights

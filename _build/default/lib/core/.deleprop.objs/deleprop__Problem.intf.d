@@ -1,0 +1,1 @@
+lib/core/problem.mli: Cq Format Relational Smap Weights

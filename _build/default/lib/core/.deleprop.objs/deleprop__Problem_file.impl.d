@@ -1,0 +1,1 @@
+lib/core/problem_file.ml: Buffer Cq List Printf Problem Relational Smap String Vtuple Weights

@@ -1,0 +1,1 @@
+lib/core/problem_file.mli: Problem

@@ -1,0 +1,1 @@
+lib/core/provenance.ml: Array Cq Format List Option Problem Relational Smap Vtuple Weights

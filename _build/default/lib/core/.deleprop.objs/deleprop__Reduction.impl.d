@@ -1,0 +1,1 @@
+lib/core/reduction.ml: Array List Problem Provenance Relational Seq Setcover Vtuple Weights

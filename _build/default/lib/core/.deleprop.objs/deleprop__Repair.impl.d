@@ -1,0 +1,1 @@
+lib/core/repair.ml: Brute Cq Format Insertion List Problem Relational Side_effect Vtuple Weights

@@ -1,0 +1,1 @@
+lib/core/repair.mli: Cq Format Relational Stdlib Vtuple Weights

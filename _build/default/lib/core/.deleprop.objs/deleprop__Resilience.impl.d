@@ -1,0 +1,1 @@
+lib/core/resilience.ml: Array Cq List Printf Problem Provenance Relational Side_effect Source_side_effect

@@ -1,0 +1,1 @@
+lib/core/side_effect.ml: Cq Format List Printf Problem Provenance Relational Smap Vtuple Weights

@@ -1,0 +1,1 @@
+lib/core/side_effect.mli: Format Problem Provenance Relational Vtuple

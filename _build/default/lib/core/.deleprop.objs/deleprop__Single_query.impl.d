@@ -1,0 +1,1 @@
+lib/core/single_query.ml: Format List Problem Provenance Relational Side_effect Vtuple Weights

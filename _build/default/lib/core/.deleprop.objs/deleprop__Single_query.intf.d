@@ -1,0 +1,1 @@
+lib/core/single_query.mli: Format Provenance Relational Side_effect Stdlib

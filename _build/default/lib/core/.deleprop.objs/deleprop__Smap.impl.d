@@ -1,0 +1,1 @@
+lib/core/smap.ml: Stdlib String

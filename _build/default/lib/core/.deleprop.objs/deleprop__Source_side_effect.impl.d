@@ -1,0 +1,1 @@
+lib/core/source_side_effect.ml: Array Hashtbl List Option Provenance Relational Seq Setcover Side_effect Vtuple

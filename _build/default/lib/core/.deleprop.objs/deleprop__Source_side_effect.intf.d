@@ -1,0 +1,1 @@
+lib/core/source_side_effect.mli: Provenance Relational Side_effect Stdlib

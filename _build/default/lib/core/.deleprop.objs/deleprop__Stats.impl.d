@@ -1,0 +1,1 @@
+lib/core/stats.ml: Dp_tree Format General_approx Hypergraph List Lowdeg Printf Problem Provenance Relational Vtuple

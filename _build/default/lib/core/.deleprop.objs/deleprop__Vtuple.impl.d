@@ -1,0 +1,1 @@
+lib/core/vtuple.ml: Format Relational Stdlib String

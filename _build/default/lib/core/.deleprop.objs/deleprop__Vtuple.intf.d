@@ -1,0 +1,1 @@
+lib/core/vtuple.mli: Format Relational Stdlib

@@ -1,0 +1,1 @@
+lib/core/weights.ml: Format List Option Vtuple

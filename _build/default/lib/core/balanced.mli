@@ -1,0 +1,36 @@
+(** Balanced deletion propagation (§III, Thm 2; §IV.A, Lemma 1).
+
+    Instead of forcing every [ΔV] tuple out, the balanced objective
+    trades surviving bad tuples against lost good ones:
+    [min weight(ΔV kept) + weight(preserved lost)]. Empty deletion is
+    always feasible; the question is purely one of optimization. *)
+
+type result = {
+  deletion : Relational.Stuple.Set.t;
+  outcome : Side_effect.outcome;   (** [outcome.balanced_cost] is the objective *)
+}
+
+(** Exact optimum through the Positive-Negative Partial Set Cover
+    reduction (branch-and-bound; exponential). *)
+val solve_exact : ?node_budget:int -> Provenance.t -> result
+
+(** Lemma 1's general approximation: reduce to PNPSC, then to Red-Blue
+    Set Cover (Miettinen), solve with LowDeg/greedy, map back. Ratio
+    [2·sqrt(l·(‖V‖+‖ΔV‖)·log ‖ΔV‖)]. *)
+val solve_general : Provenance.t -> result
+
+(** Exact DP on pivot forests (balanced variant of Algorithm 4). *)
+val solve_dp : Provenance.t -> (result, Dp_tree.error) Stdlib.result
+
+(** The balanced variant of the tree primal-dual ("similar results will
+    be shown for the balanced version", §IV.C): run {!Primal_dual} on the
+    standard objective, then an improvement pass — a deletion is dropped
+    whenever the bad tuples only it covers weigh less than the preserved
+    tuples it destroys (keeping them is then the better trade). Always at
+    least as good as both the primal-dual plan and the empty plan under
+    the balanced objective; exactness is not claimed (compare
+    {!solve_exact}). *)
+val solve_tree : Provenance.t -> result
+
+(** Lemma 1's claimed ratio for this instance. *)
+val bound : Problem.t -> float

@@ -1,0 +1,129 @@
+module R = Relational
+
+type result = {
+  deletion : R.Stuple.Set.t;
+  outcome : Side_effect.outcome;
+}
+
+let solve ~k ?(node_budget = 5_000_000) (prov : Provenance.t) =
+  let candidates = Array.of_list (R.Stuple.Set.elements (Provenance.candidates prov)) in
+  let bad = Array.of_list (Vtuple.Set.elements prov.Provenance.bad) in
+  let weights = prov.Provenance.problem.Problem.weights in
+  (* per candidate: which bad tuples it kills, and its preserved cost *)
+  let kills =
+    Array.map
+      (fun st ->
+        let vts = Provenance.vtuples_containing prov st in
+        Array.to_list bad
+        |> List.mapi (fun i vt -> (i, vt))
+        |> List.filter_map (fun (i, vt) -> if Vtuple.Set.mem vt vts then Some i else None))
+      candidates
+  in
+  (* candidates hitting each bad tuple *)
+  let containing = Array.make (Array.length bad) [] in
+  Array.iteri (fun c is -> List.iter (fun i -> containing.(i) <- c :: containing.(i)) is) kills;
+  if Array.exists (fun l -> l = []) containing then None
+  else begin
+    let nodes = ref 0 in
+    let best = ref None and best_cost = ref infinity in
+    let cost_of deletion =
+      Weights.total weights
+        (Vtuple.Set.inter (Provenance.kills prov deletion) prov.Provenance.preserved)
+    in
+    let rec go covered deletion depth =
+      incr nodes;
+      if !nodes > node_budget then failwith "Bounded.solve: node budget exceeded";
+      let cost = cost_of deletion in
+      if cost >= !best_cost then ()
+      else if List.for_all (fun i -> List.mem i covered) (List.init (Array.length bad) Fun.id)
+      then begin
+        best_cost := cost;
+        best := Some deletion
+      end
+      else if depth >= k then ()
+      else begin
+        (* branch on an uncovered bad tuple with fewest killers *)
+        let target =
+          List.init (Array.length bad) Fun.id
+          |> List.filter (fun i -> not (List.mem i covered))
+          |> List.fold_left
+               (fun acc i ->
+                 match acc with
+                 | Some j when List.length containing.(j) <= List.length containing.(i) -> acc
+                 | _ -> Some i)
+               None
+        in
+        match target with
+        | None -> ()
+        | Some i ->
+          List.iter
+            (fun c ->
+              go (kills.(c) @ covered) (R.Stuple.Set.add candidates.(c) deletion) (depth + 1))
+            containing.(i)
+      end
+    in
+    go [] R.Stuple.Set.empty 0;
+    Option.map
+      (fun deletion -> { deletion; outcome = Side_effect.eval prov deletion })
+      !best
+  end
+
+let solve_greedy ~k (prov : Provenance.t) =
+  let weights = prov.Provenance.problem.Problem.weights in
+  let candidates = Array.of_list (R.Stuple.Set.elements (Provenance.candidates prov)) in
+  let covered = ref Vtuple.Set.empty in
+  let deletion = ref R.Stuple.Set.empty in
+  (try
+     for _ = 1 to k do
+       if Vtuple.Set.subset prov.Provenance.bad !covered then raise Exit;
+       let best = ref None and best_score = ref neg_infinity in
+       Array.iter
+         (fun st ->
+           if not (R.Stuple.Set.mem st !deletion) then begin
+             let vts = Provenance.vtuples_containing prov st in
+             let new_bad =
+               Weights.total weights
+                 (Vtuple.Set.diff (Vtuple.Set.inter vts prov.Provenance.bad) !covered)
+             in
+             if new_bad > 0.0 then begin
+               let damage =
+                 Weights.total weights (Vtuple.Set.inter vts prov.Provenance.preserved)
+               in
+               let score = new_bad /. (1.0 +. damage) in
+               if score > !best_score then begin
+                 best_score := score;
+                 best := Some st
+               end
+             end
+           end)
+         candidates;
+       match !best with
+       | Some st ->
+         covered :=
+           Vtuple.Set.union !covered
+             (Vtuple.Set.inter (Provenance.vtuples_containing prov st) prov.Provenance.bad);
+         deletion := R.Stuple.Set.add st !deletion
+       | None -> raise Exit
+     done
+   with Exit -> ());
+  let outcome = Side_effect.eval prov !deletion in
+  if outcome.Side_effect.feasible then Some { deletion = !deletion; outcome } else None
+
+let min_budget ?node_budget (prov : Provenance.t) =
+  let n = Vtuple.Set.cardinal prov.Provenance.bad in
+  let rec search k =
+    if k > n then None
+    else
+      match solve ~k ?node_budget prov with
+      | Some _ -> Some k
+      | None -> search (k + 1)
+  in
+  if n = 0 then Some 0 else search 1
+
+let frontier ?node_budget ~slack prov =
+  match min_budget ?node_budget prov with
+  | None -> []
+  | Some k0 ->
+    List.init (slack + 1) (fun i -> k0 + i)
+    |> List.filter_map (fun k ->
+           solve ~k ?node_budget prov |> Option.map (fun r -> (k, r)))

@@ -1,0 +1,35 @@
+(** Bounded deletion propagation (Miao et al. [36], the paper's Table V:
+    "NP(k)-complete ... when the deletion could be bounded in advance
+    based on priori knowledge"): find [ΔD] with [|ΔD| ≤ k] realizing all
+    of [ΔV] with minimum view side-effect, or report that no such [ΔD]
+    exists.
+
+    The budget models prior knowledge of how many source errors there can
+    be — the cleaning setting of §V with a known corruption count.
+    Exact by bounded-depth branch-and-bound. *)
+
+type result = {
+  deletion : Relational.Stuple.Set.t;
+  outcome : Side_effect.outcome;
+}
+
+(** [solve ~k prov] — [None] when no feasible deletion of size ≤ k
+    exists. *)
+val solve : k:int -> ?node_budget:int -> Provenance.t -> result option
+
+(** The smallest budget admitting a feasible solution — i.e. the
+    (unweighted) source-side-effect optimum. *)
+val min_budget : ?node_budget:int -> Provenance.t -> int option
+
+(** Greedy heuristic via budgeted maximum coverage (1 − 1/e guarantee on
+    the number of bad tuples covered, none on the side-effect): pick up
+    to [k] tuples, each maximizing newly-killed bad weight per unit of
+    preserved weight hit. [None] when the greedy pick leaves some bad
+    tuple alive — the exact solver may still find a feasible plan. *)
+val solve_greedy : k:int -> Provenance.t -> result option
+
+(** The side-effect cost along the budget sweep [k = min_budget ..
+    min_budget + slack]: the trade-off between deletion budget and view
+    damage (experiment E16). *)
+val frontier :
+  ?node_budget:int -> slack:int -> Provenance.t -> (int * result) list

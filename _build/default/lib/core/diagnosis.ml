@@ -1,0 +1,121 @@
+module R = Relational
+
+type t = {
+  optimal_cost : float;
+  plans : R.Stuple.Set.t list;
+  certain : R.Stuple.Set.t;
+  possible : R.Stuple.Set.t;
+}
+
+(* enumerate all feasible plans over [candidates] with their costs *)
+let all_plans candidates eval_cost =
+  let n = Array.length candidates in
+  let acc = ref [] in
+  for mask = 0 to (1 lsl n) - 1 do
+    let dd = ref R.Stuple.Set.empty in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then dd := R.Stuple.Set.add candidates.(i) !dd
+    done;
+    match eval_cost !dd with
+    | Some cost -> acc := (cost, !dd) :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let minimal_only plans =
+  List.filter
+    (fun p ->
+      not
+        (List.exists
+           (fun p' -> (not (R.Stuple.Set.equal p p')) && R.Stuple.Set.subset p' p)
+           plans))
+    plans
+
+let of_plans plans =
+  match plans with
+  | [] -> None
+  | (cost0, _) :: _ ->
+    let optimal_cost =
+      List.fold_left (fun acc (c, _) -> Float.min acc c) cost0 plans
+    in
+    let optimal =
+      List.filter_map
+        (fun (c, p) -> if Float.abs (c -. optimal_cost) < 1e-9 then Some p else None)
+        plans
+      |> minimal_only
+    in
+    let certain =
+      match optimal with
+      | p :: rest -> List.fold_left R.Stuple.Set.inter p rest
+      | [] -> R.Stuple.Set.empty
+    in
+    let possible = List.fold_left R.Stuple.Set.union R.Stuple.Set.empty optimal in
+    Some { optimal_cost; plans = optimal; certain; possible }
+
+let guard name n max_candidates =
+  if n > max_candidates then
+    invalid_arg (Printf.sprintf "%s: %d candidates exceed the limit %d" name n max_candidates)
+
+let diagnose ?(max_candidates = 18) (prov : Provenance.t) =
+  let candidates = Array.of_list (R.Stuple.Set.elements (Provenance.candidates prov)) in
+  guard "Diagnosis.diagnose" (Array.length candidates) max_candidates;
+  all_plans candidates (fun dd ->
+      let o = Side_effect.eval prov dd in
+      if o.Side_effect.feasible then Some o.Side_effect.cost else None)
+  |> of_plans
+
+let diagnose_ground_truth ?(max_candidates = 18) (problem : Problem.t) =
+  (* candidates: tuples in any witness of a bad view tuple *)
+  let candidates =
+    List.fold_left
+      (fun acc (q : Cq.Query.t) ->
+        let bad = Problem.deletion problem q.name in
+        if R.Tuple.Set.is_empty bad then acc
+        else
+          let prov = Cq.Eval.provenance problem.Problem.db q in
+          R.Tuple.Set.fold
+            (fun t acc ->
+              match R.Tuple.Map.find_opt t prov with
+              | None -> acc
+              | Some ws ->
+                List.fold_left
+                  (fun acc w -> R.Stuple.Set.union acc (Cq.Eval.witness_set w))
+                  acc ws)
+            bad acc)
+      R.Stuple.Set.empty problem.Problem.queries
+    |> R.Stuple.Set.elements |> Array.of_list
+  in
+  guard "Diagnosis.diagnose_ground_truth" (Array.length candidates) max_candidates;
+  all_plans candidates (fun dd ->
+      let o = Side_effect.eval_ground_truth problem dd in
+      if o.Side_effect.feasible then Some o.Side_effect.cost else None)
+  |> of_plans
+
+let top_plans ?(max_candidates = 18) ~k (prov : Provenance.t) =
+  let candidates = Array.of_list (R.Stuple.Set.elements (Provenance.candidates prov)) in
+  guard "Diagnosis.top_plans" (Array.length candidates) max_candidates;
+  let plans =
+    all_plans candidates (fun dd ->
+        let o = Side_effect.eval prov dd in
+        if o.Side_effect.feasible then Some o.Side_effect.cost else None)
+  in
+  (* bucket by cost, minimal plans only per bucket, cheapest buckets first *)
+  let buckets = Hashtbl.create 16 in
+  List.iter
+    (fun (c, p) ->
+      let key = Printf.sprintf "%.9f" c in
+      Hashtbl.replace buckets key
+        (c, p :: (match Hashtbl.find_opt buckets key with Some (_, l) -> l | None -> [])))
+    plans;
+  Hashtbl.fold (fun _ (c, ps) acc -> (c, minimal_only ps) :: acc) buckets []
+  |> List.sort (fun (a, _) (b, _) -> Float.compare a b)
+  |> List.filteri (fun i _ -> i < k)
+
+let pp ppf t =
+  let pp_set ppf s =
+    Format.fprintf ppf "{%s}"
+      (String.concat ", " (List.map R.Stuple.to_string (R.Stuple.Set.elements s)))
+  in
+  Format.fprintf ppf
+    "@[<v>optimal cost %g, %d optimal plan(s)@ certain: %a@ possible: %a@]" t.optimal_cost
+    (List.length t.plans) pp_set t.certain pp_set t.possible

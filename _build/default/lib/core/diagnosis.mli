@@ -1,0 +1,39 @@
+(** Diagnosis across {e all} optimal repairs — the paper's data-annotation
+    story (§V) as an operation: "there are usually multiple optimal
+    solutions ... the candidates will be found more accurately" by
+    merging feedback. This module enumerates the optimal (and
+    near-optimal) deletion plans and classifies source tuples:
+
+    - {e certain}: in every optimal plan — safe to annotate as wrong;
+    - {e possible}: in at least one optimal plan — candidates needing
+      more feedback;
+    - a tuple in no optimal plan is exonerated.
+
+    Experiment E14/the annotation example show certain sets growing as
+    views contribute feedback. Exponential (enumerates plans); bounded by
+    [max_candidates]. *)
+
+type t = {
+  optimal_cost : float;
+  plans : Relational.Stuple.Set.t list;   (** all inclusion-minimal optimal plans *)
+  certain : Relational.Stuple.Set.t;      (** intersection of the plans *)
+  possible : Relational.Stuple.Set.t;     (** union of the plans *)
+}
+
+(** [diagnose prov] — under key-preserving (unique witness) semantics.
+    [None] when the instance is infeasible (cannot happen with non-empty
+    witnesses). Raises [Invalid_argument] beyond [max_candidates]
+    (default 18). *)
+val diagnose : ?max_candidates:int -> Provenance.t -> t option
+
+(** Ground-truth variant for non-key-preserving query sets (slower). *)
+val diagnose_ground_truth : ?max_candidates:int -> Problem.t -> t option
+
+(** Top-[k] distinct plans by cost (optimal first, then next-best...),
+    each as (cost, plan); plans of equal cost are grouped in the same
+    bucket. Useful for presenting alternatives to an expert. *)
+val top_plans :
+  ?max_candidates:int -> k:int -> Provenance.t ->
+  (float * Relational.Stuple.Set.t list) list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,170 @@
+module R = Relational
+module Tg = Hypergraph.Tuple_graph
+
+let src = Logs.Src.create "deleprop.dp_tree" ~doc:"DPTreeVSE (Algorithm 4)"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type objective = Standard | Balanced
+
+type result = {
+  deletion : R.Stuple.Set.t;
+  outcome : Side_effect.outcome;
+  pivots : R.Stuple.t list;
+  optimum : float;
+}
+
+type error =
+  | Not_a_forest
+  | No_pivot
+
+let pp_error ppf = function
+  | Not_a_forest -> Format.fprintf ppf "data dual graph is not a forest"
+  | No_pivot -> Format.fprintf ppf "a component has no pivot tuple"
+
+let graph_of (prov : Provenance.t) =
+  let paths =
+    Vtuple.Map.fold (fun _ path acc -> path :: acc) prov.Provenance.witness_path []
+  in
+  Tg.of_witness_paths paths
+
+(* Partition view tuples into the components of the graph; returns
+   (component root witness, vtuples) keyed by an arbitrary component
+   representative. *)
+let components_with_vtuples (prov : Provenance.t) graph =
+  let visited = ref R.Stuple.Set.empty in
+  let comps = ref [] in
+  List.iter
+    (fun v ->
+      if not (R.Stuple.Set.mem v !visited) then
+        match Tg.Rooted.at graph v with
+        | None -> ()
+        | Some r ->
+          let members = R.Stuple.Set.of_list (Tg.Rooted.by_increasing_depth r) in
+          visited := R.Stuple.Set.union !visited members;
+          comps := members :: !comps)
+    (Tg.vertices graph);
+  List.map
+    (fun members ->
+      let vts =
+        Vtuple.Map.fold
+          (fun vt w acc ->
+            if R.Stuple.Set.mem (R.Stuple.Set.choose w) members then vt :: acc else acc)
+          prov.Provenance.witness []
+      in
+      (members, vts))
+    !comps
+
+let solve ?(objective = Standard) (prov : Provenance.t) =
+  let graph = graph_of prov in
+  if not (Tg.is_forest graph) then Error Not_a_forest
+  else begin
+    let weights = prov.Provenance.problem.Problem.weights in
+    let comps = components_with_vtuples prov graph in
+    let exception Fail of error in
+    try
+      let deletion, pivots, optimum =
+        List.fold_left
+          (fun (deletion, pivots, optimum) (_, vts) ->
+            if vts = [] then (deletion, pivots, optimum)
+            else begin
+              let witnesses = List.map (Provenance.witness_of prov) vts in
+              match Tg.find_pivot graph witnesses with
+              | None -> raise (Fail No_pivot)
+              | Some pivot ->
+                Log.debug (fun m ->
+                    m "component pivot %a, %d view tuples" R.Stuple.pp pivot
+                      (List.length vts));
+                let rooted =
+                  match Tg.Rooted.at graph pivot with
+                  | Some r -> r
+                  | None -> raise (Fail Not_a_forest)
+                in
+                (* endpoint of each view tuple = deepest witness tuple *)
+                let key st = R.Stuple.to_string st in
+                let w_pres_end : (string, float) Hashtbl.t = Hashtbl.create 64 in
+                let w_bad_end : (string, float) Hashtbl.t = Hashtbl.create 64 in
+                List.iter
+                  (fun vt ->
+                    let w = Provenance.witness_of prov vt in
+                    let endpoint =
+                      R.Stuple.Set.fold
+                        (fun v best ->
+                          match best with
+                          | None -> Some v
+                          | Some b ->
+                            if Tg.Rooted.depth rooted v > Tg.Rooted.depth rooted b then Some v
+                            else best)
+                        w None
+                      |> Option.get
+                    in
+                    let tbl =
+                      if Vtuple.Set.mem vt prov.Provenance.bad then w_bad_end else w_pres_end
+                    in
+                    let k = key endpoint in
+                    Hashtbl.replace tbl k
+                      (Weights.get weights vt
+                      +. Option.value ~default:0.0 (Hashtbl.find_opt tbl k)))
+                  vts;
+                let pres_end st = Option.value ~default:0.0 (Hashtbl.find_opt w_pres_end (key st)) in
+                let bad_end st = Option.value ~default:0.0 (Hashtbl.find_opt w_bad_end (key st)) in
+                let has_bad_end st = Hashtbl.mem w_bad_end (key st) in
+                (* bottom-up DP *)
+                let subtree_pres : (string, float) Hashtbl.t = Hashtbl.create 64 in
+                let value : (string, float) Hashtbl.t = Hashtbl.create 64 in
+                let cut : (string, bool) Hashtbl.t = Hashtbl.create 64 in
+                let order_rev = List.rev (Tg.Rooted.by_increasing_depth rooted) in
+                List.iter
+                  (fun st ->
+                    let children = Tg.Rooted.children rooted st in
+                    let sp =
+                      pres_end st
+                      +. List.fold_left
+                           (fun acc c -> acc +. Hashtbl.find subtree_pres (key c))
+                           0.0 children
+                    in
+                    Hashtbl.replace subtree_pres (key st) sp;
+                    let children_value =
+                      List.fold_left
+                        (fun acc c -> acc +. Hashtbl.find value (key c))
+                        0.0 children
+                    in
+                    let cut_cost = sp in
+                    let nocut_cost =
+                      match objective with
+                      | Standard ->
+                        if has_bad_end st then infinity else children_value
+                      | Balanced -> bad_end st +. children_value
+                    in
+                    if cut_cost < nocut_cost then begin
+                      Hashtbl.replace value (key st) cut_cost;
+                      Hashtbl.replace cut (key st) true
+                    end
+                    else begin
+                      Hashtbl.replace value (key st) nocut_cost;
+                      Hashtbl.replace cut (key st) false
+                    end)
+                  order_rev;
+                (* reconstruct: descend while not cut *)
+                let deletion = ref deletion in
+                let rec walk st =
+                  if Hashtbl.find cut (key st) then
+                    deletion := R.Stuple.Set.add st !deletion
+                  else List.iter walk (Tg.Rooted.children rooted st)
+                in
+                walk pivot;
+                ( !deletion,
+                  pivot :: pivots,
+                  optimum +. Hashtbl.find value (key pivot) )
+            end)
+          (R.Stuple.Set.empty, [], 0.0) comps
+      in
+      let outcome = Side_effect.eval prov deletion in
+      Ok { deletion; outcome; pivots = List.rev pivots; optimum }
+    with Fail e -> Error e
+  end
+
+let applicable prov =
+  match solve prov with
+  | Ok _ -> true
+  | Error _ -> false

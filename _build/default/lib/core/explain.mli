@@ -1,0 +1,24 @@
+(** Human-readable propagation reports: for each intended deletion, which
+    chosen source tuples realize it; for each side-effect, which chosen
+    tuples cause it. Used by the CLI and the cleaning examples
+    (the annotation application of §V). *)
+
+type coverage = {
+  bad : Vtuple.t;
+  killers : Relational.Stuple.t list;  (** witness ∩ ΔD; empty = not realized *)
+}
+
+type damage = {
+  lost : Vtuple.t;                      (** a preserved view tuple eliminated *)
+  cause : Relational.Stuple.t list;     (** witness ∩ ΔD *)
+}
+
+type t = {
+  outcome : Side_effect.outcome;
+  coverage : coverage list;             (** one entry per ΔV tuple *)
+  damage : damage list;                 (** one entry per side-effect tuple *)
+}
+
+val explain : Provenance.t -> Relational.Stuple.Set.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+module R = Relational
+
+type result = {
+  deletion : R.Stuple.Set.t;
+  outcome : Side_effect.outcome;
+  claimed_bound : float;
+}
+
+let bound (problem : Problem.t) =
+  let l = float_of_int (Problem.max_arity problem) in
+  let v = float_of_int (Problem.view_size problem) in
+  let dv = float_of_int (max 2 (Problem.deletion_size problem)) in
+  2.0 *. sqrt (l *. v *. log dv)
+
+let solve prov =
+  let m = Reduction.to_red_blue prov in
+  match Setcover.Red_blue.solve_approx m.Reduction.instance with
+  | None -> None
+  | Some sol ->
+    let deletion = Reduction.deletion_of_red_blue m sol in
+    let outcome = Side_effect.eval prov deletion in
+    Some { deletion; outcome; claimed_bound = bound prov.Provenance.problem }

@@ -1,0 +1,156 @@
+module R = Relational
+
+type t = {
+  problem : Problem.t;
+  set_stuple : R.Stuple.t array;
+  red_query : (int * string) list;
+  blue_query : (int * string) list;
+}
+
+(* Core construction, parameterized by the two element families.
+   [reds]: (index, weight, member sets); [blues]: (index, member sets).
+   [balanced] decides whether blue views go to ΔV with their weights. *)
+let build ~num_sets ~set_label ~reds ~blues ~blue_weight =
+  R.Value.reset_fresh ();
+  let num_red = List.length reds and num_blue = List.length blues in
+  let missing =
+    List.filter_map (fun (b, members) -> if members = [] then Some b else None) blues
+  in
+  if missing <> [] then
+    Error
+      (Printf.sprintf "uncoverable blue/positive element(s): %s"
+         (String.concat ", " (List.map string_of_int missing)))
+  else begin
+    (* column layout: 0 = pad (key), 1..num_red = reds, then blues *)
+    let width = 1 + num_red + num_blue in
+    let red_col = Hashtbl.create 16 and blue_col = Hashtbl.create 16 in
+    List.iteri (fun i (r, _, _) -> Hashtbl.replace red_col r (1 + i)) reds;
+    List.iteri (fun i (b, _) -> Hashtbl.replace blue_col b (1 + num_red + i)) blues;
+    let schema =
+      R.Schema.Db.of_list
+        [ R.Schema.make_anon ~name:"T" ~arity:width ~key:[ 0 ] ]
+    in
+    (* tuple for set j *)
+    let member_reds = Array.make num_sets [] and member_blues = Array.make num_sets [] in
+    List.iter (fun (r, _, sets) -> List.iter (fun j -> member_reds.(j) <- r :: member_reds.(j)) sets) reds;
+    List.iter (fun (b, sets) -> List.iter (fun j -> member_blues.(j) <- b :: member_blues.(j)) sets) blues;
+    let tuple_of_set j =
+      let cells = Array.init width (fun _ -> R.Value.fresh ()) in
+      cells.(0) <- R.Value.str (set_label j);
+      List.iter (fun r -> cells.(Hashtbl.find red_col r) <- R.Value.str (Printf.sprintf "r%d" r)) member_reds.(j);
+      List.iter (fun b -> cells.(Hashtbl.find blue_col b) <- R.Value.str (Printf.sprintf "b%d" b)) member_blues.(j);
+      R.Tuple.make cells
+    in
+    let set_tuples = Array.init num_sets tuple_of_set in
+    let db =
+      Array.fold_left (fun db t -> R.Instance.add db "T" t) (R.Instance.empty schema) set_tuples
+    in
+    let set_stuple = Array.map (R.Stuple.make "T") set_tuples in
+    (* query for an element joining the tuples of [members]; fresh variable
+       names per atom so everything lands in the head (project-free) *)
+    let query_for name members =
+      let atoms, head =
+        List.fold_left
+          (fun (atoms, head) j ->
+            let vars =
+              List.init (width - 1) (fun i -> Cq.Term.var (Printf.sprintf "X_%d_%d" j (i + 1)))
+            in
+            let atom = Cq.Atom.make "T" (Cq.Term.str (set_label j) :: vars) in
+            (atom :: atoms, List.rev_append vars head))
+          ([], []) members
+      in
+      Cq.Query.make ~name ~head:(List.rev head) ~body:(List.rev atoms)
+    in
+    (* the single view tuple of such a query: concatenation of the member
+       tuples' non-pad columns *)
+    let view_tuple members =
+      List.concat_map
+        (fun j -> List.tl (R.Tuple.to_list set_tuples.(j)))
+        members
+      |> R.Tuple.of_list
+    in
+    let red_query =
+      List.filter_map
+        (fun (r, _, sets) ->
+          if sets = [] then None else Some (r, Printf.sprintf "Qr%d" r))
+        reds
+    in
+    let blue_query = List.map (fun (b, _) -> (b, Printf.sprintf "Qb%d" b)) blues in
+    let queries =
+      List.filter_map
+        (fun (r, _, sets) ->
+          if sets = [] then None else Some (query_for (Printf.sprintf "Qr%d" r) sets))
+        reds
+      @ List.map (fun (b, sets) -> query_for (Printf.sprintf "Qb%d" b) sets) blues
+    in
+    let deletions =
+      List.map
+        (fun (b, sets) -> (Printf.sprintf "Qb%d" b, [ view_tuple sets ]))
+        blues
+    in
+    let weights =
+      let w = Weights.uniform in
+      let w =
+        List.fold_left
+          (fun w (r, weight, sets) ->
+            if sets = [] then w
+            else
+              Weights.set w
+                (Vtuple.make (Printf.sprintf "Qr%d" r) (view_tuple sets))
+                weight)
+          w reds
+      in
+      List.fold_left
+        (fun w (b, sets) ->
+          Weights.set w
+            (Vtuple.make (Printf.sprintf "Qb%d" b) (view_tuple sets))
+            (blue_weight b))
+        w blues
+    in
+    let problem = Problem.make ~db ~queries ~deletions ~weights () in
+    Ok { problem; set_stuple; red_query; blue_query }
+  end
+
+let of_red_blue (rb : Setcover.Red_blue.t) =
+  let num_sets = Setcover.Red_blue.num_sets rb in
+  let member_sets elem side =
+    List.init num_sets Fun.id
+    |> List.filter (fun j ->
+           let s = rb.Setcover.Red_blue.sets.(j) in
+           match side with
+           | `Red -> Setcover.Iset.mem elem s.Setcover.Red_blue.red
+           | `Blue -> Setcover.Iset.mem elem s.Setcover.Red_blue.blue)
+  in
+  let reds =
+    List.init (Setcover.Red_blue.num_red rb) (fun r ->
+        (r, rb.Setcover.Red_blue.red_weights.(r), member_sets r `Red))
+  in
+  let blues =
+    List.init rb.Setcover.Red_blue.num_blue (fun b -> (b, member_sets b `Blue))
+  in
+  build ~num_sets ~set_label:(Printf.sprintf "s%d") ~reds ~blues ~blue_weight:(fun _ -> 1.0)
+
+let of_pos_neg (pn : Setcover.Pos_neg.t) =
+  let num_sets = Setcover.Pos_neg.num_sets pn in
+  let member_sets elem side =
+    List.init num_sets Fun.id
+    |> List.filter (fun j ->
+           let s = pn.Setcover.Pos_neg.sets.(j) in
+           match side with
+           | `Neg -> Setcover.Iset.mem elem s.Setcover.Pos_neg.neg
+           | `Pos -> Setcover.Iset.mem elem s.Setcover.Pos_neg.pos)
+  in
+  let negs =
+    List.init (Setcover.Pos_neg.num_neg pn) (fun n ->
+        (n, pn.Setcover.Pos_neg.neg_weights.(n), member_sets n `Neg))
+  in
+  let poss =
+    List.init (Setcover.Pos_neg.num_pos pn) (fun p -> (p, member_sets p `Pos))
+  in
+  build ~num_sets ~set_label:(Printf.sprintf "s%d") ~reds:negs ~blues:poss
+    ~blue_weight:(fun p -> pn.Setcover.Pos_neg.pos_weights.(p))
+
+let chosen_sets t deletion =
+  Array.to_list (Array.mapi (fun i st -> (i, st)) t.set_stuple)
+  |> List.filter_map (fun (i, st) ->
+         if R.Stuple.Set.mem st deletion then Some i else None)

@@ -1,0 +1,36 @@
+(** The hardness reductions of Theorems 1 and 2, used constructively: they
+    turn Red-Blue Set Cover (resp. Positive-Negative Partial Set Cover)
+    instances into deletion-propagation instances on which the optimal
+    costs coincide — the repository's generator of provably hard
+    families (experiments E2 and E8).
+
+    Construction (proof of Thm 1, with one explicit pad column):
+    a single relation [T] whose key is a pad column holding a unique id
+    per set; one further column per element of [R ∪ B], holding the
+    element's name when the set contains it and a fresh constant
+    otherwise. For every element [e], a project-free (hence
+    key-preserving) query [Q_e] joins — via pad constants — exactly the
+    tuples of the sets containing [e], producing a one-tuple view.
+    [ΔV] = the views of the blue elements. Deleting source tuple [t_C]
+    kills [Q_e(D)] iff [e ∈ C]: solutions are sub-collections, blue
+    coverage is feasibility, red coverage is side-effect — costs map
+    exactly. *)
+
+type t = {
+  problem : Problem.t;
+  set_stuple : Relational.Stuple.t array;  (** set index -> tuple of T *)
+  red_query : (int * string) list;   (** red/negative element -> its query *)
+  blue_query : (int * string) list;  (** blue/positive element -> its query *)
+}
+
+(** [of_red_blue rb] — [Error] when some blue element is in no set
+    (uncoverable) . Red weights become view-tuple weights. *)
+val of_red_blue : Setcover.Red_blue.t -> (t, string) Stdlib.result
+
+(** Thm 2's variant: positives become [ΔV] (their survival is priced),
+    negatives become preserved views; the balanced cost equals the PNPSC
+    cost. [Error] when some positive is in no set. *)
+val of_pos_neg : Setcover.Pos_neg.t -> (t, string) Stdlib.result
+
+(** Interpret a deletion as a chosen sub-collection (set indices). *)
+val chosen_sets : t -> Relational.Stuple.Set.t -> int list

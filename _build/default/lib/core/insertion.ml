@@ -1,0 +1,144 @@
+module R = Relational
+
+type result = {
+  insertions : R.Stuple.Set.t;
+  new_views : Vtuple.Set.t;
+  side_effect : float;
+}
+
+type objective =
+  | Fewest_insertions
+  | Fewest_new_views
+
+type error =
+  | Already_present
+  | Unknown_query of string
+  | Arity_mismatch
+  | Key_conflict
+  | Too_many_assignments of int
+
+let pp_error ppf = function
+  | Already_present -> Format.fprintf ppf "the target tuple is already in the view"
+  | Unknown_query q -> Format.fprintf ppf "unknown query %s" q
+  | Arity_mismatch -> Format.fprintf ppf "target arity differs from the query head"
+  | Key_conflict ->
+    Format.fprintf ppf
+      "every derivation needs an insertion clashing with an existing key"
+  | Too_many_assignments n ->
+    Format.fprintf ppf "assignment space exceeds the budget (%d)" n
+
+(* head unification: target values against head terms *)
+let head_assignment (q : Cq.Query.t) target =
+  if List.length q.head <> R.Tuple.arity target then None
+  else
+    let rec go i env = function
+      | [] -> Some env
+      | term :: rest -> (
+        let value = R.Tuple.get target i in
+        match term with
+        | Cq.Term.Const c ->
+          if R.Value.equal c value then go (i + 1) env rest else None
+        | Cq.Term.Var v -> (
+          match List.assoc_opt v env with
+          | Some value' ->
+            if R.Value.equal value value' then go (i + 1) env rest else None
+          | None -> go (i + 1) ((v, value) :: env) rest))
+    in
+    go 0 [] q.head
+
+let active_domain db =
+  R.Instance.fold
+    (fun st acc ->
+      List.fold_left (fun acc v -> v :: acc) acc (R.Tuple.to_list st.R.Stuple.tuple))
+    db []
+  |> List.sort_uniq R.Value.compare
+
+(* instantiate the body under a full assignment; None when a needed
+   insertion conflicts with an existing key *)
+let required_insertions db (q : Cq.Query.t) env =
+  let value = function
+    | Cq.Term.Const c -> c
+    | Cq.Term.Var v -> List.assoc v env
+  in
+  let schema = R.Instance.schema db in
+  let rec go acc = function
+    | [] -> Some acc
+    | (atom : Cq.Atom.t) :: rest ->
+      let tuple = R.Tuple.of_list (List.map value (Array.to_list atom.args)) in
+      let rel = R.Instance.relation db atom.rel in
+      if R.Relation.mem rel tuple then go acc rest
+      else begin
+        let s = R.Schema.Db.find schema atom.rel in
+        match R.Relation.find_by_key rel (R.Schema.key_of_tuple s tuple) with
+        | Some _ -> None (* key exists with different fields *)
+        | None -> go (R.Stuple.Set.add (R.Stuple.make atom.rel tuple) acc) rest
+      end
+  in
+  go R.Stuple.Set.empty q.body
+
+let solve ?(objective = Fewest_new_views) ?(max_assignments = 200_000)
+    (problem : Problem.t) ~query ~target =
+  match List.find_opt (fun (q : Cq.Query.t) -> q.name = query) problem.Problem.queries with
+  | None -> Error (Unknown_query query)
+  | Some q -> (
+    let db = problem.Problem.db in
+    if R.Tuple.arity target <> Cq.Query.arity q then Error Arity_mismatch
+    else if R.Tuple.Set.mem target (Cq.Eval.evaluate db q) then Error Already_present
+    else
+      match head_assignment q target with
+      | None -> Error Arity_mismatch
+      | Some head_env ->
+        let existentials = Cq.Term.Vars.elements (Cq.Query.existential_vars q) in
+        let domain = R.Value.fresh () :: active_domain db in
+        let space = ref 1 in
+        List.iter (fun _ -> space := !space * List.length domain) existentials;
+        if !space > max_assignments then Error (Too_many_assignments max_assignments)
+        else begin
+          (* enumerate assignments of existential variables *)
+          let weights = problem.Problem.weights in
+          let old_views =
+            List.map (fun (qq : Cq.Query.t) -> (qq, Cq.Eval.evaluate db qq))
+              problem.Problem.queries
+          in
+          let score_of insertions =
+            let db' = R.Stuple.Set.fold (fun st acc -> R.Instance.add_stuple acc st) insertions db in
+            let new_views =
+              List.fold_left
+                (fun acc ((qq : Cq.Query.t), old_view) ->
+                  let now = Cq.Eval.evaluate db' qq in
+                  R.Tuple.Set.fold
+                    (fun t acc ->
+                      if qq.name = q.Cq.Query.name && R.Tuple.equal t target then acc
+                      else Vtuple.Set.add (Vtuple.make qq.name t) acc)
+                    (R.Tuple.Set.diff now old_view)
+                    acc)
+                Vtuple.Set.empty old_views
+            in
+            (new_views, Weights.total weights new_views)
+          in
+          let best = ref None in
+          let better (ins_a, se_a) (ins_b, se_b) =
+            match objective with
+            | Fewest_insertions -> (ins_a, se_a) < (ins_b, se_b)
+            | Fewest_new_views -> (se_a, ins_a) < (se_b, ins_b)
+          in
+          let saw_key_conflict = ref false in
+          let rec enumerate env = function
+            | [] -> (
+              match required_insertions db q env with
+              | None -> saw_key_conflict := true
+              | Some insertions ->
+                let new_views, se = score_of insertions in
+                let key = (R.Stuple.Set.cardinal insertions, se) in
+                let r = { insertions; new_views; side_effect = se } in
+                (match !best with
+                | Some (bkey, _) when not (better key bkey) -> ()
+                | _ -> best := Some (key, r)))
+            | v :: rest ->
+              List.iter (fun value -> enumerate ((v, value) :: env) rest) domain
+          in
+          enumerate head_env existentials;
+          match !best with
+          | Some (_, r) -> Ok r
+          | None -> Error (if !saw_key_conflict then Key_conflict else Key_conflict)
+        end)

@@ -1,0 +1,41 @@
+(** Insertion propagation — the "missing answer" side of view update
+    (§VI's view-update context; Cong et al. study annotation propagation
+    for both directions). Given a tuple that {e should} appear in a view,
+    find source insertions producing it while minimizing the unintended
+    {e new} view tuples that appear collaterally (the insertion analogue
+    of view side-effect) or the number of inserted tuples.
+
+    The head assignment fixes each atom up to the query's existential
+    variables; those range over the active domain plus one fresh constant
+    (a fresh value can never join accidentally, so it is always the
+    side-effect-minimal choice where keys permit). Exhaustive over the
+    assignment space, which is exponential in the number of existential
+    variables — query scale only, guarded by [max_assignments]. *)
+
+type result = {
+  insertions : Relational.Stuple.Set.t;
+  new_views : Vtuple.Set.t;   (** unintended new view tuples, all queries *)
+  side_effect : float;        (** weighted [new_views] *)
+}
+
+type objective =
+  | Fewest_insertions   (** primary: |insertions|; tie-break: side-effect *)
+  | Fewest_new_views    (** primary: side-effect; tie-break: |insertions| *)
+
+type error =
+  | Already_present          (** the target is already an answer *)
+  | Unknown_query of string
+  | Arity_mismatch
+  | Key_conflict             (** every assignment needs an insertion whose
+                                 key already exists with different fields *)
+  | Too_many_assignments of int
+
+val solve :
+  ?objective:objective ->
+  ?max_assignments:int ->
+  Problem.t ->
+  query:string ->
+  target:Relational.Tuple.t ->
+  (result, error) Stdlib.result
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,85 @@
+module R = Relational
+
+let src = Logs.Src.create "deleprop.lowdeg" ~doc:"LowDegTreeVSE (Algorithms 2-3)"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type result = {
+  deletion : R.Stuple.Set.t;
+  outcome : Side_effect.outcome;
+  tau : int;
+  pruned_wide : int;
+}
+
+let preserved_degree (prov : Provenance.t) st =
+  Vtuple.Set.cardinal
+    (Vtuple.Set.inter (Provenance.vtuples_containing prov st) prov.Provenance.preserved)
+
+let wide_preserved (prov : Provenance.t) =
+  let v = float_of_int (Problem.view_size prov.Provenance.problem) in
+  let threshold = sqrt v in
+  Vtuple.Set.filter
+    (fun vt ->
+      float_of_int (R.Stuple.Set.cardinal (Provenance.witness_of prov vt)) > threshold)
+    prov.Provenance.preserved
+
+let solve_with_tau ?(prune_wide = true) (prov : Provenance.t) ~tau =
+  let deletable =
+    R.Instance.fold
+      (fun st acc -> if preserved_degree prov st <= tau then R.Stuple.Set.add st acc else acc)
+      prov.Provenance.problem.Problem.db R.Stuple.Set.empty
+  in
+  let ignored = if prune_wide then wide_preserved prov else Vtuple.Set.empty in
+  Log.debug (fun m ->
+      m "tau=%d: %d deletable tuples, %d wide preserved pruned" tau
+        (R.Stuple.Set.cardinal deletable)
+        (Vtuple.Set.cardinal ignored));
+  match Primal_dual.solve_restricted prov ~deletable ~ignored_preserved:ignored with
+  | None ->
+    Log.debug (fun m -> m "tau=%d infeasible" tau);
+    None
+  | Some pd ->
+    Some
+      {
+        deletion = pd.Primal_dual.deletion;
+        outcome = pd.Primal_dual.outcome;
+        tau;
+        pruned_wide = Vtuple.Set.cardinal ignored;
+      }
+
+let solve ?(prune_wide = true) (prov : Provenance.t) =
+  if Vtuple.Set.is_empty prov.Provenance.bad then
+    {
+      deletion = R.Stuple.Set.empty;
+      outcome = Side_effect.eval prov R.Stuple.Set.empty;
+      tau = 0;
+      pruned_wide = 0;
+    }
+  else begin
+  (* sweeping the distinct preserved-degrees of the candidate tuples is
+     equivalent to sweeping 1..|R| *)
+  let taus =
+    R.Stuple.Set.fold
+      (fun st acc -> preserved_degree prov st :: acc)
+      (Provenance.candidates prov) []
+    |> List.sort_uniq Int.compare
+  in
+  let best =
+    List.fold_left
+      (fun best tau ->
+        match solve_with_tau ~prune_wide prov ~tau with
+        | None -> best
+        | Some r -> (
+          match best with
+          | Some b when b.outcome.Side_effect.cost <= r.outcome.Side_effect.cost -> best
+          | _ -> Some r))
+      None taus
+  in
+  match best with
+  | Some r -> r
+  | None ->
+    (* cannot happen: the max preserved-degree bars no candidate *)
+    assert false
+  end
+
+let bound (problem : Problem.t) = 2.0 *. sqrt (float_of_int (Problem.view_size problem))

@@ -1,0 +1,37 @@
+(** [LowDegTreeVSE] and [LowDegTreeVSETwo] (Algorithms 2–3, §IV.D):
+    the 2√‖V‖-approximation for the forest case, refining Peleg's
+    LowDegTwo [8] with the primal-dual l-approximation as the inner
+    solver.
+
+    For a degree threshold τ (Algorithm 2):
+    + tuples joined into more than τ preserved view tuples are barred
+      from deletion (the paper "removes" them from the instance);
+    + preserved view tuples wider than √‖V‖ (witness size) are pruned
+      from the cost function (the set [R'_>], whose size Claim 2 bounds
+      by √‖V‖·τ);
+    + the restricted instance goes to {!Primal_dual.solve_restricted}.
+
+    Algorithm 3 sweeps τ (the optimum's max degree τ̂ is unknown) and
+    keeps the best feasible outcome; Claim 3 + Theorem 4 give the
+    2√‖V‖ ratio, validated against brute force in experiment E6. *)
+
+type result = {
+  deletion : Relational.Stuple.Set.t;
+  outcome : Side_effect.outcome;
+  tau : int;             (** threshold that produced this solution *)
+  pruned_wide : int;     (** |R'_>| at that threshold *)
+}
+
+(** Algorithm 2 at a fixed τ; [None] when the restricted instance is
+    infeasible (some bad witness entirely barred). [prune_wide] (default
+    true) controls the R'_> pruning of line 7 — disabling it is the
+    ablation of experiment E15. *)
+val solve_with_tau : ?prune_wide:bool -> Provenance.t -> tau:int -> result option
+
+(** Algorithm 3: sweep τ over the distinct preserved-degrees, return the
+    cheapest feasible solution. Total sweep is never infeasible (the
+    largest τ bars nothing). *)
+val solve : ?prune_wide:bool -> Provenance.t -> result
+
+(** Theorem 4's claimed ratio for the instance: [2·sqrt ‖V‖]. *)
+val bound : Problem.t -> float

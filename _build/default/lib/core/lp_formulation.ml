@@ -1,0 +1,97 @@
+module R = Relational
+
+type t = {
+  lp : Lp.Problem.t;
+  tuple_var : R.Stuple.t array;
+  preserved_var : Vtuple.t array;
+}
+
+let build (prov : Provenance.t) =
+  let tuple_var = Array.of_list (R.Stuple.Set.elements (Provenance.candidates prov)) in
+  let nt = Array.length tuple_var in
+  let tuple_index =
+    Array.to_seq tuple_var |> Seq.mapi (fun i st -> (R.Stuple.to_string st, i)) |> Hashtbl.of_seq
+  in
+  let touched =
+    Array.fold_left
+      (fun acc st ->
+        Vtuple.Set.union acc
+          (Vtuple.Set.inter (Provenance.vtuples_containing prov st) prov.Provenance.preserved))
+      Vtuple.Set.empty tuple_var
+  in
+  let preserved_var = Array.of_list (Vtuple.Set.elements touched) in
+  let np = Array.length preserved_var in
+  let nvars = nt + np in
+  let weights = prov.Provenance.problem.Problem.weights in
+  let objective = Array.make nvars 0.0 in
+  Array.iteri (fun i vt -> objective.(nt + i) <- Weights.get weights vt) preserved_var;
+  let witness_indices vt =
+    R.Stuple.Set.fold
+      (fun st acc ->
+        match Hashtbl.find_opt tuple_index (R.Stuple.to_string st) with
+        | Some i -> i :: acc
+        | None -> acc)
+      (Provenance.witness_of prov vt)
+      []
+  in
+  let bad_constraints =
+    Vtuple.Set.elements prov.Provenance.bad
+    |> List.map (fun vt ->
+           let coeffs = Array.make nvars 0.0 in
+           List.iter (fun i -> coeffs.(i) <- 1.0) (witness_indices vt);
+           {
+             Lp.Problem.coeffs;
+             op = Lp.Problem.Ge;
+             rhs = 1.0;
+             cname = Format.asprintf "kill(%a)" Vtuple.pp vt;
+           })
+  in
+  let preserved_constraints =
+    Array.to_list (Array.mapi (fun i vt -> (i, vt)) preserved_var)
+    |> List.map (fun (i, vt) ->
+           let idx = witness_indices vt in
+           let coeffs = Array.make nvars 0.0 in
+           coeffs.(nt + i) <- float_of_int (List.length idx);
+           List.iter (fun j -> coeffs.(j) <- coeffs.(j) -. 1.0) idx;
+           {
+             Lp.Problem.coeffs;
+             op = Lp.Problem.Ge;
+             rhs = 0.0;
+             cname = Format.asprintf "lose(%a)" Vtuple.pp vt;
+           })
+  in
+  let var_names =
+    Array.append
+      (Array.map (fun st -> "y:" ^ R.Stuple.to_string st) tuple_var)
+      (Array.map (fun vt -> "x:" ^ Vtuple.to_string vt) preserved_var)
+  in
+  let lp =
+    Lp.Problem.make ~direction:Lp.Problem.Minimize ~objective
+      ~constraints:(bad_constraints @ preserved_constraints)
+      ~var_names ()
+  in
+  { lp; tuple_var; preserved_var }
+
+let lower_bound prov =
+  let f = build prov in
+  match Lp.Simplex.solve f.lp with
+  | Lp.Simplex.Optimal { value; _ } -> Some value
+  | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded -> None
+
+let point_of_deletion (f : t) (prov : Provenance.t) deletion =
+  let nt = Array.length f.tuple_var in
+  let np = Array.length f.preserved_var in
+  let x = Array.make (nt + np) 0.0 in
+  Array.iteri
+    (fun i st -> if R.Stuple.Set.mem st deletion then x.(i) <- 1.0)
+    f.tuple_var;
+  Array.iteri
+    (fun i vt ->
+      let lost =
+        not
+          (R.Stuple.Set.is_empty
+             (R.Stuple.Set.inter (Provenance.witness_of prov vt) deletion))
+      in
+      if lost then x.(nt + i) <- 1.0)
+    f.preserved_var;
+  x

@@ -1,0 +1,29 @@
+(** The paper's LP relaxation of view side-effect (§IV.C, formulas
+    (1)–(5)) stated explicitly, for feasibility checks and lower bounds.
+
+    Variables: [y_t] per source tuple (deleted), [x_r] per preserved view
+    tuple (lost). Constraints:
+    - per bad [r]:        [Σ_{t ∈ witness(r)} y_t ≥ 1]         (3)
+    - per preserved [r]:  [k_r·x_r − Σ_{t ∈ witness(r)} y_t ≥ 0] (2)
+    with [k_r = |witness(r)|]; objective [min Σ w_r·x_r]. The integral
+    optimum equals the combinatorial optimum; the LP value from
+    {!Simplex} lower-bounds it (experiment E11). *)
+
+type t = {
+  lp : Lp.Problem.t;
+  tuple_var : Relational.Stuple.t array;   (** y-variable index -> tuple *)
+  preserved_var : Vtuple.t array;          (** x-variable index (offset by
+                                               [Array.length tuple_var]) -> view tuple *)
+}
+
+(** Build the LP over the candidate tuples. *)
+val build : Provenance.t -> t
+
+(** LP optimum (lower bound on the integral optimum); [None] when the
+    solver fails (infeasible cannot happen: deleting everything is
+    feasible). *)
+val lower_bound : Provenance.t -> float option
+
+(** The point corresponding to a concrete deletion (integral), for
+    feasibility checks. *)
+val point_of_deletion : t -> Provenance.t -> Relational.Stuple.Set.t -> float array

@@ -1,0 +1,75 @@
+module R = Relational
+
+type t = {
+  db : R.Instance.t;
+  queries : Cq.Query.t list;
+  views : R.Tuple.Set.t Smap.t;
+}
+
+let create db queries =
+  let schema = R.Instance.schema db in
+  List.iter (Cq.Query.check schema) queries;
+  let views =
+    List.fold_left
+      (fun m (q : Cq.Query.t) -> Smap.add q.name (Cq.Eval.evaluate db q) m)
+      Smap.empty queries
+  in
+  { db; queries; views }
+
+let db t = t.db
+let queries t = t.queries
+
+let view t name =
+  match Smap.find_opt name t.views with
+  | Some v -> v
+  | None -> invalid_arg ("Matview.view: unknown query " ^ name)
+
+let delete t dd =
+  let views =
+    Smap.mapi
+      (fun name old ->
+        let q = List.find (fun (q : Cq.Query.t) -> q.name = name) t.queries in
+        Cq.Maintain.refresh t.db q ~view:old dd)
+      t.views
+  in
+  { t with db = R.Instance.delete t.db dd; views }
+
+(* delta insertion: answers gained by [st] = union over atoms of matching
+   relation of the specialized query's answers on the database AFTER the
+   insertion (so derivations using the new tuple several times are
+   caught) *)
+let gained db' (q : Cq.Query.t) (st : R.Stuple.t) =
+  List.mapi (fun i a -> (i, a)) q.body
+  |> List.fold_left
+       (fun acc (i, (atom : Cq.Atom.t)) ->
+         if atom.rel <> st.rel then acc
+         else
+           match Cq.Atom.matches atom st.tuple with
+           | None -> acc
+           | Some bindings ->
+             let f v =
+               List.assoc_opt v bindings |> Option.map (fun value -> Cq.Term.Const value)
+             in
+             let specialized = Cq.Query.substitute f q in
+             (* drop the bound atom? keep it: it matches the new tuple and
+                possibly others; correctness over speed *)
+             ignore i;
+             R.Tuple.Set.union acc (Cq.Eval.evaluate db' specialized))
+       R.Tuple.Set.empty
+
+let insert t st =
+  let db' = R.Instance.add_stuple t.db st in
+  let views =
+    Smap.mapi
+      (fun name old ->
+        let q = List.find (fun (q : Cq.Query.t) -> q.name = name) t.queries in
+        R.Tuple.Set.union old (gained db' q st))
+      t.views
+  in
+  { t with db = db'; views }
+
+let insert_all t sts = R.Stuple.Set.fold (fun st acc -> insert acc st) sts t
+
+let problem ~deletions ?weights t =
+  Problem.make ~db:t.db ~queries:t.queries ~deletions ?weights
+    ~allow_non_key_preserving:true ()

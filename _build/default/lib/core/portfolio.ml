@@ -1,0 +1,90 @@
+module R = Relational
+
+type entry = {
+  algorithm : string;
+  deletion : R.Stuple.Set.t;
+  outcome : Side_effect.outcome;
+  elapsed_ms : float;
+}
+
+let timed name f =
+  let t0 = Sys.time () in
+  match f () with
+  | None -> None
+  | Some (deletion, outcome) ->
+    Some { algorithm = name; deletion; outcome; elapsed_ms = (Sys.time () -. t0) *. 1000.0 }
+
+let solvers_for ?(exact_threshold = 16) (prov : Provenance.t) =
+  let candidates = R.Stuple.Set.cardinal (Provenance.candidates prov) in
+  let solvers =
+    [
+      (if candidates <= exact_threshold then
+         Some
+           ( "brute",
+             fun () ->
+               Brute.solve prov
+               |> Option.map (fun (r : Brute.result) -> (r.Brute.deletion, r.Brute.outcome)) )
+       else None);
+      Some
+        ( "primal-dual",
+          fun () ->
+            let r = Primal_dual.solve prov in
+            Some (r.Primal_dual.deletion, r.Primal_dual.outcome) );
+      Some
+        ( "lowdeg",
+          fun () ->
+            let r = Lowdeg.solve prov in
+            Some (r.Lowdeg.deletion, r.Lowdeg.outcome) );
+      Some
+        ( "dp-tree",
+          fun () ->
+            match Dp_tree.solve prov with
+            | Ok r -> Some (r.Dp_tree.deletion, r.Dp_tree.outcome)
+            | Error _ -> None );
+      Some
+        ( "general",
+          fun () ->
+            General_approx.solve prov
+            |> Option.map (fun (r : General_approx.result) ->
+                   (r.General_approx.deletion, r.General_approx.outcome)) );
+      Some
+        ( "greedy",
+          fun () ->
+            let r = Single_query.solve_greedy_multi prov in
+            Some (r.Single_query.deletion, r.Single_query.outcome) );
+    ]
+    |> List.filter_map Fun.id
+  in
+  solvers
+
+let rank entries =
+  entries
+  |> List.filter (fun e -> e.outcome.Side_effect.feasible)
+  |> List.sort (fun a b ->
+         let c = Float.compare a.outcome.Side_effect.cost b.outcome.Side_effect.cost in
+         if c <> 0 then c else Float.compare a.elapsed_ms b.elapsed_ms)
+
+let run ?exact_threshold prov =
+  solvers_for ?exact_threshold prov
+  |> List.filter_map (fun (name, f) -> timed name f)
+  |> rank
+
+let run_parallel ?exact_threshold prov =
+  let wall name f =
+    let t0 = Unix.gettimeofday () in
+    match f () with
+    | None -> None
+    | Some (deletion, outcome) ->
+      Some
+        { algorithm = name; deletion; outcome;
+          elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000.0 }
+  in
+  solvers_for ?exact_threshold prov
+  |> List.map (fun (name, f) -> Domain.spawn (fun () -> wall name f))
+  |> List.filter_map Domain.join
+  |> rank
+
+let best ?exact_threshold prov =
+  match run ?exact_threshold prov with
+  | e :: _ -> e
+  | [] -> assert false (* primal-dual always yields a feasible entry *)

@@ -1,0 +1,30 @@
+(** Solver portfolio: run every algorithm applicable to an instance and
+    rank the outcomes. The paper's algorithms have incomparable
+    guarantees (l vs 2√‖V‖ vs exact-on-pivot-forests vs the general
+    reduction); at run time the cheapest feasible answer simply wins.
+
+    [Brute] participates only when the candidate set is small
+    ([exact_threshold], default 16 candidates). *)
+
+type entry = {
+  algorithm : string;
+  deletion : Relational.Stuple.Set.t;
+  outcome : Side_effect.outcome;
+  elapsed_ms : float;   (** CPU time of this solver *)
+}
+
+(** All applicable solvers, feasible results only, cheapest first. Never
+    empty for well-formed instances (primal-dual always applies). *)
+val run : ?exact_threshold:int -> Provenance.t -> entry list
+
+(** The winner of {!run}. *)
+val best : ?exact_threshold:int -> Provenance.t -> entry
+
+(** Like {!run}, but each solver executes in its own domain (OCaml 5
+    parallelism). The provenance index and all inputs are immutable, so
+    sharing is safe; wall-clock approaches the slowest solver plus domain
+    overhead — a win only when several solvers are individually expensive
+    (on small instances the spawn cost dominates; see the
+    [e21_pipeline/portfolio_*] benches). [elapsed_ms] is per-solver wall
+    time. *)
+val run_parallel : ?exact_threshold:int -> Provenance.t -> entry list

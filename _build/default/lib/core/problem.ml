@@ -1,0 +1,89 @@
+module R = Relational
+
+type t = {
+  db : R.Instance.t;
+  queries : Cq.Query.t list;
+  deletions : R.Tuple.Set.t Smap.t;
+  weights : Weights.t;
+  fds : (string * R.Fd.t) list;
+}
+
+let find_query queries name =
+  List.find_opt (fun (q : Cq.Query.t) -> String.equal q.name name) queries
+
+let make ~db ~queries ~deletions ?(weights = Weights.uniform) ?(fds = [])
+    ?(allow_non_key_preserving = false) () =
+  if queries = [] then invalid_arg "Problem.make: empty query set";
+  let names = List.map (fun (q : Cq.Query.t) -> q.name) queries in
+  if List.length names <> List.length (List.sort_uniq String.compare names) then
+    invalid_arg "Problem.make: duplicate query names";
+  let schema = R.Instance.schema db in
+  List.iter (Cq.Query.check schema) queries;
+  List.iter
+    (fun (rel, (fd : R.Fd.t)) ->
+      match R.Schema.Db.find_opt schema rel with
+      | None -> invalid_arg ("Problem.make: FD on unknown relation " ^ rel)
+      | Some _ ->
+        let r = R.Instance.relation db rel in
+        (match R.Fd.violations r fd with
+        | [] -> ()
+        | (t1, t2) :: _ ->
+          invalid_arg
+            (Format.asprintf "Problem.make: FD %a violated on %s by %a / %a" R.Fd.pp fd
+               rel R.Tuple.pp t1 R.Tuple.pp t2)))
+    fds;
+  if not allow_non_key_preserving then Cq.Classify.check_key_preserving schema queries;
+  let deletions =
+    List.fold_left
+      (fun acc (qname, tuples) ->
+        match find_query queries qname with
+        | None -> invalid_arg ("Problem.make: deletion on unknown query " ^ qname)
+        | Some q ->
+          let view = Cq.Eval.evaluate db q in
+          let ts = R.Tuple.Set.of_list tuples in
+          R.Tuple.Set.iter
+            (fun t ->
+              if not (R.Tuple.Set.mem t view) then
+                invalid_arg
+                  (Format.asprintf "Problem.make: deletion %a not in view %s" R.Tuple.pp
+                     t qname))
+            ts;
+          let prev = Option.value ~default:R.Tuple.Set.empty (Smap.find_opt qname acc) in
+          Smap.add qname (R.Tuple.Set.union prev ts) acc)
+      Smap.empty deletions
+  in
+  { db; queries; deletions; weights; fds }
+
+let query t name =
+  match find_query t.queries name with
+  | Some q -> q
+  | None -> invalid_arg ("Problem.query: unknown query " ^ name)
+
+let view t name = Cq.Eval.evaluate t.db (query t name)
+
+let deletion t name =
+  ignore (query t name);
+  Option.value ~default:R.Tuple.Set.empty (Smap.find_opt name t.deletions)
+
+let max_arity t =
+  List.fold_left (fun acc q -> max acc (Cq.Query.arity q)) 0 t.queries
+
+let view_size t =
+  List.fold_left
+    (fun acc (q : Cq.Query.t) -> acc + R.Tuple.Set.cardinal (view t q.name))
+    0 t.queries
+
+let deletion_size t =
+  Smap.fold (fun _ s acc -> acc + R.Tuple.Set.cardinal s) t.deletions 0
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>database:@ %a@ queries:@ %a@ deletions:@ %a@]"
+    R.Instance.pp t.db
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Cq.Query.pp)
+    t.queries
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf (q, s) ->
+         Format.fprintf ppf "%s: %a" q
+           (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+              R.Tuple.pp)
+           (R.Tuple.Set.elements s)))
+    (Smap.bindings t.deletions)

@@ -1,0 +1,53 @@
+(** Deletion-propagation problem instances (§II.C).
+
+    An instance bundles the source database [D], the key-preserving query
+    set [Q], the views [V_i = Q_i(D)] (materialized on construction), the
+    intended deletions [ΔV], and preservation weights. *)
+
+type t = private {
+  db : Relational.Instance.t;
+  queries : Cq.Query.t list;
+  deletions : Relational.Tuple.Set.t Smap.t;  (** query name -> ΔV_i *)
+  weights : Weights.t;
+  fds : (string * Relational.Fd.t) list;
+      (** declared functional dependencies, per relation — validated
+          against the data at construction and available to the
+          FD-extended classifiers *)
+}
+
+(** [make ~db ~queries ~deletions ()] validates:
+    - query names are distinct and every query checks against the schema;
+    - every query is key preserving (pass [~allow_non_key_preserving:true]
+      to skip, for experiments on the general semantics);
+    - every deletion names an existing query and is a subset of its view;
+    - every declared FD ([fds], default none) names a known relation and
+      attributes, and holds on the data.
+    Raises [Invalid_argument] otherwise. *)
+val make :
+  db:Relational.Instance.t ->
+  queries:Cq.Query.t list ->
+  deletions:(string * Relational.Tuple.t list) list ->
+  ?weights:Weights.t ->
+  ?fds:(string * Relational.Fd.t) list ->
+  ?allow_non_key_preserving:bool ->
+  unit ->
+  t
+
+val query : t -> string -> Cq.Query.t
+
+(** The materialized view [Q_i(D)] (computed, not cached — use
+    {!Provenance.build} for the indexed form). *)
+val view : t -> string -> Relational.Tuple.Set.t
+
+(** ΔV_i of a query ([empty] when none was specified). *)
+val deletion : t -> string -> Relational.Tuple.Set.t
+
+(** The paper's [l]: max arity over the query set. *)
+val max_arity : t -> int
+
+(** ‖V‖ and ‖ΔV‖: total number of view tuples / deletion tuples. *)
+val view_size : t -> int
+
+val deletion_size : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,120 @@
+module R = Relational
+
+type t = {
+  problem : Problem.t;
+  views : R.Tuple.Set.t Smap.t;
+  witness : R.Stuple.Set.t Vtuple.Map.t;
+  witness_path : R.Stuple.t list Vtuple.Map.t;
+  containing : Vtuple.Set.t R.Stuple.Map.t;
+  bad : Vtuple.Set.t;
+  preserved : Vtuple.Set.t;
+}
+
+exception Ambiguous_witness of Vtuple.t
+
+let build (problem : Problem.t) =
+  let db = problem.Problem.db in
+  let views, witness, witness_path =
+    List.fold_left
+      (fun (views, witness, witness_path) (q : Cq.Query.t) ->
+        let prov = Cq.Eval.provenance db q in
+        let view =
+          R.Tuple.Map.fold (fun t _ acc -> R.Tuple.Set.add t acc) prov R.Tuple.Set.empty
+        in
+        let witness, witness_path =
+          R.Tuple.Map.fold
+            (fun tup ws (witness, witness_path) ->
+              let vt = Vtuple.make q.name tup in
+              match ws with
+              | [ w ] ->
+                let path =
+                  (* body order, consecutive duplicates collapsed (self-join
+                     reusing a tuple) *)
+                  Array.to_list w
+                  |> List.fold_left
+                       (fun acc st ->
+                         match acc with
+                         | prev :: _ when R.Stuple.equal prev st -> acc
+                         | _ -> st :: acc)
+                       []
+                  |> List.rev
+                in
+                ( Vtuple.Map.add vt (Cq.Eval.witness_set w) witness,
+                  Vtuple.Map.add vt path witness_path )
+              | [] -> assert false
+              | _ :: _ :: _ ->
+                (* distinct assignments, same head tuple *)
+                raise (Ambiguous_witness vt))
+            prov (witness, witness_path)
+        in
+        (Smap.add q.name view views, witness, witness_path))
+      (Smap.empty, Vtuple.Map.empty, Vtuple.Map.empty)
+      problem.Problem.queries
+  in
+  (* total [containing] map: every tuple of D gets an entry *)
+  let containing =
+    R.Instance.fold
+      (fun st acc -> R.Stuple.Map.add st Vtuple.Set.empty acc)
+      db R.Stuple.Map.empty
+  in
+  let containing =
+    Vtuple.Map.fold
+      (fun vt ws acc ->
+        R.Stuple.Set.fold
+          (fun st acc ->
+            R.Stuple.Map.update st
+              (fun cur -> Some (Vtuple.Set.add vt (Option.value ~default:Vtuple.Set.empty cur)))
+              acc)
+          ws acc)
+      witness containing
+  in
+  let bad =
+    Smap.fold
+      (fun qname ts acc ->
+        R.Tuple.Set.fold (fun t acc -> Vtuple.Set.add (Vtuple.make qname t) acc) ts acc)
+      problem.Problem.deletions Vtuple.Set.empty
+  in
+  let all =
+    Smap.fold
+      (fun qname view acc ->
+        R.Tuple.Set.fold (fun t acc -> Vtuple.Set.add (Vtuple.make qname t) acc) view acc)
+      views Vtuple.Set.empty
+  in
+  { problem; views; witness; witness_path; containing;
+    bad; preserved = Vtuple.Set.diff all bad }
+
+let all_vtuples t = Vtuple.Set.union t.bad t.preserved
+
+let witness_of t vt =
+  match Vtuple.Map.find_opt vt t.witness with
+  | Some w -> w
+  | None -> invalid_arg (Format.asprintf "Provenance.witness_of: unknown %a" Vtuple.pp vt)
+
+let vtuples_containing t st =
+  Option.value ~default:Vtuple.Set.empty (R.Stuple.Map.find_opt st t.containing)
+
+let kills t dd =
+  R.Stuple.Set.fold
+    (fun st acc -> Vtuple.Set.union acc (vtuples_containing t st))
+    dd Vtuple.Set.empty
+
+let candidates t =
+  Vtuple.Set.fold
+    (fun vt acc -> R.Stuple.Set.union acc (witness_of t vt))
+    t.bad R.Stuple.Set.empty
+
+let preserved_weight_through t st =
+  let w = t.problem.Problem.weights in
+  Vtuple.Set.fold
+    (fun vt acc -> if Vtuple.Set.mem vt t.preserved then acc +. Weights.get w vt else acc)
+    (vtuples_containing t st) 0.0
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>bad: %d, preserved: %d@ %a@]" (Vtuple.Set.cardinal t.bad)
+    (Vtuple.Set.cardinal t.preserved)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf (vt, ws) ->
+         Format.fprintf ppf "%a <- {%a}" Vtuple.pp vt
+           (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+              R.Stuple.pp)
+           (R.Stuple.Set.elements ws)))
+    (Vtuple.Map.bindings t.witness)

@@ -1,0 +1,53 @@
+(** The unique-witness provenance index.
+
+    For key-preserving queries every view tuple has exactly one witness —
+    the key variables all appear in the head, and keys determine tuples
+    (§II.C: "checking the view side-effect can be performed by finding
+    the occurrences of key values of the deleted relation tuples in the
+    view"). All solvers work on this index rather than re-evaluating
+    queries. *)
+
+type t = private {
+  problem : Problem.t;
+  views : Relational.Tuple.Set.t Smap.t;       (** query -> V_i *)
+  witness : Relational.Stuple.Set.t Vtuple.Map.t;
+      (** view tuple -> its unique witness (as a set) *)
+  witness_path : Relational.Stuple.t list Vtuple.Map.t;
+      (** witness in body-atom order, duplicates collapsed — the join path
+          used by the tree algorithms *)
+  containing : Vtuple.Set.t Relational.Stuple.Map.t;
+      (** source tuple -> view tuples whose witness contains it; total on
+          all tuples of D (empty set when in no witness) *)
+  bad : Vtuple.Set.t;        (** ΔV as view tuples *)
+  preserved : Vtuple.Set.t;  (** V \ ΔV *)
+}
+
+exception Ambiguous_witness of Vtuple.t
+(** Raised by {!build} when a view tuple has two derivations — impossible
+    for key-preserving queries, so its occurrence means the caller opted
+    out of the key-preserving check yet used a witness-based solver. *)
+
+val build : Problem.t -> t
+
+val all_vtuples : t -> Vtuple.Set.t
+
+val witness_of : t -> Vtuple.t -> Relational.Stuple.Set.t
+
+(** View tuples containing a source tuple (empty for tuples of [D] in no
+    witness). *)
+val vtuples_containing : t -> Relational.Stuple.t -> Vtuple.Set.t
+
+(** [kills prov dd] — the view tuples eliminated by deleting [dd]:
+    those whose witness intersects [dd]. *)
+val kills : t -> Relational.Stuple.Set.t -> Vtuple.Set.t
+
+(** Source tuples appearing in at least one bad witness — the only
+    candidates an optimal solution ever deletes (deleting anything else
+    can only hurt). *)
+val candidates : t -> Relational.Stuple.Set.t
+
+(** Sum of weights of preserved view tuples containing the source tuple —
+    the "capacity" used by the primal-dual algorithm. *)
+val preserved_weight_through : t -> Relational.Stuple.t -> float
+
+val pp : Format.formatter -> t -> unit

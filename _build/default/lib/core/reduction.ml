@@ -1,0 +1,87 @@
+module R = Relational
+
+type rbsc = {
+  instance : Setcover.Red_blue.t;
+  set_tuple : R.Stuple.t array;
+  red_vtuple : Vtuple.t array;
+  blue_vtuple : Vtuple.t array;
+}
+
+type pnpsc = {
+  instance : Setcover.Pos_neg.t;
+  set_tuple : R.Stuple.t array;
+  neg_vtuple : Vtuple.t array;
+  pos_vtuple : Vtuple.t array;
+}
+
+(* Shared scaffolding: candidate tuples, bad indexing, touched preserved
+   indexing, and the per-candidate (preserved, bad) membership sets. *)
+let skeleton (prov : Provenance.t) =
+  let candidates = R.Stuple.Set.elements (Provenance.candidates prov) in
+  let set_tuple = Array.of_list candidates in
+  let blue_vtuple = Array.of_list (Vtuple.Set.elements prov.Provenance.bad) in
+  let blue_index =
+    Array.to_seq blue_vtuple |> Seq.mapi (fun i vt -> (vt, i)) |> Vtuple.Map.of_seq
+  in
+  let touched_preserved =
+    List.fold_left
+      (fun acc st ->
+        Vtuple.Set.union acc
+          (Vtuple.Set.inter (Provenance.vtuples_containing prov st) prov.Provenance.preserved))
+      Vtuple.Set.empty candidates
+  in
+  let red_vtuple = Array.of_list (Vtuple.Set.elements touched_preserved) in
+  let red_index =
+    Array.to_seq red_vtuple |> Seq.mapi (fun i vt -> (vt, i)) |> Vtuple.Map.of_seq
+  in
+  let members st =
+    let vts = Provenance.vtuples_containing prov st in
+    Vtuple.Set.fold
+      (fun vt (reds, blues) ->
+        match Vtuple.Map.find_opt vt blue_index with
+        | Some b -> (reds, Setcover.Iset.add b blues)
+        | None -> (
+          match Vtuple.Map.find_opt vt red_index with
+          | Some r -> (Setcover.Iset.add r reds, blues)
+          | None -> (reds, blues)))
+      vts
+      (Setcover.Iset.empty, Setcover.Iset.empty)
+  in
+  let weights = prov.Provenance.problem.Problem.weights in
+  let red_weights = Array.map (Weights.get weights) red_vtuple in
+  let blue_weights = Array.map (Weights.get weights) blue_vtuple in
+  (set_tuple, red_vtuple, blue_vtuple, red_weights, blue_weights, members)
+
+let to_red_blue prov =
+  let set_tuple, red_vtuple, blue_vtuple, red_weights, _, members = skeleton prov in
+  let sets =
+    Array.to_list set_tuple
+    |> List.map (fun st ->
+           let reds, blues = members st in
+           { Setcover.Red_blue.label = R.Stuple.to_string st; red = reds; blue = blues })
+  in
+  let instance =
+    Setcover.Red_blue.make ~red_weights ~num_blue:(Array.length blue_vtuple) sets
+  in
+  { instance; set_tuple; red_vtuple; blue_vtuple }
+
+let deletion_of_red_blue (m : rbsc) (sol : Setcover.Red_blue.solution) =
+  List.fold_left
+    (fun acc i -> R.Stuple.Set.add m.set_tuple.(i) acc)
+    R.Stuple.Set.empty sol.Setcover.Red_blue.chosen
+
+let to_pos_neg prov =
+  let set_tuple, neg_vtuple, pos_vtuple, neg_weights, pos_weights, members = skeleton prov in
+  let sets =
+    Array.to_list set_tuple
+    |> List.map (fun st ->
+           let negs, poss = members st in
+           { Setcover.Pos_neg.label = R.Stuple.to_string st; pos = poss; neg = negs })
+  in
+  let instance = Setcover.Pos_neg.make ~pos_weights ~neg_weights sets in
+  { instance; set_tuple; neg_vtuple; pos_vtuple }
+
+let deletion_of_pos_neg (m : pnpsc) (sol : Setcover.Pos_neg.solution) =
+  List.fold_left
+    (fun acc i -> R.Stuple.Set.add m.set_tuple.(i) acc)
+    R.Stuple.Set.empty sol.Setcover.Pos_neg.chosen

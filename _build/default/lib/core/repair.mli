@@ -1,0 +1,41 @@
+(** Combined repairs: query feedback in {e both} directions at once
+    (QOCO-style systems accept "this answer is wrong" {e and} "this
+    answer is missing", §V). A plan deletes source tuples to remove the
+    wrong answers (minimum view side-effect) and inserts source tuples to
+    produce the missing ones (minimum spurious new answers), then
+    verifies the two halves do not undo each other.
+
+    Solved sequentially — deletions first (exact), then insertions on the
+    repaired database (exact per missing answer) — which is optimal for
+    each half but not always jointly; the final consistency check catches
+    the interactions (an insertion re-deriving a deleted answer), and
+    reports them as {!Conflicting} rather than returning a broken plan. *)
+
+type plan = {
+  deletions : Relational.Stuple.Set.t;
+  insertions : Relational.Stuple.Set.t;
+  lost_good : Vtuple.Set.t;      (** preserved answers lost to the deletions *)
+  spurious : Vtuple.Set.t;       (** unintended new answers from the insertions *)
+  cost : float;                  (** weighted |lost_good| + |spurious| *)
+  repaired : Relational.Instance.t;  (** the database after the plan *)
+}
+
+type error =
+  | Deletion_failed of string
+  | Insertion_failed of string
+  | Conflicting of string
+      (** the halves interact: an insertion re-derives a removed answer *)
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [solve ~db ~queries ~wrong ~missing ()] — [wrong] lists view tuples
+    to remove per query, [missing] lists view tuples to create.
+    Exponential (exact halves); example scale. *)
+val solve :
+  db:Relational.Instance.t ->
+  queries:Cq.Query.t list ->
+  wrong:(string * Relational.Tuple.t list) list ->
+  missing:(string * Relational.Tuple.t) list ->
+  ?weights:Weights.t ->
+  unit ->
+  (plan, error) Stdlib.result

@@ -1,0 +1,70 @@
+module R = Relational
+
+type result = {
+  deletion : R.Stuple.Set.t;
+  resilience : int;
+}
+
+let empty_result = { deletion = R.Stuple.Set.empty; resilience = 0 }
+
+let problem_of db (q : Cq.Query.t) =
+  let view = R.Tuple.Set.elements (Cq.Eval.evaluate db q) in
+  if view = [] then None
+  else
+    Some
+      (Problem.make ~db ~queries:[ q ] ~deletions:[ (q.name, view) ]
+         ~allow_non_key_preserving:true ())
+
+let of_source prov solve =
+  match solve prov with
+  | Some (r : Source_side_effect.result) ->
+    { deletion = r.Source_side_effect.deletion;
+      resilience = R.Stuple.Set.cardinal r.Source_side_effect.deletion }
+  | None -> assert false (* deleting every witness tuple is always feasible *)
+
+let solve_exact ?node_budget db q =
+  match problem_of db q with
+  | None -> empty_result
+  | Some p ->
+    of_source (Provenance.build p) (Source_side_effect.solve_exact ?node_budget)
+
+let solve_greedy db q =
+  match problem_of db q with
+  | None -> empty_result
+  | Some p -> of_source (Provenance.build p) (fun prov -> Source_side_effect.solve_greedy prov)
+
+let solve_ground_truth ?(max_candidates = 20) db (q : Cq.Query.t) =
+  match problem_of db q with
+  | None -> empty_result
+  | Some p ->
+    (* candidates: any tuple in any witness *)
+    let prov = Cq.Eval.provenance db q in
+    let candidates =
+      R.Tuple.Map.fold
+        (fun _ witnesses acc ->
+          List.fold_left
+            (fun acc w -> R.Stuple.Set.union acc (Cq.Eval.witness_set w))
+            acc witnesses)
+        prov R.Stuple.Set.empty
+      |> R.Stuple.Set.elements |> Array.of_list
+    in
+    let n = Array.length candidates in
+    if n > max_candidates then
+      invalid_arg
+        (Printf.sprintf "Resilience.solve_ground_truth: %d candidates exceed %d" n
+           max_candidates);
+    let best = ref None in
+    for mask = 0 to (1 lsl n) - 1 do
+      let dd = ref R.Stuple.Set.empty in
+      for i = 0 to n - 1 do
+        if mask land (1 lsl i) <> 0 then dd := R.Stuple.Set.add candidates.(i) !dd
+      done;
+      let o = Side_effect.eval_ground_truth p !dd in
+      if o.Side_effect.feasible then
+        match !best with
+        | Some b when R.Stuple.Set.cardinal b <= R.Stuple.Set.cardinal !dd -> ()
+        | _ -> best := Some !dd
+    done;
+    (match !best with
+    | Some dd -> { deletion = dd; resilience = R.Stuple.Set.cardinal dd }
+    | None -> assert false)

@@ -1,0 +1,25 @@
+(** Resilience (Freire et al. [24], the paper's Table II–III context):
+    the minimum number of source tuples whose deletion empties the query
+    result. It is the extreme case of source side-effect — [ΔV] = the
+    whole view — and inherits the triad dichotomy: polynomial for
+    triad-free sj-free queries, NP-hard with a triad. *)
+
+type result = {
+  deletion : Relational.Stuple.Set.t;
+  resilience : int;   (** |deletion| *)
+}
+
+(** Exact resilience of one key-preserving query (unique witnesses).
+    [None] when the view is already empty... never: an empty view has
+    resilience 0, returned as such. *)
+val solve_exact :
+  ?node_budget:int -> Relational.Instance.t -> Cq.Query.t -> result
+
+(** Greedy upper bound (H_n-approximation via set cover). *)
+val solve_greedy : Relational.Instance.t -> Cq.Query.t -> result
+
+(** General semantics (multiple witnesses allowed), by subset enumeration
+    over tuples occurring in some witness. [max_candidates] defaults to
+    20; raises [Invalid_argument] beyond. *)
+val solve_ground_truth :
+  ?max_candidates:int -> Relational.Instance.t -> Cq.Query.t -> result

@@ -1,0 +1,66 @@
+module R = Relational
+
+type outcome = {
+  deleted : R.Stuple.Set.t;
+  killed : Vtuple.Set.t;
+  side_effect : Vtuple.Set.t;
+  residual_bad : Vtuple.Set.t;
+  feasible : bool;
+  cost : float;
+  balanced_cost : float;
+}
+
+let outcome_of ~problem ~bad ~preserved ~deleted ~killed =
+  let weights = problem.Problem.weights in
+  let side_effect = Vtuple.Set.inter killed preserved in
+  let residual_bad = Vtuple.Set.diff bad killed in
+  let cost = Weights.total weights side_effect in
+  {
+    deleted;
+    killed;
+    side_effect;
+    residual_bad;
+    feasible = Vtuple.Set.is_empty residual_bad;
+    cost;
+    balanced_cost = cost +. Weights.total weights residual_bad;
+  }
+
+let eval (prov : Provenance.t) deleted =
+  let killed = Provenance.kills prov deleted in
+  outcome_of ~problem:prov.Provenance.problem ~bad:prov.Provenance.bad
+    ~preserved:prov.Provenance.preserved ~deleted ~killed
+
+let eval_ground_truth (problem : Problem.t) deleted =
+  let db' = R.Instance.delete problem.Problem.db deleted in
+  let vtuples_of qname view =
+    R.Tuple.Set.fold (fun t acc -> Vtuple.Set.add (Vtuple.make qname t) acc) view
+      Vtuple.Set.empty
+  in
+  let killed, all =
+    List.fold_left
+      (fun (killed, all) (q : Cq.Query.t) ->
+        let before = Cq.Eval.evaluate problem.Problem.db q in
+        let after = Cq.Eval.evaluate db' q in
+        let gone = R.Tuple.Set.diff before after in
+        ( Vtuple.Set.union killed (vtuples_of q.name gone),
+          Vtuple.Set.union all (vtuples_of q.name before) ))
+      (Vtuple.Set.empty, Vtuple.Set.empty)
+      problem.Problem.queries
+  in
+  let bad =
+    Smap.fold
+      (fun qname ts acc -> Vtuple.Set.union acc (vtuples_of qname ts))
+      problem.Problem.deletions Vtuple.Set.empty
+  in
+  let preserved = Vtuple.Set.diff all bad in
+  outcome_of ~problem ~bad ~preserved ~deleted ~killed
+
+let pp ppf o =
+  Format.fprintf ppf
+    "deleted %d source tuples; killed %d view tuples (%d side-effect, cost %g); %s"
+    (R.Stuple.Set.cardinal o.deleted)
+    (Vtuple.Set.cardinal o.killed)
+    (Vtuple.Set.cardinal o.side_effect)
+    o.cost
+    (if o.feasible then "feasible"
+     else Printf.sprintf "INFEASIBLE (%d bad tuples survive)" (Vtuple.Set.cardinal o.residual_bad))

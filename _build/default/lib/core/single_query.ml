@@ -1,0 +1,68 @@
+module R = Relational
+
+type result = {
+  deletion : R.Stuple.Set.t;
+  outcome : Side_effect.outcome;
+}
+
+type error =
+  | Not_single_query of int
+  | Not_single_deletion of int
+
+let pp_error ppf = function
+  | Not_single_query n -> Format.fprintf ppf "instance has %d queries, not 1" n
+  | Not_single_deletion n -> Format.fprintf ppf "ΔV has %d tuples, not 1" n
+
+let result_of prov deletion =
+  { deletion; outcome = Side_effect.eval prov deletion }
+
+(* Cheapest single witness tuple for one bad view tuple, given already
+   deleted tuples (whose side-effect is sunk). *)
+let cheapest_killer (prov : Provenance.t) already vt =
+  let weights = prov.Provenance.problem.Problem.weights in
+  let already_killed = Provenance.kills prov already in
+  R.Stuple.Set.fold
+    (fun st best ->
+      let extra =
+        Vtuple.Set.fold
+          (fun v acc ->
+            if
+              Vtuple.Set.mem v prov.Provenance.preserved
+              && not (Vtuple.Set.mem v already_killed)
+            then acc +. Weights.get weights v
+            else acc)
+          (Provenance.vtuples_containing prov st)
+          0.0
+      in
+      match best with
+      | Some (_, w) when w <= extra -> best
+      | _ -> Some (st, extra))
+    (Provenance.witness_of prov vt)
+    None
+
+let solve (prov : Provenance.t) =
+  let nq = List.length prov.Provenance.problem.Problem.queries in
+  if nq <> 1 then Error (Not_single_query nq)
+  else
+    let nd = Vtuple.Set.cardinal prov.Provenance.bad in
+    if nd <> 1 then Error (Not_single_deletion nd)
+    else
+      let vt = Vtuple.Set.choose prov.Provenance.bad in
+      match cheapest_killer prov R.Stuple.Set.empty vt with
+      | Some (st, _) -> Ok (result_of prov (R.Stuple.Set.singleton st))
+      | None ->
+        (* a view tuple always has a non-empty witness *)
+        assert false
+
+let solve_greedy_multi (prov : Provenance.t) =
+  let rec go deletion =
+    let killed = Provenance.kills prov deletion in
+    let remaining = Vtuple.Set.diff prov.Provenance.bad killed in
+    if Vtuple.Set.is_empty remaining then deletion
+    else
+      let vt = Vtuple.Set.min_elt remaining in
+      match cheapest_killer prov deletion vt with
+      | Some (st, _) -> go (R.Stuple.Set.add st deletion)
+      | None -> assert false
+  in
+  result_of prov (go R.Stuple.Set.empty)

@@ -1,0 +1,2 @@
+(* String-keyed maps, shared by the core modules. *)
+include Stdlib.Map.Make (String)

@@ -1,0 +1,75 @@
+module R = Relational
+module SC = Setcover
+
+type result = {
+  deletion : R.Stuple.Set.t;
+  outcome : Side_effect.outcome;
+  source_cost : float;
+}
+
+let default_weight _ = 1.0
+
+let result_of prov tuple_weight deletion =
+  {
+    deletion;
+    outcome = Side_effect.eval prov deletion;
+    source_cost = R.Stuple.Set.fold (fun st acc -> acc +. tuple_weight st) deletion 0.0;
+  }
+
+(* set-cover image: universe = bad view tuples, one set per candidate
+   source tuple containing the bad tuples its deletion kills *)
+let to_cover (prov : Provenance.t) tuple_weight =
+  let candidates = Array.of_list (R.Stuple.Set.elements (Provenance.candidates prov)) in
+  let bad = Array.of_list (Vtuple.Set.elements prov.Provenance.bad) in
+  let bad_index =
+    Array.to_seq bad |> Seq.mapi (fun i vt -> (Vtuple.to_string vt, i)) |> Hashtbl.of_seq
+  in
+  let sets =
+    Array.to_list candidates
+    |> List.map (fun st ->
+           let elements =
+             Vtuple.Set.fold
+               (fun vt acc ->
+                 match Hashtbl.find_opt bad_index (Vtuple.to_string vt) with
+                 | Some i -> SC.Iset.add i acc
+                 | None -> acc)
+               (Provenance.vtuples_containing prov st)
+               SC.Iset.empty
+           in
+           { SC.Weighted_cover.label = R.Stuple.to_string st; elements })
+  in
+  let weights = Array.map tuple_weight candidates in
+  (SC.Weighted_cover.make ~universe:(Array.length bad) ~weights sets, candidates)
+
+let deletion_of candidates (sol : SC.Weighted_cover.solution) =
+  List.fold_left
+    (fun acc i -> R.Stuple.Set.add candidates.(i) acc)
+    R.Stuple.Set.empty sol.SC.Weighted_cover.chosen
+
+let solve_exact ?node_budget ?(tuple_weight = default_weight) prov =
+  let cover, candidates = to_cover prov tuple_weight in
+  SC.Weighted_cover.solve_exact ?node_budget cover
+  |> Option.map (fun sol -> result_of prov tuple_weight (deletion_of candidates sol))
+
+let solve_greedy ?(tuple_weight = default_weight) prov =
+  let cover, candidates = to_cover prov tuple_weight in
+  SC.Weighted_cover.solve_greedy cover
+  |> Option.map (fun sol -> result_of prov tuple_weight (deletion_of candidates sol))
+
+let solve_single ?(tuple_weight = default_weight) (prov : Provenance.t) =
+  let n = Vtuple.Set.cardinal prov.Provenance.bad in
+  if n <> 1 then Error n
+  else
+    let vt = Vtuple.Set.choose prov.Provenance.bad in
+    let lightest =
+      R.Stuple.Set.fold
+        (fun st best ->
+          match best with
+          | Some (_, w) when w <= tuple_weight st -> best
+          | _ -> Some (st, tuple_weight st))
+        (Provenance.witness_of prov vt)
+        None
+    in
+    match lightest with
+    | Some (st, _) -> Ok (result_of prov tuple_weight (R.Stuple.Set.singleton st))
+    | None -> assert false (* witnesses are non-empty *)

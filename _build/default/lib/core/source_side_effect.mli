@@ -1,0 +1,35 @@
+(** The companion {e source side-effect} problem (Tables II–III; Buneman
+    et al. [6], Cong et al. [15]): eliminate all of [ΔV] while deleting as
+    {e few source tuples} as possible (weighted by [tuple_weight]),
+    regardless of damage to the views.
+
+    With key-preserving queries this is exactly weighted Set Cover over
+    the bad view tuples (sets = candidate source tuples), so it is
+    NP-hard for multiple queries but greedily [H_n]-approximable, and
+    trivially polynomial when [ΔV] is a single tuple (any witness tuple
+    of minimum weight). Experiment E12 measures all three. *)
+
+type result = {
+  deletion : Relational.Stuple.Set.t;
+  outcome : Side_effect.outcome;   (** view-side-effect bookkeeping, for contrast *)
+  source_cost : float;             (** the objective: total weight of [deletion] *)
+}
+
+(** Exact optimum (branch-and-bound over the set-cover image).
+    [tuple_weight] defaults to 1 per tuple. *)
+val solve_exact :
+  ?node_budget:int ->
+  ?tuple_weight:(Relational.Stuple.t -> float) ->
+  Provenance.t ->
+  result option
+
+(** Greedy H_n-approximation. *)
+val solve_greedy :
+  ?tuple_weight:(Relational.Stuple.t -> float) -> Provenance.t -> result option
+
+(** The single-deletion polynomial case: with [‖ΔV‖ = 1], pick the
+    lightest witness tuple. [Error] with the deletion count otherwise. *)
+val solve_single :
+  ?tuple_weight:(Relational.Stuple.t -> float) ->
+  Provenance.t ->
+  (result, int) Stdlib.result

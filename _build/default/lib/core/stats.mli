@@ -1,0 +1,31 @@
+(** Instance statistics: the structural quantities the paper's bounds are
+    stated in (l, ‖V‖, ‖ΔV‖, witness widths, tuple degrees) plus the
+    case classifications that pick the right solver. Printed by
+    [deleprop classify --stats] and logged by the experiment harness. *)
+
+type t = {
+  num_relations : int;
+  db_size : int;
+  num_queries : int;
+  max_arity : int;          (** the paper's l *)
+  view_size : int;          (** ‖V‖ *)
+  deletion_size : int;      (** ‖ΔV‖ *)
+  num_candidates : int;     (** tuples occurring in some bad witness *)
+  witness_min : int;
+  witness_max : int;
+  witness_avg : float;
+  preserved_degree_max : int;  (** max preserved view tuples through one tuple *)
+  forest_case : bool;       (** dual hypergraph is a forest of hypertrees *)
+  pivot_case : bool;        (** Algorithm 4 applies *)
+  claim1_bound : float;
+  thm4_bound : float;
+}
+
+val compute : Provenance.t -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** CSV header/row for experiment logs. *)
+val csv_header : string
+
+val to_csv : t -> string

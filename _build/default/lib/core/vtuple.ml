@@ -1,0 +1,23 @@
+type t = {
+  query : string;
+  tuple : Relational.Tuple.t;
+}
+
+let make query tuple = { query; tuple }
+
+let compare a b =
+  let c = String.compare a.query b.query in
+  if c <> 0 then c else Relational.Tuple.compare a.tuple b.tuple
+
+let equal a b = compare a b = 0
+
+let pp ppf t = Format.fprintf ppf "%s%a" t.query Relational.Tuple.pp t.tuple
+let to_string t = Format.asprintf "%a" pp t
+
+module Ord = struct
+  type nonrec t = t
+  let compare = compare
+end
+
+module Set = Stdlib.Set.Make (Ord)
+module Map = Stdlib.Map.Make (Ord)

@@ -1,0 +1,18 @@
+(** View tuples: an answer tuple tagged with the query that produced it.
+
+    With multiple views (the paper's setting), equal tuples in different
+    views are distinct objects — [ΔV] may name one and not the other. *)
+
+type t = {
+  query : string;
+  tuple : Relational.Tuple.t;
+}
+
+val make : string -> Relational.Tuple.t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Stdlib.Set.S with type elt = t
+module Map : Stdlib.Map.S with type key = t

@@ -1,0 +1,25 @@
+type t = {
+  default : float;
+  overrides : float Vtuple.Map.t;
+}
+
+let with_default default = { default; overrides = Vtuple.Map.empty }
+let uniform = with_default 1.0
+
+let set w vt x = { w with overrides = Vtuple.Map.add vt x w.overrides }
+
+let of_list ?(default = 1.0) l =
+  List.fold_left (fun w (vt, x) -> set w vt x) (with_default default) l
+
+let get w vt = Option.value ~default:w.default (Vtuple.Map.find_opt vt w.overrides)
+
+let default_of w = w.default
+let overrides w = Vtuple.Map.bindings w.overrides
+
+let total w s = Vtuple.Set.fold (fun vt acc -> acc +. get w vt) s 0.0
+
+let pp ppf w =
+  Format.fprintf ppf "default %g%a" w.default
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf (vt, x) ->
+         Format.fprintf ppf ", %a -> %g" Vtuple.pp vt x))
+    (Vtuple.Map.bindings w.overrides)

@@ -1,0 +1,30 @@
+(** Preservation weights on view tuples (§IV: "each view tuple to be
+    preserved has a weight representing user preference").
+
+    In the balanced variant, weights on the [ΔV] tuples price keeping a
+    bad tuple; weights on preserved tuples price losing a good one. *)
+
+type t
+
+(** Unit weights. *)
+val uniform : t
+
+(** [with_default d] — every view tuple weighs [d]. *)
+val with_default : float -> t
+
+(** [set w vt x] — override the weight of one view tuple. *)
+val set : t -> Vtuple.t -> float -> t
+
+val of_list : ?default:float -> (Vtuple.t * float) list -> t
+
+val get : t -> Vtuple.t -> float
+
+(** The default weight and the explicit overrides (for serialization). *)
+val default_of : t -> float
+
+val overrides : t -> (Vtuple.t * float) list
+
+(** Total weight of a set of view tuples. *)
+val total : t -> Vtuple.Set.t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/cq/atom.ml: Array Format Hashtbl Int List Printf Relational String Term

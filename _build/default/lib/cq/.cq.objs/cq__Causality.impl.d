@@ -1,0 +1,1 @@
+lib/cq/causality.ml: Array Eval Float Lineage List Printf Relational

@@ -1,0 +1,1 @@
+lib/cq/causality.mli: Query Relational

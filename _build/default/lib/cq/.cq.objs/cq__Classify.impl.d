@@ -1,0 +1,1 @@
+lib/cq/classify.ml: Atom Format List Query String Term

@@ -1,0 +1,1 @@
+lib/cq/classify.mli: Atom Format Query Relational

@@ -1,0 +1,1 @@
+lib/cq/containment.ml: Array Atom List Map Option Query Relational String Term

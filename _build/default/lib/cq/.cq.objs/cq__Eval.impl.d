@@ -1,0 +1,1 @@
+lib/cq/eval.ml: Array Atom Fun List Map Option Plan Query Relational String Term

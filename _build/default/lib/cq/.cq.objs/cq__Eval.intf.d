@@ -1,0 +1,1 @@
+lib/cq/eval.mli: Query Relational

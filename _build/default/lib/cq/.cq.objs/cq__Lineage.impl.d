@@ -1,0 +1,1 @@
+lib/cq/lineage.ml: Array Atom Eval Format List Query Relational String Term

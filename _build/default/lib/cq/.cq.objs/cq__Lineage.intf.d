@@ -1,0 +1,1 @@
+lib/cq/lineage.mli: Format Query Relational

@@ -1,0 +1,1 @@
+lib/cq/maintain.ml: Atom Eval Hashtbl List Option Query Relational Term

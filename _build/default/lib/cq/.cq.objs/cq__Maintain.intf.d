@@ -1,0 +1,1 @@
+lib/cq/maintain.mli: Query Relational

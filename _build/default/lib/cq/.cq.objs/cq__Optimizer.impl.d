@@ -1,0 +1,1 @@
+lib/cq/optimizer.ml: Array Atom Float Fun Hashtbl List Query Relational Term

@@ -1,0 +1,1 @@
+lib/cq/optimizer.mli: Query Relational

@@ -1,0 +1,1 @@
+lib/cq/plan.ml: Array Atom Fun List Optimizer Query Relational Term

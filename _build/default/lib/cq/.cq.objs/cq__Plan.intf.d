@@ -1,0 +1,1 @@
+lib/cq/plan.mli: Query Relational

@@ -1,0 +1,1 @@
+lib/cq/program.ml: Array Atom Containment Format Hashtbl List Map Option Printf Query Relational String Term Ucq

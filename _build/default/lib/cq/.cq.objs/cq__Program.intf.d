@@ -1,0 +1,1 @@
+lib/cq/program.mli: Format Query Relational Stdlib Ucq

@@ -1,0 +1,1 @@
+lib/cq/query.ml: Array Atom Format Hashtbl List Option String Term

@@ -1,0 +1,1 @@
+lib/cq/semiring.ml: Array Eval Float Format List Relational

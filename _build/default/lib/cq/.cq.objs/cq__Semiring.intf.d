@@ -1,0 +1,1 @@
+lib/cq/semiring.mli: Format Query Relational

@@ -1,0 +1,1 @@
+lib/cq/sql.ml: Atom Format Hashtbl List Printf Query Relational String Term

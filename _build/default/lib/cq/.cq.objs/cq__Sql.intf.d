@@ -1,0 +1,1 @@
+lib/cq/sql.mli: Format Query Relational Stdlib

@@ -1,0 +1,1 @@
+lib/cq/structure.ml: Array Atom Hashtbl List Option Query Queue Relational Term

@@ -1,0 +1,1 @@
+lib/cq/structure.mli: Atom Query Relational Term

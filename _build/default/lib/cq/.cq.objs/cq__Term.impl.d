@@ -1,0 +1,1 @@
+lib/cq/term.ml: Format Relational Set Stdlib String

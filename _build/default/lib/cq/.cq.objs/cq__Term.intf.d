@@ -1,0 +1,1 @@
+lib/cq/term.mli: Format Relational Stdlib

@@ -1,0 +1,1 @@
+lib/cq/ucq.ml: Array Eval Format Lineage List Option Printf Query Relational

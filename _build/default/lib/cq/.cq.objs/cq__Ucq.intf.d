@@ -1,0 +1,1 @@
+lib/cq/ucq.mli: Format Query Relational

@@ -1,0 +1,79 @@
+type t = {
+  rel : string;
+  args : Term.t array;
+}
+
+let make rel args = { rel; args = Array.of_list args }
+
+let arity a = Array.length a.args
+
+let vars a =
+  let seen = Hashtbl.create 8 in
+  Array.fold_left
+    (fun acc t ->
+      match t with
+      | Term.Var v when not (Hashtbl.mem seen v) ->
+        Hashtbl.add seen v ();
+        v :: acc
+      | _ -> acc)
+    [] a.args
+  |> List.rev
+
+let var_set a = Term.Vars.of_list (vars a)
+
+let key_vars schema a =
+  let s = Relational.Schema.Db.find schema a.rel in
+  List.fold_left
+    (fun acc pos ->
+      match a.args.(pos) with
+      | Term.Var v -> Term.Vars.add v acc
+      | Term.Const _ -> acc)
+    Term.Vars.empty s.Relational.Schema.key
+
+let check schema a =
+  match Relational.Schema.Db.find_opt schema a.rel with
+  | None -> invalid_arg ("Atom.check: unknown relation " ^ a.rel)
+  | Some s ->
+    if s.Relational.Schema.arity <> arity a then
+      invalid_arg
+        (Printf.sprintf "Atom.check: %s expects arity %d, atom has %d" a.rel
+           s.Relational.Schema.arity (arity a))
+
+let matches a tuple =
+  if Relational.Tuple.arity tuple <> arity a then None
+  else
+    let rec go i env =
+      if i = arity a then Some (List.rev env)
+      else
+        let v = Relational.Tuple.get tuple i in
+        match a.args.(i) with
+        | Term.Const c ->
+          if Relational.Value.equal c v then go (i + 1) env else None
+        | Term.Var x -> (
+          match List.assoc_opt x env with
+          | Some v' -> if Relational.Value.equal v v' then go (i + 1) env else None
+          | None -> go (i + 1) ((x, v) :: env))
+    in
+    go 0 []
+
+let compare a b =
+  let c = String.compare a.rel b.rel in
+  if c <> 0 then c
+  else
+    let la = Array.length a.args and lb = Array.length b.args in
+    if la <> lb then Int.compare la lb
+    else
+      let rec go i =
+        if i = la then 0
+        else
+          let c = Term.compare a.args.(i) b.args.(i) in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+
+let equal a b = compare a b = 0
+
+let pp ppf a =
+  Format.fprintf ppf "%s(%a)" a.rel
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Term.pp)
+    (Array.to_list a.args)

@@ -1,0 +1,31 @@
+(** Atomic formulas [T(x, y, c)] over a schema. *)
+
+type t = {
+  rel : string;
+  args : Term.t array;
+}
+
+val make : string -> Term.t list -> t
+val arity : t -> int
+
+(** Variables occurring in the atom, left to right without duplicates. *)
+val vars : t -> string list
+
+val var_set : t -> Term.Vars.t
+
+(** [key_vars schema atom] — variables sitting at key positions of the
+    atom's relation ("key variables", §II.B). *)
+val key_vars : Relational.Schema.Db.t -> t -> Term.Vars.t
+
+(** [check schema atom] — raises [Invalid_argument] if the relation is
+    unknown or the arity disagrees with the schema. *)
+val check : Relational.Schema.Db.t -> t -> unit
+
+(** [matches atom tuple] is [Some bindings] if [tuple] unifies with the
+    atom under the empty assignment — constants agree and repeated
+    variables receive equal values; the bindings list each variable once. *)
+val matches : t -> Relational.Tuple.t -> (string * Relational.Value.t) list option
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+module R = Relational
+
+let holds db q answer = R.Tuple.Set.mem answer (Eval.evaluate db q)
+
+let lineage_tuples db q answer =
+  Lineage.why db q answer
+  |> List.fold_left R.Stuple.Set.union R.Stuple.Set.empty
+
+let is_counterfactual db q ~answer t =
+  holds db q answer
+  && not (holds (R.Instance.delete db (R.Stuple.Set.singleton t)) q answer)
+
+(* minimum contingency size making [t] counterfactual; None if not a cause *)
+let min_contingency ?(max_candidates = 16) db q ~answer t =
+  if not (holds db q answer) then None
+  else begin
+    let candidates =
+      R.Stuple.Set.remove t (lineage_tuples db q answer) |> R.Stuple.Set.elements |> Array.of_list
+    in
+    let n = Array.length candidates in
+    if n > max_candidates then
+      invalid_arg
+        (Printf.sprintf "Causality: %d lineage tuples exceed the limit %d" n max_candidates);
+    (* search subsets in increasing size *)
+    let rec by_size k =
+      if k > n then None
+      else begin
+        (* enumerate k-subsets *)
+        let found = ref None in
+        let rec choose start acc remaining =
+          if !found <> None then ()
+          else if remaining = 0 then begin
+            let gamma = R.Stuple.Set.of_list acc in
+            let db' = R.Instance.delete db gamma in
+            if
+              holds db' q answer
+              && not (holds (R.Instance.delete db' (R.Stuple.Set.singleton t)) q answer)
+            then found := Some k
+          end
+          else
+            for i = start to n - remaining do
+              choose (i + 1) (candidates.(i) :: acc) (remaining - 1)
+            done
+        in
+        choose 0 [] k;
+        match !found with Some k -> Some k | None -> by_size (k + 1)
+      end
+    in
+    by_size 0
+  end
+
+let is_cause ?max_candidates db q ~answer t =
+  min_contingency ?max_candidates db q ~answer t <> None
+
+let responsibility ?max_candidates db q ~answer t =
+  match min_contingency ?max_candidates db q ~answer t with
+  | Some k -> 1.0 /. (1.0 +. float_of_int k)
+  | None -> 0.0
+
+let ranking ?max_candidates db q ~answer =
+  lineage_tuples db q answer
+  |> R.Stuple.Set.elements
+  |> List.map (fun t -> (t, responsibility ?max_candidates db q ~answer t))
+  |> List.sort (fun (_, a) (_, b) -> Float.compare b a)

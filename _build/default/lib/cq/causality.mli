@@ -1,0 +1,32 @@
+(** Causality and responsibility for query answers (Meliou, Gatterbauer,
+    Moore, Suciu [33]–[35] in the paper's bibliography) — the quantitative
+    refinement of "which source tuple is to blame", complementing
+    deletion propagation's "which deletion is cheapest".
+
+    A source tuple [t] is a {e counterfactual cause} of answer [a] when
+    deleting [t] alone removes [a]; an {e actual cause} when some
+    contingency [Γ] (a set of other tuples) can be removed first — with
+    [a] surviving — so that [t] becomes counterfactual. Its
+    {e responsibility} is [1 / (1 + min |Γ|)], and 0 for non-causes.
+
+    Exact by subset search over the tuples occurring in [a]'s witnesses;
+    [max_candidates] (default 16) bounds the blowup. *)
+
+val is_counterfactual :
+  Relational.Instance.t -> Query.t -> answer:Relational.Tuple.t -> Relational.Stuple.t -> bool
+
+val is_cause :
+  ?max_candidates:int ->
+  Relational.Instance.t -> Query.t -> answer:Relational.Tuple.t -> Relational.Stuple.t -> bool
+
+(** [responsibility db q ~answer t] ∈ [0, 1]. *)
+val responsibility :
+  ?max_candidates:int ->
+  Relational.Instance.t -> Query.t -> answer:Relational.Tuple.t -> Relational.Stuple.t -> float
+
+(** Responsibilities of every tuple occurring in some witness of the
+    answer, highest first. *)
+val ranking :
+  ?max_candidates:int ->
+  Relational.Instance.t -> Query.t -> answer:Relational.Tuple.t ->
+  (Relational.Stuple.t * float) list

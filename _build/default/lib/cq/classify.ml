@@ -1,0 +1,52 @@
+let is_project_free (q : Query.t) =
+  let hv = Query.head_vars q in
+  List.for_all
+    (fun a -> Term.Vars.subset (Atom.var_set a) hv)
+    q.body
+
+let is_self_join_free (q : Query.t) =
+  let rels = List.map (fun (a : Atom.t) -> a.rel) q.body in
+  List.length rels = List.length (List.sort_uniq String.compare rels)
+
+let key_preserving_violations schema (q : Query.t) =
+  let hv = Query.head_vars q in
+  List.concat_map
+    (fun a ->
+      Term.Vars.fold
+        (fun v acc -> if Term.Vars.mem v hv then acc else (a, v) :: acc)
+        (Atom.key_vars schema a) [])
+    q.body
+
+let is_key_preserving schema q = key_preserving_violations schema q = []
+
+type profile = {
+  project_free : bool;
+  self_join_free : bool;
+  key_preserving : bool;
+}
+
+let profile schema q =
+  {
+    project_free = is_project_free q;
+    self_join_free = is_self_join_free q;
+    key_preserving = is_key_preserving schema q;
+  }
+
+let pp_profile ppf p =
+  let flag name b = if b then name else "non-" ^ name in
+  Format.fprintf ppf "%s, %s, %s"
+    (flag "project-free" p.project_free)
+    (flag "sj-free" p.self_join_free)
+    (flag "key-preserving" p.key_preserving)
+
+let check_key_preserving schema qs =
+  List.iter
+    (fun (q : Query.t) ->
+      match key_preserving_violations schema q with
+      | [] -> ()
+      | (a, v) :: _ ->
+        invalid_arg
+          (Format.asprintf
+             "query %s is not key preserving: key variable %s of %a missing from head"
+             q.name v Atom.pp a))
+    qs

@@ -1,0 +1,32 @@
+(** Syntactic query classes used throughout the paper (§II.B, §IV.B). *)
+
+(** [is_project_free q] — every body variable occurs in the head
+    (no projection; select-join queries). Project-free queries are always
+    key preserving. *)
+val is_project_free : Query.t -> bool
+
+(** [is_self_join_free q] — no relation symbol occurs twice in the body. *)
+val is_self_join_free : Query.t -> bool
+
+(** [is_key_preserving schema q] — every key variable of every body atom
+    occurs in the head (§II.B). Constants at key positions are allowed. *)
+val is_key_preserving : Relational.Schema.Db.t -> Query.t -> bool
+
+(** Reasons a query fails to be key preserving: the offending
+    [(atom, variable)] pairs. Empty iff {!is_key_preserving}. *)
+val key_preserving_violations :
+  Relational.Schema.Db.t -> Query.t -> (Atom.t * string) list
+
+type profile = {
+  project_free : bool;
+  self_join_free : bool;
+  key_preserving : bool;
+}
+
+val profile : Relational.Schema.Db.t -> Query.t -> profile
+val pp_profile : Format.formatter -> profile -> unit
+
+(** [check_key_preserving schema qs] — raises [Invalid_argument] naming
+    the first offending query unless every query is key preserving.
+    Solvers that rely on the unique-witness property call this. *)
+val check_key_preserving : Relational.Schema.Db.t -> Query.t list -> unit

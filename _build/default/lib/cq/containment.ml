@@ -1,0 +1,104 @@
+type homomorphism = (string * Term.t) list
+
+module Env = Map.Make (String)
+
+(* extend θ with var -> term; None on clash *)
+let bind env v t =
+  match Env.find_opt v env with
+  | Some t' -> if Term.equal t t' then Some env else None
+  | None -> Some (Env.add v t env)
+
+(* map a source term under θ onto a required target term *)
+let match_term env src target =
+  match src with
+  | Term.Const c -> (
+    match target with
+    | Term.Const c' when Relational.Value.equal c c' -> Some env
+    | _ -> None)
+  | Term.Var v -> bind env v target
+
+let match_atom env (src : Atom.t) (target : Atom.t) =
+  if src.rel <> target.rel || Atom.arity src <> Atom.arity target then None
+  else
+    let n = Atom.arity src in
+    let rec go i env =
+      if i = n then Some env
+      else
+        match match_term env src.args.(i) target.args.(i) with
+        | Some env -> go (i + 1) env
+        | None -> None
+    in
+    go 0 env
+
+let homomorphism ~from:(q2 : Query.t) ~into:(q1 : Query.t) =
+  if List.length q2.head <> List.length q1.head then None
+  else
+    (* head correspondence first *)
+    let env0 =
+      List.fold_left2
+        (fun env src target ->
+          Option.bind env (fun env -> match_term env src target))
+        (Some Env.empty) q2.head q1.head
+    in
+    match env0 with
+    | None -> None
+    | Some env0 ->
+      let targets = Array.of_list q1.body in
+      let rec go env = function
+        | [] -> Some env
+        | atom :: rest ->
+          let n = Array.length targets in
+          let rec try_target i =
+            if i = n then None
+            else
+              match match_atom env atom targets.(i) with
+              | Some env' -> (
+                match go env' rest with
+                | Some r -> Some r
+                | None -> try_target (i + 1))
+              | None -> try_target (i + 1)
+          in
+          try_target 0
+      in
+      go env0 q2.body
+      |> Option.map (fun env -> Env.bindings env)
+
+let contained q1 q2 = Option.is_some (homomorphism ~from:q2 ~into:q1)
+
+let equivalent q1 q2 = contained q1 q2 && contained q2 q1
+
+let safe (q : Query.t) =
+  let bv =
+    List.fold_left (fun acc a -> Term.Vars.union acc (Atom.var_set a)) Term.Vars.empty q.body
+  in
+  Term.Vars.subset (Query.head_vars q) bv && q.body <> []
+
+let minimize (q : Query.t) =
+  (* greedily drop atoms while an equivalence-preserving homomorphism
+     exists into the reduced query *)
+  let rec go (current : Query.t) =
+    let try_drop i =
+      let body' = List.filteri (fun j _ -> j <> i) current.body in
+      let candidate = { current with Query.body = body' } in
+      if safe candidate && Option.is_some (homomorphism ~from:current ~into:candidate) then
+        Some candidate
+      else None
+    in
+    let n = List.length current.body in
+    let rec scan i =
+      if i = n then current
+      else
+        match try_drop i with
+        | Some smaller -> go smaller
+        | None -> scan (i + 1)
+    in
+    scan 0
+  in
+  go q
+
+let dedupe qs =
+  List.fold_left
+    (fun kept q ->
+      if List.exists (fun q' -> equivalent q q') kept then kept else q :: kept)
+    [] qs
+  |> List.rev

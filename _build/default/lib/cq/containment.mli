@@ -1,0 +1,34 @@
+(** Conjunctive-query containment, equivalence and minimization — the
+    Chandra–Merlin machinery [9] the paper's complexity landscape builds
+    on. Containment [q1 ⊆ q2] holds iff there is a homomorphism from
+    [q2] to [q1] (variables to terms, constants fixed, body atoms to body
+    atoms, head to head).
+
+    Used by the library to deduplicate query sets (equivalent queries
+    produce identical views and would double-count side-effects) and to
+    minimize query bodies (a minimized body yields smaller witnesses,
+    hence tighter candidate sets). *)
+
+type homomorphism = (string * Term.t) list
+(** Assignment of the source query's variables. *)
+
+(** [homomorphism ~from:q2 ~into:q1] — a homomorphism witnessing
+    [q1 ⊆ q2], if any. Exponential in |vars(q2)| in the worst case
+    (containment is NP-complete); fine at query scale. *)
+val homomorphism : from:Query.t -> into:Query.t -> homomorphism option
+
+(** [contained q1 q2] — is [q1 ⊆ q2] (every answer of [q1] on every
+    database is an answer of [q2])? Requires equal head arity (returns
+    false otherwise). *)
+val contained : Query.t -> Query.t -> bool
+
+val equivalent : Query.t -> Query.t -> bool
+
+(** [minimize q] — an equivalent query whose body is a core: no proper
+    sub-body is the target of a head-preserving homomorphism from [q].
+    The result's name is [q]'s. *)
+val minimize : Query.t -> Query.t
+
+(** [dedupe qs] — drop queries equivalent to an earlier one (keeping
+    first occurrences, order preserved). *)
+val dedupe : Query.t list -> Query.t list

@@ -1,0 +1,112 @@
+module R = Relational
+module Env = Map.Make (String)
+
+type witness = R.Stuple.t array
+
+let witness_set w = Array.fold_left (fun acc st -> R.Stuple.Set.add st acc) R.Stuple.Set.empty w
+
+(* Instantiate a term under an environment; None if an unbound variable. *)
+let term_value env = function
+  | Term.Const c -> Some c
+  | Term.Var v -> Env.find_opt v env
+
+(* If every key position of [atom] is bound under [env], return the key
+   tuple, enabling an O(log n) unique lookup instead of a scan. *)
+let bound_key schema env (atom : Atom.t) =
+  let s = R.Schema.Db.find schema atom.rel in
+  let rec go acc = function
+    | [] -> Some (R.Tuple.of_list (List.rev acc))
+    | pos :: rest -> (
+      match term_value env atom.args.(pos) with
+      | Some v -> go (v :: acc) rest
+      | None -> None)
+  in
+  go [] s.R.Schema.key
+
+(* Extend [env] by unifying [atom] against [tuple]; None on clash. *)
+let unify env (atom : Atom.t) tuple =
+  let n = Atom.arity atom in
+  let rec go i env =
+    if i = n then Some env
+    else
+      let v = R.Tuple.get tuple i in
+      match atom.args.(i) with
+      | Term.Const c -> if R.Value.equal c v then go (i + 1) env else None
+      | Term.Var x -> (
+        match Env.find_opt x env with
+        | Some v' -> if R.Value.equal v v' then go (i + 1) env else None
+        | None -> go (i + 1) (Env.add x v env))
+  in
+  go 0 env
+
+let instantiate_head env (q : Query.t) =
+  let value t =
+    match term_value env t with
+    | Some v -> v
+    | None -> invalid_arg ("Eval: unbound head term in " ^ q.Query.name)
+  in
+  R.Tuple.of_list (List.map value q.Query.head)
+
+let matches ?(planned = true) db (q : Query.t) =
+  let schema = R.Instance.schema db in
+  let atoms = Array.of_list q.Query.body in
+  let perm =
+    if planned then Plan.order db q else Array.init (Array.length atoms) Fun.id
+  in
+  let ordered = Array.to_list (Array.map (fun i -> atoms.(i)) perm) in
+  let unpermute w =
+    (* w follows the planned order; restore original body order *)
+    let out = Array.make (Array.length w) w.(0) in
+    Array.iteri (fun planned_pos original_pos -> out.(original_pos) <- w.(planned_pos)) perm;
+    out
+  in
+  let rec go env acc_witness = function
+    | [] ->
+      let w = Array.of_list (List.rev acc_witness) in
+      [ (instantiate_head env q, unpermute w) ]
+    | (atom : Atom.t) :: rest ->
+      let rel = R.Instance.relation db atom.rel in
+      let candidates =
+        match bound_key schema env atom with
+        | Some key -> (
+          match R.Relation.find_by_key rel key with
+          | Some t -> [ t ]
+          | None -> [])
+        | None -> (
+          (* most selective secondary index over the bound positions *)
+          let best = ref None in
+          Array.iteri
+            (fun i term ->
+              match term_value env term with
+              | None -> ()
+              | Some v ->
+                let hits = R.Relation.find_by_column rel i v in
+                let n = List.length hits in
+                (match !best with
+                | Some (m, _) when m <= n -> ()
+                | _ -> best := Some (n, hits)))
+            atom.args;
+          match !best with
+          | Some (_, hits) -> hits
+          | None -> R.Relation.tuples rel)
+      in
+      List.concat_map
+        (fun t ->
+          match unify env atom t with
+          | Some env' -> go env' (R.Stuple.make atom.rel t :: acc_witness) rest
+          | None -> [])
+        candidates
+  in
+  go Env.empty [] ordered
+
+let evaluate ?planned db q =
+  List.fold_left
+    (fun acc (t, _) -> R.Tuple.Set.add t acc)
+    R.Tuple.Set.empty (matches ?planned db q)
+
+let provenance ?planned db q =
+  List.fold_left
+    (fun acc (t, w) ->
+      let ws = Option.value ~default:[] (R.Tuple.Map.find_opt t acc) in
+      R.Tuple.Map.add t (w :: ws) acc)
+    R.Tuple.Map.empty (matches ?planned db q)

@@ -1,0 +1,31 @@
+(** Evaluation of conjunctive queries with provenance.
+
+    A match (§II.B) is an assignment [μ] of variables to constants under
+    which every body atom becomes a tuple of the instance; [μ(head)] is
+    the answer. The {e witness} of a match is the vector of source tuples
+    used, one per body atom in body order — for key-preserving queries the
+    witness is uniquely determined by the answer (§II.C), the property all
+    solvers in this library exploit. *)
+
+type witness = Relational.Stuple.t array
+(** One source tuple per body atom, in body order. *)
+
+(** Source tuples of a witness, as a set (self-joins may legitimately use
+    the same source tuple in two atoms; the set collapses them). *)
+val witness_set : witness -> Relational.Stuple.Set.t
+
+(** All matches of [q] on the instance, as (answer, witness) pairs — one
+    pair per assignment, so an answer with several derivations appears
+    several times. [planned] (default true) runs the body through
+    {!Plan.order} before joining; witnesses are always reported in the
+    original body order. *)
+val matches :
+  ?planned:bool -> Relational.Instance.t -> Query.t -> (Relational.Tuple.t * witness) list
+
+(** The query result [Q(D)]: the set of answers. *)
+val evaluate : ?planned:bool -> Relational.Instance.t -> Query.t -> Relational.Tuple.Set.t
+
+(** Answer -> all of its witnesses. *)
+val provenance :
+  ?planned:bool ->
+  Relational.Instance.t -> Query.t -> witness list Relational.Tuple.Map.t

@@ -1,0 +1,54 @@
+module R = Relational
+
+type cell = {
+  rel : string;
+  tuple : R.Tuple.t;
+  column : int;
+}
+
+let pp_cell ppf c = Format.fprintf ppf "%s%a[%d]" c.rel R.Tuple.pp c.tuple c.column
+
+let witnesses_of db q answer =
+  Eval.matches db q
+  |> List.filter_map (fun (t, w) -> if R.Tuple.equal t answer then Some w else None)
+
+let why db q answer =
+  witnesses_of db q answer |> List.map Eval.witness_set
+
+let minimal_why db q answer =
+  let all = why db q answer |> List.sort_uniq R.Stuple.Set.compare in
+  List.filter
+    (fun w ->
+      not
+        (List.exists
+           (fun w' -> (not (R.Stuple.Set.equal w w')) && R.Stuple.Set.subset w' w)
+           all))
+    all
+
+let where_ db (q : Query.t) answer =
+  let head = Array.of_list q.head in
+  let out = Array.make (Array.length head) [] in
+  let add pos c = if not (List.mem c out.(pos)) then out.(pos) <- c :: out.(pos) in
+  List.iter
+    (fun witness ->
+      (* witness.(i) matches body atom i; for each head variable find its
+         occurrences in the body and record the concrete cells *)
+      Array.iteri
+        (fun pos term ->
+          match term with
+          | Term.Const _ -> ()
+          | Term.Var v ->
+            List.iteri
+              (fun ai (atom : Atom.t) ->
+                Array.iteri
+                  (fun col arg ->
+                    match arg with
+                    | Term.Var v' when String.equal v v' ->
+                      let st = witness.(ai) in
+                      add pos { rel = st.R.Stuple.rel; tuple = st.R.Stuple.tuple; column = col }
+                    | _ -> ())
+                  atom.args)
+              q.body)
+        head)
+    (witnesses_of db q answer);
+  Array.map List.rev out

@@ -1,0 +1,34 @@
+(** Why- and where-provenance for conjunctive-query answers — the
+    provenance notions §V connects deletion propagation to (Buneman et
+    al.; Cheney–Chiticariu–Tan).
+
+    {b Why-provenance} of an answer: its set of witnesses (each a set of
+    source tuples supporting one derivation). Deletion propagation kills
+    an answer exactly when every witness of its why-provenance is hit —
+    the bridge {!Deleprop.Side_effect} is built on.
+
+    {b Where-provenance} of an answer cell: the source {e cells} its
+    value was copied from, per derivation (head constants have none). *)
+
+(** A source cell: a column of a concrete tuple. *)
+type cell = {
+  rel : string;
+  tuple : Relational.Tuple.t;
+  column : int;
+}
+
+val pp_cell : Format.formatter -> cell -> unit
+
+(** All witnesses of an answer (empty when it is not an answer). *)
+val why : Relational.Instance.t -> Query.t -> Relational.Tuple.t -> Relational.Stuple.Set.t list
+
+(** Inclusion-minimal witnesses: a witness is dropped when another is a
+    strict subset (possible with self-joins reusing tuples). *)
+val minimal_why :
+  Relational.Instance.t -> Query.t -> Relational.Tuple.t -> Relational.Stuple.Set.t list
+
+(** [where_ db q answer] — for each head position, the source cells that
+    position copies from, across all derivations (deduplicated). Constant
+    head terms yield an empty list at their position. *)
+val where_ :
+  Relational.Instance.t -> Query.t -> Relational.Tuple.t -> cell list array

@@ -1,0 +1,69 @@
+module R = Relational
+
+(* specialize [q] by unifying body atom [i] with tuple [t]; None if the
+   atom cannot match the tuple *)
+let specialize (q : Query.t) i (t : R.Tuple.t) =
+  let atom = List.nth q.body i in
+  match Atom.matches atom t with
+  | None -> None
+  | Some bindings ->
+    let f v =
+      List.assoc_opt v bindings |> Option.map (fun value -> Term.Const value)
+    in
+    Some (Query.substitute f q)
+
+(* candidate answers touching any deleted tuple: union over (tuple, atom)
+   pairs of the specialized queries' answers on the old database *)
+let candidates db (q : Query.t) dd =
+  R.Stuple.Set.fold
+    (fun (st : R.Stuple.t) acc ->
+      List.fold_left
+        (fun acc (i, (atom : Atom.t)) ->
+          if atom.rel <> st.rel then acc
+          else
+            match specialize q i st.tuple with
+            | None -> acc
+            | Some q' -> R.Tuple.Set.union acc (Eval.evaluate db q'))
+        acc
+        (List.mapi (fun i a -> (i, a)) q.body))
+    dd R.Tuple.Set.empty
+
+(* is [answer] still derivable over db'? specialize the head variables to
+   the answer's constants and evaluate *)
+let derivable db' (q : Query.t) answer =
+  let bindings =
+    List.mapi (fun i term -> (term, R.Tuple.get answer i)) q.head
+    |> List.filter_map (function
+         | Term.Var v, value -> Some (v, value)
+         | Term.Const c, value ->
+           (* a constant head position must agree, else not derivable *)
+           if R.Value.equal c value then None else Some ("", value))
+  in
+  if List.exists (fun (v, _) -> v = "") bindings then false
+  else begin
+    (* repeated head variables with conflicting values can never match *)
+    let tbl = Hashtbl.create 8 in
+    let consistent =
+      List.for_all
+        (fun (v, value) ->
+          match Hashtbl.find_opt tbl v with
+          | Some value' -> R.Value.equal value value'
+          | None ->
+            Hashtbl.add tbl v value;
+            true)
+        bindings
+    in
+    consistent
+    &&
+    let f v = Hashtbl.find_opt tbl v |> Option.map (fun value -> Term.Const value) in
+    let q' = Query.substitute f q in
+    not (R.Tuple.Set.is_empty (Eval.evaluate db' q'))
+  end
+
+let lost_answers db q dd =
+  let db' = R.Instance.delete db dd in
+  R.Tuple.Set.filter
+    (fun answer -> not (derivable db' q answer))
+    (candidates db q dd)
+
+let refresh db q ~view dd = R.Tuple.Set.diff view (lost_answers db q dd)

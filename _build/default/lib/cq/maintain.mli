@@ -1,0 +1,33 @@
+(** Incremental view maintenance under deletions.
+
+    Deletion propagation presumes materialized views; after a propagation
+    plan [ΔD] is applied, the views must be refreshed. Re-evaluating
+    every query costs full join time; the delta rule does better:
+
+    + candidate lost answers = for each deleted tuple and each body atom
+      of matching relation, the answers of the query specialized to that
+      atom/tuple binding (evaluated over the {e old} database);
+    + an answer is really lost iff it has no derivation left over
+      [D \ ΔD] (checked by a fully-specialized derivability query).
+
+    For key-preserving queries the derivability check can be skipped —
+    the unique witness dies with any of its tuples — making maintenance a
+    pure index lookup; this module implements the {e general} semantics
+    and is validated against full re-evaluation. Benchmarked in E17. *)
+
+(** [lost_answers db q dd] — the answers of [q] over [db] eliminated by
+    deleting [dd], under general (multi-witness) semantics. *)
+val lost_answers :
+  Relational.Instance.t ->
+  Query.t ->
+  Relational.Stuple.Set.t ->
+  Relational.Tuple.Set.t
+
+(** [refresh db q ~view dd] — the view of [q] over [db \ dd], computed
+    incrementally from the materialized [view] over [db]. *)
+val refresh :
+  Relational.Instance.t ->
+  Query.t ->
+  view:Relational.Tuple.Set.t ->
+  Relational.Stuple.Set.t ->
+  Relational.Tuple.Set.t

@@ -1,0 +1,75 @@
+module R = Relational
+
+let max_dp_atoms = 10
+
+(* selectivity of placing [atom] when the variables in [bound] are already
+   fixed: product over columns holding a constant or a bound variable of
+   1/distinct(col); repeated fresh variables within the atom contribute
+   one extra 1/distinct per repetition *)
+let atom_estimate db (atom : Atom.t) bound =
+  let rel =
+    match R.Instance.relation_opt db atom.rel with
+    | Some r -> r
+    | None -> invalid_arg ("Optimizer: unknown relation " ^ atom.rel)
+  in
+  let base = float_of_int (max 1 (R.Relation.cardinal rel)) in
+  let seen = Hashtbl.create 4 in
+  let sel = ref 1.0 in
+  Array.iteri
+    (fun col term ->
+      let distinct = float_of_int (max 1 (R.Relation.distinct_in_column rel col)) in
+      match term with
+      | Term.Const _ -> sel := !sel /. distinct
+      | Term.Var v ->
+        if Term.Vars.mem v bound || Hashtbl.mem seen v then sel := !sel /. distinct
+        else Hashtbl.add seen v ())
+    atom.args;
+  base *. !sel
+
+let order db (q : Query.t) =
+  let atoms = Array.of_list q.body in
+  let n = Array.length atoms in
+  if n = 0 then [||]
+  else if n > max_dp_atoms then Array.init n Fun.id
+  else begin
+    let vars = Array.map Atom.var_set atoms in
+    (* dp.(mask) = Some (cost, est_rows, order_rev) *)
+    let dp = Array.make (1 lsl n) None in
+    dp.(0) <- Some (0.0, 1.0, []);
+    for mask = 0 to (1 lsl n) - 1 do
+      match dp.(mask) with
+      | None -> ()
+      | Some (cost, rows, order_rev) ->
+        let bound =
+          List.fold_left
+            (fun acc i -> Term.Vars.union acc vars.(i))
+            Term.Vars.empty order_rev
+        in
+        for i = 0 to n - 1 do
+          if mask land (1 lsl i) = 0 then begin
+            let est = atom_estimate db atoms.(i) bound in
+            let rows' = Float.max 1.0 (rows *. est) in
+            let cost' = cost +. rows' in
+            let mask' = mask lor (1 lsl i) in
+            match dp.(mask') with
+            | Some (c, _, _) when c <= cost' -> ()
+            | _ -> dp.(mask') <- Some (cost', rows', i :: order_rev)
+          end
+        done
+    done;
+    match dp.((1 lsl n) - 1) with
+    | Some (_, _, order_rev) -> Array.of_list (List.rev order_rev)
+    | None -> Array.init n Fun.id
+  end
+
+let estimated_rows db (q : Query.t) =
+  let atoms = Array.of_list q.body in
+  let p = order db q in
+  let rows = ref 1.0 in
+  let bound = ref Term.Vars.empty in
+  Array.iter
+    (fun i ->
+      rows := Float.max 1.0 (!rows *. atom_estimate db atoms.(i) !bound);
+      bound := Term.Vars.union !bound (Atom.var_set atoms.(i)))
+    p;
+  !rows

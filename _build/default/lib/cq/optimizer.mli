@@ -1,0 +1,21 @@
+(** Cost-based join ordering, Selinger style: dynamic programming over
+    atom subsets with cardinality estimation from per-column
+    distinct-value statistics ({!Relational.Relation.distinct_in_column}).
+
+    Cost model: the estimated rows of a partial join is the product of
+    base cardinalities, discounted by [1/distinct(col)] for every column
+    bound by a constant or an already-bound variable (independence
+    assumption). The plan cost is the sum of intermediate result sizes —
+    the classic left-deep Selinger objective. Exponential in the number
+    of atoms; {!Plan} delegates here for bodies of ≤ {!max_dp_atoms}
+    atoms and falls back to its greedy heuristic beyond. *)
+
+val max_dp_atoms : int
+
+(** [order db q] — permutation of the body atoms minimizing the estimated
+    plan cost (left-deep). *)
+val order : Relational.Instance.t -> Query.t -> int array
+
+(** Estimated result cardinality of the whole query under the model —
+    exposed for inspection and tests. *)
+val estimated_rows : Relational.Instance.t -> Query.t -> float

@@ -1,0 +1,106 @@
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Parse_error m)) fmt
+
+type token =
+  | Ident of string
+  | Num of int
+  | Quoted of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Turnstile
+
+let tokenize s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\r' | '\n' -> go (i + 1) acc
+      | '#' -> List.rev acc
+      | '(' -> go (i + 1) (Lparen :: acc)
+      | ')' -> go (i + 1) (Rparen :: acc)
+      | ',' -> go (i + 1) (Comma :: acc)
+      | ':' ->
+        if i + 1 < n && s.[i + 1] = '-' then go (i + 2) (Turnstile :: acc)
+        else fail "expected '-' after ':'"
+      | '\'' ->
+        let rec find j = if j >= n then fail "unterminated quote" else if s.[j] = '\'' then j else find (j + 1) in
+        let j = find (i + 1) in
+        go (j + 1) (Quoted (String.sub s (i + 1) (j - i - 1)) :: acc)
+      | c when (c >= '0' && c <= '9') || c = '-' ->
+        let rec find j = if j < n && s.[j] >= '0' && s.[j] <= '9' then find (j + 1) else j in
+        let j = find (i + 1) in
+        if j = i + 1 && c = '-' then fail "stray '-'"
+        else go j (Num (int_of_string (String.sub s i (j - i))) :: acc)
+      | c when (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' ->
+        let is_ident_char c =
+          (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+        in
+        let rec find j = if j < n && is_ident_char s.[j] then find (j + 1) else j in
+        let j = find (i + 1) in
+        go j (Ident (String.sub s i (j - i)) :: acc)
+      | c -> fail "unexpected character %c" c
+  in
+  go 0 []
+
+let is_variable name =
+  name <> "" && ((name.[0] >= 'A' && name.[0] <= 'Z') || name.[0] = '_')
+
+let term_of_token = function
+  | Ident name when is_variable name -> Term.var name
+  | Ident name -> Term.str name
+  | Num i -> Term.int i
+  | Quoted s -> Term.str s
+  | Lparen | Rparen | Comma | Turnstile -> fail "expected a term"
+
+(* name(t1, ..., tk) — returns (name, terms, rest) *)
+let parse_applied = function
+  | Ident name :: Lparen :: rest ->
+    let rec args acc = function
+      | Rparen :: rest when acc = [] -> (List.rev acc, rest)
+      | tok :: rest -> (
+        let t = term_of_token tok in
+        match rest with
+        | Comma :: rest -> args (t :: acc) rest
+        | Rparen :: rest -> (List.rev (t :: acc), rest)
+        | _ -> fail "expected ',' or ')' in argument list of %s" name)
+      | [] -> fail "unterminated argument list of %s" name
+    in
+    let terms, rest = args [] rest in
+    if terms = [] then fail "%s: empty argument list" name;
+    (name, terms, rest)
+  | Ident name :: _ -> fail "expected '(' after %s" name
+  | _ -> fail "expected an identifier"
+
+let query_of_string s =
+  let tokens = tokenize s in
+  let name, head, rest = parse_applied tokens in
+  (match rest with
+  | Turnstile :: _ -> ()
+  | _ -> fail "expected ':-' after head of %s" name);
+  let rest = List.tl rest in
+  let rec atoms acc rest =
+    let rel, terms, rest = parse_applied rest in
+    let atom = Atom.make rel terms in
+    match rest with
+    | [] -> List.rev (atom :: acc)
+    | Comma :: rest -> atoms (atom :: acc) rest
+    | _ -> fail "expected ',' or end of input after atom %s" rel
+  in
+  let body = atoms [] rest in
+  Query.make ~name ~head ~body
+
+let queries_of_string s =
+  String.split_on_char '\n' s
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None else Some (query_of_string line))
+
+let queries_of_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  queries_of_string s

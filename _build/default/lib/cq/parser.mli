@@ -1,0 +1,20 @@
+(** Parser for datalog-style conjunctive queries.
+
+    Syntax:
+    {v
+    Q3(X, Z) :- T1(X, Y), T2(Y, Z, W)
+    v}
+    Prolog conventions: tokens beginning with an uppercase letter or [_]
+    are variables; integers, lowercase identifiers and single-quoted
+    strings are constants. [#] starts a comment. *)
+
+exception Parse_error of string
+
+(** Parse one query. Raises {!Parse_error}. *)
+val query_of_string : string -> Query.t
+
+(** Parse a newline-separated list of queries (blank lines and comments
+    ignored). *)
+val queries_of_string : string -> Query.t list
+
+val queries_of_file : string -> Query.t list

@@ -1,0 +1,56 @@
+module R = Relational
+
+let relation_size db (a : Atom.t) =
+  match R.Instance.relation_opt db a.rel with
+  | Some rel -> R.Relation.cardinal rel
+  | None -> max_int
+
+let num_constants (a : Atom.t) =
+  Array.fold_left (fun n t -> if Term.is_var t then n else n + 1) 0 a.args
+
+let greedy_order db (q : Query.t) =
+  let atoms = Array.of_list q.body in
+  let n = Array.length atoms in
+  if n = 0 then [||]
+  else begin
+    let remaining = ref (List.init n Fun.id) in
+    let bound = ref Term.Vars.empty in
+    let chosen = ref [] in
+    (* score: (connected to bound vars?, #newly bound key positions...) —
+       approximated by (shared bound vars, constants, -size) *)
+    let pick () =
+      let score i =
+        let a = atoms.(i) in
+        let shared = Term.Vars.cardinal (Term.Vars.inter (Atom.var_set a) !bound) in
+        let connected = if !chosen = [] then 1 else if shared > 0 then 1 else 0 in
+        (connected, shared + num_constants a, -relation_size db a)
+      in
+      let best =
+        List.fold_left
+          (fun acc i ->
+            match acc with
+            | Some (j, sj) ->
+              let si = score i in
+              if compare si sj > 0 then Some (i, si) else Some (j, sj)
+            | None -> Some (i, score i))
+          None !remaining
+      in
+      match best with Some (i, _) -> i | None -> assert false
+    in
+    for _ = 1 to n do
+      let i = pick () in
+      remaining := List.filter (fun j -> j <> i) !remaining;
+      bound := Term.Vars.union !bound (Atom.var_set atoms.(i));
+      chosen := i :: !chosen
+    done;
+    Array.of_list (List.rev !chosen)
+  end
+
+let order db (q : Query.t) =
+  if List.length q.body <= Optimizer.max_dp_atoms then Optimizer.order db q
+  else greedy_order db q
+
+let reorder_body db (q : Query.t) =
+  let atoms = Array.of_list q.body in
+  let p = order db q in
+  { q with Query.body = Array.to_list (Array.map (fun i -> atoms.(i)) p) }

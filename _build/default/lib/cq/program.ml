@@ -1,0 +1,209 @@
+module R = Relational
+
+type t = {
+  rules : Query.t list;
+}
+
+type error =
+  | Recursive of string list
+  | Unsafe of string
+  | Unknown_predicate of string
+
+let pp_error ppf = function
+  | Recursive cycle ->
+    Format.fprintf ppf "recursive program: %s" (String.concat " -> " cycle)
+  | Unsafe q -> Format.fprintf ppf "unsafe rule for %s" q
+  | Unknown_predicate p -> Format.fprintf ppf "unknown predicate %s" p
+
+let idb_names rules =
+  List.map (fun (q : Query.t) -> q.name) rules |> List.sort_uniq String.compare
+
+let rules_of t name = List.filter (fun (q : Query.t) -> q.name = name) t.rules
+
+let depends_on t name =
+  let idb = idb_names t.rules in
+  rules_of t name
+  |> List.concat_map (fun (q : Query.t) -> Query.relations q)
+  |> List.filter (fun r -> List.mem r idb)
+  |> List.sort_uniq String.compare
+
+(* cycle detection over the IDB dependency graph; returns a witness cycle *)
+let find_cycle rules =
+  let idb = idb_names rules in
+  let deps name =
+    List.filter (fun (q : Query.t) -> q.name = name) rules
+    |> List.concat_map (fun (q : Query.t) -> Query.relations q)
+    |> List.filter (fun r -> List.mem r idb)
+  in
+  let state = Hashtbl.create 16 in
+  (* state: 1 = on stack, 2 = done *)
+  let exception Cycle of string list in
+  let rec dfs path name =
+    match Hashtbl.find_opt state name with
+    | Some 2 -> ()
+    | Some 1 ->
+      let rec tail = function
+        | x :: _ as l when x = name -> l
+        | _ :: rest -> tail rest
+        | [] -> [ name ]
+      in
+      raise (Cycle (List.rev (name :: tail path)))
+    | _ ->
+      Hashtbl.replace state name 1;
+      List.iter (dfs (name :: path)) (deps name);
+      Hashtbl.replace state name 2
+  in
+  try
+    List.iter (dfs []) idb;
+    None
+  with Cycle c -> Some c
+
+let make ~schema rules =
+  let idb = idb_names rules in
+  (* safety per rule (head vars in body) without requiring IDB atoms to be
+     in the schema *)
+  let safe (q : Query.t) =
+    let bv =
+      List.fold_left
+        (fun acc a -> Term.Vars.union acc (Atom.var_set a))
+        Term.Vars.empty q.body
+    in
+    Term.Vars.subset (Query.head_vars q) bv && q.body <> []
+  in
+  match List.find_opt (fun q -> not (safe q)) rules with
+  | Some q -> Error (Unsafe q.Query.name)
+  | None -> (
+    (* EDB atoms must check against the schema *)
+    let edb_ok =
+      List.for_all
+        (fun (q : Query.t) ->
+          List.for_all
+            (fun (a : Atom.t) ->
+              List.mem a.rel idb
+              ||
+              match R.Schema.Db.find_opt schema a.rel with
+              | Some s -> s.R.Schema.arity = Atom.arity a
+              | None -> false)
+            q.body)
+        rules
+    in
+    if not edb_ok then Error (Unknown_predicate "an EDB atom does not match the schema")
+    else
+      match find_cycle rules with
+      | Some c -> Error (Recursive c)
+      | None -> Ok { rules })
+
+let predicates t = idb_names t.rules
+
+(* ---- unfolding ---- *)
+
+(* environments map variables to terms; resolve follows chains *)
+module Env = Map.Make (String)
+
+let rec resolve env (term : Term.t) =
+  match term with
+  | Term.Const _ -> term
+  | Term.Var v -> (
+    match Env.find_opt v env with
+    | Some t when not (Term.equal t term) -> resolve env t
+    | _ -> term)
+
+let unify_terms env a b =
+  let a = resolve env a and b = resolve env b in
+  match (a, b) with
+  | Term.Const x, Term.Const y -> if R.Value.equal x y then Some env else None
+  | Term.Var v, t | t, Term.Var v ->
+    if Term.equal (Term.Var v) t then Some env else Some (Env.add v t env)
+
+let apply_env env (a : Atom.t) = { a with Atom.args = Array.map (resolve env) a.Atom.args }
+
+(* an expansion of a predicate: head terms + EDB-only body, over private
+   variable names *)
+type expansion = {
+  head : Term.t list;
+  body : Atom.t list;
+}
+
+let fresh_counter = ref 0
+
+let rename (e : expansion) =
+  incr fresh_counter;
+  let tag = !fresh_counter in
+  let map = Hashtbl.create 8 in
+  let var v =
+    match Hashtbl.find_opt map v with
+    | Some v' -> v'
+    | None ->
+      let v' = Printf.sprintf "%s_u%d" v tag in
+      Hashtbl.replace map v v';
+      v'
+  in
+  let term = function Term.Var v -> Term.Var (var v) | t -> t in
+  {
+    head = List.map term e.head;
+    body = List.map (fun (a : Atom.t) -> { a with Atom.args = Array.map term a.Atom.args }) e.body;
+  }
+
+let unfold t ~schema name =
+  ignore schema;
+  let idb = idb_names t.rules in
+  if not (List.mem name idb) then Error (Unknown_predicate name)
+  else begin
+    let memo : (string, expansion list) Hashtbl.t = Hashtbl.create 8 in
+    let rec expansions pred =
+      match Hashtbl.find_opt memo pred with
+      | Some e -> e
+      | None ->
+        let result =
+          rules_of t pred
+          |> List.concat_map (fun (q : Query.t) ->
+                 (* partial: env + accumulated EDB atoms (un-substituted;
+                    env applied at the end) *)
+                 let step partials (atom : Atom.t) =
+                   if List.mem atom.rel idb then
+                     List.concat_map
+                       (fun (env, acc) ->
+                         expansions atom.rel
+                         |> List.filter_map (fun e ->
+                                let e = rename e in
+                                let rec unify_all env pairs =
+                                  match pairs with
+                                  | [] -> Some env
+                                  | (a, b) :: rest ->
+                                    Option.bind (unify_terms env a b) (fun env ->
+                                        unify_all env rest)
+                                in
+                                let pairs =
+                                  List.combine (Array.to_list atom.args) e.head
+                                in
+                                match unify_all env pairs with
+                                | Some env -> Some (env, acc @ e.body)
+                                | None -> None))
+                       partials
+                   else List.map (fun (env, acc) -> (env, acc @ [ atom ])) partials
+                 in
+                 let partials = List.fold_left step [ (Env.empty, []) ] q.body in
+                 List.map
+                   (fun (env, acc) ->
+                     {
+                       head = List.map (resolve env) q.head;
+                       body = List.map (apply_env env) acc;
+                     })
+                   partials)
+        in
+        Hashtbl.replace memo pred result;
+        result
+    in
+    let disjuncts =
+      expansions name
+      |> List.map (fun e -> Query.make ~name ~head:e.head ~body:e.body)
+    in
+    match Containment.dedupe disjuncts with
+    | [] -> Error (Unknown_predicate name)
+    | ds -> Ok (Ucq.make ~name ds)
+  end
+
+let evaluate t db name =
+  match unfold t ~schema:(R.Instance.schema db) name with
+  | Error e -> Error e
+  | Ok u -> Ok (Ucq.evaluate db u)

@@ -1,0 +1,44 @@
+(** Non-recursive datalog programs: views defined over views.
+
+    A program is a set of rules; predicates with rules are intensional
+    (IDB), everything else is a schema relation (EDB). Unfolding inlines
+    IDB atoms — each rule choice contributing a disjunct — turning any
+    IDB predicate into a {!Ucq} over the EDB alone. Deletion propagation
+    through stacked views then reduces to the UCQ machinery: real
+    systems define views over views, and this is the bridge that keeps
+    them inside the paper's SPJU fragment. Recursion is rejected. *)
+
+type t = private {
+  rules : Query.t list;
+}
+
+type error =
+  | Recursive of string list      (** a dependency cycle, as predicate names *)
+  | Unsafe of string              (** rule with an unsafe head variable *)
+  | Unknown_predicate of string
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [make ~schema rules] — rules may use schema relations and other
+    rules' head predicates in their bodies; the dependency graph must be
+    acyclic; every rule must be safe. *)
+val make : schema:Relational.Schema.Db.t -> Query.t list -> (t, error) Stdlib.result
+
+(** IDB predicate names, in rule order (no duplicates). *)
+val predicates : t -> string list
+
+(** Direct dependencies of a predicate (IDB names only). *)
+val depends_on : t -> string -> string list
+
+(** [unfold program ~schema name] — the predicate as a union of
+    conjunctive queries over EDB relations only. Distinct disjuncts are
+    deduplicated up to equivalence. *)
+val unfold :
+  t -> schema:Relational.Schema.Db.t -> string -> (Ucq.t, error) Stdlib.result
+
+(** Evaluate an IDB predicate (by unfolding). *)
+val evaluate :
+  t ->
+  Relational.Instance.t ->
+  string ->
+  (Relational.Tuple.Set.t, error) Stdlib.result

@@ -1,0 +1,76 @@
+type t = {
+  name : string;
+  head : Term.t list;
+  body : Atom.t list;
+}
+
+let make ~name ~head ~body = { name; head; body }
+
+let arity q = List.length q.head
+
+let head_vars q =
+  List.fold_left
+    (fun acc t -> match t with Term.Var v -> Term.Vars.add v acc | Term.Const _ -> acc)
+    Term.Vars.empty q.head
+
+let body_vars q =
+  List.fold_left (fun acc a -> Term.Vars.union acc (Atom.var_set a)) Term.Vars.empty q.body
+
+let vars q = Term.Vars.union (head_vars q) (body_vars q)
+
+let existential_vars q = Term.Vars.diff (body_vars q) (head_vars q)
+
+let check schema q =
+  if q.body = [] then invalid_arg (q.name ^ ": empty body");
+  if q.head = [] then invalid_arg (q.name ^ ": empty head");
+  List.iter (Atom.check schema) q.body;
+  let bv = body_vars q in
+  Term.Vars.iter
+    (fun v ->
+      if not (Term.Vars.mem v bv) then
+        invalid_arg (q.name ^ ": unsafe head variable " ^ v))
+    (head_vars q)
+
+let relations q =
+  let seen = Hashtbl.create 8 in
+  List.fold_left
+    (fun acc (a : Atom.t) ->
+      if Hashtbl.mem seen a.rel then acc
+      else begin
+        Hashtbl.add seen a.rel ();
+        a.rel :: acc
+      end)
+    [] q.body
+  |> List.rev
+
+let substitute f q =
+  let term = function
+    | Term.Var v as t -> Option.value ~default:t (f v)
+    | Term.Const _ as t -> t
+  in
+  {
+    q with
+    head = List.map term q.head;
+    body =
+      List.map
+        (fun (a : Atom.t) -> { a with Atom.args = Array.map term a.Atom.args })
+        q.body;
+  }
+
+let compare a b =
+  let c = String.compare a.name b.name in
+  if c <> 0 then c
+  else
+    let c = List.compare Term.compare a.head b.head in
+    if c <> 0 then c else List.compare Atom.compare a.body b.body
+
+let equal a b = compare a b = 0
+
+let pp ppf q =
+  Format.fprintf ppf "%s(%a) :- %a" q.name
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Term.pp)
+    q.head
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Atom.pp)
+    q.body
+
+let to_string q = Format.asprintf "%a" pp q

@@ -1,0 +1,47 @@
+(** Conjunctive queries in datalog style (§II.B):
+    [Q(y1, ..., yk) :- T1(...), ..., Tq(...)].
+
+    The head is a vector of terms (normally variables, possibly repeated,
+    as in the paper's [Q2(y, y1, y, y2, y, y3)]); the body is a list of
+    atoms. *)
+
+type t = {
+  name : string;
+  head : Term.t list;
+  body : Atom.t list;
+}
+
+val make : name:string -> head:Term.t list -> body:Atom.t list -> t
+
+(** The width [arity(Q)]: the length of the head vector. *)
+val arity : t -> int
+
+(** All variables of the query. *)
+val vars : t -> Term.Vars.t
+
+(** Head variables [Var_h(Q)]. *)
+val head_vars : t -> Term.Vars.t
+
+(** Existential variables [Var_∃(Q)]: body variables not in the head. *)
+val existential_vars : t -> Term.Vars.t
+
+(** [check schema q] validates the query against the schema: known
+    relations, correct atom arities, non-empty body and head, and safety
+    (every head variable occurs in the body).
+    Raises [Invalid_argument] with a descriptive message otherwise. *)
+val check : Relational.Schema.Db.t -> t -> unit
+
+(** Relation names in the body, without duplicates, in first-occurrence
+    order. This is the hyperedge the query contributes to the dual
+    hypergraph (§IV.B). *)
+val relations : t -> string list
+
+(** [substitute f q] — replace every variable [v] with [f v] (when
+    [Some]) throughout head and body. Used to specialize queries for
+    incremental maintenance and derivability checks. *)
+val substitute : (string -> Term.t option) -> t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,63 @@
+module R = Relational
+
+type monomial = (R.Stuple.t * int) list
+type polynomial = (monomial * int) list
+
+let monomial_of_witness (w : Eval.witness) =
+  Array.to_list w
+  |> List.sort R.Stuple.compare
+  |> List.fold_left
+       (fun acc st ->
+         match acc with
+         | (st', e) :: rest when R.Stuple.equal st st' -> (st', e + 1) :: rest
+         | _ -> (st, 1) :: acc)
+       []
+  |> List.rev
+
+let polynomial db q answer =
+  Eval.matches db q
+  |> List.filter_map (fun (t, w) ->
+         if R.Tuple.equal t answer then Some (monomial_of_witness w) else None)
+  |> List.sort compare
+  |> List.fold_left
+       (fun acc m ->
+         match acc with
+         | (m', c) :: rest when m = m' -> (m', c + 1) :: rest
+         | _ -> (m, 1) :: acc)
+       []
+  |> List.rev
+
+let count p = List.fold_left (fun acc (_, c) -> acc + c) 0 p
+
+let why p =
+  List.map (fun (m, _) -> R.Stuple.Set.of_list (List.map fst m)) p
+  |> List.sort_uniq R.Stuple.Set.compare
+
+let survives p ~kept =
+  List.exists (fun (m, _) -> List.for_all (fun (st, _) -> kept st) m) p
+
+let best_confidence p ~score =
+  List.fold_left
+    (fun best (m, _) ->
+      let v =
+        List.fold_left
+          (fun acc (st, e) -> acc *. Float.pow (score st) (float_of_int e))
+          1.0 m
+      in
+      Float.max best v)
+    0.0 p
+
+let pp ppf p =
+  let pp_mono ppf (m, c) =
+    if c <> 1 then Format.fprintf ppf "%d·" c;
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf "·")
+      (fun ppf (st, e) ->
+        if e = 1 then R.Stuple.pp ppf st
+        else Format.fprintf ppf "%a^%d" R.Stuple.pp st e)
+      ppf m
+  in
+  match p with
+  | [] -> Format.fprintf ppf "0"
+  | _ ->
+    Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " + ") pp_mono ppf p

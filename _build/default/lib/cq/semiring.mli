@@ -1,0 +1,41 @@
+(** Semiring provenance polynomials (Green–Karvounarakis–Tannen) for CQ
+    answers — the algebraic generalization of the why-provenance that §V
+    of the paper builds on. Each derivation contributes a monomial (the
+    product of its source tuples, with exponents for self-join reuse);
+    the answer's polynomial is their sum, with integer coefficients for
+    derivations that collapse to the same monomial under projection.
+
+    Specializing the semiring recovers the classical notions:
+    + ℕ[X] → ℕ (all variables 1): number of derivations;
+    + drop exponents/coefficients: why-provenance;
+    + PosBool: answer survival under a tuple-retention assignment — the
+      deletion-propagation semantics itself;
+    + Viterbi (max, ×): best-derivation confidence from per-tuple
+      scores. *)
+
+type monomial = (Relational.Stuple.t * int) list
+(** tuple → exponent, sorted by tuple; exponents ≥ 1. *)
+
+type polynomial = (monomial * int) list
+(** monomial → coefficient, coefficients ≥ 1; sorted. *)
+
+(** The provenance polynomial of an answer (empty if not an answer). *)
+val polynomial : Relational.Instance.t -> Query.t -> Relational.Tuple.t -> polynomial
+
+(** Number of derivations: evaluate in ℕ with every variable = 1. *)
+val count : polynomial -> int
+
+(** Why-provenance: the monomials' supports as sets. *)
+val why : polynomial -> Relational.Stuple.Set.t list
+
+(** PosBool specialization: does the answer survive when exactly the
+    tuples with [kept t = true] remain? This is precisely
+    "the answer survives the deletion of the rest" — cross-validated
+    against {!Eval} in the tests. *)
+val survives : polynomial -> kept:(Relational.Stuple.t -> bool) -> bool
+
+(** Viterbi specialization: max over derivations of the product of
+    per-tuple scores (exponents respected). 0 for non-answers. *)
+val best_confidence : polynomial -> score:(Relational.Stuple.t -> float) -> float
+
+val pp : Format.formatter -> polynomial -> unit

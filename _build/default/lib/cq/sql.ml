@@ -1,0 +1,310 @@
+module R = Relational
+
+type error = {
+  position : int;
+  message : string;
+}
+
+let pp_error ppf e = Format.fprintf ppf "at %d: %s" e.position e.message
+
+exception Err of error
+
+let fail position fmt = Format.kasprintf (fun message -> raise (Err { position; message })) fmt
+
+(* ---- tokens ---- *)
+
+type token =
+  | Ident of string
+  | Num of int
+  | Str of string
+  | Comma
+  | Dot
+  | Eq
+  | Star
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    let pos = !i in
+    (match c with
+    | ' ' | '\t' | '\r' | '\n' -> incr i
+    | ',' ->
+      toks := (Comma, pos) :: !toks;
+      incr i
+    | '.' ->
+      toks := (Dot, pos) :: !toks;
+      incr i
+    | '=' ->
+      toks := (Eq, pos) :: !toks;
+      incr i
+    | '*' ->
+      toks := (Star, pos) :: !toks;
+      incr i
+    | '\'' ->
+      let j = ref (pos + 1) in
+      while !j < n && s.[!j] <> '\'' do
+        incr j
+      done;
+      if !j >= n then fail pos "unterminated string literal";
+      toks := (Str (String.sub s (pos + 1) (!j - pos - 1)), pos) :: !toks;
+      i := !j + 1
+    | '0' .. '9' | '-' ->
+      let j = ref (pos + 1) in
+      while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do
+        incr j
+      done;
+      if !j = pos + 1 && c = '-' then fail pos "stray '-'";
+      toks := (Num (int_of_string (String.sub s pos (!j - pos))), pos) :: !toks;
+      i := !j
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
+      let ok ch =
+        (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z')
+        || (ch >= '0' && ch <= '9') || ch = '_'
+      in
+      let j = ref (pos + 1) in
+      while !j < n && ok s.[!j] do
+        incr j
+      done;
+      toks := (Ident (String.sub s pos (!j - pos)), pos) :: !toks;
+      i := !j
+    | c -> fail pos "unexpected character %c" c);
+  done;
+  List.rev !toks
+
+let is_kw kw = function
+  | Ident s, _ -> String.lowercase_ascii s = kw
+  | _ -> false
+
+(* ---- AST ---- *)
+
+type colref = { table : string option; column : string; at : int }
+
+type operand =
+  | Col of colref
+  | Const of R.Value.t
+
+type select_item =
+  | All
+  | Item of colref
+
+(* ---- parser ---- *)
+
+let rec parse_select_list acc = function
+  | (Star, _) :: rest -> parse_after_item (All :: acc) rest
+  | toks ->
+    let item, rest = parse_colref toks in
+    parse_after_item (Item item :: acc) rest
+
+and parse_after_item acc = function
+  | (Comma, _) :: rest -> parse_select_list acc rest
+  | rest -> (List.rev acc, rest)
+
+and parse_colref = function
+  | (Ident a, pos) :: (Dot, _) :: (Ident b, _) :: rest ->
+    ({ table = Some a; column = b; at = pos }, rest)
+  | (Ident a, pos) :: rest when not (is_kw "from" (Ident a, pos)) ->
+    ({ table = None; column = a; at = pos }, rest)
+  | (_, pos) :: _ -> fail pos "expected a column reference"
+  | [] -> fail 0 "unexpected end of input"
+
+let parse_from toks =
+  let rec entries acc = function
+    | (Ident t, pos) :: rest when not (is_kw "where" (Ident t, pos)) -> (
+      let alias, rest =
+        match rest with
+        | (Ident kw, _) :: (Ident a, _) :: rest' when String.lowercase_ascii kw = "as" ->
+          (a, rest')
+        | (Ident a, p) :: rest'
+          when (not (is_kw "where" (Ident a, p))) && not (is_kw "and" (Ident a, p)) ->
+          (a, rest')
+        | _ -> (t, rest)
+      in
+      let acc = (t, alias, pos) :: acc in
+      match rest with
+      | (Comma, _) :: rest' -> entries acc rest'
+      | _ -> (List.rev acc, rest))
+    | (_, pos) :: _ -> fail pos "expected a table name"
+    | [] -> fail 0 "expected a table name after FROM"
+  in
+  entries [] toks
+
+let parse_operand = function
+  | (Num v, _) :: rest -> (Const (R.Value.int v), rest)
+  | (Str v, _) :: rest -> (Const (R.Value.str v), rest)
+  | toks ->
+    let c, rest = parse_colref toks in
+    (Col c, rest)
+
+let parse_where toks =
+  let rec conds acc toks =
+    let lhs, rest = parse_operand toks in
+    match rest with
+    | (Eq, _) :: rest -> (
+      let rhs, rest = parse_operand rest in
+      let acc = (lhs, rhs) :: acc in
+      match rest with
+      | (Ident a, p) :: rest' when is_kw "and" (Ident a, p) -> conds acc rest'
+      | [] -> List.rev acc
+      | (_, pos) :: _ -> fail pos "expected AND or end of query")
+    | (_, pos) :: _ -> fail pos "expected '='"
+    | [] -> fail 0 "expected '=' in WHERE condition"
+  in
+  conds [] toks
+
+(* ---- translation ---- *)
+
+let query_of_string ~schema ~name sql =
+  try
+    let toks = tokenize sql in
+    let toks =
+      match toks with
+      | t :: rest when is_kw "select" t -> rest
+      | (_, pos) :: _ -> fail pos "expected SELECT"
+      | [] -> fail 0 "empty query"
+    in
+    let select, toks = parse_select_list [] toks in
+    let toks =
+      match toks with
+      | t :: rest when is_kw "from" t -> rest
+      | (_, pos) :: _ -> fail pos "expected FROM"
+      | [] -> fail 0 "expected FROM"
+    in
+    let froms, toks = parse_from toks in
+    let conditions =
+      match toks with
+      | t :: rest when is_kw "where" t -> parse_where rest
+      | [] -> []
+      | (_, pos) :: _ -> fail pos "expected WHERE or end of query"
+    in
+    (* alias environment *)
+    let aliases =
+      List.fold_left
+        (fun acc (table, alias, pos) ->
+          if List.mem_assoc alias acc then fail pos "duplicate alias %s" alias;
+          (match R.Schema.Db.find_opt schema table with
+          | None -> fail pos "unknown table %s" table
+          | Some _ -> ());
+          (alias, table) :: acc)
+        [] froms
+      |> List.rev
+    in
+    let schema_of alias pos =
+      match List.assoc_opt alias aliases with
+      | Some table -> R.Schema.Db.find schema table
+      | None -> fail pos "unknown table or alias %s" alias
+    in
+    let resolve (c : colref) =
+      match c.table with
+      | Some alias ->
+        let s = schema_of alias c.at in
+        (try (alias, R.Schema.attr_index s c.column)
+         with Not_found -> fail c.at "no column %s in %s" c.column s.R.Schema.name)
+      | None -> (
+        let hits =
+          List.filter_map
+            (fun (alias, table) ->
+              let s = R.Schema.Db.find schema table in
+              try Some (alias, R.Schema.attr_index s c.column) with Not_found -> None)
+            aliases
+        in
+        match hits with
+        | [ hit ] -> hit
+        | [] -> fail c.at "unknown column %s" c.column
+        | _ -> fail c.at "ambiguous column %s (qualify it)" c.column)
+    in
+    (* union-find over (alias, col) cells, with optional constants *)
+    let cells =
+      List.concat_map
+        (fun (alias, table) ->
+          let s = R.Schema.Db.find schema table in
+          List.init s.R.Schema.arity (fun i -> (alias, i)))
+        aliases
+    in
+    let parent = Hashtbl.create 16 in
+    let constant = Hashtbl.create 16 in
+    let rec find c =
+      match Hashtbl.find_opt parent c with
+      | None -> c
+      | Some p ->
+        let r = find p in
+        Hashtbl.replace parent c r;
+        r
+    in
+    let union pos a b =
+      let ra = find a and rb = find b in
+      if ra <> rb then begin
+        (match (Hashtbl.find_opt constant ra, Hashtbl.find_opt constant rb) with
+        | Some va, Some vb when not (R.Value.equal va vb) ->
+          fail pos "contradictory constants in WHERE"
+        | Some va, _ -> Hashtbl.replace constant rb va
+        | _ -> ());
+        Hashtbl.remove constant ra;
+        Hashtbl.replace parent ra rb
+      end
+    in
+    let bind pos c v =
+      let r = find c in
+      match Hashtbl.find_opt constant r with
+      | Some v' when not (R.Value.equal v v') -> fail pos "contradictory constants in WHERE"
+      | _ -> Hashtbl.replace constant r v
+    in
+    List.iter
+      (fun (lhs, rhs) ->
+        match (lhs, rhs) with
+        | Col a, Col b -> union a.at (resolve a) (resolve b)
+        | Col a, Const v -> bind a.at (resolve a) v
+        | Const v, Col b -> bind b.at (resolve b) v
+        | Const a, Const b ->
+          if not (R.Value.equal a b) then fail 0 "contradictory constants in WHERE")
+      conditions;
+    (* terms per cell *)
+    let var_names = Hashtbl.create 16 in
+    let counter = ref 0 in
+    let term_of cell =
+      let r = find cell in
+      match Hashtbl.find_opt constant r with
+      | Some v -> Term.Const v
+      | None ->
+        let v =
+          match Hashtbl.find_opt var_names r with
+          | Some v -> v
+          | None ->
+            incr counter;
+            let v = Printf.sprintf "V%d" !counter in
+            Hashtbl.replace var_names r v;
+            v
+        in
+        Term.Var v
+    in
+    let atoms =
+      List.map
+        (fun (alias, table) ->
+          let s = R.Schema.Db.find schema table in
+          Atom.make table (List.init s.R.Schema.arity (fun i -> term_of (alias, i))))
+        aliases
+    in
+    let head =
+      List.concat_map
+        (function
+          | All -> List.map term_of cells
+          | Item c -> [ term_of (resolve c) ])
+        select
+    in
+    (* a head that is all constants cannot form a valid CQ head here *)
+    let head =
+      if List.exists Term.is_var head then head
+      else
+        match List.find_opt (fun cell -> Term.is_var (term_of cell)) cells with
+        | Some cell -> head @ [ term_of cell ]
+        | None -> head
+    in
+    if head = [] then fail 0 "empty SELECT list";
+    let q = Query.make ~name ~head ~body:atoms in
+    Query.check schema q;
+    Ok q
+  with
+  | Err e -> Error e
+  | Invalid_argument m -> Error { position = 0; message = m }

@@ -1,0 +1,29 @@
+(** A SQL front end for the select–join fragment: translate
+
+    {v
+    SELECT a.AuName, j.Topic
+    FROM T1 a, T2 j
+    WHERE a.Journal = j.Journal AND j.Papers = 30
+    v}
+
+    into the equivalent conjunctive query. Supported: qualified or bare
+    column references (bare ones must be unambiguous), table aliases
+    (enabling self-joins), [WHERE] conjunctions of equalities between
+    columns and constants, [SELECT *]. Keywords are case-insensitive.
+    No subqueries, aggregates, [OR], or inequalities — exactly the CQ
+    fragment the paper studies. *)
+
+type error = {
+  position : int;   (** 0-based character offset of the failure *)
+  message : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [query_of_string ~schema ~name sql] — the resulting query is checked
+    against [schema] (arity, known tables/columns). *)
+val query_of_string :
+  schema:Relational.Schema.Db.t ->
+  name:string ->
+  string ->
+  (Query.t, error) Stdlib.result

@@ -1,0 +1,195 @@
+(* Triads and head domination — see the .mli for the definitions. *)
+
+(* connectivity between atoms i and j in the graph whose edges link atoms
+   sharing a variable outside [forbidden] *)
+let connected_avoiding atoms ~from ~target ~forbidden =
+  let n = Array.length atoms in
+  let share_outside a b =
+    not
+      (Term.Vars.is_empty
+         (Term.Vars.diff (Term.Vars.inter (Atom.var_set a) (Atom.var_set b)) forbidden))
+  in
+  let visited = Array.make n false in
+  let q = Queue.create () in
+  Queue.add from q;
+  visited.(from) <- true;
+  let found = ref false in
+  while not (Queue.is_empty q) do
+    let i = Queue.pop q in
+    if i = target then found := true
+    else
+      for j = 0 to n - 1 do
+        if (not visited.(j)) && share_outside atoms.(i) atoms.(j) then begin
+          visited.(j) <- true;
+          Queue.add j q
+        end
+      done
+  done;
+  !found
+
+let triads (q : Query.t) =
+  let atoms = Array.of_list q.body in
+  let n = Array.length atoms in
+  let indep i j k =
+    connected_avoiding atoms ~from:i ~target:j ~forbidden:(Atom.var_set atoms.(k))
+  in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      for k = j + 1 to n - 1 do
+        if indep i j k && indep i k j && indep j k i then
+          acc := (atoms.(i), atoms.(j), atoms.(k)) :: !acc
+      done
+    done
+  done;
+  List.rev !acc
+
+let is_triad_free q = triads q = []
+
+let existential_components (q : Query.t) =
+  let ex = Query.existential_vars q in
+  if Term.Vars.is_empty ex then []
+  else begin
+    (* union-find over existential variables, merged per atom *)
+    let parent = Hashtbl.create 16 in
+    let rec find v =
+      match Hashtbl.find_opt parent v with
+      | None | Some None -> v
+      | Some (Some p) ->
+        let r = find p in
+        Hashtbl.replace parent v (Some r);
+        r
+    in
+    let union a b =
+      let ra = find a and rb = find b in
+      if ra <> rb then Hashtbl.replace parent ra (Some rb)
+    in
+    Term.Vars.iter (fun v -> Hashtbl.replace parent v None) ex;
+    List.iter
+      (fun atom ->
+        match Term.Vars.elements (Term.Vars.inter (Atom.var_set atom) ex) with
+        | [] -> ()
+        | v0 :: rest -> List.iter (union v0) rest)
+      q.body;
+    let groups = Hashtbl.create 16 in
+    Term.Vars.iter
+      (fun v ->
+        let r = find v in
+        Hashtbl.replace groups r
+          (Term.Vars.add v (Option.value ~default:Term.Vars.empty (Hashtbl.find_opt groups r))))
+      ex;
+    Hashtbl.fold
+      (fun _ vars acc ->
+        let atoms =
+          List.filter
+            (fun atom -> not (Term.Vars.is_empty (Term.Vars.inter (Atom.var_set atom) vars)))
+            q.body
+        in
+        (vars, atoms) :: acc)
+      groups []
+  end
+
+(* ---- FD-extended variants ---- *)
+
+(* induced variable implications: for each atom over R and FD lhs->rhs on
+   R, (vars at lhs positions, vars at rhs positions); a constant at a lhs
+   position is vacuously determined *)
+let induced_implications schema fds (q : Query.t) =
+  List.concat_map
+    (fun (atom : Atom.t) ->
+      List.filter_map
+        (fun (rel, (fd : Relational.Fd.t)) ->
+          if rel <> atom.rel then None
+          else begin
+            let s = Relational.Schema.Db.find schema atom.rel in
+            let vars_at attrs =
+              List.fold_left
+                (fun acc a ->
+                  let pos = Relational.Schema.attr_index s a in
+                  match atom.args.(pos) with
+                  | Term.Var v -> Option.map (Term.Vars.add v) acc
+                  | Term.Const _ -> acc)
+                (Some Term.Vars.empty) attrs
+            in
+            let rhs_vars =
+              List.fold_left
+                (fun acc a ->
+                  let pos = Relational.Schema.attr_index s a in
+                  match atom.args.(pos) with
+                  | Term.Var v -> Term.Vars.add v acc
+                  | Term.Const _ -> acc)
+                Term.Vars.empty fd.rhs
+            in
+            match vars_at fd.lhs with
+            | Some lhs_vars -> Some (lhs_vars, rhs_vars)
+            | None -> None
+          end)
+        fds)
+    q.body
+
+let fd_closure schema fds q vars =
+  let implications = induced_implications schema fds q in
+  let rec go acc =
+    let next =
+      List.fold_left
+        (fun acc (lhs, rhs) ->
+          if Term.Vars.subset lhs acc then Term.Vars.union acc rhs else acc)
+        acc implications
+    in
+    if Term.Vars.equal next acc then acc else go next
+  in
+  go vars
+
+let fd_rewrite schema fds (q : Query.t) =
+  let closure = fd_closure schema fds q (Query.head_vars q) in
+  let extra =
+    Term.Vars.diff closure (Query.head_vars q)
+    |> Term.Vars.elements |> List.map Term.var
+  in
+  { q with Query.head = q.head @ extra }
+
+let has_head_domination (q : Query.t) =
+  let hv = Query.head_vars q in
+  List.for_all
+    (fun (_, atoms) ->
+      let head_in_component =
+        List.fold_left
+          (fun acc a -> Term.Vars.union acc (Term.Vars.inter (Atom.var_set a) hv))
+          Term.Vars.empty atoms
+      in
+      List.exists
+        (fun a -> Term.Vars.subset head_in_component (Atom.var_set a))
+        q.body)
+    (existential_components q)
+
+let has_fd_head_domination schema fds (q : Query.t) =
+  let hv = Query.head_vars q in
+  List.for_all
+    (fun (_, atoms) ->
+      let head_in_component =
+        List.fold_left
+          (fun acc a -> Term.Vars.union acc (Term.Vars.inter (Atom.var_set a) hv))
+          Term.Vars.empty atoms
+      in
+      List.exists
+        (fun a ->
+          Term.Vars.subset head_in_component (fd_closure schema fds q (Atom.var_set a)))
+        q.body)
+    (existential_components q)
+
+let is_fd_triad_free schema fds (q : Query.t) =
+  let atoms = Array.of_list q.body in
+  let n = Array.length atoms in
+  let indep i j k =
+    connected_avoiding atoms ~from:i ~target:j
+      ~forbidden:(fd_closure schema fds q (Atom.var_set atoms.(k)))
+  in
+  let found = ref false in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      for k = j + 1 to n - 1 do
+        if indep i j k && indep i k j && indep j k i then found := true
+      done
+    done
+  done;
+  not !found

@@ -1,0 +1,65 @@
+(** Structural properties from the complexity landscape the paper builds
+    on (Tables II–V): triads (Freire et al. [24], governing resilience /
+    source side-effect) and head domination (Kimelfeld et al. [30, 31],
+    governing single-query view side-effect). Both are defined for
+    self-join-free queries; callers should check
+    {!Classify.is_self_join_free} first (these functions do not). *)
+
+(** [triads q] — all triads of [q]: triples of atoms [{A, B, C}] such
+    that every pair is connected by a path of atoms whose consecutive
+    links share a variable {e not occurring in the third atom}. The
+    dichotomy of [24]: resilience (and source side-effect) of an sj-free
+    CQ is polynomial iff the query is triad-free, NP-hard otherwise. *)
+val triads : Query.t -> (Atom.t * Atom.t * Atom.t) list
+
+val is_triad_free : Query.t -> bool
+
+(** [has_head_domination q] — the dichotomy of [31]: for every connected
+    component [γ] of the existential-variable co-occurrence graph, some
+    atom of [q] contains every head variable occurring in [γ]'s atoms.
+    Single-query view side-effect is polynomial for sj-free queries with
+    head domination, NP-hard (indeed APX-hard) without. Queries with no
+    existential variables (project-free) are trivially head-dominated. *)
+val has_head_domination : Query.t -> bool
+
+(** The existential components used by {!has_head_domination}, exposed
+    for inspection: each as (existential variables, atoms touching them). *)
+val existential_components : Query.t -> (Term.Vars.t * Atom.t list) list
+
+(** Variable-level FD closure: a schema FD [lhs → rhs] on relation [R]
+    induces, through every atom over [R], the implication "the variables
+    at the lhs positions determine the variables at the rhs positions".
+    [fd_closure schema fds q vars] is the least superset of [vars] closed
+    under these induced implications (constants at lhs positions count as
+    determined). This is the rewriting behind the FD-extended dichotomies
+    of [30] and [24]. *)
+val fd_closure :
+  Relational.Schema.Db.t ->
+  (string * Relational.Fd.t) list ->
+  Query.t ->
+  Term.Vars.t ->
+  Term.Vars.t
+
+(** The FD-rewritten query: head extended with every variable in the FD
+    closure of the original head variables. Existential variables
+    functionally determined by the head stop being "really" existential —
+    the rewriting makes that syntactic. *)
+val fd_rewrite :
+  Relational.Schema.Db.t -> (string * Relational.Fd.t) list -> Query.t -> Query.t
+
+(** fd-head domination (in the spirit of Kimelfeld [30]): head domination
+    where an atom dominates a component when the component's head
+    variables lie in the {e FD closure} of the atom's variables — the
+    atom pins them functionally even if it does not contain them.
+    With an empty FD list this coincides with {!has_head_domination}.
+    (Our rendering of the dichotomy's rewriting; see DESIGN.md.) *)
+val has_fd_head_domination :
+  Relational.Schema.Db.t -> (string * Relational.Fd.t) list -> Query.t -> bool
+
+(** fd-induced triad-freeness (in the spirit of Freire et al. [24]):
+    the triad test where a connecting path must avoid not just the third
+    atom's variables but their FD closure — variables the third atom
+    functionally pins cannot carry an independent path. Empty FDs
+    coincide with {!is_triad_free}. (Our rendering; see DESIGN.md.) *)
+val is_fd_triad_free :
+  Relational.Schema.Db.t -> (string * Relational.Fd.t) list -> Query.t -> bool

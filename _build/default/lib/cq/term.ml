@@ -1,0 +1,40 @@
+type t =
+  | Var of string
+  | Const of Relational.Value.t
+
+let var v = Var v
+let const c = Const c
+let int i = Const (Relational.Value.int i)
+let str s = Const (Relational.Value.str s)
+
+let is_var = function Var _ -> true | Const _ -> false
+
+let compare a b =
+  match a, b with
+  | Var x, Var y -> String.compare x y
+  | Const x, Const y -> Relational.Value.compare x y
+  | Var _, Const _ -> -1
+  | Const _, Var _ -> 1
+
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | Var v -> Format.pp_print_string ppf v
+  | Const c -> Relational.Value.pp ppf c
+
+module Ord = struct
+  type nonrec t = t
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+
+module Vars = struct
+  include Stdlib.Set.Make (String)
+
+  let pp ppf s =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         Format.pp_print_string)
+      (elements s)
+end

@@ -1,0 +1,24 @@
+(** Terms of conjunctive queries: variables or constants (§II.B). *)
+
+type t =
+  | Var of string
+  | Const of Relational.Value.t
+
+val var : string -> t
+val const : Relational.Value.t -> t
+val int : int -> t
+val str : string -> t
+
+val is_var : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Set : Stdlib.Set.S with type elt = t
+
+(** Sets and maps over variable names. *)
+module Vars : sig
+  include Stdlib.Set.S with type elt = string
+
+  val pp : Format.formatter -> t -> unit
+end

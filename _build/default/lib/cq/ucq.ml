@@ -1,0 +1,101 @@
+module R = Relational
+
+type t = {
+  name : string;
+  disjuncts : Query.t list;
+}
+
+let make ~name disjuncts =
+  match disjuncts with
+  | [] -> invalid_arg "Ucq.make: no disjuncts"
+  | q :: rest ->
+    let a = Query.arity q in
+    if List.exists (fun q' -> Query.arity q' <> a) rest then
+      invalid_arg "Ucq.make: disjuncts of different arity";
+    { name; disjuncts }
+
+let arity u = Query.arity (List.hd u.disjuncts)
+
+let check schema u = List.iter (Query.check schema) u.disjuncts
+
+let evaluate db u =
+  List.fold_left
+    (fun acc q -> R.Tuple.Set.union acc (Eval.evaluate db q))
+    R.Tuple.Set.empty u.disjuncts
+
+let why db u answer =
+  List.concat_map (fun q -> Lineage.why db q answer) u.disjuncts
+
+type outcome = {
+  deletion : R.Stuple.Set.t;
+  killed : (string * R.Tuple.t) list;
+  side_effect : int;
+}
+
+let propagate ?(max_candidates = 18) db views ~deletions =
+  let view_of name =
+    match List.find_opt (fun u -> u.name = name) views with
+    | Some u -> u
+    | None -> invalid_arg ("Ucq.propagate: unknown view " ^ name)
+  in
+  (* validate and collect bad answers *)
+  let collect () =
+    List.concat_map
+      (fun (name, tuples) ->
+        let u = view_of name in
+        let answers = evaluate db u in
+        List.map
+          (fun t ->
+            if not (R.Tuple.Set.mem t answers) then raise Exit;
+            (u, t))
+          tuples)
+      deletions
+  in
+  match collect () with
+  | exception Exit -> None
+  | [] -> Some { deletion = R.Stuple.Set.empty; killed = []; side_effect = 0 }
+  | bad ->
+    let candidates =
+      List.fold_left
+        (fun acc (u, t) ->
+          List.fold_left R.Stuple.Set.union acc (why db u t))
+        R.Stuple.Set.empty bad
+      |> R.Stuple.Set.elements |> Array.of_list
+    in
+    let n = Array.length candidates in
+    if n > max_candidates then
+      invalid_arg (Printf.sprintf "Ucq.propagate: %d candidates exceed %d" n max_candidates);
+    let before = List.map (fun u -> (u, evaluate db u)) views in
+    let bad_keys = List.map (fun (u, t) -> (u.name, t)) bad in
+    let best = ref None in
+    for mask = 0 to (1 lsl n) - 1 do
+      let dd = ref R.Stuple.Set.empty in
+      for i = 0 to n - 1 do
+        if mask land (1 lsl i) <> 0 then dd := R.Stuple.Set.add candidates.(i) !dd
+      done;
+      let db' = R.Instance.delete db !dd in
+      let killed =
+        List.concat_map
+          (fun (u, old) ->
+            R.Tuple.Set.elements (R.Tuple.Set.diff old (evaluate db' u))
+            |> List.map (fun t -> (u.name, t)))
+          before
+      in
+      let feasible = List.for_all (fun b -> List.mem b killed) bad_keys in
+      if feasible then begin
+        let side_effect =
+          List.length (List.filter (fun k -> not (List.mem k bad_keys)) killed)
+        in
+        match !best with
+        | Some (s, _, _) when s <= side_effect -> ()
+        | _ -> best := Some (side_effect, !dd, killed)
+      end
+    done;
+    Option.map
+      (fun (side_effect, deletion, killed) -> { deletion; killed; side_effect })
+      !best
+
+let pp ppf u =
+  Format.fprintf ppf "@[<v>%s = union of:@ %a@]" u.name
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Query.pp)
+    u.disjuncts

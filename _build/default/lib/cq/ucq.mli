@@ -1,0 +1,49 @@
+(** Unions of conjunctive queries — the Select-Project-Join-Union
+    fragment of the paper's related-work landscape ([14], [15] study
+    annotation/deletion propagation for SPJU views).
+
+    A UCQ view is a named union of same-arity CQ disjuncts. An answer may
+    be derived by several disjuncts at once; killing it requires hitting
+    {e every} witness of {e every} deriving disjunct, so the
+    unique-witness machinery of key-preserving single CQs does not apply
+    — propagation here runs under ground-truth semantics with an exact
+    (exponential, example-scale) solver. *)
+
+type t = private {
+  name : string;
+  disjuncts : Query.t list;   (** non-empty, equal head arity *)
+}
+
+(** Raises [Invalid_argument] on empty or arity-mismatched disjuncts. *)
+val make : name:string -> Query.t list -> t
+
+val arity : t -> int
+
+val check : Relational.Schema.Db.t -> t -> unit
+
+(** The union of the disjuncts' answers. *)
+val evaluate : Relational.Instance.t -> t -> Relational.Tuple.Set.t
+
+(** All witnesses of an answer across all disjuncts. *)
+val why : Relational.Instance.t -> t -> Relational.Tuple.t -> Relational.Stuple.Set.t list
+
+type outcome = {
+  deletion : Relational.Stuple.Set.t;
+  killed : (string * Relational.Tuple.t) list;   (** view answers eliminated *)
+  side_effect : int;                             (** non-ΔV answers among [killed] *)
+}
+
+(** Exact minimum-view-side-effect deletion propagation over UCQ views,
+    by subset enumeration over the bad answers' lineage tuples
+    ([max_candidates], default 18). [None] when some requested deletion
+    is not an answer or the instance is infeasible (never for non-empty
+    lineages). Raises [Invalid_argument] on unknown view names or
+    candidate blowup. *)
+val propagate :
+  ?max_candidates:int ->
+  Relational.Instance.t ->
+  t list ->
+  deletions:(string * Relational.Tuple.t list) list ->
+  outcome option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/hypergraph/dual.ml: Cq Hgraph List

@@ -1,0 +1,1 @@
+lib/hypergraph/dual.mli: Cq Hgraph

@@ -1,0 +1,1 @@
+lib/hypergraph/hgraph.ml: Array Format Hashtbl Int List Option Stdlib String

@@ -1,0 +1,1 @@
+lib/hypergraph/multicut.ml: Array Fun Hashtbl Int List Map Option Queue Stdlib String

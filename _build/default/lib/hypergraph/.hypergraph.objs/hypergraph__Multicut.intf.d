@@ -1,0 +1,1 @@
+lib/hypergraph/multicut.mli: Stdlib

@@ -1,0 +1,1 @@
+lib/hypergraph/rel_tree.ml: Cq Format Int List Map Option Queue Stdlib String

@@ -1,0 +1,1 @@
+lib/hypergraph/rel_tree.mli: Cq Format

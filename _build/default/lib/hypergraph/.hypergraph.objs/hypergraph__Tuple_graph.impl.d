@@ -1,0 +1,1 @@
+lib/hypergraph/tuple_graph.ml: List Option Queue Relational

@@ -1,0 +1,1 @@
+lib/hypergraph/tuple_graph.mli: Relational

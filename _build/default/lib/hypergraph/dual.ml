@@ -1,0 +1,5 @@
+let of_queries qs =
+  let edges = List.map (fun (q : Cq.Query.t) -> (q.name, Cq.Query.relations q)) qs in
+  Hgraph.make ~edges ()
+
+let is_forest_case qs = Hgraph.is_forest (of_queries qs)

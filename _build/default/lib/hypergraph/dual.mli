@@ -1,0 +1,9 @@
+(** The dual hypergraph [H(Q)] of a query set (§IV.B): one vertex per
+    relation symbol, one hyperedge per query consisting of the relations in
+    its body. The "forest case" of the paper is: every connected component
+    of [H(Q)] is a hypertree (α-acyclic). *)
+
+val of_queries : Cq.Query.t list -> Hgraph.t
+
+(** [is_forest_case qs] — the paper's forest condition on [H(Q)]. *)
+val is_forest_case : Cq.Query.t list -> bool

@@ -1,0 +1,71 @@
+(** Hypergraphs over string vertices, with the GYO reduction.
+
+    Used for the dual hypergraph of a query set (§IV.B): vertices are
+    relation symbols, one hyperedge per query. *)
+
+module Vset : Stdlib.Set.S with type elt = string
+
+type edge = {
+  label : string;        (** e.g. the contributing query's name *)
+  vertices : Vset.t;
+}
+
+type t
+
+(** [make ~vertices ~edges] — vertices of the edges are added
+    automatically; [vertices] may list extra isolated vertices. *)
+val make : ?vertices:string list -> edges:(string * string list) list -> unit -> t
+
+val vertices : t -> Vset.t
+val edges : t -> edge list
+val num_vertices : t -> int
+val num_edges : t -> int
+
+(** Connected components (two vertices connected when some edge contains
+    both), each returned as a sub-hypergraph. Isolated vertices form
+    singleton components. *)
+val components : t -> t list
+
+(** GYO (Graham / Yu–Ozsoyoglu) reduction: repeatedly delete "ear"
+    vertices contained in at most one edge and edges contained in another
+    edge. [is_acyclic g] holds iff the reduction empties every edge —
+    α-acyclicity, the paper's "every connected component is a hypertree"
+    forest condition. *)
+val is_acyclic : t -> bool
+
+(** β-acyclicity: every sub-hypergraph (subset of edges) is α-acyclic,
+    decided in polynomial time by nest-point elimination. This is the
+    notion matching the paper's Fig. 3 "hypertree" classification
+    (its query set [Q1] — a triangle of binary edges under one ternary
+    edge — is α-acyclic but {e not} a hypertree, and indeed not
+    β-acyclic). *)
+val is_beta_acyclic : t -> bool
+
+(** [is_forest g] = every connected component is a hypertree in the
+    paper's sense, i.e. {!is_beta_acyclic} (nest-point elimination runs
+    componentwise). *)
+val is_forest : t -> bool
+
+(** γ-acyclicity (Fagin [23]): no γ-cycle — a sequence
+    [(S1, x1, S2, x2, ..., Sm, xm, S1)] of ≥ 3 distinct edges and
+    distinct vertices with [xi ∈ Si ∩ Si+1], where every [xi] except the
+    last occurs in {e no other} edge of the sequence. Decided by bounded
+    DFS — fine at query scale (≤ ~12 edges), not for large hypergraphs.
+    Strictly between β-acyclicity and Berge-acyclicity:
+    [{ab, bc, abc}] is β- but not γ-acyclic; [{ab, abc}] is γ- but not
+    Berge-acyclic. *)
+val is_gamma_acyclic : t -> bool
+
+(** Berge-acyclicity: the vertex–edge incidence graph is a forest —
+    equivalently, no two edges share two vertices and the edge
+    intersection structure is a tree. The strictest of Fagin's
+    degrees. *)
+val is_berge_acyclic : t -> bool
+
+(** A join tree: one node per hyperedge, such that for every vertex the
+    nodes containing it form a subtree. [None] when the hypergraph is
+    cyclic. Singleton edges yield singleton trees; the result is a forest,
+    one tree per component, as (edge_label, parent_label option) rows. *)
+val join_forest : t -> (string * string option) list option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,199 @@
+type edge = {
+  u : string;
+  v : string;
+  cost : float;
+}
+
+type result = {
+  cut : edge list;
+  cost : float;
+  dual_value : float;
+}
+
+type error =
+  | Not_a_tree
+  | Unknown_vertex of string
+  | Nonpositive_cost
+
+module SM = Map.Make (String)
+module SS = Stdlib.Set.Make (String)
+
+(* rooted representation: parent pointers + depth, with the edge to the
+   parent identified by the child vertex *)
+type rooted = {
+  parent : string SM.t;
+  depth : int SM.t;
+  edge_cost : float SM.t;  (* child vertex -> cost of edge to parent *)
+  edge_def : edge SM.t;    (* child vertex -> original edge *)
+}
+
+let build_tree edges =
+  if List.exists (fun (e : edge) -> e.cost <= 0.0) edges then Error Nonpositive_cost
+  else begin
+    let adj =
+      List.fold_left
+        (fun m (e : edge) ->
+          let add k v m = SM.update k (fun l -> Some (v :: Option.value ~default:[] l)) m in
+          add e.u (e.v, e) (add e.v (e.u, e) m))
+        SM.empty edges
+    in
+    let vertices = SM.fold (fun v _ acc -> SS.add v acc) adj SS.empty in
+    if SS.is_empty vertices then
+      Ok ({ parent = SM.empty; depth = SM.empty; edge_cost = SM.empty; edge_def = SM.empty }, vertices)
+    else begin
+      let root = SS.min_elt vertices in
+      let q = Queue.create () in
+      Queue.add root q;
+      let depth = ref (SM.singleton root 0) in
+      let parent = ref SM.empty in
+      let edge_cost = ref SM.empty in
+      let edge_def = ref SM.empty in
+      let seen = ref (SS.singleton root) in
+      let ok = ref true in
+      while not (Queue.is_empty q) do
+        let v = Queue.pop q in
+        List.iter
+          (fun ((w : string), (e : edge)) ->
+            if SM.find_opt w !parent = Some v || w = v then ()
+            else if Some w = SM.find_opt v !parent then ()
+            else if SS.mem w !seen then ok := false
+            else begin
+              seen := SS.add w !seen;
+              parent := SM.add w v !parent;
+              depth := SM.add w (SM.find v !depth + 1) !depth;
+              edge_cost := SM.add w e.cost !edge_cost;
+              edge_def := SM.add w e !edge_def;
+              Queue.add w q
+            end)
+          (Option.value ~default:[] (SM.find_opt v adj))
+      done;
+      if (not !ok) || not (SS.equal !seen vertices) then Error Not_a_tree
+      else
+        Ok
+          ( { parent = !parent; depth = !depth; edge_cost = !edge_cost; edge_def = !edge_def },
+            vertices )
+    end
+  end
+
+(* path between two vertices, as the list of child-vertices identifying
+   the edges; also returns the lca *)
+let path (t : rooted) a b =
+  let rec lift v d target =
+    if d > target then lift (SM.find v t.parent) (d - 1) target else v
+  in
+  let da = SM.find a t.depth and db = SM.find b t.depth in
+  let a', b' = (lift a da (min da db), lift b db (min da db)) in
+  let rec climb x y acc_x acc_y =
+    if x = y then (x, acc_x, acc_y)
+    else climb (SM.find x t.parent) (SM.find y t.parent) (x :: acc_x) (y :: acc_y)
+  in
+  let lca, up_a, up_b = climb a' b' [] [] in
+  let prefix v stop =
+    let rec go v acc = if v = stop then acc else go (SM.find v t.parent) (v :: acc) in
+    go v []
+  in
+  (lca, prefix a a' @ List.rev up_a @ up_b @ List.rev (prefix b b'))
+
+let check_pairs vertices pairs =
+  List.fold_left
+    (fun acc (a, b) ->
+      match acc with
+      | Error _ -> acc
+      | Ok () ->
+        if not (SS.mem a vertices) then Error (Unknown_vertex a)
+        else if not (SS.mem b vertices) then Error (Unknown_vertex b)
+        else if a = b then invalid_arg "Multicut: pair with equal endpoints"
+        else Ok ())
+    (Ok ()) pairs
+
+let solve ~edges ~pairs =
+  match build_tree edges with
+  | Error e -> Error e
+  | Ok (t, vertices) -> (
+    match check_pairs vertices pairs with
+    | Error e -> Error e
+    | Ok () ->
+      (* annotate pairs with lca depth; process deepest first *)
+      let annotated =
+        List.map
+          (fun (a, b) ->
+            let lca, p = path t a b in
+            (SM.find lca t.depth, p, (a, b)))
+          pairs
+      in
+      let ordered =
+        List.sort (fun (da, _, _) (db, _, _) -> Int.compare db da) annotated
+      in
+      let used = Hashtbl.create 16 in
+      let headroom child =
+        SM.find child t.edge_cost
+        -. Option.value ~default:0.0 (Hashtbl.find_opt used child)
+      in
+      let chosen = ref [] in
+      let dual = ref 0.0 in
+      List.iter
+        (fun (_, p, _) ->
+          if not (List.exists (fun c -> List.mem c !chosen) p) then begin
+            let delta = List.fold_left (fun acc c -> min acc (headroom c)) infinity p in
+            dual := !dual +. delta;
+            List.iter
+              (fun c ->
+                Hashtbl.replace used c
+                  (delta +. Option.value ~default:0.0 (Hashtbl.find_opt used c)))
+              p;
+            List.iter (fun c -> if headroom c <= 1e-9 && not (List.mem c !chosen) then chosen := c :: !chosen) p
+          end)
+        ordered;
+      (* reverse delete *)
+      let still_cut cut =
+        List.for_all (fun (_, p, _) -> List.exists (fun c -> List.mem c cut) p) ordered
+      in
+      let final =
+        (* reverse order of addition: !chosen is already most-recent-first *)
+        List.fold_left
+          (fun kept c ->
+            let without = List.filter (fun x -> x <> c) kept in
+            if still_cut without then without else kept)
+          !chosen !chosen
+      in
+      let cut = List.map (fun c -> SM.find c t.edge_def) final in
+      let cost = List.fold_left (fun acc (e : edge) -> acc +. e.cost) 0.0 cut in
+      Ok { cut; cost; dual_value = !dual })
+
+let solve_exact ?(max_edges = 20) ~pairs edges =
+  match build_tree edges with
+  | Error e -> Error e
+  | Ok (t, vertices) -> (
+    match check_pairs vertices pairs with
+    | Error e -> Error e
+    | Ok () ->
+      let n = List.length edges in
+      if n > max_edges then invalid_arg "Multicut.solve_exact: too many edges";
+      let paths = List.map (fun (a, b) -> snd (path t a b)) pairs in
+      let children = Array.of_list (SM.bindings t.edge_def) in
+      let best = ref None in
+      for mask = 0 to (1 lsl Array.length children) - 1 do
+        let cut_children =
+          List.init (Array.length children) Fun.id
+          |> List.filter (fun i -> mask land (1 lsl i) <> 0)
+          |> List.map (fun i -> fst children.(i))
+        in
+        if List.for_all (fun p -> List.exists (fun c -> List.mem c cut_children) p) paths
+        then begin
+          let cost =
+            List.fold_left (fun acc c -> acc +. SM.find c t.edge_cost) 0.0 cut_children
+          in
+          match !best with
+          | Some (bc, _) when bc <= cost -> ()
+          | _ -> best := Some (cost, cut_children)
+        end
+      done;
+      (match !best with
+      | Some (cost, cut_children) ->
+        Ok
+          {
+            cut = List.map (fun c -> SM.find c t.edge_def) cut_children;
+            cost;
+            dual_value = cost;
+          }
+      | None -> assert false (* cutting every edge always works *)))

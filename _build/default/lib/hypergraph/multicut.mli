@@ -1,0 +1,41 @@
+(** Multicut on trees (Garg–Vazirani–Yannakakis [25]) — the primal-dual
+    algorithm Algorithm 1 of the paper is modeled on, provided as a
+    standalone substrate with both the 2-approximation and an exact
+    solver for validation.
+
+    Input: an undirected tree with positive edge costs and terminal
+    pairs; output: a minimum-cost edge set disconnecting every pair.
+    The primal-dual processes vertices bottom-up (deepest LCA first),
+    routes flow (dual) per pair until an edge saturates, picks saturated
+    edges, and reverse-deletes — exactly the shape of [PrimeDualVSE]. *)
+
+type edge = {
+  u : string;
+  v : string;
+  cost : float;
+}
+
+type result = {
+  cut : edge list;
+  cost : float;
+  dual_value : float;   (** Σ flows: a lower bound on the optimum *)
+}
+
+type error =
+  | Not_a_tree
+  | Unknown_vertex of string
+  | Nonpositive_cost
+
+(** The Garg–Vazirani 2-approximation. Pairs with equal endpoints are
+    rejected as [Unknown_vertex]-free but undisconnectable — they raise
+    [Invalid_argument]. *)
+val solve :
+  edges:edge list -> pairs:(string * string) list -> (result, error) Stdlib.result
+
+(** Exact minimum by subset enumeration; [max_edges] (default 20) guards
+    the blowup. The tree's edges are the positional argument. *)
+val solve_exact :
+  ?max_edges:int ->
+  pairs:(string * string) list ->
+  edge list ->
+  (result, error) Stdlib.result

@@ -1,0 +1,111 @@
+module SM = Map.Make (String)
+module SS = Stdlib.Set.Make (String)
+
+type t = {
+  depth : int SM.t;
+  parent : string option SM.t;
+  roots : string list;
+}
+
+let primal_edges qs =
+  List.fold_left
+    (fun acc (q : Cq.Query.t) ->
+      let rec pairs = function
+        | (a : Cq.Atom.t) :: (b :: _ as rest) ->
+          let e = if a.rel <= b.rel then (a.rel, b.rel) else (b.rel, a.rel) in
+          e :: pairs rest
+        | _ -> []
+      in
+      pairs q.body @ acc)
+    [] qs
+  |> List.sort_uniq compare
+
+let vertices_of qs =
+  List.fold_left
+    (fun acc (q : Cq.Query.t) -> SS.union acc (SS.of_list (Cq.Query.relations q)))
+    SS.empty qs
+
+let of_queries ?root qs =
+  let verts = vertices_of qs in
+  let edges = primal_edges qs in
+  if List.exists (fun (a, b) -> a = b) edges then None
+  else
+    let adj =
+      List.fold_left
+        (fun m (a, b) ->
+          let add k v m = SM.update k (fun l -> Some (v :: Option.value ~default:[] l)) m in
+          add a b (add b a m))
+        SM.empty edges
+    in
+    let neighbours v = Option.value ~default:[] (SM.find_opt v adj) in
+    (* BFS from a root; detect cycles: a visited neighbour that is not the
+       BFS parent closes a cycle. *)
+    let bfs root (depth, parent, visited) =
+      let q = Queue.create () in
+      Queue.add root q;
+      let depth = ref (SM.add root 0 depth) in
+      let parent = ref (SM.add root None parent) in
+      let visited = ref (SS.add root visited) in
+      let ok = ref true in
+      while not (Queue.is_empty q) do
+        let v = Queue.pop q in
+        let dv = SM.find v !depth in
+        let pv = SM.find v !parent in
+        List.iter
+          (fun w ->
+            if Some w = pv then ()
+            else if SS.mem w !visited then ok := false
+            else begin
+              visited := SS.add w !visited;
+              depth := SM.add w (dv + 1) !depth;
+              parent := SM.add w (Some v) !parent;
+              Queue.add w q
+            end)
+          (neighbours v)
+      done;
+      (!ok, (!depth, !parent, !visited))
+    in
+    (* multi-edges between the same pair are collapsed by sort_uniq, but a
+       pair connected by paths through different queries yields a cycle,
+       which BFS detects. *)
+    let candidates =
+      match root with
+      | Some r when SS.mem r verts -> r :: SS.elements (SS.remove r verts)
+      | Some r -> invalid_arg ("Rel_tree.of_queries: unknown root " ^ r)
+      | None -> SS.elements verts
+    in
+    let rec run roots state = function
+      | [] -> Some (state, List.rev roots)
+      | v :: rest ->
+        let _, _, visited = state in
+        if SS.mem v visited then run roots state rest
+        else
+          let ok, state = bfs v state in
+          if ok then run (v :: roots) state rest else None
+    in
+    match run [] (SM.empty, SM.empty, SS.empty) candidates with
+    | None -> None
+    | Some ((depth, parent, _), roots) -> Some { depth; parent; roots }
+
+let relations t = List.map fst (SM.bindings t.depth)
+let roots t = t.roots
+
+let depth t r =
+  match SM.find_opt r t.depth with
+  | Some d -> d
+  | None -> raise Not_found
+
+let parent t r = Option.join (SM.find_opt r t.parent)
+
+let by_increasing_depth t =
+  SM.bindings t.depth
+  |> List.sort (fun (a, da) (b, db) ->
+         if da <> db then Int.compare da db else String.compare a b)
+  |> List.map fst
+
+let pp ppf t =
+  let row ppf (r, d) =
+    Format.fprintf ppf "%s (depth %d%s)" r d
+      (match parent t r with Some p -> ", parent " ^ p | None -> ", root")
+  in
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut row ppf (SM.bindings t.depth)

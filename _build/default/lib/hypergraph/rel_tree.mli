@@ -1,0 +1,33 @@
+(** Rooted forests over relation symbols.
+
+    Algorithm 1 ("pick any table as the beginning such that the root of
+    trees is tuples contained in this table", then process tuples "in
+    increasing depth with respect to roots") needs a rooted tree on the
+    relations. We build the primal graph on relation symbols — an
+    undirected edge between the relations of consecutive body atoms of
+    each query — and root each connected component. The construction
+    fails ([None]) when that graph is not a forest (multi-edges between
+    distinct relations are collapsed; a self-loop from a self-join makes
+    the input non-forest). *)
+
+type t
+
+(** [of_queries ?root qs] — [root], when given, must be a relation of the
+    graph and is used as the root of its component; other components are
+    rooted at their lexicographically smallest relation. *)
+val of_queries : ?root:string -> Cq.Query.t list -> t option
+
+val relations : t -> string list
+val roots : t -> string list
+
+(** Depth of a relation below its component root (root = 0).
+    Raises [Not_found] for unknown relations. *)
+val depth : t -> string -> int
+
+val parent : t -> string -> string option
+
+(** Relations sorted by increasing depth (ties broken by name) — the
+    processing order of Algorithm 1. *)
+val by_increasing_depth : t -> string list
+
+val pp : Format.formatter -> t -> unit

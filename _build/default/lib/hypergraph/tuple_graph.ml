@@ -1,0 +1,176 @@
+module S = Relational.Stuple
+
+type t = {
+  adj : S.Set.t S.Map.t;  (* vertex -> neighbour set; isolated vertices map to empty *)
+}
+
+let empty = { adj = S.Map.empty }
+
+let add_vertex g v =
+  if S.Map.mem v g.adj then g else { adj = S.Map.add v S.Set.empty g.adj }
+
+let add_edge g a b =
+  if S.equal a b then
+    (* record the self-loop by making the vertex its own neighbour; forest
+       detection treats it as a cycle *)
+    let g = add_vertex g a in
+    { adj = S.Map.add a (S.Set.add a (S.Map.find a g.adj)) g.adj }
+  else
+    let g = add_vertex (add_vertex g a) b in
+    let adj =
+      g.adj
+      |> S.Map.add a (S.Set.add b (S.Map.find a g.adj))
+      |> fun adj -> S.Map.add b (S.Set.add a (S.Map.find b adj)) adj
+    in
+    { adj }
+
+let of_witness_paths paths =
+  List.fold_left
+    (fun g path ->
+      match path with
+      | [] -> g
+      | [ v ] -> add_vertex g v
+      | _ ->
+        let rec go g = function
+          | a :: (b :: _ as rest) -> go (add_edge g a b) rest
+          | _ -> g
+        in
+        go g path)
+    empty paths
+
+let vertices g = List.map fst (S.Map.bindings g.adj)
+let neighbours g v =
+  match S.Map.find_opt v g.adj with
+  | Some s -> S.Set.elements s
+  | None -> []
+
+let num_vertices g = S.Map.cardinal g.adj
+
+let num_edges g =
+  let double =
+    S.Map.fold (fun v s acc -> acc + S.Set.cardinal s + (if S.Set.mem v s then 1 else 0)) g.adj 0
+  in
+  double / 2
+
+module Rooted = struct
+  type graph = t
+
+  type t = {
+    root : S.t;
+    depth : int S.Map.t;
+    parent : S.t option S.Map.t;
+    order : S.t list;  (* BFS order *)
+    children : S.t list S.Map.t;
+  }
+
+  let at (g : graph) root =
+    if not (S.Map.mem root g.adj) then None
+    else begin
+      let q = Queue.create () in
+      Queue.add root q;
+      let depth = ref (S.Map.add root 0 S.Map.empty) in
+      let parent = ref (S.Map.add root None S.Map.empty) in
+      let order = ref [ root ] in
+      let children = ref S.Map.empty in
+      let ok = ref true in
+      while not (Queue.is_empty q) do
+        let v = Queue.pop q in
+        let dv = S.Map.find v !depth in
+        let pv = S.Map.find v !parent in
+        S.Set.iter
+          (fun w ->
+            if Some w = pv then ()
+            else if S.Map.mem w !depth then ok := false
+            else begin
+              depth := S.Map.add w (dv + 1) !depth;
+              parent := S.Map.add w (Some v) !parent;
+              children :=
+                S.Map.update v
+                  (fun l -> Some (w :: Option.value ~default:[] l))
+                  !children;
+              order := w :: !order;
+              Queue.add w q
+            end)
+          (S.Map.find v g.adj)
+      done;
+      if !ok then
+        Some
+          {
+            root;
+            depth = !depth;
+            parent = !parent;
+            order = List.rev !order;
+            children = !children;
+          }
+      else None
+    end
+
+  let root t = t.root
+  let mem t v = S.Map.mem v t.depth
+
+  let depth t v =
+    match S.Map.find_opt v t.depth with
+    | Some d -> d
+    | None -> raise Not_found
+
+  let parent t v = Option.join (S.Map.find_opt v t.parent)
+  let children t v = Option.value ~default:[] (S.Map.find_opt v t.children)
+
+  let path_set t v =
+    let rec go acc v =
+      let acc = S.Set.add v acc in
+      match parent t v with
+      | Some p -> go acc p
+      | None -> acc
+    in
+    if mem t v then go S.Set.empty v
+    else invalid_arg "Tuple_graph.Rooted.path_set: vertex not in component"
+
+  let by_increasing_depth t = t.order
+end
+
+let is_forest g =
+  (* every component acyclic: attempt BFS rooting from every unvisited vertex *)
+  let visited = ref S.Set.empty in
+  let rec go = function
+    | [] -> true
+    | v :: rest ->
+      if S.Set.mem v !visited then go rest
+      else (
+        match Rooted.at g v with
+        | None -> false
+        | Some r ->
+          List.iter (fun u -> visited := S.Set.add u !visited) (Rooted.by_increasing_depth r);
+          go rest)
+  in
+  go (vertices g)
+
+let find_pivot g witnesses =
+  match witnesses with
+  | [] -> (match vertices g with v :: _ -> Some v | [] -> None)
+  | w0 :: rest ->
+    let candidates = List.fold_left S.Set.inter w0 rest in
+    let check_candidate c =
+      match Rooted.at g c with
+      | None -> false
+      | Some r ->
+        List.for_all
+          (fun w ->
+            (* the endpoint is the deepest tuple of the witness; the witness
+               must equal the root path to it *)
+            S.Set.for_all (fun v -> Rooted.mem r v) w
+            &&
+            let endpoint =
+              S.Set.fold
+                (fun v best ->
+                  match best with
+                  | None -> Some v
+                  | Some b -> if Rooted.depth r v > Rooted.depth r b then Some v else best)
+                w None
+            in
+            match endpoint with
+            | None -> false
+            | Some e -> S.Set.equal (Rooted.path_set r e) w)
+          witnesses
+    in
+    S.Set.elements candidates |> List.find_opt check_candidate

@@ -1,0 +1,85 @@
+type relop = Ge | Le | Eq
+
+type cstr = {
+  coeffs : float array;
+  op : relop;
+  rhs : float;
+  cname : string;
+}
+
+type direction = Minimize | Maximize
+
+type t = {
+  direction : direction;
+  objective : float array;
+  constraints : cstr list;
+  var_names : string array;
+}
+
+let make ~direction ~objective ~constraints ?var_names () =
+  let n = Array.length objective in
+  let var_names =
+    match var_names with
+    | Some names ->
+      if Array.length names <> n then invalid_arg "Lp.Problem.make: var_names length";
+      names
+    | None -> Array.init n (Printf.sprintf "x%d")
+  in
+  List.iter
+    (fun c ->
+      if Array.length c.coeffs <> n then
+        invalid_arg ("Lp.Problem.make: bad coeff width in constraint " ^ c.cname))
+    constraints;
+  { direction; objective; constraints; var_names }
+
+let num_vars t = Array.length t.objective
+let num_constraints t = List.length t.constraints
+
+let dot a b =
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. (x *. b.(i))) a;
+  !acc
+
+let value t x = dot t.objective x
+
+let violations ?(eps = 1e-7) t x =
+  let bad = ref [] in
+  Array.iteri
+    (fun i v -> if v < -.eps then bad := Printf.sprintf "%s >= 0" t.var_names.(i) :: !bad)
+    x;
+  List.iter
+    (fun c ->
+      let lhs = dot c.coeffs x in
+      let ok =
+        match c.op with
+        | Ge -> lhs >= c.rhs -. eps
+        | Le -> lhs <= c.rhs +. eps
+        | Eq -> Float.abs (lhs -. c.rhs) <= eps
+      in
+      if not ok then bad := c.cname :: !bad)
+    t.constraints;
+  List.rev !bad
+
+let is_feasible ?eps t x = violations ?eps t x = []
+
+let pp ppf t =
+  let pp_terms ppf coeffs =
+    let first = ref true in
+    Array.iteri
+      (fun i c ->
+        if Float.abs c > 1e-12 then begin
+          if not !first then Format.fprintf ppf " + ";
+          first := false;
+          Format.fprintf ppf "%g*%s" c t.var_names.(i)
+        end)
+      coeffs;
+    if !first then Format.fprintf ppf "0"
+  in
+  Format.fprintf ppf "@[<v>%s %a@ subject to:@ %a@]"
+    (match t.direction with Minimize -> "minimize" | Maximize -> "maximize")
+    pp_terms t.objective
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf c ->
+         Format.fprintf ppf "%s: %a %s %g" c.cname pp_terms c.coeffs
+           (match c.op with Ge -> ">=" | Le -> "<=" | Eq -> "=")
+           c.rhs))
+    t.constraints

@@ -1,0 +1,47 @@
+(** Dense linear programs over non-negative variables.
+
+    [min/max c·x  s.t.  A_i·x (≥|≤|=) b_i,  x ≥ 0]
+
+    Used to state the paper's view-side-effect LP relaxation (§IV.C), to
+    check feasibility of the combinatorial primal-dual solutions, and as
+    input to {!Simplex}. *)
+
+type relop = Ge | Le | Eq
+
+type cstr = {
+  coeffs : float array;
+  op : relop;
+  rhs : float;
+  cname : string;
+}
+
+type direction = Minimize | Maximize
+
+type t = {
+  direction : direction;
+  objective : float array;
+  constraints : cstr list;
+  var_names : string array;
+}
+
+val make :
+  direction:direction ->
+  objective:float array ->
+  constraints:cstr list ->
+  ?var_names:string array ->
+  unit ->
+  t
+
+val num_vars : t -> int
+val num_constraints : t -> int
+
+(** Objective value of a point. *)
+val value : t -> float array -> float
+
+(** Check all constraints and non-negativity within [eps]
+    (default 1e-7). Returns the violated constraint names. *)
+val violations : ?eps:float -> t -> float array -> string list
+
+val is_feasible : ?eps:float -> t -> float array -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,231 @@
+type outcome =
+  | Optimal of { x : float array; value : float; duals : float array }
+  | Infeasible
+  | Unbounded
+
+let eps = 1e-9
+
+(* Tableau state: rows.(i) has length [width + 1], last column = rhs.
+   [basis.(i)] is the variable index basic in row i. *)
+type tableau = {
+  mutable rows : float array array;
+  mutable basis : int array;
+  width : int;
+}
+
+let pivot (t : tableau) ~row ~col =
+  let p = t.rows.(row) in
+  let coef = p.(col) in
+  for j = 0 to t.width do
+    p.(j) <- p.(j) /. coef
+  done;
+  Array.iteri
+    (fun i r ->
+      if i <> row && Float.abs r.(col) > 0.0 then begin
+        let f = r.(col) in
+        for j = 0 to t.width do
+          r.(j) <- r.(j) -. (f *. p.(j))
+        done
+      end)
+    t.rows;
+  t.basis.(row) <- col
+
+(* Minimize cost over the tableau with Bland's rule; [allowed j] gates
+   entering columns. Returns (`Optimal | `Unbounded, final reduced-cost
+   row). Mutates t. *)
+let optimize ?(max_iters = 100_000) (t : tableau) cost allowed =
+  let m = Array.length t.rows in
+  (* reduced-cost row: z.(j) = cost.(j) - sum_i cost.(basis i) * rows.(i).(j);
+     z.(width) accumulates -objective *)
+  let z = Array.make (t.width + 1) 0.0 in
+  Array.blit cost 0 z 0 t.width;
+  for i = 0 to m - 1 do
+    let cb = cost.(t.basis.(i)) in
+    if Float.abs cb > 0.0 then
+      for j = 0 to t.width do
+        z.(j) <- z.(j) -. (cb *. t.rows.(i).(j))
+      done
+  done;
+  let rec loop iters =
+    if iters > max_iters then failwith "Simplex: iteration budget exceeded";
+    (* entering column: Bland — smallest allowed j with z_j < -eps *)
+    let entering = ref (-1) in
+    (try
+       for j = 0 to t.width - 1 do
+         if allowed j && z.(j) < -.eps then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then (`Optimal, z)
+    else begin
+      let col = !entering in
+      (* ratio test, Bland tie-break on basis variable index *)
+      let best_row = ref (-1) in
+      let best_ratio = ref infinity in
+      for i = 0 to m - 1 do
+        let a = t.rows.(i).(col) in
+        if a > eps then begin
+          let ratio = t.rows.(i).(t.width) /. a in
+          if
+            ratio < !best_ratio -. eps
+            || (Float.abs (ratio -. !best_ratio) <= eps
+               && !best_row >= 0
+               && t.basis.(i) < t.basis.(!best_row))
+          then begin
+            best_ratio := ratio;
+            best_row := i
+          end
+        end
+      done;
+      if !best_row < 0 then (`Unbounded, z)
+      else begin
+        pivot t ~row:!best_row ~col;
+        (* update z like a tableau row *)
+        let f = z.(col) in
+        if Float.abs f > 0.0 then begin
+          let p = t.rows.(!best_row) in
+          for j = 0 to t.width do
+            z.(j) <- z.(j) -. (f *. p.(j))
+          done
+        end;
+        loop (iters + 1)
+      end
+    end
+  in
+  loop 0
+
+let solve ?(max_iters = 100_000) (p : Problem.t) =
+  let n = Problem.num_vars p in
+  let constraints = Array.of_list p.Problem.constraints in
+  let m = Array.length constraints in
+  (* normalize rhs >= 0, remembering which rows were flipped *)
+  let flipped = Array.map (fun (c : Problem.cstr) -> c.rhs < 0.0) constraints in
+  let norm =
+    Array.map
+      (fun (c : Problem.cstr) ->
+        if c.rhs < 0.0 then
+          {
+            c with
+            coeffs = Array.map (fun x -> -.x) c.coeffs;
+            rhs = -.c.rhs;
+            op = (match c.op with Problem.Ge -> Problem.Le | Le -> Ge | Eq -> Eq);
+          }
+        else c)
+      constraints
+  in
+  (* column layout: originals, then one slack/surplus per Le/Ge row, then
+     one artificial per Ge/Eq row *)
+  let num_slack =
+    Array.fold_left
+      (fun acc (c : Problem.cstr) -> match c.op with Ge | Le -> acc + 1 | Eq -> acc)
+      0 norm
+  in
+  let num_art =
+    Array.fold_left
+      (fun acc (c : Problem.cstr) -> match c.op with Ge | Eq -> acc + 1 | Le -> acc)
+      0 norm
+  in
+  let width = n + num_slack + num_art in
+  let art_start = n + num_slack in
+  let rows = Array.make m [||] in
+  let basis = Array.make m 0 in
+  let own_col = Array.make m 0 in
+  let next_slack = ref n in
+  let next_art = ref art_start in
+  Array.iteri
+    (fun i (c : Problem.cstr) ->
+      let row = Array.make (width + 1) 0.0 in
+      Array.blit c.coeffs 0 row 0 n;
+      row.(width) <- c.rhs;
+      (match c.op with
+      | Le ->
+        row.(!next_slack) <- 1.0;
+        basis.(i) <- !next_slack;
+        own_col.(i) <- !next_slack;
+        incr next_slack
+      | Ge ->
+        row.(!next_slack) <- -1.0;
+        incr next_slack;
+        row.(!next_art) <- 1.0;
+        basis.(i) <- !next_art;
+        own_col.(i) <- !next_art;
+        incr next_art
+      | Eq ->
+        row.(!next_art) <- 1.0;
+        basis.(i) <- !next_art;
+        own_col.(i) <- !next_art;
+        incr next_art);
+      rows.(i) <- row)
+    norm;
+  let t = { rows; basis; width } in
+  (* Phase 1: minimize the artificials *)
+  let phase1_cost = Array.make width 0.0 in
+  for j = art_start to width - 1 do
+    phase1_cost.(j) <- 1.0
+  done;
+  (match optimize ~max_iters t phase1_cost (fun _ -> true) with
+  | `Unbounded, _ -> assert false (* phase-1 objective is bounded below by 0 *)
+  | `Optimal, _ -> ());
+  let art_value =
+    Array.to_list (Array.mapi (fun i b -> (i, b)) t.basis)
+    |> List.fold_left
+         (fun acc (i, b) -> if b >= art_start then acc +. t.rows.(i).(width) else acc)
+         0.0
+  in
+  if art_value > 1e-6 then Infeasible
+  else begin
+    (* drive remaining artificials out of the basis *)
+    Array.iteri
+      (fun i b ->
+        if b >= art_start then begin
+          let found = ref false in
+          let j = ref 0 in
+          while (not !found) && !j < art_start do
+            if Float.abs t.rows.(i).(!j) > 1e-7 then begin
+              pivot t ~row:i ~col:!j;
+              found := true
+            end;
+            incr j
+          done
+          (* if no pivot found the row is redundant; leaving the artificial
+             basic at value 0 is harmless since it can't re-enter *)
+        end)
+      t.basis;
+    (* Phase 2 *)
+    let sign = match p.Problem.direction with Problem.Minimize -> 1.0 | Maximize -> -1.0 in
+    let phase2_cost = Array.make width 0.0 in
+    for j = 0 to n - 1 do
+      phase2_cost.(j) <- sign *. p.Problem.objective.(j)
+    done;
+    match optimize ~max_iters t phase2_cost (fun j -> j < art_start) with
+    | `Unbounded, _ -> Unbounded
+    | `Optimal, z ->
+      let x = Array.make n 0.0 in
+      Array.iteri
+        (fun i b -> if b < n then x.(b) <- t.rows.(i).(width))
+        t.basis;
+      (* duals: each row owns one +1 column (its slack, or artificial for
+         Ge/Eq rows); the row's multiplier for the minimization form is
+         the negated reduced cost of that column, sign-flipped back for
+         rows normalized by rhs < 0 and for Maximize problems *)
+      let duals =
+        Array.mapi
+          (fun i _ ->
+            let y_norm = -.z.(own_col.(i)) in
+            let y = if flipped.(i) then -.y_norm else y_norm in
+            sign *. y)
+          norm
+      in
+      Optimal { x; value = Problem.value p x; duals }
+  end
+
+let pp_outcome ppf = function
+  | Optimal { x; value; _ } ->
+    Format.fprintf ppf "optimal %g at (%a)" value
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         (fun ppf -> Format.fprintf ppf "%g"))
+      (Array.to_list x)
+  | Infeasible -> Format.fprintf ppf "infeasible"
+  | Unbounded -> Format.fprintf ppf "unbounded"

@@ -1,0 +1,26 @@
+(** Two-phase dense simplex with Bland's rule.
+
+    Sized for the paper's LP relaxations on experiment-scale instances
+    (hundreds of variables/constraints), not industrial use. *)
+
+type outcome =
+  | Optimal of {
+      x : float array;
+      value : float;
+      duals : float array;
+          (** one multiplier per input constraint (input order), read off
+              the final tableau. For [Minimize] problems they satisfy
+              strong duality: [value = Σ duals.(i) * rhs_i] (verified by
+              the test suite on random LPs); for [Maximize] the sign is
+              flipped accordingly. Degenerate optima may admit several
+              valid dual vectors; one is returned. *)
+    }
+  | Infeasible
+  | Unbounded
+
+(** Solve [p]. Variables are implicitly non-negative.
+    [max_iters] guards against cycling/stalls (default [100_000];
+    raises [Failure] when exceeded). *)
+val solve : ?max_iters:int -> Problem.t -> outcome
+
+val pp_outcome : Format.formatter -> outcome -> unit

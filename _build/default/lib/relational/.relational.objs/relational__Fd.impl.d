@@ -1,0 +1,1 @@
+lib/relational/fd.ml: Array Format Hashtbl List Option Relation Schema Stdlib String Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Array Format Fun Int List Map Printf String Tuple

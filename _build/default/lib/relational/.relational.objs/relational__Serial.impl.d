@@ -1,0 +1,1 @@
+lib/relational/serial.ml: Array Buffer Format Instance List Printf Relation Schema String Tuple Value

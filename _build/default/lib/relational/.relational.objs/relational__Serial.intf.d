@@ -1,0 +1,1 @@
+lib/relational/serial.mli: Instance Tuple

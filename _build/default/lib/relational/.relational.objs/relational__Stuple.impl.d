@@ -1,0 +1,1 @@
+lib/relational/stuple.ml: Format Map Set String Tuple

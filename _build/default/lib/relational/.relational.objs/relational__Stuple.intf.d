@@ -1,0 +1,1 @@
+lib/relational/stuple.mli: Format Map Set Tuple

@@ -1,0 +1,130 @@
+exception Csv_error of int * string
+
+let fail row fmt = Format.kasprintf (fun m -> raise (Csv_error (row, m))) fmt
+
+(* split one CSV record; handles quotes and "" escapes *)
+let split_record row line =
+  let n = String.length line in
+  let fields = ref [] in
+  let buf = Buffer.create 16 in
+  let i = ref 0 in
+  let in_quotes = ref false in
+  while !i < n do
+    let c = line.[!i] in
+    if !in_quotes then begin
+      if c = '"' then
+        if !i + 1 < n && line.[!i + 1] = '"' then begin
+          Buffer.add_char buf '"';
+          i := !i + 2
+        end
+        else begin
+          in_quotes := false;
+          incr i
+        end
+      else begin
+        Buffer.add_char buf c;
+        incr i
+      end
+    end
+    else if c = '"' then
+      if Buffer.length buf = 0 then begin
+        in_quotes := true;
+        incr i
+      end
+      else fail row "unexpected quote mid-field"
+    else if c = ',' then begin
+      fields := Buffer.contents buf :: !fields;
+      Buffer.clear buf;
+      incr i
+    end
+    else begin
+      Buffer.add_char buf c;
+      incr i
+    end
+  done;
+  if !in_quotes then fail row "unterminated quoted field";
+  fields := Buffer.contents buf :: !fields;
+  List.rev !fields
+
+let records_of_string s =
+  String.split_on_char '\n' s
+  |> List.map (fun l ->
+         if String.length l > 0 && l.[String.length l - 1] = '\r' then
+           String.sub l 0 (String.length l - 1)
+         else l)
+  |> List.filter (fun l -> String.trim l <> "")
+
+let relation_of_string ~name ~key csv =
+  match records_of_string csv with
+  | [] -> fail 1 "empty CSV (no header)"
+  | header :: rows ->
+    let attrs = split_record 1 header |> List.map String.trim in
+    let key_positions =
+      List.map
+        (fun k ->
+          let rec idx i = function
+            | [] -> fail 1 "key attribute %s not in header" k
+            | a :: _ when a = k -> i
+            | _ :: rest -> idx (i + 1) rest
+          in
+          idx 0 attrs)
+        key
+    in
+    let schema =
+      try Schema.make ~name ~attrs ~key:key_positions
+      with Invalid_argument m -> fail 1 "%s" m
+    in
+    List.fold_left
+      (fun (rel, rowno) line ->
+        let fields = split_record rowno line in
+        if List.length fields <> List.length attrs then
+          fail rowno "expected %d fields, got %d" (List.length attrs) (List.length fields);
+        let tuple = Tuple.of_list (List.map Value.of_string fields) in
+        let rel =
+          try Relation.add rel tuple with
+          | Relation.Key_violation (r, t1, t2) ->
+            fail rowno "key violation in %s: %s vs %s" r (Tuple.to_string t1)
+              (Tuple.to_string t2)
+        in
+        (rel, rowno + 1))
+      (Relation.empty schema, 2)
+      rows
+    |> fst
+
+let relation_of_file ~name ~key path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  relation_of_string ~name ~key s
+
+let quote_field f =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') f then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' f) ^ "\""
+  else f
+
+let relation_to_string rel =
+  let s = Relation.schema rel in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (String.concat "," (Array.to_list s.Schema.attrs));
+  Buffer.add_char buf '\n';
+  Relation.iter
+    (fun t ->
+      Buffer.add_string buf
+        (String.concat ","
+           (List.map (fun v -> quote_field (Value.to_string v)) (Tuple.to_list t)));
+      Buffer.add_char buf '\n')
+    rel;
+  Buffer.contents buf
+
+let add_to_instance db ~name ~key csv =
+  let rel = relation_of_string ~name ~key csv in
+  let old_schema = Instance.schema db in
+  let schema = Schema.Db.add old_schema (Relation.schema rel) in
+  let fresh = Instance.empty schema in
+  let fresh =
+    List.fold_left
+      (fun acc st -> Instance.add_stuple acc st)
+      fresh (Instance.stuples db)
+  in
+  Relation.fold (fun t acc -> Instance.add acc name t) rel fresh

@@ -1,0 +1,26 @@
+(** CSV loading and dumping for relations — the bulk-data path (the text
+    format of {!Serial} is for whole instances; CSV is how real data
+    arrives).
+
+    Dialect: comma separator, double-quote quoting with ["" ] escapes,
+    first row = header (attribute names), one row per tuple. Values go
+    through {!Value.of_string} (integer literals become [Int]). *)
+
+exception Csv_error of int * string
+(** [(1-based row, message)]. *)
+
+(** [relation_of_string ~name ~key csv] — [key] lists key attribute
+    {e names} (must appear in the header). Key violations in the data
+    raise {!Csv_error}. *)
+val relation_of_string : name:string -> key:string list -> string -> Relation.t
+
+val relation_of_file : name:string -> key:string list -> string -> Relation.t
+
+val relation_to_string : Relation.t -> string
+
+(** [add_to_instance db ~name ~key csv] — declare-and-load into an
+    existing instance's schema is not possible ({!Schema.Db} is fixed at
+    creation); this instead returns a fresh instance with the relation
+    appended, carrying all existing relations over. *)
+val add_to_instance :
+  Instance.t -> name:string -> key:string list -> string -> Instance.t

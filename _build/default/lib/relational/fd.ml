@@ -1,0 +1,116 @@
+type t = {
+  lhs : string list;
+  rhs : string list;
+}
+
+module Attrs = Stdlib.Set.Make (String)
+
+let make ~lhs ~rhs =
+  { lhs = List.sort_uniq String.compare lhs; rhs = List.sort_uniq String.compare rhs }
+
+let pp ppf fd =
+  Format.fprintf ppf "%s -> %s" (String.concat "," fd.lhs) (String.concat "," fd.rhs)
+
+let closure fds attrs =
+  let rec go acc =
+    let next =
+      List.fold_left
+        (fun acc fd ->
+          if List.for_all (fun a -> Attrs.mem a acc) fd.lhs then
+            List.fold_left (fun acc a -> Attrs.add a acc) acc fd.rhs
+          else acc)
+        acc fds
+    in
+    if Attrs.equal next acc then acc else go next
+  in
+  go attrs
+
+let implies fds fd =
+  let c = closure fds (Attrs.of_list fd.lhs) in
+  List.for_all (fun a -> Attrs.mem a c) fd.rhs
+
+let all_attrs (s : Schema.t) = Attrs.of_list (Array.to_list s.Schema.attrs)
+
+let is_superkey s fds attrs =
+  Attrs.subset (all_attrs s) (closure fds (Attrs.of_list attrs))
+
+let is_candidate_key s fds attrs =
+  is_superkey s fds attrs
+  && not
+       (List.exists
+          (fun dropped ->
+            is_superkey s fds (List.filter (fun a -> a <> dropped) attrs))
+          attrs)
+
+let candidate_keys s fds =
+  let attrs = Array.to_list s.Schema.attrs in
+  let n = List.length attrs in
+  let subsets =
+    List.init (1 lsl n) (fun mask ->
+        List.filteri (fun i _ -> mask land (1 lsl i) <> 0) attrs)
+  in
+  List.filter (fun sub -> sub <> [] && is_candidate_key s fds sub) subsets
+
+let project_attrs rel fd_attrs tuple =
+  let s = Relation.schema rel in
+  List.map (fun a -> Tuple.get tuple (Schema.attr_index s a)) fd_attrs
+
+let violations rel fd =
+  let tuples = Relation.tuples rel in
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun t ->
+      let key = List.map Value.to_string (project_attrs rel fd.lhs t) in
+      Hashtbl.replace groups key (t :: Option.value ~default:[] (Hashtbl.find_opt groups key)))
+    tuples;
+  Hashtbl.fold
+    (fun _ group acc ->
+      let rec pairs = function
+        | a :: rest ->
+          List.filter_map
+            (fun b ->
+              if project_attrs rel fd.rhs a <> project_attrs rel fd.rhs b then Some (a, b)
+              else None)
+            rest
+          @ pairs rest
+        | [] -> []
+      in
+      pairs group @ acc)
+    groups []
+
+let satisfies rel fd = violations rel fd = []
+
+let minimal_cover fds =
+  (* 1. singleton right-hand sides *)
+  let singletons =
+    List.concat_map (fun fd -> List.map (fun a -> make ~lhs:fd.lhs ~rhs:[ a ]) fd.rhs) fds
+  in
+  (* 2. remove extraneous lhs attributes *)
+  let reduce_lhs fds fd =
+    let rec go lhs =
+      match
+        List.find_opt
+          (fun dropped ->
+            let smaller = List.filter (fun a -> a <> dropped) lhs in
+            smaller <> [] && implies fds (make ~lhs:smaller ~rhs:fd.rhs))
+          lhs
+      with
+      | Some dropped -> go (List.filter (fun a -> a <> dropped) lhs)
+      | None -> lhs
+    in
+    make ~lhs:(go fd.lhs) ~rhs:fd.rhs
+  in
+  let reduced = List.map (reduce_lhs singletons) singletons in
+  (* 3. drop redundant FDs *)
+  let rec prune kept = function
+    | [] -> List.rev kept
+    | fd :: rest ->
+      if implies (List.rev_append kept rest) fd then prune kept rest
+      else prune (fd :: kept) rest
+  in
+  prune [] (List.sort_uniq compare reduced)
+
+let implied_by_declared_key (s : Schema.t) fd =
+  let key_attrs = List.map (fun i -> s.Schema.attrs.(i)) s.Schema.key in
+  let axiom = make ~lhs:key_attrs ~rhs:(Array.to_list s.Schema.attrs) in
+  implies [ axiom ] fd

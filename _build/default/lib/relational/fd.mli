@@ -1,0 +1,54 @@
+(** Functional dependencies over a relation schema.
+
+    The paper's related results extend deletion propagation with FDs
+    ("fd-head domination" [30], "fd-induced triads" [24]); this module
+    supplies the standard machinery: closure, implication, key
+    derivation, satisfaction checking, and minimal covers — enough to
+    validate declared keys against FDs and to build FD-aware workloads. *)
+
+type t = {
+  lhs : string list;  (** determinant attributes *)
+  rhs : string list;  (** dependent attributes *)
+}
+
+(** [make ~lhs ~rhs] — attribute lists, duplicates removed. *)
+val make : lhs:string list -> rhs:string list -> t
+
+val pp : Format.formatter -> t -> unit
+
+module Attrs : Stdlib.Set.S with type elt = string
+
+(** [closure fds attrs] — the attribute closure [attrs+] under [fds]. *)
+val closure : t list -> Attrs.t -> Attrs.t
+
+(** [implies fds fd] — does [fds] logically imply [fd]? *)
+val implies : t list -> t -> bool
+
+(** [is_superkey schema fds attrs] — does [attrs+] cover all attributes
+    of [schema]? *)
+val is_superkey : Schema.t -> t list -> string list -> bool
+
+(** [is_candidate_key schema fds attrs] — a superkey none of whose proper
+    subsets is a superkey. *)
+val is_candidate_key : Schema.t -> t list -> string list -> bool
+
+(** All candidate keys of the schema under [fds] (exponential in arity;
+    schemas here are narrow). *)
+val candidate_keys : Schema.t -> t list -> string list list
+
+(** [satisfies rel fd] — no two tuples of [rel] agree on [fd.lhs] but
+    disagree on [fd.rhs]. Unknown attributes raise [Invalid_argument]. *)
+val satisfies : Relation.t -> t -> bool
+
+(** [violations rel fd] — the offending tuple pairs. *)
+val violations : Relation.t -> t -> (Tuple.t * Tuple.t) list
+
+(** A minimal cover: singleton right-hand sides, no redundant FDs, no
+    redundant left-hand-side attributes. *)
+val minimal_cover : t list -> t list
+
+(** [key_consistent schema fds] — is the schema's declared key a superkey
+    under [fds] ∪ {declared key -> all}? Holds trivially when [fds] is
+    empty (the declared key is axiomatic); with FDs it checks the
+    declaration is not weaker than what the FDs already force. *)
+val implied_by_declared_key : Schema.t -> t -> bool

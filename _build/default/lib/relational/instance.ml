@@ -1,0 +1,58 @@
+module M = Map.Make (String)
+
+type t = {
+  schema : Schema.Db.t;
+  rels : Relation.t M.t;
+}
+
+let empty schema =
+  let rels =
+    List.fold_left
+      (fun m s -> M.add s.Schema.name (Relation.empty s) m)
+      M.empty (Schema.Db.relations schema)
+  in
+  { schema; rels }
+
+let schema db = db.schema
+
+let relation db name =
+  match M.find_opt name db.rels with
+  | Some r -> r
+  | None -> invalid_arg ("Instance.relation: unknown relation " ^ name)
+
+let relation_opt db name = M.find_opt name db.rels
+
+let update db name f = { db with rels = M.add name (f (relation db name)) db.rels }
+
+let add db name tuple = update db name (fun r -> Relation.add r tuple)
+let add_stuple db (st : Stuple.t) = add db st.rel st.tuple
+
+let of_alist schema bindings =
+  List.fold_left
+    (fun db (name, tuples) ->
+      List.fold_left (fun db t -> add db name t) db tuples)
+    (empty schema) bindings
+
+let mem db (st : Stuple.t) =
+  match relation_opt db st.rel with
+  | Some r -> Relation.mem r st.tuple
+  | None -> false
+
+let remove db (st : Stuple.t) = update db st.rel (fun r -> Relation.remove r st.tuple)
+
+let delete db dd = Stuple.Set.fold (fun st acc -> remove acc st) dd db
+
+let fold f db acc =
+  M.fold
+    (fun name r acc -> Relation.fold (fun t acc -> f (Stuple.make name t) acc) r acc)
+    db.rels acc
+
+let stuples db = List.rev (fold (fun st acc -> st :: acc) db [])
+
+let size db = M.fold (fun _ r acc -> acc + Relation.cardinal r) db.rels 0
+
+let equal a b = M.equal Relation.equal a.rels b.rels
+
+let pp ppf db =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline Relation.pp ppf
+    (List.map snd (M.bindings db.rels))

@@ -1,0 +1,36 @@
+(** Database instances: one {!Relation.t} per relation of a schema. *)
+
+type t
+
+val empty : Schema.Db.t -> t
+val schema : t -> Schema.Db.t
+
+(** [relation db name] — raises [Invalid_argument] on unknown names. *)
+val relation : t -> string -> Relation.t
+
+val relation_opt : t -> string -> Relation.t option
+
+(** [add db name tuple] inserts into the named relation (key-checked). *)
+val add : t -> string -> Tuple.t -> t
+
+val add_stuple : t -> Stuple.t -> t
+
+(** [of_alist schema bindings] builds an instance from
+    [(relation_name, tuples)] pairs. *)
+val of_alist : Schema.Db.t -> (string * Tuple.t list) list -> t
+
+val mem : t -> Stuple.t -> bool
+val remove : t -> Stuple.t -> t
+
+(** [delete db d] applies the deletion [ΔD = d]: [D \ ΔD]. *)
+val delete : t -> Stuple.Set.t -> t
+
+(** All source tuples of the instance. *)
+val stuples : t -> Stuple.t list
+
+(** Total number of tuples, the paper's [|D|]. *)
+val size : t -> int
+
+val fold : (Stuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

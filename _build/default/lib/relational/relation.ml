@@ -1,0 +1,108 @@
+exception Key_violation of string * Tuple.t * Tuple.t
+exception Arity_mismatch of string * int * int
+
+module VM = Map.Make (Value)
+
+type t = {
+  schema : Schema.t;
+  tuples : Tuple.Set.t;
+  by_key : Tuple.t Tuple.Map.t;       (* key projection -> full tuple *)
+  by_column : Tuple.Set.t VM.t array; (* secondary index per column *)
+}
+
+let empty schema =
+  {
+    schema;
+    tuples = Tuple.Set.empty;
+    by_key = Tuple.Map.empty;
+    by_column = Array.make schema.Schema.arity VM.empty;
+  }
+
+let schema r = r.schema
+let name r = r.schema.Schema.name
+
+let index_add by_column t =
+  Array.mapi
+    (fun i m ->
+      let v = Tuple.get t i in
+      VM.update v
+        (fun cur -> Some (Tuple.Set.add t (Option.value ~default:Tuple.Set.empty cur)))
+        m)
+    by_column
+
+let index_remove by_column t =
+  Array.mapi
+    (fun i m ->
+      let v = Tuple.get t i in
+      VM.update v
+        (fun cur ->
+          match cur with
+          | None -> None
+          | Some s ->
+            let s = Tuple.Set.remove t s in
+            if Tuple.Set.is_empty s then None else Some s)
+        m)
+    by_column
+
+let add r t =
+  if Tuple.arity t <> r.schema.Schema.arity then
+    raise (Arity_mismatch (name r, r.schema.Schema.arity, Tuple.arity t));
+  let k = Schema.key_of_tuple r.schema t in
+  match Tuple.Map.find_opt k r.by_key with
+  | Some existing when not (Tuple.equal existing t) ->
+    raise (Key_violation (name r, existing, t))
+  | Some _ -> r
+  | None ->
+    {
+      r with
+      tuples = Tuple.Set.add t r.tuples;
+      by_key = Tuple.Map.add k t r.by_key;
+      by_column = index_add r.by_column t;
+    }
+
+let of_tuples schema ts = List.fold_left add (empty schema) ts
+
+let remove r t =
+  if not (Tuple.Set.mem t r.tuples) then r
+  else
+    let k = Schema.key_of_tuple r.schema t in
+    {
+      r with
+      tuples = Tuple.Set.remove t r.tuples;
+      by_key = Tuple.Map.remove k r.by_key;
+      by_column = index_remove r.by_column t;
+    }
+
+let mem r t = Tuple.Set.mem t r.tuples
+let cardinal r = Tuple.Set.cardinal r.tuples
+let is_empty r = Tuple.Set.is_empty r.tuples
+let tuples r = Tuple.Set.elements r.tuples
+let to_set r = r.tuples
+let fold f r acc = Tuple.Set.fold f r.tuples acc
+let iter f r = Tuple.Set.iter f r.tuples
+
+let filter p r =
+  Tuple.Set.fold (fun t acc -> if p t then acc else remove acc t) r.tuples r
+
+let find_by_key r k = Tuple.Map.find_opt k r.by_key
+
+let find_by_column r pos v =
+  if pos < 0 || pos >= r.schema.Schema.arity then
+    invalid_arg "Relation.find_by_column: position out of range";
+  match VM.find_opt v r.by_column.(pos) with
+  | Some s -> Tuple.Set.elements s
+  | None -> []
+
+let distinct_in_column r pos =
+  if pos < 0 || pos >= r.schema.Schema.arity then
+    invalid_arg "Relation.distinct_in_column: position out of range";
+  VM.cardinal r.by_column.(pos)
+
+let diff r s = Tuple.Set.fold (fun t acc -> remove acc t) s r
+
+let equal a b = Schema.equal a.schema b.schema && Tuple.Set.equal a.tuples b.tuples
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v 2>%a = {@ %a }@]" Schema.pp r.schema
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Tuple.pp)
+    (tuples r)

@@ -1,0 +1,86 @@
+type t = {
+  name : string;
+  arity : int;
+  attrs : string array;
+  key : int list;
+}
+
+let has_duplicates l =
+  let sorted = List.sort compare l in
+  let rec go = function
+    | a :: (b :: _ as rest) -> a = b || go rest
+    | _ -> false
+  in
+  go sorted
+
+let make ~name ~attrs ~key =
+  let arity = List.length attrs in
+  if arity = 0 then invalid_arg "Schema.make: empty attribute list";
+  if has_duplicates attrs then invalid_arg "Schema.make: duplicate attribute names";
+  if key = [] then invalid_arg "Schema.make: empty key";
+  if has_duplicates key then invalid_arg "Schema.make: duplicate key positions";
+  if List.exists (fun i -> i < 0 || i >= arity) key then
+    invalid_arg "Schema.make: key position out of range";
+  { name; arity; attrs = Array.of_list attrs; key = List.sort Int.compare key }
+
+let make_anon ~name ~arity ~key =
+  let attrs = List.init arity (Printf.sprintf "c%d") in
+  make ~name ~attrs ~key
+
+let non_key s =
+  List.filter (fun i -> not (List.mem i s.key)) (List.init s.arity Fun.id)
+
+let key_of_tuple s t = Tuple.project t s.key
+
+let attr_index s a =
+  let rec go i =
+    if i = s.arity then raise Not_found
+    else if String.equal s.attrs.(i) a then i
+    else go (i + 1)
+  in
+  go 0
+
+let equal a b =
+  String.equal a.name b.name && a.arity = b.arity
+  && Array.for_all2 String.equal a.attrs b.attrs
+  && List.equal Int.equal a.key b.key
+
+let pp ppf s =
+  let pp_attr ppf i =
+    if List.mem i s.key then Format.fprintf ppf "%s*" s.attrs.(i)
+    else Format.pp_print_string ppf s.attrs.(i)
+  in
+  Format.fprintf ppf "%s(%a)" s.name
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_attr)
+    (List.init s.arity Fun.id)
+
+module Db = struct
+  module M = Map.Make (String)
+
+  type rel = t
+  type nonrec t = rel M.t
+
+  let of_list rels =
+    List.fold_left
+      (fun m (r : rel) ->
+        if M.mem r.name m then invalid_arg ("Schema.Db.of_list: duplicate relation " ^ r.name)
+        else M.add r.name r m)
+      M.empty rels
+
+  let find db name =
+    match M.find_opt name db with
+    | Some r -> r
+    | None -> invalid_arg ("Schema.Db.find: unknown relation " ^ name)
+
+  let find_opt db name = M.find_opt name db
+  let mem db name = M.mem name db
+  let relations db = List.map snd (M.bindings db)
+  let names db = List.map fst (M.bindings db)
+
+  let add db (r : rel) =
+    if M.mem r.name db then invalid_arg ("Schema.Db.add: duplicate relation " ^ r.name)
+    else M.add r.name r db
+
+  let pp ppf db =
+    Format.pp_print_list ~pp_sep:Format.pp_print_newline pp ppf (relations db)
+end

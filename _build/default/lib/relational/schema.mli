@@ -1,0 +1,50 @@
+(** Relation schemas: a name, an arity, named attributes, and a key.
+
+    Following §II.B of the paper, every relation has at least one key
+    attribute position; the key states that no two tuples of the relation
+    agree on all key positions. *)
+
+type t = private {
+  name : string;
+  arity : int;
+  attrs : string array;          (** attribute names, length = arity *)
+  key : int list;                (** sorted 0-based key positions, non-empty *)
+}
+
+(** [make ~name ~attrs ~key] builds a schema. [key] positions must be
+    in-range, duplicate-free and non-empty; [attrs] must be non-empty and
+    duplicate-free. Raises [Invalid_argument] otherwise. *)
+val make : name:string -> attrs:string list -> key:int list -> t
+
+(** [make_anon ~name ~arity ~key] builds a schema with attribute names
+    [c0..c{arity-1}]. *)
+val make_anon : name:string -> arity:int -> key:int list -> t
+
+(** Positions that are not key positions, sorted. *)
+val non_key : t -> int list
+
+(** [key_of_tuple s t] projects [t] on the key positions of [s]. *)
+val key_of_tuple : t -> Tuple.t -> Tuple.t
+
+(** [attr_index s a] is the position of attribute [a].
+    Raises [Not_found] if absent. *)
+val attr_index : t -> string -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** A database schema is a collection of relation schemas with distinct
+    names, as in the paper's [S = (T1, ..., Tm)]. *)
+module Db : sig
+  type rel := t
+  type t
+
+  val of_list : rel list -> t
+  val find : t -> string -> rel
+  val find_opt : t -> string -> rel option
+  val mem : t -> string -> bool
+  val relations : t -> rel list
+  val names : t -> string list
+  val add : t -> rel -> t
+  val pp : Format.formatter -> t -> unit
+end

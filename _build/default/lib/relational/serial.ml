@@ -1,0 +1,115 @@
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+let strip_comment s =
+  match String.index_opt s '#' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let split_args s = List.map String.trim (String.split_on_char ',' s)
+
+(* "rel T1(name*, journal)" -> schema *)
+let parse_rel_decl lineno body =
+  match String.index_opt body '(' with
+  | None -> fail lineno "expected '(' in relation declaration"
+  | Some i ->
+    let name = String.trim (String.sub body 0 i) in
+    if name = "" then fail lineno "empty relation name";
+    if String.length body = 0 || body.[String.length body - 1] <> ')' then
+      fail lineno "expected ')' at end of relation declaration";
+    let inner = String.sub body (i + 1) (String.length body - i - 2) in
+    let raw_attrs = split_args inner in
+    if raw_attrs = [ "" ] then fail lineno "relation needs at least one attribute";
+    let attrs, key, _ =
+      List.fold_left
+        (fun (attrs, key, idx) a ->
+          if a = "" then fail lineno "empty attribute name"
+          else if a.[String.length a - 1] = '*' then
+            (String.sub a 0 (String.length a - 1) :: attrs, idx :: key, idx + 1)
+          else (a :: attrs, key, idx + 1))
+        ([], [], 0) raw_attrs
+    in
+    let attrs = List.rev attrs and key = List.rev key in
+    if key = [] then fail lineno ("relation " ^ name ^ " declares no key attribute");
+    (try Schema.make ~name ~attrs ~key
+     with Invalid_argument m -> fail lineno m)
+
+(* "T1(john, tkde)" -> name, tuple *)
+let parse_fact lineno body =
+  match String.index_opt body '(' with
+  | None -> fail lineno "expected '(' in fact"
+  | Some i ->
+    let name = String.trim (String.sub body 0 i) in
+    if String.length body = 0 || body.[String.length body - 1] <> ')' then
+      fail lineno "expected ')' at end of fact";
+    let inner = String.sub body (i + 1) (String.length body - i - 2) in
+    let values = List.map Value.of_string (split_args inner) in
+    (name, Tuple.of_list values)
+
+let fact_of_string s = parse_fact 0 (String.trim (strip_comment s))
+
+let instance_of_string s =
+  let lines = String.split_on_char '\n' s in
+  let _, schemas, facts =
+    List.fold_left
+      (fun (lineno, schemas, facts) raw ->
+        let line = String.trim (strip_comment raw) in
+        if line = "" then (lineno + 1, schemas, facts)
+        else if String.length line > 4 && String.sub line 0 4 = "rel " then
+          let s = parse_rel_decl lineno (String.trim (String.sub line 4 (String.length line - 4))) in
+          (lineno + 1, s :: schemas, facts)
+        else
+          let f = parse_fact lineno line in
+          (lineno + 1, schemas, (lineno, f) :: facts))
+      (1, [], []) lines
+  in
+  let db_schema =
+    try Schema.Db.of_list (List.rev schemas)
+    with Invalid_argument m -> fail 0 m
+  in
+  List.fold_left
+    (fun db (lineno, (name, tuple)) ->
+      if not (Schema.Db.mem db_schema name) then
+        fail lineno ("fact for undeclared relation " ^ name)
+      else
+        try Instance.add db name tuple with
+        | Relation.Key_violation (r, t1, t2) ->
+          fail lineno
+            (Format.asprintf "key violation in %s: %a vs %a" r Tuple.pp t1 Tuple.pp t2)
+        | Relation.Arity_mismatch (r, want, got) ->
+          fail lineno (Printf.sprintf "arity mismatch in %s: expected %d, got %d" r want got))
+    (Instance.empty db_schema)
+    (List.rev facts)
+
+let instance_of_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  instance_of_string s
+
+let instance_to_string db =
+  let buf = Buffer.create 1024 in
+  let schema = Instance.schema db in
+  List.iter
+    (fun (s : Schema.t) ->
+      let attr i =
+        if List.mem i s.key then s.attrs.(i) ^ "*" else s.attrs.(i)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "rel %s(%s)\n" s.name
+           (String.concat ", " (List.init s.arity attr)));
+      Relation.iter
+        (fun t ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s(%s)\n" s.name
+               (String.concat ", " (List.map Value.to_string (Tuple.to_list t)))))
+        (Instance.relation db s.name))
+    (Schema.Db.relations schema);
+  Buffer.contents buf
+
+let instance_to_file path db =
+  let oc = open_out path in
+  output_string oc (instance_to_string db);
+  close_out oc

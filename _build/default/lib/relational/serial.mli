@@ -1,0 +1,24 @@
+(** Plain-text serialization of schemas and instances.
+
+    Format, line oriented; [#] starts a comment:
+    {v
+    rel T1(name*, journal)        # '*' marks key attribute positions
+    T1(john, tkde)
+    T1(tom, tkde)
+    rel T2(journal*, topic*, n)
+    T2(tkde, xml, 30)
+    v}
+    Relation declarations must precede their facts. Values follow
+    {!Value.of_string} (integer literals become [Int]). *)
+
+exception Parse_error of int * string
+(** [Parse_error (line, message)] — 1-based line number. *)
+
+val instance_of_string : string -> Instance.t
+
+(** Parse one fact ["T1(john, tkde)"] into (relation, tuple) — used by the
+    CLI for deletion specifications. Raises {!Parse_error}. *)
+val fact_of_string : string -> string * Tuple.t
+val instance_of_file : string -> Instance.t
+val instance_to_string : Instance.t -> string
+val instance_to_file : string -> Instance.t -> unit

@@ -1,0 +1,16 @@
+(** Source tuples: a tuple tagged with the relation it lives in.
+
+    Deletion-propagation solutions [ΔD] are sets of source tuples; tagging
+    with the relation name disambiguates equal tuples in different
+    relations. *)
+
+type t = { rel : string; tuple : Tuple.t }
+
+val make : string -> Tuple.t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,32 @@
+(** Constants stored in database cells.
+
+    The paper draws constants from an abstract domain [Const]; we provide
+    integers and strings, which is enough for every construction in the
+    paper (reductions invent fresh constants, which {!fresh} supplies). *)
+
+type t =
+  | Int of int
+  | Str of string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val int : int -> t
+val str : string -> t
+
+(** [fresh ()] returns a constant distinct from every constant previously
+    returned by [fresh] and from every [Int]/[Str] a user would plausibly
+    write (it is a ["$n"] string). Used by the hardness reductions to fill
+    "the rest cells by distinct values" (proof of Thm 1). *)
+val fresh : unit -> t
+
+(** Reset the fresh-constant counter (for reproducible tests). *)
+val reset_fresh : unit -> unit
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Parse a constant: an optionally-signed integer literal becomes [Int],
+    a single-quoted or bare identifier becomes [Str]. *)
+val of_string : string -> t

@@ -1,0 +1,1 @@
+lib/setcover/iset.ml: Format Fun Int List Stdlib

@@ -1,0 +1,1 @@
+lib/setcover/iset.mli: Format Stdlib

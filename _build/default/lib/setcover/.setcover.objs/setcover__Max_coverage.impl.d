@@ -1,0 +1,1 @@
+lib/setcover/max_coverage.ml: Array Int Iset List Printf

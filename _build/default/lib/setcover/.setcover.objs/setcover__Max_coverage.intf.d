@@ -1,0 +1,1 @@
+lib/setcover/max_coverage.mli: Iset

@@ -1,0 +1,1 @@
+lib/setcover/pos_neg.ml: Array Format Int Iset List Printf Red_blue

@@ -1,0 +1,1 @@
+lib/setcover/pos_neg.mli: Format Iset Red_blue

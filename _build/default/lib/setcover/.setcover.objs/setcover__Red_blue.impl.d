@@ -1,0 +1,1 @@
+lib/setcover/red_blue.ml: Array Float Format Fun Int Iset List Option Printf

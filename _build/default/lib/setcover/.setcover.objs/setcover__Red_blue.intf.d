@@ -1,0 +1,1 @@
+lib/setcover/red_blue.mli: Format Iset

@@ -1,0 +1,1 @@
+lib/setcover/rounding.ml: Array Fun Iset List Lp Printf Red_blue

@@ -1,0 +1,1 @@
+lib/setcover/rounding.mli: Red_blue

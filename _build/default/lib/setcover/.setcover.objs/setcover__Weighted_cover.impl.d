@@ -1,0 +1,1 @@
+lib/setcover/weighted_cover.ml: Array Float Fun Int Iset List Option Printf

@@ -1,0 +1,1 @@
+lib/setcover/weighted_cover.mli: Iset

@@ -1,0 +1,9 @@
+include Stdlib.Set.Make (Int)
+
+let of_range n = of_list (List.init n Fun.id)
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Format.pp_print_int)
+    (elements s)

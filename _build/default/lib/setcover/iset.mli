@@ -1,0 +1,8 @@
+(** Integer sets — element universe for the set-cover problems. *)
+
+include Stdlib.Set.S with type elt = int
+
+val of_range : int -> t
+(** [of_range n] = [{0, ..., n-1}]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,74 @@
+type set = {
+  label : string;
+  elements : Iset.t;
+}
+
+type t = {
+  element_weights : float array;
+  sets : set array;
+}
+
+let make ~element_weights sets =
+  let n = Array.length element_weights in
+  List.iteri
+    (fun i s ->
+      if Iset.exists (fun e -> e < 0 || e >= n) s.elements then
+        invalid_arg (Printf.sprintf "Max_coverage.make: set %d (%s) out of range" i s.label))
+    sets;
+  { element_weights; sets = Array.of_list sets }
+
+let make_unit ~universe sets = make ~element_weights:(Array.make universe 1.0) sets
+
+type solution = {
+  chosen : int list;
+  covered : Iset.t;
+  weight : float;
+}
+
+let weight_of t s = Iset.fold (fun e acc -> acc +. t.element_weights.(e)) s 0.0
+
+let solution_of t chosen =
+  let covered =
+    List.fold_left (fun acc i -> Iset.union acc t.sets.(i).elements) Iset.empty chosen
+  in
+  { chosen = List.sort_uniq Int.compare chosen; covered; weight = weight_of t covered }
+
+let solve_greedy t ~k =
+  let covered = ref Iset.empty in
+  let chosen = ref [] in
+  (try
+     for _ = 1 to k do
+       let best = ref None and best_gain = ref 0.0 in
+       Array.iteri
+         (fun i s ->
+           let gain = weight_of t (Iset.diff s.elements !covered) in
+           if gain > !best_gain then begin
+             best_gain := gain;
+             best := Some i
+           end)
+         t.sets;
+       match !best with
+       | Some i ->
+         covered := Iset.union !covered t.sets.(i).elements;
+         chosen := i :: !chosen
+       | None -> raise Exit
+     done
+   with Exit -> ());
+  solution_of t !chosen
+
+let solve_exact ?(max_sets = 20) t ~k =
+  let n = Array.length t.sets in
+  if n > max_sets then invalid_arg "Max_coverage.solve_exact: too many sets";
+  let best = ref (solution_of t []) in
+  let rec go i chosen count =
+    if i = n then begin
+      let s = solution_of t chosen in
+      if s.weight > !best.weight then best := s
+    end
+    else begin
+      if count < k then go (i + 1) (i :: chosen) (count + 1);
+      go (i + 1) chosen count
+    end
+  in
+  go 0 [] 0;
+  !best

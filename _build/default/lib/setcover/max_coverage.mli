@@ -1,0 +1,30 @@
+(** Budgeted maximum coverage: choose at most [k] sets maximizing the
+    total weight of covered elements. The greedy algorithm is the classic
+    (1 − 1/e)-approximation; the exact solver enumerates for validation.
+    Backs the greedy bounded-deletion heuristic ([Deleprop.Bounded]). *)
+
+type set = {
+  label : string;
+  elements : Iset.t;
+}
+
+type t = private {
+  element_weights : float array;
+  sets : set array;
+}
+
+val make : element_weights:float array -> set list -> t
+val make_unit : universe:int -> set list -> t
+
+type solution = {
+  chosen : int list;
+  covered : Iset.t;
+  weight : float;
+}
+
+(** Greedy: k rounds of best marginal gain. *)
+val solve_greedy : t -> k:int -> solution
+
+(** Exact by enumeration of ≤ k-subsets; [max_sets] (default 20) bounds
+    the blowup. *)
+val solve_exact : ?max_sets:int -> t -> k:int -> solution

@@ -1,0 +1,131 @@
+type set = {
+  label : string;
+  pos : Iset.t;
+  neg : Iset.t;
+}
+
+type t = {
+  pos_weights : float array;
+  neg_weights : float array;
+  sets : set array;
+}
+
+let make ~pos_weights ~neg_weights sets =
+  let np = Array.length pos_weights and nn = Array.length neg_weights in
+  List.iteri
+    (fun i s ->
+      let bad_pos = Iset.exists (fun p -> p < 0 || p >= np) s.pos in
+      let bad_neg = Iset.exists (fun n -> n < 0 || n >= nn) s.neg in
+      if bad_pos || bad_neg then
+        invalid_arg (Printf.sprintf "Pos_neg.make: set %d (%s) out of range" i s.label))
+    sets;
+  { pos_weights; neg_weights; sets = Array.of_list sets }
+
+let make_unit ~num_pos ~num_neg sets =
+  make ~pos_weights:(Array.make num_pos 1.0) ~neg_weights:(Array.make num_neg 1.0) sets
+
+let num_pos t = Array.length t.pos_weights
+let num_neg t = Array.length t.neg_weights
+let num_sets t = Array.length t.sets
+
+type solution = {
+  chosen : int list;
+  pos_uncovered : Iset.t;
+  neg_covered : Iset.t;
+  cost : float;
+}
+
+let weight ws s = Iset.fold (fun i acc -> acc +. ws.(i)) s 0.0
+
+let solution_of t chosen =
+  let covered_pos =
+    List.fold_left (fun acc i -> Iset.union acc t.sets.(i).pos) Iset.empty chosen
+  in
+  let neg_covered =
+    List.fold_left (fun acc i -> Iset.union acc t.sets.(i).neg) Iset.empty chosen
+  in
+  let pos_uncovered = Iset.diff (Iset.of_range (num_pos t)) covered_pos in
+  {
+    chosen = List.sort_uniq Int.compare chosen;
+    pos_uncovered;
+    neg_covered;
+    cost = weight t.pos_weights pos_uncovered +. weight t.neg_weights neg_covered;
+  }
+
+(* Exhaustive DFS over set indices.  Pruning: the cost of negatives
+   already incurred plus the weight of positives no remaining set can
+   cover is a lower bound on any completion. *)
+let solve_exact ?(node_budget = 5_000_000) t =
+  let n = num_sets t in
+  let nodes = ref 0 in
+  (* coverable.(i) = union of pos over sets i..n-1 *)
+  let coverable = Array.make (n + 1) Iset.empty in
+  for i = n - 1 downto 0 do
+    coverable.(i) <- Iset.union coverable.(i + 1) t.sets.(i).pos
+  done;
+  let best = ref (solution_of t []) in
+  let rec go i chosen covered_pos neg_covered neg_cost =
+    incr nodes;
+    if !nodes > node_budget then failwith "Pos_neg.solve_exact: node budget exceeded";
+    let unreachable_pos = Iset.diff (Iset.diff (Iset.of_range (num_pos t)) covered_pos) coverable.(i) in
+    let lower = neg_cost +. weight t.pos_weights unreachable_pos in
+    if lower >= !best.cost then ()
+    else if i = n then begin
+      let sol = solution_of t chosen in
+      if sol.cost < !best.cost then best := sol
+    end
+    else begin
+      (* take set i *)
+      go (i + 1) (i :: chosen)
+        (Iset.union covered_pos t.sets.(i).pos)
+        (Iset.union neg_covered t.sets.(i).neg)
+        (weight t.neg_weights (Iset.union neg_covered t.sets.(i).neg));
+      (* skip set i *)
+      go (i + 1) chosen covered_pos neg_covered neg_cost
+    end
+  in
+  go 0 [] Iset.empty Iset.empty 0.0;
+  !best
+
+let to_red_blue t =
+  let np = num_pos t and nn = num_neg t in
+  (* red ids: 0..nn-1 = negatives, nn..nn+np-1 = the fresh r_p *)
+  let red_weights = Array.append t.neg_weights t.pos_weights in
+  let original =
+    Array.to_list t.sets
+    |> List.map (fun s -> { Red_blue.label = s.label; red = s.neg; blue = s.pos })
+  in
+  let singletons =
+    List.init np (fun p ->
+        { Red_blue.label = Printf.sprintf "uncover:%d" p;
+          red = Iset.singleton (nn + p);
+          blue = Iset.singleton p })
+  in
+  Red_blue.make ~red_weights ~num_blue:np (original @ singletons)
+
+let of_red_blue_solution t (sol : Red_blue.solution) =
+  let n = num_sets t in
+  solution_of t (List.filter (fun i -> i < n) sol.chosen)
+
+let solve_approx t =
+  match Red_blue.solve_approx (to_red_blue t) with
+  | Some sol -> of_red_blue_solution t sol
+  | None ->
+    (* to_red_blue is always coverable via the singleton sets *)
+    assert false
+
+let of_red_blue (rb : Red_blue.t) =
+  let total_red = Array.fold_left ( +. ) 0.0 rb.Red_blue.red_weights in
+  let pos_weights = Array.make rb.Red_blue.num_blue (total_red +. 1.0) in
+  let sets =
+    Array.to_list rb.Red_blue.sets
+    |> List.map (fun (s : Red_blue.set) -> { label = s.label; pos = s.blue; neg = s.red })
+  in
+  make ~pos_weights ~neg_weights:rb.Red_blue.red_weights sets
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>pos: %d, neg: %d, sets: %d@ %a@]" (num_pos t) (num_neg t)
+    (num_sets t)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf s ->
+         Format.fprintf ppf "%s: pos=%a neg=%a" s.label Iset.pp s.pos Iset.pp s.neg))
+    (Array.to_list t.sets)

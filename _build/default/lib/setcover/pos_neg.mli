@@ -1,0 +1,60 @@
+(** The Positive-Negative Partial Set Cover problem (§II.D,
+    Miettinen [38]).
+
+    Choose a sub-collection; cost = weight of positives left uncovered +
+    weight of negatives covered. Unlike Red-Blue, coverage of positives
+    is optional — this is the combinatorial core of the paper's
+    {e balanced} deletion propagation (Thm 2, Lemma 1). *)
+
+type set = {
+  label : string;
+  pos : Iset.t;
+  neg : Iset.t;
+}
+
+type t = private {
+  pos_weights : float array;
+  neg_weights : float array;
+  sets : set array;
+}
+
+val make : pos_weights:float array -> neg_weights:float array -> set list -> t
+val make_unit : num_pos:int -> num_neg:int -> set list -> t
+
+val num_pos : t -> int
+val num_neg : t -> int
+val num_sets : t -> int
+
+type solution = {
+  chosen : int list;
+  pos_uncovered : Iset.t;
+  neg_covered : Iset.t;
+  cost : float;
+}
+
+(** Cost of an arbitrary choice (always defined: the empty choice costs
+    the total positive weight). *)
+val solution_of : t -> int list -> solution
+
+(** Exact optimum by depth-first search over sets with cost pruning.
+    [node_budget] defaults to [5_000_000]; raises [Failure] on blowup. *)
+val solve_exact : ?node_budget:int -> t -> solution
+
+(** Miettinen's linear reduction to Red-Blue Set Cover: blue = positives;
+    red = negatives plus one fresh red [r_p] per positive [p] of weight
+    [w_p]; sets = originals plus [{p, r_p}] per positive. Cost is
+    preserved exactly, so any RBSC algorithm solves PNPSC. *)
+val to_red_blue : t -> Red_blue.t
+
+(** Map an RBSC solution on [to_red_blue t] back: keep original sets. *)
+val of_red_blue_solution : t -> Red_blue.solution -> solution
+
+(** Approximation via {!to_red_blue} + [Red_blue.solve_approx]. *)
+val solve_approx : t -> solution
+
+(** The reverse reduction (RBSC → PNPSC): positives = blue with weight
+    exceeding the total red weight (forcing coverage), negatives = red.
+    Used by tests to check the two problems are inter-reducible. *)
+val of_red_blue : Red_blue.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,213 @@
+type set = {
+  label : string;
+  red : Iset.t;
+  blue : Iset.t;
+}
+
+type t = {
+  red_weights : float array;
+  num_blue : int;
+  sets : set array;
+}
+
+let make ~red_weights ~num_blue sets =
+  let num_red = Array.length red_weights in
+  List.iteri
+    (fun i s ->
+      let bad_red = Iset.exists (fun r -> r < 0 || r >= num_red) s.red in
+      let bad_blue = Iset.exists (fun b -> b < 0 || b >= num_blue) s.blue in
+      if bad_red || bad_blue then
+        invalid_arg (Printf.sprintf "Red_blue.make: set %d (%s) out of range" i s.label))
+    sets;
+  { red_weights; num_blue; sets = Array.of_list sets }
+
+let make_unit ~num_red ~num_blue sets =
+  make ~red_weights:(Array.make num_red 1.0) ~num_blue sets
+
+let num_red t = Array.length t.red_weights
+let num_sets t = Array.length t.sets
+
+type solution = {
+  chosen : int list;
+  red_covered : Iset.t;
+  cost : float;
+}
+
+let red_weight t reds = Iset.fold (fun r acc -> acc +. t.red_weights.(r)) reds 0.0
+
+let blue_union t chosen =
+  List.fold_left (fun acc i -> Iset.union acc t.sets.(i).blue) Iset.empty chosen
+
+let red_union t chosen =
+  List.fold_left (fun acc i -> Iset.union acc t.sets.(i).red) Iset.empty chosen
+
+let is_feasible t chosen = Iset.cardinal (blue_union t chosen) = t.num_blue
+
+let solution_of t chosen =
+  if not (is_feasible t chosen) then None
+  else
+    let red_covered = red_union t chosen in
+    Some { chosen = List.sort_uniq Int.compare chosen; red_covered; cost = red_weight t red_covered }
+
+let coverable t = is_feasible t (List.init (num_sets t) Fun.id)
+
+(* ---- exact branch and bound ---- *)
+
+let solve_exact ?(node_budget = 5_000_000) t =
+  if not (coverable t) then None
+  else begin
+    let nodes = ref 0 in
+    let best = ref None in
+    let best_cost = ref infinity in
+    (* sets containing each blue element *)
+    let containing = Array.make t.num_blue [] in
+    Array.iteri
+      (fun i s -> Iset.iter (fun b -> containing.(b) <- i :: containing.(b)) s.blue)
+      t.sets;
+    let rec go covered_blue covered_red cost chosen =
+      incr nodes;
+      if !nodes > node_budget then failwith "Red_blue.solve_exact: node budget exceeded";
+      if cost >= !best_cost then ()
+      else if Iset.cardinal covered_blue = t.num_blue then begin
+        best_cost := cost;
+        best := Some (List.rev chosen)
+      end
+      else begin
+        (* branch on the uncovered blue element with fewest candidate sets *)
+        let target =
+          let best_b = ref (-1) and best_n = ref max_int in
+          for b = 0 to t.num_blue - 1 do
+            if not (Iset.mem b covered_blue) then begin
+              let n = List.length containing.(b) in
+              if n < !best_n then begin
+                best_n := n;
+                best_b := b
+              end
+            end
+          done;
+          !best_b
+        in
+        (* order candidates by incremental red weight *)
+        let candidates =
+          containing.(target)
+          |> List.map (fun i ->
+                 let extra = Iset.diff t.sets.(i).red covered_red in
+                 (i, extra, red_weight t extra))
+          |> List.sort (fun (_, _, a) (_, _, b) -> Float.compare a b)
+        in
+        List.iter
+          (fun (i, extra, w) ->
+            go
+              (Iset.union covered_blue t.sets.(i).blue)
+              (Iset.union covered_red extra)
+              (cost +. w) (i :: chosen))
+          candidates
+      end
+    in
+    go Iset.empty Iset.empty 0.0 [];
+    Option.bind !best (solution_of t)
+  end
+
+(* ---- greedy ratio heuristic ---- *)
+
+let solve_greedy t =
+  if not (coverable t) then None
+  else begin
+    let covered_blue = ref Iset.empty in
+    let covered_red = ref Iset.empty in
+    let chosen = ref [] in
+    while Iset.cardinal !covered_blue < t.num_blue do
+      let best = ref None and best_score = ref neg_infinity in
+      Array.iteri
+        (fun i s ->
+          let new_blue = Iset.cardinal (Iset.diff s.blue !covered_blue) in
+          if new_blue > 0 then begin
+            let new_red = red_weight t (Iset.diff s.red !covered_red) in
+            let score = float_of_int new_blue /. (1e-9 +. new_red) in
+            if score > !best_score then begin
+              best_score := score;
+              best := Some i
+            end
+          end)
+        t.sets;
+      match !best with
+      | Some i ->
+        covered_blue := Iset.union !covered_blue t.sets.(i).blue;
+        covered_red := Iset.union !covered_red t.sets.(i).red;
+        chosen := i :: !chosen
+      | None -> assert false (* coverable *)
+    done;
+    solution_of t !chosen
+  end
+
+(* ---- Peleg's low-degree threshold sweep ---- *)
+
+let greedy_cover_by_count t allowed =
+  (* classic greedy set cover over the blue universe, restricted to the
+     [allowed] set indices; returns None when not coverable *)
+  let covered = ref Iset.empty in
+  let chosen = ref [] in
+  let continue_ = ref true in
+  let feasible = ref true in
+  while !continue_ do
+    if Iset.cardinal !covered = t.num_blue then continue_ := false
+    else begin
+      let best = ref None and best_gain = ref 0 in
+      List.iter
+        (fun i ->
+          let gain = Iset.cardinal (Iset.diff t.sets.(i).blue !covered) in
+          if gain > !best_gain then begin
+            best_gain := gain;
+            best := Some i
+          end)
+        allowed;
+      match !best with
+      | Some i ->
+        covered := Iset.union !covered t.sets.(i).blue;
+        chosen := i :: !chosen
+      | None ->
+        feasible := false;
+        continue_ := false
+    end
+  done;
+  if !feasible then Some !chosen else None
+
+let solve_lowdeg t =
+  if not (coverable t) then None
+  else begin
+    let set_red_weight i = red_weight t t.sets.(i).red in
+    let thresholds =
+      Array.to_list (Array.mapi (fun i _ -> set_red_weight i) t.sets)
+      |> List.sort_uniq Float.compare
+    in
+    let best = ref None in
+    List.iter
+      (fun tau ->
+        let allowed =
+          List.init (num_sets t) Fun.id
+          |> List.filter (fun i -> set_red_weight i <= tau)
+        in
+        match greedy_cover_by_count t allowed with
+        | None -> ()
+        | Some chosen -> (
+          match solution_of t chosen with
+          | None -> ()
+          | Some sol -> (
+            match !best with
+            | Some b when b.cost <= sol.cost -> ()
+            | _ -> best := Some sol)))
+      thresholds;
+    !best
+  end
+
+let solve_approx t =
+  match solve_greedy t, solve_lowdeg t with
+  | None, s | s, None -> s
+  | Some a, Some b -> Some (if a.cost <= b.cost then a else b)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>red: %d, blue: %d, sets: %d@ %a@]" (num_red t) t.num_blue
+    (num_sets t)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf s ->
+         Format.fprintf ppf "%s: red=%a blue=%a" s.label Iset.pp s.red Iset.pp s.blue))
+    (Array.to_list t.sets)

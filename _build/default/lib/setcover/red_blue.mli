@@ -1,0 +1,67 @@
+(** The Red-Blue Set Cover problem (§II.D, Carr et al. [8]).
+
+    Given disjoint red and blue element universes and a collection of
+    sets over both, choose a sub-collection covering {e all} blue
+    elements while minimizing the total weight of red elements covered.
+    Red weights generalize the unit-cost problem; they carry the paper's
+    user-preference weights through the VSE reduction (§IV.A).
+
+    Inapproximability: within [O(2^{log^{1-δ} |C|})] unless P = NP
+    (Thm 3.1 of [8]); reproduced empirically in experiment E2. *)
+
+type set = {
+  label : string;
+  red : Iset.t;
+  blue : Iset.t;
+}
+
+type t = private {
+  red_weights : float array;   (** weight of each red element *)
+  num_blue : int;
+  sets : set array;
+}
+
+(** [make ~red_weights ~num_blue sets] — set members must be in range;
+    raises [Invalid_argument] otherwise. *)
+val make : red_weights:float array -> num_blue:int -> set list -> t
+
+(** Unit red weights. *)
+val make_unit : num_red:int -> num_blue:int -> set list -> t
+
+val num_red : t -> int
+val num_sets : t -> int
+
+type solution = {
+  chosen : int list;           (** indices into [sets], sorted *)
+  red_covered : Iset.t;
+  cost : float;                (** total weight of [red_covered] *)
+}
+
+(** [is_feasible t chosen] — do the chosen sets cover every blue element? *)
+val is_feasible : t -> int list -> bool
+
+(** [solution_of t chosen] — [None] if infeasible. *)
+val solution_of : t -> int list -> solution option
+
+(** Is the instance coverable at all (every blue in some set)? *)
+val coverable : t -> bool
+
+(** Exact optimum by branch-and-bound over uncovered blue elements.
+    [node_budget] (default [5_000_000]) caps search nodes; raises
+    [Failure] when exceeded. [None] iff uncoverable. *)
+val solve_exact : ?node_budget:int -> t -> solution option
+
+(** Greedy heuristic: repeatedly take the set maximizing
+    (newly covered blue) / (ε + weight of newly covered red). *)
+val solve_greedy : t -> solution option
+
+(** Peleg's low-degree sweep (the engine behind LowDegTreeVSE, Alg. 2-3):
+    for each threshold τ discard sets whose red weight exceeds τ, cover
+    blue greedily by number of sets, keep the cheapest feasible outcome
+    over all τ. Ratio 2√(|C| log β) on unit weights. *)
+val solve_lowdeg : t -> solution option
+
+(** Best of {!solve_greedy} and {!solve_lowdeg}. *)
+val solve_approx : t -> solution option
+
+val pp : Format.formatter -> t -> unit

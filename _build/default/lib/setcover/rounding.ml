@@ -1,0 +1,72 @@
+type outcome = {
+  solution : Red_blue.solution option;
+  lp_bound : float;
+}
+
+(* variables: x_0..x_{m-1} (sets), then z_0..z_{num_red-1} (reds) *)
+let build_lp (t : Red_blue.t) =
+  let m = Red_blue.num_sets t in
+  let nr = Red_blue.num_red t in
+  let nvars = m + nr in
+  let objective = Array.make nvars 0.0 in
+  Array.iteri (fun r w -> objective.(m + r) <- w) t.Red_blue.red_weights;
+  let cover_constraints =
+    List.init t.Red_blue.num_blue (fun b ->
+        let coeffs = Array.make nvars 0.0 in
+        Array.iteri
+          (fun s (set : Red_blue.set) ->
+            if Iset.mem b set.Red_blue.blue then coeffs.(s) <- 1.0)
+          t.Red_blue.sets;
+        { Lp.Problem.coeffs; op = Lp.Problem.Ge; rhs = 1.0;
+          cname = Printf.sprintf "cover_b%d" b })
+  in
+  let charge_constraints =
+    Array.to_list t.Red_blue.sets
+    |> List.mapi (fun s (set : Red_blue.set) ->
+           Iset.elements set.Red_blue.red
+           |> List.map (fun r ->
+                  let coeffs = Array.make nvars 0.0 in
+                  coeffs.(m + r) <- 1.0;
+                  coeffs.(s) <- -1.0;
+                  { Lp.Problem.coeffs; op = Lp.Problem.Ge; rhs = 0.0;
+                    cname = Printf.sprintf "charge_s%d_r%d" s r }))
+    |> List.concat
+  in
+  (* x_S ≤ 1 keeps the LP bounded and the rounding scale meaningful *)
+  let box =
+    List.init m (fun s ->
+        let coeffs = Array.make nvars 0.0 in
+        coeffs.(s) <- 1.0;
+        { Lp.Problem.coeffs; op = Lp.Problem.Le; rhs = 1.0;
+          cname = Printf.sprintf "box_s%d" s })
+  in
+  Lp.Problem.make ~direction:Lp.Problem.Minimize ~objective
+    ~constraints:(cover_constraints @ charge_constraints @ box)
+    ()
+
+let max_blue_frequency (t : Red_blue.t) =
+  let freq = Array.make t.Red_blue.num_blue 0 in
+  Array.iter
+    (fun (s : Red_blue.set) -> Iset.iter (fun b -> freq.(b) <- freq.(b) + 1) s.Red_blue.blue)
+    t.Red_blue.sets;
+  Array.fold_left max 1 freq
+
+let solve t =
+  if not (Red_blue.coverable t) then
+    Some { solution = None; lp_bound = 0.0 }
+  else
+    match Lp.Simplex.solve (build_lp t) with
+    | Lp.Simplex.Optimal { x; value; _ } ->
+      let m = Red_blue.num_sets t in
+      let f = float_of_int (max_blue_frequency t) in
+      let threshold = 1.0 /. f -. 1e-9 in
+      let chosen =
+        List.init m Fun.id |> List.filter (fun s -> x.(s) >= threshold)
+      in
+      Some { solution = Red_blue.solution_of t chosen; lp_bound = value }
+    | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded -> None
+
+let lower_bound t =
+  match solve t with
+  | Some { lp_bound; _ } -> Some lp_bound
+  | None -> None

@@ -1,0 +1,26 @@
+(** LP-relaxation solver for Red-Blue Set Cover: solve the natural LP
+    with {!Lp.Simplex}, then round deterministically.
+
+    LP: variables [x_S] (set chosen) and [z_r] (red element covered);
+    minimize [Σ w_r·z_r] subject to [Σ_{S ∋ b} x_S ≥ 1] per blue [b] and
+    [z_r ≥ x_S] per [r ∈ S]. Rounding: take every set with
+    [x_S ≥ 1/f] where [f] is the maximum number of sets containing a
+    blue element — always feasible, and the chosen sets' [x] values are
+    at least [1/f], so the rounded red cost is at most [f] times the LP
+    optimum per covered red (an f-approximation in the x-scale; on red
+    cost it is a heuristic complementing greedy/LowDeg).
+
+    Also exposes the LP optimum as a lower bound on the integral
+    optimum, used by experiment E11-style comparisons. *)
+
+type outcome = {
+  solution : Red_blue.solution option;  (** rounded; [None] if uncoverable *)
+  lp_bound : float;                     (** LP optimum: lower bound on OPT *)
+}
+
+(** [None] when the simplex fails (does not happen on well-formed,
+    coverable instances). *)
+val solve : Red_blue.t -> outcome option
+
+(** LP lower bound only. *)
+val lower_bound : Red_blue.t -> float option

@@ -1,0 +1,106 @@
+type set = {
+  label : string;
+  elements : Iset.t;
+}
+
+type t = {
+  universe : int;
+  weights : float array;
+  sets : set array;
+}
+
+let make ~universe ~weights sets =
+  if List.length sets <> Array.length weights then
+    invalid_arg "Weighted_cover.make: weights/sets length mismatch";
+  List.iteri
+    (fun i s ->
+      if Iset.exists (fun e -> e < 0 || e >= universe) s.elements then
+        invalid_arg (Printf.sprintf "Weighted_cover.make: set %d (%s) out of range" i s.label))
+    sets;
+  { universe; weights; sets = Array.of_list sets }
+
+let make_unit ~universe sets =
+  make ~universe ~weights:(Array.make (List.length sets) 1.0) sets
+
+let num_sets t = Array.length t.sets
+
+type solution = {
+  chosen : int list;
+  cost : float;
+}
+
+let union_of t chosen =
+  List.fold_left (fun acc i -> Iset.union acc t.sets.(i).elements) Iset.empty chosen
+
+let is_feasible t chosen = Iset.cardinal (union_of t chosen) = t.universe
+
+let coverable t = is_feasible t (List.init (num_sets t) Fun.id)
+
+let cost_of t chosen = List.fold_left (fun acc i -> acc +. t.weights.(i)) 0.0 chosen
+
+let solve_exact ?(node_budget = 5_000_000) t =
+  if not (coverable t) then None
+  else begin
+    let nodes = ref 0 in
+    let best = ref None and best_cost = ref infinity in
+    let containing = Array.make t.universe [] in
+    Array.iteri
+      (fun i s -> Iset.iter (fun e -> containing.(e) <- i :: containing.(e)) s.elements)
+      t.sets;
+    let rec go covered cost chosen =
+      incr nodes;
+      if !nodes > node_budget then failwith "Weighted_cover.solve_exact: node budget exceeded";
+      if cost >= !best_cost then ()
+      else if Iset.cardinal covered = t.universe then begin
+        best_cost := cost;
+        best := Some (List.rev chosen)
+      end
+      else begin
+        (* branch on the uncovered element with fewest candidates *)
+        let target = ref (-1) and target_n = ref max_int in
+        for e = 0 to t.universe - 1 do
+          if not (Iset.mem e covered) then begin
+            let n = List.length containing.(e) in
+            if n < !target_n then begin
+              target_n := n;
+              target := e
+            end
+          end
+        done;
+        containing.(!target)
+        |> List.map (fun i -> (i, t.weights.(i)))
+        |> List.sort (fun (_, a) (_, b) -> Float.compare a b)
+        |> List.iter (fun (i, w) ->
+               go (Iset.union covered t.sets.(i).elements) (cost +. w) (i :: chosen))
+      end
+    in
+    go Iset.empty 0.0 [];
+    Option.map (fun chosen -> { chosen = List.sort_uniq Int.compare chosen; cost = cost_of t chosen }) !best
+  end
+
+let solve_greedy t =
+  if not (coverable t) then None
+  else begin
+    let covered = ref Iset.empty in
+    let chosen = ref [] in
+    while Iset.cardinal !covered < t.universe do
+      let best = ref None and best_score = ref infinity in
+      Array.iteri
+        (fun i s ->
+          let gain = Iset.cardinal (Iset.diff s.elements !covered) in
+          if gain > 0 then begin
+            let score = t.weights.(i) /. float_of_int gain in
+            if score < !best_score then begin
+              best_score := score;
+              best := Some i
+            end
+          end)
+        t.sets;
+      match !best with
+      | Some i ->
+        covered := Iset.union !covered t.sets.(i).elements;
+        chosen := i :: !chosen
+      | None -> assert false
+    done;
+    Some { chosen = List.sort_uniq Int.compare !chosen; cost = cost_of t !chosen }
+  end

@@ -1,0 +1,36 @@
+(** Classic weighted Set Cover — the combinatorial core of the paper's
+    companion problem, {e source} side-effect (Tables II–III): with
+    key-preserving views, deleting all of [ΔV] while removing as few
+    (weighted) source tuples as possible is exactly covering the bad view
+    tuples by witness tuples of minimum total weight. *)
+
+type set = {
+  label : string;
+  elements : Iset.t;
+}
+
+type t = private {
+  universe : int;          (** elements are [0..universe-1] *)
+  weights : float array;   (** one weight per set *)
+  sets : set array;
+}
+
+val make : universe:int -> weights:float array -> set list -> t
+val make_unit : universe:int -> set list -> t
+
+val num_sets : t -> int
+
+type solution = {
+  chosen : int list;
+  cost : float;
+}
+
+val is_feasible : t -> int list -> bool
+val coverable : t -> bool
+
+(** Exact optimum by branch-and-bound (same engine shape as
+    {!Red_blue.solve_exact}); [None] iff uncoverable. *)
+val solve_exact : ?node_budget:int -> t -> solution option
+
+(** Greedy by weight-per-new-element; the classic [H_n]-approximation. *)
+val solve_greedy : t -> solution option

@@ -1,0 +1,1 @@
+lib/workload/author_journal.ml: Cq Deleprop Relational

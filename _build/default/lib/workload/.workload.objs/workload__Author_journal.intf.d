@@ -1,0 +1,1 @@
+lib/workload/author_journal.mli: Cq Deleprop Relational

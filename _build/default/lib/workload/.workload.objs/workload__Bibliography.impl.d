@@ -1,0 +1,1 @@
+lib/workload/bibliography.ml: Cq Deleprop Hashtbl List Printf Random Relational Zipf

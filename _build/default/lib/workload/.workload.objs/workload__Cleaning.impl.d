@@ -1,0 +1,1 @@
+lib/workload/cleaning.ml: Array Cq Deleprop Fun List Printf Random Relational

@@ -1,0 +1,1 @@
+lib/workload/cleaning.mli: Deleprop Random Relational

@@ -1,0 +1,1 @@
+lib/workload/forest_family.ml: Array Cq Deleprop List Printf Random Relational

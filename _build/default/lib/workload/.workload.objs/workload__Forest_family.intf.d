@@ -1,0 +1,1 @@
+lib/workload/forest_family.mli: Deleprop Random

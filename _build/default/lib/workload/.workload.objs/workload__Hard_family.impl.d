@@ -1,0 +1,1 @@
+lib/workload/hard_family.ml: Deleprop Rbsc_gen

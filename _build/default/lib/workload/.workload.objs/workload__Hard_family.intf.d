@@ -1,0 +1,1 @@
+lib/workload/hard_family.mli: Deleprop Random Setcover

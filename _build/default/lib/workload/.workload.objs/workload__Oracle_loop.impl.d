@@ -1,0 +1,1 @@
+lib/workload/oracle_loop.ml: Cleaning Cq Deleprop Hashtbl List Option Relational

@@ -1,0 +1,1 @@
+lib/workload/oracle_loop.mli: Cleaning Random Relational

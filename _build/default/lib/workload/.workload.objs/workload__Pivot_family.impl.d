@@ -1,0 +1,1 @@
+lib/workload/pivot_family.ml: Cq Deleprop List Printf Random Relational

@@ -1,0 +1,1 @@
+lib/workload/pivot_family.mli: Deleprop Random

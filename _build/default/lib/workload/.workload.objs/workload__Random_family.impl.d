@@ -1,0 +1,1 @@
+lib/workload/random_family.ml: Array Cq Deleprop Fun List Printf Random Relational Zipf

@@ -1,0 +1,1 @@
+lib/workload/random_family.mli: Deleprop Random

@@ -1,0 +1,1 @@
+lib/workload/rbsc_gen.ml: Array Fun List Printf Random Setcover

@@ -1,0 +1,1 @@
+lib/workload/rbsc_gen.mli: Random Setcover

@@ -1,0 +1,51 @@
+module R = Relational
+
+let schema () =
+  R.Schema.Db.of_list
+    [
+      R.Schema.make ~name:"T1" ~attrs:[ "AuName"; "Journal" ] ~key:[ 0; 1 ];
+      R.Schema.make ~name:"T2" ~attrs:[ "Journal"; "Topic"; "Papers" ] ~key:[ 0; 1 ];
+    ]
+
+let db () =
+  R.Instance.of_alist (schema ())
+    [
+      ( "T1",
+        [
+          R.Tuple.strs [ "Joe"; "TKDE" ];
+          R.Tuple.strs [ "John"; "TKDE" ];
+          R.Tuple.strs [ "Tom"; "TKDE" ];
+          R.Tuple.strs [ "John"; "TODS" ];
+        ] );
+      ( "T2",
+        [
+          R.Tuple.of_list [ R.Value.str "TKDE"; R.Value.str "XML"; R.Value.int 30 ];
+          R.Tuple.of_list [ R.Value.str "TKDE"; R.Value.str "CUBE"; R.Value.int 30 ];
+          R.Tuple.of_list [ R.Value.str "TODS"; R.Value.str "XML"; R.Value.int 30 ];
+        ] );
+    ]
+
+let q3 =
+  Cq.Parser.query_of_string "Q3(X, Z) :- T1(X, Y), T2(Y, Z, W)"
+
+let q4 =
+  Cq.Parser.query_of_string "Q4(X, Y, Z) :- T1(X, Y), T2(Y, Z, W)"
+
+let scenario_q3 () =
+  Deleprop.Problem.make ~db:(db ()) ~queries:[ q3 ]
+    ~deletions:[ ("Q3", [ R.Tuple.strs [ "John"; "XML" ] ]) ]
+    ~allow_non_key_preserving:true ()
+
+let scenario_q4 () =
+  Deleprop.Problem.make ~db:(db ()) ~queries:[ q4 ]
+    ~deletions:[ ("Q4", [ R.Tuple.strs [ "John"; "TKDE"; "XML" ] ]) ]
+    ()
+
+let scenario_multi () =
+  Deleprop.Problem.make ~db:(db ()) ~queries:[ q3; q4 ]
+    ~deletions:
+      [
+        ("Q3", [ R.Tuple.strs [ "John"; "XML" ] ]);
+        ("Q4", [ R.Tuple.strs [ "John"; "TKDE"; "XML" ] ]);
+      ]
+    ~allow_non_key_preserving:true ()

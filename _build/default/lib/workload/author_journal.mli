@@ -1,0 +1,32 @@
+(** The paper's running example (Fig. 1): authors, journals, topics.
+
+    {v
+    T1(AuName, Journal)           T2(Journal, Topic, #Papers)
+    Joe  TKDE                     TKDE XML  30
+    John TKDE                     TKDE CUBE 30
+    Tom  TKDE                     TODS XML  30
+    John TODS
+    Q3(x, z)    :- T1(x, y), T2(y, z, w)      -- not key preserving
+    Q4(x, y, z) :- T1(x, y), T2(y, z, w)      -- key preserving
+    v}
+
+    Keys: [T1(AuName, Journal)] both attributes; [T2(Journal, Topic)]. *)
+
+val db : unit -> Relational.Instance.t
+
+val q3 : Cq.Query.t
+val q4 : Cq.Query.t
+
+(** Scenario 1 (§II.C): delete [(John, XML)] from [Q3(D)]; two optimal
+    solutions exist, each with view side-effect exactly 1. [Q3] is not
+    key preserving, so only ground-truth solvers apply. *)
+val scenario_q3 : unit -> Deleprop.Problem.t
+
+(** Scenario 2: delete [(John, TKDE, XML)] from [Q4(D)] — the
+    key-preserving case; either witness tuple works. *)
+val scenario_q4 : unit -> Deleprop.Problem.t
+
+(** Both views materialized, deletions on both ([ΔV] = scenario 1 ∪
+    scenario 2) — the multi-query setting of the paper, under general
+    semantics. *)
+val scenario_multi : unit -> Deleprop.Problem.t

@@ -1,0 +1,81 @@
+module R = Relational
+
+type spec = {
+  num_authors : int;
+  num_journals : int;
+  num_topics : int;
+  papers_per_author : int;
+  topics_per_journal : int;
+  journal_skew : float;
+  deletion_fraction : float;
+}
+
+let default =
+  {
+    num_authors = 50;
+    num_journals = 12;
+    num_topics = 8;
+    papers_per_author = 3;
+    topics_per_journal = 2;
+    journal_skew = 1.0;
+    deletion_fraction = 0.05;
+  }
+
+let schema () =
+  R.Schema.Db.of_list
+    [
+      R.Schema.make ~name:"Author" ~attrs:[ "name"; "journal" ] ~key:[ 0; 1 ];
+      R.Schema.make ~name:"Journal" ~attrs:[ "journal"; "topic"; "papers" ] ~key:[ 0; 1 ];
+    ]
+
+let generate ~rng spec =
+  let journal_dist = Zipf.make ~n:spec.num_journals ~s:spec.journal_skew in
+  let db = ref (R.Instance.empty (schema ())) in
+  let jname j = Printf.sprintf "j%d" j in
+  (* journals carry topics *)
+  for j = 0 to spec.num_journals - 1 do
+    let seen = Hashtbl.create 4 in
+    for _ = 1 to spec.topics_per_journal do
+      let t = Random.State.int rng spec.num_topics in
+      if not (Hashtbl.mem seen t) then begin
+        Hashtbl.add seen t ();
+        db :=
+          R.Instance.add !db "Journal"
+            (R.Tuple.of_list
+               [
+                 R.Value.str (jname j);
+                 R.Value.str (Printf.sprintf "t%d" t);
+                 R.Value.int (10 + Random.State.int rng 90);
+               ])
+      end
+    done
+  done;
+  (* authors publish in Zipf-hot journals *)
+  for a = 0 to spec.num_authors - 1 do
+    let seen = Hashtbl.create 4 in
+    for _ = 1 to spec.papers_per_author do
+      let j = Zipf.sample journal_dist rng in
+      if not (Hashtbl.mem seen j) then begin
+        Hashtbl.add seen j ();
+        db :=
+          R.Instance.add !db "Author"
+            (R.Tuple.of_list
+               [ R.Value.str (Printf.sprintf "a%d" a); R.Value.str (jname j) ])
+      end
+    done
+  done;
+  let db = !db in
+  let queries =
+    Cq.Parser.queries_of_string
+      {|
+        Qat(A, J, T) :- Author(A, J), Journal(J, T, N)
+        Qaj(A, J) :- Author(A, J)
+        Qjt(J, T, N) :- Journal(J, T, N)
+      |}
+  in
+  let qat = List.hd queries in
+  let view = R.Tuple.Set.elements (Cq.Eval.evaluate db qat) in
+  let deletions =
+    List.filter (fun _ -> Random.State.float rng 1.0 < spec.deletion_fraction) view
+  in
+  Deleprop.Problem.make ~db ~queries ~deletions:[ ("Qat", deletions) ] ()

@@ -1,0 +1,24 @@
+(** A realistic bibliographic workload at scale — the paper's own domain
+    (Fig. 1) grown to thousands of tuples: authors publish in journals
+    (Zipf-hot: a few venues absorb most papers), journals carry topics,
+    and the three Fig. 1-style views are materialized over it. Drives the
+    end-to-end scaling experiment E21. *)
+
+type spec = {
+  num_authors : int;
+  num_journals : int;
+  num_topics : int;
+  papers_per_author : int;    (** author-journal facts per author (max) *)
+  topics_per_journal : int;
+  journal_skew : float;       (** Zipf exponent for venue popularity *)
+  deletion_fraction : float;  (** of the author-topic view *)
+}
+
+val default : spec
+
+(** The problem: relations [Author (key: name, journal)] and
+    [Journal (key: journal, topic)], with the key-preserving views
+    [Qat] (author–journal–topic, Fig. 1's Q4), [Qaj] (author–journal
+    pairs) and [Qjt] (journal–topic pairs), and random deletions on
+    [Qat]. *)
+val generate : rng:Random.State.t -> spec -> Deleprop.Problem.t

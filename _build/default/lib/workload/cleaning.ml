@@ -1,0 +1,113 @@
+module R = Relational
+
+type spec = {
+  depth : int;
+  tuples_per_relation : int;
+  num_corruptions : int;
+}
+
+let default = { depth = 4; tuples_per_relation = 6; num_corruptions = 2 }
+
+type t = {
+  problem : Deleprop.Problem.t;
+  corrupted : R.Stuple.Set.t;
+  clean : R.Instance.t;
+  total_views : int;
+}
+
+let rel_name i = Printf.sprintf "R%d" i
+
+let schema_of spec =
+  let rel i =
+    if i = 0 then R.Schema.make ~name:(rel_name 0) ~attrs:[ "k"; "a" ] ~key:[ 0 ]
+    else R.Schema.make ~name:(rel_name i) ~attrs:[ "k"; "a"; "pk" ] ~key:[ 0 ]
+  in
+  R.Schema.Db.of_list (List.init spec.depth rel)
+
+(* full upward path query from depth j to the root, payloads included *)
+let query_at j =
+  let atoms =
+    List.init (j + 1) (fun idx ->
+        let r = j - idx in
+        let kvar = Cq.Term.var (Printf.sprintf "K%d" r) in
+        let avar = Cq.Term.var (Printf.sprintf "A%d" r) in
+        if r = 0 then Cq.Atom.make (rel_name 0) [ kvar; avar ]
+        else
+          Cq.Atom.make (rel_name r)
+            [ kvar; avar; Cq.Term.var (Printf.sprintf "K%d" (r - 1)) ])
+  in
+  let head =
+    List.concat_map
+      (fun idx ->
+        let r = j - idx in
+        [ Cq.Term.var (Printf.sprintf "K%d" r); Cq.Term.var (Printf.sprintf "A%d" r) ])
+      (List.init (j + 1) Fun.id)
+  in
+  Cq.Query.make ~name:(Printf.sprintf "V%d" j) ~head ~body:atoms
+
+let generate ~rng ~views_with_feedback spec =
+  if spec.depth < 1 then invalid_arg "Cleaning: depth >= 1";
+  let schema = schema_of spec in
+  let n = spec.tuples_per_relation in
+  (* clean database *)
+  let clean = ref (R.Instance.empty schema) in
+  for i = 0 to spec.depth - 1 do
+    for k = 0 to n - 1 do
+      let attr = R.Value.int (100 + Random.State.int rng 50) in
+      let tuple =
+        if i = 0 then R.Tuple.of_list [ R.Value.int k; attr ]
+        else R.Tuple.of_list [ R.Value.int k; attr; R.Value.int (Random.State.int rng n) ]
+      in
+      clean := R.Instance.add !clean (rel_name i) tuple
+    done
+  done;
+  let clean = !clean in
+  (* corrupt payloads of random tuples (keys and links untouched) *)
+  let all = Array.of_list (R.Instance.stuples clean) in
+  let dirty = ref clean in
+  let corrupted = ref R.Stuple.Set.empty in
+  let attempts = ref 0 in
+  while R.Stuple.Set.cardinal !corrupted < spec.num_corruptions && !attempts < 100 do
+    incr attempts;
+    let st = all.(Random.State.int rng (Array.length all)) in
+    if
+      not
+        (R.Stuple.Set.exists
+           (fun c -> c.R.Stuple.rel = st.R.Stuple.rel
+                     && R.Value.equal (R.Tuple.get c.R.Stuple.tuple 0) (R.Tuple.get st.R.Stuple.tuple 0))
+           !corrupted)
+    then begin
+      let cells = R.Tuple.to_array st.R.Stuple.tuple in
+      cells.(1) <- R.Value.int 999;  (* the corruption marker value *)
+      let bad_tuple = R.Tuple.make cells in
+      dirty := R.Instance.add (R.Instance.remove !dirty st) st.R.Stuple.rel bad_tuple;
+      corrupted := R.Stuple.Set.add (R.Stuple.make st.R.Stuple.rel bad_tuple) !corrupted
+    end
+  done;
+  let dirty = !dirty in
+  let queries = List.init spec.depth query_at in
+  let m = max 1 (min views_with_feedback spec.depth) in
+  (* feedback: dirty answers that are not clean answers, from the first m views *)
+  let deletions =
+    List.filteri (fun i _ -> i < m) queries
+    |> List.map (fun (q : Cq.Query.t) ->
+           let dirty_view = Cq.Eval.evaluate dirty q in
+           let clean_view = Cq.Eval.evaluate clean q in
+           (q.name, R.Tuple.Set.elements (R.Tuple.Set.diff dirty_view clean_view)))
+  in
+  let problem = Deleprop.Problem.make ~db:dirty ~queries ~deletions () in
+  { problem; corrupted = !corrupted; clean; total_views = spec.depth }
+
+let score t repair =
+  let inter = R.Stuple.Set.inter repair t.corrupted in
+  let precision =
+    if R.Stuple.Set.is_empty repair then 1.0
+    else float_of_int (R.Stuple.Set.cardinal inter) /. float_of_int (R.Stuple.Set.cardinal repair)
+  in
+  let recall =
+    if R.Stuple.Set.is_empty t.corrupted then 1.0
+    else
+      float_of_int (R.Stuple.Set.cardinal inter)
+      /. float_of_int (R.Stuple.Set.cardinal t.corrupted)
+  in
+  (precision, recall)

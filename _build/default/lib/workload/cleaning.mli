@@ -1,0 +1,36 @@
+(** Query-oriented cleaning workloads (§V): a clean database is corrupted
+    in a few tuples; analyst views surface the corruption as wrong
+    answers; feedback (= the answers that differ from the clean views) is
+    collected from a prefix of the views. Experiment E14 measures how
+    repair accuracy grows with the number of views giving feedback — the
+    paper's "the more queries and views, the closer we approach the
+    side-effect free solution".
+
+    Structure: a chain of relations linked child→parent by key, with one
+    full upward path query per relation depth, so that a corrupted tuple
+    at depth [d] shows up in every view whose path crosses depth [d]. *)
+
+type spec = {
+  depth : int;               (** relations in the chain *)
+  tuples_per_relation : int;
+  num_corruptions : int;     (** tuples whose payload gets corrupted *)
+}
+
+val default : spec
+
+type t = {
+  problem : Deleprop.Problem.t;
+      (** the dirty database with feedback from the first
+          [views_with_feedback] views as ΔV *)
+  corrupted : Relational.Stuple.Set.t;   (** ground truth: the dirty tuples *)
+  clean : Relational.Instance.t;         (** the uncorrupted database *)
+  total_views : int;
+}
+
+(** [generate ~rng ~views_with_feedback spec] — [views_with_feedback] is
+    clamped to [1..depth]. *)
+val generate : rng:Random.State.t -> views_with_feedback:int -> spec -> t
+
+(** Precision/recall of a repair against the ground truth. An empty
+    repair scores precision 1, recall 0. *)
+val score : t -> Relational.Stuple.Set.t -> float * float

@@ -1,0 +1,106 @@
+module R = Relational
+
+type spec = {
+  num_relations : int;
+  tuples_per_relation : int;
+  num_queries : int;
+  max_path_len : int;
+  project_free : bool;
+  deletion_fraction : float;
+}
+
+let default =
+  {
+    num_relations = 5;
+    tuples_per_relation = 8;
+    num_queries = 4;
+    max_path_len = 3;
+    project_free = true;
+    deletion_fraction = 0.2;
+  }
+
+type t = {
+  problem : Deleprop.Problem.t;
+  parent : int array;
+}
+
+let rel_name i = Printf.sprintf "R%d" i
+
+let schema_of spec =
+  let rel i =
+    if i = 0 then R.Schema.make ~name:(rel_name 0) ~attrs:[ "k"; "a" ] ~key:[ 0 ]
+    else R.Schema.make ~name:(rel_name i) ~attrs:[ "k"; "a"; "pk" ] ~key:[ 0 ]
+  in
+  R.Schema.Db.of_list (List.init spec.num_relations rel)
+
+let generate ~rng spec =
+  if spec.num_relations < 1 then invalid_arg "Forest_family: num_relations >= 1";
+  let parent =
+    Array.init spec.num_relations (fun i ->
+        if i = 0 then -1 else Random.State.int rng i)
+  in
+  let n = spec.tuples_per_relation in
+  let db = ref (R.Instance.empty (schema_of spec)) in
+  for i = 0 to spec.num_relations - 1 do
+    for k = 0 to n - 1 do
+      let attr = R.Value.int (Random.State.int rng 5) in
+      let tuple =
+        if i = 0 then R.Tuple.of_list [ R.Value.int k; attr ]
+        else
+          R.Tuple.of_list [ R.Value.int k; attr; R.Value.int (Random.State.int rng n) ]
+      in
+      db := R.Instance.add !db (rel_name i) tuple
+    done
+  done;
+  let db = !db in
+  (* a query: upward path from a random relation, up to max_path_len atoms *)
+  let make_query qi =
+    let start = Random.State.int rng spec.num_relations in
+    let len = 1 + Random.State.int rng spec.max_path_len in
+    let path =
+      let rec climb acc r remaining =
+        if remaining = 0 || r < 0 then List.rev acc
+        else climb (r :: acc) parent.(r) (remaining - 1)
+      in
+      climb [] start len
+    in
+    let atoms, head =
+      List.fold_left
+        (fun (atoms, head) (pos, r) ->
+          let kvar = Cq.Term.var (Printf.sprintf "K%d" pos) in
+          let avar = Cq.Term.var (Printf.sprintf "A%d" pos) in
+          let pkvar = Cq.Term.var (Printf.sprintf "K%d" (pos + 1)) in
+          let atom =
+            if r = 0 then Cq.Atom.make (rel_name 0) [ kvar; avar ]
+            else Cq.Atom.make (rel_name r) [ kvar; avar; pkvar ]
+          in
+          let head = if spec.project_free then avar :: kvar :: head else kvar :: head in
+          (atom :: atoms, head))
+        ([], [])
+        (List.mapi (fun pos r -> (pos, r)) path)
+    in
+    (* the last atom's pk variable (if any) must reach the head to keep the
+       query safe AND project-free-compatible; it is not a key variable of
+       the last atom's own relation, so key preservation never needs it,
+       but safety does when project_free = false. Include it always. *)
+    let last_r = List.nth path (List.length path - 1) in
+    let head =
+      if last_r = 0 then head
+      else Cq.Term.var (Printf.sprintf "K%d" (List.length path)) :: head
+    in
+    Cq.Query.make ~name:(Printf.sprintf "Q%d" qi) ~head:(List.rev head)
+      ~body:(List.rev atoms)
+  in
+  let queries = List.init spec.num_queries make_query in
+  let deletions =
+    List.map
+      (fun (q : Cq.Query.t) ->
+        let view = R.Tuple.Set.elements (Cq.Eval.evaluate db q) in
+        let chosen =
+          List.filter (fun _ -> Random.State.float rng 1.0 < spec.deletion_fraction) view
+        in
+        (q.name, chosen))
+      queries
+  in
+  let problem = Deleprop.Problem.make ~db ~queries ~deletions () in
+  { problem; parent }

@@ -1,0 +1,23 @@
+(** Forest-case workloads: a random tree of relations linked child→parent
+    by key, with queries that are upward join paths. The dual hypergraph
+    of such a query set consists of ancestor chains, so every component
+    is a hypertree — the regime of Algorithms 1–3 (experiments E4–E6). *)
+
+type spec = {
+  num_relations : int;      (** ≥ 1; relation 0 is the root *)
+  tuples_per_relation : int;
+  num_queries : int;
+  max_path_len : int;       (** max atoms per query (≥ 1) *)
+  project_free : bool;      (** when false, attribute variables stay
+                                existential (still key preserving) *)
+  deletion_fraction : float;(** fraction of each view sent to ΔV *)
+}
+
+val default : spec
+
+type t = {
+  problem : Deleprop.Problem.t;
+  parent : int array;       (** parent.(i) = parent relation of i (root: -1) *)
+}
+
+val generate : rng:Random.State.t -> spec -> t

@@ -1,0 +1,28 @@
+type spec = {
+  num_red : int;
+  num_blue : int;
+  num_sets : int;
+  red_density : float;
+  blue_density : float;
+}
+
+let default =
+  { num_red = 6; num_blue = 6; num_sets = 8; red_density = 0.3; blue_density = 0.35 }
+
+let generate ~rng spec =
+  let rb =
+    Rbsc_gen.red_blue ~rng ~num_red:spec.num_red ~num_blue:spec.num_blue
+      ~num_sets:spec.num_sets ~red_density:spec.red_density ~blue_density:spec.blue_density
+  in
+  match Deleprop.Hardness.of_red_blue rb with
+  | Ok h -> (h, rb)
+  | Error m -> invalid_arg ("Hard_family.generate: " ^ m)
+
+let generate_balanced ~rng spec =
+  let pn =
+    Rbsc_gen.pos_neg ~rng ~num_pos:spec.num_blue ~num_neg:spec.num_red
+      ~num_sets:spec.num_sets ~pos_density:spec.blue_density ~neg_density:spec.red_density
+  in
+  match Deleprop.Hardness.of_pos_neg pn with
+  | Ok h -> (h, pn)
+  | Error m -> invalid_arg ("Hard_family.generate_balanced: " ^ m)

@@ -1,0 +1,21 @@
+(** Hard instances: random Red-Blue Set Cover fed through the Theorem 1
+    reduction (and PNPSC through Theorem 2's) — the families on which the
+    problem is provably hard to approximate (experiments E2, E8). *)
+
+type spec = {
+  num_red : int;
+  num_blue : int;
+  num_sets : int;
+  red_density : float;
+  blue_density : float;
+}
+
+val default : spec
+
+(** The reduced deletion-propagation instance together with the source
+    RBSC instance (never fails: generated instances are coverable). *)
+val generate : rng:Random.State.t -> spec -> Deleprop.Hardness.t * Setcover.Red_blue.t
+
+(** Balanced counterpart via PNPSC and Theorem 2. *)
+val generate_balanced :
+  rng:Random.State.t -> spec -> Deleprop.Hardness.t * Setcover.Pos_neg.t

@@ -1,0 +1,108 @@
+module R = Relational
+module D = Deleprop
+
+type spec = {
+  cleaning : Cleaning.spec;
+  batch_size : int;
+  max_questions : int;
+}
+
+let default = { cleaning = Cleaning.default; batch_size = 3; max_questions = 500 }
+
+type outcome = {
+  questions : int;
+  repair_rounds : int;
+  deleted : R.Stuple.Set.t;
+  precision : float;
+  recall : float;
+  residual_wrong : int;
+}
+
+let run ~rng spec =
+  let w = Cleaning.generate ~rng ~views_with_feedback:spec.cleaning.Cleaning.depth spec.cleaning in
+  let clean = w.Cleaning.clean in
+  let queries = w.Cleaning.problem.D.Problem.queries in
+  let clean_views =
+    List.map (fun (q : Cq.Query.t) -> (q.name, Cq.Eval.evaluate clean q)) queries
+  in
+  let oracle qname t = R.Tuple.Set.mem t (List.assoc qname clean_views) in
+  let mv = ref (D.Matview.create w.Cleaning.problem.D.Problem.db queries) in
+  let verified : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let key qname t = qname ^ "/" ^ R.Tuple.to_string t in
+  let questions = ref 0 in
+  let rounds = ref 0 in
+  let deleted = ref R.Stuple.Set.empty in
+  let continue_ = ref true in
+  while !continue_ && !questions < spec.max_questions do
+    (* collect the next batch of unverified answers *)
+    let batch = ref [] in
+    List.iter
+      (fun (q : Cq.Query.t) ->
+        R.Tuple.Set.iter
+          (fun t ->
+            if
+              List.length !batch < spec.batch_size
+              && (not (Hashtbl.mem verified (key q.name t)))
+            then batch := (q.name, t) :: !batch)
+          (D.Matview.view !mv q.name))
+      queries;
+    if !batch = [] then continue_ := false
+    else begin
+      (* oracle pass *)
+      let wrong =
+        List.filter
+          (fun (qname, t) ->
+            incr questions;
+            Hashtbl.replace verified (key qname t) ();
+            not (oracle qname t))
+          !batch
+      in
+      if wrong <> [] then begin
+        incr rounds;
+        let deletions =
+          List.fold_left
+            (fun acc (qname, t) ->
+              let cur = Option.value ~default:[] (List.assoc_opt qname acc) in
+              (qname, t :: cur) :: List.remove_assoc qname acc)
+            [] wrong
+        in
+        let problem = D.Matview.problem ~deletions !mv in
+        let prov = D.Provenance.build problem in
+        match D.Brute.solve prov with
+        | Some r ->
+          deleted := R.Stuple.Set.union !deleted r.D.Brute.deletion;
+          mv := D.Matview.delete !mv r.D.Brute.deletion
+        | None -> continue_ := false
+      end
+    end
+  done;
+  (* final accounting *)
+  let residual_wrong =
+    List.fold_left
+      (fun acc (q : Cq.Query.t) ->
+        acc
+        + R.Tuple.Set.cardinal
+            (R.Tuple.Set.diff (D.Matview.view !mv q.name) (List.assoc q.name clean_views)))
+      0 queries
+  in
+  let inter = R.Stuple.Set.inter !deleted w.Cleaning.corrupted in
+  let precision =
+    if R.Stuple.Set.is_empty !deleted then 1.0
+    else
+      float_of_int (R.Stuple.Set.cardinal inter)
+      /. float_of_int (R.Stuple.Set.cardinal !deleted)
+  in
+  let recall =
+    if R.Stuple.Set.is_empty w.Cleaning.corrupted then 1.0
+    else
+      float_of_int (R.Stuple.Set.cardinal inter)
+      /. float_of_int (R.Stuple.Set.cardinal w.Cleaning.corrupted)
+  in
+  {
+    questions = !questions;
+    repair_rounds = !rounds;
+    deleted = !deleted;
+    precision;
+    recall;
+    residual_wrong;
+  }

@@ -1,0 +1,33 @@
+(** A QOCO-style interactive cleaning session (§V): a domain expert
+    ("oracle") answers membership questions about view tuples — is this
+    answer correct? — and the system repairs the dirty database by
+    deletion propagation. The paper's critique of one-at-a-time
+    processing vs its batch guarantee becomes measurable here: sweep the
+    batch size and count oracle questions, repair rounds, and accuracy.
+
+    Loop, per round:
+    + pick up to [batch_size] unverified dirty-view answers (scan order),
+    + ask the oracle about each (correct = present in the clean view),
+    + propagate the batch of wrong answers with the exact solver,
+    + apply the repair on a {!Deleprop.Matview} manager (views refresh
+      incrementally), and continue until no unverified answers remain or
+      [max_questions] is exhausted. *)
+
+type spec = {
+  cleaning : Cleaning.spec;
+  batch_size : int;      (** 1 = QOCO-style sequential; larger = batched *)
+  max_questions : int;
+}
+
+val default : spec
+
+type outcome = {
+  questions : int;        (** oracle interactions used *)
+  repair_rounds : int;    (** solver invocations *)
+  deleted : Relational.Stuple.Set.t;
+  precision : float;      (** of [deleted] against the seeded corruptions *)
+  recall : float;
+  residual_wrong : int;   (** dirty answers still visible at the end *)
+}
+
+val run : rng:Random.State.t -> spec -> outcome

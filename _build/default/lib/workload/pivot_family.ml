@@ -1,0 +1,75 @@
+module R = Relational
+
+type spec = {
+  depth : int;
+  num_roots : int;
+  tuples_per_relation : int;
+  num_queries : int;
+  deletion_fraction : float;
+}
+
+let default =
+  {
+    depth = 4;
+    num_roots = 2;
+    tuples_per_relation = 10;
+    num_queries = 3;
+    deletion_fraction = 0.25;
+  }
+
+let rel_name i = Printf.sprintf "R%d" i
+
+let schema_of spec =
+  let rel i =
+    if i = 0 then R.Schema.make ~name:(rel_name 0) ~attrs:[ "k"; "a" ] ~key:[ 0 ]
+    else R.Schema.make ~name:(rel_name i) ~attrs:[ "k"; "a"; "pk" ] ~key:[ 0 ]
+  in
+  R.Schema.Db.of_list (List.init spec.depth rel)
+
+let generate ~rng spec =
+  if spec.depth < 1 then invalid_arg "Pivot_family: depth >= 1";
+  let db = ref (R.Instance.empty (schema_of spec)) in
+  let count i = if i = 0 then spec.num_roots else spec.tuples_per_relation in
+  for i = 0 to spec.depth - 1 do
+    for k = 0 to count i - 1 do
+      let attr = R.Value.int (Random.State.int rng 5) in
+      let tuple =
+        if i = 0 then R.Tuple.of_list [ R.Value.int k; attr ]
+        else
+          R.Tuple.of_list
+            [ R.Value.int k; attr; R.Value.int (Random.State.int rng (count (i - 1))) ]
+      in
+      db := R.Instance.add !db (rel_name i) tuple
+    done
+  done;
+  let db = !db in
+  (* full ancestor-path query from depth j down to R0 *)
+  let make_query qi =
+    let j = if spec.depth = 1 then 0 else 1 + Random.State.int rng (spec.depth - 1) in
+    let atoms =
+      List.init (j + 1) (fun idx ->
+          let r = j - idx in
+          let kvar = Cq.Term.var (Printf.sprintf "K%d" r) in
+          let avar = Cq.Term.var (Printf.sprintf "A%d" r) in
+          if r = 0 then Cq.Atom.make (rel_name 0) [ kvar; avar ]
+          else Cq.Atom.make (rel_name r) [ kvar; avar; Cq.Term.var (Printf.sprintf "K%d" (r - 1)) ])
+    in
+    let head =
+      List.concat_map
+        (fun r -> [ Cq.Term.var (Printf.sprintf "K%d" r); Cq.Term.var (Printf.sprintf "A%d" r) ])
+        (List.init (j + 1) (fun idx -> j - idx))
+    in
+    Cq.Query.make ~name:(Printf.sprintf "Q%d" qi) ~head ~body:atoms
+  in
+  let queries = List.init spec.num_queries make_query in
+  let deletions =
+    List.map
+      (fun (q : Cq.Query.t) ->
+        let view = R.Tuple.Set.elements (Cq.Eval.evaluate db q) in
+        let chosen =
+          List.filter (fun _ -> Random.State.float rng 1.0 < spec.deletion_fraction) view
+        in
+        (q.name, chosen))
+      queries
+  in
+  Deleprop.Problem.make ~db ~queries ~deletions ()

@@ -1,0 +1,17 @@
+(** Pivot-forest workloads (the regime of Algorithm 4, experiment E7):
+    a chain of relations [R0 ← R1 ← ... ← R_{d-1}], data forming trees of
+    tuples rooted in [R0], and every query a {e full} ancestor path
+    [R_j, R_{j-1}, ..., R0] — so each witness is a root path and each
+    [R0] tuple is the pivot of its component. *)
+
+type spec = {
+  depth : int;              (** number of relations in the chain, ≥ 1 *)
+  num_roots : int;          (** tuples in R0 = number of components *)
+  tuples_per_relation : int;(** per non-root relation *)
+  num_queries : int;        (** queries; each picks a random depth j ≥ 1 *)
+  deletion_fraction : float;
+}
+
+val default : spec
+
+val generate : rng:Random.State.t -> spec -> Deleprop.Problem.t

@@ -1,0 +1,159 @@
+module R = Relational
+
+type spec = {
+  num_dimensions : int;
+  fact_tuples : int;
+  dim_tuples : int;
+  num_queries : int;
+  dims_per_query : int;
+  project_free : bool;
+  deletion_fraction : float;
+  skew : float;
+}
+
+let default =
+  {
+    num_dimensions = 4;
+    fact_tuples = 12;
+    dim_tuples = 6;
+    num_queries = 4;
+    dims_per_query = 2;
+    project_free = false;
+    deletion_fraction = 0.2;
+    skew = 0.0;
+  }
+
+let dim_name i = Printf.sprintf "D%d" i
+
+let schema_of spec =
+  let fact =
+    R.Schema.make ~name:"F"
+      ~attrs:("k" :: List.init spec.num_dimensions (Printf.sprintf "d%d"))
+      ~key:[ 0 ]
+  in
+  let dim i = R.Schema.make ~name:(dim_name i) ~attrs:[ "k"; "a"; "b" ] ~key:[ 0 ] in
+  R.Schema.Db.of_list (fact :: List.init spec.num_dimensions dim)
+
+let generate_db ~rng spec =
+  let db = ref (R.Instance.empty (schema_of spec)) in
+  for i = 0 to spec.num_dimensions - 1 do
+    for k = 0 to spec.dim_tuples - 1 do
+      let t =
+        R.Tuple.of_list
+          [
+            R.Value.int k;
+            R.Value.int (Random.State.int rng 5);
+            R.Value.int (Random.State.int rng 5);
+          ]
+      in
+      db := R.Instance.add !db (dim_name i) t
+    done
+  done;
+  let dim_pick =
+    if spec.skew > 0.0 then
+      let z = Zipf.make ~n:spec.dim_tuples ~s:spec.skew in
+      fun () -> Zipf.sample z rng
+    else fun () -> Random.State.int rng spec.dim_tuples
+  in
+  for k = 0 to spec.fact_tuples - 1 do
+    let t =
+      R.Tuple.of_list
+        (R.Value.int k
+        :: List.init spec.num_dimensions (fun _ -> R.Value.int (dim_pick ())))
+    in
+    db := R.Instance.add !db "F" t
+  done;
+  !db
+
+(* choose [k] distinct dimensions *)
+let choose_dims rng spec k =
+  let all = Array.init spec.num_dimensions Fun.id in
+  for i = spec.num_dimensions - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = all.(i) in
+    all.(i) <- all.(j);
+    all.(j) <- tmp
+  done;
+  Array.to_list (Array.sub all 0 (min k spec.num_dimensions))
+
+let make_query ~rng spec qi =
+  let dims = choose_dims rng spec spec.dims_per_query in
+  let fact_args =
+    Cq.Term.var "KF"
+    :: List.init spec.num_dimensions (fun i ->
+           if List.mem i dims then Cq.Term.var (Printf.sprintf "K%d" i)
+           else Cq.Term.var (Printf.sprintf "W%d" i))
+  in
+  let dim_atoms =
+    List.map
+      (fun i ->
+        Cq.Atom.make (dim_name i)
+          [
+            Cq.Term.var (Printf.sprintf "K%d" i);
+            Cq.Term.var (Printf.sprintf "A%d" i);
+            Cq.Term.var (Printf.sprintf "B%d" i);
+          ])
+      dims
+  in
+  let head =
+    Cq.Term.var "KF"
+    :: List.concat_map
+         (fun i ->
+           let base =
+             [ Cq.Term.var (Printf.sprintf "K%d" i); Cq.Term.var (Printf.sprintf "A%d" i) ]
+           in
+           if spec.project_free then base @ [ Cq.Term.var (Printf.sprintf "B%d" i) ] else base)
+         dims
+  in
+  let head =
+    if spec.project_free then
+      head
+      @ List.filter_map
+          (fun i ->
+            if List.mem i dims then None else Some (Cq.Term.var (Printf.sprintf "W%d" i)))
+          (List.init spec.num_dimensions Fun.id)
+    else head
+  in
+  Cq.Query.make ~name:(Printf.sprintf "Q%d" qi) ~head
+    ~body:(Cq.Atom.make "F" fact_args :: dim_atoms)
+
+let random_deletions ~rng spec db queries =
+  List.map
+    (fun (q : Cq.Query.t) ->
+      let view = R.Tuple.Set.elements (Cq.Eval.evaluate db q) in
+      let chosen =
+        List.filter (fun _ -> Random.State.float rng 1.0 < spec.deletion_fraction) view
+      in
+      (q.name, chosen))
+    queries
+
+let generate ~rng spec =
+  let db = generate_db ~rng spec in
+  let queries = List.init spec.num_queries (make_query ~rng spec) in
+  let deletions = random_deletions ~rng spec db queries in
+  Deleprop.Problem.make ~db ~queries ~deletions ()
+
+let generate_single ~rng spec =
+  let schema =
+    R.Schema.Db.of_list
+      [
+        R.Schema.make ~name:"D0" ~attrs:[ "k"; "a" ] ~key:[ 0 ];
+        R.Schema.make ~name:"D1" ~attrs:[ "k"; "a" ] ~key:[ 0 ];
+      ]
+  in
+  let fill db name n =
+    List.fold_left
+      (fun db k ->
+        R.Instance.add db name
+          (R.Tuple.of_list [ R.Value.int k; R.Value.int (Random.State.int rng 5) ]))
+      db (List.init n Fun.id)
+  in
+  let db = fill (fill (R.Instance.empty schema) "D0" spec.fact_tuples) "D1" spec.dim_tuples in
+  let q = Cq.Parser.query_of_string "Q0(K0, A0, K1, A1) :- D0(K0, A0), D1(K1, A1)" in
+  let view = R.Tuple.Set.elements (Cq.Eval.evaluate db q) in
+  let deletions =
+    match view with
+    | [] -> []
+    | _ -> [ (q.Cq.Query.name, [ List.nth view (Random.State.int rng (List.length view)) ]) ]
+  in
+  Deleprop.Problem.make ~db ~queries:[ q ] ~deletions ()

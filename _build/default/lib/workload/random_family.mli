@@ -1,0 +1,30 @@
+(** General-case workloads (experiments E3, E9): a star schema — fact
+    table [F] plus dimensions [D1..Dm] — with key-preserving queries that
+    join [F] with a random subset of dimensions. Overlapping dimension
+    subsets make the dual hypergraph non-forest in general, which is
+    exactly the regime where only the Claim-1 reduction applies. *)
+
+type spec = {
+  num_dimensions : int;
+  fact_tuples : int;
+  dim_tuples : int;        (** per dimension *)
+  num_queries : int;
+  dims_per_query : int;    (** dimensions joined per query (≥ 0) *)
+  project_free : bool;
+  deletion_fraction : float;
+  skew : float;            (** Zipf exponent for fact->dimension references;
+                               0 = uniform. Skew concentrates preserved
+                               degree on hot dimension tuples. *)
+}
+
+val default : spec
+
+val generate : rng:Random.State.t -> spec -> Deleprop.Problem.t
+
+(** Single-query, single-deletion instance — the Cong-et-al. polynomial
+    case for experiment E9. Uses a cross-product query
+    [Q(K0,A0,K1,A1) :- D0(K0,A0), D1(K1,A1)] over two relations of sizes
+    [fact_tuples] and [dim_tuples], so that every source tuple is shared
+    by many view tuples and the optimum is the non-trivial
+    [min(|D0|,|D1|) - 1]. *)
+val generate_single : rng:Random.State.t -> spec -> Deleprop.Problem.t

@@ -1,0 +1,38 @@
+let pick_members rng n density =
+  List.init n Fun.id
+  |> List.filter (fun _ -> Random.State.float rng 1.0 < density)
+  |> Setcover.Iset.of_list
+
+(* ensure every element of [0..n) appears in some set by patching column
+   [get]/[put] of a random set *)
+let force_coverage rng n num_sets get put =
+  for e = 0 to n - 1 do
+    let covered = ref false in
+    for j = 0 to num_sets - 1 do
+      if Setcover.Iset.mem e (get j) then covered := true
+    done;
+    if not !covered then begin
+      let j = Random.State.int rng num_sets in
+      put j (Setcover.Iset.add e (get j))
+    end
+  done
+
+let red_blue ~rng ~num_red ~num_blue ~num_sets ~red_density ~blue_density =
+  let reds = Array.init num_sets (fun _ -> pick_members rng num_red red_density) in
+  let blues = Array.init num_sets (fun _ -> pick_members rng num_blue blue_density) in
+  force_coverage rng num_blue num_sets (Array.get blues) (Array.set blues);
+  let sets =
+    List.init num_sets (fun j ->
+        { Setcover.Red_blue.label = Printf.sprintf "C%d" j; red = reds.(j); blue = blues.(j) })
+  in
+  Setcover.Red_blue.make_unit ~num_red ~num_blue sets
+
+let pos_neg ~rng ~num_pos ~num_neg ~num_sets ~pos_density ~neg_density =
+  let negs = Array.init num_sets (fun _ -> pick_members rng num_neg neg_density) in
+  let poss = Array.init num_sets (fun _ -> pick_members rng num_pos pos_density) in
+  force_coverage rng num_pos num_sets (Array.get poss) (Array.set poss);
+  let sets =
+    List.init num_sets (fun j ->
+        { Setcover.Pos_neg.label = Printf.sprintf "C%d" j; pos = poss.(j); neg = negs.(j) })
+  in
+  Setcover.Pos_neg.make_unit ~num_pos ~num_neg sets

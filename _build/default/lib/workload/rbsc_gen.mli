@@ -1,0 +1,27 @@
+(** Random Red-Blue / Positive-Negative Set Cover instances — inputs to
+    the hardness reductions (experiments E2, E8) and to the set-cover
+    solver tests. *)
+
+(** [red_blue ~rng ~num_red ~num_blue ~num_sets ~red_density ~blue_density]
+    — each set receives each red (blue) element independently with the
+    given probability; every blue element is then forced into at least
+    one set (coverability). *)
+val red_blue :
+  rng:Random.State.t ->
+  num_red:int ->
+  num_blue:int ->
+  num_sets:int ->
+  red_density:float ->
+  blue_density:float ->
+  Setcover.Red_blue.t
+
+(** Same shape for PNPSC; positives need not be coverable, but are (for
+    comparability with the balanced reduction, which requires it). *)
+val pos_neg :
+  rng:Random.State.t ->
+  num_pos:int ->
+  num_neg:int ->
+  num_sets:int ->
+  pos_density:float ->
+  neg_density:float ->
+  Setcover.Pos_neg.t

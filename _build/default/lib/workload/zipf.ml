@@ -1,0 +1,35 @@
+type t = {
+  n : int;
+  cdf : float array;   (* cumulative, cdf.(n-1) = 1.0 *)
+  pmf : float array;
+}
+
+let make ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.make: n must be positive";
+  if s < 0.0 then invalid_arg "Zipf.make: s must be non-negative";
+  let raw = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
+  let total = Array.fold_left ( +. ) 0.0 raw in
+  let pmf = Array.map (fun x -> x /. total) raw in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i p ->
+      acc := !acc +. p;
+      cdf.(i) <- !acc)
+    pmf;
+  cdf.(n - 1) <- 1.0;
+  { n; cdf; pmf }
+
+let sample t rng =
+  let u = Random.State.float rng 1.0 in
+  (* binary search for the first cdf entry >= u *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let pmf t i =
+  if i < 0 || i >= t.n then invalid_arg "Zipf.pmf: out of range";
+  t.pmf.(i)

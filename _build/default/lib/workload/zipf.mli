@@ -1,0 +1,15 @@
+(** Zipf-distributed sampling for skewed workloads. Real dirty data is
+    skewed — a few hot journals, many cold ones — and skew is what
+    separates the solvers: a hot shared tuple has a huge preserved
+    degree, exactly the regime LowDeg's τ-filter targets. *)
+
+type t
+
+(** [make ~n ~s] — distribution over [0 .. n-1] with exponent [s ≥ 0]
+    ([s = 0] is uniform; [s = 1] classic Zipf). *)
+val make : n:int -> s:float -> t
+
+val sample : t -> Random.State.t -> int
+
+(** Probability mass of rank [i]. *)
+val pmf : t -> int -> float

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Cq Deleprop List Lp QCheck2 Random Relational Util Workload

@@ -1,0 +1,1 @@
+test/test_cq.ml: Alcotest Array Cq List QCheck2 Random Relational Util

@@ -1,0 +1,1 @@
+test/test_examples.ml: Alcotest Deleprop Relational Util Workload

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Cq Deleprop List Relational Util Workload

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Cq Deleprop Fun List Printf QCheck2 Random Relational Util Workload

@@ -1,0 +1,1 @@
+test/test_hardness.ml: Alcotest Cq Deleprop List QCheck2 Relational Setcover Util Workload

@@ -1,0 +1,1 @@
+test/test_hypergraph.ml: Alcotest Array Cq Hypergraph Int List Printf QCheck2 Random Relational Util

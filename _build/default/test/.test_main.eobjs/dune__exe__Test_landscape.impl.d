@@ -1,0 +1,1 @@
+test/test_landscape.ml: Alcotest Array Cq Deleprop Fun List Printf QCheck2 Random Relational Setcover Util Workload

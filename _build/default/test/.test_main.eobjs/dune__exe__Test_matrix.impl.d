@@ -1,0 +1,1 @@
+test/test_matrix.ml: Alcotest Deleprop Float List Option Printf Relational Util Workload

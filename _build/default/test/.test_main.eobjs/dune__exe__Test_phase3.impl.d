@@ -1,0 +1,1 @@
+test/test_phase3.ml: Alcotest Array Cq Deleprop List QCheck2 Random Relational Setcover String Util Workload

@@ -1,0 +1,1 @@
+test/test_phase4.ml: Alcotest Cq Deleprop Hypergraph List Printf QCheck2 Random Relational Util Workload

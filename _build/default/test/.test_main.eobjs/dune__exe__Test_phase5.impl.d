@@ -1,0 +1,1 @@
+test/test_phase5.ml: Alcotest Array Cq Deleprop Fun List QCheck2 Random Relational Result Util Workload

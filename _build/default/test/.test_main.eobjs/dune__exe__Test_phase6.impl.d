@@ -1,0 +1,1 @@
+test/test_phase6.ml: Alcotest Array Cq Deleprop Float Fun Int List Printf QCheck2 Random Relational Setcover Util Workload

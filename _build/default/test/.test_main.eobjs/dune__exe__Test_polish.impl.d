@@ -1,0 +1,1 @@
+test/test_polish.ml: Alcotest Astring Cq Deleprop Filename Format Hypergraph List QCheck2 Relational Sys Util Workload

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Fun List QCheck2 Relational Util

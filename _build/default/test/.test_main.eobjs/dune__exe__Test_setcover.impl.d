@@ -1,0 +1,1 @@
+test/test_setcover.ml: Alcotest Array Fun List Printf QCheck2 Random Setcover Util Workload

@@ -1,0 +1,1 @@
+test/test_solvers.ml: Alcotest Cq Deleprop List QCheck2 Relational Util Workload

@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Cq Deleprop List QCheck2 Random Relational Util Workload

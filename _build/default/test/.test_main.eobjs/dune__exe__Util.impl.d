@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Deleprop Float Format QCheck2 QCheck_alcotest Random Relational

@@ -1,0 +1,243 @@
+(* Tests for conjunctive queries: parsing, classification, evaluation,
+   provenance. *)
+
+open Util
+module R = Relational
+
+let schema =
+  R.Schema.Db.of_list
+    [
+      R.Schema.make ~name:"T1" ~attrs:[ "a"; "b" ] ~key:[ 0; 1 ];
+      R.Schema.make ~name:"T2" ~attrs:[ "b"; "c"; "d" ] ~key:[ 0; 1 ];
+      R.Schema.make ~name:"T3" ~attrs:[ "k"; "v" ] ~key:[ 0 ];
+    ]
+
+let parse = Cq.Parser.query_of_string
+
+(* ---- parser ---- *)
+
+let test_parse_basic () =
+  let q = parse "Q(X, Z) :- T1(X, Y), T2(Y, Z, W)" in
+  Alcotest.(check string) "name" "Q" q.Cq.Query.name;
+  Alcotest.(check int) "arity" 2 (Cq.Query.arity q);
+  Alcotest.(check int) "atoms" 2 (List.length q.Cq.Query.body)
+
+let test_parse_constants () =
+  let q = parse "Q(X) :- T3(X, 42), T3(X, tag), T3(X, 'two words')" in
+  match List.map (fun (a : Cq.Atom.t) -> a.args.(1)) q.Cq.Query.body with
+  | [ c1; c2; c3 ] ->
+    Alcotest.(check bool) "int const" true (Cq.Term.equal c1 (Cq.Term.int 42));
+    Alcotest.(check bool) "lowercase is const" true (Cq.Term.equal c2 (Cq.Term.str "tag"));
+    Alcotest.(check bool) "quoted const" true (Cq.Term.equal c3 (Cq.Term.str "two words"))
+  | _ -> Alcotest.fail "expected three atoms"
+
+let test_parse_variables () =
+  let q = parse "Q(X, _y) :- T3(X, _y)" in
+  Alcotest.(check bool) "underscore var" true
+    (Cq.Term.Vars.mem "_y" (Cq.Query.head_vars q))
+
+let test_parse_errors () =
+  let fails s =
+    Alcotest.(check bool) ("rejects " ^ s) true
+      (try ignore (parse s); false with Cq.Parser.Parse_error _ -> true)
+  in
+  fails "Q(X)";                       (* no body *)
+  fails "Q(X) : T(X)";                (* bad turnstile *)
+  fails "Q(X) :- T(X";                (* unterminated *)
+  fails "Q() :- T(X)";                (* empty head *)
+  fails "Q(X) :- T(X,)";              (* trailing comma... parsed as missing term *)
+  fails "Q(X) :- "                    (* empty body *)
+
+let test_parse_multi () =
+  let qs = Cq.Parser.queries_of_string "# comment\nQ1(X) :- T3(X, Y)\n\nQ2(X) :- T3(X, Z)\n" in
+  Alcotest.(check (list string)) "names" [ "Q1"; "Q2" ]
+    (List.map (fun (q : Cq.Query.t) -> q.name) qs)
+
+(* ---- classification ---- *)
+
+let test_classify_project_free () =
+  let pf = parse "Q(X, Y, Z, W) :- T1(X, Y), T2(Y, Z, W)" in
+  let non_pf = parse "Q(X, Z) :- T1(X, Y), T2(Y, Z, W)" in
+  Alcotest.(check bool) "project-free" true (Cq.Classify.is_project_free pf);
+  Alcotest.(check bool) "not project-free" false (Cq.Classify.is_project_free non_pf)
+
+let test_classify_sj_free () =
+  let sj = parse "Q(X, Y, Z) :- T3(X, Y), T3(Y, Z)" in
+  let sjf = parse "Q(X, Y) :- T1(X, Y), T2(Y, Y, Y)" in
+  Alcotest.(check bool) "self-join" false (Cq.Classify.is_self_join_free sj);
+  Alcotest.(check bool) "sj-free" true (Cq.Classify.is_self_join_free sjf)
+
+let test_classify_key_preserving () =
+  (* paper's Q4: keys (a,b) of T1 and (b,c) of T2 all in head *)
+  let q4 = parse "Q4(X, Y, Z) :- T1(X, Y), T2(Y, Z, W)" in
+  (* paper's Q3: key var Y projected away *)
+  let q3 = parse "Q3(X, Z) :- T1(X, Y), T2(Y, Z, W)" in
+  Alcotest.(check bool) "Q4 key preserving" true (Cq.Classify.is_key_preserving schema q4);
+  Alcotest.(check bool) "Q3 not key preserving" false (Cq.Classify.is_key_preserving schema q3);
+  Alcotest.(check int) "Q3 violations: Y twice (T1 and T2)" 2
+    (List.length (Cq.Classify.key_preserving_violations schema q3))
+
+let test_classify_project_free_implies_kp () =
+  (* §II.B: a project-free CQ is always key preserved *)
+  let pf = parse "Q(X, Y, Z, W) :- T1(X, Y), T2(Y, Z, W)" in
+  Alcotest.(check bool) "pf => kp" true (Cq.Classify.is_key_preserving schema pf)
+
+let test_classify_constant_key () =
+  (* a constant at a key position needs no head variable *)
+  let q = parse "Q(V) :- T3(pin, V)" in
+  Alcotest.(check bool) "constant key ok" true (Cq.Classify.is_key_preserving schema q)
+
+let test_check_key_preserving_raises () =
+  let q3 = parse "Q3(X, Z) :- T1(X, Y), T2(Y, Z, W)" in
+  Alcotest.(check bool) "raises" true
+    (try Cq.Classify.check_key_preserving schema [ q3 ]; false
+     with Invalid_argument _ -> true)
+
+(* ---- query well-formedness ---- *)
+
+let test_query_check () =
+  let ok = parse "Q(X) :- T3(X, Y)" in
+  Cq.Query.check schema ok;
+  let unsafe = Cq.Query.make ~name:"Q" ~head:[ Cq.Term.var "Z" ]
+      ~body:[ Cq.Atom.make "T3" [ Cq.Term.var "X"; Cq.Term.var "Y" ] ] in
+  Alcotest.(check bool) "unsafe head" true
+    (try Cq.Query.check schema unsafe; false with Invalid_argument _ -> true);
+  let bad_arity = parse "Q(X) :- T3(X)" in
+  Alcotest.(check bool) "bad arity" true
+    (try Cq.Query.check schema bad_arity; false with Invalid_argument _ -> true);
+  let unknown = parse "Q(X) :- T9(X)" in
+  Alcotest.(check bool) "unknown relation" true
+    (try Cq.Query.check schema unknown; false with Invalid_argument _ -> true)
+
+let test_query_vars () =
+  let q = parse "Q(X, Z) :- T1(X, Y), T2(Y, Z, W)" in
+  Alcotest.(check (list string)) "existential" [ "W"; "Y" ]
+    (Cq.Term.Vars.elements (Cq.Query.existential_vars q));
+  Alcotest.(check (list string)) "head" [ "X"; "Z" ]
+    (Cq.Term.Vars.elements (Cq.Query.head_vars q));
+  Alcotest.(check (list string)) "relations" [ "T1"; "T2" ] (Cq.Query.relations q)
+
+(* ---- evaluation ---- *)
+
+let db () =
+  R.Instance.of_alist schema
+    [
+      ("T1", [ R.Tuple.strs [ "john"; "tkde" ]; R.Tuple.strs [ "joe"; "tkde" ];
+               R.Tuple.strs [ "john"; "tods" ] ]);
+      ("T2", [ R.Tuple.of_list [ R.Value.str "tkde"; R.Value.str "xml"; R.Value.int 30 ];
+               R.Tuple.of_list [ R.Value.str "tods"; R.Value.str "xml"; R.Value.int 30 ] ]);
+      ("T3", [ R.Tuple.ints [ 1; 2 ]; R.Tuple.ints [ 2; 3 ]; R.Tuple.ints [ 3; 4 ] ]);
+    ]
+
+let test_eval_join () =
+  let q = parse "Q(X, Z) :- T1(X, Y), T2(Y, Z, W)" in
+  let res = Cq.Eval.evaluate (db ()) q in
+  Alcotest.check tuple_set "join result"
+    (R.Tuple.Set.of_list
+       [ R.Tuple.strs [ "john"; "xml" ]; R.Tuple.strs [ "joe"; "xml" ] ])
+    res
+
+let test_eval_constants_filter () =
+  let q = parse "Q(X) :- T1(X, tods)" in
+  Alcotest.check tuple_set "selection"
+    (R.Tuple.Set.of_list [ R.Tuple.strs [ "john" ] ])
+    (Cq.Eval.evaluate (db ()) q)
+
+let test_eval_self_join () =
+  let q = parse "Q(X, Y, Z) :- T3(X, Y), T3(Y, Z)" in
+  Alcotest.check tuple_set "path of length 2"
+    (R.Tuple.Set.of_list [ R.Tuple.ints [ 1; 2; 3 ]; R.Tuple.ints [ 2; 3; 4 ] ])
+    (Cq.Eval.evaluate (db ()) q)
+
+let test_eval_repeated_var () =
+  (* repeated variable within an atom forces equality *)
+  let q = parse "Q(X) :- T3(X, X)" in
+  Alcotest.check tuple_set "no loops" R.Tuple.Set.empty (Cq.Eval.evaluate (db ()) q)
+
+let test_eval_head_constants () =
+  let q = Cq.Query.make ~name:"Q"
+      ~head:[ Cq.Term.var "X"; Cq.Term.str "tag" ]
+      ~body:[ Cq.Atom.make "T3" [ Cq.Term.var "X"; Cq.Term.var "Y" ] ] in
+  let res = Cq.Eval.evaluate (db ()) q in
+  Alcotest.(check int) "three results" 3 (R.Tuple.Set.cardinal res);
+  Alcotest.(check bool) "constant column" true
+    (R.Tuple.Set.for_all (fun t -> R.Value.equal (R.Tuple.get t 1) (R.Value.str "tag")) res)
+
+let test_provenance_unique_witness () =
+  (* key-preserving query: exactly one witness per answer *)
+  let q = parse "Q4(X, Y, Z) :- T1(X, Y), T2(Y, Z, W)" in
+  let prov = Cq.Eval.provenance (db ()) q in
+  R.Tuple.Map.iter
+    (fun _ ws -> Alcotest.(check int) "unique witness" 1 (List.length ws))
+    prov
+
+let test_provenance_multiple_witnesses () =
+  (* paper's Q3: (john, xml) derivable via tkde and via tods *)
+  let q = parse "Q3(X, Z) :- T1(X, Y), T2(Y, Z, W)" in
+  let prov = Cq.Eval.provenance (db ()) q in
+  let ws = R.Tuple.Map.find (R.Tuple.strs [ "john"; "xml" ]) prov in
+  Alcotest.(check int) "two witnesses" 2 (List.length ws)
+
+let test_witness_content () =
+  let q = parse "Q4(X, Y, Z) :- T1(X, Y), T2(Y, Z, W)" in
+  let prov = Cq.Eval.provenance (db ()) q in
+  let ws = R.Tuple.Map.find (R.Tuple.strs [ "john"; "tods"; "xml" ]) prov in
+  match ws with
+  | [ w ] ->
+    Alcotest.check stuple "first atom" (st "T1" [ "john"; "tods" ]) w.(0);
+    Alcotest.(check string) "second atom rel" "T2" w.(1).R.Stuple.rel
+  | _ -> Alcotest.fail "expected unique witness"
+
+(* deleting a witness tuple removes exactly the witnessed answers *)
+let prop_deletion_semantics =
+  let gen = QCheck2.Gen.int_range 0 4 in
+  qcheck ~count:50 "evaluate after deletion = answers whose every witness is hit" gen
+    (fun seed ->
+      let rng = rng (100 + seed) in
+      let database = db () in
+      let q = parse "Q3(X, Z) :- T1(X, Y), T2(Y, Z, W)" in
+      let all = R.Instance.stuples database in
+      let dd =
+        List.filter (fun _ -> Random.State.bool rng) all |> R.Stuple.Set.of_list
+      in
+      let after = Cq.Eval.evaluate (R.Instance.delete database dd) q in
+      let expected =
+        Cq.Eval.provenance database q
+        |> R.Tuple.Map.filter (fun _ ws ->
+               List.exists
+                 (fun w ->
+                   R.Stuple.Set.is_empty (R.Stuple.Set.inter (Cq.Eval.witness_set w) dd))
+                 ws)
+        |> R.Tuple.Map.bindings |> List.map fst |> R.Tuple.Set.of_list
+      in
+      R.Tuple.Set.equal after expected)
+
+let suite =
+  [
+    Alcotest.test_case "parser: basic query" `Quick test_parse_basic;
+    Alcotest.test_case "parser: constants" `Quick test_parse_constants;
+    Alcotest.test_case "parser: variables" `Quick test_parse_variables;
+    Alcotest.test_case "parser: errors" `Quick test_parse_errors;
+    Alcotest.test_case "parser: multiple queries" `Quick test_parse_multi;
+    Alcotest.test_case "classify: project-free" `Quick test_classify_project_free;
+    Alcotest.test_case "classify: self-join-free" `Quick test_classify_sj_free;
+    Alcotest.test_case "classify: key-preserving (paper Q3/Q4)" `Quick test_classify_key_preserving;
+    Alcotest.test_case "classify: project-free implies key-preserving" `Quick
+      test_classify_project_free_implies_kp;
+    Alcotest.test_case "classify: constant at key position" `Quick test_classify_constant_key;
+    Alcotest.test_case "classify: check_key_preserving raises" `Quick
+      test_check_key_preserving_raises;
+    Alcotest.test_case "query: check (safety, arity, unknown rel)" `Quick test_query_check;
+    Alcotest.test_case "query: variable sets" `Quick test_query_vars;
+    Alcotest.test_case "eval: join" `Quick test_eval_join;
+    Alcotest.test_case "eval: constant selection" `Quick test_eval_constants_filter;
+    Alcotest.test_case "eval: self-join" `Quick test_eval_self_join;
+    Alcotest.test_case "eval: repeated variable" `Quick test_eval_repeated_var;
+    Alcotest.test_case "eval: constants in head" `Quick test_eval_head_constants;
+    Alcotest.test_case "provenance: unique witness (key-preserving)" `Quick
+      test_provenance_unique_witness;
+    Alcotest.test_case "provenance: multiple witnesses (projection)" `Quick
+      test_provenance_multiple_witnesses;
+    Alcotest.test_case "provenance: witness content" `Quick test_witness_content;
+    prop_deletion_semantics;
+  ]

@@ -1,0 +1,144 @@
+(* End-to-end reproduction of the paper's worked examples (Figs. 1-3). *)
+
+open Util
+module R = Relational
+module D = Deleprop
+
+(* ---- Fig. 1, scenario 1: ΔV = (John, XML) on Q3 ---- *)
+
+let test_q3_optimum_is_one () =
+  let p = Workload.Author_journal.scenario_q3 () in
+  match D.Brute.solve_ground_truth p with
+  | None -> Alcotest.fail "expected a solution"
+  | Some r ->
+    check_float "minimum view side-effect is 1" 1.0 r.D.Brute.outcome.D.Side_effect.cost
+
+let eval_q3 deletion =
+  let p = Workload.Author_journal.scenario_q3 () in
+  D.Side_effect.eval_ground_truth p (R.Stuple.Set.of_list deletion)
+
+let test_q3_paper_solutions () =
+  (* the paper names two optimal solutions, each with side-effect 1 *)
+  let sol1 = eval_q3 [ st "T1" [ "John"; "TKDE" ]; st "T1" [ "John"; "TODS" ] ] in
+  Alcotest.(check bool) "solution 1 feasible" true sol1.D.Side_effect.feasible;
+  check_float "solution 1 side-effect" 1.0 sol1.D.Side_effect.cost;
+  let sol2 =
+    eval_q3
+      [ st "T1" [ "John"; "TKDE" ];
+        R.Stuple.make "T2" (R.Tuple.of_list [ R.Value.str "TODS"; R.Value.str "XML"; R.Value.int 30 ]) ]
+  in
+  Alcotest.(check bool) "solution 2 feasible" true sol2.D.Side_effect.feasible;
+  check_float "solution 2 side-effect" 1.0 sol2.D.Side_effect.cost
+
+let test_q3_bad_solutions () =
+  (* deleting both T2 XML rows kills XML for everyone: side-effect 2 *)
+  let o =
+    eval_q3
+      [ R.Stuple.make "T2" (R.Tuple.of_list [ R.Value.str "TKDE"; R.Value.str "XML"; R.Value.int 30 ]);
+        R.Stuple.make "T2" (R.Tuple.of_list [ R.Value.str "TODS"; R.Value.str "XML"; R.Value.int 30 ]) ]
+  in
+  Alcotest.(check bool) "feasible" true o.D.Side_effect.feasible;
+  check_float "side-effect 2" 2.0 o.D.Side_effect.cost
+
+let test_q3_views () =
+  (* the view of Fig. 1(c): six tuples *)
+  let p = Workload.Author_journal.scenario_q3 () in
+  Alcotest.(check int) "Q3 view size" 6 (R.Tuple.Set.cardinal (D.Problem.view p "Q3"))
+
+(* ---- Fig. 1, scenario 2: ΔV = (John, TKDE, XML) on Q4 ---- *)
+
+let test_q4_views () =
+  let p = Workload.Author_journal.scenario_q4 () in
+  Alcotest.(check int) "Q4 view size" 7 (R.Tuple.Set.cardinal (D.Problem.view p "Q4"))
+
+let test_q4_witness_choices () =
+  let p = Workload.Author_journal.scenario_q4 () in
+  let prov = D.Provenance.build p in
+  (* "deleting either (John, TKDE) from Author or (TKDE, XML, 30) from
+     Journal works due to the key preserving property" *)
+  let del_author = D.Side_effect.eval prov (R.Stuple.Set.singleton (st "T1" [ "John"; "TKDE" ])) in
+  Alcotest.(check bool) "author deletion feasible" true del_author.D.Side_effect.feasible;
+  check_float "author deletion side-effect" 1.0 del_author.D.Side_effect.cost;
+  let del_journal =
+    D.Side_effect.eval prov
+      (R.Stuple.Set.singleton
+         (R.Stuple.make "T2" (R.Tuple.of_list [ R.Value.str "TKDE"; R.Value.str "XML"; R.Value.int 30 ])))
+  in
+  Alcotest.(check bool) "journal deletion feasible" true del_journal.D.Side_effect.feasible;
+  check_float "journal deletion side-effect" 2.0 del_journal.D.Side_effect.cost;
+  (* the optimum picks the author deletion *)
+  match D.Brute.solve prov with
+  | Some r ->
+    Alcotest.check stuple_set "optimal ΔD"
+      (R.Stuple.Set.singleton (st "T1" [ "John"; "TKDE" ]))
+      r.D.Brute.deletion
+  | None -> Alcotest.fail "expected solution"
+
+let test_q4_all_solvers_agree () =
+  let p = Workload.Author_journal.scenario_q4 () in
+  let prov = D.Provenance.build p in
+  let pd = D.Primal_dual.solve prov in
+  let ld = D.Lowdeg.solve prov in
+  check_float "primal-dual optimal here" 1.0 pd.D.Primal_dual.outcome.D.Side_effect.cost;
+  check_float "lowdeg optimal here" 1.0 ld.D.Lowdeg.outcome.D.Side_effect.cost;
+  match D.Single_query.solve prov with
+  | Ok r -> check_float "single-query solver" 1.0 r.D.Single_query.outcome.D.Side_effect.cost
+  | Error e -> Alcotest.failf "single query refused: %a" D.Single_query.pp_error e
+
+(* ---- multi-view scenario ---- *)
+
+let test_multi_query_scenario () =
+  let p = Workload.Author_journal.scenario_multi () in
+  match D.Brute.solve_ground_truth p with
+  | None -> Alcotest.fail "expected solution"
+  | Some r ->
+    Alcotest.(check bool) "feasible" true r.D.Brute.outcome.D.Side_effect.feasible;
+    (* deleting (John,TKDE)+(John,TODS) removes both ΔV tuples; on Q3 it
+       side-effects (John,CUBE), on Q4 (John,TKDE,CUBE)+(John,TODS,XML):
+       total 3; the optimum is at most that *)
+    Alcotest.(check bool) "cost bounded by the combined solution" true
+      (r.D.Brute.outcome.D.Side_effect.cost <= 3.0 +. 1e-9)
+
+(* ---- the balanced trade-off on Fig. 1 ---- *)
+
+let test_balanced_q4 () =
+  let p = Workload.Author_journal.scenario_q4 () in
+  let prov = D.Provenance.build p in
+  let bal = D.Balanced.solve_exact prov in
+  (* killing (John,TKDE,XML) costs 1 side-effect; keeping it also costs 1:
+     both are optimal at balanced cost 1 *)
+  check_float "balanced optimum" 1.0 bal.D.Balanced.outcome.D.Side_effect.balanced_cost
+
+let test_balanced_prefers_keeping () =
+  (* weight the bad tuple low and its killers' side-effects high: balanced
+     optimum keeps the bad tuple *)
+  let bad = D.Vtuple.make "Q4" (R.Tuple.strs [ "John"; "TKDE"; "XML" ]) in
+  let weights = D.Weights.set D.Weights.uniform bad 0.1 in
+  let db = Workload.Author_journal.db () in
+  let p =
+    D.Problem.make ~db ~queries:[ Workload.Author_journal.q4 ]
+      ~deletions:[ ("Q4", [ R.Tuple.strs [ "John"; "TKDE"; "XML" ] ]) ]
+      ~weights ()
+  in
+  let prov = D.Provenance.build p in
+  let bal = D.Balanced.solve_exact prov in
+  Alcotest.(check bool) "keeps the bad tuple" false
+    bal.D.Balanced.outcome.D.Side_effect.feasible;
+  check_float "balanced cost = bad weight" 0.1
+    bal.D.Balanced.outcome.D.Side_effect.balanced_cost
+
+let suite =
+  [
+    Alcotest.test_case "fig1/Q3: optimum is 1" `Quick test_q3_optimum_is_one;
+    Alcotest.test_case "fig1/Q3: the paper's two optimal solutions" `Quick
+      test_q3_paper_solutions;
+    Alcotest.test_case "fig1/Q3: suboptimal solution costs 2" `Quick test_q3_bad_solutions;
+    Alcotest.test_case "fig1/Q3: view contents" `Quick test_q3_views;
+    Alcotest.test_case "fig1/Q4: view contents" `Quick test_q4_views;
+    Alcotest.test_case "fig1/Q4: witness choices and optimum" `Quick test_q4_witness_choices;
+    Alcotest.test_case "fig1/Q4: all solvers find the optimum" `Quick test_q4_all_solvers_agree;
+    Alcotest.test_case "fig1: multi-query scenario" `Quick test_multi_query_scenario;
+    Alcotest.test_case "fig1: balanced objective" `Quick test_balanced_q4;
+    Alcotest.test_case "fig1: balanced keeps cheap bad tuples" `Quick
+      test_balanced_prefers_keeping;
+  ]

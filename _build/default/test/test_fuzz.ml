@@ -1,0 +1,172 @@
+(* Cross-cutting fuzz tests: random schemas, random safe conjunctive
+   queries (self-joins, constants, projections included), random data —
+   asserting invariants that tie the substrates together. *)
+
+open Util
+module R = Relational
+module D = Deleprop
+
+(* ---- random instance / query generation ---- *)
+
+let random_schema rng =
+  let num_rels = 1 + Random.State.int rng 3 in
+  R.Schema.Db.of_list
+    (List.init num_rels (fun i ->
+         let arity = 1 + Random.State.int rng 3 in
+         R.Schema.make_anon ~name:(Printf.sprintf "T%d" i) ~arity
+           ~key:[ Random.State.int rng arity ]))
+
+let random_db rng schema =
+  List.fold_left
+    (fun db (s : R.Schema.t) ->
+      let n = 1 + Random.State.int rng 6 in
+      List.fold_left
+        (fun db _ ->
+          let t =
+            R.Tuple.of_list
+              (List.init s.R.Schema.arity (fun _ -> R.Value.int (Random.State.int rng 4)))
+          in
+          try R.Instance.add db s.R.Schema.name t with R.Relation.Key_violation _ -> db)
+        db (List.init n Fun.id))
+    (R.Instance.empty schema)
+    (R.Schema.Db.relations schema)
+
+let var_pool = [| "X"; "Y"; "Z"; "U"; "V" |]
+
+let random_query rng schema name =
+  let rels = R.Schema.Db.relations schema in
+  let num_atoms = 1 + Random.State.int rng 3 in
+  let atoms =
+    List.init num_atoms (fun _ ->
+        let s = List.nth rels (Random.State.int rng (List.length rels)) in
+        let args =
+          List.init s.R.Schema.arity (fun _ ->
+              if Random.State.int rng 5 = 0 then Cq.Term.int (Random.State.int rng 4)
+              else Cq.Term.var var_pool.(Random.State.int rng (Array.length var_pool)))
+        in
+        Cq.Atom.make s.R.Schema.name args)
+  in
+  let body_vars =
+    List.fold_left
+      (fun acc a -> Cq.Term.Vars.union acc (Cq.Atom.var_set a))
+      Cq.Term.Vars.empty atoms
+  in
+  match Cq.Term.Vars.elements body_vars with
+  | [] -> None (* all-constant body: head would be empty *)
+  | vars ->
+    let head_vars = List.filter (fun _ -> Random.State.bool rng) vars in
+    let head_vars = if head_vars = [] then [ List.hd vars ] else head_vars in
+    Some (Cq.Query.make ~name ~head:(List.map Cq.Term.var head_vars) ~body:atoms)
+
+let with_random_instance seed f =
+  let rng = rng seed in
+  let schema = random_schema rng in
+  let db = random_db rng schema in
+  match random_query rng schema "Q" with
+  | None -> true
+  | Some q -> f rng schema db q
+
+let seeds = QCheck2.Gen.int_range 0 100_000
+
+(* ---- invariants ---- *)
+
+let prop_eval_plan_agnostic =
+  qcheck ~count:150 "fuzz: planned = naive on arbitrary CQs" seeds (fun seed ->
+      with_random_instance seed (fun _ _ db q ->
+          R.Tuple.Set.equal
+            (Cq.Eval.evaluate ~planned:true db q)
+            (Cq.Eval.evaluate ~planned:false db q)))
+
+let prop_witnesses_in_db =
+  qcheck ~count:150 "fuzz: every witness tuple is in the database" seeds (fun seed ->
+      with_random_instance seed (fun _ _ db q ->
+          Cq.Eval.matches db q
+          |> List.for_all (fun (_, w) ->
+                 Array.for_all (fun st -> R.Instance.mem db st) w)))
+
+let prop_deleting_all_witnesses_kills =
+  qcheck ~count:100 "fuzz: deleting every witness removes the answer" seeds (fun seed ->
+      with_random_instance seed (fun _ _ db q ->
+          let prov = Cq.Eval.provenance db q in
+          R.Tuple.Map.for_all
+            (fun answer witnesses ->
+              let dd =
+                List.fold_left
+                  (fun acc w -> R.Stuple.Set.union acc (Cq.Eval.witness_set w))
+                  R.Stuple.Set.empty witnesses
+              in
+              not (R.Tuple.Set.mem answer (Cq.Eval.evaluate (R.Instance.delete db dd) q)))
+            prov))
+
+let prop_project_free_implies_kp =
+  qcheck ~count:150 "fuzz: project-free implies key-preserving" seeds (fun seed ->
+      with_random_instance seed (fun _ schema _ q ->
+          (not (Cq.Classify.is_project_free q)) || Cq.Classify.is_key_preserving schema q))
+
+let prop_minimize_preserves_semantics =
+  qcheck ~count:100 "fuzz: minimized query has the same answers" seeds (fun seed ->
+      with_random_instance seed (fun _ _ db q ->
+          let m = Cq.Containment.minimize q in
+          List.length m.Cq.Query.body <= List.length q.Cq.Query.body
+          && R.Tuple.Set.equal (Cq.Eval.evaluate db q) (Cq.Eval.evaluate db m)))
+
+let prop_maintenance_fuzz =
+  qcheck ~count:100 "fuzz: incremental refresh = re-evaluation on arbitrary CQs" seeds
+    (fun seed ->
+      with_random_instance seed (fun rng _ db q ->
+          let dd =
+            R.Instance.stuples db
+            |> List.filter (fun _ -> Random.State.int rng 4 = 0)
+            |> R.Stuple.Set.of_list
+          in
+          let view = Cq.Eval.evaluate db q in
+          R.Tuple.Set.equal
+            (Cq.Maintain.refresh db q ~view dd)
+            (Cq.Eval.evaluate (R.Instance.delete db dd) q)))
+
+let prop_serial_roundtrip_fuzz =
+  qcheck ~count:100 "fuzz: instance serialization roundtrips" seeds (fun seed ->
+      let rng = rng seed in
+      let schema = random_schema rng in
+      let db = random_db rng schema in
+      let db2 = R.Serial.instance_of_string (R.Serial.instance_to_string db) in
+      R.Instance.equal db db2)
+
+let prop_ground_truth_brute_consistent =
+  (* on random key-preserving instances: witness-based brute = ground-truth
+     brute *)
+  qcheck ~count:30 "fuzz: witness brute = ground-truth brute (key-preserving)" seeds
+    (fun seed ->
+      let rng = rng seed in
+      let { Workload.Forest_family.problem = p; _ } =
+        Workload.Forest_family.generate ~rng
+          { Workload.Forest_family.default with num_relations = 3; tuples_per_relation = 4;
+            num_queries = 2 }
+      in
+      let prov = D.Provenance.build p in
+      if R.Stuple.Set.cardinal (D.Provenance.candidates prov) > 12 then true
+      else
+        match D.Brute.solve prov, D.Brute.solve_ground_truth p with
+        | Some a, Some b ->
+          feq a.D.Brute.outcome.D.Side_effect.cost b.D.Brute.outcome.D.Side_effect.cost
+        | None, None -> true
+        | _ -> false)
+
+let prop_query_pp_parse_roundtrip =
+  qcheck ~count:150 "fuzz: query pretty-print parses back" seeds (fun seed ->
+      with_random_instance seed (fun _ _ _ q ->
+          let q2 = Cq.Parser.query_of_string (Cq.Query.to_string q) in
+          Cq.Query.equal q q2))
+
+let suite =
+  [
+    prop_eval_plan_agnostic;
+    prop_witnesses_in_db;
+    prop_deleting_all_witnesses_kills;
+    prop_project_free_implies_kp;
+    prop_minimize_preserves_semantics;
+    prop_maintenance_fuzz;
+    prop_serial_roundtrip_fuzz;
+    prop_ground_truth_brute_consistent;
+    prop_query_pp_parse_roundtrip;
+  ]

@@ -1,0 +1,123 @@
+(* Tests for the Theorem 1/2 reductions: structure of the produced
+   instances and exact cost preservation in both directions. *)
+
+open Util
+module R = Relational
+module D = Deleprop
+module SC = Setcover
+
+let seeds = QCheck2.Gen.int_range 0 10_000
+
+let small_spec =
+  { Workload.Hard_family.default with num_red = 4; num_blue = 4; num_sets = 5 }
+
+(* ---- structure ---- *)
+
+let test_structure () =
+  let rng = rng 1 in
+  let h, rb = Workload.Hard_family.generate ~rng small_spec in
+  let p = h.D.Hardness.problem in
+  (* single relation, one tuple per set *)
+  Alcotest.(check int) "tuples = sets" (SC.Red_blue.num_sets rb)
+    (R.Instance.size p.D.Problem.db);
+  (* all queries project-free and key-preserving *)
+  let schema = R.Instance.schema p.D.Problem.db in
+  List.iter
+    (fun q ->
+      Alcotest.(check bool) "project-free" true (Cq.Classify.is_project_free q);
+      Alcotest.(check bool) "key-preserving" true (Cq.Classify.is_key_preserving schema q))
+    p.D.Problem.queries;
+  (* each view has exactly one tuple *)
+  List.iter
+    (fun (q : Cq.Query.t) ->
+      Alcotest.(check int) ("one view tuple for " ^ q.name) 1
+        (R.Tuple.Set.cardinal (D.Problem.view p q.name)))
+    p.D.Problem.queries;
+  (* ΔV covers exactly the blue queries *)
+  Alcotest.(check int) "deletions = blues" (List.length h.D.Hardness.blue_query)
+    (D.Problem.deletion_size p)
+
+let test_uncoverable_rejected () =
+  let sets = [ { SC.Red_blue.label = "C0"; red = SC.Iset.of_list [ 0 ]; blue = SC.Iset.empty } ] in
+  let rb = SC.Red_blue.make_unit ~num_red:1 ~num_blue:1 sets in
+  match D.Hardness.of_red_blue rb with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected rejection of uncoverable blue"
+
+let test_red_in_no_set_skipped () =
+  let sets = [ { SC.Red_blue.label = "C0"; red = SC.Iset.empty; blue = SC.Iset.of_list [ 0 ] } ] in
+  let rb = SC.Red_blue.make_unit ~num_red:1 ~num_blue:1 sets in
+  match D.Hardness.of_red_blue rb with
+  | Error m -> Alcotest.failf "unexpected error %s" m
+  | Ok h ->
+    Alcotest.(check int) "no red query" 0 (List.length h.D.Hardness.red_query);
+    (* instance solvable at zero side-effect *)
+    let prov = D.Provenance.build h.D.Hardness.problem in
+    (match D.Brute.solve prov with
+    | Some r -> check_float "zero cost" 0.0 r.D.Brute.outcome.D.Side_effect.cost
+    | None -> Alcotest.fail "expected solution")
+
+(* ---- Theorem 1: cost preservation ---- *)
+
+let prop_thm1_cost_preserved =
+  qcheck ~count:40 "VSE optimum = RBSC optimum through the Thm 1 reduction" seeds
+    (fun seed ->
+      let rng = rng seed in
+      let h, rb = Workload.Hard_family.generate ~rng small_spec in
+      let prov = D.Provenance.build h.D.Hardness.problem in
+      match D.Brute.solve prov, SC.Red_blue.solve_exact rb with
+      | Some v, Some s -> feq v.D.Brute.outcome.D.Side_effect.cost s.SC.Red_blue.cost
+      | _ -> false)
+
+let prop_thm1_solution_maps_back =
+  qcheck ~count:40 "deletions map back to covers of equal cost" seeds (fun seed ->
+      let rng = rng seed in
+      let h, rb = Workload.Hard_family.generate ~rng small_spec in
+      let prov = D.Provenance.build h.D.Hardness.problem in
+      match D.Brute.solve prov with
+      | None -> false
+      | Some v ->
+        let chosen = D.Hardness.chosen_sets h v.D.Brute.deletion in
+        (match SC.Red_blue.solution_of rb chosen with
+        | None -> false (* must be a feasible cover *)
+        | Some s -> feq s.SC.Red_blue.cost v.D.Brute.outcome.D.Side_effect.cost))
+
+(* ---- Theorem 2: balanced cost preservation ---- *)
+
+let prop_thm2_cost_preserved =
+  qcheck ~count:40 "balanced optimum = PNPSC optimum through the Thm 2 reduction" seeds
+    (fun seed ->
+      let rng = rng seed in
+      match Workload.Hard_family.generate_balanced ~rng small_spec with
+      | exception Invalid_argument _ -> true (* uncoverable positive: skip *)
+      | h, pn ->
+        let prov = D.Provenance.build h.D.Hardness.problem in
+        let v = D.Balanced.solve_exact prov in
+        let s = SC.Pos_neg.solve_exact pn in
+        feq v.D.Balanced.outcome.D.Side_effect.balanced_cost s.SC.Pos_neg.cost)
+
+(* approximations on hard instances stay within the Claim 1 bound *)
+let prop_hard_approx_bounded =
+  qcheck ~count:30 "general approx within Claim 1 bound on hard family" seeds (fun seed ->
+      let rng = rng seed in
+      let h, _ = Workload.Hard_family.generate ~rng small_spec in
+      let prov = D.Provenance.build h.D.Hardness.problem in
+      match D.Brute.solve prov, D.General_approx.solve prov with
+      | Some opt, Some ga ->
+        let oc = opt.D.Brute.outcome.D.Side_effect.cost in
+        ga.D.General_approx.outcome.D.Side_effect.feasible
+        && (ga.D.General_approx.outcome.D.Side_effect.cost
+            <= (ga.D.General_approx.claimed_bound *. oc) +. 1e-9
+           || feq oc 0.0)
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "reduction structure" `Quick test_structure;
+    Alcotest.test_case "uncoverable blue rejected" `Quick test_uncoverable_rejected;
+    Alcotest.test_case "red in no set skipped" `Quick test_red_in_no_set_skipped;
+    prop_thm1_cost_preserved;
+    prop_thm1_solution_maps_back;
+    prop_thm2_cost_preserved;
+    prop_hard_approx_bounded;
+  ]

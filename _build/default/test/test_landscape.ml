@@ -1,0 +1,461 @@
+(* Tests for the complexity-landscape extensions: functional dependencies,
+   triads, head domination, weighted set cover, source side-effect,
+   resilience, explanations, and the cleaning workload. *)
+
+open Util
+module R = Relational
+module D = Deleprop
+module SC = Setcover
+
+let parse = Cq.Parser.query_of_string
+
+(* ---- functional dependencies ---- *)
+
+let abc = R.Schema.make ~name:"T" ~attrs:[ "a"; "b"; "c"; "d" ] ~key:[ 0 ]
+
+let fd l r = R.Fd.make ~lhs:l ~rhs:r
+
+let test_fd_closure () =
+  let fds = [ fd [ "a" ] [ "b" ]; fd [ "b" ] [ "c" ] ] in
+  let c = R.Fd.closure fds (R.Fd.Attrs.of_list [ "a" ]) in
+  Alcotest.(check (list string)) "a+ = abc" [ "a"; "b"; "c" ] (R.Fd.Attrs.elements c);
+  Alcotest.(check bool) "a -> c implied" true (R.Fd.implies fds (fd [ "a" ] [ "c" ]));
+  Alcotest.(check bool) "c -> a not implied" false (R.Fd.implies fds (fd [ "c" ] [ "a" ]))
+
+let test_fd_keys () =
+  let fds = [ fd [ "a" ] [ "b"; "c"; "d" ] ] in
+  Alcotest.(check bool) "a is superkey" true (R.Fd.is_superkey abc fds [ "a" ]);
+  Alcotest.(check bool) "a is candidate key" true (R.Fd.is_candidate_key abc fds [ "a" ]);
+  Alcotest.(check bool) "ab superkey but not candidate" true
+    (R.Fd.is_superkey abc fds [ "a"; "b" ] && not (R.Fd.is_candidate_key abc fds [ "a"; "b" ]));
+  Alcotest.(check (list (list string))) "all candidate keys" [ [ "a" ] ]
+    (R.Fd.candidate_keys abc fds)
+
+let test_fd_multiple_keys () =
+  (* a -> bcd and bc -> a: two candidate keys *)
+  let fds = [ fd [ "a" ] [ "b"; "c"; "d" ]; fd [ "b"; "c" ] [ "a" ] ] in
+  let keys = R.Fd.candidate_keys abc fds in
+  Alcotest.(check bool) "a is a key" true (List.mem [ "a" ] keys);
+  Alcotest.(check bool) "bc is a key" true (List.mem [ "b"; "c" ] keys);
+  Alcotest.(check int) "exactly two" 2 (List.length keys)
+
+let test_fd_satisfaction () =
+  let s = R.Schema.make ~name:"T" ~attrs:[ "a"; "b" ] ~key:[ 0 ] in
+  let rel = R.Relation.of_tuples s [ R.Tuple.ints [ 1; 10 ]; R.Tuple.ints [ 2; 10 ]; R.Tuple.ints [ 3; 30 ] ] in
+  Alcotest.(check bool) "a -> b holds" true (R.Fd.satisfies rel (fd [ "a" ] [ "b" ]));
+  Alcotest.(check bool) "b -> a fails" false (R.Fd.satisfies rel (fd [ "b" ] [ "a" ]));
+  Alcotest.(check int) "one violating pair" 1 (List.length (R.Fd.violations rel (fd [ "b" ] [ "a" ])))
+
+let test_fd_minimal_cover () =
+  (* a->b, b->c, a->c : a->c is redundant *)
+  let fds = [ fd [ "a" ] [ "b" ]; fd [ "b" ] [ "c" ]; fd [ "a" ] [ "c" ] ] in
+  let cover = R.Fd.minimal_cover fds in
+  Alcotest.(check int) "two FDs" 2 (List.length cover);
+  List.iter (fun f -> Alcotest.(check bool) "still implied" true (R.Fd.implies cover f)) fds;
+  (* extraneous lhs attribute: ab->c with a->b reduces to a->c... here:
+     ab->c, a->b means b extraneous *)
+  let cover2 = R.Fd.minimal_cover [ fd [ "a"; "b" ] [ "c" ]; fd [ "a" ] [ "b" ] ] in
+  Alcotest.(check bool) "lhs reduced" true
+    (List.exists (fun (f : R.Fd.t) -> f.lhs = [ "a" ] && f.rhs = [ "c" ]) cover2)
+
+let test_fd_declared_key () =
+  Alcotest.(check bool) "key implies all" true
+    (R.Fd.implied_by_declared_key abc (fd [ "a" ] [ "d" ]));
+  Alcotest.(check bool) "non-key lhs not implied" false
+    (R.Fd.implied_by_declared_key abc (fd [ "b" ] [ "d" ]))
+
+(* ---- triads / head domination ---- *)
+
+let test_triad_triangle () =
+  let q = parse "Q(X, Y, Z) :- R(X, Y), S(Y, Z), T(Z, X)" in
+  Alcotest.(check bool) "triangle has a triad" false (Cq.Structure.is_triad_free q);
+  Alcotest.(check int) "exactly one" 1 (List.length (Cq.Structure.triads q))
+
+let test_triad_chain () =
+  let q = parse "Q(X, W) :- R1(X, Y), R2(Y, Z), R3(Z, W)" in
+  Alcotest.(check bool) "chains are triad-free" true (Cq.Structure.is_triad_free q)
+
+let test_triad_star () =
+  let q = parse "Q(X) :- R1(X, A), R2(X, B), R3(X, C)" in
+  (* every pair shares only X, which occurs in the third atom: no path
+     avoiding it *)
+  Alcotest.(check bool) "stars are triad-free" true (Cq.Structure.is_triad_free q)
+
+let test_triad_disjoint_links () =
+  (* pairwise private link variables: a genuine triad without a triangle
+     of binary atoms — uses ternary atoms *)
+  (* R-S share B (not in T), S-T share C (not in R), R-T share A (not in S) *)
+  let q = parse "Q(X) :- R(A, B, X), S(B, C, Y), T(C, A, Z)" in
+  Alcotest.(check bool) "pairwise private links form a triad" false
+    (Cq.Structure.is_triad_free q)
+
+let test_head_domination () =
+  (* project-free: trivially head dominated *)
+  let pf = parse "Q(X, Y) :- R(X, Y)" in
+  Alcotest.(check bool) "project-free dominated" true (Cq.Structure.has_head_domination pf);
+  (* paper's Q3: one existential component {Y, W} spanning both atoms;
+     head vars X and Z not together in any atom: not dominated *)
+  let q3 = parse "Q3(X, Z) :- T1(X, Y), T2(Y, Z, W)" in
+  Alcotest.(check bool) "Q3 not dominated" false (Cq.Structure.has_head_domination q3);
+  (* dominated: the component's head vars all sit in one atom *)
+  let dom = parse "Q(X) :- R(X, Y), S(Y)" in
+  Alcotest.(check bool) "dominated" true (Cq.Structure.has_head_domination dom)
+
+let test_existential_components () =
+  let q3 = parse "Q3(X, Z) :- T1(X, Y), T2(Y, Z, W)" in
+  match Cq.Structure.existential_components q3 with
+  | [ (vars, atoms) ] ->
+    Alcotest.(check (list string)) "one component {W, Y}" [ "W"; "Y" ]
+      (Cq.Term.Vars.elements vars);
+    Alcotest.(check int) "spanning both atoms" 2 (List.length atoms)
+  | l -> Alcotest.failf "expected one component, got %d" (List.length l)
+
+(* ---- weighted set cover ---- *)
+
+let wc_instance sets ~universe =
+  SC.Weighted_cover.make_unit ~universe
+    (List.mapi
+       (fun i els ->
+         { SC.Weighted_cover.label = Printf.sprintf "S%d" i; elements = SC.Iset.of_list els })
+       sets)
+
+let test_wc_exact () =
+  let t = wc_instance ~universe:3 [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 1; 2 ] ] in
+  match SC.Weighted_cover.solve_exact t with
+  | Some s ->
+    check_float "one set suffices" 1.0 s.SC.Weighted_cover.cost;
+    Alcotest.(check (list int)) "the big set" [ 2 ] s.SC.Weighted_cover.chosen
+  | None -> Alcotest.fail "coverable"
+
+let test_wc_weighted () =
+  let sets =
+    [
+      { SC.Weighted_cover.label = "big"; elements = SC.Iset.of_list [ 0; 1; 2 ] };
+      { SC.Weighted_cover.label = "l"; elements = SC.Iset.of_list [ 0; 1 ] };
+      { SC.Weighted_cover.label = "r"; elements = SC.Iset.of_list [ 2 ] };
+    ]
+  in
+  let t = SC.Weighted_cover.make ~universe:3 ~weights:[| 5.0; 1.0; 1.0 |] sets in
+  match SC.Weighted_cover.solve_exact t with
+  | Some s -> check_float "two cheap sets beat the big one" 2.0 s.SC.Weighted_cover.cost
+  | None -> Alcotest.fail "coverable"
+
+let test_wc_uncoverable () =
+  let t = wc_instance ~universe:3 [ [ 0; 1 ] ] in
+  Alcotest.(check bool) "exact none" true (SC.Weighted_cover.solve_exact t = None);
+  Alcotest.(check bool) "greedy none" true (SC.Weighted_cover.solve_greedy t = None)
+
+let prop_wc_greedy_sound =
+  qcheck ~count:80 "weighted cover: greedy feasible and >= exact"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let rng = rng seed in
+      let universe = 1 + Random.State.int rng 8 in
+      let num_sets = 1 + Random.State.int rng 8 in
+      let sets =
+        List.init num_sets (fun i ->
+            { SC.Weighted_cover.label = Printf.sprintf "S%d" i;
+              elements =
+                SC.Iset.of_list
+                  (List.filter (fun _ -> Random.State.bool rng) (List.init universe Fun.id)) })
+      in
+      let weights = Array.init num_sets (fun _ -> 1.0 +. Random.State.float rng 4.0) in
+      let t = SC.Weighted_cover.make ~universe ~weights sets in
+      match SC.Weighted_cover.solve_exact t, SC.Weighted_cover.solve_greedy t with
+      | None, None -> true
+      | Some e, Some g ->
+        SC.Weighted_cover.is_feasible t g.SC.Weighted_cover.chosen
+        && g.SC.Weighted_cover.cost +. 1e-9 >= e.SC.Weighted_cover.cost
+      | _ -> false)
+
+(* ---- source side-effect ---- *)
+
+let forest_prov seed =
+  let rng = rng seed in
+  let { Workload.Forest_family.problem; _ } =
+    Workload.Forest_family.generate ~rng
+      { Workload.Forest_family.default with num_relations = 4; tuples_per_relation = 6 }
+  in
+  D.Provenance.build problem
+
+let test_source_vs_view_objectives () =
+  (* Fig. 1 / Q4: source optimum deletes 1 tuple either way; the journal
+     deletion is just as source-cheap though view-costlier *)
+  let prov = D.Provenance.build (Workload.Author_journal.scenario_q4 ()) in
+  match D.Source_side_effect.solve_exact prov with
+  | Some r ->
+    check_float "one source tuple" 1.0 r.D.Source_side_effect.source_cost;
+    Alcotest.(check bool) "feasible" true r.D.Source_side_effect.outcome.D.Side_effect.feasible
+  | None -> Alcotest.fail "expected solution"
+
+let prop_source_exact_leq_greedy =
+  qcheck ~count:60 "source side-effect: greedy >= exact, both feasible"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let prov = forest_prov seed in
+      match
+        D.Source_side_effect.solve_exact prov, D.Source_side_effect.solve_greedy prov
+      with
+      | Some e, Some g ->
+        e.D.Source_side_effect.outcome.D.Side_effect.feasible
+        && g.D.Source_side_effect.outcome.D.Side_effect.feasible
+        && g.D.Source_side_effect.source_cost +. 1e-9 >= e.D.Source_side_effect.source_cost
+      | None, None -> true
+      | _ -> false)
+
+let test_source_single () =
+  let prov = D.Provenance.build (Workload.Author_journal.scenario_q4 ()) in
+  match D.Source_side_effect.solve_single prov with
+  | Ok r -> check_float "single deletion: one tuple" 1.0 r.D.Source_side_effect.source_cost
+  | Error n -> Alcotest.failf "refused with %d deletions" n
+
+let test_source_weighted () =
+  (* weight T1 tuples heavily: the optimum flips to the T2 witness tuple *)
+  let prov = D.Provenance.build (Workload.Author_journal.scenario_q4 ()) in
+  let weight (st : R.Stuple.t) = if st.rel = "T1" then 10.0 else 1.0 in
+  match D.Source_side_effect.solve_exact ~tuple_weight:weight prov with
+  | Some r ->
+    check_float "picks T2" 1.0 r.D.Source_side_effect.source_cost;
+    Alcotest.(check bool) "T2 tuple chosen" true
+      (R.Stuple.Set.for_all (fun st -> st.R.Stuple.rel = "T2") r.D.Source_side_effect.deletion)
+  | None -> Alcotest.fail "expected solution"
+
+(* ---- resilience ---- *)
+
+let test_resilience_basic () =
+  let db =
+    R.Serial.instance_of_string
+      "rel A(k*, v)\nA(1, x)\nA(2, x)\nrel B(k*, v)\nB(1, y)"
+  in
+  (* Q joins A and B on nothing shared: resilience = min(|A|,|B|) = 1 *)
+  let q = parse "Q(K1, V1, K2, V2) :- A(K1, V1), B(K2, V2)" in
+  let r = D.Resilience.solve_exact db q in
+  Alcotest.(check int) "resilience 1 via B" 1 r.D.Resilience.resilience;
+  let g = D.Resilience.solve_greedy db q in
+  Alcotest.(check bool) "greedy >= exact" true
+    (g.D.Resilience.resilience >= r.D.Resilience.resilience)
+
+let test_resilience_empty_view () =
+  let db = R.Serial.instance_of_string "rel A(k*)\nrel B(k*)\nB(1)" in
+  let q = parse "Q(K) :- A(K)" in
+  Alcotest.(check int) "empty view: resilience 0" 0
+    (D.Resilience.solve_exact db q).D.Resilience.resilience
+
+let prop_resilience_ground_truth_agrees =
+  qcheck ~count:30 "resilience: witness-based = ground truth on key-preserving queries"
+    QCheck2.Gen.(int_range 0 1_000)
+    (fun seed ->
+      let rng = rng seed in
+      let p =
+        Workload.Pivot_family.generate ~rng
+          { Workload.Pivot_family.default with depth = 2; tuples_per_relation = 4;
+            num_queries = 1 }
+      in
+      match p.D.Problem.queries with
+      | [ q ] ->
+        let db = p.D.Problem.db in
+        (D.Resilience.solve_exact db q).D.Resilience.resilience
+        = (D.Resilience.solve_ground_truth db q).D.Resilience.resilience
+      | _ -> false)
+
+(* ---- explanations ---- *)
+
+let test_explain () =
+  let prov = D.Provenance.build (Workload.Author_journal.scenario_q4 ()) in
+  let deletion = R.Stuple.Set.singleton (st "T1" [ "John"; "TKDE" ]) in
+  let e = D.Explain.explain prov deletion in
+  (match e.D.Explain.coverage with
+  | [ c ] ->
+    Alcotest.(check int) "one killer" 1 (List.length c.D.Explain.killers);
+    Alcotest.check stuple "the author tuple" (st "T1" [ "John"; "TKDE" ])
+      (List.hd c.D.Explain.killers)
+  | _ -> Alcotest.fail "one bad tuple expected");
+  (match e.D.Explain.damage with
+  | [ d ] ->
+    Alcotest.check vtuple "CUBE lost"
+      (D.Vtuple.make "Q4" (R.Tuple.strs [ "John"; "TKDE"; "CUBE" ]))
+      d.D.Explain.lost
+  | _ -> Alcotest.fail "one damage entry expected");
+  (* infeasible deletions are reported, not hidden *)
+  let e2 = D.Explain.explain prov R.Stuple.Set.empty in
+  (match e2.D.Explain.coverage with
+  | [ c ] -> Alcotest.(check int) "no killers" 0 (List.length c.D.Explain.killers)
+  | _ -> Alcotest.fail "one bad tuple expected")
+
+(* ---- cleaning workload ---- *)
+
+let test_cleaning_scores () =
+  let rng = rng 5 in
+  let w = Workload.Cleaning.generate ~rng ~views_with_feedback:4 Workload.Cleaning.default in
+  Alcotest.(check int) "two corruptions" 2 (R.Stuple.Set.cardinal w.Workload.Cleaning.corrupted);
+  (* perfect repair scores (1, 1) *)
+  let p, r = Workload.Cleaning.score w w.Workload.Cleaning.corrupted in
+  check_float "precision" 1.0 p;
+  check_float "recall" 1.0 r;
+  (* empty repair: (1, 0) *)
+  let p0, r0 = Workload.Cleaning.score w R.Stuple.Set.empty in
+  check_float "empty precision" 1.0 p0;
+  check_float "empty recall" 0.0 r0
+
+let prop_cleaning_feedback_monotone =
+  qcheck ~count:20 "cleaning: more views never hurt exact-repair recall"
+    QCheck2.Gen.(int_range 0 500)
+    (fun seed ->
+      let repair views =
+        let rng = rng seed in
+        let w =
+          Workload.Cleaning.generate ~rng ~views_with_feedback:views
+            { Workload.Cleaning.default with tuples_per_relation = 4 }
+        in
+        let prov = D.Provenance.build w.Workload.Cleaning.problem in
+        match D.Brute.solve prov with
+        | Some r -> snd (Workload.Cleaning.score w r.D.Brute.deletion)
+        | None -> 0.0
+      in
+      repair 4 +. 1e-9 >= repair 1)
+
+(* ---- ablations behave ---- *)
+
+let prop_ablation_reverse_delete =
+  qcheck ~count:40 "ablation: disabling reverse-delete never improves cost"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let prov = forest_prov seed in
+      let on = D.Primal_dual.solve prov in
+      let off = D.Primal_dual.solve ~reverse_delete:false prov in
+      off.D.Primal_dual.outcome.D.Side_effect.feasible
+      && off.D.Primal_dual.outcome.D.Side_effect.cost +. 1e-9
+         >= on.D.Primal_dual.outcome.D.Side_effect.cost)
+
+let prop_ablation_prune_wide_feasible =
+  qcheck ~count:40 "ablation: lowdeg without wide-pruning stays feasible"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let prov = forest_prov seed in
+      (D.Lowdeg.solve ~prune_wide:false prov).D.Lowdeg.outcome.D.Side_effect.feasible)
+
+let suite =
+  [
+    Alcotest.test_case "fd: closure / implication" `Quick test_fd_closure;
+    Alcotest.test_case "fd: keys" `Quick test_fd_keys;
+    Alcotest.test_case "fd: multiple candidate keys" `Quick test_fd_multiple_keys;
+    Alcotest.test_case "fd: satisfaction on relations" `Quick test_fd_satisfaction;
+    Alcotest.test_case "fd: minimal cover" `Quick test_fd_minimal_cover;
+    Alcotest.test_case "fd: declared-key implication" `Quick test_fd_declared_key;
+    Alcotest.test_case "triad: triangle" `Quick test_triad_triangle;
+    Alcotest.test_case "triad: chain free" `Quick test_triad_chain;
+    Alcotest.test_case "triad: star free" `Quick test_triad_star;
+    Alcotest.test_case "triad: private links" `Quick test_triad_disjoint_links;
+    Alcotest.test_case "head domination (paper Q3)" `Quick test_head_domination;
+    Alcotest.test_case "existential components" `Quick test_existential_components;
+    Alcotest.test_case "weighted cover: exact" `Quick test_wc_exact;
+    Alcotest.test_case "weighted cover: weights matter" `Quick test_wc_weighted;
+    Alcotest.test_case "weighted cover: uncoverable" `Quick test_wc_uncoverable;
+    prop_wc_greedy_sound;
+    Alcotest.test_case "source side-effect: Fig. 1" `Quick test_source_vs_view_objectives;
+    prop_source_exact_leq_greedy;
+    Alcotest.test_case "source side-effect: single deletion" `Quick test_source_single;
+    Alcotest.test_case "source side-effect: tuple weights" `Quick test_source_weighted;
+    Alcotest.test_case "resilience: cross product" `Quick test_resilience_basic;
+    Alcotest.test_case "resilience: empty view" `Quick test_resilience_empty_view;
+    prop_resilience_ground_truth_agrees;
+    Alcotest.test_case "explain: coverage and damage" `Quick test_explain;
+    Alcotest.test_case "cleaning: scoring" `Quick test_cleaning_scores;
+    prop_cleaning_feedback_monotone;
+    prop_ablation_reverse_delete;
+    prop_ablation_prune_wide_feasible;
+  ]
+
+(* ---- FD-extended dichotomies ---- *)
+
+let fd_schema =
+  R.Schema.Db.of_list
+    [
+      R.Schema.make ~name:"T1" ~attrs:[ "a"; "b" ] ~key:[ 0; 1 ];
+      R.Schema.make ~name:"T2" ~attrs:[ "b"; "c"; "d" ] ~key:[ 0; 1 ];
+    ]
+
+let test_fd_closure_vars () =
+  (* paper's Q3 with FD b -> c on T2: from {X, Y} the closure gains Z *)
+  let q3 = parse "Q3(X, Z) :- T1(X, Y), T2(Y, Z, W)" in
+  let fds = [ ("T2", fd [ "b" ] [ "c" ]) ] in
+  let closure =
+    Cq.Structure.fd_closure fd_schema fds q3 (Cq.Term.Vars.of_list [ "Y" ])
+  in
+  Alcotest.(check bool) "Z determined by Y" true (Cq.Term.Vars.mem "Z" closure);
+  Alcotest.(check bool) "W not determined" false (Cq.Term.Vars.mem "W" closure)
+
+let test_fd_head_domination () =
+  let q3 = parse "Q3(X, Z) :- T1(X, Y), T2(Y, Z, W)" in
+  (* without FDs: not head dominated (tested elsewhere); with the FD
+     a -> b on T1, X determines Y, and Y determines Z with b -> c on T2:
+     T1's variable set {X, Y} fd-closes over {X, Z} — T1 dominates *)
+  let fds = [ ("T1", fd [ "a" ] [ "b" ]); ("T2", fd [ "b" ] [ "c" ]) ] in
+  Alcotest.(check bool) "not dominated without FDs" false
+    (Cq.Structure.has_fd_head_domination fd_schema [] q3);
+  Alcotest.(check bool) "dominated with FDs" true
+    (Cq.Structure.has_fd_head_domination fd_schema fds q3)
+
+let test_fd_rewrite () =
+  let q3 = parse "Q3(X, Z) :- T1(X, Y), T2(Y, Z, W)" in
+  let fds = [ ("T1", fd [ "a" ] [ "b" ]) ] in
+  let rewritten = Cq.Structure.fd_rewrite fd_schema fds q3 in
+  (* Y is determined by the head var X, so it joins the head *)
+  Alcotest.(check bool) "Y promoted to the head" true
+    (Cq.Term.Vars.mem "Y" (Cq.Query.head_vars rewritten));
+  Alcotest.(check int) "arity grows by one" 3 (Cq.Query.arity rewritten)
+
+let test_fd_triads () =
+  let tri_schema =
+    R.Schema.Db.of_list
+      [
+        R.Schema.make ~name:"R" ~attrs:[ "x"; "y" ] ~key:[ 0; 1 ];
+        R.Schema.make ~name:"S" ~attrs:[ "x"; "y" ] ~key:[ 0; 1 ];
+        R.Schema.make ~name:"U" ~attrs:[ "x"; "y" ] ~key:[ 0; 1 ];
+      ]
+  in
+  ignore tri_schema;
+  let q = parse "Q(X, Y, Z) :- R(X, Y), S(Y, Z), U(Z, X)" in
+  Alcotest.(check bool) "triangle has a triad" false
+    (Cq.Structure.is_fd_triad_free tri_schema [] q);
+  (* with x -> y on R, R's variables pin the whole triangle: every pair's
+     connecting variable is in the closure of the third atom *)
+  let fds = [ ("R", fd [ "x" ] [ "y" ]); ("S", fd [ "x" ] [ "y" ]); ("U", fd [ "x" ] [ "y" ]) ] in
+  Alcotest.(check bool) "FDs dissolve the triad" true
+    (Cq.Structure.is_fd_triad_free tri_schema fds q)
+
+let test_problem_fd_validation () =
+  let db = Workload.Author_journal.db () in
+  (* Journal -> Topic is violated (TKDE has XML and CUBE) *)
+  Alcotest.(check bool) "violated FD rejected" true
+    (try
+       ignore
+         (D.Problem.make ~db ~queries:[ Workload.Author_journal.q4 ] ~deletions:[]
+            ~fds:[ ("T2", fd [ "Journal" ] [ "Topic" ]) ]
+            ());
+       false
+     with Invalid_argument _ -> true);
+  (* Journal+Topic -> Papers holds *)
+  ignore
+    (D.Problem.make ~db ~queries:[ Workload.Author_journal.q4 ] ~deletions:[]
+       ~fds:[ ("T2", fd [ "Journal"; "Topic" ] [ "Papers" ]) ]
+       ());
+  Alcotest.(check bool) "unknown relation rejected" true
+    (try
+       ignore
+         (D.Problem.make ~db ~queries:[ Workload.Author_journal.q4 ] ~deletions:[]
+            ~fds:[ ("Zed", fd [ "a" ] [ "b" ]) ]
+            ());
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "fd-dichotomy: variable closure" `Quick test_fd_closure_vars;
+      Alcotest.test_case "fd-dichotomy: fd-head domination" `Quick test_fd_head_domination;
+      Alcotest.test_case "fd-dichotomy: rewrite promotes determined vars" `Quick
+        test_fd_rewrite;
+      Alcotest.test_case "fd-dichotomy: fd-induced triads" `Quick test_fd_triads;
+      Alcotest.test_case "problem: FD validation" `Quick test_problem_fd_validation;
+    ]

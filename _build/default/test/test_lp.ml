@@ -1,0 +1,219 @@
+(* Tests for the LP toolkit: problem representation, feasibility checking,
+   and the two-phase simplex. *)
+
+open Util
+
+let cstr coeffs op rhs cname = { Lp.Problem.coeffs; op; rhs; cname }
+
+(* ---- problem / feasibility ---- *)
+
+let test_value_and_feasibility () =
+  let p =
+    Lp.Problem.make ~direction:Lp.Problem.Minimize ~objective:[| 1.0; 2.0 |]
+      ~constraints:
+        [ cstr [| 1.0; 1.0 |] Lp.Problem.Ge 1.0 "c1"; cstr [| 1.0; 0.0 |] Lp.Problem.Le 5.0 "c2" ]
+      ()
+  in
+  check_float "objective" 5.0 (Lp.Problem.value p [| 1.0; 2.0 |]);
+  Alcotest.(check bool) "feasible point" true (Lp.Problem.is_feasible p [| 1.0; 0.0 |]);
+  Alcotest.(check (list string)) "violations named" [ "c1" ]
+    (Lp.Problem.violations p [| 0.0; 0.5 |]);
+  Alcotest.(check (list string)) "negativity violation" [ "x1 >= 0" ]
+    (Lp.Problem.violations p [| 2.0; -1.0 |])
+
+let test_dimension_check () =
+  Alcotest.(check bool) "bad width rejected" true
+    (try
+       ignore
+         (Lp.Problem.make ~direction:Lp.Problem.Minimize ~objective:[| 1.0 |]
+            ~constraints:[ cstr [| 1.0; 1.0 |] Lp.Problem.Ge 1.0 "c" ]
+            ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- simplex ---- *)
+
+let solve = Lp.Simplex.solve
+
+let test_simplex_min_basic () =
+  (* min x + y  s.t. x + y >= 2, x <= 1  ->  opt 2 *)
+  let p =
+    Lp.Problem.make ~direction:Lp.Problem.Minimize ~objective:[| 1.0; 1.0 |]
+      ~constraints:
+        [ cstr [| 1.0; 1.0 |] Lp.Problem.Ge 2.0 "sum"; cstr [| 1.0; 0.0 |] Lp.Problem.Le 1.0 "cap" ]
+      ()
+  in
+  match solve p with
+  | Lp.Simplex.Optimal { value; x; _ } ->
+    check_float "value" 2.0 value;
+    Alcotest.(check bool) "feasible" true (Lp.Problem.is_feasible p x)
+  | o -> Alcotest.failf "expected optimal, got %a" Lp.Simplex.pp_outcome o
+
+let test_simplex_max_basic () =
+  (* max 3x + 2y s.t. x + y <= 4, x <= 2 -> 2*3 + 2*2 = 10 *)
+  let p =
+    Lp.Problem.make ~direction:Lp.Problem.Maximize ~objective:[| 3.0; 2.0 |]
+      ~constraints:
+        [ cstr [| 1.0; 1.0 |] Lp.Problem.Le 4.0 "sum"; cstr [| 1.0; 0.0 |] Lp.Problem.Le 2.0 "cap" ]
+      ()
+  in
+  match solve p with
+  | Lp.Simplex.Optimal { value; _ } -> check_float "value" 10.0 value
+  | o -> Alcotest.failf "expected optimal, got %a" Lp.Simplex.pp_outcome o
+
+let test_simplex_equality () =
+  (* min x + y s.t. x + 2y = 3, x >= 1 (as Ge) -> x=1, y=1, value 2 *)
+  let p =
+    Lp.Problem.make ~direction:Lp.Problem.Minimize ~objective:[| 1.0; 1.0 |]
+      ~constraints:
+        [ cstr [| 1.0; 2.0 |] Lp.Problem.Eq 3.0 "eq"; cstr [| 1.0; 0.0 |] Lp.Problem.Ge 1.0 "lb" ]
+      ()
+  in
+  match solve p with
+  | Lp.Simplex.Optimal { value; _ } -> check_float "value" 2.0 value
+  | o -> Alcotest.failf "expected optimal, got %a" Lp.Simplex.pp_outcome o
+
+let test_simplex_infeasible () =
+  let p =
+    Lp.Problem.make ~direction:Lp.Problem.Minimize ~objective:[| 1.0 |]
+      ~constraints:
+        [ cstr [| 1.0 |] Lp.Problem.Ge 2.0 "lb"; cstr [| 1.0 |] Lp.Problem.Le 1.0 "ub" ]
+      ()
+  in
+  Alcotest.(check bool) "infeasible" true (solve p = Lp.Simplex.Infeasible)
+
+let test_simplex_unbounded () =
+  let p =
+    Lp.Problem.make ~direction:Lp.Problem.Maximize ~objective:[| 1.0 |]
+      ~constraints:[ cstr [| 1.0 |] Lp.Problem.Ge 0.0 "lb" ]
+      ()
+  in
+  Alcotest.(check bool) "unbounded" true (solve p = Lp.Simplex.Unbounded)
+
+let test_simplex_negative_rhs () =
+  (* constraints with negative rhs get normalized: min x s.t. -x <= -3 -> x >= 3 *)
+  let p =
+    Lp.Problem.make ~direction:Lp.Problem.Minimize ~objective:[| 1.0 |]
+      ~constraints:[ cstr [| -1.0 |] Lp.Problem.Le (-3.0) "neg" ]
+      ()
+  in
+  match solve p with
+  | Lp.Simplex.Optimal { value; _ } -> check_float "value" 3.0 value
+  | o -> Alcotest.failf "expected optimal, got %a" Lp.Simplex.pp_outcome o
+
+let test_simplex_degenerate () =
+  (* redundant constraints should not cycle thanks to Bland's rule *)
+  let p =
+    Lp.Problem.make ~direction:Lp.Problem.Minimize ~objective:[| 1.0; 1.0; 1.0 |]
+      ~constraints:
+        [
+          cstr [| 1.0; 1.0; 0.0 |] Lp.Problem.Ge 1.0 "a";
+          cstr [| 1.0; 1.0; 0.0 |] Lp.Problem.Ge 1.0 "a2";
+          cstr [| 0.0; 1.0; 1.0 |] Lp.Problem.Ge 1.0 "b";
+          cstr [| 1.0; 0.0; 1.0 |] Lp.Problem.Ge 1.0 "c";
+        ]
+      ()
+  in
+  match solve p with
+  | Lp.Simplex.Optimal { value; _ } -> check_float "vertex-cover LP on a triangle" 1.5 value
+  | o -> Alcotest.failf "expected optimal, got %a" Lp.Simplex.pp_outcome o
+
+(* random LPs: whenever simplex reports Optimal the point is feasible and
+   no better than a reference grid scan over the integral box *)
+let random_lp seed =
+  let rng = rng seed in
+  let n = 1 + Random.State.int rng 3 in
+  let m = 1 + Random.State.int rng 4 in
+  let objective = Array.init n (fun _ -> float_of_int (1 + Random.State.int rng 5)) in
+  let constraints =
+    List.init m (fun i ->
+        let coeffs = Array.init n (fun _ -> float_of_int (Random.State.int rng 4 - 1)) in
+        let op = if Random.State.bool rng then Lp.Problem.Ge else Lp.Problem.Le in
+        let rhs = float_of_int (Random.State.int rng 6 - 1) in
+        cstr coeffs op rhs (Printf.sprintf "c%d" i))
+  in
+  Lp.Problem.make ~direction:Lp.Problem.Minimize ~objective ~constraints ()
+
+let prop_simplex_sound =
+  qcheck ~count:200 "simplex: optimal points are feasible and dominate the grid"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let p = random_lp seed in
+      match solve p with
+      | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded -> true
+      | Lp.Simplex.Optimal { x; value; _ } ->
+        if not (Lp.Problem.is_feasible ~eps:1e-6 p x) then false
+        else begin
+          (* scan the integer grid [0..4]^n for feasible points *)
+          let n = Lp.Problem.num_vars p in
+          let ok = ref true in
+          let point = Array.make n 0.0 in
+          let rec scan i =
+            if i = n then begin
+              if Lp.Problem.is_feasible p point then
+                if Lp.Problem.value p point < value -. 1e-6 then ok := false
+            end
+            else
+              for v = 0 to 4 do
+                point.(i) <- float_of_int v;
+                scan (i + 1)
+              done
+          in
+          scan 0;
+          !ok
+        end)
+
+let suite =
+  [
+    Alcotest.test_case "problem: value / feasibility / violations" `Quick
+      test_value_and_feasibility;
+    Alcotest.test_case "problem: dimension check" `Quick test_dimension_check;
+    Alcotest.test_case "simplex: min basic" `Quick test_simplex_min_basic;
+    Alcotest.test_case "simplex: max basic" `Quick test_simplex_max_basic;
+    Alcotest.test_case "simplex: equality constraints" `Quick test_simplex_equality;
+    Alcotest.test_case "simplex: infeasible" `Quick test_simplex_infeasible;
+    Alcotest.test_case "simplex: unbounded" `Quick test_simplex_unbounded;
+    Alcotest.test_case "simplex: negative rhs normalization" `Quick test_simplex_negative_rhs;
+    Alcotest.test_case "simplex: degeneracy (Bland)" `Quick test_simplex_degenerate;
+    prop_simplex_sound;
+  ]
+
+(* ---- duals and strong duality ---- *)
+
+let test_duals_basic () =
+  (* min x + y s.t. x + y >= 2, x <= 1: optimum 2 at the Ge constraint.
+     Strong duality: y1*2 + y2*1 = 2 with y1 = 1 (binding Ge), y2 = 0. *)
+  let p =
+    Lp.Problem.make ~direction:Lp.Problem.Minimize ~objective:[| 1.0; 1.0 |]
+      ~constraints:
+        [ cstr [| 1.0; 1.0 |] Lp.Problem.Ge 2.0 "sum"; cstr [| 1.0; 0.0 |] Lp.Problem.Le 1.0 "cap" ]
+      ()
+  in
+  match solve p with
+  | Lp.Simplex.Optimal { duals; value; _ } ->
+    check_float "dual of the binding Ge" 1.0 duals.(0);
+    check_float "dual of the slack Le" 0.0 duals.(1);
+    check_float "strong duality" value ((duals.(0) *. 2.0) +. (duals.(1) *. 1.0))
+  | o -> Alcotest.failf "expected optimal, got %a" Lp.Simplex.pp_outcome o
+
+let prop_strong_duality =
+  qcheck ~count:200 "strong duality on random minimize LPs"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let p = random_lp seed in
+      match solve p with
+      | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded -> true
+      | Lp.Simplex.Optimal { value; duals; _ } ->
+        let dual_value =
+          List.fold_left2
+            (fun acc (c : Lp.Problem.cstr) y -> acc +. (y *. c.Lp.Problem.rhs))
+            0.0 p.Lp.Problem.constraints (Array.to_list duals)
+        in
+        Float.abs (value -. dual_value) < 1e-5)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "simplex: duals on a small LP" `Quick test_duals_basic;
+      prop_strong_duality;
+    ]

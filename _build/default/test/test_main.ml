@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "deleprop"
+    [
+      ("relational", Test_relational.suite);
+      ("cq", Test_cq.suite);
+      ("hypergraph", Test_hypergraph.suite);
+      ("setcover", Test_setcover.suite);
+      ("lp", Test_lp.suite);
+      ("core", Test_core.suite);
+      ("solvers", Test_solvers.suite);
+      ("hardness", Test_hardness.suite);
+      ("examples", Test_examples.suite);
+      ("landscape", Test_landscape.suite);
+      ("phase3", Test_phase3.suite);
+      ("phase4", Test_phase4.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("system", Test_system.suite);
+      ("phase5", Test_phase5.suite);
+      ("phase6", Test_phase6.suite);
+      ("phase8", Test_phase8.suite);
+      ("frontend", Test_frontend.suite);
+      ("matrix", Test_matrix.suite);
+      ("polish", Test_polish.suite);
+    ]

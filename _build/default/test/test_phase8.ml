@@ -1,0 +1,211 @@
+(* Tests for phase-8 modules: diagnosis across optimal plans, combined
+   delete+insert repairs, semiring provenance polynomials. *)
+
+open Util
+module R = Relational
+module D = Deleprop
+
+let parse = Cq.Parser.query_of_string
+
+(* ---- diagnosis ---- *)
+
+let test_diagnosis_fig1_q4 () =
+  let prov = D.Provenance.build (Workload.Author_journal.scenario_q4 ()) in
+  match D.Diagnosis.diagnose prov with
+  | None -> Alcotest.fail "expected diagnosis"
+  | Some d ->
+    check_float "optimal cost" 1.0 d.D.Diagnosis.optimal_cost;
+    Alcotest.(check int) "single optimal plan" 1 (List.length d.D.Diagnosis.plans);
+    Alcotest.check stuple_set "certain = the author tuple"
+      (R.Stuple.Set.singleton (st "T1" [ "John"; "TKDE" ]))
+      d.D.Diagnosis.certain
+
+let test_diagnosis_ambiguity () =
+  (* two equal-cost plans: certain set is empty, possible has both *)
+  let db =
+    R.Serial.instance_of_string
+      "rel A(k*, v)\nA(1, x)\nrel B(k*, v)\nB(1, x)"
+  in
+  let q = parse "Q(K1, V1, K2, V2) :- A(K1, V1), B(K2, V2)" in
+  let p =
+    D.Problem.make ~db ~queries:[ q ]
+      ~deletions:[ ("Q", [ R.Tuple.of_list
+                             [ R.Value.int 1; R.Value.str "x"; R.Value.int 1; R.Value.str "x" ] ]) ]
+      ()
+  in
+  let prov = D.Provenance.build p in
+  match D.Diagnosis.diagnose prov with
+  | None -> Alcotest.fail "expected diagnosis"
+  | Some d ->
+    Alcotest.(check int) "two optimal plans" 2 (List.length d.D.Diagnosis.plans);
+    Alcotest.(check int) "no certain tuple" 0 (R.Stuple.Set.cardinal d.D.Diagnosis.certain);
+    Alcotest.(check int) "two possible tuples" 2 (R.Stuple.Set.cardinal d.D.Diagnosis.possible)
+
+let test_diagnosis_ground_truth_q3 () =
+  (* the paper's Q3 scenario: several optimal plans; John's TKDE row is in
+     every one (certain), journal rows only in some *)
+  let p = Workload.Author_journal.scenario_q3 () in
+  match D.Diagnosis.diagnose_ground_truth p with
+  | None -> Alcotest.fail "expected diagnosis"
+  | Some d ->
+    check_float "optimal cost 1" 1.0 d.D.Diagnosis.optimal_cost;
+    Alcotest.(check bool) "several plans" true (List.length d.D.Diagnosis.plans >= 2);
+    Alcotest.(check bool) "both John rows possible" true
+      (R.Stuple.Set.mem (st "T1" [ "John"; "TKDE" ]) d.D.Diagnosis.possible
+      && R.Stuple.Set.mem (st "T1" [ "John"; "TODS" ]) d.D.Diagnosis.possible)
+
+let prop_diagnosis_consistent =
+  qcheck ~count:30 "diagnosis: certain ⊆ every plan ⊆ possible; costs match brute"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let rng = rng seed in
+      let { Workload.Forest_family.problem = p; _ } =
+        Workload.Forest_family.generate ~rng
+          { Workload.Forest_family.default with num_relations = 3; tuples_per_relation = 4 }
+      in
+      let prov = D.Provenance.build p in
+      if R.Stuple.Set.cardinal (D.Provenance.candidates prov) > 14 then true
+      else
+        match D.Diagnosis.diagnose prov, D.Brute.solve prov with
+        | Some d, Some b ->
+          feq d.D.Diagnosis.optimal_cost b.D.Brute.outcome.D.Side_effect.cost
+          && List.for_all
+               (fun plan ->
+                 R.Stuple.Set.subset d.D.Diagnosis.certain plan
+                 && R.Stuple.Set.subset plan d.D.Diagnosis.possible
+                 && feq (D.Side_effect.eval prov plan).D.Side_effect.cost
+                      d.D.Diagnosis.optimal_cost)
+               d.D.Diagnosis.plans
+        | None, None -> true
+        | _ -> false)
+
+let test_top_plans () =
+  let prov = D.Provenance.build (Workload.Author_journal.scenario_q4 ()) in
+  let buckets = D.Diagnosis.top_plans ~k:2 prov in
+  Alcotest.(check int) "two cost buckets" 2 (List.length buckets);
+  match buckets with
+  | (c1, _) :: (c2, _) :: _ ->
+    check_float "best bucket" 1.0 c1;
+    check_float "second bucket" 2.0 c2
+  | _ -> Alcotest.fail "expected two buckets"
+
+(* ---- combined repair ---- *)
+
+let test_repair_both_directions () =
+  let db = Workload.Author_journal.db () in
+  let queries = [ Workload.Author_journal.q4 ] in
+  match
+    D.Repair.solve ~db ~queries
+      ~wrong:[ ("Q4", [ R.Tuple.strs [ "John"; "TKDE"; "XML" ] ]) ]
+      ~missing:[ ("Q4", R.Tuple.strs [ "Alice"; "TODS"; "XML" ]) ]
+      ()
+  with
+  | Error e -> Alcotest.failf "unexpected: %a" D.Repair.pp_error e
+  | Ok plan ->
+    Alcotest.(check bool) "deletes the author row" true
+      (R.Stuple.Set.mem (st "T1" [ "John"; "TKDE" ]) plan.D.Repair.deletions);
+    Alcotest.(check bool) "inserts Alice" true
+      (R.Stuple.Set.mem (st "T1" [ "Alice"; "TODS" ]) plan.D.Repair.insertions);
+    (* final database: wrong answer gone, missing answer present *)
+    let view = Cq.Eval.evaluate plan.D.Repair.repaired Workload.Author_journal.q4 in
+    Alcotest.(check bool) "wrong gone" false
+      (R.Tuple.Set.mem (R.Tuple.strs [ "John"; "TKDE"; "XML" ]) view);
+    Alcotest.(check bool) "missing present" true
+      (R.Tuple.Set.mem (R.Tuple.strs [ "Alice"; "TODS"; "XML" ]) view)
+
+let test_repair_conflict_detected () =
+  (* ask to remove an answer AND to add one that needs the same witness *)
+  let db = Workload.Author_journal.db () in
+  let queries = [ Workload.Author_journal.q4 ] in
+  match
+    D.Repair.solve ~db ~queries
+      ~wrong:[ ("Q4", [ R.Tuple.strs [ "John"; "TODS"; "XML" ] ]) ]
+      ~missing:[ ("Q4", R.Tuple.strs [ "John"; "TODS"; "XML" ]) ]
+      ()
+  with
+  | Error (D.Repair.Conflicting _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" D.Repair.pp_error e
+  | Ok _ -> Alcotest.fail "expected a conflict"
+
+let test_repair_deletion_only () =
+  let db = Workload.Author_journal.db () in
+  match
+    D.Repair.solve ~db ~queries:[ Workload.Author_journal.q4 ]
+      ~wrong:[ ("Q4", [ R.Tuple.strs [ "John"; "TKDE"; "XML" ] ]) ]
+      ~missing:[] ()
+  with
+  | Ok plan ->
+    check_float "cost = deletion side-effect" 1.0 plan.D.Repair.cost;
+    Alcotest.(check int) "no insertions" 0 (R.Stuple.Set.cardinal plan.D.Repair.insertions)
+  | Error e -> Alcotest.failf "unexpected: %a" D.Repair.pp_error e
+
+(* ---- semiring provenance ---- *)
+
+let test_polynomial_fig1 () =
+  let db = Workload.Author_journal.db () in
+  let q3 = Workload.Author_journal.q3 in
+  let p = Cq.Semiring.polynomial db q3 (R.Tuple.strs [ "John"; "XML" ]) in
+  Alcotest.(check int) "two derivations" 2 (Cq.Semiring.count p);
+  Alcotest.(check int) "two why-witnesses" 2 (List.length (Cq.Semiring.why p));
+  Alcotest.(check int) "non-answer: zero polynomial" 0
+    (Cq.Semiring.count (Cq.Semiring.polynomial db q3 (R.Tuple.strs [ "Zed"; "XML" ])))
+
+let test_polynomial_self_join_exponent () =
+  let schema = R.Schema.Db.of_list [ R.Schema.make ~name:"E" ~attrs:[ "a"; "b" ] ~key:[ 0; 1 ] ] in
+  let db = R.Instance.of_alist schema [ ("E", [ R.Tuple.ints [ 1; 1 ] ]) ] in
+  let q = parse "Q(X) :- E(X, Y), E(Y, X)" in
+  let p = Cq.Semiring.polynomial db q (R.Tuple.ints [ 1 ]) in
+  match p with
+  | [ ([ (_, e) ], 1) ] -> Alcotest.(check int) "squared variable" 2 e
+  | _ -> Alcotest.fail "expected a single squared monomial"
+
+let prop_survives_equals_eval =
+  qcheck ~count:60 "PosBool specialization = deletion semantics"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let rng = rng seed in
+      let db = Workload.Author_journal.db () in
+      let q = Workload.Author_journal.q3 in
+      let dd =
+        R.Instance.stuples db
+        |> List.filter (fun _ -> Random.State.bool rng)
+        |> R.Stuple.Set.of_list
+      in
+      let db' = R.Instance.delete db dd in
+      let after = Cq.Eval.evaluate db' q in
+      Cq.Eval.evaluate db q
+      |> R.Tuple.Set.for_all (fun answer ->
+             let p = Cq.Semiring.polynomial db q answer in
+             Cq.Semiring.survives p ~kept:(fun st -> not (R.Stuple.Set.mem st dd))
+             = R.Tuple.Set.mem answer after))
+
+let test_best_confidence () =
+  let db = Workload.Author_journal.db () in
+  let q3 = Workload.Author_journal.q3 in
+  let p = Cq.Semiring.polynomial db q3 (R.Tuple.strs [ "John"; "XML" ]) in
+  (* score TODS tuples low: the best derivation goes through TKDE *)
+  let score (st : R.Stuple.t) =
+    match R.Tuple.to_list st.tuple with
+    | v :: _ when R.Value.equal v (R.Value.str "John") -> 0.5
+    | R.Value.Str "TODS" :: _ -> 0.2
+    | _ -> 0.8
+  in
+  (* TKDE derivation: 0.5 * 0.8 = 0.4; TODS derivation: 0.5 * 0.2 = 0.1 *)
+  check_float "viterbi picks TKDE" 0.4 (Cq.Semiring.best_confidence p ~score)
+
+let suite =
+  [
+    Alcotest.test_case "diagnosis: Fig. 1 Q4 certain tuple" `Quick test_diagnosis_fig1_q4;
+    Alcotest.test_case "diagnosis: ambiguity leaves certain empty" `Quick
+      test_diagnosis_ambiguity;
+    Alcotest.test_case "diagnosis: ground truth on Q3" `Quick test_diagnosis_ground_truth_q3;
+    prop_diagnosis_consistent;
+    Alcotest.test_case "diagnosis: top plans" `Quick test_top_plans;
+    Alcotest.test_case "repair: both directions" `Quick test_repair_both_directions;
+    Alcotest.test_case "repair: conflict detected" `Quick test_repair_conflict_detected;
+    Alcotest.test_case "repair: deletion only" `Quick test_repair_deletion_only;
+    Alcotest.test_case "semiring: Fig. 1 polynomial" `Quick test_polynomial_fig1;
+    Alcotest.test_case "semiring: self-join exponents" `Quick test_polynomial_self_join_exponent;
+    prop_survives_equals_eval;
+    Alcotest.test_case "semiring: viterbi confidence" `Quick test_best_confidence;
+  ]

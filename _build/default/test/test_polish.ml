@@ -1,0 +1,191 @@
+(* Edge-case and API-surface tests that belong to no single substrate:
+   substitution, pretty printers, file round trips, boundary inputs. *)
+
+open Util
+module R = Relational
+module D = Deleprop
+
+let parse = Cq.Parser.query_of_string
+
+let test_query_substitute () =
+  let q = parse "Q(X, Y) :- R(X, Y), S(Y, Z)" in
+  let q' =
+    Cq.Query.substitute
+      (fun v -> if v = "Y" then Some (Cq.Term.int 7) else None)
+      q
+  in
+  Alcotest.(check bool) "Y gone from head" false
+    (Cq.Term.Vars.mem "Y" (Cq.Query.head_vars q'));
+  Alcotest.(check bool) "Z untouched" true
+    (Cq.Term.Vars.mem "Z" (Cq.Query.existential_vars q'));
+  (* substitution reaches every atom *)
+  List.iter
+    (fun (a : Cq.Atom.t) ->
+      Alcotest.(check bool) "no Y left" false (Cq.Term.Vars.mem "Y" (Cq.Atom.var_set a)))
+    q'.Cq.Query.body
+
+let test_serial_fact_of_string () =
+  let rel, t = R.Serial.fact_of_string "T2(TKDE, XML, 30)" in
+  Alcotest.(check string) "relation" "T2" rel;
+  Alcotest.check tuple "typed tuple"
+    (R.Tuple.of_list [ R.Value.str "TKDE"; R.Value.str "XML"; R.Value.int 30 ])
+    t;
+  Alcotest.(check bool) "garbage rejected" true
+    (try ignore (R.Serial.fact_of_string "nope"); false
+     with R.Serial.Parse_error _ -> true)
+
+let test_value_negative_ints () =
+  let t = R.Tuple.ints [ -3; 0 ] in
+  Alcotest.check value "negative survives parse" (R.Tuple.get t 0)
+    (R.Value.of_string (R.Value.to_string (R.Tuple.get t 0)))
+
+let test_instance_of_alist_duplicates () =
+  let schema = R.Schema.Db.of_list [ R.Schema.make ~name:"T" ~attrs:[ "k" ] ~key:[ 0 ] ] in
+  (* the same tuple twice is idempotent, not an error *)
+  let db = R.Instance.of_alist schema [ ("T", [ R.Tuple.ints [ 1 ]; R.Tuple.ints [ 1 ] ]) ] in
+  Alcotest.(check int) "idempotent" 1 (R.Instance.size db)
+
+let test_problem_file_disk_roundtrip () =
+  let p = Workload.Author_journal.scenario_q4 () in
+  let path = Filename.temp_file "deleprop" ".problem" in
+  D.Problem_file.to_file path p;
+  let p2 = D.Problem_file.of_file path in
+  Sys.remove path;
+  Alcotest.(check bool) "db equal" true
+    (R.Instance.equal p.D.Problem.db p2.D.Problem.db);
+  Alcotest.(check int) "deletions equal" (D.Problem.deletion_size p)
+    (D.Problem.deletion_size p2)
+
+let test_multicut_forest_rejected () =
+  (* two disconnected trees: the contract says tree, so Not_a_tree *)
+  let e u v cost = { Hypergraph.Multicut.u; v; cost } in
+  Alcotest.(check bool) "forest rejected" true
+    (Hypergraph.Multicut.solve
+       ~edges:[ e "a" "b" 1.0; e "c" "d" 1.0 ]
+       ~pairs:[ ("a", "b") ]
+    = Error Hypergraph.Multicut.Not_a_tree)
+
+let test_explain_pp_smoke () =
+  let prov = D.Provenance.build (Workload.Author_journal.scenario_q4 ()) in
+  let e = D.Explain.explain prov (R.Stuple.Set.singleton (st "T1" [ "John"; "TKDE" ])) in
+  let s = Format.asprintf "%a" D.Explain.pp e in
+  Alcotest.(check bool) "mentions the kill" true
+    (Astring.String.is_infix ~affix:"removed by" s);
+  Alcotest.(check bool) "mentions the damage" true
+    (Astring.String.is_infix ~affix:"lost collaterally" s)
+
+let test_stats_pp_smoke () =
+  let prov = D.Provenance.build (Workload.Author_journal.scenario_q4 ()) in
+  let s = Format.asprintf "%a" D.Stats.pp (D.Stats.compute prov) in
+  Alcotest.(check bool) "mentions the bound" true
+    (Astring.String.is_infix ~affix:"Claim 1 bound" s)
+
+let test_weights_introspection () =
+  let vt = D.Vtuple.make "Q" (R.Tuple.ints [ 1 ]) in
+  let w = D.Weights.set (D.Weights.with_default 3.0) vt 9.0 in
+  check_float "default_of" 3.0 (D.Weights.default_of w);
+  Alcotest.(check int) "one override" 1 (List.length (D.Weights.overrides w))
+
+let test_empty_deletions_problem () =
+  (* no ΔV: every solver returns the empty plan at zero cost *)
+  let p =
+    D.Problem.make ~db:(Workload.Author_journal.db ())
+      ~queries:[ Workload.Author_journal.q4 ] ~deletions:[] ()
+  in
+  let prov = D.Provenance.build p in
+  let pd = D.Primal_dual.solve prov in
+  check_float "pd zero" 0.0 pd.D.Primal_dual.outcome.D.Side_effect.cost;
+  Alcotest.(check int) "pd empty" 0 (R.Stuple.Set.cardinal pd.D.Primal_dual.deletion);
+  let ld = D.Lowdeg.solve prov in
+  Alcotest.(check int) "lowdeg empty" 0 (R.Stuple.Set.cardinal ld.D.Lowdeg.deletion);
+  match D.Brute.solve prov with
+  | Some b -> Alcotest.(check int) "brute empty" 0 (R.Stuple.Set.cardinal b.D.Brute.deletion)
+  | None -> Alcotest.fail "brute on empty ΔV"
+
+let test_rel_tree_root_choice () =
+  let qs = [ parse "Q1(X, Y, Z) :- T1(X, Y), T2(Y, Z)" ] in
+  match Hypergraph.Rel_tree.of_queries ~root:"T2" qs with
+  | Some t ->
+    Alcotest.(check int) "chosen root depth 0" 0 (Hypergraph.Rel_tree.depth t "T2");
+    Alcotest.(check int) "other depth 1" 1 (Hypergraph.Rel_tree.depth t "T1")
+  | None -> Alcotest.fail "expected forest"
+
+let test_ucq_pp_smoke () =
+  let u =
+    Cq.Ucq.make ~name:"U" [ parse "U(X) :- R(X, Y)"; parse "U(X) :- S(X, Y)" ]
+  in
+  let s = Format.asprintf "%a" Cq.Ucq.pp u in
+  Alcotest.(check bool) "mentions union" true (Astring.String.is_infix ~affix:"union" s)
+
+let suite =
+  [
+    Alcotest.test_case "query: substitute" `Quick test_query_substitute;
+    Alcotest.test_case "serial: fact_of_string" `Quick test_serial_fact_of_string;
+    Alcotest.test_case "value: negative int roundtrip" `Quick test_value_negative_ints;
+    Alcotest.test_case "instance: of_alist idempotence" `Quick test_instance_of_alist_duplicates;
+    Alcotest.test_case "problem file: disk roundtrip" `Quick test_problem_file_disk_roundtrip;
+    Alcotest.test_case "multicut: forests rejected per contract" `Quick
+      test_multicut_forest_rejected;
+    Alcotest.test_case "explain: pp smoke" `Quick test_explain_pp_smoke;
+    Alcotest.test_case "stats: pp smoke" `Quick test_stats_pp_smoke;
+    Alcotest.test_case "weights: introspection" `Quick test_weights_introspection;
+    Alcotest.test_case "problem: empty ΔV" `Quick test_empty_deletions_problem;
+    Alcotest.test_case "rel tree: explicit root" `Quick test_rel_tree_root_choice;
+    Alcotest.test_case "ucq: pp smoke" `Quick test_ucq_pp_smoke;
+  ]
+
+(* ---- balanced tree primal-dual ---- *)
+
+let prop_balanced_tree_sound =
+  qcheck ~count:40 "balanced tree PD: >= exact, <= standard PD and empty plan"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let rng = rng seed in
+      let { Workload.Forest_family.problem = p; _ } =
+        Workload.Forest_family.generate ~rng
+          { Workload.Forest_family.default with num_relations = 3; tuples_per_relation = 5 }
+      in
+      let prov = D.Provenance.build p in
+      let tree = D.Balanced.solve_tree prov in
+      let exact = D.Balanced.solve_exact prov in
+      let pd = D.Primal_dual.solve prov in
+      let empty = D.Side_effect.eval prov R.Stuple.Set.empty in
+      let bc (o : D.Side_effect.outcome) = o.D.Side_effect.balanced_cost in
+      bc tree.D.Balanced.outcome +. 1e-9 >= bc exact.D.Balanced.outcome
+      && bc tree.D.Balanced.outcome <= bc pd.D.Primal_dual.outcome +. 1e-9
+      && bc tree.D.Balanced.outcome <= bc empty +. 1e-9)
+
+let test_balanced_tree_keeps_overpriced () =
+  (* the Fig. 1 shop scenario: repairing costs 3, keeping costs 1 — the
+     tree variant must keep *)
+  let db =
+    R.Serial.instance_of_string
+      {|
+        rel Shop(shop*, rating)
+        Shop(acme, 4)
+        rel Listing(id*, shop)
+        Listing(l1, acme)
+        Listing(l2, acme)
+        Listing(l3, acme)
+      |}
+  in
+  let qr = parse "Qr(S, RS) :- Shop(S, RS)" in
+  let ql = parse "Ql(L, S, RS) :- Listing(L, S), Shop(S, RS)" in
+  let p =
+    D.Problem.make ~db ~queries:[ qr; ql ]
+      ~deletions:[ ("Qr", [ R.Tuple.of_list [ R.Value.str "acme"; R.Value.int 4 ] ]) ]
+      ()
+  in
+  let prov = D.Provenance.build p in
+  let r = D.Balanced.solve_tree prov in
+  Alcotest.(check bool) "keeps the flagged tuple" false
+    r.D.Balanced.outcome.D.Side_effect.feasible;
+  check_float "balanced cost 1" 1.0 r.D.Balanced.outcome.D.Side_effect.balanced_cost
+
+let suite =
+  suite
+  @ [
+      prop_balanced_tree_sound;
+      Alcotest.test_case "balanced tree PD keeps overpriced flags" `Quick
+        test_balanced_tree_keeps_overpriced;
+    ]

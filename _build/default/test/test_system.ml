@@ -1,0 +1,110 @@
+(* Tests for the system layer: the materialized-view manager and the
+   QOCO-style oracle cleaning loop. *)
+
+open Util
+module R = Relational
+module D = Deleprop
+
+let seeds = QCheck2.Gen.int_range 0 10_000
+
+(* ---- matview ---- *)
+
+let prop_matview_consistent =
+  qcheck ~count:60 "matview: incremental views = from-scratch after mixed updates" seeds
+    (fun seed ->
+      let rng = rng seed in
+      let { Workload.Forest_family.problem = p; _ } =
+        Workload.Forest_family.generate ~rng
+          { Workload.Forest_family.default with num_relations = 3; tuples_per_relation = 5;
+            num_queries = 3; deletion_fraction = 0.0 }
+      in
+      let mv = ref (D.Matview.create p.D.Problem.db p.D.Problem.queries) in
+      (* random deletions *)
+      let dd =
+        R.Instance.stuples p.D.Problem.db
+        |> List.filter (fun _ -> Random.State.int rng 5 = 0)
+        |> R.Stuple.Set.of_list
+      in
+      mv := D.Matview.delete !mv dd;
+      (* random re-insertions of some deleted tuples *)
+      let back =
+        R.Stuple.Set.filter (fun _ -> Random.State.bool rng) dd
+      in
+      mv := D.Matview.insert_all !mv back;
+      List.for_all
+        (fun (q : Cq.Query.t) ->
+          R.Tuple.Set.equal (D.Matview.view !mv q.name)
+            (Cq.Eval.evaluate (D.Matview.db !mv) q))
+        p.D.Problem.queries)
+
+let test_matview_insert_key_violation () =
+  let p = Workload.Author_journal.scenario_q4 () in
+  let mv = D.Matview.create p.D.Problem.db p.D.Problem.queries in
+  Alcotest.(check bool) "key violation surfaces" true
+    (try
+       ignore
+         (D.Matview.insert mv
+            (R.Stuple.make "T2"
+               (R.Tuple.of_list
+                  [ R.Value.str "TKDE"; R.Value.str "XML"; R.Value.int 99 ])));
+       false
+     with R.Relation.Key_violation _ -> true)
+
+let test_matview_unknown_view () =
+  let p = Workload.Author_journal.scenario_q4 () in
+  let mv = D.Matview.create p.D.Problem.db p.D.Problem.queries in
+  Alcotest.(check bool) "unknown view" true
+    (try ignore (D.Matview.view mv "Zed"); false with Invalid_argument _ -> true)
+
+let test_matview_self_join_insert () =
+  (* delta insertion where the new tuple is used twice in one derivation *)
+  let schema = R.Schema.Db.of_list [ R.Schema.make ~name:"E" ~attrs:[ "a"; "b" ] ~key:[ 0; 1 ] ] in
+  let db = R.Instance.of_alist schema [ ("E", [ R.Tuple.ints [ 1; 2 ] ]) ] in
+  let q = Cq.Parser.query_of_string "Q(X, Y, Z) :- E(X, Y), E(Y, Z)" in
+  let mv = D.Matview.create db [ q ] in
+  Alcotest.(check int) "initially empty" 0 (R.Tuple.Set.cardinal (D.Matview.view mv "Q"));
+  (* inserting (2, 2) creates (1,2,2), (2,2,2) — the latter uses the new
+     tuple in both atoms *)
+  let mv = D.Matview.insert mv (R.Stuple.make "E" (R.Tuple.ints [ 2; 2 ])) in
+  Alcotest.check tuple_set "both new answers"
+    (R.Tuple.Set.of_list [ R.Tuple.ints [ 1; 2; 2 ]; R.Tuple.ints [ 2; 2; 2 ] ])
+    (D.Matview.view mv "Q")
+
+(* ---- oracle loop ---- *)
+
+let loop_spec batch =
+  {
+    Workload.Oracle_loop.cleaning =
+      { Workload.Cleaning.default with depth = 3; tuples_per_relation = 4 };
+    batch_size = batch;
+    max_questions = 2000;
+  }
+
+let prop_oracle_loop_cleans =
+  qcheck ~count:25 "oracle loop: terminates with no wrong answers visible" seeds
+    (fun seed ->
+      let rng = rng seed in
+      let o = Workload.Oracle_loop.run ~rng (loop_spec 3) in
+      o.Workload.Oracle_loop.residual_wrong = 0
+      && o.Workload.Oracle_loop.questions <= 2000)
+
+let prop_oracle_batch_no_worse =
+  qcheck ~count:15 "oracle loop: batching never needs more repair rounds" seeds
+    (fun seed ->
+      let run batch =
+        Workload.Oracle_loop.run ~rng:(rng seed) (loop_spec batch)
+      in
+      let sequential = run 1 and batched = run 5 in
+      batched.Workload.Oracle_loop.repair_rounds
+      <= sequential.Workload.Oracle_loop.repair_rounds)
+
+let suite =
+  [
+    prop_matview_consistent;
+    Alcotest.test_case "matview: key violation on insert" `Quick
+      test_matview_insert_key_violation;
+    Alcotest.test_case "matview: unknown view" `Quick test_matview_unknown_view;
+    Alcotest.test_case "matview: self-join delta insert" `Quick test_matview_self_join_insert;
+    prop_oracle_loop_cleans;
+    prop_oracle_batch_no_worse;
+  ]

@@ -1,0 +1,46 @@
+(* Shared helpers for the test suites. *)
+
+module R = Relational
+module D = Deleprop
+
+let rng seed = Random.State.make [| seed |]
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let feq a b = Float.abs (a -. b) < 1e-9
+
+(* Alcotest testables *)
+let value = Alcotest.testable R.Value.pp R.Value.equal
+let tuple = Alcotest.testable R.Tuple.pp R.Tuple.equal
+let stuple = Alcotest.testable R.Stuple.pp R.Stuple.equal
+let vtuple = Alcotest.testable D.Vtuple.pp D.Vtuple.equal
+
+let stuple_set =
+  Alcotest.testable
+    (fun ppf s ->
+      Format.fprintf ppf "{%a}"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") R.Stuple.pp)
+        (R.Stuple.Set.elements s))
+    R.Stuple.Set.equal
+
+let tuple_set =
+  Alcotest.testable
+    (fun ppf s ->
+      Format.fprintf ppf "{%a}"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") R.Tuple.pp)
+        (R.Tuple.Set.elements s))
+    R.Tuple.Set.equal
+
+let vtuple_set =
+  Alcotest.testable
+    (fun ppf s ->
+      Format.fprintf ppf "{%a}"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") D.Vtuple.pp)
+        (D.Vtuple.Set.elements s))
+    D.Vtuple.Set.equal
+
+let st rel vs = R.Stuple.make rel (R.Tuple.strs vs)
+
+(* QCheck -> Alcotest adaptor *)
+let qcheck ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
