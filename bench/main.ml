@@ -259,6 +259,51 @@ let bench_phase5 =
           (Staged.stage (fun () -> Cq.Causality.ranking db q ~answer:a));
       ])
 
+(* arena: compile cost of the dense representation, and old-vs-new solver
+   timings across forest scales. `pd_seed_*` / `lowdeg_seed_*` /
+   `rbsc_approx_seed` are the pre-arena reference paths; their `_arena`
+   (resp. `_bitset`) counterparts include every cost of the new path —
+   e.g. `pd_arena_*` is Arena.build + kernel. BENCH_arena.json tracks
+   this group from PR 1 onward. *)
+let bench_arena =
+  let scales = [ 10; 20; 40; 80 ] in
+  let scale_tests =
+    List.concat_map
+      (fun scale ->
+        let pv = prov (forest ~scale 31) in
+        [
+          Test.make ~name:(Printf.sprintf "build_scale_%d" scale)
+            (Staged.stage (fun () -> D.Arena.build pv));
+          Test.make ~name:(Printf.sprintf "pd_seed_scale_%d" scale)
+            (Staged.stage (fun () -> D.Primal_dual.solve_reference pv));
+          Test.make ~name:(Printf.sprintf "pd_arena_scale_%d" scale)
+            (Staged.stage (fun () -> D.Primal_dual.solve pv));
+        ])
+      scales
+  in
+  let lowdeg_tests =
+    let pv = prov (forest ~scale:20 31) in
+    [
+      Test.make ~name:"lowdeg_seed_scale_20"
+        (Staged.stage (fun () -> D.Lowdeg.solve_reference pv));
+      Test.make ~name:"lowdeg_arena_scale_20"
+        (Staged.stage (fun () -> D.Lowdeg.solve pv));
+    ]
+  in
+  let rbsc_tests =
+    let rb =
+      Workload.Rbsc_gen.red_blue ~rng:(rng 17) ~num_red:60 ~num_blue:60 ~num_sets:80
+        ~red_density:0.2 ~blue_density:0.2
+    in
+    [
+      Test.make ~name:"rbsc_approx_seed"
+        (Staged.stage (fun () -> SC.Red_blue.solve_approx_reference rb));
+      Test.make ~name:"rbsc_approx_bitset"
+        (Staged.stage (fun () -> SC.Red_blue.solve_approx rb));
+    ]
+  in
+  Test.make_grouped ~name:"arena" (scale_tests @ lowdeg_tests @ rbsc_tests)
+
 (* E21 scaling stages + parallel portfolio + SQL front end *)
 let bench_e21 =
   let biblio =
@@ -319,35 +364,151 @@ let all_tests =
   [
     bench_e1; bench_e2; bench_e3; bench_e5; bench_e6; bench_e7; bench_e8; bench_e9;
     bench_e10; bench_e11; bench_e12; bench_e14; bench_e15; bench_e16; bench_e17;
-    bench_e18; bench_e21; bench_containment; bench_phase5; bench_substrate;
+    bench_e18; bench_arena; bench_e21; bench_containment; bench_phase5; bench_substrate;
   ]
+
+(* ---- CLI: main.exe [--json FILE] [--dry-run] [group ...] ---- *)
+
+type cli = {
+  json : string option;   (* dump results to this file *)
+  dry_run : bool;         (* run every thunk once, no timing *)
+  groups : string list;   (* empty = all *)
+}
+
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [--json FILE] [--dry-run] [group ...]\navailable groups: %s\n"
+    (String.concat ", " (List.map Test.name all_tests));
+  exit 2
+
+let parse_cli () =
+  let rec go acc = function
+    | [] -> acc
+    | "--json" :: file :: rest -> go { acc with json = Some file } rest
+    | "--json" :: [] -> usage ()
+    | "--dry-run" :: rest -> go { acc with dry_run = true } rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | g :: rest ->
+      if not (List.exists (fun t -> Test.name t = g) all_tests) then begin
+        Printf.eprintf "unknown group %S\n" g;
+        usage ()
+      end;
+      go { acc with groups = acc.groups @ [ g ] } rest
+  in
+  go { json = None; dry_run = false; groups = [] }
+    (List.tl (Array.to_list Sys.argv))
+
+let selected_tests cli =
+  match cli.groups with
+  | [] -> all_tests
+  | gs -> List.filter (fun t -> List.mem (Test.name t) gs) all_tests
+
+(* run every benchmark body exactly once — the `dune runtest` smoke that
+   keeps this harness from bit-rotting silently *)
+let dry_run_elt elt =
+  match Test.Elt.fn elt with
+  | Test.V { fn; kind = Test.Uniq; allocate; free } ->
+    let v = allocate () in
+    ignore (fn `Init (Test.Uniq.prj v));
+    free v
+  | Test.V { fn; kind = Test.Multiple; allocate; free } ->
+    let v = allocate 1 in
+    Array.iter (fun x -> ignore (fn `Init x)) (Test.Multiple.prj v);
+    free v
 
 (* ---- run + report ---- *)
 
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float x = if Float.is_nan x then "null" else Printf.sprintf "%.6g" x
+
+let dump_json file measured =
+  let oc = open_out file in
+  let group (gname, rows) =
+    Printf.sprintf "    {\"group\": \"%s\", \"results\": [\n%s\n    ]}"
+      (json_escape gname)
+      (rows
+      |> List.map (fun (name, est_ns, r2) ->
+             Printf.sprintf "      {\"name\": \"%s\", \"time_ns_per_run\": %s, \"r2\": %s}"
+               (json_escape name) (json_float est_ns) (json_float r2))
+      |> String.concat ",\n")
+  in
+  Printf.fprintf oc
+    "{\n  \"unit\": \"ns/run\",\n  \"clock\": \"monotonic\",\n  \"groups\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map group measured));
+  close_out oc;
+  Printf.printf "\nresults written to %s\n" file
+
 let () =
-  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
-  let instance = Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
-  Printf.printf "%-40s  %14s  %8s\n" "benchmark" "time/run" "r2";
-  print_endline (String.make 68 '-');
-  List.iter
-    (fun test ->
-      let raw = Benchmark.all cfg [ instance ] test in
-      let results = Analyze.all ols instance raw in
-      let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
-      List.iter
-        (fun (name, r) ->
-          let est =
-            match Analyze.OLS.estimates r with Some (e :: _) -> e | _ -> nan
+  let cli = parse_cli () in
+  (* fail on an unwritable --json target now, not after minutes of timing *)
+  (match cli.json with
+   | Some file ->
+     (try close_out (open_out file)
+      with Sys_error e ->
+        Printf.eprintf "cannot write --json file: %s\n" e;
+        exit 2)
+   | None -> ());
+  let tests = selected_tests cli in
+  if cli.dry_run then begin
+    List.iter
+      (fun test ->
+        List.iter
+          (fun elt ->
+            dry_run_elt elt;
+            Printf.printf "dry-run %-50s ok\n%!" (Test.Elt.name elt))
+          (Test.elements test))
+      tests;
+    Printf.printf "dry-run: %d groups ok\n" (List.length tests)
+  end
+  else begin
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+    let instance = Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
+    Printf.printf "%-40s  %14s  %8s\n" "benchmark" "time/run" "r2";
+    print_endline (String.make 68 '-');
+    let measured =
+      List.map
+        (fun test ->
+          let raw = Benchmark.all cfg [ instance ] test in
+          let results = Analyze.all ols instance raw in
+          let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+          let rows =
+            rows
+            |> List.map (fun (name, r) ->
+                   let est =
+                     match Analyze.OLS.estimates r with Some (e :: _) -> e | _ -> nan
+                   in
+                   let r2 =
+                     match Analyze.OLS.r_square r with Some r2 -> r2 | None -> nan
+                   in
+                   (name, est, r2))
+            |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
           in
-          let r2 = match Analyze.OLS.r_square r with Some r2 -> r2 | None -> nan in
-          let time =
-            if est > 1e9 then Printf.sprintf "%.3f s" (est /. 1e9)
-            else if est > 1e6 then Printf.sprintf "%.3f ms" (est /. 1e6)
-            else if est > 1e3 then Printf.sprintf "%.3f us" (est /. 1e3)
-            else Printf.sprintf "%.1f ns" est
-          in
-          Printf.printf "%-40s  %14s  %8.4f\n" name time r2)
-        (List.sort (fun (a, _) (b, _) -> String.compare a b) rows))
-    all_tests;
-  print_endline "\nquality tables: run `dune exec bin/experiments.exe` (see EXPERIMENTS.md)"
+          List.iter
+            (fun (name, est, r2) ->
+              let time =
+                if est > 1e9 then Printf.sprintf "%.3f s" (est /. 1e9)
+                else if est > 1e6 then Printf.sprintf "%.3f ms" (est /. 1e6)
+                else if est > 1e3 then Printf.sprintf "%.3f us" (est /. 1e3)
+                else Printf.sprintf "%.1f ns" est
+              in
+              Printf.printf "%-40s  %14s  %8.4f\n%!" name time r2)
+            rows;
+          (Test.name test, rows))
+        tests
+    in
+    Option.iter (fun file -> dump_json file measured) cli.json;
+    print_endline "\nquality tables: run `dune exec bin/experiments.exe` (see EXPERIMENTS.md)"
+  end

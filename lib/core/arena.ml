@@ -1,0 +1,211 @@
+module R = Relational
+module Bitset = Setcover.Bitset
+
+(* Source-tuple interning table keyed by the structural hash of
+   [Tuple.hash] — the one place the codebase needs tuple hashing rather
+   than ordering. (View tuples need no table: their ids fall out of the
+   sorted witness-map traversal, and [containing] is recovered by
+   inverting [witness].) *)
+
+module Stuple_h = Hashtbl.Make (struct
+  type t = R.Stuple.t
+
+  let equal = R.Stuple.equal
+  let hash (st : R.Stuple.t) =
+    (R.Tuple.hash st.R.Stuple.tuple * 31) + Hashtbl.hash st.R.Stuple.rel
+end)
+
+type t = {
+  prov : Provenance.t;
+  stuples : R.Stuple.t array;
+  vtuples : Vtuple.t array;
+  witness : int array array;
+  containing : int array array;
+  bad : Bitset.t;
+  preserved : Bitset.t;
+  weights : float array;
+  bad_order : int array;
+  forest_case : bool;
+}
+
+let processing_order (prov : Provenance.t) ~witness ~stuples ~bad =
+  (* the order [Primal_dual.processing_order] computes, on ids: bad vids
+     by decreasing lca depth (forest case) or decreasing witness size,
+     ties by ascending vid (= ascending Vtuple.compare) *)
+  let bad_ids = Bitset.elements bad in
+  match Hypergraph.Rel_tree.of_queries prov.Provenance.problem.Problem.queries with
+  | Some tree ->
+    (* per-sid depth with one tree lookup per relation: [stuples] is
+       sorted rel-first, so equal relations form contiguous runs. A
+       relation outside the tree appears in no query body, hence in no
+       witness — max_int is inert. *)
+    let depth = Array.make (Array.length stuples) max_int in
+    let run_rel = ref "" and run_depth = ref max_int in
+    Array.iteri
+      (fun sid (st : R.Stuple.t) ->
+        if sid = 0 || not (String.equal st.R.Stuple.rel !run_rel) then begin
+          run_rel := st.R.Stuple.rel;
+          run_depth :=
+            (match Hypergraph.Rel_tree.depth tree st.R.Stuple.rel with
+             | d -> d
+             | exception Not_found -> max_int)
+        end;
+        depth.(sid) <- !run_depth)
+      stuples;
+    let lca_depth vid =
+      Array.fold_left (fun acc sid -> min acc depth.(sid)) max_int witness.(vid)
+    in
+    let keyed = List.map (fun vid -> (lca_depth vid, vid)) bad_ids in
+    ( true,
+      List.sort
+        (fun (da, a) (db, b) -> if da <> db then Int.compare db da else Int.compare a b)
+        keyed
+      |> List.map snd )
+  | None ->
+    let size vid = Array.length witness.(vid) in
+    let keyed = List.map (fun vid -> (size vid, vid)) bad_ids in
+    ( false,
+      List.sort
+        (fun (sa, a) (sb, b) -> if sa <> sb then Int.compare sb sa else Int.compare a b)
+        keyed
+      |> List.map snd )
+
+let build (prov : Provenance.t) =
+  (* [containing] is total on D and the witness map is total on V; sorted
+     Map traversal hands out sids/vids in Stuple.compare / Vtuple.compare
+     order, so ascending-id iteration replays exactly the Set.fold order
+     of the set-based solvers (bit-identical float accumulation). *)
+  let ns = R.Stuple.Map.cardinal prov.Provenance.containing in
+  let stuples = Array.make ns (R.Stuple.make "" (R.Tuple.of_list [])) in
+  let stuple_tbl = Stuple_h.create (2 * ns + 1) in
+  let i = ref 0 in
+  R.Stuple.Map.iter
+    (fun st _ ->
+      stuples.(!i) <- st;
+      Stuple_h.replace stuple_tbl st !i;
+      incr i)
+    prov.Provenance.containing;
+  let nv = Vtuple.Map.cardinal prov.Provenance.witness in
+  let vtuples = Array.make nv (Vtuple.make "" (R.Tuple.of_list [])) in
+  let witness = Array.make nv [||] in
+  let weights = Array.make nv 0.0 in
+  let bad = Bitset.create nv in
+  (* [bad] is a subset of the witness domain and both iterate in
+     ascending Vtuple.compare order — a single merge walk suffices *)
+  let bad_next = ref (Vtuple.Set.to_seq prov.Provenance.bad ()) in
+  let wtbl = prov.Provenance.problem.Problem.weights in
+  let i = ref 0 in
+  Vtuple.Map.iter
+    (fun vt ws ->
+      let vid = !i in
+      incr i;
+      vtuples.(vid) <- vt;
+      let w = Array.make (R.Stuple.Set.cardinal ws) 0 in
+      let j = ref 0 in
+      R.Stuple.Set.iter
+        (fun st ->
+          w.(!j) <- Stuple_h.find stuple_tbl st;
+          incr j)
+        ws;
+      witness.(vid) <- w;
+      weights.(vid) <- Weights.get wtbl vt;
+      match !bad_next with
+      | Seq.Cons (b, tl) when Vtuple.equal b vt ->
+        Bitset.add bad vid;
+        bad_next := tl ()
+      | _ -> ())
+    prov.Provenance.witness;
+  (match !bad_next with
+   | Seq.Nil -> ()
+   | Seq.Cons (b, _) ->
+     invalid_arg
+       (Format.asprintf "Arena.build: bad view tuple %a has no witness" Vtuple.pp b));
+  let preserved = Bitset.diff (Bitset.full nv) bad in
+  (* invert [witness] rather than re-interning every containing set:
+     filling in ascending vid keeps each row in Vtuple.compare order *)
+  let deg = Array.make ns 0 in
+  Array.iter (Array.iter (fun sid -> deg.(sid) <- deg.(sid) + 1)) witness;
+  let containing = Array.init ns (fun sid -> Array.make deg.(sid) 0) in
+  let fill = Array.make ns 0 in
+  Array.iteri
+    (fun vid w ->
+      Array.iter
+        (fun sid ->
+          containing.(sid).(fill.(sid)) <- vid;
+          fill.(sid) <- fill.(sid) + 1)
+        w)
+    witness;
+  let forest_case, order = processing_order prov ~witness ~stuples ~bad in
+  {
+    prov;
+    stuples;
+    vtuples;
+    witness;
+    containing;
+    bad;
+    preserved;
+    weights;
+    bad_order = Array.of_list order;
+    forest_case;
+  }
+
+let num_stuples t = Array.length t.stuples
+let num_vtuples t = Array.length t.vtuples
+
+(* Id lookups: binary search over the sorted arrays. The hashtables used
+   during [build] are not retained — the arena is immutable and shared
+   across domains, and bisection over the sorted id order is collision-
+   free and allocation-free. *)
+
+let bisect ~compare arr x =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    if compare arr.(mid) x <= 0 then lo := mid else hi := mid
+  done;
+  if Array.length arr > 0 && compare arr.(!lo) x = 0 then Some !lo else None
+
+let stuple_id t st =
+  match bisect ~compare:R.Stuple.compare t.stuples st with
+  | Some sid -> sid
+  | None ->
+    invalid_arg (Format.asprintf "Arena.stuple_id: unknown %a" R.Stuple.pp st)
+
+let vtuple_id t vt =
+  match bisect ~compare:Vtuple.compare t.vtuples vt with
+  | Some vid -> vid
+  | None -> invalid_arg (Format.asprintf "Arena.vtuple_id: unknown %a" Vtuple.pp vt)
+
+let of_stuple_set t s =
+  let b = Bitset.create (num_stuples t) in
+  R.Stuple.Set.iter
+    (fun st ->
+      match bisect ~compare:R.Stuple.compare t.stuples st with
+      | Some sid -> Bitset.add b sid
+      | None -> ())
+    s;
+  b
+
+let of_vtuple_set t s =
+  let b = Bitset.create (num_vtuples t) in
+  Vtuple.Set.iter
+    (fun vt ->
+      match bisect ~compare:Vtuple.compare t.vtuples vt with
+      | Some vid -> Bitset.add b vid
+      | None -> ())
+    s;
+  b
+
+let to_stuple_set t sids =
+  List.fold_left (fun acc sid -> R.Stuple.Set.add t.stuples.(sid) acc)
+    R.Stuple.Set.empty sids
+
+let preserved_degree t sid =
+  let d = ref 0 in
+  Array.iter (fun vid -> if Bitset.mem t.preserved vid then incr d) t.containing.(sid);
+  !d
+
+let candidate_ids t =
+  let mark = Bitset.create (num_stuples t) in
+  Array.iter (fun vid -> Array.iter (Bitset.add mark) t.witness.(vid)) t.bad_order;
+  Array.of_list (Bitset.elements mark)

@@ -1,0 +1,60 @@
+(** The compiled, integer-dense form of a {!Provenance.t}.
+
+    Key preservation makes the tuple↔witness incidence structure a fixed
+    bipartite graph (every view tuple has exactly one witness), so the
+    solver hot loops never need the persistent tree-based sets the
+    provenance index is built from. [build] interns every source tuple
+    and view tuple to a contiguous id — in [Stuple.compare] /
+    [Vtuple.compare] order, so id order coincides with set order and
+    arena folds replay the exact float-accumulation sequences of the
+    set-based reference implementations — and lowers the witness and
+    containing maps to int arrays, with bad/preserved as {!Setcover.Bitset}s.
+
+    Solvers run on the arrays and convert back to sets only at the API
+    boundary; see {!Primal_dual.solve_arena} and {!Lowdeg.solve}. *)
+
+module R := Relational
+
+type t = private {
+  prov : Provenance.t;                (** the index this arena compiles *)
+  stuples : R.Stuple.t array;         (** sid -> source tuple, sorted; every tuple of [D] *)
+  vtuples : Vtuple.t array;           (** vid -> view tuple, sorted; all of [V] *)
+  witness : int array array;          (** vid -> witness sids, ascending *)
+  containing : int array array;       (** sid -> vids whose witness contains it, ascending *)
+  bad : Setcover.Bitset.t;            (** ΔV as vids *)
+  preserved : Setcover.Bitset.t;      (** V \ ΔV as vids *)
+  weights : float array;              (** vid -> preservation weight *)
+  bad_order : int array;              (** bad vids in the primal-dual processing
+                                          order (decreasing lca depth on forests,
+                                          else decreasing witness size) *)
+  forest_case : bool;                 (** did the query set admit the tree order? *)
+}
+
+(** Compile a provenance index. Cost is one hashtable pass over tuples
+    plus the sorted traversals of the witness/containing maps. *)
+val build : Provenance.t -> t
+
+val num_stuples : t -> int
+val num_vtuples : t -> int
+
+(** Interning lookups; [Invalid_argument] on tuples unknown to the
+    arena. *)
+
+val stuple_id : t -> R.Stuple.t -> int
+val vtuple_id : t -> Vtuple.t -> int
+
+(** Boundary conversions. [of_stuple_set]/[of_vtuple_set] silently drop
+    tuples the arena does not know (they can occur in no witness, so
+    every solver treats them as absent anyway). *)
+
+val of_stuple_set : t -> R.Stuple.Set.t -> Setcover.Bitset.t
+val of_vtuple_set : t -> Vtuple.Set.t -> Setcover.Bitset.t
+val to_stuple_set : t -> int list -> R.Stuple.Set.t
+
+(** [preserved_degree a sid] — number of preserved view tuples whose
+    witness contains the tuple (the LowDeg degree). *)
+val preserved_degree : t -> int -> int
+
+(** Sids occurring in at least one bad witness, ascending — the
+    candidate deletions. *)
+val candidate_ids : t -> int array

@@ -1,4 +1,5 @@
 module R = Relational
+module Bitset = Setcover.Bitset
 
 let src = Logs.Src.create "deleprop.lowdeg" ~doc:"LowDegTreeVSE (Algorithms 2-3)"
 
@@ -10,6 +11,94 @@ type result = {
   tau : int;
   pruned_wide : int;
 }
+
+(* ---- arena path ---- *)
+
+let wide_preserved_arena (a : Arena.t) =
+  let v = float_of_int (Problem.view_size a.Arena.prov.Provenance.problem) in
+  let threshold = sqrt v in
+  let wide = Bitset.create (Arena.num_vtuples a) in
+  Bitset.iter
+    (fun vid ->
+      if float_of_int (Array.length a.Arena.witness.(vid)) > threshold then
+        Bitset.add wide vid)
+    a.Arena.preserved;
+  wide
+
+let solve_with_tau_arena ?(prune_wide = true) (a : Arena.t) ~tau =
+  let ns = Arena.num_stuples a in
+  let deletable = Bitset.create ns in
+  for sid = 0 to ns - 1 do
+    if Arena.preserved_degree a sid <= tau then Bitset.add deletable sid
+  done;
+  let ignored =
+    if prune_wide then wide_preserved_arena a
+    else Bitset.create (Arena.num_vtuples a)
+  in
+  Log.debug (fun m ->
+      m "tau=%d: %d deletable tuples, %d wide preserved pruned" tau
+        (Bitset.cardinal deletable) (Bitset.cardinal ignored));
+  match Primal_dual.solve_arena a ~deletable ~ignored_preserved:ignored with
+  | None ->
+    Log.debug (fun m -> m "tau=%d infeasible" tau);
+    None
+  | Some pd ->
+    Some
+      {
+        deletion = pd.Primal_dual.deletion;
+        outcome = pd.Primal_dual.outcome;
+        tau;
+        pruned_wide = Bitset.cardinal ignored;
+      }
+
+let solve_with_tau ?prune_wide (prov : Provenance.t) ~tau =
+  solve_with_tau_arena ?prune_wide (Arena.build prov) ~tau
+
+let trivial_result prov =
+  {
+    deletion = R.Stuple.Set.empty;
+    outcome = Side_effect.eval prov R.Stuple.Set.empty;
+    tau = 0;
+    pruned_wide = 0;
+  }
+
+let best_of results =
+  List.fold_left
+    (fun best r ->
+      match r with
+      | None -> best
+      | Some r -> (
+        match best with
+        | Some b when b.outcome.Side_effect.cost <= r.outcome.Side_effect.cost -> best
+        | _ -> Some r))
+    None results
+
+let solve ?(prune_wide = true) ?(domains = 1) (prov : Provenance.t) =
+  if Vtuple.Set.is_empty prov.Provenance.bad then trivial_result prov
+  else begin
+    let a = Arena.build prov in
+    (* sweeping the distinct preserved-degrees of the candidate tuples is
+       equivalent to sweeping 1..|R| *)
+    let taus =
+      Array.fold_left
+        (fun acc sid -> Arena.preserved_degree a sid :: acc)
+        [] (Arena.candidate_ids a)
+      |> List.sort_uniq Int.compare
+    in
+    (* each threshold is an independent restricted run over the shared
+       (immutable) arena; [Par.map] keeps result order, so the fold below
+       is deterministic whatever the domain count *)
+    let results =
+      Par.map ~domains (fun tau -> solve_with_tau_arena ~prune_wide a ~tau) taus
+    in
+    match best_of results with
+    | Some r -> r
+    | None ->
+      (* cannot happen: the max preserved-degree bars no candidate *)
+      assert false
+  end
+
+(* ---- reference (pre-arena) implementation ---- *)
 
 let preserved_degree (prov : Provenance.t) st =
   Vtuple.Set.cardinal
@@ -23,21 +112,15 @@ let wide_preserved (prov : Provenance.t) =
       float_of_int (R.Stuple.Set.cardinal (Provenance.witness_of prov vt)) > threshold)
     prov.Provenance.preserved
 
-let solve_with_tau ?(prune_wide = true) (prov : Provenance.t) ~tau =
+let solve_with_tau_reference ?(prune_wide = true) (prov : Provenance.t) ~tau =
   let deletable =
     R.Instance.fold
       (fun st acc -> if preserved_degree prov st <= tau then R.Stuple.Set.add st acc else acc)
       prov.Provenance.problem.Problem.db R.Stuple.Set.empty
   in
   let ignored = if prune_wide then wide_preserved prov else Vtuple.Set.empty in
-  Log.debug (fun m ->
-      m "tau=%d: %d deletable tuples, %d wide preserved pruned" tau
-        (R.Stuple.Set.cardinal deletable)
-        (Vtuple.Set.cardinal ignored));
-  match Primal_dual.solve_restricted prov ~deletable ~ignored_preserved:ignored with
-  | None ->
-    Log.debug (fun m -> m "tau=%d infeasible" tau);
-    None
+  match Primal_dual.solve_restricted_reference prov ~deletable ~ignored_preserved:ignored with
+  | None -> None
   | Some pd ->
     Some
       {
@@ -47,39 +130,21 @@ let solve_with_tau ?(prune_wide = true) (prov : Provenance.t) ~tau =
         pruned_wide = Vtuple.Set.cardinal ignored;
       }
 
-let solve ?(prune_wide = true) (prov : Provenance.t) =
-  if Vtuple.Set.is_empty prov.Provenance.bad then
-    {
-      deletion = R.Stuple.Set.empty;
-      outcome = Side_effect.eval prov R.Stuple.Set.empty;
-      tau = 0;
-      pruned_wide = 0;
-    }
+let solve_reference ?(prune_wide = true) (prov : Provenance.t) =
+  if Vtuple.Set.is_empty prov.Provenance.bad then trivial_result prov
   else begin
-  (* sweeping the distinct preserved-degrees of the candidate tuples is
-     equivalent to sweeping 1..|R| *)
-  let taus =
-    R.Stuple.Set.fold
-      (fun st acc -> preserved_degree prov st :: acc)
-      (Provenance.candidates prov) []
-    |> List.sort_uniq Int.compare
-  in
-  let best =
-    List.fold_left
-      (fun best tau ->
-        match solve_with_tau ~prune_wide prov ~tau with
-        | None -> best
-        | Some r -> (
-          match best with
-          | Some b when b.outcome.Side_effect.cost <= r.outcome.Side_effect.cost -> best
-          | _ -> Some r))
-      None taus
-  in
-  match best with
-  | Some r -> r
-  | None ->
-    (* cannot happen: the max preserved-degree bars no candidate *)
-    assert false
+    let taus =
+      R.Stuple.Set.fold
+        (fun st acc -> preserved_degree prov st :: acc)
+        (Provenance.candidates prov) []
+      |> List.sort_uniq Int.compare
+    in
+    let results =
+      List.map (fun tau -> solve_with_tau_reference ~prune_wide prov ~tau) taus
+    in
+    match best_of results with
+    | Some r -> r
+    | None -> assert false
   end
 
 let bound (problem : Problem.t) = 2.0 *. sqrt (float_of_int (Problem.view_size problem))

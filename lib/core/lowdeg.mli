@@ -25,13 +25,26 @@ type result = {
 (** Algorithm 2 at a fixed τ; [None] when the restricted instance is
     infeasible (some bad witness entirely barred). [prune_wide] (default
     true) controls the R'_> pruning of line 7 — disabling it is the
-    ablation of experiment E15. *)
+    ablation of experiment E15. Compiles a fresh arena; use
+    {!solve_with_tau_arena} to share one across thresholds. *)
 val solve_with_tau : ?prune_wide:bool -> Provenance.t -> tau:int -> result option
+
+(** Algorithm 2 over a prebuilt {!Arena.t} — degree restriction, wide
+    pruning and the inner primal-dual all run on arena ids. *)
+val solve_with_tau_arena : ?prune_wide:bool -> Arena.t -> tau:int -> result option
 
 (** Algorithm 3: sweep τ over the distinct preserved-degrees, return the
     cheapest feasible solution. Total sweep is never infeasible (the
-    largest τ bars nothing). *)
-val solve : ?prune_wide:bool -> Provenance.t -> result
+    largest τ bars nothing). The arena is built once and shared by all
+    thresholds; [domains] (default 1 = sequential) distributes the
+    independent per-τ runs over an OCaml 5 domain pool — results are
+    identical whatever the count. *)
+val solve : ?prune_wide:bool -> ?domains:int -> Provenance.t -> result
+
+(** The seed implementation (per-τ set-based restriction over the seed
+    primal-dual), kept for differential testing and the [arena]
+    benchmark group. *)
+val solve_reference : ?prune_wide:bool -> Provenance.t -> result
 
 (** Theorem 4's claimed ratio for the instance: [2·sqrt ‖V‖]. *)
 val bound : Problem.t -> float

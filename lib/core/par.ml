@@ -1,0 +1,30 @@
+let map ?domains f xs =
+  let n = List.length xs in
+  let d =
+    let requested =
+      match domains with Some d -> d | None -> Domain.recommended_domain_count ()
+    in
+    max 1 (min requested n)
+  in
+  if d <= 1 then List.map f xs
+  else begin
+    let input = Array.of_list xs in
+    let out = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue_ = ref true in
+      while !continue_ do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue_ := false
+        else out.(i) <- Some (try Ok (f input.(i)) with e -> Error e)
+      done
+    in
+    let helpers = List.init (d - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers;
+    Array.to_list out
+    |> List.map (function
+         | Some (Ok y) -> y
+         | Some (Error e) -> raise e
+         | None -> assert false (* every index was claimed *))
+  end

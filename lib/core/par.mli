@@ -1,0 +1,16 @@
+(** A small work-stealing domain pool for the embarrassingly-parallel
+    outer loops (the LowDeg τ-sweep, the portfolio fan-out).
+
+    Inputs must be safe to process concurrently — in this codebase every
+    solver input (provenance, arena) is immutable, and each worker
+    allocates its own mutable state. *)
+
+(** [map ~domains f xs] — [List.map f xs], the applications distributed
+    over [domains] domains (the calling domain included). Result order
+    matches input order regardless of scheduling, so deterministic [f]
+    gives deterministic results. [domains] defaults to
+    [Domain.recommended_domain_count ()], is clamped to [1 .. length xs],
+    and [domains <= 1] degrades to a plain sequential map with no domain
+    spawned. The first exception raised by [f] is re-raised after all
+    workers finish. *)
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list

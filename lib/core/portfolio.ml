@@ -7,12 +7,16 @@ type entry = {
   elapsed_ms : float;
 }
 
+(* monotonic-enough wall clock: [Sys.time] is process CPU time, which
+   lies once solvers run on parallel domains (it sums across cores) *)
 let timed name f =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   match f () with
   | None -> None
   | Some (deletion, outcome) ->
-    Some { algorithm = name; deletion; outcome; elapsed_ms = (Sys.time () -. t0) *. 1000.0 }
+    Some
+      { algorithm = name; deletion; outcome;
+        elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000.0 }
 
 let solvers_for ?(exact_threshold = 16) (prov : Provenance.t) =
   let candidates = R.Stuple.Set.cardinal (Provenance.candidates prov) in
@@ -69,19 +73,10 @@ let run ?exact_threshold prov =
   |> List.filter_map (fun (name, f) -> timed name f)
   |> rank
 
-let run_parallel ?exact_threshold prov =
-  let wall name f =
-    let t0 = Unix.gettimeofday () in
-    match f () with
-    | None -> None
-    | Some (deletion, outcome) ->
-      Some
-        { algorithm = name; deletion; outcome;
-          elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000.0 }
-  in
+let run_parallel ?exact_threshold ?domains prov =
   solvers_for ?exact_threshold prov
-  |> List.map (fun (name, f) -> Domain.spawn (fun () -> wall name f))
-  |> List.filter_map Domain.join
+  |> Par.map ?domains (fun (name, f) -> timed name f)
+  |> List.filter_map Fun.id
   |> rank
 
 let best ?exact_threshold prov =

@@ -10,7 +10,8 @@ type entry = {
   algorithm : string;
   deletion : Relational.Stuple.Set.t;
   outcome : Side_effect.outcome;
-  elapsed_ms : float;   (** CPU time of this solver *)
+  elapsed_ms : float;   (** wall-clock time of this solver — truthful
+                            even when solvers run on parallel domains *)
 }
 
 (** All applicable solvers, feasible results only, cheapest first. Never
@@ -20,11 +21,11 @@ val run : ?exact_threshold:int -> Provenance.t -> entry list
 (** The winner of {!run}. *)
 val best : ?exact_threshold:int -> Provenance.t -> entry
 
-(** Like {!run}, but each solver executes in its own domain (OCaml 5
-    parallelism). The provenance index and all inputs are immutable, so
-    sharing is safe; wall-clock approaches the slowest solver plus domain
-    overhead — a win only when several solvers are individually expensive
-    (on small instances the spawn cost dominates; see the
-    [e21_pipeline/portfolio_*] benches). [elapsed_ms] is per-solver wall
-    time. *)
-val run_parallel : ?exact_threshold:int -> Provenance.t -> entry list
+(** Like {!run}, but the solver fan-out executes on a {!Par} domain pool
+    ([domains] defaults to [Domain.recommended_domain_count ()]). The
+    provenance index and all inputs are immutable, so sharing is safe;
+    wall-clock approaches the slowest solver plus domain overhead — a win
+    only when several solvers are individually expensive (on small
+    instances the spawn cost dominates; see the [e21_pipeline/portfolio_*]
+    benches). [elapsed_ms] is per-solver wall time. *)
+val run_parallel : ?exact_threshold:int -> ?domains:int -> Provenance.t -> entry list

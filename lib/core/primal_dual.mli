@@ -25,7 +25,10 @@ type result = {
 
 (** [reverse_delete] (default true) controls the pruning pass of lines
     7–10; disabling it is the ablation of experiment E15 — the solution
-    stays feasible but keeps every saturated tuple. *)
+    stays feasible but keeps every saturated tuple.
+
+    Runs on a freshly compiled {!Arena.t}; see {!solve_arena} to reuse
+    one arena across many calls. *)
 val solve : ?reverse_delete:bool -> Provenance.t -> result
 
 (** [solve_restricted prov ~deletable ~ignored_preserved] — the variant
@@ -34,6 +37,29 @@ val solve : ?reverse_delete:bool -> Provenance.t -> result
     (they are the pruned wide tuples [R'_>]). Returns [None] when some
     bad witness has no deletable tuple (infeasible sub-instance). *)
 val solve_restricted :
+  Provenance.t ->
+  deletable:Relational.Stuple.Set.t ->
+  ignored_preserved:Vtuple.Set.t ->
+  result option
+
+(** The kernel both entry points above compile to: Algorithm 1 over a
+    prebuilt arena, with the restriction expressed as bitsets over arena
+    ids. The LowDeg τ-sweep calls this once per threshold on a shared
+    arena. [None] iff some bad witness has no deletable tuple. *)
+val solve_arena :
+  ?reverse_delete:bool ->
+  Arena.t ->
+  deletable:Setcover.Bitset.t ->
+  ignored_preserved:Setcover.Bitset.t ->
+  result option
+
+(** The seed implementation over persistent sets (and its restricted
+    variant), kept for differential testing and the [arena] benchmark
+    group; result-for-result equal to the arena kernel. *)
+
+val solve_reference : ?reverse_delete:bool -> Provenance.t -> result
+
+val solve_restricted_reference :
   Provenance.t ->
   deletable:Relational.Stuple.Set.t ->
   ignored_preserved:Vtuple.Set.t ->

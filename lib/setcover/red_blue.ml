@@ -108,9 +108,188 @@ let solve_exact ?(node_budget = 5_000_000) t =
     Option.bind !best (solution_of t)
   end
 
+(* ---- packed views of the instance (built once per solve) ---- *)
+
+let blue_bitsets t =
+  Array.map
+    (fun s ->
+      let b = Bitset.create t.num_blue in
+      Iset.iter (Bitset.add b) s.blue;
+      b)
+    t.sets
+
+let red_bitsets t =
+  let nr = num_red t in
+  Array.map
+    (fun s ->
+      let b = Bitset.create nr in
+      Iset.iter (Bitset.add b) s.red;
+      b)
+    t.sets
+
 (* ---- greedy ratio heuristic ---- *)
 
 let solve_greedy t =
+  if not (coverable t) then None
+  else begin
+    let blue_bs = blue_bitsets t and red_bs = red_bitsets t in
+    let covered_blue = Bitset.create t.num_blue in
+    let covered_red = Bitset.create (num_red t) in
+    let covered_count = ref 0 in
+    let chosen = ref [] in
+    while !covered_count < t.num_blue do
+      let best = ref (-1) and best_score = ref neg_infinity in
+      for i = 0 to num_sets t - 1 do
+        let new_blue = Bitset.diff_cardinal blue_bs.(i) covered_blue in
+        if new_blue > 0 then begin
+          (* ascending fold, matching [red_weight] on the Iset path *)
+          let new_red = ref 0.0 in
+          Bitset.iter_diff
+            (fun r -> new_red := !new_red +. t.red_weights.(r))
+            red_bs.(i) covered_red;
+          let score = float_of_int new_blue /. (1e-9 +. !new_red) in
+          if score > !best_score then begin
+            best_score := score;
+            best := i
+          end
+        end
+      done;
+      let i = !best in
+      assert (i >= 0) (* coverable *);
+      covered_count := !covered_count + Bitset.diff_cardinal blue_bs.(i) covered_blue;
+      Bitset.union_into ~into:covered_blue blue_bs.(i);
+      Bitset.union_into ~into:covered_red red_bs.(i);
+      chosen := i :: !chosen
+    done;
+    solution_of t !chosen
+  end
+
+(* ---- Peleg's low-degree threshold sweep ---- *)
+
+(* max-heap of (gain, set index): largest gain first, smallest index on
+   ties — the same argmax the eager scan of the reference implementation
+   selects *)
+module Gain_heap = struct
+  type t = { mutable a : (int * int) array; mutable n : int }
+
+  let create () = { a = Array.make 16 (0, 0); n = 0 }
+
+  let better (g1, i1) (g2, i2) = g1 > g2 || (g1 = g2 && i1 < i2)
+
+  let push h x =
+    if h.n = Array.length h.a then begin
+      let a' = Array.make (2 * h.n) (0, 0) in
+      Array.blit h.a 0 a' 0 h.n;
+      h.a <- a'
+    end;
+    h.a.(h.n) <- x;
+    h.n <- h.n + 1;
+    let i = ref (h.n - 1) in
+    while !i > 0 && better h.a.(!i) h.a.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.n = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.n <- h.n - 1;
+      h.a.(0) <- h.a.(h.n);
+      let i = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let m = ref !i in
+        if l < h.n && better h.a.(l) h.a.(!m) then m := l;
+        if r < h.n && better h.a.(r) h.a.(!m) then m := r;
+        if !m = !i then continue_ := false
+        else begin
+          let tmp = h.a.(!m) in
+          h.a.(!m) <- h.a.(!i);
+          h.a.(!i) <- tmp;
+          i := !m
+        end
+      done;
+      Some top
+    end
+end
+
+let greedy_cover_by_count t blue_bs allowed =
+  (* lazy-decreasing-gain greedy set cover over the blue universe: stale
+     heap keys are upper bounds (gains only shrink as coverage grows), so
+     a popped set whose recomputed gain equals its key is the true argmax
+     — no per-step rescan of every set. Restricted to the [allowed] set
+     indices; None when not coverable. *)
+  let covered = Bitset.create t.num_blue in
+  let covered_count = ref 0 in
+  let chosen = ref [] in
+  let heap = Gain_heap.create () in
+  List.iter
+    (fun i ->
+      let g = Bitset.cardinal blue_bs.(i) in
+      if g > 0 then Gain_heap.push heap (g, i))
+    allowed;
+  let feasible = ref true in
+  let continue_ = ref (!covered_count < t.num_blue) in
+  while !continue_ do
+    match Gain_heap.pop heap with
+    | None ->
+      feasible := false;
+      continue_ := false
+    | Some (g, i) ->
+      let g' = Bitset.diff_cardinal blue_bs.(i) covered in
+      if g' = g then begin
+        covered_count := !covered_count + g';
+        Bitset.union_into ~into:covered blue_bs.(i);
+        chosen := i :: !chosen;
+        if !covered_count = t.num_blue then continue_ := false
+      end
+      else if g' > 0 then Gain_heap.push heap (g', i)
+  done;
+  if !feasible then Some !chosen else None
+
+let solve_lowdeg t =
+  if not (coverable t) then None
+  else begin
+    let blue_bs = blue_bitsets t in
+    let set_red_weight = Array.map (fun s -> red_weight t s.red) t.sets in
+    let thresholds = Array.to_list set_red_weight |> List.sort_uniq Float.compare in
+    let best = ref None in
+    List.iter
+      (fun tau ->
+        let allowed =
+          List.init (num_sets t) Fun.id
+          |> List.filter (fun i -> set_red_weight.(i) <= tau)
+        in
+        match greedy_cover_by_count t blue_bs allowed with
+        | None -> ()
+        | Some chosen -> (
+          match solution_of t chosen with
+          | None -> ()
+          | Some sol -> (
+            match !best with
+            | Some b when b.cost <= sol.cost -> ()
+            | _ -> best := Some sol)))
+      thresholds;
+    !best
+  end
+
+let solve_approx t =
+  match solve_greedy t, solve_lowdeg t with
+  | None, s | s, None -> s
+  | Some a, Some b -> Some (if a.cost <= b.cost then a else b)
+
+(* ---- reference (pre-arena) implementations ----
+
+   Kept verbatim for differential testing and the old-vs-new benchmark
+   group; the packed implementations above must match them selection for
+   selection. *)
+
+let greedy_reference t =
   if not (coverable t) then None
   else begin
     let covered_blue = ref Iset.empty in
@@ -140,9 +319,7 @@ let solve_greedy t =
     solution_of t !chosen
   end
 
-(* ---- Peleg's low-degree threshold sweep ---- *)
-
-let greedy_cover_by_count t allowed =
+let greedy_cover_by_count_reference t allowed =
   (* classic greedy set cover over the blue universe, restricted to the
      [allowed] set indices; returns None when not coverable *)
   let covered = ref Iset.empty in
@@ -172,7 +349,7 @@ let greedy_cover_by_count t allowed =
   done;
   if !feasible then Some !chosen else None
 
-let solve_lowdeg t =
+let lowdeg_reference t =
   if not (coverable t) then None
   else begin
     let set_red_weight i = red_weight t t.sets.(i).red in
@@ -187,7 +364,7 @@ let solve_lowdeg t =
           List.init (num_sets t) Fun.id
           |> List.filter (fun i -> set_red_weight i <= tau)
         in
-        match greedy_cover_by_count t allowed with
+        match greedy_cover_by_count_reference t allowed with
         | None -> ()
         | Some chosen -> (
           match solution_of t chosen with
@@ -200,8 +377,8 @@ let solve_lowdeg t =
     !best
   end
 
-let solve_approx t =
-  match solve_greedy t, solve_lowdeg t with
+let solve_approx_reference t =
+  match greedy_reference t, lowdeg_reference t with
   | None, s | s, None -> s
   | Some a, Some b -> Some (if a.cost <= b.cost then a else b)
 

@@ -52,16 +52,25 @@ val coverable : t -> bool
 val solve_exact : ?node_budget:int -> t -> solution option
 
 (** Greedy heuristic: repeatedly take the set maximizing
-    (newly covered blue) / (ε + weight of newly covered red). *)
+    (newly covered blue) / (ε + weight of newly covered red). The inner
+    loop runs on packed {!Bitset}s (word-parallel gain counting). *)
 val solve_greedy : t -> solution option
 
 (** Peleg's low-degree sweep (the engine behind LowDegTreeVSE, Alg. 2-3):
     for each threshold τ discard sets whose red weight exceeds τ, cover
     blue greedily by number of sets, keep the cheapest feasible outcome
-    over all τ. Ratio 2√(|C| log β) on unit weights. *)
+    over all τ. Ratio 2√(|C| log β) on unit weights. The per-τ cover is a
+    lazy-decreasing-gain greedy over {!Bitset}s: stale priority-queue
+    gains are upper bounds, so sets are rescored only when popped. *)
 val solve_lowdeg : t -> solution option
 
 (** Best of {!solve_greedy} and {!solve_lowdeg}. *)
 val solve_approx : t -> solution option
+
+(** The pre-bitset implementation of {!solve_approx} (eager per-step
+    rescans over persistent {!Iset}s), kept for differential testing and
+    the [arena] benchmark group. Selection-for-selection equal to
+    {!solve_approx}. *)
+val solve_approx_reference : t -> solution option
 
 val pp : Format.formatter -> t -> unit

@@ -21,4 +21,5 @@ let () =
       ("frontend", Test_frontend.suite);
       ("matrix", Test_matrix.suite);
       ("polish", Test_polish.suite);
+      ("arena", Test_arena.suite);
     ]

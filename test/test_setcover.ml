@@ -112,6 +112,82 @@ let prop_solution_of_consistent =
         in
         feq manual s.SC.Red_blue.cost)
 
+(* ---- Bitset (differential against Iset) ---- *)
+
+module B = SC.Bitset
+
+let test_bitset_basics () =
+  let b = B.create 100 in
+  Alcotest.(check bool) "fresh empty" true (B.is_empty b);
+  B.add b 0; B.add b 62; B.add b 63; B.add b 99;
+  Alcotest.(check int) "cardinal" 4 (B.cardinal b);
+  Alcotest.(check (list int)) "elements" [ 0; 62; 63; 99 ] (B.elements b);
+  B.remove b 63;
+  Alcotest.(check bool) "removed" false (B.mem b 63);
+  Alcotest.(check int) "cardinal after remove" 3 (B.cardinal b);
+  Alcotest.(check int) "full cardinal" 100 (B.cardinal (B.full 100));
+  Alcotest.(check bool) "out of range rejected" true
+    (try ignore (B.mem b 100); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "universe mismatch rejected" true
+    (try ignore (B.union b (B.create 99)); false with Invalid_argument _ -> true)
+
+(* random (universe, xs, ys) triples; lengths straddle the 63-bit word
+   boundary so the last-word masking is exercised *)
+let bitset_gen =
+  QCheck2.Gen.(
+    int_range 0 10_000 |> map (fun seed ->
+        let rng = Util.rng seed in
+        let len = Random.State.int rng 200 in
+        let pick () =
+          List.init (Random.State.int rng (2 * len + 1)) (fun _ ->
+              Random.State.int rng (max 1 len))
+        in
+        (len, (if len = 0 then [] else pick ()), if len = 0 then [] else pick ())))
+
+let prop_bitset_matches_iset =
+  qcheck ~count:200 "bitset: ops agree with Iset" bitset_gen (fun (len, xs, ys) ->
+      let bx = B.of_list ~len xs and by = B.of_list ~len ys in
+      let ix = iset xs and iy = iset ys in
+      let agrees b i = B.elements b = SC.Iset.elements i in
+      agrees bx ix
+      && agrees (B.union bx by) (SC.Iset.union ix iy)
+      && agrees (B.inter bx by) (SC.Iset.inter ix iy)
+      && agrees (B.diff bx by) (SC.Iset.diff ix iy)
+      && B.cardinal bx = SC.Iset.cardinal ix
+      && B.inter_cardinal bx by = SC.Iset.cardinal (SC.Iset.inter ix iy)
+      && B.diff_cardinal bx by = SC.Iset.cardinal (SC.Iset.diff ix iy)
+      && B.subset bx by = SC.Iset.subset ix iy
+      && B.disjoint bx by = SC.Iset.disjoint ix iy
+      && B.equal bx by = SC.Iset.equal ix iy
+      && B.is_empty bx = SC.Iset.is_empty ix
+      && List.for_all (B.mem bx) (SC.Iset.elements ix))
+
+let prop_bitset_iteration =
+  qcheck ~count:200 "bitset: iter/fold/iter_diff ascending" bitset_gen
+    (fun (len, xs, ys) ->
+      let bx = B.of_list ~len xs and by = B.of_list ~len ys in
+      let via_iter = ref [] in
+      B.iter (fun i -> via_iter := i :: !via_iter) bx;
+      let via_diff = ref [] in
+      B.iter_diff (fun i -> via_diff := i :: !via_diff) bx by;
+      List.rev !via_iter = B.elements bx
+      && List.rev !via_diff = B.elements (B.diff bx by)
+      && B.fold (fun i acc -> acc + i) bx 0
+         = List.fold_left ( + ) 0 (B.elements bx))
+
+let prop_bitset_into_ops =
+  qcheck ~count:200 "bitset: *_into match the pure ops" bitset_gen
+    (fun (len, xs, ys) ->
+      let bx = B.of_list ~len xs and by = B.of_list ~len ys in
+      let check_into into_op pure =
+        let t = B.copy bx in
+        into_op ~into:t by;
+        B.equal t (pure bx by)
+      in
+      check_into B.union_into B.union
+      && check_into B.inter_into B.inter
+      && check_into B.diff_into B.diff)
+
 (* ---- Pos-Neg ---- *)
 
 let pn_instance sets ~num_pos ~num_neg =
@@ -191,6 +267,10 @@ let suite =
     prop_approx_feasible_and_bounded;
     prop_lowdeg_ratio;
     prop_solution_of_consistent;
+    Alcotest.test_case "bitset: basics" `Quick test_bitset_basics;
+    prop_bitset_matches_iset;
+    prop_bitset_iteration;
+    prop_bitset_into_ops;
     Alcotest.test_case "pn: empty choice cost" `Quick test_pn_empty_choice;
     Alcotest.test_case "pn: exact tradeoff" `Quick test_pn_exact_tradeoff;
     Alcotest.test_case "pn: exact prefers covering" `Quick test_pn_exact_prefers_cover;
