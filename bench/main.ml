@@ -304,6 +304,85 @@ let bench_arena =
   in
   Test.make_grouped ~name:"arena" (scale_tests @ lowdeg_tests @ rbsc_tests)
 
+(* engine: 10-round deletion sessions, incremental index maintenance vs
+   rebuild-per-round, plus the index patch/rebuild micro pair. Both
+   session paths replay the identical round sequence (the request is a
+   pure function of the current views, and the differential tests prove
+   the two indexes bit-identical), so the timing difference is exactly
+   the maintenance strategy. BENCH_engine.json tracks this group. *)
+let bench_engine =
+  let rounds = 10 in
+  (* cheapest answer of the first nonempty view — deterministic and
+     state-derived, so both paths pick the same ΔV every round *)
+  let pick_request view_of queries =
+    List.find_map
+      (fun (q : Cq.Query.t) ->
+        let v = view_of q.Cq.Query.name in
+        if R.Tuple.Set.is_empty v then None
+        else Some (D.Delta_request.make ~view:q.Cq.Query.name [ R.Tuple.Set.min_elt v ]))
+      queries
+  in
+  let engine_session db queries () =
+    let eng = Engine.create ~algorithms:[ "primal-dual" ] ~domains:1 db queries in
+    for _round = 1 to rounds do
+      match pick_request (Engine.view eng) queries with
+      | None -> ()
+      | Some req -> (
+        match Engine.request eng [ req ] with
+        | Ok plan -> ignore (Engine.apply eng plan)
+        | Error _ -> assert false)
+    done;
+    Engine.close eng
+  in
+  let rebuild_session db queries () =
+    let db = ref db in
+    for _round = 1 to rounds do
+      let p = D.Problem.make ~db:!db ~queries ~deletions:[] () in
+      let pv = D.Provenance.build p in
+      let view_of name =
+        Option.value ~default:R.Tuple.Set.empty (D.Smap.find_opt name pv.D.Provenance.views)
+      in
+      match pick_request view_of queries with
+      | None -> ()
+      | Some req -> (
+        let pv' = D.Provenance.with_deletions pv [ req ] in
+        match D.Portfolio.solutions ~only:[ "primal-dual" ] (D.Arena.build pv') with
+        | best :: _ -> db := R.Instance.delete !db best.D.Solution.deleted
+        | [] -> ())
+    done
+  in
+  let session_tests =
+    List.concat_map
+      (fun scale ->
+        let p = forest ~scale 167 in
+        let db = p.D.Problem.db and queries = p.D.Problem.queries in
+        [
+          Test.make ~name:(Printf.sprintf "session%d_rebuild_scale_%d" rounds scale)
+            (Staged.stage (rebuild_session db queries));
+          Test.make ~name:(Printf.sprintf "session%d_incremental_scale_%d" rounds scale)
+            (Staged.stage (engine_session db queries));
+        ])
+      [ 20; 40; 80 ]
+  in
+  let micro_tests =
+    let p = forest ~scale:40 167 in
+    let base = D.Problem.make ~db:p.D.Problem.db ~queries:p.D.Problem.queries ~deletions:[] () in
+    let pv = D.Provenance.build base in
+    let arena = D.Arena.build pv in
+    let dd =
+      match R.Instance.stuples p.D.Problem.db with
+      | a :: b :: _ -> R.Stuple.Set.of_list [ a; b ]
+      | l -> R.Stuple.Set.of_list l
+    in
+    [
+      Test.make ~name:"index_rebuild_scale_40"
+        (Staged.stage (fun () -> D.Arena.build (D.Provenance.build base)));
+      Test.make ~name:"index_patch_scale_40"
+        (Staged.stage (fun () -> D.Arena.delete arena ~dd (D.Provenance.delete pv dd)));
+    ]
+  in
+  Test.make_grouped ~name:"engine" (session_tests @ micro_tests)
+
 (* E21 scaling stages + parallel portfolio + SQL front end *)
 let bench_e21 =
   let biblio =
@@ -364,7 +443,8 @@ let all_tests =
   [
     bench_e1; bench_e2; bench_e3; bench_e5; bench_e6; bench_e7; bench_e8; bench_e9;
     bench_e10; bench_e11; bench_e12; bench_e14; bench_e15; bench_e16; bench_e17;
-    bench_e18; bench_arena; bench_e21; bench_containment; bench_phase5; bench_substrate;
+    bench_e18; bench_arena; bench_engine; bench_e21; bench_containment; bench_phase5;
+    bench_substrate;
   ]
 
 (* ---- CLI: main.exe [--json FILE] [--dry-run] [group ...] ---- *)

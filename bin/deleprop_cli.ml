@@ -377,6 +377,125 @@ let diagnose db_path q_path deletion_specs =
     Ok ()
   | None -> Error "infeasible"
 
+(* ---- batch: replay a scripted session on the incremental engine ---- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let pp_request ppf (r : D.Delta_request.t) = D.Delta_request.pp ppf r
+
+let request_strings (reqs : D.Delta_request.t list) =
+  List.concat_map
+    (fun (r : D.Delta_request.t) ->
+      List.map
+        (fun t -> Format.asprintf "%s%a" r.D.Delta_request.view R.Tuple.pp t)
+        r.D.Delta_request.tuples)
+    reqs
+
+let batch_round_json (r : Engine.Script.round) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "{\"round\":%d," r.Engine.Script.number);
+  (match r.Engine.Script.op with
+  | Engine.Script.Solve reqs ->
+    Buffer.add_string b "\"op\":\"solve\",\"requests\":[";
+    List.iteri
+      (fun i s ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "\"%s\"" (json_escape s)))
+      (request_strings reqs);
+    Buffer.add_string b "],\"solutions\":[";
+    let solutions =
+      match r.Engine.Script.plan with Some p -> p.Engine.solutions | None -> []
+    in
+    List.iteri
+      (fun i s ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (D.Solution.to_json s))
+      solutions;
+    Buffer.add_string b "],\"applied\":";
+    (match solutions with
+    | s :: _ -> Buffer.add_string b (Printf.sprintf "\"%s\"" (json_escape s.D.Solution.algorithm))
+    | [] -> Buffer.add_string b "null")
+  | Engine.Script.Insert st ->
+    Buffer.add_string b
+      (Printf.sprintf "\"op\":\"insert\",\"fact\":\"%s\""
+         (json_escape (Format.asprintf "%a" R.Stuple.pp st)))
+  | Engine.Script.Delete st ->
+    Buffer.add_string b
+      (Printf.sprintf "\"op\":\"delete\",\"fact\":\"%s\""
+         (json_escape (Format.asprintf "%a" R.Stuple.pp st))));
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let batch_stats_json (s : Engine.stats) =
+  Printf.sprintf
+    "{\"rounds\":%d,\"applies\":%d,\"tuples_deleted\":%d,\"tuples_inserted\":%d,\"patches\":%d,\"rebuilds\":%d,\"cache_hits\":%d,\"last_solve_ms\":%.3f,\"total_solve_ms\":%.3f}"
+    s.Engine.rounds s.Engine.applies s.Engine.tuples_deleted s.Engine.tuples_inserted
+    s.Engine.patches s.Engine.rebuilds s.Engine.cache_hits s.Engine.last_solve_ms
+    s.Engine.total_solve_ms
+
+let batch_report_round (r : Engine.Script.round) =
+  match r.Engine.Script.op with
+  | Engine.Script.Solve reqs -> (
+    Format.printf "round %d: solve %a@." r.Engine.Script.number
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_request)
+      reqs;
+    let solutions =
+      match r.Engine.Script.plan with Some p -> p.Engine.solutions | None -> []
+    in
+    match solutions with
+    | [] -> Format.printf "  no feasible solution@."
+    | best :: rest ->
+      Format.printf "  applied %a@." D.Solution.pp best;
+      List.iter
+        (fun (s : D.Solution.t) ->
+          Format.printf "  also: %s cost %g (%a, %.2f ms)@." s.D.Solution.algorithm
+            (D.Solution.cost s) D.Solution.pp_certificate s.D.Solution.certificate
+            s.D.Solution.elapsed_ms)
+        rest)
+  | Engine.Script.Insert st ->
+    Format.printf "round %d: insert %a@." r.Engine.Script.number R.Stuple.pp st
+  | Engine.Script.Delete st ->
+    Format.printf "round %d: delete %a@." r.Engine.Script.number R.Stuple.pp st
+
+let batch db_path q_path rounds_path algos exact_threshold domains json =
+  let* db = load_db db_path in
+  let* queries = load_queries ~schema:(R.Instance.schema db) q_path in
+  let* ops = Engine.Script.parse_file rounds_path in
+  let algorithms = match algos with [] -> None | l -> Some l in
+  let* eng =
+    try Ok (Engine.create ?algorithms ?exact_threshold ?domains db queries)
+    with Invalid_argument m -> Error m
+  in
+  Fun.protect
+    ~finally:(fun () -> Engine.close eng)
+    (fun () ->
+      let* rounds = Engine.Script.replay eng ops in
+      if json then begin
+        print_string "{\"rounds\":[";
+        List.iteri
+          (fun i r ->
+            if i > 0 then print_char ',';
+            print_string (batch_round_json r))
+          rounds;
+        Printf.printf "],\"stats\":%s}\n" (batch_stats_json (Engine.stats eng))
+      end
+      else begin
+        List.iter batch_report_round rounds;
+        Format.printf "session stats:@.%a@." Engine.pp_stats (Engine.stats eng)
+      end;
+      Ok ())
+
 (* ---- cmdliner wiring ---- *)
 
 open Cmdliner
@@ -476,6 +595,34 @@ let source_cmd =
        ~doc:"Propagate with the source side-effect objective (fewest deleted tuples)")
     Term.(ret (const (fun d q x e -> handle (source d q x e)) $ db_arg $ q_arg $ deletions $ exact))
 
+let batch_cmd =
+  let rounds =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"ROUNDS"
+           ~doc:"Round script: 'solve FACT[; FACT...]' | 'insert FACT' | 'delete FACT', one per line.")
+  in
+  let algos =
+    Arg.(value & opt_all string [] & info [ "a"; "algo" ] ~docv:"ALGO"
+           ~doc:"Restrict the portfolio to this algorithm (repeatable): brute | primal-dual | lowdeg | dp-tree | general | greedy.")
+  in
+  let exact_threshold =
+    Arg.(value & opt (some int) None & info [ "exact-threshold" ] ~docv:"N"
+           ~doc:"Run brute force when at most N candidate tuples (default 16).")
+  in
+  let domains =
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
+           ~doc:"Size of the session's domain pool (default: all cores; 1 = sequential).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the session as one JSON object.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Replay a scripted deletion session on the incremental engine")
+    Term.(
+      ret
+        (const (fun d q r a e dm j -> handle (batch d q r a e dm j))
+        $ db_arg $ q_arg $ rounds $ algos $ exact_threshold $ domains $ json))
+
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
@@ -496,4 +643,5 @@ let () =
   exit
     (Cmd.eval ~argv:args
        (Cmd.group info
-          [ classify_cmd; views_cmd; solve_cmd; source_cmd; insert_cmd; diagnose_cmd; run_cmd ]))
+          [ classify_cmd; views_cmd; solve_cmd; source_cmd; insert_cmd; diagnose_cmd;
+            run_cmd; batch_cmd ]))

@@ -200,6 +200,95 @@ let to_stuple_set t sids =
   List.fold_left (fun acc sid -> R.Stuple.Set.add t.stuples.(sid) acc)
     R.Stuple.Set.empty sids
 
+(* ---- incremental maintenance ----
+
+   Mirrors the ΔV-independent / ΔV-dependent split of the provenance
+   index. Ids are assigned in sorted-tuple order, so deleting tuples and
+   compacting the arrays order-preservingly lands every survivor exactly
+   where a fresh [build] of the patched provenance would put it — the
+   differential property suite checks both paths field by field. *)
+
+let with_deletions (a : t) (prov : Provenance.t) =
+  let nv = num_vtuples a in
+  let bad = Bitset.create nv in
+  Vtuple.Set.iter (fun vt -> Bitset.add bad (vtuple_id a vt)) prov.Provenance.bad;
+  let preserved = Bitset.diff (Bitset.full nv) bad in
+  let forest_case, order =
+    processing_order prov ~witness:a.witness ~stuples:a.stuples ~bad
+  in
+  { a with prov; bad; preserved; bad_order = Array.of_list order; forest_case }
+
+let delete (a : t) ~dd (prov : Provenance.t) =
+  let ns = num_stuples a and nv = num_vtuples a in
+  let dead_s = Bitset.create ns in
+  R.Stuple.Set.iter (fun st -> Bitset.add dead_s (stuple_id a st)) dd;
+  (* a view tuple dies iff its witness meets [dd] — and conversely a
+     surviving view tuple's witness contains no dead sid, so remapping
+     its row below never hits a dead id *)
+  let dead_v = Bitset.create nv in
+  Bitset.iter (fun sid -> Array.iter (Bitset.add dead_v) a.containing.(sid)) dead_s;
+  let smap = Array.make ns (-1) in
+  let k = ref 0 in
+  for sid = 0 to ns - 1 do
+    if not (Bitset.mem dead_s sid) then begin
+      smap.(sid) <- !k;
+      incr k
+    end
+  done;
+  let ns' = !k in
+  let vmap = Array.make nv (-1) in
+  let k = ref 0 in
+  for vid = 0 to nv - 1 do
+    if not (Bitset.mem dead_v vid) then begin
+      vmap.(vid) <- !k;
+      incr k
+    end
+  done;
+  let nv' = !k in
+  let stuples = Array.make ns' (R.Stuple.make "" (R.Tuple.of_list [])) in
+  for sid = 0 to ns - 1 do
+    if smap.(sid) >= 0 then stuples.(smap.(sid)) <- a.stuples.(sid)
+  done;
+  let vtuples = Array.make nv' (Vtuple.make "" (R.Tuple.of_list [])) in
+  let witness = Array.make nv' [||] in
+  let weights = Array.make nv' 0.0 in
+  let bad = Bitset.create nv' in
+  for vid = 0 to nv - 1 do
+    let nvid = vmap.(vid) in
+    if nvid >= 0 then begin
+      vtuples.(nvid) <- a.vtuples.(vid);
+      witness.(nvid) <- Array.map (fun sid -> smap.(sid)) a.witness.(vid);
+      weights.(nvid) <- a.weights.(vid);
+      if Bitset.mem a.bad vid then Bitset.add bad nvid
+    end
+  done;
+  let preserved = Bitset.diff (Bitset.full nv') bad in
+  let deg = Array.make ns' 0 in
+  Array.iter (Array.iter (fun sid -> deg.(sid) <- deg.(sid) + 1)) witness;
+  let containing = Array.init ns' (fun sid -> Array.make deg.(sid) 0) in
+  let fill = Array.make ns' 0 in
+  Array.iteri
+    (fun vid w ->
+      Array.iter
+        (fun sid ->
+          containing.(sid).(fill.(sid)) <- vid;
+          fill.(sid) <- fill.(sid) + 1)
+        w)
+    witness;
+  let forest_case, order = processing_order prov ~witness ~stuples ~bad in
+  {
+    prov;
+    stuples;
+    vtuples;
+    witness;
+    containing;
+    bad;
+    preserved;
+    weights;
+    bad_order = Array.of_list order;
+    forest_case;
+  }
+
 let preserved_degree t sid =
   let d = ref 0 in
   Array.iter (fun vid -> if Bitset.mem t.preserved vid then incr d) t.containing.(sid);

@@ -34,6 +34,20 @@ type t = private {
     plus the sorted traversals of the witness/containing maps. *)
 val build : Provenance.t -> t
 
+(** [with_deletions a prov] — the arena re-stamped for
+    [prov = Provenance.with_deletions a.prov reqs]: bad/preserved
+    bitsets and the processing order recomputed, every array shared.
+    Equals [build prov] without the interning pass. *)
+val with_deletions : t -> Provenance.t -> t
+
+(** [delete a ~dd prov] — the arena after committing the source deletion
+    [dd], where [prov = Provenance.delete a.prov dd]: dead source and
+    view ids drop out, survivors compact order-preservingly (id order is
+    sorted-tuple order, which deletion preserves), witness rows remap and
+    containing re-inverts. Equals [build prov] with no tuple comparisons
+    or hashing. [dd] must be tuples of the arena's database. *)
+val delete : t -> dd:R.Stuple.Set.t -> Provenance.t -> t
+
 val num_stuples : t -> int
 val num_vtuples : t -> int
 

@@ -1,0 +1,49 @@
+module R = Relational
+
+type t = {
+  view : string;
+  tuples : R.Tuple.t list;
+}
+
+type error =
+  | Unknown_view of { view : string; known : string list }
+  | Not_in_view of { view : string; tuple : R.Tuple.t }
+
+let make ~view tuples = { view; tuples }
+
+let of_legacy l = List.map (fun (view, tuples) -> { view; tuples }) l
+let to_legacy rs = List.map (fun r -> (r.view, r.tuples)) rs
+
+let validate ~views rs =
+  let rec go = function
+    | [] -> Ok ()
+    | r :: tl -> (
+      match Smap.find_opt r.view views with
+      | None ->
+        Error (Unknown_view { view = r.view; known = List.map fst (Smap.bindings views) })
+      | Some v ->
+        let rec check = function
+          | [] -> go tl
+          | t :: ts ->
+            if R.Tuple.Set.mem t v then check ts
+            else Error (Not_in_view { view = r.view; tuple = t })
+        in
+        check r.tuples)
+  in
+  go rs
+
+let pp ppf r =
+  Format.fprintf ppf "@[<h>%s: %a@]" r.view
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") R.Tuple.pp)
+    r.tuples
+
+let pp_error ppf = function
+  | Unknown_view { view; known } ->
+    Format.fprintf ppf "unknown view %s (known: %a)" view
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         Format.pp_print_string)
+      known
+  | Not_in_view { view; tuple } ->
+    Format.fprintf ppf "tuple %a is not in view %s" R.Tuple.pp tuple view
+
+let error_to_string e = Format.asprintf "%a" pp_error e

@@ -1,0 +1,33 @@
+(** A typed deletion intent: "remove these tuples from this view".
+
+    Replaces the stringly [(string * Tuple.t list) list] that used to
+    flow between {!Matview}, the solvers and the CLI — requests are
+    validated against the registered views up front, with a real error
+    type instead of [Invalid_argument] deep inside [Problem.make]. *)
+
+type t = {
+  view : string;                       (** a registered query name *)
+  tuples : Relational.Tuple.t list;    (** answer tuples to remove from it *)
+}
+
+type error =
+  | Unknown_view of { view : string; known : string list }
+  | Not_in_view of { view : string; tuple : Relational.Tuple.t }
+
+val make : view:string -> Relational.Tuple.t list -> t
+
+(** Bridges to the legacy association-list shape (still accepted by
+    [Problem.make]). *)
+
+val of_legacy : (string * Relational.Tuple.t list) list -> t list
+val to_legacy : t list -> (string * Relational.Tuple.t list) list
+
+(** [validate ~views rs] — first error in request order, if any: every
+    request must name a view in [views] and every tuple must be a current
+    answer of it. *)
+val validate :
+  views:Relational.Tuple.Set.t Smap.t -> t list -> (unit, error) result
+
+val pp : Format.formatter -> t -> unit
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string

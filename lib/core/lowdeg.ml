@@ -73,10 +73,9 @@ let best_of results =
         | _ -> Some r))
     None results
 
-let solve ?(prune_wide = true) ?(domains = 1) (prov : Provenance.t) =
-  if Vtuple.Set.is_empty prov.Provenance.bad then trivial_result prov
+let solve_arena ?(prune_wide = true) ?(domains = 1) ?pool (a : Arena.t) =
+  if Bitset.is_empty a.Arena.bad then trivial_result a.Arena.prov
   else begin
-    let a = Arena.build prov in
     (* sweeping the distinct preserved-degrees of the candidate tuples is
        equivalent to sweeping 1..|R| *)
     let taus =
@@ -87,9 +86,9 @@ let solve ?(prune_wide = true) ?(domains = 1) (prov : Provenance.t) =
     in
     (* each threshold is an independent restricted run over the shared
        (immutable) arena; [Par.map] keeps result order, so the fold below
-       is deterministic whatever the domain count *)
+       is deterministic whatever the domain count or pool *)
     let results =
-      Par.map ~domains (fun tau -> solve_with_tau_arena ~prune_wide a ~tau) taus
+      Par.map ~domains ?pool (fun tau -> solve_with_tau_arena ~prune_wide a ~tau) taus
     in
     match best_of results with
     | Some r -> r
@@ -97,6 +96,10 @@ let solve ?(prune_wide = true) ?(domains = 1) (prov : Provenance.t) =
       (* cannot happen: the max preserved-degree bars no candidate *)
       assert false
   end
+
+let solve ?prune_wide ?domains ?pool (prov : Provenance.t) =
+  if Vtuple.Set.is_empty prov.Provenance.bad then trivial_result prov
+  else solve_arena ?prune_wide ?domains ?pool (Arena.build prov)
 
 (* ---- reference (pre-arena) implementation ---- *)
 

@@ -37,9 +37,14 @@ val solve_with_tau_arena : ?prune_wide:bool -> Arena.t -> tau:int -> result opti
     cheapest feasible solution. Total sweep is never infeasible (the
     largest τ bars nothing). The arena is built once and shared by all
     thresholds; [domains] (default 1 = sequential) distributes the
-    independent per-τ runs over an OCaml 5 domain pool — results are
-    identical whatever the count. *)
-val solve : ?prune_wide:bool -> ?domains:int -> Provenance.t -> result
+    independent per-τ runs over fresh OCaml 5 domains, while [pool]
+    (which wins when given) runs them on a persistent {!Par.Pool.t}
+    instead — results are identical whatever the strategy. *)
+val solve : ?prune_wide:bool -> ?domains:int -> ?pool:Par.Pool.t -> Provenance.t -> result
+
+(** Algorithm 3 over a prebuilt arena — what a session solving many
+    rounds against one compiled index calls. *)
+val solve_arena : ?prune_wide:bool -> ?domains:int -> ?pool:Par.Pool.t -> Arena.t -> result
 
 (** The seed implementation (per-τ set-based restriction over the seed
     primal-dual), kept for differential testing and the [arena]

@@ -70,6 +70,17 @@ let insert t st =
 
 let insert_all t sts = R.Stuple.Set.fold (fun st acc -> insert acc st) sts t
 
-let problem ~deletions ?weights t =
+let of_views db queries views = { db; queries; views }
+
+let problem ~requests ?weights t =
+  match Delta_request.validate ~views:t.views requests with
+  | Error _ as e -> e
+  | Ok () ->
+    Ok
+      (Problem.make ~db:t.db ~queries:t.queries
+         ~deletions:(Delta_request.to_legacy requests)
+         ?weights ~allow_non_key_preserving:true ())
+
+let problem_legacy ~deletions ?weights t =
   Problem.make ~db:t.db ~queries:t.queries ~deletions ?weights
     ~allow_non_key_preserving:true ()

@@ -29,9 +29,30 @@ val insert : t -> Relational.Stuple.t -> t
 
 val insert_all : t -> Relational.Stuple.Set.t -> t
 
+(** Adopt already-materialized views without re-evaluating the queries —
+    the caller asserts [views] = each query evaluated on [db] (e.g. the
+    engine, which just built a provenance index holding exactly those
+    views). No validation happens here; use {!create} otherwise. *)
+val of_views :
+  Relational.Instance.t ->
+  Cq.Query.t list ->
+  Relational.Tuple.Set.t Smap.t ->
+  t
+
 (** Build a {!Problem.t} over the current state (the bridge to the
-    solvers). *)
+    solvers). Requests are validated against the materialized views
+    first, so bad input surfaces as a typed {!Delta_request.error}
+    instead of an [Invalid_argument] from deep inside [Problem.make]. *)
 val problem :
+  requests:Delta_request.t list ->
+  ?weights:Weights.t ->
+  t ->
+  (Problem.t, Delta_request.error) result
+
+(** Deprecated dialect of {!problem} on the stringly association list;
+    raises [Invalid_argument] on bad deletions. New code wants
+    {!problem}. *)
+val problem_legacy :
   deletions:(string * Relational.Tuple.t list) list ->
   ?weights:Weights.t ->
   t ->

@@ -1,9 +1,43 @@
-(** A small work-stealing domain pool for the embarrassingly-parallel
+(** Work-stealing domain parallelism for the embarrassingly-parallel
     outer loops (the LowDeg τ-sweep, the portfolio fan-out).
 
     Inputs must be safe to process concurrently — in this codebase every
     solver input (provenance, arena) is immutable, and each worker
-    allocates its own mutable state. *)
+    allocates its own mutable state.
+
+    Two execution strategies share one calling convention:
+    {!map} without a pool spawns fresh domains per call (fine for one-off
+    sweeps); a {!Pool.t} keeps its domains parked between calls, so a
+    long-lived session (the engine) pays the spawn cost once. *)
+
+(** A persistent pool of [size - 1] worker domains (the calling domain is
+    always the [size]-th worker). Workers idle on a condition variable
+    between jobs; {!Pool.map} publishes a job, participates in the drain,
+    and returns when every item is done. One job runs at a time —
+    concurrent callers serialize, and a {!Pool.map} from inside a worker
+    (nested parallelism) degrades to a sequential map rather than
+    deadlocking. *)
+module Pool : sig
+  type t
+
+  (** [create ?domains ()] — [domains] (default
+      [Domain.recommended_domain_count ()]) is the total worker count
+      including the caller; [domains <= 1] creates a pool that never
+      spawns and maps sequentially. *)
+  val create : ?domains:int -> unit -> t
+
+  val size : t -> int
+
+  (** Same contract as {!Par.map}: order-preserving, first exception
+      re-raised after the job drains. After {!shutdown} (or from inside a
+      pool worker) this is a plain sequential [List.map]. *)
+  val map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+  (** Park and join the worker domains. Idempotent. A pool whose owner
+      forgets to call this leaks idle domains until process exit but
+      does not block it. *)
+  val shutdown : t -> unit
+end
 
 (** [map ~domains f xs] — [List.map f xs], the applications distributed
     over [domains] domains (the calling domain included). Result order
@@ -12,5 +46,8 @@
     [Domain.recommended_domain_count ()], is clamped to [1 .. length xs],
     and [domains <= 1] degrades to a plain sequential map with no domain
     spawned. The first exception raised by [f] is re-raised after all
-    workers finish. *)
-val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+    workers finish.
+
+    When [pool] is given it wins over [domains]: the job runs on the
+    pool's parked workers with no domain spawned. *)
+val map : ?domains:int -> ?pool:Pool.t -> ('a -> 'b) -> 'a list -> 'b list

@@ -1,4 +1,5 @@
 module R = Relational
+module Bitset = Setcover.Bitset
 
 type entry = {
   algorithm : string;
@@ -13,13 +14,14 @@ let timed name f =
   let t0 = Unix.gettimeofday () in
   match f () with
   | None -> None
-  | Some (deletion, outcome) ->
+  | Some (deleted, outcome, certificate) ->
     Some
-      { algorithm = name; deletion; outcome;
+      { Solution.algorithm = name; deleted; outcome; certificate;
         elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000.0 }
 
-let solvers_for ?(exact_threshold = 16) (prov : Provenance.t) =
-  let candidates = R.Stuple.Set.cardinal (Provenance.candidates prov) in
+let solvers_for ?(exact_threshold = 16) (a : Arena.t) =
+  let prov = a.Arena.prov in
+  let candidates = Array.length (Arena.candidate_ids a) in
   let solvers =
     [
       (if candidates <= exact_threshold then
@@ -27,57 +29,91 @@ let solvers_for ?(exact_threshold = 16) (prov : Provenance.t) =
            ( "brute",
              fun () ->
                Brute.solve prov
-               |> Option.map (fun (r : Brute.result) -> (r.Brute.deletion, r.Brute.outcome)) )
+               |> Option.map (fun (r : Brute.result) ->
+                      (r.Brute.deletion, r.Brute.outcome, Solution.Exact)) )
        else None);
       Some
         ( "primal-dual",
           fun () ->
-            let r = Primal_dual.solve prov in
-            Some (r.Primal_dual.deletion, r.Primal_dual.outcome) );
+            (* [Primal_dual.solve] minus the arena compile: full deletable
+               set, nothing ignored *)
+            match
+              Primal_dual.solve_arena a
+                ~deletable:(Bitset.full (Arena.num_stuples a))
+                ~ignored_preserved:(Bitset.create (Arena.num_vtuples a))
+            with
+            | None -> None
+            | Some r ->
+              Some
+                ( r.Primal_dual.deletion, r.Primal_dual.outcome,
+                  Solution.Dual_bound r.Primal_dual.dual_value ) );
       Some
         ( "lowdeg",
           fun () ->
-            let r = Lowdeg.solve prov in
-            Some (r.Lowdeg.deletion, r.Lowdeg.outcome) );
+            let r = Lowdeg.solve_arena a in
+            (* Theorem 4's ratio 2√‖V‖, off the arena (no re-evaluation) *)
+            Some
+              ( r.Lowdeg.deletion, r.Lowdeg.outcome,
+                Solution.Ratio (2.0 *. sqrt (float_of_int (Arena.num_vtuples a))) ) );
       Some
         ( "dp-tree",
           fun () ->
             match Dp_tree.solve prov with
-            | Ok r -> Some (r.Dp_tree.deletion, r.Dp_tree.outcome)
+            | Ok r -> Some (r.Dp_tree.deletion, r.Dp_tree.outcome, Solution.Exact)
             | Error _ -> None );
       Some
         ( "general",
           fun () ->
             General_approx.solve prov
             |> Option.map (fun (r : General_approx.result) ->
-                   (r.General_approx.deletion, r.General_approx.outcome)) );
+                   ( r.General_approx.deletion, r.General_approx.outcome,
+                     Solution.Ratio r.General_approx.claimed_bound )) );
       Some
         ( "greedy",
           fun () ->
             let r = Single_query.solve_greedy_multi prov in
-            Some (r.Single_query.deletion, r.Single_query.outcome) );
+            Some (r.Single_query.deletion, r.Single_query.outcome, Solution.Heuristic) );
     ]
     |> List.filter_map Fun.id
   in
   solvers
 
-let rank entries =
-  entries
-  |> List.filter (fun e -> e.outcome.Side_effect.feasible)
-  |> List.sort (fun a b ->
-         let c = Float.compare a.outcome.Side_effect.cost b.outcome.Side_effect.cost in
-         if c <> 0 then c else Float.compare a.elapsed_ms b.elapsed_ms)
+let solutions ?exact_threshold ?only ?domains ?pool (a : Arena.t) =
+  let solvers = solvers_for ?exact_threshold a in
+  let solvers =
+    match only with
+    | None -> solvers
+    | Some names -> List.filter (fun (name, _) -> List.mem name names) solvers
+  in
+  (match (domains, pool) with
+  | None, None -> List.filter_map (fun (name, f) -> timed name f) solvers
+  | _ ->
+    Par.map ?domains ?pool (fun (name, f) -> timed name f) solvers
+    |> List.filter_map Fun.id)
+  |> Solution.rank
+
+(* ---- legacy entry points (pre-[Solution.t] dialect) ---- *)
+
+let entry_of_solution (s : Solution.t) =
+  {
+    algorithm = s.Solution.algorithm;
+    deletion = s.Solution.deleted;
+    outcome = s.Solution.outcome;
+    elapsed_ms = s.Solution.elapsed_ms;
+  }
 
 let run ?exact_threshold prov =
-  solvers_for ?exact_threshold prov
-  |> List.filter_map (fun (name, f) -> timed name f)
-  |> rank
+  solutions ?exact_threshold (Arena.build prov) |> List.map entry_of_solution
 
-let run_parallel ?exact_threshold ?domains prov =
-  solvers_for ?exact_threshold prov
-  |> Par.map ?domains (fun (name, f) -> timed name f)
-  |> List.filter_map Fun.id
-  |> rank
+let run_parallel ?exact_threshold ?domains ?pool prov =
+  let domains =
+    (* historical default: fan out even with neither knob given *)
+    match (domains, pool) with
+    | None, None -> Some (Domain.recommended_domain_count ())
+    | _ -> domains
+  in
+  solutions ?exact_threshold ?domains ?pool (Arena.build prov)
+  |> List.map entry_of_solution
 
 let best ?exact_threshold prov =
   match run ?exact_threshold prov with

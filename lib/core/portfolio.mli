@@ -6,6 +6,24 @@
     [Brute] participates only when the candidate set is small
     ([exact_threshold], default 16 candidates). *)
 
+(** All applicable solvers over a prebuilt arena, as ranked
+    {!Solution.t}s (feasible only, cheapest first, each carrying its
+    guarantee certificate). Never empty for well-formed instances
+    (primal-dual always applies). [only] keeps just the named algorithms
+    (["brute"], ["primal-dual"], ["lowdeg"], ["dp-tree"], ["general"],
+    ["greedy"]); with neither [domains] nor [pool] the fan-out is
+    sequential, [pool] runs it on a persistent {!Par.Pool.t} (the
+    engine's mode), [domains] spawns per call. *)
+val solutions :
+  ?exact_threshold:int ->
+  ?only:string list ->
+  ?domains:int ->
+  ?pool:Par.Pool.t ->
+  Arena.t ->
+  Solution.t list
+
+(** The pre-{!Solution.t} result dialect, kept so existing callers
+    compile unchanged. New code wants {!solutions}. *)
 type entry = {
   algorithm : string;
   deletion : Relational.Stuple.Set.t;
@@ -14,18 +32,23 @@ type entry = {
                             even when solvers run on parallel domains *)
 }
 
-(** All applicable solvers, feasible results only, cheapest first. Never
-    empty for well-formed instances (primal-dual always applies). *)
+val entry_of_solution : Solution.t -> entry
+
+(** Deprecated dialect of {!solutions}: compiles a fresh arena and
+    down-converts. Ranking ties on cost now keep solver order (no longer
+    broken by [elapsed_ms]), making the order deterministic. *)
 val run : ?exact_threshold:int -> Provenance.t -> entry list
 
 (** The winner of {!run}. *)
 val best : ?exact_threshold:int -> Provenance.t -> entry
 
-(** Like {!run}, but the solver fan-out executes on a {!Par} domain pool
-    ([domains] defaults to [Domain.recommended_domain_count ()]). The
-    provenance index and all inputs are immutable, so sharing is safe;
-    wall-clock approaches the slowest solver plus domain overhead — a win
-    only when several solvers are individually expensive (on small
-    instances the spawn cost dominates; see the [e21_pipeline/portfolio_*]
-    benches). [elapsed_ms] is per-solver wall time. *)
-val run_parallel : ?exact_threshold:int -> ?domains:int -> Provenance.t -> entry list
+(** Like {!run}, but the solver fan-out executes in parallel — on fresh
+    domains ([domains] defaults to [Domain.recommended_domain_count ()])
+    or on [pool] when given. The provenance index and all inputs are
+    immutable, so sharing is safe; wall-clock approaches the slowest
+    solver plus domain overhead — a win only when several solvers are
+    individually expensive (on small instances the spawn cost dominates;
+    see the [e21_pipeline/portfolio_*] benches). [elapsed_ms] is
+    per-solver wall time. *)
+val run_parallel :
+  ?exact_threshold:int -> ?domains:int -> ?pool:Par.Pool.t -> Provenance.t -> entry list

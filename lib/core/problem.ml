@@ -54,6 +54,8 @@ let make ~db ~queries ~deletions ?(weights = Weights.uniform) ?(fds = [])
   in
   { db; queries; deletions; weights; fds }
 
+let patch ~db ~deletions t = { t with db; deletions }
+
 let query t name =
   match find_query t.queries name with
   | Some q -> q

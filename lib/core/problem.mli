@@ -33,6 +33,17 @@ val make :
   unit ->
   t
 
+(** [patch ~db ~deletions t] — replace the database and the deletion map
+    {e without} re-running any validation (no re-evaluation of the views,
+    no FD or membership checks). Trusted constructor for incremental
+    maintainers ({!Provenance.delete}, the engine) whose invariants
+    already guarantee well-formedness; anyone else wants {!make}. *)
+val patch :
+  db:Relational.Instance.t ->
+  deletions:Relational.Tuple.Set.t Smap.t ->
+  t ->
+  t
+
 val query : t -> string -> Cq.Query.t
 
 (** The materialized view [Q_i(D)] (computed, not cached — use

@@ -109,6 +109,101 @@ let preserved_weight_through t st =
     (fun vt acc -> if Vtuple.Set.mem vt t.preserved then acc +. Weights.get w vt else acc)
     (vtuples_containing t st) 0.0
 
+(* ---- incremental maintenance ----
+
+   The index splits cleanly along the ΔV axis: [views], [witness],
+   [witness_path] and [containing] depend only on (D, Q), while [bad],
+   [preserved] and [problem.deletions] depend on ΔV. Re-targeting the
+   deletions therefore reuses every map; deleting source tuples shrinks
+   the maps by exactly the killed rows. Both constructions are checked
+   bit-identical to [build] on the patched problem by the engine's
+   differential property suite. *)
+
+let with_deletions t (reqs : Delta_request.t list) =
+  let deletions =
+    List.fold_left
+      (fun acc (r : Delta_request.t) ->
+        let prev =
+          Option.value ~default:R.Tuple.Set.empty (Smap.find_opt r.Delta_request.view acc)
+        in
+        Smap.add r.Delta_request.view
+          (R.Tuple.Set.union prev (R.Tuple.Set.of_list r.Delta_request.tuples))
+          acc)
+      Smap.empty reqs
+  in
+  let bad =
+    Smap.fold
+      (fun qname ts acc ->
+        R.Tuple.Set.fold
+          (fun tup acc ->
+            let vt = Vtuple.make qname tup in
+            if not (Vtuple.Map.mem vt t.witness) then
+              invalid_arg
+                (Format.asprintf "Provenance.with_deletions: unknown view tuple %a"
+                   Vtuple.pp vt);
+            Vtuple.Set.add vt acc)
+          ts acc)
+      deletions Vtuple.Set.empty
+  in
+  let all = all_vtuples t in
+  {
+    t with
+    problem = Problem.patch ~db:t.problem.Problem.db ~deletions t.problem;
+    bad;
+    preserved = Vtuple.Set.diff all bad;
+  }
+
+let delete t dd =
+  let killed = kills t dd in
+  let views =
+    Vtuple.Set.fold
+      (fun vt acc ->
+        Smap.update vt.Vtuple.query
+          (Option.map (R.Tuple.Set.remove vt.Vtuple.tuple))
+          acc)
+      killed t.views
+  in
+  let witness = Vtuple.Set.fold (fun vt m -> Vtuple.Map.remove vt m) killed t.witness in
+  let witness_path =
+    Vtuple.Set.fold (fun vt m -> Vtuple.Map.remove vt m) killed t.witness_path
+  in
+  let containing =
+    (* deleted tuples lose their rows; surviving members of each killed
+       witness lose that view tuple from theirs *)
+    let c = R.Stuple.Set.fold (fun st m -> R.Stuple.Map.remove st m) dd t.containing in
+    Vtuple.Set.fold
+      (fun vt c ->
+        R.Stuple.Set.fold
+          (fun st c ->
+            if R.Stuple.Set.mem st dd then c
+            else R.Stuple.Map.update st (Option.map (Vtuple.Set.remove vt)) c)
+          (witness_of t vt) c)
+      killed c
+  in
+  let bad = Vtuple.Set.diff t.bad killed in
+  let preserved = Vtuple.Set.diff t.preserved killed in
+  let db = R.Instance.delete t.problem.Problem.db dd in
+  let deletions =
+    Smap.fold
+      (fun qname ts acc ->
+        let ts' =
+          R.Tuple.Set.filter
+            (fun tup -> not (Vtuple.Set.mem (Vtuple.make qname tup) killed))
+            ts
+        in
+        if R.Tuple.Set.is_empty ts' then acc else Smap.add qname ts' acc)
+      t.problem.Problem.deletions Smap.empty
+  in
+  {
+    problem = Problem.patch ~db ~deletions t.problem;
+    views;
+    witness;
+    witness_path;
+    containing;
+    bad;
+    preserved;
+  }
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>bad: %d, preserved: %d@ %a@]" (Vtuple.Set.cardinal t.bad)
     (Vtuple.Set.cardinal t.preserved)

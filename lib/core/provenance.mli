@@ -29,6 +29,22 @@ exception Ambiguous_witness of Vtuple.t
 
 val build : Problem.t -> t
 
+(** [with_deletions t reqs] — the same index re-targeted at a new ΔV:
+    [bad]/[preserved] recomputed from the requests, the (D, Q)-dependent
+    maps ([views], [witness], [witness_path], [containing]) shared
+    unchanged, and [t.problem] re-stamped via {!Problem.patch}. Equals
+    [build] on the corresponding problem, at O(‖ΔV‖ log ‖V‖) cost.
+    Raises [Invalid_argument] when a requested tuple is not a current
+    view answer (use {!Delta_request.validate} for a typed error). *)
+val with_deletions : t -> Delta_request.t list -> t
+
+(** [delete t dd] — the index after committing the source deletion [dd]:
+    killed view tuples ([kills t dd]) leave every map, [dd] leaves
+    [containing] and the database, and realized deletions leave ΔV.
+    Equals [build] on the patched problem (monotone queries: deletions
+    never create answers), touching only the killed rows. *)
+val delete : t -> Relational.Stuple.Set.t -> t
+
 val all_vtuples : t -> Vtuple.Set.t
 
 val witness_of : t -> Vtuple.t -> Relational.Stuple.Set.t

@@ -1,0 +1,44 @@
+(** The one result shape every solving surface speaks.
+
+    {!Portfolio.solutions}, [Engine.request] and the CLI's JSON output
+    all produce this record; the per-solver result types
+    ([Primal_dual.result], [Lowdeg.result], …) stay as richer internal
+    shapes, adapted here at the portfolio boundary. *)
+
+(** What the algorithm can promise about its answer:
+    - [Exact] — provably optimal (brute force, pivot-forest DP);
+    - [Dual_bound v] — a feasible dual of value [v] lower-bounds the
+      optimum (primal-dual, Theorem 3);
+    - [Ratio r] — within factor [r] of the optimum (LowDeg's 2√‖V‖,
+      the general reduction's Claim-1 bound);
+    - [Heuristic] — feasible, no guarantee. *)
+type certificate =
+  | Exact
+  | Dual_bound of float
+  | Ratio of float
+  | Heuristic
+
+type t = {
+  algorithm : string;
+  deleted : Relational.Stuple.Set.t;    (** ΔD, the proposed source deletion *)
+  outcome : Side_effect.outcome;        (** its evaluated side-effect *)
+  elapsed_ms : float;                   (** wall-clock of this solver alone *)
+  certificate : certificate;
+}
+
+val cost : t -> float
+val feasible : t -> bool
+
+(** Feasible solutions only, cheapest first. The sort is stable on cost
+    alone — ties keep their input (solver-list) order, never broken by
+    [elapsed_ms] — so ranking is deterministic run to run. *)
+val rank : t list -> t list
+
+val pp : Format.formatter -> t -> unit
+val pp_certificate : Format.formatter -> certificate -> unit
+
+(** One-line JSON object: [algorithm], [deleted] (fact strings in
+    {!Relational.Serial.fact_of_string} syntax), [feasible], [cost],
+    [balanced_cost], [side_effect] / [residual_bad] (cardinalities),
+    [elapsed_ms], and [certificate] as [{"kind": ..., "value": ...}]. *)
+val to_json : t -> string

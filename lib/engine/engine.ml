@@ -1,0 +1,276 @@
+module R = Relational
+module D = Deleprop
+
+let src = Logs.Src.create "deleprop.engine" ~doc:"Incremental propagation engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type stats = {
+  rounds : int;
+  applies : int;
+  tuples_deleted : int;
+  tuples_inserted : int;
+  patches : int;
+  rebuilds : int;
+  cache_hits : int;
+  last_solve_ms : float;
+  total_solve_ms : float;
+}
+
+let zero_stats =
+  {
+    rounds = 0;
+    applies = 0;
+    tuples_deleted = 0;
+    tuples_inserted = 0;
+    patches = 0;
+    rebuilds = 0;
+    cache_hits = 0;
+    last_solve_ms = 0.0;
+    total_solve_ms = 0.0;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>rounds: %d, applies: %d@ deleted %d / inserted %d source tuple(s)@ index: \
+     %d patch(es), %d rebuild(s), %d cache hit(s)@ solve: last %.2f ms, total %.2f \
+     ms@]"
+    s.rounds s.applies s.tuples_deleted s.tuples_inserted s.patches s.rebuilds
+    s.cache_hits s.last_solve_ms s.total_solve_ms
+
+type plan = {
+  requests : D.Delta_request.t list;
+  solutions : D.Solution.t list;
+}
+
+type index = { prov : D.Provenance.t; arena : D.Arena.t }
+
+type t = {
+  queries : Cq.Query.t list;
+  weights : D.Weights.t option;
+  exact_threshold : int option;
+  algorithms : string list option;
+  pool : D.Par.Pool.t;
+  mutable mv : D.Matview.t;
+  mutable index : index option;
+  mutable stats : stats;
+}
+
+(* the baseline index always has ΔV = ∅: requests re-target it per round
+   via [with_deletions] without disturbing the cached copy *)
+let build_index t =
+  let problem =
+    D.Problem.make ~db:(D.Matview.db t.mv) ~queries:t.queries ~deletions:[]
+      ?weights:t.weights ()
+  in
+  let prov = D.Provenance.build problem in
+  let arena = D.Arena.build prov in
+  let ix = { prov; arena } in
+  t.index <- Some ix;
+  t.stats <- { t.stats with rebuilds = t.stats.rebuilds + 1 };
+  Log.debug (fun m ->
+      m "index rebuilt: %d source tuples, %d view tuples"
+        (D.Arena.num_stuples arena) (D.Arena.num_vtuples arena));
+  ix
+
+let index_of t =
+  match t.index with
+  | Some ix ->
+    t.stats <- { t.stats with cache_hits = t.stats.cache_hits + 1 };
+    ix
+  | None -> build_index t
+
+let create ?weights ?exact_threshold ?algorithms ?domains db queries =
+  let problem = D.Problem.make ~db ~queries ~deletions:[] ?weights () in
+  let prov = D.Provenance.build problem in
+  let arena = D.Arena.build prov in
+  {
+    queries;
+    weights;
+    exact_threshold;
+    algorithms;
+    pool = D.Par.Pool.create ?domains ();
+    mv = D.Matview.of_views db queries prov.D.Provenance.views;
+    index = Some { prov; arena };
+    stats = { zero_stats with rebuilds = 1 };
+  }
+
+let db t = D.Matview.db t.mv
+let view t name = D.Matview.view t.mv name
+let matview t = t.mv
+let stats t = t.stats
+
+let index t =
+  let ix = index_of t in
+  (ix.prov, ix.arena)
+
+let request t requests =
+  let ix = index_of t in
+  match D.Delta_request.validate ~views:ix.prov.D.Provenance.views requests with
+  | Error _ as e -> e
+  | Ok () ->
+    let t0 = Unix.gettimeofday () in
+    let prov' = D.Provenance.with_deletions ix.prov requests in
+    let arena' = D.Arena.with_deletions ix.arena prov' in
+    let solutions =
+      D.Portfolio.solutions ?exact_threshold:t.exact_threshold ?only:t.algorithms
+        ~pool:t.pool arena'
+    in
+    let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    t.stats <-
+      {
+        t.stats with
+        rounds = t.stats.rounds + 1;
+        last_solve_ms = ms;
+        total_solve_ms = t.stats.total_solve_ms +. ms;
+      };
+    Log.debug (fun m ->
+        m "round %d: %d solution(s) in %.2f ms" t.stats.rounds
+          (List.length solutions) ms);
+    Ok { requests; solutions }
+
+let commit t dd =
+  let dd = R.Stuple.Set.filter (fun st -> R.Instance.mem (D.Matview.db t.mv) st) dd in
+  t.stats <-
+    {
+      t.stats with
+      applies = t.stats.applies + 1;
+      tuples_deleted = t.stats.tuples_deleted + R.Stuple.Set.cardinal dd;
+    };
+  if not (R.Stuple.Set.is_empty dd) then
+    match t.index with
+    | Some ix ->
+      let prov' = D.Provenance.delete ix.prov dd in
+      let arena' = D.Arena.delete ix.arena ~dd prov' in
+      t.index <- Some { prov = prov'; arena = arena' };
+      t.mv <-
+        D.Matview.of_views prov'.D.Provenance.problem.D.Problem.db t.queries
+          prov'.D.Provenance.views;
+      t.stats <- { t.stats with patches = t.stats.patches + 1 }
+    | None ->
+      (* index already invalidated (pending inserts): just maintain the
+         views; the next [request] rebuilds *)
+      t.mv <- D.Matview.delete t.mv dd
+
+let apply ?solution t plan =
+  let chosen =
+    match solution with
+    | Some _ as s -> s
+    | None -> ( match plan.solutions with s :: _ -> Some s | [] -> None)
+  in
+  match chosen with
+  | None -> None
+  | Some s ->
+    commit t s.D.Solution.deleted;
+    Some s
+
+let delete t dd = commit t dd
+
+let insert t st =
+  t.mv <- D.Matview.insert t.mv st;
+  t.index <- None;
+  t.stats <- { t.stats with tuples_inserted = t.stats.tuples_inserted + 1 }
+
+let insert_all t sts = R.Stuple.Set.iter (fun st -> insert t st) sts
+
+let close t = D.Par.Pool.shutdown t.pool
+
+(* ---- scripted sessions ---- *)
+
+module Script = struct
+  type op =
+    | Solve of D.Delta_request.t list
+    | Insert of R.Stuple.t
+    | Delete of R.Stuple.t
+
+  type round = {
+    number : int;
+    op : op;
+    plan : plan option;
+  }
+
+  let parse_fact s =
+    let rel, tuple = R.Serial.fact_of_string s in
+    R.Stuple.make rel tuple
+
+  (* group facts by view, preserving first-appearance order on both the
+     views and their tuples *)
+  let group_requests facts =
+    List.fold_left
+      (fun acc (view, tuple) ->
+        if List.mem_assoc view acc then
+          List.map
+            (fun (v, ts) -> if String.equal v view then (v, ts @ [ tuple ]) else (v, ts))
+            acc
+        else acc @ [ (view, [ tuple ]) ])
+      [] facts
+    |> List.map (fun (view, tuples) -> D.Delta_request.make ~view tuples)
+
+  let parse_line line =
+    let keyword, rest =
+      match String.index_opt line ' ' with
+      | None -> (line, "")
+      | Some i ->
+        ( String.sub line 0 i,
+          String.trim (String.sub line i (String.length line - i)) )
+    in
+    try
+      match keyword with
+      | "solve" ->
+        let facts =
+          String.split_on_char ';' rest
+          |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
+          |> List.map R.Serial.fact_of_string
+        in
+        if facts = [] then Error "solve: expected at least one view fact"
+        else Ok (Solve (group_requests facts))
+      | "insert" -> Ok (Insert (parse_fact rest))
+      | "delete" -> Ok (Delete (parse_fact rest))
+      | kw -> Error (Printf.sprintf "unknown op %S (expected solve|insert|delete)" kw)
+    with R.Serial.Parse_error (_, msg) -> Error msg
+
+  let parse text =
+    let rec go n acc = function
+      | [] -> Ok (List.rev acc)
+      | line :: tl -> (
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then go (n + 1) acc tl
+        else
+          match parse_line line with
+          | Ok op -> go (n + 1) (op :: acc) tl
+          | Error msg -> Error (Printf.sprintf "line %d: %s" n msg))
+    in
+    go 1 [] (String.split_on_char '\n' text)
+
+  let parse_file path =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+  let replay eng ops =
+    let rec go n acc = function
+      | [] -> Ok (List.rev acc)
+      | op :: tl -> (
+        match op with
+        | Solve requests -> (
+          match request eng requests with
+          | Error e ->
+            Error (Printf.sprintf "round %d: %s" n (D.Delta_request.error_to_string e))
+          | Ok plan ->
+            ignore (apply eng plan);
+            go (n + 1) ({ number = n; op; plan = Some plan } :: acc) tl)
+        | Insert st -> (
+          match insert eng st with
+          | () -> go (n + 1) ({ number = n; op; plan = None } :: acc) tl
+          | exception R.Relation.Key_violation (rel, existing, _) ->
+            Error
+              (Format.asprintf "round %d: inserting %a violates the key of %s (%a)" n
+                 R.Stuple.pp st rel R.Tuple.pp existing))
+        | Delete st ->
+          delete eng (R.Stuple.Set.singleton st);
+          go (n + 1) ({ number = n; op; plan = None } :: acc) tl)
+    in
+    go 1 [] ops
+end

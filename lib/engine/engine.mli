@@ -1,0 +1,140 @@
+(** A long-lived propagation session (the §V interactive loops: propose
+    repairs, apply, re-solve, round after round).
+
+    One {!t} owns the materialized views ({!Deleprop.Matview}), a
+    provenance index ({!Deleprop.Provenance}), its compiled arena
+    ({!Deleprop.Arena}) and a persistent {!Deleprop.Par.Pool} — all
+    built once at {!create} and then maintained {e incrementally}:
+
+    - {!request} re-targets the cached index at the round's ΔV
+      ([Provenance.with_deletions] / [Arena.with_deletions] — the
+      (D,Q)-dependent structure is shared, only bad/preserved re-stamp)
+      and runs the solver portfolio on the session pool;
+    - {!apply} / {!delete} commit a source deletion by {e patching} the
+      index ([Provenance.delete] / [Arena.delete]: killed rows drop out,
+      ids compact in place) instead of recompiling;
+    - {!insert} invalidates the index (insertions can create view tuples
+      anywhere); the next {!request} rebuilds lazily — the
+      patch/rebuild/cache-hit decisions are all counted in {!stats}.
+
+    The differential property suite ([test/test_engine.ml]) drives
+    random delete/insert/solve streams through both this incremental
+    path and rebuild-from-scratch and checks the indexes and ranked
+    solver outputs are bit-identical.
+
+    The query set must be key preserving ({!create} enforces it): the
+    unique-witness index is what makes incremental deletion exact. *)
+
+type t
+
+type stats = {
+  rounds : int;           (** {!request} calls that reached the solvers *)
+  applies : int;          (** committed deletions ({!apply} + {!delete}) *)
+  tuples_deleted : int;   (** source tuples removed, cumulative *)
+  tuples_inserted : int;  (** source tuples added, cumulative *)
+  patches : int;          (** commits that incrementally patched the index *)
+  rebuilds : int;         (** full index (re)builds, the one in {!create} included *)
+  cache_hits : int;       (** operations served by the live index *)
+  last_solve_ms : float;  (** wall time of the last round (patch + portfolio) *)
+  total_solve_ms : float; (** cumulative round wall time *)
+}
+
+(** A solved round: the requests it answered and the ranked feasible
+    solutions (cheapest first, {!Deleprop.Portfolio.solutions}). *)
+type plan = {
+  requests : Deleprop.Delta_request.t list;
+  solutions : Deleprop.Solution.t list;
+}
+
+(** Build the session: evaluates the queries once (shared between the
+    provenance index and the view manager), compiles the arena, spawns
+    the domain pool. [algorithms] restricts the portfolio (names as in
+    {!Deleprop.Portfolio.solutions}); [exact_threshold] as there;
+    [domains] sizes the pool (default
+    [Domain.recommended_domain_count ()]; pass [~domains:1] for a
+    sequential session with no spawned domain). Raises
+    [Invalid_argument] on non-key-preserving queries. *)
+val create :
+  ?weights:Deleprop.Weights.t ->
+  ?exact_threshold:int ->
+  ?algorithms:string list ->
+  ?domains:int ->
+  Relational.Instance.t ->
+  Cq.Query.t list ->
+  t
+
+(** Solve one round of typed deletion intents against the current state.
+    Nothing is committed — call {!apply} with the returned plan. *)
+val request :
+  t -> Deleprop.Delta_request.t list -> (plan, Deleprop.Delta_request.error) result
+
+(** Commit a solution of [plan] — [solution] (default: the plan's
+    cheapest) — and return it. [None] when the plan has no feasible
+    solution (nothing committed). Tuples already gone from the database
+    are skipped; the provenance index and arena are patched, never
+    rebuilt. *)
+val apply : ?solution:Deleprop.Solution.t -> t -> plan -> Deleprop.Solution.t option
+
+(** Commit a direct source deletion (same incremental path as {!apply},
+    no solver involved). *)
+val delete : t -> Relational.Stuple.Set.t -> unit
+
+(** Insert a source tuple: views maintain incrementally, the
+    provenance/arena index invalidates (rebuilt lazily by the next
+    {!request}). Raises {!Relational.Relation.Key_violation} like the
+    underlying instance. *)
+val insert : t -> Relational.Stuple.t -> unit
+
+val insert_all : t -> Relational.Stuple.Set.t -> unit
+
+val db : t -> Relational.Instance.t
+
+(** Current materialized view / manager (kept consistent by every
+    operation). *)
+val view : t -> string -> Relational.Tuple.Set.t
+
+val matview : t -> Deleprop.Matview.t
+
+(** The session's current baseline index (ΔV = ∅), rebuilding it if
+    invalidated — what the differential tests compare against scratch
+    construction. *)
+val index : t -> Deleprop.Provenance.t * Deleprop.Arena.t
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+(** Shut the domain pool down. The engine remains usable afterwards
+    (parallel fan-outs degrade to sequential). *)
+val close : t -> unit
+
+(** Line-oriented round scripts for [deleprop batch]:
+    {v
+    # comments and blank lines are skipped
+    solve Q4(John, TKDE, XML); Q4(Tom, TKDE, XML)
+    insert T1(Ann, TODS)
+    delete T2(TODS, XML, 30)
+    v}
+    [solve] takes view facts separated by [;] (grouped into one
+    {!Deleprop.Delta_request.t} per view); [insert]/[delete] take one
+    source fact in {!Relational.Serial.fact_of_string} syntax. *)
+module Script : sig
+  type op =
+    | Solve of Deleprop.Delta_request.t list
+    | Insert of Relational.Stuple.t
+    | Delete of Relational.Stuple.t
+
+  (** One executed script line: [plan] is [Some] exactly for [Solve]
+      ops (whose cheapest solution was applied). *)
+  type round = {
+    number : int;
+    op : op;
+    plan : plan option;
+  }
+
+  val parse : string -> (op list, string) result
+  val parse_file : string -> (op list, string) result
+
+  (** Execute the ops in order — [Solve] rounds auto-apply their best
+      solution. Stops at the first failing op with its round number. *)
+  val replay : t -> op list -> (round list, string) result
+end

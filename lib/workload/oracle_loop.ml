@@ -66,7 +66,13 @@ let run ~rng spec =
               (qname, t :: cur) :: List.remove_assoc qname acc)
             [] wrong
         in
-        let problem = D.Matview.problem ~deletions !mv in
+        let problem =
+          match
+            D.Matview.problem ~requests:(D.Delta_request.of_legacy deletions) !mv
+          with
+          | Ok p -> p
+          | Error e -> failwith (D.Delta_request.error_to_string e)
+        in
         let prov = D.Provenance.build problem in
         match D.Brute.solve prov with
         | Some r ->

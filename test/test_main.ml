@@ -22,4 +22,5 @@ let () =
       ("matrix", Test_matrix.suite);
       ("polish", Test_polish.suite);
       ("arena", Test_arena.suite);
+      ("engine", Test_engine.suite);
     ]
