@@ -310,18 +310,18 @@ let bench_arena =
    pure function of the current views, and the differential tests prove
    the two indexes bit-identical), so the timing difference is exactly
    the maintenance strategy. BENCH_engine.json tracks this group. *)
+(* cheapest answer of the first nonempty view — deterministic and
+   state-derived, so every session variant picks the same ΔV every round *)
+let pick_request view_of queries =
+  List.find_map
+    (fun (q : Cq.Query.t) ->
+      let v = view_of q.Cq.Query.name in
+      if R.Tuple.Set.is_empty v then None
+      else Some (D.Delta_request.make ~view:q.Cq.Query.name [ R.Tuple.Set.min_elt v ]))
+    queries
+
 let bench_engine =
   let rounds = 10 in
-  (* cheapest answer of the first nonempty view — deterministic and
-     state-derived, so both paths pick the same ΔV every round *)
-  let pick_request view_of queries =
-    List.find_map
-      (fun (q : Cq.Query.t) ->
-        let v = view_of q.Cq.Query.name in
-        if R.Tuple.Set.is_empty v then None
-        else Some (D.Delta_request.make ~view:q.Cq.Query.name [ R.Tuple.Set.min_elt v ]))
-      queries
-  in
   let engine_session db queries () =
     let eng = Engine.create ~algorithms:[ "primal-dual" ] ~domains:1 db queries in
     for _round = 1 to rounds do
@@ -383,6 +383,58 @@ let bench_engine =
   in
   Test.make_grouped ~name:"engine" (session_tests @ micro_tests)
 
+(* resilience: what durability and deadlines cost at forest scale 40.
+   The same 10-round session as the engine group, crossed over
+   {budget off/on} × {journal off/on} — the budget is generous enough to
+   never expire, so the variants time pure bookkeeping (deadline ticks;
+   append + flush per commit), not degraded rounds. `recover` times
+   reopening a session from the journal such a session leaves behind.
+   BENCH_resilience.json tracks this group; the journal column is the
+   durability overhead EXPERIMENTS.md bounds at 10%. *)
+let bench_resilience =
+  let rounds = 10 in
+  let p = forest ~scale:40 167 in
+  let db = p.D.Problem.db and queries = p.D.Problem.queries in
+  let journal_path =
+    Filename.concat (Filename.get_temp_dir_name ()) "deleprop_bench.journal"
+  in
+  let session ?budget_ms ?journal () =
+    let eng =
+      Engine.create ~algorithms:[ "primal-dual" ] ~domains:1 ?budget_ms ?journal db
+        queries
+    in
+    for _round = 1 to rounds do
+      match pick_request (Engine.view eng) queries with
+      | None -> ()
+      | Some req -> (
+        match Engine.request eng [ req ] with
+        | Ok plan -> ignore (Engine.apply eng plan)
+        | Error _ -> assert false)
+    done;
+    Engine.close eng
+  in
+  (* a finished session's journal, kept on disk for the recover bench *)
+  let recover_path = journal_path ^ ".recover" in
+  session ~journal:recover_path ();
+  Test.make_grouped ~name:"resilience"
+    [
+      Test.make ~name:(Printf.sprintf "session%d_plain_scale_40" rounds)
+        (Staged.stage (fun () -> session ()));
+      Test.make ~name:(Printf.sprintf "session%d_budget_scale_40" rounds)
+        (Staged.stage (fun () -> session ~budget_ms:10_000.0 ()));
+      Test.make ~name:(Printf.sprintf "session%d_journal_scale_40" rounds)
+        (Staged.stage (fun () -> session ~journal:journal_path ()));
+      Test.make ~name:(Printf.sprintf "session%d_budget_journal_scale_40" rounds)
+        (Staged.stage (fun () -> session ~budget_ms:10_000.0 ~journal:journal_path ()));
+      Test.make ~name:"recover_scale_40"
+        (Staged.stage (fun () ->
+             let eng =
+               Engine.create ~algorithms:[ "primal-dual" ] ~domains:1
+                 ~journal:recover_path ~recover:true db queries
+             in
+             Engine.close eng));
+    ]
+
 (* E21 scaling stages + parallel portfolio + SQL front end *)
 let bench_e21 =
   let biblio =
@@ -443,7 +495,7 @@ let all_tests =
   [
     bench_e1; bench_e2; bench_e3; bench_e5; bench_e6; bench_e7; bench_e8; bench_e9;
     bench_e10; bench_e11; bench_e12; bench_e14; bench_e15; bench_e16; bench_e17;
-    bench_e18; bench_arena; bench_engine; bench_e21; bench_containment; bench_phase5;
+    bench_e18; bench_arena; bench_engine; bench_resilience; bench_e21; bench_containment; bench_phase5;
     bench_substrate;
   ]
 

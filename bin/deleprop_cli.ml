@@ -402,6 +402,16 @@ let request_strings (reqs : D.Delta_request.t list) =
         r.D.Delta_request.tuples)
     reqs
 
+let failure_json (f : D.Portfolio.failure) =
+  let reason, detail =
+    match f.D.Portfolio.reason with
+    | D.Portfolio.Timed_out -> ("timeout", "null")
+    | D.Portfolio.Crashed msg -> ("crash", Printf.sprintf "\"%s\"" (json_escape msg))
+  in
+  Printf.sprintf
+    "{\"algorithm\":\"%s\",\"elapsed_ms\":%.3f,\"reason\":\"%s\",\"detail\":%s}"
+    (json_escape f.D.Portfolio.algorithm) f.D.Portfolio.elapsed_ms reason detail
+
 let batch_round_json (r : Engine.Script.round) =
   let b = Buffer.create 256 in
   Buffer.add_string b (Printf.sprintf "{\"round\":%d," r.Engine.Script.number);
@@ -422,7 +432,19 @@ let batch_round_json (r : Engine.Script.round) =
         if i > 0 then Buffer.add_char b ',';
         Buffer.add_string b (D.Solution.to_json s))
       solutions;
-    Buffer.add_string b "],\"applied\":";
+    Buffer.add_string b "],\"failures\":[";
+    let failures =
+      match r.Engine.Script.plan with Some p -> p.Engine.failures | None -> []
+    in
+    List.iteri
+      (fun i f ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (failure_json f))
+      failures;
+    Buffer.add_string b
+      (Printf.sprintf "],\"degraded\":%b,"
+         (match r.Engine.Script.plan with Some p -> p.Engine.degraded | None -> false));
+    Buffer.add_string b "\"applied\":";
     (match solutions with
     | s :: _ -> Buffer.add_string b (Printf.sprintf "\"%s\"" (json_escape s.D.Solution.algorithm))
     | [] -> Buffer.add_string b "null")
@@ -434,27 +456,37 @@ let batch_round_json (r : Engine.Script.round) =
     Buffer.add_string b
       (Printf.sprintf "\"op\":\"delete\",\"fact\":\"%s\""
          (json_escape (Format.asprintf "%a" R.Stuple.pp st))));
+  (match r.Engine.Script.error with
+  | Some e -> Buffer.add_string b (Printf.sprintf ",\"error\":\"%s\"" (json_escape e))
+  | None -> ());
   Buffer.add_char b '}';
   Buffer.contents b
 
 let batch_stats_json (s : Engine.stats) =
   Printf.sprintf
-    "{\"rounds\":%d,\"applies\":%d,\"tuples_deleted\":%d,\"tuples_inserted\":%d,\"patches\":%d,\"rebuilds\":%d,\"cache_hits\":%d,\"last_solve_ms\":%.3f,\"total_solve_ms\":%.3f}"
+    "{\"rounds\":%d,\"applies\":%d,\"tuples_deleted\":%d,\"tuples_inserted\":%d,\"patches\":%d,\"rebuilds\":%d,\"cache_hits\":%d,\"last_solve_ms\":%.3f,\"total_solve_ms\":%.3f,\"journal_records\":%d,\"recovered_records\":%d}"
     s.Engine.rounds s.Engine.applies s.Engine.tuples_deleted s.Engine.tuples_inserted
     s.Engine.patches s.Engine.rebuilds s.Engine.cache_hits s.Engine.last_solve_ms
-    s.Engine.total_solve_ms
+    s.Engine.total_solve_ms s.Engine.journal_records s.Engine.recovered_records
 
 let batch_report_round (r : Engine.Script.round) =
-  match r.Engine.Script.op with
+  (match r.Engine.Script.op with
   | Engine.Script.Solve reqs -> (
     Format.printf "round %d: solve %a@." r.Engine.Script.number
       (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_request)
       reqs;
+    (match r.Engine.Script.plan with
+    | Some p ->
+      List.iter
+        (fun f -> Format.printf "  solver %a@." D.Portfolio.pp_failure f)
+        p.Engine.failures;
+      if p.Engine.degraded then Format.printf "  degraded to unbudgeted greedy@."
+    | None -> ());
     let solutions =
       match r.Engine.Script.plan with Some p -> p.Engine.solutions | None -> []
     in
     match solutions with
-    | [] -> Format.printf "  no feasible solution@."
+    | [] -> if r.Engine.Script.error = None then Format.printf "  no feasible solution@."
     | best :: rest ->
       Format.printf "  applied %a@." D.Solution.pp best;
       List.iter
@@ -466,21 +498,30 @@ let batch_report_round (r : Engine.Script.round) =
   | Engine.Script.Insert st ->
     Format.printf "round %d: insert %a@." r.Engine.Script.number R.Stuple.pp st
   | Engine.Script.Delete st ->
-    Format.printf "round %d: delete %a@." r.Engine.Script.number R.Stuple.pp st
+    Format.printf "round %d: delete %a@." r.Engine.Script.number R.Stuple.pp st);
+  match r.Engine.Script.error with
+  | Some e -> Format.printf "  failed: %s@." e
+  | None -> ()
 
-let batch db_path q_path rounds_path algos exact_threshold domains json =
+let batch db_path q_path rounds_path algos exact_threshold domains budget_ms journal
+    recover keep_going json =
   let* db = load_db db_path in
   let* queries = load_queries ~schema:(R.Instance.schema db) q_path in
   let* ops = Engine.Script.parse_file rounds_path in
   let algorithms = match algos with [] -> None | l -> Some l in
   let* eng =
-    try Ok (Engine.create ?algorithms ?exact_threshold ?domains db queries)
-    with Invalid_argument m -> Error m
+    try
+      Ok
+        (Engine.create ?algorithms ?exact_threshold ?domains ?budget_ms ?journal
+           ~recover db queries)
+    with
+    | Invalid_argument m -> Error m
+    | Engine.Journal.Error e -> Error (Format.asprintf "%a" Engine.Journal.pp_error e)
   in
   Fun.protect
     ~finally:(fun () -> Engine.close eng)
     (fun () ->
-      let* rounds = Engine.Script.replay eng ops in
+      let* rounds = Engine.Script.replay ~keep_going eng ops in
       if json then begin
         print_string "{\"rounds\":[";
         List.iteri
@@ -612,6 +653,25 @@ let batch_cmd =
     Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
            ~doc:"Size of the session's domain pool (default: all cores; 1 = sequential).")
   in
+  let budget_ms =
+    Arg.(value & opt (some float) None & info [ "budget-ms" ] ~docv:"MS"
+           ~doc:"Per-round wall-clock budget: solvers that outlive it are recorded as \
+                 timed out and the round degrades gracefully.")
+  in
+  let journal =
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"PATH"
+           ~doc:"Journal committed operations to PATH (crash-recoverable log).")
+  in
+  let recover =
+    Arg.(value & flag & info [ "recover" ]
+           ~doc:"Replay an existing journal on top of the database before running the \
+                 script (requires --journal).")
+  in
+  let keep_going =
+    Arg.(value & flag & info [ "keep-going" ]
+           ~doc:"Record a failing round's error and continue instead of stopping the \
+                 session.")
+  in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the session as one JSON object.")
   in
@@ -620,8 +680,9 @@ let batch_cmd =
        ~doc:"Replay a scripted deletion session on the incremental engine")
     Term.(
       ret
-        (const (fun d q r a e dm j -> handle (batch d q r a e dm j))
-        $ db_arg $ q_arg $ rounds $ algos $ exact_threshold $ domains $ json))
+        (const (fun d q r a e dm b jr rc k j -> handle (batch d q r a e dm b jr rc k j))
+        $ db_arg $ q_arg $ rounds $ algos $ exact_threshold $ domains $ budget_ms
+        $ journal $ recover $ keep_going $ json))
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());

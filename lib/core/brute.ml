@@ -9,9 +9,11 @@ let result_of prov deletion =
   let outcome = Side_effect.eval prov deletion in
   if outcome.Side_effect.feasible then Some { deletion; outcome } else None
 
-let solve ?node_budget prov =
+let solve ?node_budget ?budget prov =
+  Budget.tick_o budget;
   let m = Reduction.to_red_blue prov in
-  match Setcover.Red_blue.solve_exact ?node_budget m.Reduction.instance with
+  let tick () = Budget.tick_o budget in
+  match Setcover.Red_blue.solve_exact ?node_budget ~tick m.Reduction.instance with
   | None -> None
   | Some sol -> result_of prov (Reduction.deletion_of_red_blue m sol)
 

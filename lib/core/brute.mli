@@ -15,8 +15,12 @@ type result = {
     key-preserving instances with non-empty witnesses — deleting a whole
     witness is always feasible... unless a bad tuple shares its witness
     with nothing; feasibility always holds, so [None] only on empty
-    candidate pathologies). *)
-val solve : ?node_budget:int -> Provenance.t -> result option
+    candidate pathologies).
+
+    [budget] is ticked once per branch-and-bound node (via the
+    [Red_blue.solve_exact] tick hook); on expiry the search unwinds with
+    {!Budget.Expired} — exact-or-nothing, no partial answer. *)
+val solve : ?node_budget:int -> ?budget:Budget.t -> Provenance.t -> result option
 
 (** Plain subset enumeration; [max_candidates] (default 20) guards the
     2^n blowup — raises [Invalid_argument] beyond it. *)

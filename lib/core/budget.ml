@@ -1,0 +1,30 @@
+exception Expired
+
+let tick_mask = 63
+
+type t = {
+  deadline : float;          (* Unix.gettimeofday at which the budget dies *)
+  mutable counter : int;     (* ticks since the last clock read *)
+  mutable dead : bool;       (* sticky: once expired, stays expired *)
+}
+
+let of_ms ms =
+  if Float.is_nan ms then invalid_arg "Budget.of_ms: NaN";
+  { deadline = Unix.gettimeofday () +. (ms /. 1000.0); counter = 0; dead = ms <= 0.0 }
+
+let expired t =
+  if not t.dead then t.dead <- Unix.gettimeofday () > t.deadline;
+  t.dead
+
+let check t =
+  if t.dead then true
+  else begin
+    t.counter <- t.counter + 1;
+    if t.counter land tick_mask = 0 then expired t else false
+  end
+
+let tick t = if check t then raise Expired
+
+let tick_o = function None -> () | Some t -> tick t
+
+let remaining_ms t = Float.max 0.0 ((t.deadline -. Unix.gettimeofday ()) *. 1000.0)

@@ -1,0 +1,48 @@
+(** Per-round time budgets with cooperative cancellation.
+
+    A {!t} is a wall-clock deadline. Solver hot loops call {!tick} (or
+    {!tick_o} when the budget is optional), which raises {!Expired} once
+    the deadline passes — the loop unwinds, the caller catches the
+    exception at a clean boundary (the portfolio fan-out, a τ-sweep) and
+    degrades: return the best feasible answer so far, or report the
+    solver as timed out.
+
+    The clock read is throttled: {!check}/{!tick} consult the real clock
+    only every {!tick_mask}+1 calls, so a tick in an inner loop costs an
+    increment and a branch almost always. Expiry is therefore detected up
+    to {!tick_mask} iterations late — deadlines are best-effort, never
+    violated by more than one clock-read interval of loop work. *)
+
+type t
+
+(** Raised by {!tick}/{!tick_o} once the deadline has passed. Solvers
+    let it escape; {!Portfolio.solutions_report} records the solver as
+    timed out instead of failing the round. *)
+exception Expired
+
+(** [of_ms ms] — a budget expiring [ms] milliseconds from now.
+    [ms <= 0] gives an already-expired budget (every tick raises).
+    Raises [Invalid_argument] on NaN. *)
+val of_ms : float -> t
+
+(** Unthrottled deadline test: reads the clock on every call. *)
+val expired : t -> bool
+
+(** Throttled deadline test — the cheap per-iteration probe. Only every
+    64th call reads the clock; the rest return the last verdict
+    (sticky once expired). *)
+val check : t -> bool
+
+(** [tick b] — {!check}, raising {!Expired} on a positive verdict. *)
+val tick : t -> unit
+
+(** [tick_o b] — {!tick} when [b] is [Some], no-op on [None]: the form
+    solver loops use, since budgets are optional everywhere. *)
+val tick_o : t option -> unit
+
+(** Milliseconds until the deadline, clamped at 0. *)
+val remaining_ms : t -> float
+
+(** The throttle interval minus one (a power of two); exposed so tests
+    can call {!tick} enough times to guarantee a clock read. *)
+val tick_mask : int

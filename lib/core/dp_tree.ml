@@ -55,7 +55,7 @@ let components_with_vtuples (prov : Provenance.t) graph =
       (members, vts))
     !comps
 
-let solve ?(objective = Standard) (prov : Provenance.t) =
+let solve ?(objective = Standard) ?budget (prov : Provenance.t) =
   let graph = graph_of prov in
   if not (Tg.is_forest graph) then Error Not_a_forest
   else begin
@@ -86,6 +86,7 @@ let solve ?(objective = Standard) (prov : Provenance.t) =
                 let w_bad_end : (string, float) Hashtbl.t = Hashtbl.create 64 in
                 List.iter
                   (fun vt ->
+                    Budget.tick_o budget;
                     let w = Provenance.witness_of prov vt in
                     let endpoint =
                       R.Stuple.Set.fold
@@ -116,6 +117,7 @@ let solve ?(objective = Standard) (prov : Provenance.t) =
                 let order_rev = List.rev (Tg.Rooted.by_increasing_depth rooted) in
                 List.iter
                   (fun st ->
+                    Budget.tick_o budget;
                     let children = Tg.Rooted.children rooted st in
                     let sp =
                       pres_end st

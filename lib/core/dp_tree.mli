@@ -30,7 +30,12 @@ type error =
   | Not_a_forest
   | No_pivot   (** some component admits no pivot tuple *)
 
-val solve : ?objective:objective -> Provenance.t -> (result, error) Stdlib.result
+(** [budget] is ticked once per view-tuple endpoint computation and once
+    per DP node; on expiry the run unwinds with {!Budget.Expired} — the
+    DP is exact-or-nothing, there is no partial answer to salvage. *)
+val solve :
+  ?objective:objective -> ?budget:Budget.t -> Provenance.t ->
+  (result, error) Stdlib.result
 
 (** Does the instance satisfy the structural requirement? *)
 val applicable : Provenance.t -> bool

@@ -1,0 +1,55 @@
+(** Fault-injection registry.
+
+    A failpoint is a named site in production code ([Portfolio] runs one
+    per solver, the journal writer runs ["journal.append"]) that does
+    nothing unless an action has been armed for its name — via
+    {!set}, or via the [DELEPROP_FAILPOINTS] environment variable at
+    first use. The resilience test suite arms points programmatically to
+    drive solver crashes and torn journal writes; CI arms a benign set
+    through the environment so the whole suite runs with the machinery
+    live.
+
+    Environment syntax (comma-separated [name=action]):
+    {v
+    DELEPROP_FAILPOINTS="solver.greedy=raise,journal.append=delay:5"
+    DELEPROP_FAILPOINTS="journal.append=crash_after_bytes:128"
+    v}
+
+    Programmatic {!set}/{!clear} override the environment entry of the
+    same name. The registry is a process-wide table guarded by a mutex —
+    safe to consult from pool workers. *)
+
+type action =
+  | Raise                      (** raise {!Injected} at the site *)
+  | Delay_ms of int            (** sleep that long, then continue *)
+  | Crash_after_bytes of int
+      (** journal writer only: write exactly this many more payload
+          bytes, then raise {!Injected} mid-record — a torn write *)
+
+(** Raised by sites whose action is [Raise] (and by the journal writer
+    when its byte allowance runs out). Carries the failpoint name. *)
+exception Injected of string
+
+(** Arm [name]. Replaces any previous action for the name. *)
+val set : string -> action -> unit
+
+(** Disarm [name] (also shadows an environment entry of that name). *)
+val clear : string -> unit
+
+(** Disarm everything and forget the cached environment — the next
+    lookup re-reads [DELEPROP_FAILPOINTS]. Test isolation. *)
+val reset : unit -> unit
+
+(** The armed action, if any. [Crash_after_bytes] consumers ({!Journal})
+    use this to track their allowance. *)
+val find : string -> action option
+
+(** Execute the site: no-op when unarmed or armed [Crash_after_bytes]
+    (which only the journal writer interprets); sleeps on [Delay_ms];
+    raises {!Injected} on [Raise]. *)
+val hit : string -> unit
+
+(** Parse the environment syntax. Unknown or malformed entries raise
+    [Invalid_argument] — a misspelled injection must not silently test
+    nothing. *)
+val parse : string -> (string * action) list

@@ -12,9 +12,11 @@ let bound (problem : Problem.t) =
   let dv = float_of_int (max 2 (Problem.deletion_size problem)) in
   2.0 *. sqrt (l *. v *. log dv)
 
-let solve prov =
+let solve ?budget prov =
+  Budget.tick_o budget;
   let m = Reduction.to_red_blue prov in
-  match Setcover.Red_blue.solve_approx m.Reduction.instance with
+  let tick () = Budget.tick_o budget in
+  match Setcover.Red_blue.solve_approx ~tick m.Reduction.instance with
   | None -> None
   | Some sol ->
     let deletion = Reduction.deletion_of_red_blue m sol in

@@ -14,7 +14,10 @@ type result = {
           instance — experiments compare measured ratio against it. *)
 }
 
-val solve : Provenance.t -> result option
+(** [budget] is ticked before the reduction and once per greedy /
+    threshold step inside the RBSC solvers; on expiry the run unwinds
+    with {!Budget.Expired}. *)
+val solve : ?budget:Budget.t -> Provenance.t -> result option
 
 (** The bound alone. *)
 val bound : Problem.t -> float

@@ -10,6 +10,7 @@ type result = {
   outcome : Side_effect.outcome;
   tau : int;
   pruned_wide : int;
+  complete : bool;
 }
 
 (* ---- arena path ---- *)
@@ -25,7 +26,7 @@ let wide_preserved_arena (a : Arena.t) =
     a.Arena.preserved;
   wide
 
-let solve_with_tau_arena ?(prune_wide = true) (a : Arena.t) ~tau =
+let solve_with_tau_arena ?(prune_wide = true) ?budget (a : Arena.t) ~tau =
   let ns = Arena.num_stuples a in
   let deletable = Bitset.create ns in
   for sid = 0 to ns - 1 do
@@ -38,7 +39,7 @@ let solve_with_tau_arena ?(prune_wide = true) (a : Arena.t) ~tau =
   Log.debug (fun m ->
       m "tau=%d: %d deletable tuples, %d wide preserved pruned" tau
         (Bitset.cardinal deletable) (Bitset.cardinal ignored));
-  match Primal_dual.solve_arena a ~deletable ~ignored_preserved:ignored with
+  match Primal_dual.solve_arena ?budget a ~deletable ~ignored_preserved:ignored with
   | None ->
     Log.debug (fun m -> m "tau=%d infeasible" tau);
     None
@@ -49,10 +50,11 @@ let solve_with_tau_arena ?(prune_wide = true) (a : Arena.t) ~tau =
         outcome = pd.Primal_dual.outcome;
         tau;
         pruned_wide = Bitset.cardinal ignored;
+        complete = true;
       }
 
-let solve_with_tau ?prune_wide (prov : Provenance.t) ~tau =
-  solve_with_tau_arena ?prune_wide (Arena.build prov) ~tau
+let solve_with_tau ?prune_wide ?budget (prov : Provenance.t) ~tau =
+  solve_with_tau_arena ?prune_wide ?budget (Arena.build prov) ~tau
 
 let trivial_result prov =
   {
@@ -60,6 +62,7 @@ let trivial_result prov =
     outcome = Side_effect.eval prov R.Stuple.Set.empty;
     tau = 0;
     pruned_wide = 0;
+    complete = true;
   }
 
 let best_of results =
@@ -73,7 +76,7 @@ let best_of results =
         | _ -> Some r))
     None results
 
-let solve_arena ?(prune_wide = true) ?(domains = 1) ?pool (a : Arena.t) =
+let solve_arena ?(prune_wide = true) ?(domains = 1) ?pool ?budget (a : Arena.t) =
   if Bitset.is_empty a.Arena.bad then trivial_result a.Arena.prov
   else begin
     (* sweeping the distinct preserved-degrees of the candidate tuples is
@@ -85,21 +88,39 @@ let solve_arena ?(prune_wide = true) ?(domains = 1) ?pool (a : Arena.t) =
       |> List.sort_uniq Int.compare
     in
     (* each threshold is an independent restricted run over the shared
-       (immutable) arena; [Par.map] keeps result order, so the fold below
-       is deterministic whatever the domain count or pool *)
+       (immutable) arena; [Par.map_result] keeps result order, so the
+       fold below is deterministic whatever the domain count or pool.
+       The sweep is anytime: a threshold killed by the budget is dropped
+       and the best of the finished ones is returned with
+       [complete = false] — only a sweep with no survivor re-raises. *)
     let results =
-      Par.map ~domains ?pool (fun tau -> solve_with_tau_arena ~prune_wide a ~tau) taus
+      Par.map_result ~domains ?pool
+        (fun tau -> solve_with_tau_arena ~prune_wide ?budget a ~tau)
+        taus
     in
-    match best_of results with
-    | Some r -> r
+    let expired = ref false in
+    let finished =
+      List.filter_map
+        (function
+          | Ok r -> r
+          | Error Budget.Expired ->
+            expired := true;
+            None
+          | Error e -> raise e)
+        results
+    in
+    match best_of (List.map Option.some finished) with
+    | Some r -> if !expired then { r with complete = false } else r
     | None ->
-      (* cannot happen: the max preserved-degree bars no candidate *)
-      assert false
+      if !expired then raise Budget.Expired
+      else
+        (* cannot happen: the max preserved-degree bars no candidate *)
+        assert false
   end
 
-let solve ?prune_wide ?domains ?pool (prov : Provenance.t) =
+let solve ?prune_wide ?domains ?pool ?budget (prov : Provenance.t) =
   if Vtuple.Set.is_empty prov.Provenance.bad then trivial_result prov
-  else solve_arena ?prune_wide ?domains ?pool (Arena.build prov)
+  else solve_arena ?prune_wide ?domains ?pool ?budget (Arena.build prov)
 
 (* ---- reference (pre-arena) implementation ---- *)
 
@@ -131,6 +152,7 @@ let solve_with_tau_reference ?(prune_wide = true) (prov : Provenance.t) ~tau =
         outcome = pd.Primal_dual.outcome;
         tau;
         pruned_wide = Vtuple.Set.cardinal ignored;
+        complete = true;
       }
 
 let solve_reference ?(prune_wide = true) (prov : Provenance.t) =

@@ -20,18 +20,26 @@ type result = {
   outcome : Side_effect.outcome;
   tau : int;             (** threshold that produced this solution *)
   pruned_wide : int;     (** |R'_>| at that threshold *)
+  complete : bool;       (** false when a time budget cut the τ-sweep
+                             short: the answer is the best of the
+                             thresholds that finished (anytime), so
+                             Theorem 4's ratio is void *)
 }
 
 (** Algorithm 2 at a fixed τ; [None] when the restricted instance is
     infeasible (some bad witness entirely barred). [prune_wide] (default
     true) controls the R'_> pruning of line 7 — disabling it is the
     ablation of experiment E15. Compiles a fresh arena; use
-    {!solve_with_tau_arena} to share one across thresholds. *)
-val solve_with_tau : ?prune_wide:bool -> Provenance.t -> tau:int -> result option
+    {!solve_with_tau_arena} to share one across thresholds. [budget]
+    flows into the inner primal-dual, which raises {!Budget.Expired} on
+    expiry. *)
+val solve_with_tau :
+  ?prune_wide:bool -> ?budget:Budget.t -> Provenance.t -> tau:int -> result option
 
 (** Algorithm 2 over a prebuilt {!Arena.t} — degree restriction, wide
     pruning and the inner primal-dual all run on arena ids. *)
-val solve_with_tau_arena : ?prune_wide:bool -> Arena.t -> tau:int -> result option
+val solve_with_tau_arena :
+  ?prune_wide:bool -> ?budget:Budget.t -> Arena.t -> tau:int -> result option
 
 (** Algorithm 3: sweep τ over the distinct preserved-degrees, return the
     cheapest feasible solution. Total sweep is never infeasible (the
@@ -39,12 +47,21 @@ val solve_with_tau_arena : ?prune_wide:bool -> Arena.t -> tau:int -> result opti
     thresholds; [domains] (default 1 = sequential) distributes the
     independent per-τ runs over fresh OCaml 5 domains, while [pool]
     (which wins when given) runs them on a persistent {!Par.Pool.t}
-    instead — results are identical whatever the strategy. *)
-val solve : ?prune_wide:bool -> ?domains:int -> ?pool:Par.Pool.t -> Provenance.t -> result
+    instead — results are identical whatever the strategy.
+
+    The sweep is {e anytime} under [budget]: thresholds that outlive the
+    deadline are dropped, the best finished one is returned with
+    [complete = false]; {!Budget.Expired} escapes only when not a single
+    threshold finished. *)
+val solve :
+  ?prune_wide:bool -> ?domains:int -> ?pool:Par.Pool.t -> ?budget:Budget.t ->
+  Provenance.t -> result
 
 (** Algorithm 3 over a prebuilt arena — what a session solving many
     rounds against one compiled index calls. *)
-val solve_arena : ?prune_wide:bool -> ?domains:int -> ?pool:Par.Pool.t -> Arena.t -> result
+val solve_arena :
+  ?prune_wide:bool -> ?domains:int -> ?pool:Par.Pool.t -> ?budget:Budget.t ->
+  Arena.t -> result
 
 (** The seed implementation (per-τ set-based restriction over the seed
     primal-dual), kept for differential testing and the [arena]

@@ -1,3 +1,9 @@
+let reraise_first results =
+  List.map (function Ok y -> y | Error e -> raise e) results
+
+let sequential_map_result f xs =
+  List.map (fun x -> try Ok (f x) with e -> Error e) xs
+
 module Pool = struct
   type job = {
     run : int -> unit;          (* never raises: wraps into the out array *)
@@ -54,7 +60,11 @@ module Pool = struct
   let create ?domains () =
     let size =
       match domains with
-      | Some d -> max 1 d
+      | Some d ->
+        if d < 1 then
+          invalid_arg
+            (Printf.sprintf "Par.Pool.create: domains must be >= 1 (got %d)" d);
+        d
       | None -> Domain.recommended_domain_count ()
     in
     let t =
@@ -81,9 +91,7 @@ module Pool = struct
 
   let size t = t.size
 
-  let sequential_map f xs = List.map f xs
-
-  let map t f xs =
+  let map_result t f xs =
     let n = List.length xs in
     let self = Domain.self () in
     let nested =
@@ -92,7 +100,7 @@ module Pool = struct
       List.exists (fun id -> id = self) !(t.worker_ids)
       || (match t.active_caller with Some id -> id = self | None -> false)
     in
-    if n <= 1 || t.size <= 1 || t.stop || nested then sequential_map f xs
+    if n <= 1 || t.size <= 1 || t.stop || nested then sequential_map_result f xs
     else begin
       Mutex.lock t.caller;
       t.active_caller <- Some self;
@@ -122,10 +130,11 @@ module Pool = struct
       Mutex.unlock t.caller;
       Array.to_list out
       |> List.map (function
-           | Some (Ok y) -> y
-           | Some (Error e) -> raise e
+           | Some r -> r
            | None -> assert false (* every index was claimed *))
     end
+
+  let map t f xs = reraise_first (map_result t f xs)
 
   let shutdown t =
     Mutex.lock t.caller;
@@ -139,15 +148,20 @@ module Pool = struct
     Mutex.unlock t.caller
 end
 
-let spawn_map ?domains f xs =
+let spawn_map_result ?domains f xs =
   let n = List.length xs in
   let d =
     let requested =
-      match domains with Some d -> d | None -> Domain.recommended_domain_count ()
+      match domains with
+      | Some d ->
+        if d < 1 then
+          invalid_arg (Printf.sprintf "Par.map: domains must be >= 1 (got %d)" d);
+        d
+      | None -> Domain.recommended_domain_count ()
     in
     max 1 (min requested n)
   in
-  if d <= 1 then List.map f xs
+  if d <= 1 then sequential_map_result f xs
   else begin
     let input = Array.of_list xs in
     let out = Array.make n None in
@@ -165,12 +179,13 @@ let spawn_map ?domains f xs =
     List.iter Domain.join helpers;
     Array.to_list out
     |> List.map (function
-         | Some (Ok y) -> y
-         | Some (Error e) -> raise e
+         | Some r -> r
          | None -> assert false (* every index was claimed *))
   end
 
-let map ?domains ?pool f xs =
+let map_result ?domains ?pool f xs =
   match pool with
-  | Some p -> Pool.map p f xs
-  | None -> spawn_map ?domains f xs
+  | Some p -> Pool.map_result p f xs
+  | None -> spawn_map_result ?domains f xs
+
+let map ?domains ?pool f xs = reraise_first (map_result ?domains ?pool f xs)

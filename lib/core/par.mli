@@ -8,7 +8,12 @@
     Two execution strategies share one calling convention:
     {!map} without a pool spawns fresh domains per call (fine for one-off
     sweeps); a {!Pool.t} keeps its domains parked between calls, so a
-    long-lived session (the engine) pays the spawn cost once. *)
+    long-lived session (the engine) pays the spawn cost once.
+
+    Each strategy comes in two dialects: [map] re-raises the first
+    exception once every item has run, while [map_result] captures each
+    item's outcome as a [result] — the failure-isolation dialect the
+    portfolio uses so one crashing solver cannot abort its siblings. *)
 
 (** A persistent pool of [size - 1] worker domains (the calling domain is
     always the [size]-th worker). Workers idle on a condition variable
@@ -22,18 +27,27 @@ module Pool : sig
 
   (** [create ?domains ()] — [domains] (default
       [Domain.recommended_domain_count ()]) is the total worker count
-      including the caller; [domains <= 1] creates a pool that never
-      spawns and maps sequentially. *)
+      including the caller; [domains = 1] creates a pool that never
+      spawns and maps sequentially. Raises [Invalid_argument] when
+      [domains < 1] — zero or negative sizes are programming errors, not
+      requests for a sequential pool. *)
   val create : ?domains:int -> unit -> t
 
   val size : t -> int
 
   (** Same contract as {!Par.map}: order-preserving, first exception
       re-raised after the job drains. After {!shutdown} (or from inside a
-      pool worker) this is a plain sequential [List.map]. *)
+      pool worker) this runs sequentially. *)
   val map : t -> ('a -> 'b) -> 'a list -> 'b list
 
-  (** Park and join the worker domains. Idempotent. A pool whose owner
+  (** Order-preserving, one [result] per input item: [Error e] where the
+      function raised [e], [Ok y] elsewhere. Never raises itself; a pool
+      surviving a failing job stays usable for the next one. *)
+  val map_result : t -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+
+  (** Park and join the worker domains. Idempotent, and safe to call
+      from several domains concurrently — callers serialize and every
+      one returns after the workers are joined. A pool whose owner
       forgets to call this leaks idle domains until process exit but
       does not block it. *)
   val shutdown : t -> unit
@@ -43,11 +57,18 @@ end
     over [domains] domains (the calling domain included). Result order
     matches input order regardless of scheduling, so deterministic [f]
     gives deterministic results. [domains] defaults to
-    [Domain.recommended_domain_count ()], is clamped to [1 .. length xs],
-    and [domains <= 1] degrades to a plain sequential map with no domain
-    spawned. The first exception raised by [f] is re-raised after all
-    workers finish.
+    [Domain.recommended_domain_count ()], is clamped above by
+    [length xs], and [domains = 1] degrades to a plain sequential map
+    with no domain spawned; [domains < 1] raises [Invalid_argument].
+    The first exception raised by [f] is re-raised after all workers
+    finish.
 
     When [pool] is given it wins over [domains]: the job runs on the
     pool's parked workers with no domain spawned. *)
 val map : ?domains:int -> ?pool:Pool.t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** The failure-isolating dialect of {!map}: same strategies and
+    ordering, but each item's outcome is captured as a [result] instead
+    of the first exception aborting the batch. *)
+val map_result :
+  ?domains:int -> ?pool:Pool.t -> ('a -> 'b) -> 'a list -> ('b, exn) result list

@@ -1,6 +1,10 @@
 module R = Relational
 module Bitset = Setcover.Bitset
 
+let src = Logs.Src.create "deleprop.portfolio" ~doc:"solver portfolio"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
 type entry = {
   algorithm : string;
   deletion : R.Stuple.Set.t;
@@ -8,18 +12,28 @@ type entry = {
   elapsed_ms : float;
 }
 
-(* monotonic-enough wall clock: [Sys.time] is process CPU time, which
-   lies once solvers run on parallel domains (it sums across cores) *)
-let timed name f =
-  let t0 = Unix.gettimeofday () in
-  match f () with
-  | None -> None
-  | Some (deleted, outcome, certificate) ->
-    Some
-      { Solution.algorithm = name; deleted; outcome; certificate;
-        elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000.0 }
+type failure_reason =
+  | Timed_out
+  | Crashed of string
 
-let solvers_for ?(exact_threshold = 16) (a : Arena.t) =
+type failure = {
+  algorithm : string;
+  elapsed_ms : float;
+  reason : failure_reason;
+}
+
+type report = {
+  solutions : Solution.t list;
+  failures : failure list;
+  degraded : bool;
+}
+
+let pp_failure ppf f =
+  match f.reason with
+  | Timed_out -> Format.fprintf ppf "%s: timed out after %.1fms" f.algorithm f.elapsed_ms
+  | Crashed msg -> Format.fprintf ppf "%s: crashed (%s)" f.algorithm msg
+
+let solvers_for ?(exact_threshold = 16) ?budget (a : Arena.t) =
   let prov = a.Arena.prov in
   let candidates = Array.length (Arena.candidate_ids a) in
   let solvers =
@@ -28,7 +42,7 @@ let solvers_for ?(exact_threshold = 16) (a : Arena.t) =
          Some
            ( "brute",
              fun () ->
-               Brute.solve prov
+               Brute.solve ?budget prov
                |> Option.map (fun (r : Brute.result) ->
                       (r.Brute.deletion, r.Brute.outcome, Solution.Exact)) )
        else None);
@@ -38,7 +52,7 @@ let solvers_for ?(exact_threshold = 16) (a : Arena.t) =
             (* [Primal_dual.solve] minus the arena compile: full deletable
                set, nothing ignored *)
             match
-              Primal_dual.solve_arena a
+              Primal_dual.solve_arena ?budget a
                 ~deletable:(Bitset.full (Arena.num_stuples a))
                 ~ignored_preserved:(Bitset.create (Arena.num_vtuples a))
             with
@@ -50,21 +64,25 @@ let solvers_for ?(exact_threshold = 16) (a : Arena.t) =
       Some
         ( "lowdeg",
           fun () ->
-            let r = Lowdeg.solve_arena a in
-            (* Theorem 4's ratio 2√‖V‖, off the arena (no re-evaluation) *)
-            Some
-              ( r.Lowdeg.deletion, r.Lowdeg.outcome,
-                Solution.Ratio (2.0 *. sqrt (float_of_int (Arena.num_vtuples a))) ) );
+            let r = Lowdeg.solve_arena ?budget a in
+            (* Theorem 4's ratio 2√‖V‖, off the arena (no re-evaluation);
+               a budget-truncated sweep is only anytime — ratio void *)
+            let cert =
+              if r.Lowdeg.complete then
+                Solution.Ratio (2.0 *. sqrt (float_of_int (Arena.num_vtuples a)))
+              else Solution.Anytime
+            in
+            Some (r.Lowdeg.deletion, r.Lowdeg.outcome, cert) );
       Some
         ( "dp-tree",
           fun () ->
-            match Dp_tree.solve prov with
+            match Dp_tree.solve ?budget prov with
             | Ok r -> Some (r.Dp_tree.deletion, r.Dp_tree.outcome, Solution.Exact)
             | Error _ -> None );
       Some
         ( "general",
           fun () ->
-            General_approx.solve prov
+            General_approx.solve ?budget prov
             |> Option.map (fun (r : General_approx.result) ->
                    ( r.General_approx.deletion, r.General_approx.outcome,
                      Solution.Ratio r.General_approx.claimed_bound )) );
@@ -78,19 +96,90 @@ let solvers_for ?(exact_threshold = 16) (a : Arena.t) =
   in
   solvers
 
-let solutions ?exact_threshold ?only ?domains ?pool (a : Arena.t) =
-  let solvers = solvers_for ?exact_threshold a in
+(* One solver attempt, classified — no exception leaves this wrapper, so
+   a crashing or timed-out solver never takes the round (or a pool
+   worker) down with it. [Sys.time] is process CPU time, which lies once
+   solvers run on parallel domains, hence [Unix.gettimeofday]. *)
+type attempt =
+  | Solved of Solution.t
+  | Inapplicable
+  | Failed of failure
+
+let attempt (name, f) =
+  let t0 = Unix.gettimeofday () in
+  let elapsed () = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  match
+    Failpoint.hit ("solver." ^ name);
+    f ()
+  with
+  | None -> Inapplicable
+  | Some (deleted, outcome, certificate) ->
+    Solved
+      { Solution.algorithm = name; deleted; outcome; certificate;
+        elapsed_ms = elapsed () }
+  | exception Budget.Expired ->
+    Failed { algorithm = name; elapsed_ms = elapsed (); reason = Timed_out }
+  | exception e ->
+    Failed { algorithm = name; elapsed_ms = elapsed (); reason = Crashed (Printexc.to_string e) }
+
+(* Bottom rung of the degradation ladder: the greedy pass terminates in
+   polynomial time with a feasible answer whenever one exists, so a
+   round whose every budgeted solver timed out or crashed still
+   answers. Runs unbudgeted and outside the failpoint registry — it is
+   the last resort, not an injection target. *)
+let degraded_solution (a : Arena.t) =
+  let t0 = Unix.gettimeofday () in
+  let r = Single_query.solve_greedy_multi a.Arena.prov in
+  let sol =
+    { Solution.algorithm = "greedy"; deleted = r.Single_query.deletion;
+      outcome = r.Single_query.outcome; certificate = Solution.Heuristic;
+      elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000.0 }
+  in
+  if Solution.feasible sol then Some sol else None
+
+let solutions_report ?exact_threshold ?only ?domains ?pool ?budget_ms (a : Arena.t) =
+  let budget = Option.map Budget.of_ms budget_ms in
+  let solvers = solvers_for ?exact_threshold ?budget a in
   let solvers =
     match only with
     | None -> solvers
     | Some names -> List.filter (fun (name, _) -> List.mem name names) solvers
   in
-  (match (domains, pool) with
-  | None, None -> List.filter_map (fun (name, f) -> timed name f) solvers
-  | _ ->
-    Par.map ?domains ?pool (fun (name, f) -> timed name f) solvers
-    |> List.filter_map Fun.id)
-  |> Solution.rank
+  let attempts =
+    match (domains, pool) with
+    | None, None -> List.map attempt solvers
+    | _ ->
+      (* [attempt] swallows its own exceptions; [map_result] is the belt
+         under those braces — a worker dying outside the wrapper still
+         surfaces as a classified failure, never as a dead pool *)
+      Par.map_result ?domains ?pool attempt solvers
+      |> List.map2
+           (fun (name, _) -> function
+             | Ok att -> att
+             | Error e ->
+               Failed { algorithm = name; elapsed_ms = 0.0; reason = Crashed (Printexc.to_string e) })
+           solvers
+  in
+  let failures =
+    List.filter_map (function Failed f -> Some f | _ -> None) attempts
+  in
+  List.iter (fun f -> Log.warn (fun m -> m "%a" pp_failure f)) failures;
+  let ranked =
+    List.filter_map (function Solved s -> Some s | _ -> None) attempts
+    |> Solution.rank
+  in
+  match ranked with
+  | _ :: _ -> { solutions = ranked; failures; degraded = false }
+  | [] -> (
+    match degraded_solution a with
+    | Some s ->
+      Log.warn (fun m ->
+          m "no solver produced a feasible answer; degraded to unbudgeted greedy");
+      { solutions = [ s ]; failures; degraded = true }
+    | None -> { solutions = []; failures; degraded = false })
+
+let solutions ?exact_threshold ?only ?domains ?pool ?budget_ms (a : Arena.t) =
+  (solutions_report ?exact_threshold ?only ?domains ?pool ?budget_ms a).solutions
 
 (* ---- legacy entry points (pre-[Solution.t] dialect) ---- *)
 

@@ -23,7 +23,7 @@ let eps = 1e-9
    only on the provenance, not on the restriction, so the LowDeg τ-sweep
    shares it across all thresholds. *)
 
-let reverse_delete_arena (a : Arena.t) chosen_in_order =
+let reverse_delete_arena ?budget (a : Arena.t) chosen_in_order =
   (* drop a chosen tuple (scanning in reverse addition order) whenever all
      bad witnesses remain hit without it — lines 7-10 of Algorithm 1 *)
   let nv = Arena.num_vtuples a in
@@ -36,6 +36,7 @@ let reverse_delete_arena (a : Arena.t) chosen_in_order =
     chosen_in_order;
   List.fold_left
     (fun kept sid ->
+      Budget.tick_o budget;
       let redundant = ref true in
       Array.iter
         (fun vid ->
@@ -51,7 +52,8 @@ let reverse_delete_arena (a : Arena.t) chosen_in_order =
     []
     (List.rev chosen_in_order)
 
-let solve_arena ?(reverse_delete = true) (a : Arena.t) ~deletable ~ignored_preserved =
+let solve_arena ?(reverse_delete = true) ?budget (a : Arena.t) ~deletable
+    ~ignored_preserved =
   let ns = Arena.num_stuples a and nv = Arena.num_vtuples a in
   (* capacity of a source tuple: total weight of its preserved,
      non-ignored view tuples (ascending vid = ascending Vtuple order, so
@@ -76,6 +78,7 @@ let solve_arena ?(reverse_delete = true) (a : Arena.t) ~deletable ~ignored_prese
   Array.iter
     (fun vid ->
       if not !infeasible then begin
+        Budget.tick_o budget;
         let w = a.Arena.witness.(vid) in
         let any_deletable = ref false and any_chosen = ref false in
         Array.iter
@@ -126,7 +129,7 @@ let solve_arena ?(reverse_delete = true) (a : Arena.t) ~deletable ~ignored_prese
   else begin
     let chosen_in_order = List.rev !chosen in
     let deletion_ids =
-      if reverse_delete then reverse_delete_arena a chosen_in_order
+      if reverse_delete then reverse_delete_arena ?budget a chosen_in_order
       else chosen_in_order
     in
     let deletion = Arena.to_stuple_set a deletion_ids in

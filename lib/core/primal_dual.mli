@@ -45,9 +45,17 @@ val solve_restricted :
 (** The kernel both entry points above compile to: Algorithm 1 over a
     prebuilt arena, with the restriction expressed as bitsets over arena
     ids. The LowDeg τ-sweep calls this once per threshold on a shared
-    arena. [None] iff some bad witness has no deletable tuple. *)
+    arena. [None] iff some bad witness has no deletable tuple.
+
+    [budget] is ticked once per bad view tuple and once per
+    reverse-delete candidate; on expiry the run unwinds with
+    {!Budget.Expired} — the dual raising is not anytime (a partial run
+    leaves bad tuples unhit), so there is no partial result to salvage
+    and the caller (portfolio, τ-sweep) records the attempt as timed
+    out. *)
 val solve_arena :
   ?reverse_delete:bool ->
+  ?budget:Budget.t ->
   Arena.t ->
   deletable:Setcover.Bitset.t ->
   ignored_preserved:Setcover.Bitset.t ->

@@ -5,6 +5,7 @@ type certificate =
   | Dual_bound of float
   | Ratio of float
   | Heuristic
+  | Anytime
 
 type t = {
   algorithm : string;
@@ -29,6 +30,7 @@ let pp_certificate ppf = function
   | Dual_bound v -> Format.fprintf ppf "dual bound %g" v
   | Ratio r -> Format.fprintf ppf "ratio %g" r
   | Heuristic -> Format.fprintf ppf "heuristic"
+  | Anytime -> Format.fprintf ppf "anytime (budget hit)"
 
 let pp ppf s =
   Format.fprintf ppf "@[<v 2>%s (%a, %.2f ms): cost %g, delete %d tuple(s)%a@]"
@@ -89,6 +91,7 @@ let to_json s =
   (match s.certificate with
   | Exact -> Buffer.add_string b "{\"kind\":\"exact\"}"
   | Heuristic -> Buffer.add_string b "{\"kind\":\"heuristic\"}"
+  | Anytime -> Buffer.add_string b "{\"kind\":\"anytime\"}"
   | Dual_bound v ->
     Buffer.add_string b (Printf.sprintf "{\"kind\":\"dual-bound\",\"value\":%s}" (json_float v))
   | Ratio r ->

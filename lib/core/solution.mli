@@ -11,12 +11,15 @@
       optimum (primal-dual, Theorem 3);
     - [Ratio r] — within factor [r] of the optimum (LowDeg's 2√‖V‖,
       the general reduction's Claim-1 bound);
-    - [Heuristic] — feasible, no guarantee. *)
+    - [Heuristic] — feasible, no guarantee;
+    - [Anytime] — the best feasible answer found before a time budget
+      expired: a partial sweep, so the solver's usual ratio is void. *)
 type certificate =
   | Exact
   | Dual_bound of float
   | Ratio of float
   | Heuristic
+  | Anytime
 
 type t = {
   algorithm : string;

@@ -15,6 +15,8 @@ type stats = {
   cache_hits : int;
   last_solve_ms : float;
   total_solve_ms : float;
+  journal_records : int;
+  recovered_records : int;
 }
 
 let zero_stats =
@@ -28,19 +30,24 @@ let zero_stats =
     cache_hits = 0;
     last_solve_ms = 0.0;
     total_solve_ms = 0.0;
+    journal_records = 0;
+    recovered_records = 0;
   }
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "@[<v>rounds: %d, applies: %d@ deleted %d / inserted %d source tuple(s)@ index: \
      %d patch(es), %d rebuild(s), %d cache hit(s)@ solve: last %.2f ms, total %.2f \
-     ms@]"
+     ms@ journal: %d record(s) appended, %d recovered@]"
     s.rounds s.applies s.tuples_deleted s.tuples_inserted s.patches s.rebuilds
-    s.cache_hits s.last_solve_ms s.total_solve_ms
+    s.cache_hits s.last_solve_ms s.total_solve_ms s.journal_records
+    s.recovered_records
 
 type plan = {
   requests : D.Delta_request.t list;
   solutions : D.Solution.t list;
+  failures : D.Portfolio.failure list;
+  degraded : bool;
 }
 
 type index = { prov : D.Provenance.t; arena : D.Arena.t }
@@ -50,7 +57,11 @@ type t = {
   weights : D.Weights.t option;
   exact_threshold : int option;
   algorithms : string list option;
+  budget_ms : float option;
+  base_db : R.Instance.t;
+  journal_path : string option;
   pool : D.Par.Pool.t;
+  mutable journal : Journal.writer option;
   mutable mv : D.Matview.t;
   mutable index : index option;
   mutable stats : stats;
@@ -80,56 +91,11 @@ let index_of t =
     ix
   | None -> build_index t
 
-let create ?weights ?exact_threshold ?algorithms ?domains db queries =
-  let problem = D.Problem.make ~db ~queries ~deletions:[] ?weights () in
-  let prov = D.Provenance.build problem in
-  let arena = D.Arena.build prov in
-  {
-    queries;
-    weights;
-    exact_threshold;
-    algorithms;
-    pool = D.Par.Pool.create ?domains ();
-    mv = D.Matview.of_views db queries prov.D.Provenance.views;
-    index = Some { prov; arena };
-    stats = { zero_stats with rebuilds = 1 };
-  }
+(* ---- raw state transitions (no journaling — both the public ops and
+   journal replay commit through these) ---- *)
 
-let db t = D.Matview.db t.mv
-let view t name = D.Matview.view t.mv name
-let matview t = t.mv
-let stats t = t.stats
-
-let index t =
-  let ix = index_of t in
-  (ix.prov, ix.arena)
-
-let request t requests =
-  let ix = index_of t in
-  match D.Delta_request.validate ~views:ix.prov.D.Provenance.views requests with
-  | Error _ as e -> e
-  | Ok () ->
-    let t0 = Unix.gettimeofday () in
-    let prov' = D.Provenance.with_deletions ix.prov requests in
-    let arena' = D.Arena.with_deletions ix.arena prov' in
-    let solutions =
-      D.Portfolio.solutions ?exact_threshold:t.exact_threshold ?only:t.algorithms
-        ~pool:t.pool arena'
-    in
-    let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
-    t.stats <-
-      {
-        t.stats with
-        rounds = t.stats.rounds + 1;
-        last_solve_ms = ms;
-        total_solve_ms = t.stats.total_solve_ms +. ms;
-      };
-    Log.debug (fun m ->
-        m "round %d: %d solution(s) in %.2f ms" t.stats.rounds
-          (List.length solutions) ms);
-    Ok { requests; solutions }
-
-let commit t dd =
+(* returns the subset actually deleted (tuples already gone are skipped) *)
+let commit_raw t dd =
   let dd = R.Stuple.Set.filter (fun st -> R.Instance.mem (D.Matview.db t.mv) st) dd in
   t.stats <-
     {
@@ -137,7 +103,7 @@ let commit t dd =
       applies = t.stats.applies + 1;
       tuples_deleted = t.stats.tuples_deleted + R.Stuple.Set.cardinal dd;
     };
-  if not (R.Stuple.Set.is_empty dd) then
+  if not (R.Stuple.Set.is_empty dd) then begin
     match t.index with
     | Some ix ->
       let prov' = D.Provenance.delete ix.prov dd in
@@ -151,6 +117,103 @@ let commit t dd =
       (* index already invalidated (pending inserts): just maintain the
          views; the next [request] rebuilds *)
       t.mv <- D.Matview.delete t.mv dd
+  end;
+  dd
+
+let insert_raw t st =
+  t.mv <- D.Matview.insert t.mv st;
+  t.index <- None;
+  t.stats <- { t.stats with tuples_inserted = t.stats.tuples_inserted + 1 }
+
+let replay_record t = function
+  | Journal.Apply dd | Journal.Delete dd -> ignore (commit_raw t dd)
+  | Journal.Insert st -> insert_raw t st
+
+let journal_append t record =
+  match t.journal with
+  | None -> ()
+  | Some w ->
+    Journal.append w record;
+    t.stats <- { t.stats with journal_records = t.stats.journal_records + 1 }
+
+let create ?weights ?exact_threshold ?algorithms ?domains ?budget_ms ?journal
+    ?(recover = false) db queries =
+  let problem = D.Problem.make ~db ~queries ~deletions:[] ?weights () in
+  let prov = D.Provenance.build problem in
+  let arena = D.Arena.build prov in
+  let t =
+    {
+      queries;
+      weights;
+      exact_threshold;
+      algorithms;
+      budget_ms;
+      base_db = db;
+      journal_path = journal;
+      journal = None;
+      pool = D.Par.Pool.create ?domains ();
+      mv = D.Matview.of_views db queries prov.D.Provenance.views;
+      index = Some { prov; arena };
+      stats = { zero_stats with rebuilds = 1 };
+    }
+  in
+  (match journal with
+  | None -> ()
+  | Some path ->
+    if not recover && Sys.file_exists path then Sys.remove path;
+    (match Journal.load ~repair:true path with
+    | Error e -> raise (Journal.Error e)
+    | Ok records ->
+      List.iter (replay_record t) records;
+      t.stats <- { t.stats with recovered_records = List.length records };
+      if records <> [] then
+        Log.info (fun m ->
+            m "journal %s: replayed %d record(s)" path (List.length records)));
+    t.journal <- Some (Journal.open_writer path));
+  t
+
+let db t = D.Matview.db t.mv
+let view t name = D.Matview.view t.mv name
+let matview t = t.mv
+let stats t = t.stats
+
+let index t =
+  let ix = index_of t in
+  (ix.prov, ix.arena)
+
+let request ?budget_ms t requests =
+  let ix = index_of t in
+  match D.Delta_request.validate ~views:ix.prov.D.Provenance.views requests with
+  | Error _ as e -> e
+  | Ok () ->
+    let t0 = Unix.gettimeofday () in
+    let prov' = D.Provenance.with_deletions ix.prov requests in
+    let arena' = D.Arena.with_deletions ix.arena prov' in
+    let budget_ms = match budget_ms with Some _ as b -> b | None -> t.budget_ms in
+    let report =
+      D.Portfolio.solutions_report ?exact_threshold:t.exact_threshold
+        ?only:t.algorithms ?budget_ms ~pool:t.pool arena'
+    in
+    let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    t.stats <-
+      {
+        t.stats with
+        rounds = t.stats.rounds + 1;
+        last_solve_ms = ms;
+        total_solve_ms = t.stats.total_solve_ms +. ms;
+      };
+    Log.debug (fun m ->
+        m "round %d: %d solution(s), %d failure(s) in %.2f ms" t.stats.rounds
+          (List.length report.D.Portfolio.solutions)
+          (List.length report.D.Portfolio.failures)
+          ms);
+    Ok
+      {
+        requests;
+        solutions = report.D.Portfolio.solutions;
+        failures = report.D.Portfolio.failures;
+        degraded = report.D.Portfolio.degraded;
+      }
 
 let apply ?solution t plan =
   let chosen =
@@ -161,19 +224,59 @@ let apply ?solution t plan =
   match chosen with
   | None -> None
   | Some s ->
-    commit t s.D.Solution.deleted;
+    let dd = commit_raw t s.D.Solution.deleted in
+    journal_append t (Journal.Apply dd);
     Some s
 
-let delete t dd = commit t dd
+let delete t dd =
+  let dd = commit_raw t dd in
+  journal_append t (Journal.Delete dd)
 
 let insert t st =
-  t.mv <- D.Matview.insert t.mv st;
-  t.index <- None;
-  t.stats <- { t.stats with tuples_inserted = t.stats.tuples_inserted + 1 }
+  insert_raw t st;
+  journal_append t (Journal.Insert st)
 
 let insert_all t sts = R.Stuple.Set.iter (fun st -> insert t st) sts
 
-let close t = D.Par.Pool.shutdown t.pool
+let checkpoint t =
+  match t.journal_path with
+  | None -> ()
+  | Some path ->
+    (match t.journal with
+    | Some w ->
+      Journal.close_writer w;
+      t.journal <- None
+    | None -> ());
+    let cur = D.Matview.db t.mv in
+    let gone =
+      R.Instance.fold
+        (fun st acc ->
+          if R.Instance.mem cur st then acc else R.Stuple.Set.add st acc)
+        t.base_db R.Stuple.Set.empty
+    in
+    let added =
+      R.Instance.fold
+        (fun st acc ->
+          if R.Instance.mem t.base_db st then acc else st :: acc)
+        cur []
+    in
+    (* deletes first: an update (same key, new tuple) must drop the old
+       row before its replacement replays *)
+    let records =
+      Journal.Delete gone :: List.rev_map (fun st -> Journal.Insert st) added
+    in
+    Journal.rewrite path records;
+    t.journal <- Some (Journal.open_writer path);
+    Log.info (fun m ->
+        m "journal %s: checkpointed to %d record(s)" path (List.length records))
+
+let close t =
+  (match t.journal with
+  | Some w ->
+    Journal.close_writer w;
+    t.journal <- None
+  | None -> ());
+  D.Par.Pool.shutdown t.pool
 
 (* ---- scripted sessions ---- *)
 
@@ -183,10 +286,17 @@ module Script = struct
     | Insert of R.Stuple.t
     | Delete of R.Stuple.t
 
+  type line = {
+    lineno : int;
+    text : string;
+    op : op;
+  }
+
   type round = {
     number : int;
     op : op;
     plan : plan option;
+    error : string option;
   }
 
   let parse_fact s =
@@ -233,12 +343,12 @@ module Script = struct
   let parse text =
     let rec go n acc = function
       | [] -> Ok (List.rev acc)
-      | line :: tl -> (
-        let line = String.trim line in
-        if line = "" || line.[0] = '#' then go (n + 1) acc tl
+      | raw :: tl -> (
+        let trimmed = String.trim raw in
+        if trimmed = "" || trimmed.[0] = '#' then go (n + 1) acc tl
         else
-          match parse_line line with
-          | Ok op -> go (n + 1) (op :: acc) tl
+          match parse_line trimmed with
+          | Ok op -> go (n + 1) ({ lineno = n; text = trimmed; op } :: acc) tl
           | Error msg -> Error (Printf.sprintf "line %d: %s" n msg))
     in
     go 1 [] (String.split_on_char '\n' text)
@@ -249,28 +359,42 @@ module Script = struct
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> parse (really_input_string ic (in_channel_length ic)))
 
-  let replay eng ops =
+  (* one op; [Ok] carries the plan of a solve round *)
+  let execute eng = function
+    | Solve requests -> (
+      match request eng requests with
+      | Error e -> Error (D.Delta_request.error_to_string e)
+      | Ok plan ->
+        ignore (apply eng plan);
+        Ok (Some plan))
+    | Insert st -> (
+      match insert eng st with
+      | () -> Ok None
+      | exception R.Relation.Key_violation (rel, existing, _) ->
+        Error
+          (Format.asprintf "inserting %a violates the key of %s (%a)" R.Stuple.pp st
+             rel R.Tuple.pp existing))
+    | Delete st ->
+      delete eng (R.Stuple.Set.singleton st);
+      Ok None
+
+  let replay ?(keep_going = false) eng lines =
     let rec go n acc = function
       | [] -> Ok (List.rev acc)
-      | op :: tl -> (
-        match op with
-        | Solve requests -> (
-          match request eng requests with
-          | Error e ->
-            Error (Printf.sprintf "round %d: %s" n (D.Delta_request.error_to_string e))
-          | Ok plan ->
-            ignore (apply eng plan);
-            go (n + 1) ({ number = n; op; plan = Some plan } :: acc) tl)
-        | Insert st -> (
-          match insert eng st with
-          | () -> go (n + 1) ({ number = n; op; plan = None } :: acc) tl
-          | exception R.Relation.Key_violation (rel, existing, _) ->
-            Error
-              (Format.asprintf "round %d: inserting %a violates the key of %s (%a)" n
-                 R.Stuple.pp st rel R.Tuple.pp existing))
-        | Delete st ->
-          delete eng (R.Stuple.Set.singleton st);
-          go (n + 1) ({ number = n; op; plan = None } :: acc) tl)
+      | (line : line) :: tl -> (
+        match execute eng line.op with
+        | Ok plan -> go (n + 1) ({ number = n; op = line.op; plan; error = None } :: acc) tl
+        | Error msg ->
+          (* the failing line's own text travels with the error — a
+             script author debugs the script, not the round numbering *)
+          let msg = Printf.sprintf "round %d (%s): %s" n line.text msg in
+          if keep_going then
+            go (n + 1) ({ number = n; op = line.op; plan = None; error = Some msg } :: acc) tl
+          else Error msg)
     in
-    go 1 [] ops
+    go 1 [] lines
 end
+
+(* re-export: [engine] is the library's interface module, so the journal
+   is reachable from outside as [Engine.Journal] *)
+module Journal = Journal

@@ -17,10 +17,17 @@
       anywhere); the next {!request} rebuilds lazily — the
       patch/rebuild/cache-hit decisions are all counted in {!stats}.
 
+    The session is {e resilient}: rounds run under an optional time
+    budget with graceful degradation (see {!Deleprop.Portfolio}), solver
+    crashes are isolated into {!plan.failures}, and committed operations
+    can be journaled to disk ({!Journal}) so a killed session recovers
+    to exactly its last committed state.
+
     The differential property suite ([test/test_engine.ml]) drives
     random delete/insert/solve streams through both this incremental
     path and rebuild-from-scratch and checks the indexes and ranked
-    solver outputs are bit-identical.
+    solver outputs are bit-identical; [test/test_resilience.ml] does the
+    same across injected crashes and journal recovery.
 
     The query set must be key preserving ({!create} enforces it): the
     unique-witness index is what makes incremental deletion exact. *)
@@ -37,13 +44,19 @@ type stats = {
   cache_hits : int;       (** operations served by the live index *)
   last_solve_ms : float;  (** wall time of the last round (patch + portfolio) *)
   total_solve_ms : float; (** cumulative round wall time *)
+  journal_records : int;  (** records appended to the journal this session *)
+  recovered_records : int;(** records replayed from the journal at {!create} *)
 }
 
-(** A solved round: the requests it answered and the ranked feasible
-    solutions (cheapest first, {!Deleprop.Portfolio.solutions}). *)
+(** A solved round: the requests it answered, the ranked feasible
+    solutions (cheapest first), and the round's resilience report —
+    solvers that timed out or crashed, and whether the answer came from
+    the degradation ladder ({!Deleprop.Portfolio.report}). *)
 type plan = {
   requests : Deleprop.Delta_request.t list;
   solutions : Deleprop.Solution.t list;
+  failures : Deleprop.Portfolio.failure list;
+  degraded : bool;
 }
 
 (** Build the session: evaluates the queries once (shared between the
@@ -53,39 +66,63 @@ type plan = {
     [domains] sizes the pool (default
     [Domain.recommended_domain_count ()]; pass [~domains:1] for a
     sequential session with no spawned domain). Raises
-    [Invalid_argument] on non-key-preserving queries. *)
+    [Invalid_argument] on non-key-preserving queries.
+
+    [budget_ms] arms every round with a wall-clock deadline (overridable
+    per {!request}).
+
+    [journal] makes committed operations durable in an append-only log
+    at that path. With [recover] (default [false]) an existing journal
+    is replayed on top of [db] — a torn final record (killed mid-write)
+    is truncated away, interior corruption raises {!Journal.Error} —
+    and the session continues appending; without it any existing file
+    is discarded. [db] must be the same database the journal was
+    recorded against. *)
 val create :
   ?weights:Deleprop.Weights.t ->
   ?exact_threshold:int ->
   ?algorithms:string list ->
   ?domains:int ->
+  ?budget_ms:float ->
+  ?journal:string ->
+  ?recover:bool ->
   Relational.Instance.t ->
   Cq.Query.t list ->
   t
 
 (** Solve one round of typed deletion intents against the current state.
-    Nothing is committed — call {!apply} with the returned plan. *)
+    Nothing is committed — call {!apply} with the returned plan.
+    [budget_ms] overrides the session default for this round. *)
 val request :
+  ?budget_ms:float ->
   t -> Deleprop.Delta_request.t list -> (plan, Deleprop.Delta_request.error) result
 
 (** Commit a solution of [plan] — [solution] (default: the plan's
     cheapest) — and return it. [None] when the plan has no feasible
     solution (nothing committed). Tuples already gone from the database
     are skipped; the provenance index and arena are patched, never
-    rebuilt. *)
+    rebuilt. Journaled as an [Apply] record when the session has a
+    journal. *)
 val apply : ?solution:Deleprop.Solution.t -> t -> plan -> Deleprop.Solution.t option
 
 (** Commit a direct source deletion (same incremental path as {!apply},
-    no solver involved). *)
+    no solver involved). Journaled as a [Delete] record. *)
 val delete : t -> Relational.Stuple.Set.t -> unit
 
 (** Insert a source tuple: views maintain incrementally, the
     provenance/arena index invalidates (rebuilt lazily by the next
     {!request}). Raises {!Relational.Relation.Key_violation} like the
-    underlying instance. *)
+    underlying instance (nothing is journaled then). *)
 val insert : t -> Relational.Stuple.t -> unit
 
 val insert_all : t -> Relational.Stuple.Set.t -> unit
+
+(** Compact the journal: atomically rewrite it as the minimal diff
+    between the database {!create} was given and the current one (one
+    delete record, then the inserted tuples — deletes first so key
+    updates replay cleanly). Recovery cost stops growing with session
+    length. No-op for journal-less sessions. *)
+val checkpoint : t -> unit
 
 val db : t -> Relational.Instance.t
 
@@ -103,8 +140,9 @@ val index : t -> Deleprop.Provenance.t * Deleprop.Arena.t
 val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit
 
-(** Shut the domain pool down. The engine remains usable afterwards
-    (parallel fan-outs degrade to sequential). *)
+(** Close the journal (if any) and shut the domain pool down. The engine
+    remains usable afterwards (parallel fan-outs degrade to sequential,
+    further commits are no longer journaled). *)
 val close : t -> unit
 
 (** Line-oriented round scripts for [deleprop batch]:
@@ -123,18 +161,36 @@ module Script : sig
     | Insert of Relational.Stuple.t
     | Delete of Relational.Stuple.t
 
-  (** One executed script line: [plan] is [Some] exactly for [Solve]
-      ops (whose cheapest solution was applied). *)
+  (** A parsed script line: the op plus where it came from — [lineno]
+      is 1-based in the source text, [text] the trimmed line itself
+      (what error messages quote). *)
+  type line = {
+    lineno : int;
+    text : string;
+    op : op;
+  }
+
+  (** One executed script line: [plan] is [Some] exactly for successful
+      [Solve] ops (whose cheapest solution was applied); [error] is
+      [Some] only under [replay ~keep_going:true] for ops that failed. *)
   type round = {
     number : int;
     op : op;
     plan : plan option;
+    error : string option;
   }
 
-  val parse : string -> (op list, string) result
-  val parse_file : string -> (op list, string) result
+  val parse : string -> (line list, string) result
+  val parse_file : string -> (line list, string) result
 
   (** Execute the ops in order — [Solve] rounds auto-apply their best
-      solution. Stops at the first failing op with its round number. *)
-  val replay : t -> op list -> (round list, string) result
+      solution. An op failure reports ["round %d (<line text>): %s"]:
+      by default the replay stops there; with [keep_going] the failed
+      round is recorded (its [error] set) and the rest of the script
+      still runs. *)
+  val replay : ?keep_going:bool -> t -> line list -> (round list, string) result
 end
+
+(** The session journal, re-exported ([Engine] is the library's
+    interface module). *)
+module Journal : module type of Journal

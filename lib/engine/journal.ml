@@ -1,0 +1,191 @@
+module R = Relational
+module D = Deleprop
+
+let magic = "DLPJRNL1"
+
+type record =
+  | Apply of R.Stuple.Set.t
+  | Delete of R.Stuple.Set.t
+  | Insert of R.Stuple.t
+
+type error =
+  | Bad_magic of string
+  | Corrupt of { index : int; reason : string }
+
+exception Error of error
+
+let pp_error ppf = function
+  | Bad_magic path -> Format.fprintf ppf "%s is not a session journal" path
+  | Corrupt { index; reason } -> Format.fprintf ppf "journal record %d corrupt: %s" index reason
+
+(* ---- CRC-32 (IEEE), table-driven ---- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let i = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl) in
+      c := Int32.logxor table.(i) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* ---- record codec ---- *)
+
+let tag_of = function Apply _ -> 'A' | Delete _ -> 'D' | Insert _ -> 'I'
+
+let payload_of record =
+  let facts =
+    match record with
+    | Apply dd | Delete dd -> List.map R.Stuple.to_string (R.Stuple.Set.elements dd)
+    | Insert st -> [ R.Stuple.to_string st ]
+  in
+  String.concat "\n" (String.make 1 (tag_of record) :: facts)
+
+let fact_of_line line =
+  let rel, tuple = R.Serial.fact_of_string line in
+  R.Stuple.make rel tuple
+
+let record_of_payload payload =
+  match String.split_on_char '\n' payload with
+  | tag :: facts -> (
+    match tag with
+    | "A" -> Apply (R.Stuple.Set.of_list (List.map fact_of_line facts))
+    | "D" -> Delete (R.Stuple.Set.of_list (List.map fact_of_line facts))
+    | "I" -> (
+      match facts with
+      | [ f ] -> Insert (fact_of_line f)
+      | _ -> failwith "insert record needs exactly one fact")
+    | t -> failwith (Printf.sprintf "unknown record tag %S" t))
+  | [] -> failwith "empty payload"
+
+let u32_le n =
+  let b = Bytes.create 4 in
+  Bytes.set_uint8 b 0 (n land 0xFF);
+  Bytes.set_uint8 b 1 ((n lsr 8) land 0xFF);
+  Bytes.set_uint8 b 2 ((n lsr 16) land 0xFF);
+  Bytes.set_uint8 b 3 ((n lsr 24) land 0xFF);
+  Bytes.unsafe_to_string b
+
+let read_u32_le s pos =
+  Char.code s.[pos]
+  lor (Char.code s.[pos + 1] lsl 8)
+  lor (Char.code s.[pos + 2] lsl 16)
+  lor (Char.code s.[pos + 3] lsl 24)
+
+let encode record =
+  let payload = payload_of record in
+  let crc = Int32.to_int (crc32 payload) land 0xFFFFFFFF in
+  u32_le (String.length payload) ^ u32_le crc ^ payload
+
+(* ---- reading ---- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ?(repair = false) path =
+  if not (Sys.file_exists path) then Ok []
+  else begin
+    let data = read_file path in
+    let len = String.length data in
+    if len = 0 then Ok []
+    else if len < String.length magic || String.sub data 0 (String.length magic) <> magic
+    then Error (Bad_magic path)
+    else begin
+      let truncate_to pos = if repair then Unix.truncate path pos in
+      let rec go pos index acc =
+        if pos = len then Ok (List.rev acc)
+        else if len - pos < 8 then begin
+          (* torn header *)
+          truncate_to pos;
+          Ok (List.rev acc)
+        end
+        else begin
+          let plen = read_u32_le data pos in
+          let crc = read_u32_le data (pos + 4) in
+          if len - pos - 8 < plen then begin
+            (* torn payload *)
+            truncate_to pos;
+            Ok (List.rev acc)
+          end
+          else begin
+            let payload = String.sub data (pos + 8) plen in
+            let next = pos + 8 + plen in
+            if Int32.to_int (crc32 payload) land 0xFFFFFFFF <> crc then
+              if next = len then begin
+                (* checksum failure on the final record: torn write *)
+                truncate_to pos;
+                Ok (List.rev acc)
+              end
+              else Error (Corrupt { index; reason = "checksum mismatch" })
+            else
+              match record_of_payload payload with
+              | record -> go next (index + 1) (record :: acc)
+              | exception (Failure msg | R.Serial.Parse_error (_, msg)) ->
+                (* a checksummed payload that does not decode is corruption
+                   whatever its position — the bytes were written whole *)
+                Error (Corrupt { index; reason = msg })
+          end
+        end
+      in
+      go (String.length magic) 0 []
+    end
+  end
+
+(* ---- writing ---- *)
+
+type writer = {
+  path : string;
+  mutable oc : out_channel;
+}
+
+let open_channel path =
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644 path in
+  if out_channel_length oc = 0 then begin
+    output_string oc magic;
+    flush oc
+  end;
+  oc
+
+let open_writer path = { path; oc = open_channel path }
+
+let append w record =
+  let bytes = encode record in
+  (match D.Failpoint.find "journal.append" with
+  | Some (D.Failpoint.Crash_after_bytes n) ->
+    let n = min n (String.length bytes) in
+    output_string w.oc (String.sub bytes 0 n);
+    flush w.oc;
+    raise (D.Failpoint.Injected "journal.append")
+  | Some _ -> D.Failpoint.hit "journal.append"
+  | None -> ());
+  output_string w.oc bytes;
+  flush w.oc
+
+let close_writer w = close_out_noerr w.oc
+
+let rewrite path records =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      List.iter (fun r -> output_string oc (encode r)) records;
+      flush oc);
+  Sys.rename tmp path

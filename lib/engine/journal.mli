@@ -1,0 +1,84 @@
+(** Durable session journal: an append-only log of the committed
+    operations of one engine session, replayable against the database
+    the session was created with.
+
+    On-disk layout (all integers little-endian):
+    {v
+    +--------------------------------------------------+
+    | magic "DLPJRNL1" (8 bytes)                       |
+    +------------+------------+------------------------+
+    | u32 length | u32 CRC-32 | payload (length bytes) |  record 0
+    +------------+------------+------------------------+
+    | u32 length | u32 CRC-32 | payload                |  record 1
+    +------------+------------+------------------------+
+    | ...                                              |
+    v}
+    A payload is the record tag on its own line ([A]pply / [D]elete /
+    [I]nsert) followed by one source fact per line in
+    {!Relational.Serial.fact_of_string} syntax:
+    {v
+    A
+    T1(john, tkde)
+    T2(tkde, xml, 30)
+    v}
+
+    Every append is flushed before returning; a crash can therefore tear
+    at most the {e final} record. {!load} distinguishes the two failure
+    shapes: an incomplete or checksum-failing final record is a torn
+    write (dropped, and truncated away when [repair] is set), while a
+    checksum failure with intact records {e after} it is real corruption
+    and surfaces as the typed {!error}. *)
+
+type record =
+  | Apply of Relational.Stuple.Set.t
+      (** a solver-chosen deletion committed by [Engine.apply] *)
+  | Delete of Relational.Stuple.Set.t
+      (** a direct deletion ([Engine.delete]) *)
+  | Insert of Relational.Stuple.t
+
+type error =
+  | Bad_magic of string        (** not a journal (path in payload) *)
+  | Corrupt of { index : int; reason : string }
+      (** interior record [index] failed its checksum or didn't decode *)
+
+exception Error of error
+
+val pp_error : Format.formatter -> error -> unit
+
+(** {1 Reading} *)
+
+(** Replayable records of the journal at [path], in append order. A torn
+    final record is dropped; with [repair] (default [false]) it is also
+    truncated off the file so subsequent appends start clean. A missing
+    file is an empty journal. *)
+val load : ?repair:bool -> string -> (record list, error) result
+
+(** {1 Writing} *)
+
+type writer
+
+(** Open [path] for appending, creating it (with the magic header) when
+    missing or empty. The caller is responsible for having {!load}ed
+    [~repair:true] first — appending after a torn record corrupts the
+    log. *)
+val open_writer : string -> writer
+
+(** Append one record and flush. The write crosses the
+    ["journal.append"] failpoint: [Crash_after_bytes n] emits only the
+    first [n] bytes of the encoded record before raising
+    {!Deleprop.Failpoint.Injected} — a simulated torn write. *)
+val append : writer -> record -> unit
+
+val close_writer : writer -> unit
+
+(** Atomically replace the journal at [path] with exactly [records]
+    (write to a temp file in the same directory, rename over). The
+    engine's checkpoint compacts a long log into one delete + the
+    current inserts this way. *)
+val rewrite : string -> record list -> unit
+
+(** {1 Checksums} *)
+
+(** CRC-32 (IEEE 802.3, polynomial [0xEDB88320]) of a whole string —
+    exposed for the resilience tests to forge corrupt records. *)
+val crc32 : string -> int32

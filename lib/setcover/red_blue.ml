@@ -53,7 +53,9 @@ let coverable t = is_feasible t (List.init (num_sets t) Fun.id)
 
 (* ---- exact branch and bound ---- *)
 
-let solve_exact ?(node_budget = 5_000_000) t =
+let no_tick () = ()
+
+let solve_exact ?(node_budget = 5_000_000) ?(tick = no_tick) t =
   if not (coverable t) then None
   else begin
     let nodes = ref 0 in
@@ -66,6 +68,7 @@ let solve_exact ?(node_budget = 5_000_000) t =
       t.sets;
     let rec go covered_blue covered_red cost chosen =
       incr nodes;
+      tick ();
       if !nodes > node_budget then failwith "Red_blue.solve_exact: node budget exceeded";
       if cost >= !best_cost then ()
       else if Iset.cardinal covered_blue = t.num_blue then begin
@@ -129,7 +132,7 @@ let red_bitsets t =
 
 (* ---- greedy ratio heuristic ---- *)
 
-let solve_greedy t =
+let solve_greedy ?(tick = no_tick) t =
   if not (coverable t) then None
   else begin
     let blue_bs = blue_bitsets t and red_bs = red_bitsets t in
@@ -138,6 +141,7 @@ let solve_greedy t =
     let covered_count = ref 0 in
     let chosen = ref [] in
     while !covered_count < t.num_blue do
+      tick ();
       let best = ref (-1) and best_score = ref neg_infinity in
       for i = 0 to num_sets t - 1 do
         let new_blue = Bitset.diff_cardinal blue_bs.(i) covered_blue in
@@ -218,7 +222,7 @@ module Gain_heap = struct
     end
 end
 
-let greedy_cover_by_count t blue_bs allowed =
+let greedy_cover_by_count ?(tick = no_tick) t blue_bs allowed =
   (* lazy-decreasing-gain greedy set cover over the blue universe: stale
      heap keys are upper bounds (gains only shrink as coverage grows), so
      a popped set whose recomputed gain equals its key is the true argmax
@@ -236,6 +240,7 @@ let greedy_cover_by_count t blue_bs allowed =
   let feasible = ref true in
   let continue_ = ref (!covered_count < t.num_blue) in
   while !continue_ do
+    tick ();
     match Gain_heap.pop heap with
     | None ->
       feasible := false;
@@ -252,7 +257,7 @@ let greedy_cover_by_count t blue_bs allowed =
   done;
   if !feasible then Some !chosen else None
 
-let solve_lowdeg t =
+let solve_lowdeg ?(tick = no_tick) t =
   if not (coverable t) then None
   else begin
     let blue_bs = blue_bitsets t in
@@ -261,11 +266,12 @@ let solve_lowdeg t =
     let best = ref None in
     List.iter
       (fun tau ->
+        tick ();
         let allowed =
           List.init (num_sets t) Fun.id
           |> List.filter (fun i -> set_red_weight.(i) <= tau)
         in
-        match greedy_cover_by_count t blue_bs allowed with
+        match greedy_cover_by_count ~tick t blue_bs allowed with
         | None -> ()
         | Some chosen -> (
           match solution_of t chosen with
@@ -278,8 +284,8 @@ let solve_lowdeg t =
     !best
   end
 
-let solve_approx t =
-  match solve_greedy t, solve_lowdeg t with
+let solve_approx ?tick t =
+  match solve_greedy ?tick t, solve_lowdeg ?tick t with
   | None, s | s, None -> s
   | Some a, Some b -> Some (if a.cost <= b.cost then a else b)
 

@@ -48,13 +48,19 @@ val coverable : t -> bool
 
 (** Exact optimum by branch-and-bound over uncovered blue elements.
     [node_budget] (default [5_000_000]) caps search nodes; raises
-    [Failure] when exceeded. [None] iff uncoverable. *)
-val solve_exact : ?node_budget:int -> t -> solution option
+    [Failure] when exceeded. [None] iff uncoverable.
+
+    All solvers below take an optional [tick] callback, called once per
+    unit of work (search node, greedy step, threshold). Cooperative
+    cancellation hook: callers thread a deadline check in and abort a
+    run by raising from the callback — this library stays free of any
+    clock or budget policy. *)
+val solve_exact : ?node_budget:int -> ?tick:(unit -> unit) -> t -> solution option
 
 (** Greedy heuristic: repeatedly take the set maximizing
     (newly covered blue) / (ε + weight of newly covered red). The inner
     loop runs on packed {!Bitset}s (word-parallel gain counting). *)
-val solve_greedy : t -> solution option
+val solve_greedy : ?tick:(unit -> unit) -> t -> solution option
 
 (** Peleg's low-degree sweep (the engine behind LowDegTreeVSE, Alg. 2-3):
     for each threshold τ discard sets whose red weight exceeds τ, cover
@@ -62,10 +68,10 @@ val solve_greedy : t -> solution option
     over all τ. Ratio 2√(|C| log β) on unit weights. The per-τ cover is a
     lazy-decreasing-gain greedy over {!Bitset}s: stale priority-queue
     gains are upper bounds, so sets are rescored only when popped. *)
-val solve_lowdeg : t -> solution option
+val solve_lowdeg : ?tick:(unit -> unit) -> t -> solution option
 
 (** Best of {!solve_greedy} and {!solve_lowdeg}. *)
-val solve_approx : t -> solution option
+val solve_approx : ?tick:(unit -> unit) -> t -> solution option
 
 (** The pre-bitset implementation of {!solve_approx} (eager per-step
     rescans over persistent {!Iset}s), kept for differential testing and

@@ -196,7 +196,9 @@ let test_solution_json_roundtrip () =
 
 let cert_equal (a : D.Solution.certificate) (b : D.Solution.certificate) =
   match (a, b) with
-  | D.Solution.Exact, D.Solution.Exact | D.Solution.Heuristic, D.Solution.Heuristic ->
+  | D.Solution.Exact, D.Solution.Exact
+  | D.Solution.Heuristic, D.Solution.Heuristic
+  | D.Solution.Anytime, D.Solution.Anytime ->
     true
   | D.Solution.Dual_bound x, D.Solution.Dual_bound y
   | D.Solution.Ratio x, D.Solution.Ratio y ->
@@ -451,18 +453,24 @@ let test_script_parse () =
   in
   match Engine.Script.parse text with
   | Error e -> Alcotest.fail e
-  | Ok ops -> (
-    Alcotest.(check int) "three ops" 3 (List.length ops);
-    (match List.nth ops 0 with
-    | Engine.Script.Solve [ r ] ->
+  | Ok lines -> (
+    Alcotest.(check int) "three ops" 3 (List.length lines);
+    Alcotest.(check (list int)) "source line numbers" [ 2; 4; 5 ]
+      (List.map (fun (l : Engine.Script.line) -> l.Engine.Script.lineno) lines);
+    (match List.nth lines 0 with
+    | { Engine.Script.op = Engine.Script.Solve [ r ]; text; _ } ->
       Alcotest.(check string) "solve view" "Q4" r.D.Delta_request.view;
-      Alcotest.(check int) "grouped tuples" 2 (List.length r.D.Delta_request.tuples)
+      Alcotest.(check int) "grouped tuples" 2 (List.length r.D.Delta_request.tuples);
+      Alcotest.(check bool) "line text kept" true
+        (Astring.String.is_prefix ~affix:"solve Q4" text)
     | _ -> Alcotest.fail "expected one grouped solve request");
-    (match List.nth ops 1 with
-    | Engine.Script.Insert st -> Alcotest.(check string) "insert rel" "T1" st.R.Stuple.rel
+    (match List.nth lines 1 with
+    | { Engine.Script.op = Engine.Script.Insert st; _ } ->
+      Alcotest.(check string) "insert rel" "T1" st.R.Stuple.rel
     | _ -> Alcotest.fail "expected insert");
-    match List.nth ops 2 with
-    | Engine.Script.Delete st -> Alcotest.(check string) "delete rel" "T2" st.R.Stuple.rel
+    match List.nth lines 2 with
+    | { Engine.Script.op = Engine.Script.Delete st; _ } ->
+      Alcotest.(check string) "delete rel" "T2" st.R.Stuple.rel
     | _ -> Alcotest.fail "expected delete")
 
 let test_script_parse_errors () =

@@ -23,4 +23,5 @@ let () =
       ("polish", Test_polish.suite);
       ("arena", Test_arena.suite);
       ("engine", Test_engine.suite);
+      ("resilience", Test_resilience.suite);
     ]
