@@ -275,7 +275,7 @@ let bench_arena =
           Test.make ~name:(Printf.sprintf "build_scale_%d" scale)
             (Staged.stage (fun () -> D.Arena.build pv));
           Test.make ~name:(Printf.sprintf "pd_seed_scale_%d" scale)
-            (Staged.stage (fun () -> D.Primal_dual.solve_reference pv));
+            (Staged.stage (fun () -> Reference.Pd_reference.solve_reference pv));
           Test.make ~name:(Printf.sprintf "pd_arena_scale_%d" scale)
             (Staged.stage (fun () -> D.Primal_dual.solve pv));
         ])
@@ -285,7 +285,7 @@ let bench_arena =
     let pv = prov (forest ~scale:20 31) in
     [
       Test.make ~name:"lowdeg_seed_scale_20"
-        (Staged.stage (fun () -> D.Lowdeg.solve_reference pv));
+        (Staged.stage (fun () -> Reference.Lowdeg_reference.solve_reference pv));
       Test.make ~name:"lowdeg_arena_scale_20"
         (Staged.stage (fun () -> D.Lowdeg.solve pv));
     ]
@@ -297,7 +297,7 @@ let bench_arena =
     in
     [
       Test.make ~name:"rbsc_approx_seed"
-        (Staged.stage (fun () -> SC.Red_blue.solve_approx_reference rb));
+        (Staged.stage (fun () -> Reference.Rb_reference.solve_approx_reference rb));
       Test.make ~name:"rbsc_approx_bitset"
         (Staged.stage (fun () -> SC.Red_blue.solve_approx rb));
     ]
@@ -435,6 +435,39 @@ let bench_resilience =
              Engine.close eng));
     ]
 
+(* decompose: the whole-instance portfolio vs the shatter-and-plan
+   planner on the same prebuilt arena, both sequential — the timing
+   difference is exactly what component decomposition buys. Forest
+   scales 40/80 plus a many-small-components pivot family (40 roots of
+   ~9 tuples each: every shard classifies exact-small, so the planner
+   runs per-component brute force where the portfolio sweeps four
+   approximation algorithms over the whole instance).
+   BENCH_decompose.json tracks this group. *)
+let bench_decompose =
+  let pair tag a =
+    [
+      Test.make ~name:(Printf.sprintf "portfolio_whole_%s" tag)
+        (Staged.stage (fun () -> D.Portfolio.solutions a));
+      Test.make ~name:(Printf.sprintf "planner_shatter_%s" tag)
+        (Staged.stage (fun () -> D.Planner.solve a));
+    ]
+  in
+  let forest_tests =
+    List.concat_map
+      (fun scale ->
+        pair (Printf.sprintf "forest_%d" scale) (D.Arena.build (prov (forest ~scale 31))))
+      [ 40; 80 ]
+  in
+  let many_components =
+    let p =
+      Workload.Pivot_family.generate ~rng:(rng 179)
+        { Workload.Pivot_family.depth = 4; num_roots = 40; tuples_per_relation = 240;
+          num_queries = 4; deletion_fraction = 0.3 }
+    in
+    pair "pivot_40roots" (D.Arena.build (prov p))
+  in
+  Test.make_grouped ~name:"decompose" (forest_tests @ many_components)
+
 (* E21 scaling stages + parallel portfolio + SQL front end *)
 let bench_e21 =
   let biblio =
@@ -495,7 +528,8 @@ let all_tests =
   [
     bench_e1; bench_e2; bench_e3; bench_e5; bench_e6; bench_e7; bench_e8; bench_e9;
     bench_e10; bench_e11; bench_e12; bench_e14; bench_e15; bench_e16; bench_e17;
-    bench_e18; bench_arena; bench_engine; bench_resilience; bench_e21; bench_containment; bench_phase5;
+    bench_e18; bench_arena; bench_engine; bench_resilience; bench_decompose; bench_e21;
+    bench_containment; bench_phase5;
     bench_substrate;
   ]
 

@@ -131,7 +131,8 @@ let report name (o : D.Side_effect.outcome) =
       o.D.Side_effect.side_effect
   end
 
-let solve db_path q_path deletion_specs algo balanced explain_flag =
+let solve db_path q_path deletion_specs algo balanced explain_flag plan_flag
+    no_decompose =
   let* db = load_db db_path in
   let* queries = load_queries ~schema:(R.Instance.schema db) q_path in
   let* algo = algo_of_string algo in
@@ -156,7 +157,32 @@ let solve db_path q_path deletion_specs algo balanced explain_flag =
            "view tuple %a has several witnesses — the query set is not key preserving"
            D.Vtuple.pp vt)
   in
-  if balanced then begin
+  if plan_flag then begin
+    let arena = D.Arena.build prov in
+    let r = D.Planner.solve ~decompose:(not no_decompose) arena in
+    if r.D.Planner.decomposed then begin
+      Format.printf "planner: %d independent shard(s)@."
+        (List.length r.D.Planner.shards);
+      List.iter
+        (fun d -> Format.printf "  %a@." D.Planner.pp_shard_decision d)
+        r.D.Planner.shards
+    end
+    else
+      Format.printf "planner: single active component, whole-instance portfolio@.";
+    List.iter
+      (fun f -> Format.printf "  solver %a@." D.Portfolio.pp_failure f)
+      r.D.Planner.failures;
+    match r.D.Planner.solutions with
+    | [] -> Error "no feasible solution"
+    | s :: _ ->
+      Format.printf "certificate: %a@." D.Solution.pp_certificate
+        s.D.Solution.certificate;
+      report s.D.Solution.algorithm s.D.Solution.outcome;
+      if explain_flag then
+        Format.printf "%a@." D.Explain.pp (D.Explain.explain prov s.D.Solution.deleted);
+      Ok ()
+  end
+  else if balanced then begin
     let r =
       match algo with
       | Brute -> D.Balanced.solve_exact prov
@@ -442,8 +468,12 @@ let batch_round_json (r : Engine.Script.round) =
         Buffer.add_string b (failure_json f))
       failures;
     Buffer.add_string b
-      (Printf.sprintf "],\"degraded\":%b,"
-         (match r.Engine.Script.plan with Some p -> p.Engine.degraded | None -> false));
+      (Printf.sprintf "],\"degraded\":%b,\"decomposed\":%b,\"shards\":%d,"
+         (match r.Engine.Script.plan with Some p -> p.Engine.degraded | None -> false)
+         (match r.Engine.Script.plan with Some p -> p.Engine.decomposed | None -> false)
+         (match r.Engine.Script.plan with
+         | Some p -> List.length p.Engine.shards
+         | None -> 0));
     Buffer.add_string b "\"applied\":";
     (match solutions with
     | s :: _ -> Buffer.add_string b (Printf.sprintf "\"%s\"" (json_escape s.D.Solution.algorithm))
@@ -464,10 +494,12 @@ let batch_round_json (r : Engine.Script.round) =
 
 let batch_stats_json (s : Engine.stats) =
   Printf.sprintf
-    "{\"rounds\":%d,\"applies\":%d,\"tuples_deleted\":%d,\"tuples_inserted\":%d,\"patches\":%d,\"rebuilds\":%d,\"cache_hits\":%d,\"last_solve_ms\":%.3f,\"total_solve_ms\":%.3f,\"journal_records\":%d,\"recovered_records\":%d}"
+    "{\"rounds\":%d,\"applies\":%d,\"tuples_deleted\":%d,\"tuples_inserted\":%d,\"patches\":%d,\"rebuilds\":%d,\"cache_hits\":%d,\"last_solve_ms\":%.3f,\"total_solve_ms\":%.3f,\"journal_records\":%d,\"recovered_records\":%d,\"components\":%d,\"shards_solved\":%d,\"shards_exact\":%d,\"shards_approx\":%d}"
     s.Engine.rounds s.Engine.applies s.Engine.tuples_deleted s.Engine.tuples_inserted
     s.Engine.patches s.Engine.rebuilds s.Engine.cache_hits s.Engine.last_solve_ms
     s.Engine.total_solve_ms s.Engine.journal_records s.Engine.recovered_records
+    s.Engine.components s.Engine.shards_solved s.Engine.shards_exact
+    s.Engine.shards_approx
 
 let batch_report_round (r : Engine.Script.round) =
   (match r.Engine.Script.op with
@@ -480,6 +512,10 @@ let batch_report_round (r : Engine.Script.round) =
       List.iter
         (fun f -> Format.printf "  solver %a@." D.Portfolio.pp_failure f)
         p.Engine.failures;
+      if p.Engine.decomposed then
+        List.iter
+          (fun d -> Format.printf "  shard %a@." D.Planner.pp_shard_decision d)
+          p.Engine.shards;
       if p.Engine.degraded then Format.printf "  degraded to unbudgeted greedy@."
     | None -> ());
     let solutions =
@@ -503,8 +539,8 @@ let batch_report_round (r : Engine.Script.round) =
   | Some e -> Format.printf "  failed: %s@." e
   | None -> ()
 
-let batch db_path q_path rounds_path algos exact_threshold domains budget_ms journal
-    recover keep_going json =
+let batch db_path q_path rounds_path algos exact_threshold plan domains budget_ms
+    journal recover keep_going json =
   let* db = load_db db_path in
   let* queries = load_queries ~schema:(R.Instance.schema db) q_path in
   let* ops = Engine.Script.parse_file rounds_path in
@@ -512,8 +548,8 @@ let batch db_path q_path rounds_path algos exact_threshold domains budget_ms jou
   let* eng =
     try
       Ok
-        (Engine.create ?algorithms ?exact_threshold ?domains ?budget_ms ?journal
-           ~recover db queries)
+        (Engine.create ?algorithms ?exact_threshold ~plan ?domains ?budget_ms
+           ?journal ~recover db queries)
     with
     | Invalid_argument m -> Error m
     | Engine.Journal.Error e -> Error (Format.asprintf "%a" Engine.Journal.pp_error e)
@@ -573,11 +609,23 @@ let solve_cmd =
   let explain =
     Arg.(value & flag & info [ "explain" ] ~doc:"Print a per-tuple propagation report.")
   in
+  let plan =
+    Arg.(value & flag & info [ "plan" ]
+           ~doc:"Shatter-and-plan: decompose into independent components, solve each \
+                 with the cheapest adequate tier (exact where small or forest-shaped) \
+                 and recombine; prints the per-shard decisions.")
+  in
+  let no_decompose =
+    Arg.(value & flag & info [ "no-decompose" ]
+           ~doc:"With --plan: skip the decomposition and run the whole-instance \
+                 portfolio (for comparing the two paths).")
+  in
   Cmd.v (Cmd.info "solve" ~doc:"Propagate view deletions to the source database")
     Term.(
       ret
-        (const (fun d q x a b e -> handle (solve d q x a b e))
-        $ db_arg $ q_arg $ deletions $ algo $ balanced $ explain))
+        (const (fun d q x a b e p nd -> handle (solve d q x a b e p nd))
+        $ db_arg $ q_arg $ deletions $ algo $ balanced $ explain $ plan
+        $ no_decompose))
 
 let insert_cmd =
   let target =
@@ -649,6 +697,11 @@ let batch_cmd =
     Arg.(value & opt (some int) None & info [ "exact-threshold" ] ~docv:"N"
            ~doc:"Run brute force when at most N candidate tuples (default 16).")
   in
+  let plan =
+    Arg.(value & flag & info [ "plan" ]
+           ~doc:"Route rounds through the shatter-and-plan solver: independent \
+                 components solve separately (exact where cheap) and recombine.")
+  in
   let domains =
     Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
            ~doc:"Size of the session's domain pool (default: all cores; 1 = sequential).")
@@ -680,9 +733,10 @@ let batch_cmd =
        ~doc:"Replay a scripted deletion session on the incremental engine")
     Term.(
       ret
-        (const (fun d q r a e dm b jr rc k j -> handle (batch d q r a e dm b jr rc k j))
-        $ db_arg $ q_arg $ rounds $ algos $ exact_threshold $ domains $ budget_ms
-        $ journal $ recover $ keep_going $ json))
+        (const (fun d q r a e p dm b jr rc k j ->
+             handle (batch d q r a e p dm b jr rc k j))
+        $ db_arg $ q_arg $ rounds $ algos $ exact_threshold $ plan $ domains
+        $ budget_ms $ journal $ recover $ keep_going $ json))
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());

@@ -289,6 +289,189 @@ let delete (a : t) ~dd (prov : Provenance.t) =
     forest_case;
   }
 
+(* ---- connected components ----
+
+   Components of the stuple↔vtuple incidence graph: two source tuples are
+   connected iff some witness contains both. A view tuple's witness lies
+   entirely inside one component, so solving per component and unioning
+   the answers is exact for both feasibility and cost. Components are
+   numbered canonically — by first appearance in ascending sid order —
+   which makes any two membership-equal partitions bit-identical, in
+   particular the incrementally patched one and a scratch recompute. *)
+
+type partition = {
+  comp_of_sid : int array;
+  comp_of_vid : int array;
+  num_components : int;
+}
+
+(* union-find with union-by-min (the root is the smallest member) and
+   path compression *)
+let uf_find parent i =
+  let rec go i = if parent.(i) = i then i else go parent.(i) in
+  let root = go i in
+  let rec compress i =
+    if parent.(i) <> root then begin
+      let next = parent.(i) in
+      parent.(i) <- root;
+      compress next
+    end
+  in
+  compress i;
+  root
+
+let uf_union parent i j =
+  let ri = uf_find parent i and rj = uf_find parent j in
+  if ri < rj then parent.(rj) <- ri else if rj < ri then parent.(ri) <- rj
+
+(* canonical labels: scanning ascending sid, each root gets the next
+   fresh label on first sight ([labels] doubles as the root->label
+   table — union-by-min guarantees the root is visited first) *)
+let canonical_labels parent =
+  let n = Array.length parent in
+  let labels = Array.make n (-1) in
+  let next = ref 0 in
+  for sid = 0 to n - 1 do
+    let r = uf_find parent sid in
+    if labels.(r) = -1 then begin
+      labels.(r) <- !next;
+      incr next
+    end;
+    labels.(sid) <- labels.(r)
+  done;
+  (labels, !next)
+
+let comp_of_vid_of ~comp_of_sid witness =
+  Array.map
+    (fun w -> if Array.length w = 0 then -1 else comp_of_sid.(w.(0)))
+    witness
+
+let partition (a : t) =
+  let ns = num_stuples a in
+  let parent = Array.init ns Fun.id in
+  Array.iter
+    (fun w ->
+      if Array.length w > 1 then begin
+        let s0 = w.(0) in
+        Array.iter (fun sid -> uf_union parent s0 sid) w
+      end)
+    a.witness;
+  let comp_of_sid, num_components = canonical_labels parent in
+  { comp_of_sid; comp_of_vid = comp_of_vid_of ~comp_of_sid a.witness; num_components }
+
+let partition_delete (p : partition) ~(before : t) ~dd (a' : t) =
+  (* deletions only split components: no witness row gains members, so a
+     component loses its dead tuples and possibly falls apart, while
+     components containing no deleted tuple keep their membership (and,
+     with canonical renumbering, end up exactly where a scratch recompute
+     puts them). Only the rows of affected components are re-unioned. *)
+  let ns = num_stuples before in
+  let affected = Array.make p.num_components false in
+  R.Stuple.Set.iter
+    (fun st -> affected.(p.comp_of_sid.(stuple_id before st)) <- true)
+    dd;
+  let dead = Bitset.create ns in
+  R.Stuple.Set.iter (fun st -> Bitset.add dead (stuple_id before st)) dd;
+  let ns' = num_stuples a' in
+  let old_of_new = Array.make ns' (-1) in
+  let k = ref 0 in
+  for sid = 0 to ns - 1 do
+    if not (Bitset.mem dead sid) then begin
+      old_of_new.(!k) <- sid;
+      incr k
+    end
+  done;
+  assert (!k = ns');
+  let old_comp sid' = p.comp_of_sid.(old_of_new.(sid')) in
+  let parent = Array.init ns' Fun.id in
+  Array.iter
+    (fun w ->
+      if Array.length w > 1 && affected.(old_comp w.(0)) then begin
+        let s0 = w.(0) in
+        Array.iter (fun sid -> uf_union parent s0 sid) w
+      end)
+    a'.witness;
+  (* fresh labels by first appearance: unaffected sids keyed by their old
+     component, affected ones by their new union-find root *)
+  let label_of_old = Array.make p.num_components (-1) in
+  let label_of_root = Array.make ns' (-1) in
+  let comp_of_sid = Array.make ns' (-1) in
+  let next = ref 0 in
+  for sid = 0 to ns' - 1 do
+    let c = old_comp sid in
+    if affected.(c) then begin
+      let r = uf_find parent sid in
+      if label_of_root.(r) = -1 then begin
+        label_of_root.(r) <- !next;
+        incr next
+      end;
+      comp_of_sid.(sid) <- label_of_root.(r)
+    end
+    else begin
+      if label_of_old.(c) = -1 then begin
+        label_of_old.(c) <- !next;
+        incr next
+      end;
+      comp_of_sid.(sid) <- label_of_old.(c)
+    end
+  done;
+  {
+    comp_of_sid;
+    comp_of_vid = comp_of_vid_of ~comp_of_sid a'.witness;
+    num_components = !next;
+  }
+
+(* ---- shattering ---- *)
+
+type shard = {
+  arena : t;
+  component : int;
+  global_sids : int array;
+  global_vids : int array;
+}
+
+let shatter ?partition:part (a : t) =
+  let p = match part with Some p -> p | None -> partition a in
+  (* only components with a bad view tuple need solving *)
+  let active = Array.make p.num_components false in
+  Bitset.iter (fun vid -> active.(p.comp_of_vid.(vid)) <- true) a.bad;
+  let sids_of = Array.make p.num_components [] in
+  for sid = num_stuples a - 1 downto 0 do
+    let c = p.comp_of_sid.(sid) in
+    if active.(c) then sids_of.(c) <- sid :: sids_of.(c)
+  done;
+  let vids_of = Array.make p.num_components [] in
+  for vid = num_vtuples a - 1 downto 0 do
+    let c = p.comp_of_vid.(vid) in
+    if c >= 0 && active.(c) then vids_of.(c) <- vid :: vids_of.(c)
+  done;
+  let shards = ref [] in
+  for c = p.num_components - 1 downto 0 do
+    if active.(c) then begin
+      let global_sids = Array.of_list sids_of.(c) in
+      let global_vids = Array.of_list vids_of.(c) in
+      let stuples =
+        Array.fold_left
+          (fun acc sid -> R.Stuple.Set.add a.stuples.(sid) acc)
+          R.Stuple.Set.empty global_sids
+      in
+      let vtuples =
+        Array.fold_left
+          (fun acc vid -> Vtuple.Set.add a.vtuples.(vid) acc)
+          Vtuple.Set.empty global_vids
+      in
+      let prov = Provenance.restrict a.prov ~stuples ~vtuples in
+      let arena = build prov in
+      (* restrict+build assigns shard ids in sorted-tuple order; the
+         global id buckets are ascending subsequences of the (sorted)
+         parent arrays, so position k of the shard is global_sids.(k) *)
+      assert (num_stuples arena = Array.length global_sids);
+      assert (num_vtuples arena = Array.length global_vids);
+      shards := { arena; component = c; global_sids; global_vids } :: !shards
+    end
+  done;
+  Array.of_list !shards
+
 let preserved_degree t sid =
   let d = ref 0 in
   Array.iter (fun vid -> if Bitset.mem t.preserved vid then incr d) t.containing.(sid);

@@ -65,6 +65,56 @@ val of_stuple_set : t -> R.Stuple.Set.t -> Setcover.Bitset.t
 val of_vtuple_set : t -> Vtuple.Set.t -> Setcover.Bitset.t
 val to_stuple_set : t -> int list -> R.Stuple.Set.t
 
+(** {2 Connected components}
+
+    The stuple↔vtuple incidence graph shatters into independent
+    components: a view tuple's witness lies entirely inside one
+    component, so solving per component and unioning the per-shard
+    deletions is exact for both feasibility and cost. *)
+
+type partition = {
+  comp_of_sid : int array;      (** sid -> component id *)
+  comp_of_vid : int array;      (** vid -> component of its witness
+                                    ([-1] for an empty witness, which
+                                    cannot occur on built arenas) *)
+  num_components : int;
+}
+
+(** Union-find over the witness rows, O(‖D‖ + Σ|witness| α). Components
+    are numbered canonically (by first appearance in ascending sid
+    order), so membership-equal partitions are structurally equal.
+    The partition depends only on the witness structure — it is valid
+    unchanged for any [with_deletions] re-stamp of the same arena. *)
+val partition : t -> partition
+
+(** [partition_delete p ~before ~dd a'] — the partition of
+    [a' = delete before ~dd prov'], patched incrementally from
+    [p = partition before]: deletions only split components (no witness
+    row ever gains a member), so only components containing a deleted
+    tuple are re-unioned, the rest keep their membership. Bit-identical
+    to [partition a'] (checked by the engine differential suite). *)
+val partition_delete : partition -> before:t -> dd:R.Stuple.Set.t -> t -> partition
+
+(** One active component, compiled as a standalone arena over the
+    restricted provenance ({!Provenance.restrict}) — solvers never see
+    foreign ids. Position [k] of the shard arena corresponds to the
+    parent id [global_sids.(k)] / [global_vids.(k)] (id order is
+    sorted-tuple order on both sides, and the shard's tuples form an
+    ascending subsequence of the parent's). *)
+type shard = {
+  arena : t;
+  component : int;              (** parent component id *)
+  global_sids : int array;      (** shard sid -> parent sid, ascending *)
+  global_vids : int array;      (** shard vid -> parent vid, ascending *)
+}
+
+(** [shatter ?partition a] — the {e active} components of [a] (those
+    containing at least one bad view tuple), ascending by component id;
+    components with nothing to solve are skipped. [partition] (default:
+    computed fresh) lets a session reuse its incrementally maintained
+    one. An arena with no bad tuples yields [[||]]. *)
+val shatter : ?partition:partition -> t -> shard array
+
 (** [preserved_degree a sid] — number of preserved view tuples whose
     witness contains the tuple (the LowDeg degree). *)
 val preserved_degree : t -> int -> int

@@ -15,9 +15,12 @@ type result = {
 
 (* ---- arena path ---- *)
 
-let wide_preserved_arena (a : Arena.t) =
-  let v = float_of_int (Problem.view_size a.Arena.prov.Provenance.problem) in
-  let threshold = sqrt v in
+let wide_preserved_arena ?threshold (a : Arena.t) =
+  let threshold =
+    match threshold with
+    | Some th -> th
+    | None -> sqrt (float_of_int (Problem.view_size a.Arena.prov.Provenance.problem))
+  in
   let wide = Bitset.create (Arena.num_vtuples a) in
   Bitset.iter
     (fun vid ->
@@ -26,14 +29,15 @@ let wide_preserved_arena (a : Arena.t) =
     a.Arena.preserved;
   wide
 
-let solve_with_tau_arena ?(prune_wide = true) ?budget (a : Arena.t) ~tau =
+let solve_with_tau_arena ?(prune_wide = true) ?wide_threshold ?budget (a : Arena.t)
+    ~tau =
   let ns = Arena.num_stuples a in
   let deletable = Bitset.create ns in
   for sid = 0 to ns - 1 do
     if Arena.preserved_degree a sid <= tau then Bitset.add deletable sid
   done;
   let ignored =
-    if prune_wide then wide_preserved_arena a
+    if prune_wide then wide_preserved_arena ?threshold:wide_threshold a
     else Bitset.create (Arena.num_vtuples a)
   in
   Log.debug (fun m ->
@@ -56,6 +60,11 @@ let solve_with_tau_arena ?(prune_wide = true) ?budget (a : Arena.t) ~tau =
 let solve_with_tau ?prune_wide ?budget (prov : Provenance.t) ~tau =
   solve_with_tau_arena ?prune_wide ?budget (Arena.build prov) ~tau
 
+(* the default wide-pruning threshold √‖V‖ (Claim 2); exposed so a planner
+   solving a shard can impose the parent instance's threshold instead *)
+let default_wide_threshold (a : Arena.t) =
+  sqrt (float_of_int (Problem.view_size a.Arena.prov.Provenance.problem))
+
 let trivial_result prov =
   {
     deletion = R.Stuple.Set.empty;
@@ -76,7 +85,8 @@ let best_of results =
         | _ -> Some r))
     None results
 
-let solve_arena ?(prune_wide = true) ?(domains = 1) ?pool ?budget (a : Arena.t) =
+let solve_arena ?(prune_wide = true) ?wide_threshold ?(domains = 1) ?pool ?budget
+    (a : Arena.t) =
   if Bitset.is_empty a.Arena.bad then trivial_result a.Arena.prov
   else begin
     (* sweeping the distinct preserved-degrees of the candidate tuples is
@@ -95,7 +105,7 @@ let solve_arena ?(prune_wide = true) ?(domains = 1) ?pool ?budget (a : Arena.t) 
        [complete = false] — only a sweep with no survivor re-raises. *)
     let results =
       Par.map_result ~domains ?pool
-        (fun tau -> solve_with_tau_arena ~prune_wide ?budget a ~tau)
+        (fun tau -> solve_with_tau_arena ~prune_wide ?wide_threshold ?budget a ~tau)
         taus
     in
     let expired = ref false in
@@ -121,55 +131,5 @@ let solve_arena ?(prune_wide = true) ?(domains = 1) ?pool ?budget (a : Arena.t) 
 let solve ?prune_wide ?domains ?pool ?budget (prov : Provenance.t) =
   if Vtuple.Set.is_empty prov.Provenance.bad then trivial_result prov
   else solve_arena ?prune_wide ?domains ?pool ?budget (Arena.build prov)
-
-(* ---- reference (pre-arena) implementation ---- *)
-
-let preserved_degree (prov : Provenance.t) st =
-  Vtuple.Set.cardinal
-    (Vtuple.Set.inter (Provenance.vtuples_containing prov st) prov.Provenance.preserved)
-
-let wide_preserved (prov : Provenance.t) =
-  let v = float_of_int (Problem.view_size prov.Provenance.problem) in
-  let threshold = sqrt v in
-  Vtuple.Set.filter
-    (fun vt ->
-      float_of_int (R.Stuple.Set.cardinal (Provenance.witness_of prov vt)) > threshold)
-    prov.Provenance.preserved
-
-let solve_with_tau_reference ?(prune_wide = true) (prov : Provenance.t) ~tau =
-  let deletable =
-    R.Instance.fold
-      (fun st acc -> if preserved_degree prov st <= tau then R.Stuple.Set.add st acc else acc)
-      prov.Provenance.problem.Problem.db R.Stuple.Set.empty
-  in
-  let ignored = if prune_wide then wide_preserved prov else Vtuple.Set.empty in
-  match Primal_dual.solve_restricted_reference prov ~deletable ~ignored_preserved:ignored with
-  | None -> None
-  | Some pd ->
-    Some
-      {
-        deletion = pd.Primal_dual.deletion;
-        outcome = pd.Primal_dual.outcome;
-        tau;
-        pruned_wide = Vtuple.Set.cardinal ignored;
-        complete = true;
-      }
-
-let solve_reference ?(prune_wide = true) (prov : Provenance.t) =
-  if Vtuple.Set.is_empty prov.Provenance.bad then trivial_result prov
-  else begin
-    let taus =
-      R.Stuple.Set.fold
-        (fun st acc -> preserved_degree prov st :: acc)
-        (Provenance.candidates prov) []
-      |> List.sort_uniq Int.compare
-    in
-    let results =
-      List.map (fun tau -> solve_with_tau_reference ~prune_wide prov ~tau) taus
-    in
-    match best_of results with
-    | Some r -> r
-    | None -> assert false
-  end
 
 let bound (problem : Problem.t) = 2.0 *. sqrt (float_of_int (Problem.view_size problem))

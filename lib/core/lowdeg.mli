@@ -37,9 +37,18 @@ val solve_with_tau :
   ?prune_wide:bool -> ?budget:Budget.t -> Provenance.t -> tau:int -> result option
 
 (** Algorithm 2 over a prebuilt {!Arena.t} — degree restriction, wide
-    pruning and the inner primal-dual all run on arena ids. *)
+    pruning and the inner primal-dual all run on arena ids.
+    [wide_threshold] overrides the witness-width cutoff of the R'_>
+    pruning (default [√‖V‖] of this arena's own problem) — the planner
+    solving one shard of a larger instance passes the {e parent}
+    instance's threshold so the shard run can never prune more than the
+    whole-instance run would. *)
 val solve_with_tau_arena :
-  ?prune_wide:bool -> ?budget:Budget.t -> Arena.t -> tau:int -> result option
+  ?prune_wide:bool -> ?wide_threshold:float -> ?budget:Budget.t -> Arena.t ->
+  tau:int -> result option
+
+(** [√‖V‖] for this arena's problem: the default [wide_threshold]. *)
+val default_wide_threshold : Arena.t -> float
 
 (** Algorithm 3: sweep τ over the distinct preserved-degrees, return the
     cheapest feasible solution. Total sweep is never infeasible (the
@@ -60,13 +69,8 @@ val solve :
 (** Algorithm 3 over a prebuilt arena — what a session solving many
     rounds against one compiled index calls. *)
 val solve_arena :
-  ?prune_wide:bool -> ?domains:int -> ?pool:Par.Pool.t -> ?budget:Budget.t ->
-  Arena.t -> result
-
-(** The seed implementation (per-τ set-based restriction over the seed
-    primal-dual), kept for differential testing and the [arena]
-    benchmark group. *)
-val solve_reference : ?prune_wide:bool -> Provenance.t -> result
+  ?prune_wide:bool -> ?wide_threshold:float -> ?domains:int -> ?pool:Par.Pool.t ->
+  ?budget:Budget.t -> Arena.t -> result
 
 (** Theorem 4's claimed ratio for the instance: [2·sqrt ‖V‖]. *)
 val bound : Problem.t -> float

@@ -84,3 +84,4 @@ let problem ~requests ?weights t =
 let problem_legacy ~deletions ?weights t =
   Problem.make ~db:t.db ~queries:t.queries ~deletions ?weights
     ~allow_non_key_preserving:true ()
+[@@deprecated "use Matview.problem with typed Delta_request.t values"]

@@ -57,3 +57,4 @@ val problem_legacy :
   ?weights:Weights.t ->
   t ->
   Problem.t
+[@@deprecated "use Matview.problem with typed Delta_request.t values"]

@@ -1,0 +1,197 @@
+module R = Relational
+module Bitset = Setcover.Bitset
+
+let src = Logs.Src.create "deleprop.planner" ~doc:"shatter-and-plan solver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type classification =
+  | Exact_small
+  | Exact_forest
+  | Approximate
+
+type shard_decision = {
+  component : int;
+  stuples : int;
+  vtuples : int;
+  bad : int;
+  classification : classification;
+  winner : string;
+  cost : float;
+  exact : bool;
+  degraded : bool;
+}
+
+type report = {
+  solutions : Solution.t list;
+  failures : Portfolio.failure list;
+  degraded : bool;
+  decomposed : bool;
+  shards : shard_decision list;
+}
+
+let pp_classification ppf = function
+  | Exact_small -> Format.fprintf ppf "exact-small"
+  | Exact_forest -> Format.fprintf ppf "exact-forest"
+  | Approximate -> Format.fprintf ppf "approximate"
+
+let pp_shard_decision ppf d =
+  Format.fprintf ppf
+    "component %d (%d tuples, %d views, %d bad): %a -> %s, cost %g%s%s"
+    d.component d.stuples d.vtuples d.bad pp_classification d.classification
+    d.winner d.cost
+    (if d.exact then " (exact)" else "")
+    (if d.degraded then " [degraded]" else "")
+
+(* One shard, solved through the tier ladder. Each tier is a restricted
+   portfolio round on the shard arena (sequential — the fan-out across
+   shards already owns the parallelism); a tier whose solvers all fail
+   passes its recorded failures down to the next. *)
+let solve_shard ~exact_threshold ~only ~budget_ms ~wide_global
+    (sh : Arena.shard) =
+  let sa = sh.Arena.arena in
+  let allowed name =
+    match only with None -> true | Some names -> List.mem name names
+  in
+  let run ?extra names =
+    Portfolio.solutions_report ~exact_threshold ~only:names ?extra
+      ?budget_ms sa
+  in
+  let approx () =
+    let extra =
+      if allowed "lowdeg" then [ Solvers.lowdeg ~wide_threshold:wide_global () ]
+      else []
+    in
+    run ~extra
+      (List.filter allowed [ "primal-dual"; "lowdeg"; "general"; "greedy" ])
+  in
+  let tiers =
+    (if allowed "brute"
+        && Array.length (Arena.candidate_ids sa) <= exact_threshold
+     then [ (Exact_small, fun () -> run [ "brute" ]) ]
+     else [])
+    @ (if allowed "dp-tree" && Dp_tree.applicable sa.Arena.prov then
+         [ (Exact_forest, fun () -> run [ "dp-tree" ]) ]
+       else [])
+    @ [ (Approximate, approx) ]
+  in
+  let rec attempt acc = function
+    | [] -> assert false
+    | [ (cls, f) ] ->
+      let r = f () in
+      (cls, { r with Portfolio.failures = acc @ r.Portfolio.failures })
+    | (cls, f) :: rest ->
+      let r = f () in
+      if r.Portfolio.solutions <> [] && not r.Portfolio.degraded then
+        (cls, { r with Portfolio.failures = acc @ r.Portfolio.failures })
+      else attempt (acc @ r.Portfolio.failures) rest
+  in
+  attempt [] tiers
+
+(* Guarantee composition: the optimum of an independent-component
+   instance is the sum of the shard optima, so the union's cost is
+   within max_c factor_c of it. A primal-dual shard carries a
+   multiplicative factor only on forest instances (Theorem 3's l). *)
+let factor_of ~l (sh : Arena.shard) (w : Solution.t) =
+  match w.Solution.certificate with
+  | Solution.Exact -> Some 1.0
+  | Solution.Ratio r -> Some r
+  | Solution.Dual_bound _ ->
+    if sh.Arena.arena.Arena.forest_case then Some l else None
+  | Solution.Heuristic | Solution.Anytime | Solution.Composite _ -> None
+
+let solve ?(exact_threshold = 16) ?only ?domains ?pool ?budget_ms
+    ?(decompose = true) ?partition (a : Arena.t) =
+  let whole () =
+    let r =
+      Portfolio.solutions_report ~exact_threshold ?only ?domains ?pool
+        ?budget_ms a
+    in
+    { solutions = r.Portfolio.solutions; failures = r.Portfolio.failures;
+      degraded = r.Portfolio.degraded; decomposed = false; shards = [] }
+  in
+  if not decompose then whole ()
+  else
+    let shards = Arena.shatter ?partition a in
+    let n = Array.length shards in
+    if n <= 1 then whole ()
+    else begin
+      let t0 = Unix.gettimeofday () in
+      let shard_budget =
+        Option.map (fun ms -> ms /. float_of_int n) budget_ms
+      in
+      let wide_global = Lowdeg.default_wide_threshold a in
+      let task =
+        solve_shard ~exact_threshold ~only ~budget_ms:shard_budget ~wide_global
+      in
+      let shard_list = Array.to_list shards in
+      let results =
+        match (domains, pool) with
+        | None, None -> List.map (fun sh -> Ok (task sh)) shard_list
+        | _ -> Par.map_result ?domains ?pool task shard_list
+      in
+      let solved =
+        List.map2
+          (fun sh -> function
+            | Error e ->
+              Log.warn (fun m ->
+                  m "shard %d crashed outside the solver wrapper: %s"
+                    sh.Arena.component (Printexc.to_string e));
+              None
+            | Ok (cls, (r : Portfolio.report)) -> (
+              match r.Portfolio.solutions with
+              | [] ->
+                Log.warn (fun m ->
+                    m "shard %d produced no feasible answer" sh.Arena.component);
+                None
+              | w :: _ -> Some (sh, cls, w, r)))
+          shard_list results
+      in
+      if List.exists Option.is_none solved then begin
+        (* an unsolved shard would make the union infeasible — retreat to
+           the whole instance rather than return garbage *)
+        Log.warn (fun m -> m "decomposed solve incomplete; retrying whole");
+        whole ()
+      end
+      else
+        let solved = List.filter_map Fun.id solved in
+        let decisions =
+          List.map
+            (fun (sh, cls, (w : Solution.t), (r : Portfolio.report)) ->
+              { component = sh.Arena.component;
+                stuples = Arena.num_stuples sh.Arena.arena;
+                vtuples = Arena.num_vtuples sh.Arena.arena;
+                bad = Bitset.cardinal sh.Arena.arena.Arena.bad;
+                classification = cls; winner = w.Solution.algorithm;
+                cost = Solution.cost w;
+                exact = (w.Solution.certificate = Solution.Exact);
+                degraded = r.Portfolio.degraded })
+            solved
+        in
+        let deleted =
+          List.fold_left
+            (fun acc (_, _, (w : Solution.t), _) ->
+              R.Stuple.Set.union acc w.Solution.deleted)
+            R.Stuple.Set.empty solved
+        in
+        let outcome = Side_effect.eval a.Arena.prov deleted in
+        let l = float_of_int (Problem.max_arity a.Arena.prov.Provenance.problem) in
+        let factor =
+          List.fold_left
+            (fun acc (sh, _, w, _) ->
+              match (acc, factor_of ~l sh w) with
+              | Some f, Some g -> Some (Float.max f g)
+              | _ -> None)
+            (Some 1.0) solved
+        in
+        let composite =
+          { Solution.algorithm = "planner"; deleted; outcome;
+            elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000.0;
+            certificate = Solution.Composite { shards = n; factor } }
+        in
+        { solutions = [ composite ];
+          failures =
+            List.concat_map (fun (_, _, _, r) -> r.Portfolio.failures) solved;
+          degraded = List.exists (fun (d : shard_decision) -> d.degraded) decisions;
+          decomposed = true; shards = decisions }
+    end

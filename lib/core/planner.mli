@@ -1,0 +1,76 @@
+(** Shatter-and-plan: decompose an instance into independent components
+    ({!Arena.shatter}), classify each shard, solve shards with the
+    cheapest adequate strategy, and recombine.
+
+    Component independence (a witness lies entirely inside one
+    component) makes the recombination exact: the union of per-shard
+    deletions is feasible, its cost is the sum of shard costs, and the
+    instance optimum is the sum of shard optima — so per-shard
+    guarantees compose into a {!Solution.Composite} certificate whose
+    factor is the {e max} of the shard factors.
+
+    Per-shard policy, in order:
+    - {e exact-small} — the candidate set fits under [exact_threshold]:
+      brute force, factor 1;
+    - {e exact-forest} — {!Dp_tree.applicable}: the pivot-forest DP,
+      factor 1;
+    - {e approximate} — the full approximation portfolio (primal-dual,
+      LowDeg, the general reduction, greedy) plus a LowDeg variant run
+      with the {e parent} instance's √‖V‖ wide-pruning threshold, so the
+      decomposed winner never costs more than the whole-instance LowDeg.
+    An exact shard whose solver times out or crashes falls back to the
+    approximate tier (and is reported as such). *)
+
+type classification =
+  | Exact_small     (** candidates ≤ [exact_threshold]: brute force *)
+  | Exact_forest    (** pivot-forest instance: {!Dp_tree} *)
+  | Approximate     (** approximation portfolio *)
+
+type shard_decision = {
+  component : int;          (** parent component id ({!Arena.partition}) *)
+  stuples : int;
+  vtuples : int;
+  bad : int;
+  classification : classification;
+  winner : string;          (** algorithm of the shard's chosen solution *)
+  cost : float;             (** its side-effect cost *)
+  exact : bool;             (** did an exact tier produce the answer? *)
+  degraded : bool;          (** shard fell to the unbudgeted-greedy ladder *)
+}
+
+type report = {
+  solutions : Solution.t list;
+      (** decomposed: the single recombined {!Solution.Composite};
+          otherwise the whole-instance portfolio ranking *)
+  failures : Portfolio.failure list;  (** across all shards *)
+  degraded : bool;                    (** some shard degraded *)
+  decomposed : bool;
+      (** false when the instance had ≤ 1 active component (or
+          [decompose:false]) and the whole-instance portfolio ran *)
+  shards : shard_decision list;       (** ascending by component *)
+}
+
+val pp_classification : Format.formatter -> classification -> unit
+val pp_shard_decision : Format.formatter -> shard_decision -> unit
+
+(** Solve via shatter-and-plan. With ≥ 2 active components the shards
+    fan out on [pool] / [domains] ({!Par.map_result}; each shard's inner
+    portfolio stays sequential) and [budget_ms] splits evenly across
+    shards; otherwise this is exactly
+    [Portfolio.solutions_report ... a]. [partition] (default: computed
+    fresh) lets the engine pass its incrementally maintained one.
+    [only] restricts the participating algorithms as in
+    {!Portfolio.solutions_report} (shards classify around missing
+    tiers). If any shard produces no feasible answer at all, the planner
+    falls back to the whole-instance portfolio rather than return an
+    infeasible union. *)
+val solve :
+  ?exact_threshold:int ->
+  ?only:string list ->
+  ?domains:int ->
+  ?pool:Par.Pool.t ->
+  ?budget_ms:float ->
+  ?decompose:bool ->
+  ?partition:Arena.partition ->
+  Arena.t ->
+  report

@@ -1,5 +1,4 @@
 module R = Relational
-module Bitset = Setcover.Bitset
 
 let src = Logs.Src.create "deleprop.portfolio" ~doc:"solver portfolio"
 
@@ -12,11 +11,11 @@ type entry = {
   elapsed_ms : float;
 }
 
-type failure_reason =
+type failure_reason = Solver.failure_reason =
   | Timed_out
   | Crashed of string
 
-type failure = {
+type failure = Solver.failure = {
   algorithm : string;
   elapsed_ms : float;
   reason : failure_reason;
@@ -28,99 +27,18 @@ type report = {
   degraded : bool;
 }
 
-let pp_failure ppf f =
-  match f.reason with
-  | Timed_out -> Format.fprintf ppf "%s: timed out after %.1fms" f.algorithm f.elapsed_ms
-  | Crashed msg -> Format.fprintf ppf "%s: crashed (%s)" f.algorithm msg
+let pp_failure = Solver.pp_failure
 
-let solvers_for ?(exact_threshold = 16) ?budget (a : Arena.t) =
-  let prov = a.Arena.prov in
+(* Policy over the registry: everything runs except brute, which
+   participates only on small candidate sets. Applicability is NOT
+   pre-filtered — a structurally inapplicable solver (dp-tree off a
+   forest) still crosses its failpoint and classifies as [Inapplicable],
+   so fault injection observes every registered algorithm. *)
+let solvers_for ?(exact_threshold = 16) (a : Arena.t) =
   let candidates = Array.length (Arena.candidate_ids a) in
-  let solvers =
-    [
-      (if candidates <= exact_threshold then
-         Some
-           ( "brute",
-             fun () ->
-               Brute.solve ?budget prov
-               |> Option.map (fun (r : Brute.result) ->
-                      (r.Brute.deletion, r.Brute.outcome, Solution.Exact)) )
-       else None);
-      Some
-        ( "primal-dual",
-          fun () ->
-            (* [Primal_dual.solve] minus the arena compile: full deletable
-               set, nothing ignored *)
-            match
-              Primal_dual.solve_arena ?budget a
-                ~deletable:(Bitset.full (Arena.num_stuples a))
-                ~ignored_preserved:(Bitset.create (Arena.num_vtuples a))
-            with
-            | None -> None
-            | Some r ->
-              Some
-                ( r.Primal_dual.deletion, r.Primal_dual.outcome,
-                  Solution.Dual_bound r.Primal_dual.dual_value ) );
-      Some
-        ( "lowdeg",
-          fun () ->
-            let r = Lowdeg.solve_arena ?budget a in
-            (* Theorem 4's ratio 2√‖V‖, off the arena (no re-evaluation);
-               a budget-truncated sweep is only anytime — ratio void *)
-            let cert =
-              if r.Lowdeg.complete then
-                Solution.Ratio (2.0 *. sqrt (float_of_int (Arena.num_vtuples a)))
-              else Solution.Anytime
-            in
-            Some (r.Lowdeg.deletion, r.Lowdeg.outcome, cert) );
-      Some
-        ( "dp-tree",
-          fun () ->
-            match Dp_tree.solve ?budget prov with
-            | Ok r -> Some (r.Dp_tree.deletion, r.Dp_tree.outcome, Solution.Exact)
-            | Error _ -> None );
-      Some
-        ( "general",
-          fun () ->
-            General_approx.solve ?budget prov
-            |> Option.map (fun (r : General_approx.result) ->
-                   ( r.General_approx.deletion, r.General_approx.outcome,
-                     Solution.Ratio r.General_approx.claimed_bound )) );
-      Some
-        ( "greedy",
-          fun () ->
-            let r = Single_query.solve_greedy_multi prov in
-            Some (r.Single_query.deletion, r.Single_query.outcome, Solution.Heuristic) );
-    ]
-    |> List.filter_map Fun.id
-  in
-  solvers
-
-(* One solver attempt, classified — no exception leaves this wrapper, so
-   a crashing or timed-out solver never takes the round (or a pool
-   worker) down with it. [Sys.time] is process CPU time, which lies once
-   solvers run on parallel domains, hence [Unix.gettimeofday]. *)
-type attempt =
-  | Solved of Solution.t
-  | Inapplicable
-  | Failed of failure
-
-let attempt (name, f) =
-  let t0 = Unix.gettimeofday () in
-  let elapsed () = (Unix.gettimeofday () -. t0) *. 1000.0 in
-  match
-    Failpoint.hit ("solver." ^ name);
-    f ()
-  with
-  | None -> Inapplicable
-  | Some (deleted, outcome, certificate) ->
-    Solved
-      { Solution.algorithm = name; deleted; outcome; certificate;
-        elapsed_ms = elapsed () }
-  | exception Budget.Expired ->
-    Failed { algorithm = name; elapsed_ms = elapsed (); reason = Timed_out }
-  | exception e ->
-    Failed { algorithm = name; elapsed_ms = elapsed (); reason = Crashed (Printexc.to_string e) }
+  Solvers.registered ()
+  |> List.filter (fun (module S : Solver.S) ->
+         (not (String.equal S.name "brute")) || candidates <= exact_threshold)
 
 (* Bottom rung of the degradation ladder: the greedy pass terminates in
    polynomial time with a feasible answer whenever one exists, so a
@@ -137,35 +55,40 @@ let degraded_solution (a : Arena.t) =
   in
   if Solution.feasible sol then Some sol else None
 
-let solutions_report ?exact_threshold ?only ?domains ?pool ?budget_ms (a : Arena.t) =
+let solutions_report ?exact_threshold ?only ?extra ?domains ?pool ?budget_ms
+    (a : Arena.t) =
   let budget = Option.map Budget.of_ms budget_ms in
-  let solvers = solvers_for ?exact_threshold ?budget a in
+  let solvers = solvers_for ?exact_threshold a in
   let solvers =
     match only with
     | None -> solvers
-    | Some names -> List.filter (fun (name, _) -> List.mem name names) solvers
+    | Some names ->
+      List.filter (fun (module S : Solver.S) -> List.mem S.name names) solvers
   in
+  let solvers = solvers @ Option.value extra ~default:[] in
   let attempts =
     match (domains, pool) with
-    | None, None -> List.map attempt solvers
+    | None, None -> List.map (fun s -> Solver.run ?budget s a) solvers
     | _ ->
-      (* [attempt] swallows its own exceptions; [map_result] is the belt
-         under those braces — a worker dying outside the wrapper still
-         surfaces as a classified failure, never as a dead pool *)
-      Par.map_result ?domains ?pool attempt solvers
+      (* [Solver.run] swallows its own exceptions; [map_result] is the
+         belt under those braces — a worker dying outside the wrapper
+         still surfaces as a classified failure, never as a dead pool *)
+      Par.map_result ?domains ?pool (fun s -> Solver.run ?budget s a) solvers
       |> List.map2
-           (fun (name, _) -> function
+           (fun (module S : Solver.S) -> function
              | Ok att -> att
              | Error e ->
-               Failed { algorithm = name; elapsed_ms = 0.0; reason = Crashed (Printexc.to_string e) })
+               Solver.Failed
+                 { algorithm = S.name; elapsed_ms = 0.0;
+                   reason = Crashed (Printexc.to_string e) })
            solvers
   in
   let failures =
-    List.filter_map (function Failed f -> Some f | _ -> None) attempts
+    List.filter_map (function Solver.Failed f -> Some f | _ -> None) attempts
   in
   List.iter (fun f -> Log.warn (fun m -> m "%a" pp_failure f)) failures;
   let ranked =
-    List.filter_map (function Solved s -> Some s | _ -> None) attempts
+    List.filter_map (function Solver.Solved s -> Some s | _ -> None) attempts
     |> Solution.rank
   in
   match ranked with

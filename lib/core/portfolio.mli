@@ -1,7 +1,10 @@
-(** Solver portfolio: run every algorithm applicable to an instance and
-    rank the outcomes. The paper's algorithms have incomparable
-    guarantees (l vs 2√‖V‖ vs exact-on-pivot-forests vs the general
-    reduction); at run time the cheapest feasible answer simply wins.
+(** Solver portfolio: run every registered algorithm ({!Solver},
+    {!Solvers}) on an instance and rank the outcomes. The paper's
+    algorithms have incomparable guarantees (l vs 2√‖V‖ vs
+    exact-on-pivot-forests vs the general reduction); at run time the
+    cheapest feasible answer simply wins. This module is pure policy —
+    the algorithms themselves live in the {!Solver} registry, the
+    attempt classification in {!Solver.run}.
 
     [Brute] participates only when the candidate set is small
     ([exact_threshold], default 16 candidates).
@@ -11,11 +14,11 @@
     it never takes the round (or a pool worker) down with it — and a
     degradation ladder guarantees a budgeted round still answers. *)
 
-type failure_reason =
+type failure_reason = Solver.failure_reason =
   | Timed_out           (** the round budget expired inside the solver *)
   | Crashed of string   (** the solver raised; payload is [Printexc.to_string] *)
 
-type failure = {
+type failure = Solver.failure = {
   algorithm : string;
   elapsed_ms : float;   (** wall-clock spent before the solver died *)
   reason : failure_reason;
@@ -48,10 +51,16 @@ val pp_failure : Format.formatter -> failure -> unit
     and outside the failpoint registry) and sets [degraded].
 
     Fault-injection hook: each solver attempt first crosses
-    [Failpoint.hit ("solver." ^ name)]. *)
+    [Failpoint.hit ("solver." ^ name)].
+
+    [extra] appends caller-supplied solver modules (e.g. the
+    {!Planner}'s parent-threshold LowDeg variant) after the registry
+    list — they bypass the [only] filter and rank after the built-ins on
+    cost ties. *)
 val solutions_report :
   ?exact_threshold:int ->
   ?only:string list ->
+  ?extra:(module Solver.S) list ->
   ?domains:int ->
   ?pool:Par.Pool.t ->
   ?budget_ms:float ->

@@ -60,15 +60,3 @@ val solve_arena :
   deletable:Setcover.Bitset.t ->
   ignored_preserved:Setcover.Bitset.t ->
   result option
-
-(** The seed implementation over persistent sets (and its restricted
-    variant), kept for differential testing and the [arena] benchmark
-    group; result-for-result equal to the arena kernel. *)
-
-val solve_reference : ?reverse_delete:bool -> Provenance.t -> result
-
-val solve_restricted_reference :
-  Provenance.t ->
-  deletable:Relational.Stuple.Set.t ->
-  ignored_preserved:Vtuple.Set.t ->
-  result option

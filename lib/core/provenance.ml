@@ -204,6 +204,61 @@ let delete t dd =
     preserved;
   }
 
+let restrict t ~stuples ~vtuples =
+  let db =
+    R.Stuple.Set.fold
+      (fun st acc -> R.Instance.add_stuple acc st)
+      stuples
+      (R.Instance.empty (R.Instance.schema t.problem.Problem.db))
+  in
+  let views =
+    List.fold_left
+      (fun m (q : Cq.Query.t) -> Smap.add q.Cq.Query.name R.Tuple.Set.empty m)
+      Smap.empty t.problem.Problem.queries
+  in
+  let views =
+    Vtuple.Set.fold
+      (fun vt m ->
+        Smap.update vt.Vtuple.query (Option.map (R.Tuple.Set.add vt.Vtuple.tuple)) m)
+      vtuples views
+  in
+  let witness =
+    Vtuple.Set.fold
+      (fun vt m -> Vtuple.Map.add vt (witness_of t vt) m)
+      vtuples Vtuple.Map.empty
+  in
+  let witness_path =
+    Vtuple.Set.fold
+      (fun vt m -> Vtuple.Map.add vt (Vtuple.Map.find vt t.witness_path) m)
+      vtuples Vtuple.Map.empty
+  in
+  let containing =
+    R.Stuple.Set.fold
+      (fun st m ->
+        R.Stuple.Map.add st (Vtuple.Set.inter (vtuples_containing t st) vtuples) m)
+      stuples R.Stuple.Map.empty
+  in
+  let bad = Vtuple.Set.inter t.bad vtuples in
+  let preserved = Vtuple.Set.diff vtuples bad in
+  let deletions =
+    Vtuple.Set.fold
+      (fun vt acc ->
+        let prev =
+          Option.value ~default:R.Tuple.Set.empty (Smap.find_opt vt.Vtuple.query acc)
+        in
+        Smap.add vt.Vtuple.query (R.Tuple.Set.add vt.Vtuple.tuple prev) acc)
+      bad Smap.empty
+  in
+  {
+    problem = Problem.patch ~db ~deletions t.problem;
+    views;
+    witness;
+    witness_path;
+    containing;
+    bad;
+    preserved;
+  }
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>bad: %d, preserved: %d@ %a@]" (Vtuple.Set.cardinal t.bad)
     (Vtuple.Set.cardinal t.preserved)

@@ -45,6 +45,19 @@ val with_deletions : t -> Delta_request.t list -> t
     never create answers), touching only the killed rows. *)
 val delete : t -> Relational.Stuple.Set.t -> t
 
+(** [restrict t ~stuples ~vtuples] — the sub-index induced by a
+    witness-closed pair: every witness of a [vtuples] member lies inside
+    [stuples], and [stuples] joins into no view tuple outside [vtuples]
+    (i.e. the pair is a union of connected components of the
+    stuple↔vtuple incidence graph, which is what {!Arena.shatter}
+    passes). Trusted constructor in the style of {!Problem.patch}: no
+    validation, but for component-closed inputs the result equals
+    [build] on the restricted database — queries are monotone, so the
+    sub-database derives exactly the component's view tuples. The
+    restricted database is rebuilt by insertion, so the cost is
+    O(|shard| log |shard|), not O(‖D‖). *)
+val restrict : t -> stuples:Relational.Stuple.Set.t -> vtuples:Vtuple.Set.t -> t
+
 val all_vtuples : t -> Vtuple.Set.t
 
 val witness_of : t -> Vtuple.t -> Relational.Stuple.Set.t

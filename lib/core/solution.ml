@@ -6,6 +6,10 @@ type certificate =
   | Ratio of float
   | Heuristic
   | Anytime
+  | Composite of {
+      shards : int;
+      factor : float option;
+    }
 
 type t = {
   algorithm : string;
@@ -31,6 +35,10 @@ let pp_certificate ppf = function
   | Ratio r -> Format.fprintf ppf "ratio %g" r
   | Heuristic -> Format.fprintf ppf "heuristic"
   | Anytime -> Format.fprintf ppf "anytime (budget hit)"
+  | Composite { shards; factor = Some f } ->
+    Format.fprintf ppf "composite over %d shard(s), factor %g" shards f
+  | Composite { shards; factor = None } ->
+    Format.fprintf ppf "composite over %d shard(s), no factor" shards
 
 let pp ppf s =
   Format.fprintf ppf "@[<v 2>%s (%a, %.2f ms): cost %g, delete %d tuple(s)%a@]"
@@ -95,6 +103,11 @@ let to_json s =
   | Dual_bound v ->
     Buffer.add_string b (Printf.sprintf "{\"kind\":\"dual-bound\",\"value\":%s}" (json_float v))
   | Ratio r ->
-    Buffer.add_string b (Printf.sprintf "{\"kind\":\"ratio\",\"value\":%s}" (json_float r)));
+    Buffer.add_string b (Printf.sprintf "{\"kind\":\"ratio\",\"value\":%s}" (json_float r))
+  | Composite { shards; factor } ->
+    Buffer.add_string b (Printf.sprintf "{\"kind\":\"composite\",\"shards\":%d" shards);
+    (match factor with
+    | Some f -> Buffer.add_string b (Printf.sprintf ",\"value\":%s}" (json_float f))
+    | None -> Buffer.add_char b '}'));
   Buffer.add_char b '}';
   Buffer.contents b

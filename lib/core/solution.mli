@@ -13,13 +13,25 @@
       the general reduction's Claim-1 bound);
     - [Heuristic] — feasible, no guarantee;
     - [Anytime] — the best feasible answer found before a time budget
-      expired: a partial sweep, so the solver's usual ratio is void. *)
+      expired: a partial sweep, so the solver's usual ratio is void;
+    - [Composite] — the union of independent per-component solutions
+      ({!Planner}): [factor] is the max of the shard factors (exact
+      shards contribute 1, a LowDeg shard its 2√‖V_c‖, a forest-case
+      primal-dual shard its arity bound [l]), [None] when some shard
+      carries no multiplicative guarantee. Component independence makes
+      the max sound: the optimum decomposes as the sum of per-shard
+      optima, and each shard's cost is within its own factor of its
+      shard optimum. *)
 type certificate =
   | Exact
   | Dual_bound of float
   | Ratio of float
   | Heuristic
   | Anytime
+  | Composite of {
+      shards : int;
+      factor : float option;
+    }
 
 type t = {
   algorithm : string;

@@ -1,0 +1,112 @@
+module Bitset = Setcover.Bitset
+
+let solution ~name ~certificate deleted outcome =
+  { Solution.algorithm = name; deleted; outcome; certificate; elapsed_ms = 0.0 }
+
+module Brute_force : Solver.S = struct
+  let name = "brute"
+  let exact = true
+  let applicable _ = true
+
+  let solve ?budget (a : Arena.t) =
+    Brute.solve ?budget a.Arena.prov
+    |> Option.map (fun (r : Brute.result) ->
+           solution ~name ~certificate:Solution.Exact r.Brute.deletion r.Brute.outcome)
+end
+
+module Primal_dual_s : Solver.S = struct
+  let name = "primal-dual"
+  let exact = false
+  let applicable _ = true
+
+  let solve ?budget (a : Arena.t) =
+    (* [Primal_dual.solve] minus the arena compile: full deletable set,
+       nothing ignored *)
+    match
+      Primal_dual.solve_arena ?budget a
+        ~deletable:(Bitset.full (Arena.num_stuples a))
+        ~ignored_preserved:(Bitset.create (Arena.num_vtuples a))
+    with
+    | None -> None
+    | Some r ->
+      Some
+        (solution ~name
+           ~certificate:(Solution.Dual_bound r.Primal_dual.dual_value)
+           r.Primal_dual.deletion r.Primal_dual.outcome)
+end
+
+(* Theorem 4's ratio is 2τ* ≤ 2√‖V‖ with √‖V‖ the wide-pruning
+   threshold; with a caller-imposed threshold the same analysis gives
+   2 * threshold. A budget-truncated sweep is only anytime — ratio
+   void. *)
+let lowdeg_module ~name ~wide_threshold : (module Solver.S) =
+  (module struct
+    let name = name
+    let exact = false
+    let applicable _ = true
+
+    let solve ?budget (a : Arena.t) =
+      let threshold =
+        match wide_threshold with
+        | Some t -> t
+        | None -> Lowdeg.default_wide_threshold a
+      in
+      let r = Lowdeg.solve_arena ~wide_threshold:threshold ?budget a in
+      let cert =
+        if r.Lowdeg.complete then Solution.Ratio (2.0 *. threshold)
+        else Solution.Anytime
+      in
+      Some (solution ~name ~certificate:cert r.Lowdeg.deletion r.Lowdeg.outcome)
+  end)
+
+let lowdeg ?(name = "lowdeg-global") ~wide_threshold () =
+  lowdeg_module ~name ~wide_threshold:(Some wide_threshold)
+
+module Dp_tree_s : Solver.S = struct
+  let name = "dp-tree"
+  let exact = true
+  let applicable (a : Arena.t) = Dp_tree.applicable a.Arena.prov
+
+  let solve ?budget (a : Arena.t) =
+    match Dp_tree.solve ?budget a.Arena.prov with
+    | Ok r -> Some (solution ~name ~certificate:Solution.Exact r.Dp_tree.deletion r.Dp_tree.outcome)
+    | Error _ -> None
+end
+
+module General_s : Solver.S = struct
+  let name = "general"
+  let exact = false
+  let applicable _ = true
+
+  let solve ?budget (a : Arena.t) =
+    General_approx.solve ?budget a.Arena.prov
+    |> Option.map (fun (r : General_approx.result) ->
+           solution ~name
+             ~certificate:(Solution.Ratio r.General_approx.claimed_bound)
+             r.General_approx.deletion r.General_approx.outcome)
+end
+
+module Greedy_s : Solver.S = struct
+  let name = "greedy"
+  let exact = false
+  let applicable _ = true
+
+  let solve ?budget:_ (a : Arena.t) =
+    let r = Single_query.solve_greedy_multi a.Arena.prov in
+    Some
+      (solution ~name ~certificate:Solution.Heuristic r.Single_query.deletion
+         r.Single_query.outcome)
+end
+
+let () =
+  List.iter Solver.register
+    [
+      (module Brute_force : Solver.S);
+      (module Primal_dual_s);
+      lowdeg_module ~name:"lowdeg" ~wide_threshold:None;
+      (module Dp_tree_s);
+      (module General_s);
+      (module Greedy_s);
+    ]
+
+let registered () = Solver.all ()

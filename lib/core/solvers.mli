@@ -1,0 +1,18 @@
+(** The built-in solver implementations, packaged as {!Solver.S} modules
+    and self-registered (in portfolio order: brute, primal-dual, lowdeg,
+    dp-tree, general, greedy) when this module is linked. *)
+
+(** The registry with all built-ins guaranteed registered — referencing
+    the registry through this call (rather than {!Solver.all}) forces
+    the module's initialization, so the built-ins cannot be dropped by
+    dead-code elimination of an otherwise unused [Solvers]. *)
+val registered : unit -> (module Solver.S) list
+
+(** A LowDeg variant with a caller-imposed wide-pruning threshold,
+    certified [Ratio (2 * threshold)]. The {!Planner} runs shards with
+    the {e parent} instance's √‖V‖ ([Lowdeg.default_wide_threshold]) in
+    addition to the shard-natural registry solver: the variant prunes
+    exactly what the whole-instance LowDeg prunes on the component, so
+    the decomposed portfolio's winner can never cost more than the whole
+    instance one's. Not registered; pass via [extra]. *)
+val lowdeg : ?name:string -> wide_threshold:float -> unit -> (module Solver.S)

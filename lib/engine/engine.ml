@@ -17,6 +17,10 @@ type stats = {
   total_solve_ms : float;
   journal_records : int;
   recovered_records : int;
+  components : int;
+  shards_solved : int;
+  shards_exact : int;
+  shards_approx : int;
 }
 
 let zero_stats =
@@ -32,31 +36,45 @@ let zero_stats =
     total_solve_ms = 0.0;
     journal_records = 0;
     recovered_records = 0;
+    components = 0;
+    shards_solved = 0;
+    shards_exact = 0;
+    shards_approx = 0;
   }
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "@[<v>rounds: %d, applies: %d@ deleted %d / inserted %d source tuple(s)@ index: \
-     %d patch(es), %d rebuild(s), %d cache hit(s)@ solve: last %.2f ms, total %.2f \
-     ms@ journal: %d record(s) appended, %d recovered@]"
+     %d patch(es), %d rebuild(s), %d cache hit(s), %d component(s)@ solve: last %.2f \
+     ms, total %.2f ms@ planner: %d shard(s) solved, %d exact, %d approximate@ \
+     journal: %d record(s) appended, %d recovered@]"
     s.rounds s.applies s.tuples_deleted s.tuples_inserted s.patches s.rebuilds
-    s.cache_hits s.last_solve_ms s.total_solve_ms s.journal_records
-    s.recovered_records
+    s.cache_hits s.components s.last_solve_ms s.total_solve_ms s.shards_solved
+    s.shards_exact s.shards_approx s.journal_records s.recovered_records
 
 type plan = {
   requests : D.Delta_request.t list;
   solutions : D.Solution.t list;
   failures : D.Portfolio.failure list;
   degraded : bool;
+  decomposed : bool;
+  shards : D.Planner.shard_decision list;
 }
 
-type index = { prov : D.Provenance.t; arena : D.Arena.t }
+type index = {
+  prov : D.Provenance.t;
+  arena : D.Arena.t;
+  partition : D.Arena.partition;
+      (* maintained with the arena: deletions patch it in place
+         ([Arena.partition_delete]); inserts drop it with the index *)
+}
 
 type t = {
   queries : Cq.Query.t list;
   weights : D.Weights.t option;
   exact_threshold : int option;
   algorithms : string list option;
+  plan_solver : bool;
   budget_ms : float option;
   base_db : R.Instance.t;
   journal_path : string option;
@@ -76,12 +94,16 @@ let build_index t =
   in
   let prov = D.Provenance.build problem in
   let arena = D.Arena.build prov in
-  let ix = { prov; arena } in
+  let partition = D.Arena.partition arena in
+  let ix = { prov; arena; partition } in
   t.index <- Some ix;
-  t.stats <- { t.stats with rebuilds = t.stats.rebuilds + 1 };
+  t.stats <-
+    { t.stats with rebuilds = t.stats.rebuilds + 1;
+      components = partition.D.Arena.num_components };
   Log.debug (fun m ->
-      m "index rebuilt: %d source tuples, %d view tuples"
-        (D.Arena.num_stuples arena) (D.Arena.num_vtuples arena));
+      m "index rebuilt: %d source tuples, %d view tuples, %d component(s)"
+        (D.Arena.num_stuples arena) (D.Arena.num_vtuples arena)
+        partition.D.Arena.num_components);
   ix
 
 let index_of t =
@@ -108,11 +130,16 @@ let commit_raw t dd =
     | Some ix ->
       let prov' = D.Provenance.delete ix.prov dd in
       let arena' = D.Arena.delete ix.arena ~dd prov' in
-      t.index <- Some { prov = prov'; arena = arena' };
+      let partition' =
+        D.Arena.partition_delete ix.partition ~before:ix.arena ~dd arena'
+      in
+      t.index <- Some { prov = prov'; arena = arena'; partition = partition' };
       t.mv <-
         D.Matview.of_views prov'.D.Provenance.problem.D.Problem.db t.queries
           prov'.D.Provenance.views;
-      t.stats <- { t.stats with patches = t.stats.patches + 1 }
+      t.stats <-
+        { t.stats with patches = t.stats.patches + 1;
+          components = partition'.D.Arena.num_components }
     | None ->
       (* index already invalidated (pending inserts): just maintain the
          views; the next [request] rebuilds *)
@@ -123,7 +150,8 @@ let commit_raw t dd =
 let insert_raw t st =
   t.mv <- D.Matview.insert t.mv st;
   t.index <- None;
-  t.stats <- { t.stats with tuples_inserted = t.stats.tuples_inserted + 1 }
+  t.stats <-
+    { t.stats with tuples_inserted = t.stats.tuples_inserted + 1; components = 0 }
 
 let replay_record t = function
   | Journal.Apply dd | Journal.Delete dd -> ignore (commit_raw t dd)
@@ -136,25 +164,29 @@ let journal_append t record =
     Journal.append w record;
     t.stats <- { t.stats with journal_records = t.stats.journal_records + 1 }
 
-let create ?weights ?exact_threshold ?algorithms ?domains ?budget_ms ?journal
-    ?(recover = false) db queries =
+let create ?weights ?exact_threshold ?algorithms ?(plan = false) ?domains
+    ?budget_ms ?journal ?(recover = false) db queries =
   let problem = D.Problem.make ~db ~queries ~deletions:[] ?weights () in
   let prov = D.Provenance.build problem in
   let arena = D.Arena.build prov in
+  let partition = D.Arena.partition arena in
   let t =
     {
       queries;
       weights;
       exact_threshold;
       algorithms;
+      plan_solver = plan;
       budget_ms;
       base_db = db;
       journal_path = journal;
       journal = None;
       pool = D.Par.Pool.create ?domains ();
       mv = D.Matview.of_views db queries prov.D.Provenance.views;
-      index = Some { prov; arena };
-      stats = { zero_stats with rebuilds = 1 };
+      index = Some { prov; arena; partition };
+      stats =
+        { zero_stats with rebuilds = 1;
+          components = partition.D.Arena.num_components };
     }
   in
   (match journal with
@@ -181,6 +213,8 @@ let index t =
   let ix = index_of t in
   (ix.prov, ix.arena)
 
+let partition t = (index_of t).partition
+
 let request ?budget_ms t requests =
   let ix = index_of t in
   match D.Delta_request.validate ~views:ix.prov.D.Provenance.views requests with
@@ -191,28 +225,52 @@ let request ?budget_ms t requests =
     let arena' = D.Arena.with_deletions ix.arena prov' in
     let budget_ms = match budget_ms with Some _ as b -> b | None -> t.budget_ms in
     let report =
-      D.Portfolio.solutions_report ?exact_threshold:t.exact_threshold
-        ?only:t.algorithms ?budget_ms ~pool:t.pool arena'
+      if t.plan_solver then
+        (* the partition depends only on witness structure, so the
+           session's incrementally maintained one re-targets for free *)
+        D.Planner.solve ?exact_threshold:t.exact_threshold ?only:t.algorithms
+          ?budget_ms ~pool:t.pool ~partition:ix.partition arena'
+      else
+        let r =
+          D.Portfolio.solutions_report ?exact_threshold:t.exact_threshold
+            ?only:t.algorithms ?budget_ms ~pool:t.pool arena'
+        in
+        { D.Planner.solutions = r.D.Portfolio.solutions;
+          failures = r.D.Portfolio.failures; degraded = r.D.Portfolio.degraded;
+          decomposed = false; shards = [] }
     in
     let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    let exact_shards =
+      List.length
+        (List.filter
+           (fun (d : D.Planner.shard_decision) -> d.D.Planner.exact)
+           report.D.Planner.shards)
+    in
+    let n_shards = List.length report.D.Planner.shards in
     t.stats <-
       {
         t.stats with
         rounds = t.stats.rounds + 1;
         last_solve_ms = ms;
         total_solve_ms = t.stats.total_solve_ms +. ms;
+        shards_solved = t.stats.shards_solved + n_shards;
+        shards_exact = t.stats.shards_exact + exact_shards;
+        shards_approx = t.stats.shards_approx + (n_shards - exact_shards);
       };
     Log.debug (fun m ->
-        m "round %d: %d solution(s), %d failure(s) in %.2f ms" t.stats.rounds
-          (List.length report.D.Portfolio.solutions)
-          (List.length report.D.Portfolio.failures)
-          ms);
+        m "round %d: %d solution(s), %d failure(s), %d shard(s) in %.2f ms"
+          t.stats.rounds
+          (List.length report.D.Planner.solutions)
+          (List.length report.D.Planner.failures)
+          n_shards ms);
     Ok
       {
         requests;
-        solutions = report.D.Portfolio.solutions;
-        failures = report.D.Portfolio.failures;
-        degraded = report.D.Portfolio.degraded;
+        solutions = report.D.Planner.solutions;
+        failures = report.D.Planner.failures;
+        degraded = report.D.Planner.degraded;
+        decomposed = report.D.Planner.decomposed;
+        shards = report.D.Planner.shards;
       }
 
 let apply ?solution t plan =

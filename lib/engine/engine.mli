@@ -46,17 +46,29 @@ type stats = {
   total_solve_ms : float; (** cumulative round wall time *)
   journal_records : int;  (** records appended to the journal this session *)
   recovered_records : int;(** records replayed from the journal at {!create} *)
+  components : int;       (** connected components of the live index's
+                              incidence graph (0 while invalidated) *)
+  shards_solved : int;    (** shards dispatched by the planner, cumulative *)
+  shards_exact : int;     (** ... solved by an exact tier (brute / DP) *)
+  shards_approx : int;    (** ... solved by the approximation portfolio *)
 }
 
 (** A solved round: the requests it answered, the ranked feasible
     solutions (cheapest first), and the round's resilience report —
     solvers that timed out or crashed, and whether the answer came from
-    the degradation ladder ({!Deleprop.Portfolio.report}). *)
+    the degradation ladder ({!Deleprop.Portfolio.report}). Planner
+    sessions ([create ~plan:true]) additionally report the shatter:
+    [decomposed] is true when the round solved ≥ 2 independent
+    components ([solutions] is then the single recombined
+    {!Deleprop.Solution.Composite}), and [shards] records each
+    component's classification and winner. *)
 type plan = {
   requests : Deleprop.Delta_request.t list;
   solutions : Deleprop.Solution.t list;
   failures : Deleprop.Portfolio.failure list;
   degraded : bool;
+  decomposed : bool;
+  shards : Deleprop.Planner.shard_decision list;
 }
 
 (** Build the session: evaluates the queries once (shared between the
@@ -67,6 +79,12 @@ type plan = {
     [Domain.recommended_domain_count ()]; pass [~domains:1] for a
     sequential session with no spawned domain). Raises
     [Invalid_argument] on non-key-preserving queries.
+
+    [plan] (default [false]) routes rounds through the shatter-and-plan
+    solver ({!Deleprop.Planner.solve}) instead of the flat portfolio:
+    the session's incrementally maintained component partition shatters
+    each round into independent sub-instances, solved per-component
+    (exact where small or forest-shaped) on the session pool.
 
     [budget_ms] arms every round with a wall-clock deadline (overridable
     per {!request}).
@@ -82,6 +100,7 @@ val create :
   ?weights:Deleprop.Weights.t ->
   ?exact_threshold:int ->
   ?algorithms:string list ->
+  ?plan:bool ->
   ?domains:int ->
   ?budget_ms:float ->
   ?journal:string ->
@@ -136,6 +155,12 @@ val matview : t -> Deleprop.Matview.t
     invalidated — what the differential tests compare against scratch
     construction. *)
 val index : t -> Deleprop.Provenance.t * Deleprop.Arena.t
+
+(** The live index's component partition, maintained incrementally
+    across commits ([Arena.partition_delete] on deletes, recomputed with
+    the lazy rebuild after inserts) — bit-identical to
+    [Arena.partition (snd (index t))]. *)
+val partition : t -> Deleprop.Arena.partition
 
 val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit

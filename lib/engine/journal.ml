@@ -182,10 +182,31 @@ let close_writer w = close_out_noerr w.oc
 let rewrite path records =
   let tmp = path ^ ".tmp" in
   let oc = open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc magic;
-      List.iter (fun r -> output_string oc (encode r)) records;
-      flush oc);
-  Sys.rename tmp path
+  match D.Failpoint.find "journal.rewrite" with
+  | Some (D.Failpoint.Crash_after_bytes n) ->
+    (* the compactor dies [n] bytes into the replacement file: a torn
+       [.tmp] never renamed over the journal — unless the allowance
+       covered the whole image, in which case the rename happened and
+       the kill struck just after the compaction committed *)
+    let bytes =
+      String.concat "" (magic :: List.map (fun r -> encode r) records)
+    in
+    let k = min n (String.length bytes) in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (String.sub bytes 0 k);
+        flush oc);
+    if k = String.length bytes then Sys.rename tmp path;
+    raise (D.Failpoint.Injected "journal.rewrite")
+  | fp ->
+    (match fp with
+    | Some _ -> D.Failpoint.hit "journal.rewrite"
+    | None -> ());
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc magic;
+        List.iter (fun r -> output_string oc (encode r)) records;
+        flush oc);
+    Sys.rename tmp path

@@ -74,7 +74,12 @@ val close_writer : writer -> unit
 (** Atomically replace the journal at [path] with exactly [records]
     (write to a temp file in the same directory, rename over). The
     engine's checkpoint compacts a long log into one delete + the
-    current inserts this way. *)
+    current inserts this way. Crosses the ["journal.rewrite"] failpoint:
+    [Crash_after_bytes n] emits only the first [n] bytes of the
+    replacement image before raising {!Deleprop.Failpoint.Injected} —
+    the rename happens iff the allowance covered the whole image, so the
+    journal holds either the complete old log or the complete new one,
+    never a blend (what the atomicity claim means under a crash). *)
 val rewrite : string -> record list -> unit
 
 (** {1 Checksums} *)

@@ -1,0 +1,140 @@
+type shard = {
+  instance : Red_blue.t;
+  sets : int array;
+  reds : int array;
+  blues : int array;
+}
+
+(* union-find over set indices, union-by-min so the root is always the
+   smallest member — component numbering by ascending root is then the
+   order of each component's smallest set index *)
+let find parent i =
+  let rec go i = if parent.(i) = i then i else go parent.(i) in
+  let root = go i in
+  let rec compress i =
+    if parent.(i) <> root then begin
+      let next = parent.(i) in
+      parent.(i) <- root;
+      compress next
+    end
+  in
+  compress i;
+  root
+
+let union parent i j =
+  let ri = find parent i and rj = find parent j in
+  if ri < rj then parent.(rj) <- ri else if rj < ri then parent.(ri) <- rj
+
+let shatter (t : Red_blue.t) =
+  let ns = Red_blue.num_sets t in
+  let nr = Red_blue.num_red t in
+  let nb = t.Red_blue.num_blue in
+  let parent = Array.init ns Fun.id in
+  (* first set seen containing each element; later sets sharing it are
+     unioned with it *)
+  let first_red = Array.make nr (-1) in
+  let first_blue = Array.make nb (-1) in
+  Array.iteri
+    (fun i (s : Red_blue.set) ->
+      Iset.iter
+        (fun r ->
+          if first_red.(r) = -1 then first_red.(r) <- i else union parent i first_red.(r))
+        s.Red_blue.red;
+      Iset.iter
+        (fun b ->
+          if first_blue.(b) = -1 then first_blue.(b) <- i
+          else union parent i first_blue.(b))
+        s.Red_blue.blue)
+    t.Red_blue.sets;
+  (* canonical component ids: ascending root = ascending smallest member *)
+  let comp_of_set = Array.make ns (-1) in
+  let num_comps = ref 0 in
+  for i = 0 to ns - 1 do
+    let r = find parent i in
+    if comp_of_set.(r) = -1 then begin
+      comp_of_set.(r) <- !num_comps;
+      incr num_comps
+    end;
+    comp_of_set.(i) <- comp_of_set.(r)
+  done;
+  let nc = !num_comps in
+  (* bucket sets / elements per component, ascending parent ids *)
+  let sets_of = Array.make nc [] in
+  for i = ns - 1 downto 0 do
+    sets_of.(comp_of_set.(i)) <- i :: sets_of.(comp_of_set.(i))
+  done;
+  let reds_of = Array.make nc [] in
+  for r = nr - 1 downto 0 do
+    if first_red.(r) >= 0 then begin
+      let c = comp_of_set.(first_red.(r)) in
+      reds_of.(c) <- r :: reds_of.(c)
+    end
+  done;
+  let blues_of = Array.make nc [] in
+  let orphan_blues = ref [] in
+  for b = nb - 1 downto 0 do
+    if first_blue.(b) >= 0 then begin
+      let c = comp_of_set.(first_blue.(b)) in
+      blues_of.(c) <- b :: blues_of.(c)
+    end
+    else orphan_blues := b :: !orphan_blues
+  done;
+  (* global -> local element maps, reused across components *)
+  let red_local = Array.make nr (-1) in
+  let blue_local = Array.make nb (-1) in
+  let component c =
+    let reds = Array.of_list reds_of.(c) in
+    let blues = Array.of_list blues_of.(c) in
+    let sets = Array.of_list sets_of.(c) in
+    Array.iteri (fun l r -> red_local.(r) <- l) reds;
+    Array.iteri (fun l b -> blue_local.(b) <- l) blues;
+    let red_weights = Array.map (fun r -> t.Red_blue.red_weights.(r)) reds in
+    let remap_set i =
+      let s = t.Red_blue.sets.(i) in
+      {
+        Red_blue.label = s.Red_blue.label;
+        red = Iset.map (fun r -> red_local.(r)) s.Red_blue.red;
+        blue = Iset.map (fun b -> blue_local.(b)) s.Red_blue.blue;
+      }
+    in
+    let instance =
+      Red_blue.make ~red_weights ~num_blue:(Array.length blues)
+        (List.map remap_set (Array.to_list sets))
+    in
+    { instance; sets; reds; blues }
+  in
+  let components = Array.init nc component in
+  (* blue elements in no set: uncoverable singletons *)
+  let orphans =
+    List.map
+      (fun b ->
+        {
+          instance = Red_blue.make ~red_weights:[||] ~num_blue:1 [];
+          sets = [||];
+          reds = [||];
+          blues = [| b |];
+        })
+      !orphan_blues
+  in
+  Array.append components (Array.of_list orphans)
+
+let recombine (t : Red_blue.t) shards solutions =
+  if Array.length shards <> Array.length solutions then
+    invalid_arg "Decompose.recombine: shard/solution arity mismatch";
+  let exception Missing in
+  match
+    Array.to_list shards
+    |> List.mapi (fun i (sh : shard) ->
+           match solutions.(i) with
+           | None -> raise Missing
+           | Some (sol : Red_blue.solution) ->
+             List.map (fun l -> sh.sets.(l)) sol.Red_blue.chosen)
+    |> List.concat
+  with
+  | chosen -> Red_blue.solution_of t chosen
+  | exception Missing -> None
+
+let solve ~solver t =
+  let shards = shatter t in
+  let solutions = Array.map (fun sh -> solver sh.instance) shards in
+  recombine t shards solutions

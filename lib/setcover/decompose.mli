@@ -1,0 +1,41 @@
+(** Component decomposition of a {!Red_blue.t} instance.
+
+    Two sets are connected iff they share a red or blue element; the
+    transitive closure partitions the sets (and the elements they touch)
+    into independent sub-instances. Solving each shard separately and
+    unioning the per-shard choices is exact: a set never covers a blue
+    element outside its own component and never pays for a red element
+    outside it either, so both feasibility and cost decompose.
+
+    Blue elements contained in no set make the whole instance
+    uncoverable; they surface as set-less singleton shards whose
+    [instance] fails {!Red_blue.coverable}, so shard-wise solvers report
+    the infeasibility locally. Red elements in no set belong to no shard
+    (no sub-collection can ever pay for them). *)
+
+type shard = {
+  instance : Red_blue.t;  (** the sub-instance, re-indexed from 0 *)
+  sets : int array;       (** shard set index -> parent set index *)
+  reds : int array;       (** shard red id -> parent red id *)
+  blues : int array;      (** shard blue id -> parent blue id *)
+}
+
+(** [shatter t] splits [t] into its connected components. Shards are
+    ordered deterministically: components in order of their smallest
+    parent set index, then uncoverable set-less blue singletons in
+    ascending blue id; within a shard the remapping tables are in
+    ascending parent-id order. An instance with no sets and no blue
+    elements yields [[||]]. *)
+val shatter : Red_blue.t -> shard array
+
+(** [recombine t shards solutions] lifts per-shard solutions (aligned
+    with [shards]) back to parent ids and revalidates the union against
+    the parent instance via {!Red_blue.solution_of}. [None] if any shard
+    solution is missing or the union does not cover the parent. *)
+val recombine :
+  Red_blue.t -> shard array -> Red_blue.solution option array -> Red_blue.solution option
+
+(** [solve ~solver t] — shatter, run [solver] on every shard, recombine.
+    Equivalent to [solver t] for exact solvers, and never worse on a
+    per-shard basis for the monotone approximations in {!Red_blue}. *)
+val solve : solver:(Red_blue.t -> Red_blue.solution option) -> Red_blue.t -> Red_blue.solution option

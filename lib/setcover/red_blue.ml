@@ -289,105 +289,6 @@ let solve_approx ?tick t =
   | None, s | s, None -> s
   | Some a, Some b -> Some (if a.cost <= b.cost then a else b)
 
-(* ---- reference (pre-arena) implementations ----
-
-   Kept verbatim for differential testing and the old-vs-new benchmark
-   group; the packed implementations above must match them selection for
-   selection. *)
-
-let greedy_reference t =
-  if not (coverable t) then None
-  else begin
-    let covered_blue = ref Iset.empty in
-    let covered_red = ref Iset.empty in
-    let chosen = ref [] in
-    while Iset.cardinal !covered_blue < t.num_blue do
-      let best = ref None and best_score = ref neg_infinity in
-      Array.iteri
-        (fun i s ->
-          let new_blue = Iset.cardinal (Iset.diff s.blue !covered_blue) in
-          if new_blue > 0 then begin
-            let new_red = red_weight t (Iset.diff s.red !covered_red) in
-            let score = float_of_int new_blue /. (1e-9 +. new_red) in
-            if score > !best_score then begin
-              best_score := score;
-              best := Some i
-            end
-          end)
-        t.sets;
-      match !best with
-      | Some i ->
-        covered_blue := Iset.union !covered_blue t.sets.(i).blue;
-        covered_red := Iset.union !covered_red t.sets.(i).red;
-        chosen := i :: !chosen
-      | None -> assert false (* coverable *)
-    done;
-    solution_of t !chosen
-  end
-
-let greedy_cover_by_count_reference t allowed =
-  (* classic greedy set cover over the blue universe, restricted to the
-     [allowed] set indices; returns None when not coverable *)
-  let covered = ref Iset.empty in
-  let chosen = ref [] in
-  let continue_ = ref true in
-  let feasible = ref true in
-  while !continue_ do
-    if Iset.cardinal !covered = t.num_blue then continue_ := false
-    else begin
-      let best = ref None and best_gain = ref 0 in
-      List.iter
-        (fun i ->
-          let gain = Iset.cardinal (Iset.diff t.sets.(i).blue !covered) in
-          if gain > !best_gain then begin
-            best_gain := gain;
-            best := Some i
-          end)
-        allowed;
-      match !best with
-      | Some i ->
-        covered := Iset.union !covered t.sets.(i).blue;
-        chosen := i :: !chosen
-      | None ->
-        feasible := false;
-        continue_ := false
-    end
-  done;
-  if !feasible then Some !chosen else None
-
-let lowdeg_reference t =
-  if not (coverable t) then None
-  else begin
-    let set_red_weight i = red_weight t t.sets.(i).red in
-    let thresholds =
-      Array.to_list (Array.mapi (fun i _ -> set_red_weight i) t.sets)
-      |> List.sort_uniq Float.compare
-    in
-    let best = ref None in
-    List.iter
-      (fun tau ->
-        let allowed =
-          List.init (num_sets t) Fun.id
-          |> List.filter (fun i -> set_red_weight i <= tau)
-        in
-        match greedy_cover_by_count_reference t allowed with
-        | None -> ()
-        | Some chosen -> (
-          match solution_of t chosen with
-          | None -> ()
-          | Some sol -> (
-            match !best with
-            | Some b when b.cost <= sol.cost -> ()
-            | _ -> best := Some sol)))
-      thresholds;
-    !best
-  end
-
-let solve_approx_reference t =
-  match greedy_reference t, lowdeg_reference t with
-  | None, s | s, None -> s
-  | Some a, Some b -> Some (if a.cost <= b.cost then a else b)
-
 let pp ppf t =
   Format.fprintf ppf "@[<v>red: %d, blue: %d, sets: %d@ %a@]" (num_red t) t.num_blue
     (num_sets t)

@@ -73,10 +73,4 @@ val solve_lowdeg : ?tick:(unit -> unit) -> t -> solution option
 (** Best of {!solve_greedy} and {!solve_lowdeg}. *)
 val solve_approx : ?tick:(unit -> unit) -> t -> solution option
 
-(** The pre-bitset implementation of {!solve_approx} (eager per-step
-    rescans over persistent {!Iset}s), kept for differential testing and
-    the [arena] benchmark group. Selection-for-selection equal to
-    {!solve_approx}. *)
-val solve_approx_reference : t -> solution option
-
 val pp : Format.formatter -> t -> unit

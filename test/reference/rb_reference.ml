@@ -1,0 +1,105 @@
+(* The pre-bitset Red-Blue Set Cover solvers (eager per-step rescans over
+   persistent Isets), moved verbatim from lib/setcover/red_blue.ml: the
+   packed implementations must match them selection for selection. *)
+
+open Setcover
+
+let red_weight (t : Red_blue.t) reds =
+  Iset.fold (fun r acc -> acc +. t.Red_blue.red_weights.(r)) reds 0.0
+
+let greedy_reference (t : Red_blue.t) =
+  if not (Red_blue.coverable t) then None
+  else begin
+    let covered_blue = ref Iset.empty in
+    let covered_red = ref Iset.empty in
+    let chosen = ref [] in
+    while Iset.cardinal !covered_blue < t.Red_blue.num_blue do
+      let best = ref None and best_score = ref neg_infinity in
+      Array.iteri
+        (fun i (s : Red_blue.set) ->
+          let new_blue = Iset.cardinal (Iset.diff s.Red_blue.blue !covered_blue) in
+          if new_blue > 0 then begin
+            let new_red = red_weight t (Iset.diff s.Red_blue.red !covered_red) in
+            let score = float_of_int new_blue /. (1e-9 +. new_red) in
+            if score > !best_score then begin
+              best_score := score;
+              best := Some i
+            end
+          end)
+        t.Red_blue.sets;
+      match !best with
+      | Some i ->
+        covered_blue := Iset.union !covered_blue t.Red_blue.sets.(i).Red_blue.blue;
+        covered_red := Iset.union !covered_red t.Red_blue.sets.(i).Red_blue.red;
+        chosen := i :: !chosen
+      | None -> assert false (* coverable *)
+    done;
+    Red_blue.solution_of t !chosen
+  end
+
+let greedy_cover_by_count_reference (t : Red_blue.t) allowed =
+  (* classic greedy set cover over the blue universe, restricted to the
+     [allowed] set indices; returns None when not coverable *)
+  let covered = ref Iset.empty in
+  let chosen = ref [] in
+  let continue_ = ref true in
+  let feasible = ref true in
+  while !continue_ do
+    if Iset.cardinal !covered = t.Red_blue.num_blue then continue_ := false
+    else begin
+      let best = ref None and best_gain = ref 0 in
+      List.iter
+        (fun i ->
+          let gain =
+            Iset.cardinal (Iset.diff t.Red_blue.sets.(i).Red_blue.blue !covered)
+          in
+          if gain > !best_gain then begin
+            best_gain := gain;
+            best := Some i
+          end)
+        allowed;
+      match !best with
+      | Some i ->
+        covered := Iset.union !covered t.Red_blue.sets.(i).Red_blue.blue;
+        chosen := i :: !chosen
+      | None ->
+        feasible := false;
+        continue_ := false
+    end
+  done;
+  if !feasible then Some !chosen else None
+
+let lowdeg_reference (t : Red_blue.t) =
+  if not (Red_blue.coverable t) then None
+  else begin
+    let set_red_weight i = red_weight t t.Red_blue.sets.(i).Red_blue.red in
+    let thresholds =
+      Array.to_list (Array.mapi (fun i _ -> set_red_weight i) t.Red_blue.sets)
+      |> List.sort_uniq Float.compare
+    in
+    let best = ref None in
+    List.iter
+      (fun tau ->
+        let allowed =
+          List.init (Red_blue.num_sets t) Fun.id
+          |> List.filter (fun i -> set_red_weight i <= tau)
+        in
+        match greedy_cover_by_count_reference t allowed with
+        | None -> ()
+        | Some chosen -> (
+          match Red_blue.solution_of t chosen with
+          | None -> ()
+          | Some sol -> (
+            match !best with
+            | Some (b : Red_blue.solution) when b.Red_blue.cost <= sol.Red_blue.cost
+              -> ()
+            | _ -> best := Some sol)))
+      thresholds;
+    !best
+  end
+
+let solve_approx_reference t =
+  match greedy_reference t, lowdeg_reference t with
+  | None, s | s, None -> s
+  | Some (a : Red_blue.solution), Some b ->
+    Some (if a.Red_blue.cost <= b.Red_blue.cost then a else b)

@@ -149,10 +149,10 @@ let lowdeg_equal (a : D.Lowdeg.result) (b : D.Lowdeg.result) =
   && a.D.Lowdeg.pruned_wide = b.D.Lowdeg.pruned_wide
 
 let pd_matches prov =
-  pd_equal (D.Primal_dual.solve prov) (D.Primal_dual.solve_reference prov)
+  pd_equal (D.Primal_dual.solve prov) (Reference.Pd_reference.solve_reference prov)
   && pd_equal
        (D.Primal_dual.solve ~reverse_delete:false prov)
-       (D.Primal_dual.solve_reference ~reverse_delete:false prov)
+       (Reference.Pd_reference.solve_reference ~reverse_delete:false prov)
 
 let prop_pd_forest =
   qcheck ~count:60 "primal-dual: arena = seed on forests" seeds (fun seed ->
@@ -167,10 +167,10 @@ let prop_pd_hard =
       pd_matches (hard_prov seed))
 
 let lowdeg_matches prov =
-  lowdeg_equal (D.Lowdeg.solve prov) (D.Lowdeg.solve_reference prov)
+  lowdeg_equal (D.Lowdeg.solve prov) (Reference.Lowdeg_reference.solve_reference prov)
   && lowdeg_equal
        (D.Lowdeg.solve ~prune_wide:false prov)
-       (D.Lowdeg.solve_reference ~prune_wide:false prov)
+       (Reference.Lowdeg_reference.solve_reference ~prune_wide:false prov)
 
 let prop_lowdeg_forest =
   qcheck ~count:30 "lowdeg: arena sweep = seed sweep on forests" seeds (fun seed ->
@@ -211,7 +211,7 @@ let prop_rb_approx =
       in
       rb_solution_equal
         (Setcover.Red_blue.solve_approx t)
-        (Setcover.Red_blue.solve_approx_reference t))
+        (Reference.Rb_reference.solve_approx_reference t))
 
 let suite =
   [

@@ -1,0 +1,519 @@
+(* Shatter-and-plan: the set-cover decomposition, the arena's component
+   partition (scratch and incrementally maintained), honest shard
+   arenas, planner differentials against the whole-instance portfolio,
+   and the engine's planner sessions. *)
+
+open Util
+module R = Relational
+module D = Deleprop
+module SC = Setcover
+module B = Setcover.Bitset
+
+let seeds = QCheck2.Gen.int_range 0 10_000
+
+(* ---- instance families ---- *)
+
+let forest_prov seed =
+  let rng = rng seed in
+  let { Workload.Forest_family.problem = p; _ } =
+    Workload.Forest_family.generate ~rng
+      { Workload.Forest_family.default with
+        num_relations = 4; tuples_per_relation = 6; num_queries = 3;
+        deletion_fraction = 0.4 }
+  in
+  D.Provenance.build p
+
+(* many independent root components by construction *)
+let pivot_prov ?(num_roots = 5) ?(tuples_per_relation = 4) seed =
+  let rng = rng seed in
+  let p =
+    Workload.Pivot_family.generate ~rng
+      { Workload.Pivot_family.depth = 3; num_roots; tuples_per_relation;
+        num_queries = 2; deletion_fraction = 0.4 }
+  in
+  D.Provenance.build p
+
+let random_prov seed =
+  let rng = rng seed in
+  let p =
+    Workload.Random_family.generate ~rng
+      { Workload.Random_family.default with
+        num_dimensions = 3; fact_tuples = 8; dim_tuples = 4; num_queries = 3;
+        deletion_fraction = 0.4 }
+  in
+  D.Provenance.build p
+
+(* ---- red-blue set cover decomposition ---- *)
+
+let random_rb rng =
+  Workload.Rbsc_gen.red_blue ~rng
+    ~num_red:(3 + Random.State.int rng 5)
+    ~num_blue:(3 + Random.State.int rng 5)
+    ~num_sets:(2 + Random.State.int rng 6)
+    ~red_density:0.3 ~blue_density:0.3
+
+let check_rb_shatter (t : SC.Red_blue.t) =
+  let shards = SC.Decompose.shatter t in
+  let set_seen = Array.make (SC.Red_blue.num_sets t) 0 in
+  let red_seen = Array.make (SC.Red_blue.num_red t) 0 in
+  let blue_seen = Array.make t.SC.Red_blue.num_blue 0 in
+  Array.iter
+    (fun (sh : SC.Decompose.shard) ->
+      Array.iter (fun s -> set_seen.(s) <- set_seen.(s) + 1) sh.SC.Decompose.sets;
+      Array.iter (fun r -> red_seen.(r) <- red_seen.(r) + 1) sh.SC.Decompose.reds;
+      Array.iter (fun b -> blue_seen.(b) <- blue_seen.(b) + 1) sh.SC.Decompose.blues;
+      (* the shard instance's sets are the global sets, remapped *)
+      Array.iteri
+        (fun l g ->
+          let local = sh.SC.Decompose.instance.SC.Red_blue.sets.(l) in
+          let back f = SC.Iset.map (fun i -> f i) in
+          Alcotest.(check bool) "set red remap" true
+            (SC.Iset.equal
+               (back (fun i -> sh.SC.Decompose.reds.(i)) local.SC.Red_blue.red)
+               t.SC.Red_blue.sets.(g).SC.Red_blue.red);
+          Alcotest.(check bool) "set blue remap" true
+            (SC.Iset.equal
+               (back (fun i -> sh.SC.Decompose.blues.(i)) local.SC.Red_blue.blue)
+               t.SC.Red_blue.sets.(g).SC.Red_blue.blue))
+        sh.SC.Decompose.sets)
+    shards;
+  Array.iter (fun n -> Alcotest.(check int) "each set in one shard" 1 n) set_seen;
+  Array.iter (fun n -> Alcotest.(check int) "each blue in one shard" 1 n) blue_seen;
+  (* reds may be untouched by every set; those appear in no shard *)
+  Array.iter
+    (fun n -> Alcotest.(check bool) "red in at most one shard" true (n <= 1))
+    red_seen;
+  (* connectivity: sets sharing an element land in the same shard *)
+  let shard_of_set = Array.make (SC.Red_blue.num_sets t) (-1) in
+  Array.iteri
+    (fun i (sh : SC.Decompose.shard) ->
+      Array.iter (fun s -> shard_of_set.(s) <- i) sh.SC.Decompose.sets)
+    shards;
+  Array.iteri
+    (fun i si ->
+      Array.iteri
+        (fun j sj ->
+          if i < j
+             && (not
+                   (SC.Iset.disjoint si.SC.Red_blue.red sj.SC.Red_blue.red
+                   && SC.Iset.disjoint si.SC.Red_blue.blue sj.SC.Red_blue.blue))
+          then
+            Alcotest.(check int) "sharing sets same shard" shard_of_set.(i)
+              shard_of_set.(j))
+        t.SC.Red_blue.sets)
+    t.SC.Red_blue.sets
+
+let prop_rb_shatter =
+  qcheck ~count:100 "setcover: shatter partitions the instance" seeds (fun seed ->
+      check_rb_shatter (random_rb (rng seed));
+      true)
+
+let prop_rb_exact =
+  qcheck ~count:100 "setcover: decomposed exact = direct exact" seeds (fun seed ->
+      let t = random_rb (rng seed) in
+      let direct = SC.Red_blue.solve_exact t in
+      let dec = SC.Decompose.solve ~solver:(fun i -> SC.Red_blue.solve_exact i) t in
+      match (direct, dec) with
+      | None, None -> true
+      | Some a, Some b -> feq a.SC.Red_blue.cost b.SC.Red_blue.cost
+      | _ -> false)
+
+let prop_rb_approx =
+  qcheck ~count:100 "setcover: decomposed approx stays feasible" seeds
+    (fun seed ->
+      let t = random_rb (rng seed) in
+      match SC.Decompose.solve ~solver:(fun i -> SC.Red_blue.solve_approx i) t with
+      | None -> not (SC.Red_blue.coverable t)
+      | Some s -> SC.Red_blue.is_feasible t s.SC.Red_blue.chosen)
+
+(* ---- arena partition ---- *)
+
+let partition_equal (a : D.Arena.partition) (b : D.Arena.partition) =
+  a.D.Arena.num_components = b.D.Arena.num_components
+  && a.D.Arena.comp_of_sid = b.D.Arena.comp_of_sid
+  && a.D.Arena.comp_of_vid = b.D.Arena.comp_of_vid
+
+let check_partition_invariants (a : D.Arena.t) (p : D.Arena.partition) =
+  (* witness rows are monochromatic and name the view tuple's component *)
+  Array.iteri
+    (fun vid row ->
+      if Array.length row = 0 then
+        Alcotest.(check int) "empty witness comp" (-1) p.D.Arena.comp_of_vid.(vid)
+      else begin
+        let c = p.D.Arena.comp_of_sid.(row.(0)) in
+        Array.iter
+          (fun sid ->
+            Alcotest.(check int) "witness monochromatic" c
+              p.D.Arena.comp_of_sid.(sid))
+          row;
+        Alcotest.(check int) "comp_of_vid" c p.D.Arena.comp_of_vid.(vid)
+      end)
+    a.D.Arena.witness;
+  (* canonical numbering: component ids appear for the first time in
+     ascending sid order, densely from 0 *)
+  let next = ref 0 in
+  Array.iter
+    (fun c ->
+      if c = !next then incr next
+      else Alcotest.(check bool) "canonical labels" true (c >= 0 && c < !next))
+    p.D.Arena.comp_of_sid;
+  Alcotest.(check int) "num_components" !next p.D.Arena.num_components
+
+let check_partition_family family seed =
+  let prov = family seed in
+  let a = D.Arena.build prov in
+  check_partition_invariants a (D.Arena.partition a);
+  true
+
+let prop_partition_forest =
+  qcheck ~count:50 "arena: partition invariants (forest)" seeds
+    (check_partition_family forest_prov)
+
+let prop_partition_random =
+  qcheck ~count:50 "arena: partition invariants (random)" seeds
+    (check_partition_family random_prov)
+
+(* random deletion streams: the patched partition must be bit-identical
+   to the scratch one after every commit *)
+let check_partition_stream family seed =
+  let rng = rng (seed + 7919) in
+  let prov = ref (family seed) in
+  let arena = ref (D.Arena.build !prov) in
+  let part = ref (D.Arena.partition !arena) in
+  for _ = 1 to 6 do
+    let n = D.Arena.num_stuples !arena in
+    if n > 1 then begin
+      let k = 1 + Random.State.int rng 2 in
+      let dd = ref R.Stuple.Set.empty in
+      for _ = 1 to k do
+        dd :=
+          R.Stuple.Set.add
+            !arena.D.Arena.stuples.(Random.State.int rng n)
+            !dd
+      done;
+      let prov' = D.Provenance.delete !prov !dd in
+      let arena' = D.Arena.delete !arena ~dd:!dd prov' in
+      let part' = D.Arena.partition_delete !part ~before:!arena ~dd:!dd arena' in
+      Alcotest.(check bool) "patched partition = scratch" true
+        (partition_equal part' (D.Arena.partition arena'));
+      check_partition_invariants arena' part';
+      prov := prov';
+      arena := arena';
+      part := part'
+    end
+  done;
+  true
+
+let prop_partition_stream_forest =
+  qcheck ~count:25 "arena: partition_delete = scratch (forest)" seeds
+    (check_partition_stream forest_prov)
+
+let prop_partition_stream_pivot =
+  qcheck ~count:25 "arena: partition_delete = scratch (pivot)" seeds
+    (check_partition_stream (pivot_prov ?num_roots:None ?tuples_per_relation:None))
+
+let prop_partition_stream_random =
+  qcheck ~count:25 "arena: partition_delete = scratch (random)" seeds
+    (check_partition_stream random_prov)
+
+(* ---- shard honesty ---- *)
+
+let check_shatter prov =
+  let a = D.Arena.build prov in
+  let part = D.Arena.partition a in
+  let shards = D.Arena.shatter ~partition:part a in
+  let bad_total = ref 0 in
+  Array.iter
+    (fun (sh : D.Arena.shard) ->
+      let sa = sh.D.Arena.arena in
+      Alcotest.(check int) "sid count"
+        (Array.length sh.D.Arena.global_sids)
+        (D.Arena.num_stuples sa);
+      Alcotest.(check int) "vid count"
+        (Array.length sh.D.Arena.global_vids)
+        (D.Arena.num_vtuples sa);
+      Alcotest.(check bool) "shard is active" true (not (B.is_empty sa.D.Arena.bad));
+      bad_total := !bad_total + B.cardinal sa.D.Arena.bad;
+      (* the id maps carry the parent's tuples verbatim *)
+      Array.iteri
+        (fun k sid ->
+          Alcotest.check stuple "stuple map" a.D.Arena.stuples.(sid)
+            sa.D.Arena.stuples.(k);
+          Alcotest.(check int) "sid in component" sh.D.Arena.component
+            part.D.Arena.comp_of_sid.(sid))
+        sh.D.Arena.global_sids;
+      Array.iteri
+        (fun k vid ->
+          Alcotest.check vtuple "vtuple map" a.D.Arena.vtuples.(vid)
+            sa.D.Arena.vtuples.(k);
+          (* weights replay bit-identically *)
+          Alcotest.(check bool) "weight bit-identical" true
+            (Float.equal sa.D.Arena.weights.(k) a.D.Arena.weights.(vid));
+          (* bad/preserved stamps agree with the parent *)
+          Alcotest.(check bool) "bad stamp" (B.mem a.D.Arena.bad vid)
+            (B.mem sa.D.Arena.bad k))
+        sh.D.Arena.global_vids;
+      (* witness rows map through the id tables *)
+      Array.iteri
+        (fun vk row ->
+          let lifted = Array.map (fun sk -> sh.D.Arena.global_sids.(sk)) row in
+          Alcotest.(check bool) "witness row maps" true
+            (lifted = a.D.Arena.witness.(sh.D.Arena.global_vids.(vk))))
+        sa.D.Arena.witness)
+    shards;
+  Alcotest.(check int) "every bad vtuple in some shard" (B.cardinal a.D.Arena.bad)
+    !bad_total
+
+let check_shatter_family family seed =
+  check_shatter (family seed);
+  true
+
+let prop_shatter_forest =
+  qcheck ~count:30 "arena: shards are honest (forest)" seeds
+    (check_shatter_family forest_prov)
+
+let prop_shatter_pivot =
+  qcheck ~count:30 "arena: shards are honest (pivot)" seeds
+    (check_shatter_family (pivot_prov ?num_roots:None ?tuples_per_relation:None))
+
+let prop_shatter_random =
+  qcheck ~count:30 "arena: shards are honest (random)" seeds
+    (check_shatter_family random_prov)
+
+(* per-shard exact solves recombine to the whole-instance optimum —
+   component independence is what makes decomposition sound *)
+let check_exact_recombination seed =
+  let prov = pivot_prov ~num_roots:3 ~tuples_per_relation:2 seed in
+  let a = D.Arena.build prov in
+  match D.Brute.solve prov with
+  | None -> true
+  | Some whole ->
+    let shards = D.Arena.shatter a in
+    let union = ref R.Stuple.Set.empty in
+    let solved_all =
+      Array.for_all
+        (fun (sh : D.Arena.shard) ->
+          match D.Brute.solve sh.D.Arena.arena.D.Arena.prov with
+          | Some r ->
+            union := R.Stuple.Set.union !union r.D.Brute.deletion;
+            true
+          | None -> false)
+        shards
+    in
+    Alcotest.(check bool) "every shard solvable" true solved_all;
+    let o = D.Side_effect.eval prov !union in
+    Alcotest.(check bool) "recombined union feasible" true o.D.Side_effect.feasible;
+    check_float "recombined cost = whole optimum"
+      whole.D.Brute.outcome.D.Side_effect.cost o.D.Side_effect.cost;
+    true
+
+let prop_exact_recombination =
+  qcheck ~count:30 "arena: exact shards recombine to the optimum" seeds
+    check_exact_recombination
+
+(* ---- planner ---- *)
+
+(* the decomposed winner never costs more than the whole-instance
+   portfolio winner (every portfolio algorithm either decomposes
+   componentwise or is dominated by a shard tier) *)
+let check_planner_dominates family seed =
+  let prov = family seed in
+  let a = D.Arena.build prov in
+  if B.is_empty a.D.Arena.bad then true
+  else
+    let r = D.Planner.solve a in
+    match (r.D.Planner.solutions, D.Portfolio.solutions a) with
+    | s :: _, w :: _ ->
+      D.Solution.feasible s
+      && D.Solution.cost s <= D.Solution.cost w +. 1e-9
+    | [], [] -> true
+    | _ -> false
+
+let prop_planner_forest =
+  qcheck ~count:25 "planner: cost <= portfolio winner (forest)" seeds
+    (check_planner_dominates forest_prov)
+
+let prop_planner_pivot =
+  qcheck ~count:25 "planner: cost <= portfolio winner (pivot)" seeds
+    (check_planner_dominates (pivot_prov ?num_roots:None ?tuples_per_relation:None))
+
+(* small components: every shard lands in an exact tier, so the planner
+   must return the instance optimum with a factor-1 composite *)
+let check_planner_exact seed =
+  let prov = pivot_prov ~num_roots:3 ~tuples_per_relation:2 seed in
+  let a = D.Arena.build prov in
+  let shards = D.Arena.shatter a in
+  if Array.length shards < 2 then true
+  else begin
+    let r = D.Planner.solve a in
+    Alcotest.(check bool) "decomposed" true r.D.Planner.decomposed;
+    Alcotest.(check int) "one decision per shard" (Array.length shards)
+      (List.length r.D.Planner.shards);
+    match (r.D.Planner.solutions, D.Brute.solve prov) with
+    | [ s ], Some whole ->
+      Alcotest.(check bool) "all shards exact" true
+        (List.for_all
+           (fun (d : D.Planner.shard_decision) -> d.D.Planner.exact)
+           r.D.Planner.shards);
+      (match s.D.Solution.certificate with
+      | D.Solution.Composite { shards = n; factor = Some f } ->
+        Alcotest.(check int) "composite shard count" (Array.length shards) n;
+        check_float "factor 1" 1.0 f
+      | c ->
+        Alcotest.failf "expected a factor-1 composite, got %a"
+          D.Solution.pp_certificate c);
+      check_float "planner = optimum" whole.D.Brute.outcome.D.Side_effect.cost
+        (D.Solution.cost s);
+      true
+    | _ -> Alcotest.fail "planner or brute found nothing"
+  end
+
+let prop_planner_exact =
+  qcheck ~count:30 "planner: exact shards give a factor-1 optimum" seeds
+    check_planner_exact
+
+let test_planner_no_decompose () =
+  let prov = pivot_prov 42 in
+  let a = D.Arena.build prov in
+  let r = D.Planner.solve ~decompose:false a in
+  Alcotest.(check bool) "not decomposed" false r.D.Planner.decomposed;
+  let whole = D.Portfolio.solutions a in
+  Alcotest.(check (list string)) "same ranking as the portfolio"
+    (List.map (fun (s : D.Solution.t) -> s.D.Solution.algorithm) whole)
+    (List.map (fun (s : D.Solution.t) -> s.D.Solution.algorithm) r.D.Planner.solutions);
+  List.iter2
+    (fun (x : D.Solution.t) (y : D.Solution.t) ->
+      Alcotest.(check bool) "cost bit-identical" true
+        (Float.equal (D.Solution.cost x) (D.Solution.cost y)))
+    whole r.D.Planner.solutions
+
+(* ---- engine ---- *)
+
+(* the engine's incrementally maintained partition must match scratch
+   after any mix of applies, deletes and (index-invalidating) inserts *)
+let check_engine_partition seed =
+  let rng = rng seed in
+  let p =
+    Workload.Pivot_family.generate ~rng
+      { Workload.Pivot_family.depth = 3; num_roots = 4;
+        tuples_per_relation = 3; num_queries = 2; deletion_fraction = 0.0 }
+  in
+  let queries = p.D.Problem.queries in
+  let eng = Engine.create ~domains:1 p.D.Problem.db queries in
+  let deleted_pool = ref [] in
+  let check tag =
+    let _, arena = Engine.index eng in
+    Alcotest.(check bool) (tag ^ ": partition = scratch") true
+      (partition_equal (Engine.partition eng) (D.Arena.partition arena));
+    Alcotest.(check int) (tag ^ ": components stat")
+      (Engine.partition eng).D.Arena.num_components
+      (Engine.stats eng).Engine.components
+  in
+  check "initial";
+  for step = 1 to 8 do
+    let tag = Printf.sprintf "seed %d step %d" seed step in
+    match Random.State.int rng 3 with
+    | 0 -> (
+      match R.Instance.stuples (Engine.db eng) with
+      | [] -> ()
+      | sts ->
+        let st = List.nth sts (Random.State.int rng (List.length sts)) in
+        Engine.delete eng (R.Stuple.Set.singleton st);
+        deleted_pool := st :: !deleted_pool;
+        check tag)
+    | 1 -> (
+      match !deleted_pool with
+      | [] -> ()
+      | st :: rest ->
+        deleted_pool := rest;
+        if not (R.Instance.mem (Engine.db eng) st) then begin
+          Engine.insert eng st;
+          check tag
+        end)
+    | _ -> check tag
+  done;
+  Engine.close eng;
+  true
+
+let prop_engine_partition =
+  qcheck ~count:15 "engine: incremental partition = scratch" seeds
+    check_engine_partition
+
+(* a planner session tracks a flat session move for move and never pays
+   a worse cost on the rounds they both solve *)
+let check_engine_plan_session seed =
+  let rng = rng seed in
+  let p =
+    Workload.Pivot_family.generate ~rng
+      { Workload.Pivot_family.depth = 3; num_roots = 4;
+        tuples_per_relation = 3; num_queries = 2; deletion_fraction = 0.0 }
+  in
+  let queries = p.D.Problem.queries in
+  let planned = Engine.create ~plan:true ~domains:1 p.D.Problem.db queries in
+  let flat = Engine.create ~domains:1 p.D.Problem.db queries in
+  let pick_requests () =
+    let prov, _ = Engine.index planned in
+    let all =
+      D.Smap.fold
+        (fun view ts acc ->
+          R.Tuple.Set.fold (fun t acc -> (view, t) :: acc) ts acc)
+        prov.D.Provenance.views []
+    in
+    match all with
+    | [] -> []
+    | _ ->
+      let view, t = List.nth all (Random.State.int rng (List.length all)) in
+      [ D.Delta_request.make ~view [ t ] ]
+  in
+  for _ = 1 to 4 do
+    match pick_requests () with
+    | [] -> ()
+    | reqs -> (
+      match (Engine.request planned reqs, Engine.request flat reqs) with
+      | Ok rp, Ok rf -> (
+        match (rp.Engine.solutions, rf.Engine.solutions) with
+        | sp :: _, sf :: _ ->
+          Alcotest.(check bool) "planned cost <= flat cost" true
+            (D.Solution.cost sp <= D.Solution.cost sf +. 1e-9);
+          (* commit the same deletion on both sessions *)
+          ignore (Engine.apply planned rp);
+          ignore (Engine.apply ~solution:sp flat rf);
+          Alcotest.(check bool) "databases stay identical" true
+            (R.Instance.equal (Engine.db planned) (Engine.db flat))
+        | [], [] -> ()
+        | _ -> Alcotest.fail "one session found no solution")
+      | _ -> Alcotest.fail "request failed")
+  done;
+  let s = Engine.stats planned in
+  Alcotest.(check bool) "planner stats consistent" true
+    (s.Engine.shards_solved = s.Engine.shards_exact + s.Engine.shards_approx);
+  Engine.close planned;
+  Engine.close flat;
+  true
+
+let prop_engine_plan_session =
+  qcheck ~count:10 "engine: planner session = flat session, never worse" seeds
+    check_engine_plan_session
+
+let suite =
+  [
+    prop_rb_shatter;
+    prop_rb_exact;
+    prop_rb_approx;
+    prop_partition_forest;
+    prop_partition_random;
+    prop_partition_stream_forest;
+    prop_partition_stream_pivot;
+    prop_partition_stream_random;
+    prop_shatter_forest;
+    prop_shatter_pivot;
+    prop_shatter_random;
+    prop_exact_recombination;
+    prop_planner_forest;
+    prop_planner_pivot;
+    prop_planner_exact;
+    Alcotest.test_case "planner: --no-decompose = portfolio" `Quick
+      test_planner_no_decompose;
+    prop_engine_partition;
+    prop_engine_plan_session;
+  ]

@@ -102,9 +102,11 @@ let test_matview_typed_problem () =
   let reqs = [ D.Delta_request.make ~view:"Q4" [ q4 [ "John"; "TKDE"; "XML" ] ] ] in
   (match D.Matview.problem ~requests:reqs mv with
   | Ok built ->
+    (* what [Matview.problem_legacy] (now deprecated) used to build *)
     let legacy =
-      D.Matview.problem_legacy
-        ~deletions:(D.Delta_request.to_legacy reqs) mv
+      D.Problem.make ~db:p.D.Problem.db ~queries:p.D.Problem.queries
+        ~deletions:(D.Delta_request.to_legacy reqs)
+        ~allow_non_key_preserving:true ()
     in
     Alcotest.check Util.tuple_set "same ΔV as legacy path"
       (D.Problem.deletion legacy "Q4") (D.Problem.deletion built "Q4")

@@ -24,4 +24,5 @@ let () =
       ("arena", Test_arena.suite);
       ("engine", Test_engine.suite);
       ("resilience", Test_resilience.suite);
+      ("decompose", Test_decompose.suite);
     ]

@@ -495,6 +495,53 @@ let test_engine_checkpoint () =
       Engine.close rec_eng;
       Engine.close eng)
 
+(* a checkpoint killed mid-compaction must never lose the session: the
+   rewrite is atomic, so recovery sees either the complete old log or
+   the complete compacted one — both bit-identical to the killed
+   session's committed state *)
+let test_engine_checkpoint_crash () =
+  with_temp_journal (fun path ->
+      Fun.protect
+        ~finally:(fun () ->
+          D.Failpoint.clear "journal.rewrite";
+          try Sys.remove (path ^ ".tmp") with Sys_error _ -> ())
+        (fun () ->
+          let p = fig1 () in
+          let db = p.D.Problem.db and queries = p.D.Problem.queries in
+          let run_to_checkpoint crash_bytes =
+            let eng = Engine.create ~domains:1 ~journal:path db queries in
+            Engine.delete eng (R.Stuple.Set.singleton (stf "T2(TODS, XML, 30)"));
+            Engine.delete eng (R.Stuple.Set.singleton (stf "T1(Tom, TKDE)"));
+            Engine.insert eng (stf "T1(Ann, TODS)");
+            D.Failpoint.set "journal.rewrite"
+              (D.Failpoint.Crash_after_bytes crash_bytes);
+            Alcotest.check_raises "checkpoint dies at the failpoint"
+              (D.Failpoint.Injected "journal.rewrite") (fun () ->
+                Engine.checkpoint eng);
+            D.Failpoint.clear "journal.rewrite";
+            eng
+          in
+          (* killed a few bytes into the replacement image: the torn
+             [.tmp] was never renamed, the full pre-checkpoint log
+             survives and recovery replays it verbatim *)
+          let eng = run_to_checkpoint 7 in
+          Alcotest.(check int) "old log intact" 3 (List.length (load_ok path));
+          let rec_eng = Engine.create ~domains:1 ~journal:path ~recover:true db queries in
+          Alcotest.(check int) "all three records replayed" 3
+            (Engine.stats rec_eng).Engine.recovered_records;
+          check_same_state "crash mid-rewrite" eng rec_eng queries;
+          Engine.close rec_eng;
+          Engine.close eng;
+          (* killed just after the rename: the compacted log is in
+             place and recovery lands on the same state from it *)
+          let eng = run_to_checkpoint max_int in
+          Alcotest.(check int) "compacted log in place" 2
+            (List.length (load_ok path));
+          let rec_eng = Engine.create ~domains:1 ~journal:path ~recover:true db queries in
+          check_same_state "crash post-rename" eng rec_eng queries;
+          Engine.close rec_eng;
+          Engine.close eng))
+
 let test_script_keep_going () =
   let p = fig1 () in
   let script =
@@ -682,6 +729,8 @@ let suite =
       test_journal_crash_failpoint;
     Alcotest.test_case "engine: journal recover" `Quick test_engine_journal_recover;
     Alcotest.test_case "engine: checkpoint compaction" `Quick test_engine_checkpoint;
+    Alcotest.test_case "engine: checkpoint killed mid-compaction" `Quick
+      test_engine_checkpoint_crash;
     Alcotest.test_case "script: keep_going records failures" `Quick
       test_script_keep_going;
     prop_crash_recovery;
