@@ -383,6 +383,93 @@ let bench_engine =
   in
   Test.make_grouped ~name:"engine" (session_tests @ micro_tests)
 
+(* mixed: 10-round mixed-workload sessions — every round commits a
+   source-side edit (odd rounds delete a tuple, even rounds re-insert
+   it: a steady churn of deletes and inserts) and then solves one
+   deletion request. The patched engine carries ONE index through the
+   whole session (deletes patch, inserts splice, the partition splits
+   and merges); the invalidate-and-rebuild baseline is what inserts used
+   to force — any insert invalidates the compiled index, so every solve
+   rebuilds provenance + arena from the current database. Both variants
+   replay the identical deterministic round sequence (each round's edit
+   and request are pure functions of the current state, and the
+   differential tests prove the two indexes bit-identical), so the
+   timing difference is exactly the maintenance strategy.
+   BENCH_mixed.json tracks this group. *)
+let bench_mixed =
+  let rounds = 10 in
+  let solve_engine eng queries =
+    match pick_request (Engine.view eng) queries with
+    | None -> ()
+    | Some req -> (
+      match Engine.request eng [ req ] with
+      | Ok plan -> ignore (Engine.apply eng plan)
+      | Error _ -> assert false)
+  in
+  let patched_session db queries () =
+    let eng = Engine.create ~algorithms:[ "primal-dual" ] ~domains:1 db queries in
+    let pool = ref [] in
+    for round = 1 to rounds do
+      (if round mod 2 = 1 then (
+         match R.Instance.stuples (Engine.db eng) with
+         | [] -> ()
+         | st :: _ ->
+           Engine.delete eng (R.Stuple.Set.singleton st);
+           pool := st :: !pool)
+       else
+         match !pool with
+         | [] -> ()
+         | st :: rest ->
+           pool := rest;
+           Engine.insert eng st);
+      solve_engine eng queries
+    done;
+    Engine.close eng
+  in
+  let rebuild_session db queries () =
+    let db = ref db in
+    let pool = ref [] in
+    for round = 1 to rounds do
+      (if round mod 2 = 1 then (
+         match R.Instance.stuples !db with
+         | [] -> ()
+         | st :: _ ->
+           db := R.Instance.delete !db (R.Stuple.Set.singleton st);
+           pool := st :: !pool)
+       else
+         match !pool with
+         | [] -> ()
+         | st :: rest ->
+           pool := rest;
+           db := R.Instance.add_stuple !db st);
+      let p = D.Problem.make ~db:!db ~queries ~deletions:[] () in
+      let pv = D.Provenance.build p in
+      let view_of name =
+        Option.value ~default:R.Tuple.Set.empty
+          (D.Smap.find_opt name pv.D.Provenance.views)
+      in
+      match pick_request view_of queries with
+      | None -> ()
+      | Some req -> (
+        let pv' = D.Provenance.with_deletions pv [ req ] in
+        match D.Portfolio.solutions ~only:[ "primal-dual" ] (D.Arena.build pv') with
+        | best :: _ -> db := R.Instance.delete !db best.D.Solution.deleted
+        | [] -> ())
+    done
+  in
+  Test.make_grouped ~name:"mixed"
+    (List.concat_map
+       (fun scale ->
+         let p = forest ~scale 167 in
+         let db = p.D.Problem.db and queries = p.D.Problem.queries in
+         [
+           Test.make ~name:(Printf.sprintf "session%d_rebuild_scale_%d" rounds scale)
+             (Staged.stage (rebuild_session db queries));
+           Test.make ~name:(Printf.sprintf "session%d_patched_scale_%d" rounds scale)
+             (Staged.stage (patched_session db queries));
+         ])
+       [ 40; 80 ])
+
 (* resilience: what durability and deadlines cost at forest scale 40.
    The same 10-round session as the engine group, crossed over
    {budget off/on} × {journal off/on} — the budget is generous enough to
@@ -528,7 +615,8 @@ let all_tests =
   [
     bench_e1; bench_e2; bench_e3; bench_e5; bench_e6; bench_e7; bench_e8; bench_e9;
     bench_e10; bench_e11; bench_e12; bench_e14; bench_e15; bench_e16; bench_e17;
-    bench_e18; bench_arena; bench_engine; bench_resilience; bench_decompose; bench_e21;
+    bench_e18; bench_arena; bench_engine; bench_mixed; bench_resilience; bench_decompose;
+    bench_e21;
     bench_containment; bench_phase5;
     bench_substrate;
   ]

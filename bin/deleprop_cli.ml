@@ -494,9 +494,10 @@ let batch_round_json (r : Engine.Script.round) =
 
 let batch_stats_json (s : Engine.stats) =
   Printf.sprintf
-    "{\"rounds\":%d,\"applies\":%d,\"tuples_deleted\":%d,\"tuples_inserted\":%d,\"patches\":%d,\"rebuilds\":%d,\"cache_hits\":%d,\"last_solve_ms\":%.3f,\"total_solve_ms\":%.3f,\"journal_records\":%d,\"recovered_records\":%d,\"components\":%d,\"shards_solved\":%d,\"shards_exact\":%d,\"shards_approx\":%d}"
+    "{\"rounds\":%d,\"applies\":%d,\"tuples_deleted\":%d,\"tuples_inserted\":%d,\"patches\":%d,\"inserts_patched\":%d,\"rebuilds\":%d,\"cache_hits\":%d,\"last_solve_ms\":%.3f,\"total_solve_ms\":%.3f,\"journal_records\":%d,\"recovered_records\":%d,\"components\":%d,\"shards_solved\":%d,\"shards_exact\":%d,\"shards_approx\":%d}"
     s.Engine.rounds s.Engine.applies s.Engine.tuples_deleted s.Engine.tuples_inserted
-    s.Engine.patches s.Engine.rebuilds s.Engine.cache_hits s.Engine.last_solve_ms
+    s.Engine.patches s.Engine.inserts_patched s.Engine.rebuilds s.Engine.cache_hits
+    s.Engine.last_solve_ms
     s.Engine.total_solve_ms s.Engine.journal_records s.Engine.recovered_records
     s.Engine.components s.Engine.shards_solved s.Engine.shards_exact
     s.Engine.shards_approx

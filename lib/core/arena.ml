@@ -289,6 +289,100 @@ let delete (a : t) ~dd (prov : Provenance.t) =
     forest_case;
   }
 
+let extend (a : t) ~ins (prov : Provenance.t) =
+  let ns = num_stuples a in
+  let ins_arr = Array.of_list (R.Stuple.Set.elements ins) in
+  let ni = Array.length ins_arr in
+  let ns' = ns + ni in
+  let stuples = Array.make ns' (R.Stuple.make "" (R.Tuple.of_list [])) in
+  let smap = Array.make ns (-1) in
+  (* merge the two sorted runs: id order is sorted-tuple order, so an old
+     sid shifts by exactly the number of inserted tuples before it *)
+  let i = ref 0 and j = ref 0 in
+  for sid' = 0 to ns' - 1 do
+    let take_old =
+      !j >= ni || (!i < ns && R.Stuple.compare a.stuples.(!i) ins_arr.(!j) < 0)
+    in
+    if take_old then begin
+      stuples.(sid') <- a.stuples.(!i);
+      smap.(!i) <- sid';
+      incr i
+    end
+    else begin
+      stuples.(sid') <- ins_arr.(!j);
+      incr j
+    end
+  done;
+  let nv = num_vtuples a in
+  let nv' = Vtuple.Map.cardinal prov.Provenance.witness in
+  let vtuples = Array.make nv' (Vtuple.make "" (R.Tuple.of_list [])) in
+  let witness = Array.make nv' [||] in
+  let weights = Array.make nv' 0.0 in
+  let bad = Bitset.create nv' in
+  let wtbl = prov.Provenance.problem.Problem.weights in
+  (* the old vtuples are an ascending subsequence of the (sorted) new
+     witness domain — one merge walk separates survivors (rows remapped,
+     weights and bad bits copied) from gained view tuples (witness
+     interned by bisection over the new stuple table) *)
+  let old_vid = ref 0 in
+  let vid = ref 0 in
+  Vtuple.Map.iter
+    (fun vt ws ->
+      let v = !vid in
+      incr vid;
+      vtuples.(v) <- vt;
+      if !old_vid < nv && Vtuple.equal a.vtuples.(!old_vid) vt then begin
+        witness.(v) <- Array.map (fun sid -> smap.(sid)) a.witness.(!old_vid);
+        weights.(v) <- a.weights.(!old_vid);
+        if Bitset.mem a.bad !old_vid then Bitset.add bad v;
+        incr old_vid
+      end
+      else begin
+        let w = Array.make (R.Stuple.Set.cardinal ws) 0 in
+        let k = ref 0 in
+        R.Stuple.Set.iter
+          (fun st ->
+            (match bisect ~compare:R.Stuple.compare stuples st with
+            | Some sid -> w.(!k) <- sid
+            | None ->
+              invalid_arg
+                (Format.asprintf "Arena.extend: witness member %a outside D"
+                   R.Stuple.pp st));
+            incr k)
+          ws;
+        witness.(v) <- w;
+        weights.(v) <- Weights.get wtbl vt
+        (* a gained view tuple is never bad: ΔV predates it *)
+      end)
+    prov.Provenance.witness;
+  assert (!old_vid = nv);
+  let preserved = Bitset.diff (Bitset.full nv') bad in
+  let deg = Array.make ns' 0 in
+  Array.iter (Array.iter (fun sid -> deg.(sid) <- deg.(sid) + 1)) witness;
+  let containing = Array.init ns' (fun sid -> Array.make deg.(sid) 0) in
+  let fill = Array.make ns' 0 in
+  Array.iteri
+    (fun vid w ->
+      Array.iter
+        (fun sid ->
+          containing.(sid).(fill.(sid)) <- vid;
+          fill.(sid) <- fill.(sid) + 1)
+        w)
+    witness;
+  let forest_case, order = processing_order prov ~witness ~stuples ~bad in
+  {
+    prov;
+    stuples;
+    vtuples;
+    witness;
+    containing;
+    bad;
+    preserved;
+    weights;
+    bad_order = Array.of_list order;
+    forest_case;
+  }
+
 (* ---- connected components ----
 
    Components of the stuple↔vtuple incidence graph: two source tuples are
@@ -306,23 +400,9 @@ type partition = {
 }
 
 (* union-find with union-by-min (the root is the smallest member) and
-   path compression *)
-let uf_find parent i =
-  let rec go i = if parent.(i) = i then i else go parent.(i) in
-  let root = go i in
-  let rec compress i =
-    if parent.(i) <> root then begin
-      let next = parent.(i) in
-      parent.(i) <- root;
-      compress next
-    end
-  in
-  compress i;
-  root
-
-let uf_union parent i j =
-  let ri = uf_find parent i and rj = uf_find parent j in
-  if ri < rj then parent.(rj) <- ri else if rj < ri then parent.(ri) <- rj
+   path compression — shared with [Setcover.Decompose] *)
+let uf_find = Setcover.Unionfind.find
+let uf_union = Setcover.Unionfind.union
 
 (* canonical labels: scanning ascending sid, each root gets the next
    fresh label on first sight ([labels] doubles as the root->label
@@ -348,7 +428,7 @@ let comp_of_vid_of ~comp_of_sid witness =
 
 let partition (a : t) =
   let ns = num_stuples a in
-  let parent = Array.init ns Fun.id in
+  let parent = Setcover.Unionfind.create ns in
   Array.iter
     (fun w ->
       if Array.length w > 1 then begin
@@ -383,7 +463,7 @@ let partition_delete (p : partition) ~(before : t) ~dd (a' : t) =
   done;
   assert (!k = ns');
   let old_comp sid' = p.comp_of_sid.(old_of_new.(sid')) in
-  let parent = Array.init ns' Fun.id in
+  let parent = Setcover.Unionfind.create ns' in
   Array.iter
     (fun w ->
       if Array.length w > 1 && affected.(old_comp w.(0)) then begin
@@ -420,6 +500,43 @@ let partition_delete (p : partition) ~(before : t) ~dd (a' : t) =
     comp_of_vid = comp_of_vid_of ~comp_of_sid a'.witness;
     num_components = !next;
   }
+
+let partition_insert (p : partition) ~(before : t) (a' : t) =
+  (* insertions only merge components: every old witness row survives
+     with its membership intact (ids remapped), so the old partition is a
+     refinement of the new one. Chain-union each old component (its
+     closure over the old rows, cheaper than replaying them), then union
+     only the gained witness rows — the only rows that can bridge
+     shards. Canonical labels are a function of connectivity alone, so
+     the result is bit-identical to [partition a']. *)
+  let ns = num_stuples before and ns' = num_stuples a' in
+  let parent = Setcover.Unionfind.create ns' in
+  let first_of_comp = Array.make p.num_components (-1) in
+  let i = ref 0 in
+  for sid' = 0 to ns' - 1 do
+    if !i < ns && R.Stuple.equal before.stuples.(!i) a'.stuples.(sid') then begin
+      let c = p.comp_of_sid.(!i) in
+      incr i;
+      if first_of_comp.(c) = -1 then first_of_comp.(c) <- sid'
+      else uf_union parent first_of_comp.(c) sid'
+    end
+  done;
+  assert (!i = ns);
+  let nv = num_vtuples before and nv' = num_vtuples a' in
+  let j = ref 0 in
+  for vid' = 0 to nv' - 1 do
+    if !j < nv && Vtuple.equal before.vtuples.(!j) a'.vtuples.(vid') then incr j
+    else begin
+      let w = a'.witness.(vid') in
+      if Array.length w > 1 then begin
+        let s0 = w.(0) in
+        Array.iter (fun sid -> uf_union parent s0 sid) w
+      end
+    end
+  done;
+  assert (!j = nv);
+  let comp_of_sid, num_components = canonical_labels parent in
+  { comp_of_sid; comp_of_vid = comp_of_vid_of ~comp_of_sid a'.witness; num_components }
 
 (* ---- shattering ---- *)
 

@@ -48,6 +48,16 @@ val with_deletions : t -> Provenance.t -> t
     or hashing. [dd] must be tuples of the arena's database. *)
 val delete : t -> dd:R.Stuple.Set.t -> Provenance.t -> t
 
+(** [extend a ~ins prov] — the arena after committing the source
+    insertion [ins], where [prov] is [a.prov] with every tuple of [ins]
+    {!Provenance.insert}ed: the two sorted runs merge (existing ids keep
+    their relative order, shifting only past the inserted tuples — no
+    re-interning pass), surviving witness rows remap, gained view tuples
+    intern their witness by bisection, and containing re-inverts.
+    Equals [build prov]. [ins] must be disjoint from the arena's
+    database. *)
+val extend : t -> ins:R.Stuple.Set.t -> Provenance.t -> t
+
 val num_stuples : t -> int
 val num_vtuples : t -> int
 
@@ -94,6 +104,16 @@ val partition : t -> partition
     tuple are re-unioned, the rest keep their membership. Bit-identical
     to [partition a'] (checked by the engine differential suite). *)
 val partition_delete : partition -> before:t -> dd:R.Stuple.Set.t -> t -> partition
+
+(** [partition_insert p ~before a'] — the partition of
+    [a' = extend before ~ins prov'], patched incrementally from
+    [p = partition before]: insertions only {e merge} components (every
+    old witness row survives intact), so the old components are re-used
+    wholesale via one chain-union each and only the {e gained} witness
+    rows — the rows that can bridge shards — are unioned in.
+    Bit-identical to [partition a'] (checked by the engine differential
+    suite). *)
+val partition_insert : partition -> before:t -> t -> partition
 
 (** One active component, compiled as a standalone arena over the
     restricted provenance ({!Provenance.restrict}) — solvers never see

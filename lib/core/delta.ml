@@ -1,0 +1,27 @@
+module R = Relational
+
+type t = {
+  deletes : R.Stuple.Set.t;
+  inserts : R.Stuple.Set.t;
+}
+
+let empty = { deletes = R.Stuple.Set.empty; inserts = R.Stuple.Set.empty }
+
+let is_empty t =
+  R.Stuple.Set.is_empty t.deletes && R.Stuple.Set.is_empty t.inserts
+
+let make ?(deletes = R.Stuple.Set.empty) ?(inserts = R.Stuple.Set.empty) () =
+  { deletes; inserts }
+
+let of_deletes deletes = { empty with deletes }
+let of_inserts inserts = { empty with inserts }
+
+let cardinal t = R.Stuple.Set.cardinal t.deletes + R.Stuple.Set.cardinal t.inserts
+
+let pp ppf t =
+  let pp_facts ppf s =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+      R.Stuple.pp ppf (R.Stuple.Set.elements s)
+  in
+  Format.fprintf ppf "@[<hv>-{%a}@ +{%a}@]" pp_facts t.deletes pp_facts t.inserts

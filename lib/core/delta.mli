@@ -1,0 +1,35 @@
+(** A symmetric source-side update: the one currency every mutation path
+    in the stack trades in. The engine, the materialized-view manager,
+    the provenance index and the arena all consume a [Delta.t] the same
+    way — {e deletes first, then inserts} — so a key update (drop the old
+    row, add its replacement under the same key) is a single well-formed
+    delta rather than two ordered calls.
+
+    Key preservation makes both directions incremental: a deleted tuple
+    kills exactly the view tuples whose witness contains it, and an
+    inserted tuple creates exactly the view tuples whose witness contains
+    it (computable by specialized delta evaluation, {!Cq.Maintain} —
+    no derivability check is ever needed, see DESIGN.md §11). *)
+
+type t = {
+  deletes : Relational.Stuple.Set.t;  (** source tuples removed, applied first *)
+  inserts : Relational.Stuple.Set.t;  (** source tuples added, applied second *)
+}
+
+val empty : t
+val is_empty : t -> bool
+
+(** [make ?deletes ?inserts ()] — both default empty. *)
+val make :
+  ?deletes:Relational.Stuple.Set.t ->
+  ?inserts:Relational.Stuple.Set.t ->
+  unit ->
+  t
+
+val of_deletes : Relational.Stuple.Set.t -> t
+val of_inserts : Relational.Stuple.Set.t -> t
+
+(** Total number of tuples moved, [|deletes| + |inserts|]. *)
+val cardinal : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -34,41 +34,21 @@ let delete t dd =
   in
   { t with db = R.Instance.delete t.db dd; views }
 
-(* delta insertion: answers gained by [st] = union over atoms of matching
-   relation of the specialized query's answers on the database AFTER the
-   insertion (so derivations using the new tuple several times are
-   caught) *)
-let gained db' (q : Cq.Query.t) (st : R.Stuple.t) =
-  List.mapi (fun i a -> (i, a)) q.body
-  |> List.fold_left
-       (fun acc (i, (atom : Cq.Atom.t)) ->
-         if atom.rel <> st.rel then acc
-         else
-           match Cq.Atom.matches atom st.tuple with
-           | None -> acc
-           | Some bindings ->
-             let f v =
-               List.assoc_opt v bindings |> Option.map (fun value -> Cq.Term.Const value)
-             in
-             let specialized = Cq.Query.substitute f q in
-             (* drop the bound atom? keep it: it matches the new tuple and
-                possibly others; correctness over speed *)
-             ignore i;
-             R.Tuple.Set.union acc (Cq.Eval.evaluate db' specialized))
-       R.Tuple.Set.empty
-
 let insert t st =
-  let db' = R.Instance.add_stuple t.db st in
   let views =
     Smap.mapi
       (fun name old ->
         let q = List.find (fun (q : Cq.Query.t) -> q.name = name) t.queries in
-        R.Tuple.Set.union old (gained db' q st))
+        Cq.Maintain.extend t.db q ~view:old st)
       t.views
   in
-  { t with db = db'; views }
+  { t with db = R.Instance.add_stuple t.db st; views }
 
 let insert_all t sts = R.Stuple.Set.fold (fun st acc -> insert acc st) sts t
+
+let apply_delta t (delta : Delta.t) =
+  let t = delete t delta.Delta.deletes in
+  insert_all t delta.Delta.inserts
 
 let of_views db queries views = { db; queries; views }
 
@@ -80,8 +60,3 @@ let problem ~requests ?weights t =
       (Problem.make ~db:t.db ~queries:t.queries
          ~deletions:(Delta_request.to_legacy requests)
          ?weights ~allow_non_key_preserving:true ())
-
-let problem_legacy ~deletions ?weights t =
-  Problem.make ~db:t.db ~queries:t.queries ~deletions ?weights
-    ~allow_non_key_preserving:true ()
-[@@deprecated "use Matview.problem with typed Delta_request.t values"]

@@ -29,6 +29,11 @@ val insert : t -> Relational.Stuple.t -> t
 
 val insert_all : t -> Relational.Stuple.Set.t -> t
 
+(** Apply a symmetric update — deletes first, then inserts, the
+    {!Delta} contract — refreshing every view incrementally on both
+    sides. *)
+val apply_delta : t -> Delta.t -> t
+
 (** Adopt already-materialized views without re-evaluating the queries —
     the caller asserts [views] = each query evaluated on [db] (e.g. the
     engine, which just built a provenance index holding exactly those
@@ -48,13 +53,3 @@ val problem :
   ?weights:Weights.t ->
   t ->
   (Problem.t, Delta_request.error) result
-
-(** Deprecated dialect of {!problem} on the stringly association list;
-    raises [Invalid_argument] on bad deletions. New code wants
-    {!problem}. *)
-val problem_legacy :
-  deletions:(string * Relational.Tuple.t list) list ->
-  ?weights:Weights.t ->
-  t ->
-  Problem.t
-[@@deprecated "use Matview.problem with typed Delta_request.t values"]

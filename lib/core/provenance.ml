@@ -12,6 +12,18 @@ type t = {
 
 exception Ambiguous_witness of Vtuple.t
 
+(* body order, consecutive duplicates collapsed (self-join reusing a
+   tuple) — the [witness_path] entry of one witness *)
+let path_of_witness (w : Cq.Eval.witness) =
+  Array.to_list w
+  |> List.fold_left
+       (fun acc st ->
+         match acc with
+         | prev :: _ when R.Stuple.equal prev st -> acc
+         | _ -> st :: acc)
+       []
+  |> List.rev
+
 let build (problem : Problem.t) =
   let db = problem.Problem.db in
   let views, witness, witness_path =
@@ -27,20 +39,8 @@ let build (problem : Problem.t) =
               let vt = Vtuple.make q.name tup in
               match ws with
               | [ w ] ->
-                let path =
-                  (* body order, consecutive duplicates collapsed (self-join
-                     reusing a tuple) *)
-                  Array.to_list w
-                  |> List.fold_left
-                       (fun acc st ->
-                         match acc with
-                         | prev :: _ when R.Stuple.equal prev st -> acc
-                         | _ -> st :: acc)
-                       []
-                  |> List.rev
-                in
                 ( Vtuple.Map.add vt (Cq.Eval.witness_set w) witness,
-                  Vtuple.Map.add vt path witness_path )
+                  Vtuple.Map.add vt (path_of_witness w) witness_path )
               | [] -> assert false
               | _ :: _ :: _ ->
                 (* distinct assignments, same head tuple *)
@@ -201,6 +201,59 @@ let delete t dd =
     witness_path;
     containing;
     bad;
+    preserved;
+  }
+
+let insert t st =
+  let db = t.problem.Problem.db in
+  let db' = R.Instance.add_stuple db st in
+  (* the new tuple gets its [containing] row up front — the map stays
+     total on D even when [st] joins into nothing *)
+  let containing = R.Stuple.Map.add st Vtuple.Set.empty t.containing in
+  let views, witness, witness_path, containing, gained =
+    List.fold_left
+      (fun acc (q : Cq.Query.t) ->
+        R.Tuple.Map.fold
+          (fun tup ws (views, witness, witness_path, containing, gained) ->
+            let vt = Vtuple.make q.Cq.Query.name tup in
+            match ws with
+            | [ w ] when not (Vtuple.Map.mem vt witness) ->
+              let wset = Cq.Eval.witness_set w in
+              ( Smap.update vt.Vtuple.query
+                  (Option.map (R.Tuple.Set.add tup))
+                  views,
+                Vtuple.Map.add vt wset witness,
+                Vtuple.Map.add vt (path_of_witness w) witness_path,
+                R.Stuple.Set.fold
+                  (fun member c ->
+                    R.Stuple.Map.update member
+                      (fun cur ->
+                        Some
+                          (Vtuple.Set.add vt
+                             (Option.value ~default:Vtuple.Set.empty cur)))
+                      c)
+                  wset containing,
+                Vtuple.Set.add vt gained )
+          | _ ->
+            (* ≥ 2 new witnesses, or a second derivation of an
+               existing answer: the extended instance is no longer
+               key preserving, exactly what [build] on it raises *)
+            raise (Ambiguous_witness vt))
+          (Cq.Maintain.gained_answers db q st)
+          acc)
+      (t.views, t.witness, t.witness_path, containing, Vtuple.Set.empty)
+      t.problem.Problem.queries
+  in
+  (* gained view tuples are never in ΔV (they did not exist when the
+     deletions were requested), so [bad] is untouched *)
+  let preserved = Vtuple.Set.union t.preserved gained in
+  {
+    t with
+    problem = Problem.patch ~db:db' ~deletions:t.problem.Problem.deletions t.problem;
+    views;
+    witness;
+    witness_path;
+    containing;
     preserved;
   }
 

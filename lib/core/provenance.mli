@@ -45,6 +45,20 @@ val with_deletions : t -> Delta_request.t list -> t
     never create answers), touching only the killed rows. *)
 val delete : t -> Relational.Stuple.Set.t -> t
 
+(** [insert t st] — the index after committing the source insertion
+    [st] (which must be absent from the database; the underlying
+    {!Relational.Instance.add_stuple} key check applies): the view
+    tuples gained by [st] ({!Cq.Maintain.gained_answers}) enter
+    [views], [witness], [witness_path] and [preserved], every member of
+    a new witness gains the view tuple in its [containing] row, and
+    [st] gets a (possibly empty) row of its own — the map stays total
+    on D. ΔV is untouched: a gained tuple cannot be a requested
+    deletion. Equals [build] on the extended problem, touching only the
+    gained rows; raises {!Ambiguous_witness} when the insertion gives
+    some view tuple a second derivation (the extended instance is then
+    no longer key preserving — the same condition [build] rejects). *)
+val insert : t -> Relational.Stuple.t -> t
+
 (** [restrict t ~stuples ~vtuples] — the sub-index induced by a
     witness-closed pair: every witness of a [vtuples] member lies inside
     [stuples], and [stuples] joins into no view tuple outside [vtuples]

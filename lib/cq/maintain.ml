@@ -67,3 +67,48 @@ let lost_answers db q dd =
     (candidates db q dd)
 
 let refresh db q ~view dd = R.Tuple.Set.diff view (lost_answers db q dd)
+
+(* ---- the insert dual ----
+
+   An answer gained by inserting [st] has a derivation using [st] in at
+   least one body atom; specializing each matching atom to [st]'s
+   constants and evaluating on the database AFTER the insertion finds
+   exactly those derivations (including ones using [st] several times —
+   the other atoms range over db + st). No derivability check is needed:
+   unlike deletion, insertion cannot take derivations away, so every
+   match of a specialized query is a real answer of the extended view. *)
+
+let witness_equal (a : Eval.witness) (b : Eval.witness) =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri (fun i st -> if not (R.Stuple.equal st b.(i)) then ok := false) a;
+      !ok)
+
+let gained_answers db (q : Query.t) (st : R.Stuple.t) =
+  let db' = R.Instance.add_stuple db st in
+  List.fold_left
+    (fun acc (i, (atom : Atom.t)) ->
+      if atom.rel <> st.R.Stuple.rel then acc
+      else
+        match specialize q i st.R.Stuple.tuple with
+        | None -> acc
+        | Some q' ->
+          List.fold_left
+            (fun acc (answer, w) ->
+              (* a witness using [st] in atoms i and j is found by both
+                 specializations; keep one copy per distinct assignment,
+                 like [Eval.provenance] *)
+              R.Tuple.Map.update answer
+                (fun cur ->
+                  let ws = Option.value ~default:[] cur in
+                  if List.exists (witness_equal w) ws then Some ws
+                  else Some (ws @ [ w ]))
+                acc)
+            acc (Eval.matches db' q'))
+    R.Tuple.Map.empty
+    (List.mapi (fun i a -> (i, a)) q.body)
+
+let extend db q ~view st =
+  R.Tuple.Map.fold
+    (fun answer _ acc -> R.Tuple.Set.add answer acc)
+    (gained_answers db q st) view

@@ -31,3 +31,29 @@ val refresh :
   view:Relational.Tuple.Set.t ->
   Relational.Stuple.Set.t ->
   Relational.Tuple.Set.t
+
+(** [gained_answers db q st] — the answers of [q] {e created} by
+    inserting [st] into [db], each with all of its new witnesses (dual
+    of {!lost_answers}). For each body atom of [st]'s relation the query
+    is specialized to [st]'s constants and evaluated over [db + st], so
+    derivations using the new tuple several times are found; every
+    witness returned contains [st]. Insertion needs no derivability
+    check — it cannot remove derivations — and for key-preserving
+    queries a gained answer has exactly one witness (two would mean an
+    ambiguous witness on the extended database, which {!Provenance}
+    rejects). [st] must not already be in [db]. *)
+val gained_answers :
+  Relational.Instance.t ->
+  Query.t ->
+  Relational.Stuple.t ->
+  Eval.witness list Relational.Tuple.Map.t
+
+(** [extend db q ~view st] — the view of [q] over [db + st], computed
+    incrementally from the materialized [view] over [db] (dual of
+    {!refresh}). *)
+val extend :
+  Relational.Instance.t ->
+  Query.t ->
+  view:Relational.Tuple.Set.t ->
+  Relational.Stuple.t ->
+  Relational.Tuple.Set.t

@@ -11,6 +11,7 @@ type stats = {
   tuples_deleted : int;
   tuples_inserted : int;
   patches : int;
+  inserts_patched : int;
   rebuilds : int;
   cache_hits : int;
   last_solve_ms : float;
@@ -30,6 +31,7 @@ let zero_stats =
     tuples_deleted = 0;
     tuples_inserted = 0;
     patches = 0;
+    inserts_patched = 0;
     rebuilds = 0;
     cache_hits = 0;
     last_solve_ms = 0.0;
@@ -45,12 +47,13 @@ let zero_stats =
 let pp_stats ppf s =
   Format.fprintf ppf
     "@[<v>rounds: %d, applies: %d@ deleted %d / inserted %d source tuple(s)@ index: \
-     %d patch(es), %d rebuild(s), %d cache hit(s), %d component(s)@ solve: last %.2f \
-     ms, total %.2f ms@ planner: %d shard(s) solved, %d exact, %d approximate@ \
-     journal: %d record(s) appended, %d recovered@]"
-    s.rounds s.applies s.tuples_deleted s.tuples_inserted s.patches s.rebuilds
-    s.cache_hits s.components s.last_solve_ms s.total_solve_ms s.shards_solved
-    s.shards_exact s.shards_approx s.journal_records s.recovered_records
+     %d patch(es), %d insert(s) patched, %d rebuild(s), %d cache hit(s), %d \
+     component(s)@ solve: last %.2f ms, total %.2f ms@ planner: %d shard(s) solved, \
+     %d exact, %d approximate@ journal: %d record(s) appended, %d recovered@]"
+    s.rounds s.applies s.tuples_deleted s.tuples_inserted s.patches s.inserts_patched
+    s.rebuilds s.cache_hits s.components s.last_solve_ms s.total_solve_ms
+    s.shards_solved s.shards_exact s.shards_approx s.journal_records
+    s.recovered_records
 
 type plan = {
   requests : D.Delta_request.t list;
@@ -65,8 +68,9 @@ type index = {
   prov : D.Provenance.t;
   arena : D.Arena.t;
   partition : D.Arena.partition;
-      (* maintained with the arena: deletions patch it in place
-         ([Arena.partition_delete]); inserts drop it with the index *)
+      (* maintained with the arena on both sides of a delta: deletions
+         patch it in place ([Arena.partition_delete], components only
+         split), insertions merge it ([Arena.partition_insert]) *)
 }
 
 type t = {
@@ -81,81 +85,90 @@ type t = {
   pool : D.Par.Pool.t;
   mutable journal : Journal.writer option;
   mutable mv : D.Matview.t;
-  mutable index : index option;
+  mutable index : index;
   mutable stats : stats;
 }
 
 (* the baseline index always has ΔV = ∅: requests re-target it per round
-   via [with_deletions] without disturbing the cached copy *)
-let build_index t =
-  let problem =
-    D.Problem.make ~db:(D.Matview.db t.mv) ~queries:t.queries ~deletions:[]
-      ?weights:t.weights ()
-  in
-  let prov = D.Provenance.build problem in
-  let arena = D.Arena.build prov in
-  let partition = D.Arena.partition arena in
-  let ix = { prov; arena; partition } in
-  t.index <- Some ix;
-  t.stats <-
-    { t.stats with rebuilds = t.stats.rebuilds + 1;
-      components = partition.D.Arena.num_components };
-  Log.debug (fun m ->
-      m "index rebuilt: %d source tuples, %d view tuples, %d component(s)"
-        (D.Arena.num_stuples arena) (D.Arena.num_vtuples arena)
-        partition.D.Arena.num_components);
-  ix
-
+   via [with_deletions] without disturbing the live copy. Built exactly
+   once, in [create] — every mutation afterwards patches it. *)
 let index_of t =
-  match t.index with
-  | Some ix ->
-    t.stats <- { t.stats with cache_hits = t.stats.cache_hits + 1 };
-    ix
-  | None -> build_index t
+  t.stats <- { t.stats with cache_hits = t.stats.cache_hits + 1 };
+  t.index
 
-(* ---- raw state transitions (no journaling — both the public ops and
-   journal replay commit through these) ---- *)
+(* ---- raw state transitions (no journaling — the public ops and
+   journal replay all commit through [apply_delta_raw]) ---- *)
 
-(* returns the subset actually deleted (tuples already gone are skipped) *)
-let commit_raw t dd =
-  let dd = R.Stuple.Set.filter (fun st -> R.Instance.mem (D.Matview.db t.mv) st) dd in
-  t.stats <-
-    {
-      t.stats with
-      applies = t.stats.applies + 1;
-      tuples_deleted = t.stats.tuples_deleted + R.Stuple.Set.cardinal dd;
-    };
-  if not (R.Stuple.Set.is_empty dd) then begin
-    match t.index with
-    | Some ix ->
+(* Apply a symmetric update, deletes first then inserts, each side
+   patching the live index ([Provenance.delete]/[Arena.delete]/
+   [Arena.partition_delete] and [Provenance.insert]/[Arena.extend]/
+   [Arena.partition_insert]). Returns the subset actually applied:
+   deletes of tuples already gone and inserts of tuples already present
+   are skipped (a tuple both deleted and re-inserted counts on both
+   sides — a journalled no-op, not a conflict). The session state
+   commits only after both patches succeed, so a [Key_violation] or
+   [Ambiguous_witness] raised mid-insert leaves it untouched. *)
+let apply_delta_raw t (delta : D.Delta.t) =
+  let db = D.Matview.db t.mv in
+  let dd =
+    R.Stuple.Set.filter (fun st -> R.Instance.mem db st) delta.D.Delta.deletes
+  in
+  let ins =
+    R.Stuple.Set.filter
+      (fun st -> R.Stuple.Set.mem st dd || not (R.Instance.mem db st))
+      delta.D.Delta.inserts
+  in
+  let ix = t.index in
+  let (prov, arena, partition), deletes_patched =
+    if R.Stuple.Set.is_empty dd then ((ix.prov, ix.arena, ix.partition), false)
+    else begin
       let prov' = D.Provenance.delete ix.prov dd in
       let arena' = D.Arena.delete ix.arena ~dd prov' in
       let partition' =
         D.Arena.partition_delete ix.partition ~before:ix.arena ~dd arena'
       in
-      t.index <- Some { prov = prov'; arena = arena'; partition = partition' };
-      t.mv <-
-        D.Matview.of_views prov'.D.Provenance.problem.D.Problem.db t.queries
-          prov'.D.Provenance.views;
-      t.stats <-
-        { t.stats with patches = t.stats.patches + 1;
-          components = partition'.D.Arena.num_components }
-    | None ->
-      (* index already invalidated (pending inserts): just maintain the
-         views; the next [request] rebuilds *)
-      t.mv <- D.Matview.delete t.mv dd
-  end;
-  dd
+      ((prov', arena', partition'), true)
+    end
+  in
+  let prov, arena, partition =
+    if R.Stuple.Set.is_empty ins then (prov, arena, partition)
+    else begin
+      let prov' =
+        R.Stuple.Set.fold (fun st p -> D.Provenance.insert p st) ins prov
+      in
+      let arena' = D.Arena.extend arena ~ins prov' in
+      let partition' = D.Arena.partition_insert partition ~before:arena arena' in
+      (prov', arena', partition')
+    end
+  in
+  t.index <- { prov; arena; partition };
+  t.mv <-
+    D.Matview.of_views prov.D.Provenance.problem.D.Problem.db t.queries
+      prov.D.Provenance.views;
+  t.stats <-
+    {
+      t.stats with
+      tuples_deleted = t.stats.tuples_deleted + R.Stuple.Set.cardinal dd;
+      tuples_inserted = t.stats.tuples_inserted + R.Stuple.Set.cardinal ins;
+      patches = t.stats.patches + (if deletes_patched then 1 else 0);
+      inserts_patched = t.stats.inserts_patched + R.Stuple.Set.cardinal ins;
+      components = partition.D.Arena.num_components;
+    };
+  { D.Delta.deletes = dd; inserts = ins }
+
+(* returns the subset actually deleted (tuples already gone are skipped) *)
+let commit_raw t dd =
+  t.stats <- { t.stats with applies = t.stats.applies + 1 };
+  (apply_delta_raw t (D.Delta.of_deletes dd)).D.Delta.deletes
 
 let insert_raw t st =
-  t.mv <- D.Matview.insert t.mv st;
-  t.index <- None;
-  t.stats <-
-    { t.stats with tuples_inserted = t.stats.tuples_inserted + 1; components = 0 }
+  ignore (apply_delta_raw t (D.Delta.of_inserts (R.Stuple.Set.singleton st)))
 
 let replay_record t = function
   | Journal.Apply dd | Journal.Delete dd -> ignore (commit_raw t dd)
   | Journal.Insert st -> insert_raw t st
+  | Journal.Delta { deletes; inserts } ->
+    ignore (apply_delta_raw t (D.Delta.make ~deletes ~inserts ()))
 
 let journal_append t record =
   match t.journal with
@@ -183,7 +196,7 @@ let create ?weights ?exact_threshold ?algorithms ?(plan = false) ?domains
       journal = None;
       pool = D.Par.Pool.create ?domains ();
       mv = D.Matview.of_views db queries prov.D.Provenance.views;
-      index = Some { prov; arena; partition };
+      index = { prov; arena; partition };
       stats =
         { zero_stats with rebuilds = 1;
           components = partition.D.Arena.num_components };
@@ -296,6 +309,14 @@ let insert t st =
 
 let insert_all t sts = R.Stuple.Set.iter (fun st -> insert t st) sts
 
+let apply_delta t delta =
+  let applied = apply_delta_raw t delta in
+  if not (D.Delta.is_empty applied) then
+    journal_append t
+      (Journal.Delta
+         { deletes = applied.D.Delta.deletes; inserts = applied.D.Delta.inserts });
+  applied
+
 let checkpoint t =
   match t.journal_path with
   | None -> ()
@@ -318,10 +339,11 @@ let checkpoint t =
           if R.Instance.mem t.base_db st then acc else st :: acc)
         cur []
     in
-    (* deletes first: an update (same key, new tuple) must drop the old
-       row before its replacement replays *)
+    (* a single symmetric record — deletes replay before inserts, so an
+       update (same key, new tuple) drops the old row before its
+       replacement lands *)
     let records =
-      Journal.Delete gone :: List.rev_map (fun st -> Journal.Insert st) added
+      [ Journal.Delta { deletes = gone; inserts = R.Stuple.Set.of_list added } ]
     in
     Journal.rewrite path records;
     t.journal <- Some (Journal.open_writer path);

@@ -10,12 +10,17 @@
       ([Provenance.with_deletions] / [Arena.with_deletions] — the
       (D,Q)-dependent structure is shared, only bad/preserved re-stamp)
       and runs the solver portfolio on the session pool;
-    - {!apply} / {!delete} commit a source deletion by {e patching} the
-      index ([Provenance.delete] / [Arena.delete]: killed rows drop out,
-      ids compact in place) instead of recompiling;
-    - {!insert} invalidates the index (insertions can create view tuples
-      anywhere); the next {!request} rebuilds lazily — the
-      patch/rebuild/cache-hit decisions are all counted in {!stats}.
+    - {!apply} / {!delete} / {!insert} / {!apply_delta} all commit
+      through one symmetric transition on a {!Deleprop.Delta.t}:
+      deletions {e patch} the index ([Provenance.delete] /
+      [Arena.delete]: killed rows drop out, ids compact in place) and
+      insertions patch it too ([Provenance.insert] / [Arena.extend]:
+      gained rows splice in by delta evaluation, no other id moves) —
+      the index is built exactly once, in {!create}, and the component
+      partition stays live across both sides ([Arena.partition_delete]
+      splits, [Arena.partition_insert] merges). Every patch is counted
+      in {!stats} ([patches] / [inserts_patched]); [rebuilds] stays 1
+      for the whole session.
 
     The session is {e resilient}: rounds run under an optional time
     budget with graceful degradation (see {!Deleprop.Portfolio}), solver
@@ -39,15 +44,18 @@ type stats = {
   applies : int;          (** committed deletions ({!apply} + {!delete}) *)
   tuples_deleted : int;   (** source tuples removed, cumulative *)
   tuples_inserted : int;  (** source tuples added, cumulative *)
-  patches : int;          (** commits that incrementally patched the index *)
-  rebuilds : int;         (** full index (re)builds, the one in {!create} included *)
+  patches : int;          (** commits whose deletions incrementally patched the index *)
+  inserts_patched : int;  (** source-tuple insertions patched into the live
+                              index (never by invalidate-and-rebuild) *)
+  rebuilds : int;         (** full index builds — 1 for the whole session
+                              (the one in {!create}); nothing invalidates *)
   cache_hits : int;       (** operations served by the live index *)
   last_solve_ms : float;  (** wall time of the last round (patch + portfolio) *)
   total_solve_ms : float; (** cumulative round wall time *)
   journal_records : int;  (** records appended to the journal this session *)
   recovered_records : int;(** records replayed from the journal at {!create} *)
   components : int;       (** connected components of the live index's
-                              incidence graph (0 while invalidated) *)
+                              incidence graph *)
   shards_solved : int;    (** shards dispatched by the planner, cumulative *)
   shards_exact : int;     (** ... solved by an exact tier (brute / DP) *)
   shards_approx : int;    (** ... solved by the approximation portfolio *)
@@ -128,18 +136,33 @@ val apply : ?solution:Deleprop.Solution.t -> t -> plan -> Deleprop.Solution.t op
     no solver involved). Journaled as a [Delete] record. *)
 val delete : t -> Relational.Stuple.Set.t -> unit
 
-(** Insert a source tuple: views maintain incrementally, the
-    provenance/arena index invalidates (rebuilt lazily by the next
-    {!request}). Raises {!Relational.Relation.Key_violation} like the
-    underlying instance (nothing is journaled then). *)
+(** Insert a source tuple: views maintain incrementally and the
+    provenance/arena index {e patches in place} — the gained view tuples
+    (and only those) splice into every layer, the partition merges the
+    components the new witnesses bridge ([Arena.partition_insert]), and
+    [stats.inserts_patched] counts the tuple. Raises
+    {!Relational.Relation.Key_violation} like the underlying instance
+    and {!Deleprop.Provenance.Ambiguous_witness} when the insertion
+    breaks key preservation; the session state is untouched and nothing
+    is journaled then. Journaled as an [Insert] record. *)
 val insert : t -> Relational.Stuple.t -> unit
 
 val insert_all : t -> Relational.Stuple.Set.t -> unit
 
+(** Commit a symmetric update in one transition: [delta.deletes] first,
+    then [delta.inserts], both patching the live index (the same path
+    {!apply}, {!delete} and {!insert} route through). Returns the
+    subset actually applied — deletes of absent tuples and inserts of
+    present ones are skipped (a tuple on both sides is a legal
+    delete-then-reinsert). Journaled as a single [Delta] record when
+    non-empty; on [Key_violation] / [Ambiguous_witness] nothing commits
+    and nothing is journaled. *)
+val apply_delta : t -> Deleprop.Delta.t -> Deleprop.Delta.t
+
 (** Compact the journal: atomically rewrite it as the minimal diff
-    between the database {!create} was given and the current one (one
-    delete record, then the inserted tuples — deletes first so key
-    updates replay cleanly). Recovery cost stops growing with session
+    between the database {!create} was given and the current one — a
+    single symmetric [Delta] record (deletes replay before inserts, so
+    key updates land cleanly). Recovery cost stops growing with session
     length. No-op for journal-less sessions. *)
 val checkpoint : t -> unit
 
@@ -151,14 +174,14 @@ val view : t -> string -> Relational.Tuple.Set.t
 
 val matview : t -> Deleprop.Matview.t
 
-(** The session's current baseline index (ΔV = ∅), rebuilding it if
-    invalidated — what the differential tests compare against scratch
-    construction. *)
+(** The session's live baseline index (ΔV = ∅) — built once in
+    {!create}, patched by every commit since; what the differential
+    tests compare against scratch construction. *)
 val index : t -> Deleprop.Provenance.t * Deleprop.Arena.t
 
 (** The live index's component partition, maintained incrementally
-    across commits ([Arena.partition_delete] on deletes, recomputed with
-    the lazy rebuild after inserts) — bit-identical to
+    across commits ([Arena.partition_delete] splits on deletes,
+    [Arena.partition_insert] merges on inserts) — bit-identical to
     [Arena.partition (snd (index t))]. *)
 val partition : t -> Deleprop.Arena.partition
 

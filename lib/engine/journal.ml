@@ -7,6 +7,7 @@ type record =
   | Apply of R.Stuple.Set.t
   | Delete of R.Stuple.Set.t
   | Insert of R.Stuple.t
+  | Delta of { deletes : R.Stuple.Set.t; inserts : R.Stuple.Set.t }
 
 type error =
   | Bad_magic of string
@@ -44,19 +45,36 @@ let crc32 s =
 
 (* ---- record codec ---- *)
 
-let tag_of = function Apply _ -> 'A' | Delete _ -> 'D' | Insert _ -> 'I'
+let tag_of = function
+  | Apply _ -> 'A'
+  | Delete _ -> 'D'
+  | Insert _ -> 'I'
+  | Delta _ -> 'U'
 
 let payload_of record =
   let facts =
     match record with
     | Apply dd | Delete dd -> List.map R.Stuple.to_string (R.Stuple.Set.elements dd)
     | Insert st -> [ R.Stuple.to_string st ]
+    | Delta { deletes; inserts } ->
+      (* signed facts, deletes first — the order [apply_delta] replays *)
+      List.map (fun st -> "-" ^ R.Stuple.to_string st) (R.Stuple.Set.elements deletes)
+      @ List.map (fun st -> "+" ^ R.Stuple.to_string st) (R.Stuple.Set.elements inserts)
   in
   String.concat "\n" (String.make 1 (tag_of record) :: facts)
 
 let fact_of_line line =
   let rel, tuple = R.Serial.fact_of_string line in
   R.Stuple.make rel tuple
+
+let signed_fact_of_line line =
+  if String.length line = 0 then failwith "empty signed fact"
+  else
+    let rest = String.sub line 1 (String.length line - 1) in
+    match line.[0] with
+    | '-' -> (`Delete, fact_of_line rest)
+    | '+' -> (`Insert, fact_of_line rest)
+    | c -> failwith (Printf.sprintf "signed fact starts with %C, expected '-'/'+'" c)
 
 let record_of_payload payload =
   match String.split_on_char '\n' payload with
@@ -68,6 +86,17 @@ let record_of_payload payload =
       match facts with
       | [ f ] -> Insert (fact_of_line f)
       | _ -> failwith "insert record needs exactly one fact")
+    | "U" ->
+      let deletes, inserts =
+        List.fold_left
+          (fun (dd, ins) line ->
+            match signed_fact_of_line line with
+            | `Delete, st -> (R.Stuple.Set.add st dd, ins)
+            | `Insert, st -> (dd, R.Stuple.Set.add st ins))
+          (R.Stuple.Set.empty, R.Stuple.Set.empty)
+          facts
+      in
+      Delta { deletes; inserts }
     | t -> failwith (Printf.sprintf "unknown record tag %S" t))
   | [] -> failwith "empty payload"
 

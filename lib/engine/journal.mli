@@ -14,12 +14,20 @@
     | ...                                              |
     v}
     A payload is the record tag on its own line ([A]pply / [D]elete /
-    [I]nsert) followed by one source fact per line in
+    [I]nsert / [U]pdate) followed by one source fact per line in
     {!Relational.Serial.fact_of_string} syntax:
     {v
     A
     T1(john, tkde)
     T2(tkde, xml, 30)
+    v}
+    An update ({!record.Delta}) record carries signed facts, deleted
+    tuples (prefix [-]) before inserted ones (prefix [+]) — the order
+    the engine replays them in:
+    {v
+    U
+    -T2(tkde, xml, 30)
+    +T1(ann, tods)
     v}
 
     Every append is flushed before returning; a crash can therefore tear
@@ -35,6 +43,13 @@ type record =
   | Delete of Relational.Stuple.Set.t
       (** a direct deletion ([Engine.delete]) *)
   | Insert of Relational.Stuple.t
+  | Delta of {
+      deletes : Relational.Stuple.Set.t;
+      inserts : Relational.Stuple.Set.t;
+    }
+      (** a symmetric update ([Engine.apply_delta]; also what
+          [Engine.checkpoint] compacts a whole session to) — replayed
+          deletes first, so a key update lands cleanly *)
 
 type error =
   | Bad_magic of string        (** not a journal (path in payload) *)
@@ -73,8 +88,8 @@ val close_writer : writer -> unit
 
 (** Atomically replace the journal at [path] with exactly [records]
     (write to a temp file in the same directory, rename over). The
-    engine's checkpoint compacts a long log into one delete + the
-    current inserts this way. Crosses the ["journal.rewrite"] failpoint:
+    engine's checkpoint compacts a long log into a single {!record.Delta}
+    this way. Crosses the ["journal.rewrite"] failpoint:
     [Crash_after_bytes n] emits only the first [n] bytes of the
     replacement image before raising {!Deleprop.Failpoint.Injected} —
     the rename happens iff the allowance covered the whole image, so the

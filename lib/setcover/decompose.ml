@@ -5,31 +5,17 @@ type shard = {
   blues : int array;
 }
 
-(* union-find over set indices, union-by-min so the root is always the
-   smallest member — component numbering by ascending root is then the
-   order of each component's smallest set index *)
-let find parent i =
-  let rec go i = if parent.(i) = i then i else go parent.(i) in
-  let root = go i in
-  let rec compress i =
-    if parent.(i) <> root then begin
-      let next = parent.(i) in
-      parent.(i) <- root;
-      compress next
-    end
-  in
-  compress i;
-  root
-
-let union parent i j =
-  let ri = find parent i and rj = find parent j in
-  if ri < rj then parent.(rj) <- ri else if rj < ri then parent.(ri) <- rj
+(* union-find over set indices ({!Unionfind}): union-by-min keeps the
+   root the smallest member, so component numbering by ascending root is
+   the order of each component's smallest set index *)
+let find = Unionfind.find
+let union = Unionfind.union
 
 let shatter (t : Red_blue.t) =
   let ns = Red_blue.num_sets t in
   let nr = Red_blue.num_red t in
   let nb = t.Red_blue.num_blue in
-  let parent = Array.init ns Fun.id in
+  let parent = Unionfind.create ns in
   (* first set seen containing each element; later sets sharing it are
      unioned with it *)
   let first_red = Array.make nr (-1) in

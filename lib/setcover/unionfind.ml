@@ -1,0 +1,20 @@
+type t = int array
+
+let create n = Array.init n Fun.id
+
+let find parent i =
+  let rec go i = if parent.(i) = i then i else go parent.(i) in
+  let root = go i in
+  let rec compress i =
+    if parent.(i) <> root then begin
+      let next = parent.(i) in
+      parent.(i) <- root;
+      compress next
+    end
+  in
+  compress i;
+  root
+
+let union parent i j =
+  let ri = find parent i and rj = find parent j in
+  if ri < rj then parent.(rj) <- ri else if rj < ri then parent.(ri) <- rj

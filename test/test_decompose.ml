@@ -390,7 +390,7 @@ let test_planner_no_decompose () =
 (* ---- engine ---- *)
 
 (* the engine's incrementally maintained partition must match scratch
-   after any mix of applies, deletes and (index-invalidating) inserts *)
+   after any mix of applies, deletes and (partition-merging) inserts *)
 let check_engine_partition seed =
   let rng = rng seed in
   let p =

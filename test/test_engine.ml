@@ -102,7 +102,7 @@ let test_matview_typed_problem () =
   let reqs = [ D.Delta_request.make ~view:"Q4" [ q4 [ "John"; "TKDE"; "XML" ] ] ] in
   (match D.Matview.problem ~requests:reqs mv with
   | Ok built ->
-    (* what [Matview.problem_legacy] (now deprecated) used to build *)
+    (* the untyped problem the removed [Matview.problem_legacy] built *)
     let legacy =
       D.Problem.make ~db:p.D.Problem.db ~queries:p.D.Problem.queries
         ~deletions:(D.Delta_request.to_legacy reqs)
@@ -376,7 +376,7 @@ let check_stream seed =
         deleted_pool := st :: !deleted_pool;
         check_index tag)
     | _ -> (
-      (* re-insert a previously deleted tuple: invalidates the index *)
+      (* re-insert a previously deleted tuple: patches the index in place *)
       match !deleted_pool with
       | [] -> ()
       | st :: rest ->
@@ -388,13 +388,124 @@ let check_stream seed =
   done;
   check_index "final";
   let s = Engine.stats eng in
-  Alcotest.(check bool) "some incremental patches happened" true (s.Engine.patches >= 0);
+  Alcotest.(check int) "index built exactly once" 1 s.Engine.rebuilds;
   Engine.close eng;
   true
 
 let prop_stream =
   qcheck ~count:15 "engine: incremental = rebuild over random streams" seeds
     check_stream
+
+(* ---- mixed delta streams: symmetric updates through [apply_delta] ---- *)
+
+let check_partition_equal tag (e : D.Arena.partition) (s : D.Arena.partition) =
+  Alcotest.(check int) (tag ^ ": num_components") s.D.Arena.num_components
+    e.D.Arena.num_components;
+  Alcotest.(check bool) (tag ^ ": comp_of_sid identical") true
+    (e.D.Arena.comp_of_sid = s.D.Arena.comp_of_sid);
+  Alcotest.(check bool) (tag ^ ": comp_of_vid identical") true
+    (e.D.Arena.comp_of_vid = s.D.Arena.comp_of_vid)
+
+(* Ten rounds of interleaved deletes + re-inserts committed as ONE
+   symmetric [Engine.apply_delta] transition each (solve + apply every
+   third round); after every commit the live index, its maintained
+   partition — component numbering included — and the views must be
+   bit-identical to a scratch rebuild of the engine's database. *)
+let check_mixed_stream ?(scale = 6) ~plan seed =
+  let rng = rng seed in
+  let { Workload.Forest_family.problem = p; _ } =
+    Workload.Forest_family.generate ~rng
+      {
+        Workload.Forest_family.default with
+        num_relations = 4;
+        tuples_per_relation = scale;
+        num_queries = 3;
+        deletion_fraction = 0.0;
+      }
+  in
+  let queries = p.D.Problem.queries in
+  let eng = Engine.create ~plan ~domains:1 p.D.Problem.db queries in
+  let deleted_pool = ref [] in
+  let inserts_applied = ref 0 in
+  let check_index tag =
+    let prov_e, arena_e = Engine.index eng in
+    let prov_s, arena_s = scratch_index queries (Engine.db eng) in
+    check_prov_equal tag prov_e prov_s;
+    check_arena_equal tag arena_e arena_s;
+    check_partition_equal tag (Engine.partition eng) (D.Arena.partition arena_s);
+    List.iter
+      (fun (q : Cq.Query.t) ->
+        Alcotest.check Util.tuple_set (tag ^ ": view " ^ q.name)
+          (Option.value ~default:R.Tuple.Set.empty
+             (D.Smap.find_opt q.name prov_s.D.Provenance.views))
+          (Engine.view eng q.name))
+      queries
+  in
+  check_index "mixed initial";
+  for step = 1 to 10 do
+    let tag = Printf.sprintf "mixed seed %d step %d" seed step in
+    (* a symmetric update: up to two source deletions plus the re-insert
+       of a previously deleted tuple, committed in one transition *)
+    let deletes =
+      match R.Instance.stuples (Engine.db eng) with
+      | [] -> R.Stuple.Set.empty
+      | sts ->
+        List.init
+          (1 + Random.State.int rng 2)
+          (fun _ -> List.nth sts (Random.State.int rng (List.length sts)))
+        |> R.Stuple.Set.of_list
+    in
+    let inserts =
+      match !deleted_pool with
+      | [] -> R.Stuple.Set.empty
+      | st :: rest ->
+        deleted_pool := rest;
+        R.Stuple.Set.singleton st
+    in
+    let applied = Engine.apply_delta eng (D.Delta.make ~deletes ~inserts ()) in
+    deleted_pool :=
+      R.Stuple.Set.elements
+        (R.Stuple.Set.diff applied.D.Delta.deletes applied.D.Delta.inserts)
+      @ !deleted_pool;
+    inserts_applied := !inserts_applied + R.Stuple.Set.cardinal applied.D.Delta.inserts;
+    check_index tag;
+    if step mod 3 = 0 then begin
+      let prov_e, _ = Engine.index eng in
+      match random_requests rng prov_e with
+      | [] -> ()
+      | reqs -> (
+        match Engine.request eng reqs with
+        | Error e -> Alcotest.fail (tag ^ ": " ^ D.Delta_request.error_to_string e)
+        | Ok plan ->
+          (match Engine.apply eng plan with
+          | Some s ->
+            deleted_pool :=
+              R.Stuple.Set.elements s.D.Solution.deleted @ !deleted_pool
+          | None -> ());
+          check_index (tag ^ " after solve"))
+    end
+  done;
+  check_index "mixed final";
+  let s = Engine.stats eng in
+  Alcotest.(check int) "one rebuild for the whole mixed session" 1 s.Engine.rebuilds;
+  Alcotest.(check int) "patched inserts counted separately" !inserts_applied
+    s.Engine.inserts_patched;
+  Alcotest.(check bool) "some inserts were patched" true (s.Engine.inserts_patched > 0);
+  Engine.close eng;
+  true
+
+let prop_mixed_stream =
+  qcheck ~count:10 "engine: mixed delta stream = rebuild (flat)" seeds
+    (check_mixed_stream ~plan:false)
+
+let prop_mixed_stream_plan =
+  qcheck ~count:10 "engine: mixed delta stream = rebuild (planner)" seeds
+    (check_mixed_stream ~plan:true)
+
+(* the acceptance bar pinned at forest scale 40: one 10-round mixed
+   session, exactly one index build, every insert patched, state
+   bit-identical to rebuild-per-round throughout *)
+let test_engine_mixed_scale40 () = ignore (check_mixed_stream ~scale:40 ~plan:false 40)
 
 (* ---- engine session on Fig. 1 ---- *)
 
@@ -420,12 +531,16 @@ let test_engine_fig1 () =
   (match Engine.request eng [ D.Delta_request.make ~view:"Q9" [] ] with
   | Error (D.Delta_request.Unknown_view _) -> ()
   | _ -> Alcotest.fail "expected Unknown_view");
+  (* an insert patches the live index; it never triggers a rebuild *)
+  Engine.insert eng (R.Stuple.make "T1" (R.Tuple.strs [ "Zoe"; "VLDB" ]));
   let s = Engine.stats eng in
   Alcotest.(check int) "rounds" 1 s.Engine.rounds;
   Alcotest.(check int) "applies" 1 s.Engine.applies;
   Alcotest.(check int) "patches" 1 s.Engine.patches;
+  Alcotest.(check int) "inserts patched" 1 s.Engine.inserts_patched;
   Alcotest.(check int) "rebuilds (initial only)" 1 s.Engine.rebuilds;
   Alcotest.(check bool) "tuples deleted" true (s.Engine.tuples_deleted >= 1);
+  Alcotest.(check int) "tuples inserted" 1 s.Engine.tuples_inserted;
   Engine.close eng
 
 let test_engine_domains_equal () =
@@ -532,6 +647,9 @@ let suite =
     Alcotest.test_case "matview: typed problem" `Quick test_matview_typed_problem;
     Alcotest.test_case "solution: JSON round-trip" `Quick test_solution_json_roundtrip;
     prop_stream;
+    prop_mixed_stream;
+    prop_mixed_stream_plan;
+    Alcotest.test_case "engine: mixed session, scale 40" `Quick test_engine_mixed_scale40;
     Alcotest.test_case "engine: Fig. 1 session + stats" `Quick test_engine_fig1;
     Alcotest.test_case "engine: domains 2 = domains 1" `Quick test_engine_domains_equal;
     Alcotest.test_case "script: parse" `Quick test_script_parse;

@@ -255,6 +255,9 @@ let record_equal (a : Engine.Journal.record) (b : Engine.Journal.record) =
   | Engine.Journal.Delete x, Engine.Journal.Delete y ->
     R.Stuple.Set.equal x y
   | Engine.Journal.Insert x, Engine.Journal.Insert y -> R.Stuple.equal x y
+  | ( Engine.Journal.Delta { deletes = d1; inserts = i1 },
+      Engine.Journal.Delta { deletes = d2; inserts = i2 } ) ->
+    R.Stuple.Set.equal d1 d2 && R.Stuple.Set.equal i1 i2
   | _ -> false
 
 let records_equal a b = List.length a = List.length b && List.for_all2 record_equal a b
@@ -270,6 +273,11 @@ let sample_records =
     Engine.Journal.Delete R.Stuple.Set.empty;
     Engine.Journal.Insert (stf "T1(Ann, TODS)");
     Engine.Journal.Delete (R.Stuple.Set.singleton (stf "T1(Tom, TKDE)"));
+    Engine.Journal.Delta
+      {
+        deletes = R.Stuple.Set.singleton (stf "T2(TKDE, XML, 30)");
+        inserts = R.Stuple.Set.of_list [ stf "T1(Zoe, VLDB)"; stf "T2(TKDE, XML, 30)" ];
+      };
   ]
 
 let write_records path records =
@@ -477,17 +485,17 @@ let test_engine_checkpoint () =
       Alcotest.(check int) "pre-compaction records" 3
         (List.length (load_ok path));
       Engine.checkpoint eng;
-      (* compacted to the diff against the base db: one delete record
-         (two tuples) and one insert *)
+      (* compacted to the diff against the base db: one symmetric Delta
+         record carrying both deletions and the insert *)
       let compacted = load_ok path in
-      Alcotest.(check int) "compacted to the diff" 2 (List.length compacted);
+      Alcotest.(check int) "compacted to the diff" 1 (List.length compacted);
       (match compacted with
-      | [ Engine.Journal.Delete gone; Engine.Journal.Insert added ] ->
-        Alcotest.(check int) "both deletions in one record" 2
-          (R.Stuple.Set.cardinal gone);
+      | [ Engine.Journal.Delta { deletes; inserts } ] ->
+        Alcotest.(check int) "both deletions in the one record" 2
+          (R.Stuple.Set.cardinal deletes);
         Alcotest.(check bool) "the insert survives" true
-          (R.Stuple.equal added (stf "T1(Ann, TODS)"))
-      | _ -> Alcotest.fail "expected [Delete; Insert] after checkpoint");
+          (R.Stuple.Set.equal inserts (R.Stuple.Set.singleton (stf "T1(Ann, TODS)")))
+      | _ -> Alcotest.fail "expected a single [Delta] after checkpoint");
       (* the session keeps appending after the compaction *)
       Engine.delete eng (R.Stuple.Set.singleton (stf "T1(Ann, TODS)"));
       let rec_eng = Engine.create ~domains:1 ~journal:path ~recover:true db queries in
@@ -535,12 +543,49 @@ let test_engine_checkpoint_crash () =
           (* killed just after the rename: the compacted log is in
              place and recovery lands on the same state from it *)
           let eng = run_to_checkpoint max_int in
-          Alcotest.(check int) "compacted log in place" 2
+          Alcotest.(check int) "compacted log in place" 1
             (List.length (load_ok path));
           let rec_eng = Engine.create ~domains:1 ~journal:path ~recover:true db queries in
           check_same_state "crash post-rename" eng rec_eng queries;
           Engine.close rec_eng;
           Engine.close eng))
+
+(* killed mid-append of an insert record: the in-memory patch had
+   already committed when the write tore, but recovery only trusts the
+   journal — it drops the torn record, replays the intact prefix
+   (through the delta pipeline, no rebuild) and re-running the insert
+   lands exactly where an uninterrupted session ends *)
+let test_engine_crash_mid_insert () =
+  with_temp_journal (fun path ->
+      Fun.protect
+        ~finally:(fun () -> D.Failpoint.clear "journal.append")
+        (fun () ->
+          let p = fig1 () in
+          let db = p.D.Problem.db and queries = p.D.Problem.queries in
+          let reference = Engine.create ~domains:1 db queries in
+          Engine.delete reference (R.Stuple.Set.singleton (stf "T1(Tom, TKDE)"));
+          Engine.insert reference (stf "T1(Ann, TODS)");
+          let doomed = Engine.create ~domains:1 ~journal:path db queries in
+          Engine.delete doomed (R.Stuple.Set.singleton (stf "T1(Tom, TKDE)"));
+          D.Failpoint.set "journal.append" (D.Failpoint.Crash_after_bytes 5);
+          Alcotest.check_raises "insert dies mid-append"
+            (D.Failpoint.Injected "journal.append") (fun () ->
+              Engine.insert doomed (stf "T1(Ann, TODS)"));
+          D.Failpoint.clear "journal.append";
+          Engine.close doomed;
+          let revived =
+            Engine.create ~domains:1 ~journal:path ~recover:true db queries
+          in
+          Alcotest.(check int) "torn insert record dropped" 1
+            (Engine.stats revived).Engine.recovered_records;
+          Engine.insert revived (stf "T1(Ann, TODS)");
+          check_same_state "crash mid-insert" reference revived queries;
+          Alcotest.(check int) "recovered session never rebuilt" 1
+            (Engine.stats revived).Engine.rebuilds;
+          Alcotest.(check bool) "the re-run insert was patched in" true
+            ((Engine.stats revived).Engine.inserts_patched > 0);
+          Engine.close revived;
+          Engine.close reference))
 
 let test_script_keep_going () =
   let p = fig1 () in
@@ -731,6 +776,8 @@ let suite =
     Alcotest.test_case "engine: checkpoint compaction" `Quick test_engine_checkpoint;
     Alcotest.test_case "engine: checkpoint killed mid-compaction" `Quick
       test_engine_checkpoint_crash;
+    Alcotest.test_case "engine: crash mid-insert + recover" `Quick
+      test_engine_crash_mid_insert;
     Alcotest.test_case "script: keep_going records failures" `Quick
       test_script_keep_going;
     prop_crash_recovery;
