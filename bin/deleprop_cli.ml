@@ -441,9 +441,8 @@ let failure_json (f : D.Portfolio.failure) =
 let batch_round_json (r : Engine.Script.round) =
   let b = Buffer.create 256 in
   Buffer.add_string b (Printf.sprintf "{\"round\":%d," r.Engine.Script.number);
-  (match r.Engine.Script.op with
-  | Engine.Script.Solve reqs ->
-    Buffer.add_string b "\"op\":\"solve\",\"requests\":[";
+  let solve_like ~op ~applies reqs =
+    Buffer.add_string b (Printf.sprintf "\"op\":\"%s\",\"requests\":[" op);
     List.iteri
       (fun i s ->
         if i > 0 then Buffer.add_char b ',';
@@ -468,16 +467,26 @@ let batch_round_json (r : Engine.Script.round) =
         Buffer.add_string b (failure_json f))
       failures;
     Buffer.add_string b
-      (Printf.sprintf "],\"degraded\":%b,\"decomposed\":%b,\"shards\":%d,"
+      (Printf.sprintf
+         "],\"degraded\":%b,\"decomposed\":%b,\"shards\":%d,\"shards_cached\":%d,"
          (match r.Engine.Script.plan with Some p -> p.Engine.degraded | None -> false)
          (match r.Engine.Script.plan with Some p -> p.Engine.decomposed | None -> false)
          (match r.Engine.Script.plan with
          | Some p -> List.length p.Engine.shards
+         | None -> 0)
+         (match r.Engine.Script.plan with
+         | Some p -> p.Engine.shards_cached
          | None -> 0));
     Buffer.add_string b "\"applied\":";
-    (match solutions with
-    | s :: _ -> Buffer.add_string b (Printf.sprintf "\"%s\"" (json_escape s.D.Solution.algorithm))
-    | [] -> Buffer.add_string b "null")
+    match (applies, solutions) with
+    | true, s :: _ ->
+      Buffer.add_string b
+        (Printf.sprintf "\"%s\"" (json_escape s.D.Solution.algorithm))
+    | _ -> Buffer.add_string b "null"
+  in
+  (match r.Engine.Script.op with
+  | Engine.Script.Solve reqs -> solve_like ~op:"solve" ~applies:true reqs
+  | Engine.Script.Propose reqs -> solve_like ~op:"propose" ~applies:false reqs
   | Engine.Script.Insert st ->
     Buffer.add_string b
       (Printf.sprintf "\"op\":\"insert\",\"fact\":\"%s\""
@@ -492,20 +501,22 @@ let batch_round_json (r : Engine.Script.round) =
   Buffer.add_char b '}';
   Buffer.contents b
 
+(* [cache_hits] is the legacy spelling of [index_hits] (pre-shard-cache);
+   both are emitted with the same value so existing consumers keep
+   parsing *)
 let batch_stats_json (s : Engine.stats) =
   Printf.sprintf
-    "{\"rounds\":%d,\"applies\":%d,\"tuples_deleted\":%d,\"tuples_inserted\":%d,\"patches\":%d,\"inserts_patched\":%d,\"rebuilds\":%d,\"cache_hits\":%d,\"last_solve_ms\":%.3f,\"total_solve_ms\":%.3f,\"journal_records\":%d,\"recovered_records\":%d,\"components\":%d,\"shards_solved\":%d,\"shards_exact\":%d,\"shards_approx\":%d}"
+    "{\"rounds\":%d,\"applies\":%d,\"tuples_deleted\":%d,\"tuples_inserted\":%d,\"patches\":%d,\"inserts_patched\":%d,\"rebuilds\":%d,\"index_hits\":%d,\"cache_hits\":%d,\"last_solve_ms\":%.3f,\"total_solve_ms\":%.3f,\"journal_records\":%d,\"recovered_records\":%d,\"components\":%d,\"shards_solved\":%d,\"shards_exact\":%d,\"shards_approx\":%d,\"shards_cached\":%d,\"shards_resolved\":%d}"
     s.Engine.rounds s.Engine.applies s.Engine.tuples_deleted s.Engine.tuples_inserted
-    s.Engine.patches s.Engine.inserts_patched s.Engine.rebuilds s.Engine.cache_hits
-    s.Engine.last_solve_ms
+    s.Engine.patches s.Engine.inserts_patched s.Engine.rebuilds s.Engine.index_hits
+    s.Engine.index_hits s.Engine.last_solve_ms
     s.Engine.total_solve_ms s.Engine.journal_records s.Engine.recovered_records
     s.Engine.components s.Engine.shards_solved s.Engine.shards_exact
-    s.Engine.shards_approx
+    s.Engine.shards_approx s.Engine.shards_cached s.Engine.shards_resolved
 
 let batch_report_round (r : Engine.Script.round) =
-  (match r.Engine.Script.op with
-  | Engine.Script.Solve reqs -> (
-    Format.printf "round %d: solve %a@." r.Engine.Script.number
+  let solve_like ~verb ~applies reqs =
+    Format.printf "round %d: %s %a@." r.Engine.Script.number verb
       (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_request)
       reqs;
     (match r.Engine.Script.plan with
@@ -525,13 +536,18 @@ let batch_report_round (r : Engine.Script.round) =
     match solutions with
     | [] -> if r.Engine.Script.error = None then Format.printf "  no feasible solution@."
     | best :: rest ->
-      Format.printf "  applied %a@." D.Solution.pp best;
+      Format.printf "  %s %a@." (if applies then "applied" else "proposed")
+        D.Solution.pp best;
       List.iter
         (fun (s : D.Solution.t) ->
           Format.printf "  also: %s cost %g (%a, %.2f ms)@." s.D.Solution.algorithm
             (D.Solution.cost s) D.Solution.pp_certificate s.D.Solution.certificate
             s.D.Solution.elapsed_ms)
-        rest)
+        rest
+  in
+  (match r.Engine.Script.op with
+  | Engine.Script.Solve reqs -> solve_like ~verb:"solve" ~applies:true reqs
+  | Engine.Script.Propose reqs -> solve_like ~verb:"propose" ~applies:false reqs
   | Engine.Script.Insert st ->
     Format.printf "round %d: insert %a@." r.Engine.Script.number R.Stuple.pp st
   | Engine.Script.Delete st ->
@@ -541,7 +557,7 @@ let batch_report_round (r : Engine.Script.round) =
   | None -> ()
 
 let batch db_path q_path rounds_path algos exact_threshold plan domains budget_ms
-    journal recover keep_going json =
+    journal recover keep_going shard_cache json =
   let* db = load_db db_path in
   let* queries = load_queries ~schema:(R.Instance.schema db) q_path in
   let* ops = Engine.Script.parse_file rounds_path in
@@ -550,7 +566,7 @@ let batch db_path q_path rounds_path algos exact_threshold plan domains budget_m
     try
       Ok
         (Engine.create ?algorithms ?exact_threshold ~plan ?domains ?budget_ms
-           ?journal ~recover db queries)
+           ?journal ~recover ?shard_cache db queries)
     with
     | Invalid_argument m -> Error m
     | Engine.Journal.Error e -> Error (Format.asprintf "%a" Engine.Journal.pp_error e)
@@ -688,7 +704,9 @@ let source_cmd =
 let batch_cmd =
   let rounds =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"ROUNDS"
-           ~doc:"Round script: 'solve FACT[; FACT...]' | 'insert FACT' | 'delete FACT', one per line.")
+           ~doc:"Round script: 'solve FACT[; FACT...]' | 'propose FACT[; FACT...]' \
+                 | 'insert FACT' | 'delete FACT', one per line ('propose' solves \
+                 without committing).")
   in
   let algos =
     Arg.(value & opt_all string [] & info [ "a"; "algo" ] ~docv:"ALGO"
@@ -726,6 +744,15 @@ let batch_cmd =
            ~doc:"Record a failing round's error and continue instead of stopping the \
                  session.")
   in
+  let shard_cache =
+    Arg.(value & opt (some int) None & info [ "shard-cache" ] ~docv:"N"
+           ~doc:"With --plan: bound the shard solution cache to N memoized \
+                 component answers (default 512; 0 disables). Untouched \
+                 components splice their cached answer instead of re-solving; \
+                 the JSON stats report shards_cached / shards_resolved. \
+                 (Stats note: index_hits is the field formerly named \
+                 cache_hits — the JSON emits both spellings.)")
+  in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the session as one JSON object.")
   in
@@ -734,10 +761,10 @@ let batch_cmd =
        ~doc:"Replay a scripted deletion session on the incremental engine")
     Term.(
       ret
-        (const (fun d q r a e p dm b jr rc k j ->
-             handle (batch d q r a e p dm b jr rc k j))
+        (const (fun d q r a e p dm b jr rc k sc j ->
+             handle (batch d q r a e p dm b jr rc k sc j))
         $ db_arg $ q_arg $ rounds $ algos $ exact_threshold $ plan $ domains
-        $ budget_ms $ journal $ recover $ keep_going $ json))
+        $ budget_ms $ journal $ recover $ keep_going $ shard_cache $ json))
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());

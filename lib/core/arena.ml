@@ -547,7 +547,13 @@ type shard = {
   global_vids : int array;
 }
 
-let shatter ?partition:part (a : t) =
+type proto_shard = {
+  p_component : int;
+  p_sids : int array;
+  p_vids : int array;
+}
+
+let active_components ?partition:part (a : t) =
   let p = match part with Some p -> p | None -> partition a in
   (* only components with a bad view tuple need solving *)
   let active = Array.make p.num_components false in
@@ -562,32 +568,39 @@ let shatter ?partition:part (a : t) =
     let c = p.comp_of_vid.(vid) in
     if c >= 0 && active.(c) then vids_of.(c) <- vid :: vids_of.(c)
   done;
-  let shards = ref [] in
+  let protos = ref [] in
   for c = p.num_components - 1 downto 0 do
-    if active.(c) then begin
-      let global_sids = Array.of_list sids_of.(c) in
-      let global_vids = Array.of_list vids_of.(c) in
-      let stuples =
-        Array.fold_left
-          (fun acc sid -> R.Stuple.Set.add a.stuples.(sid) acc)
-          R.Stuple.Set.empty global_sids
-      in
-      let vtuples =
-        Array.fold_left
-          (fun acc vid -> Vtuple.Set.add a.vtuples.(vid) acc)
-          Vtuple.Set.empty global_vids
-      in
-      let prov = Provenance.restrict a.prov ~stuples ~vtuples in
-      let arena = build prov in
-      (* restrict+build assigns shard ids in sorted-tuple order; the
-         global id buckets are ascending subsequences of the (sorted)
-         parent arrays, so position k of the shard is global_sids.(k) *)
-      assert (num_stuples arena = Array.length global_sids);
-      assert (num_vtuples arena = Array.length global_vids);
-      shards := { arena; component = c; global_sids; global_vids } :: !shards
-    end
+    if active.(c) then
+      protos :=
+        { p_component = c; p_sids = Array.of_list sids_of.(c);
+          p_vids = Array.of_list vids_of.(c) }
+        :: !protos
   done;
-  Array.of_list !shards
+  Array.of_list !protos
+
+let materialize (a : t) (ps : proto_shard) =
+  let global_sids = ps.p_sids and global_vids = ps.p_vids in
+  let stuples =
+    Array.fold_left
+      (fun acc sid -> R.Stuple.Set.add a.stuples.(sid) acc)
+      R.Stuple.Set.empty global_sids
+  in
+  let vtuples =
+    Array.fold_left
+      (fun acc vid -> Vtuple.Set.add a.vtuples.(vid) acc)
+      Vtuple.Set.empty global_vids
+  in
+  let prov = Provenance.restrict a.prov ~stuples ~vtuples in
+  let arena = build prov in
+  (* restrict+build assigns shard ids in sorted-tuple order; the
+     global id buckets are ascending subsequences of the (sorted)
+     parent arrays, so position k of the shard is global_sids.(k) *)
+  assert (num_stuples arena = Array.length global_sids);
+  assert (num_vtuples arena = Array.length global_vids);
+  { arena; component = ps.p_component; global_sids; global_vids }
+
+let shatter ?partition:part (a : t) =
+  Array.map (materialize a) (active_components ?partition:part a)
 
 let preserved_degree t sid =
   let d = ref 0 in

@@ -128,11 +128,33 @@ type shard = {
   global_vids : int array;      (** shard vid -> parent vid, ascending *)
 }
 
-(** [shatter ?partition a] — the {e active} components of [a] (those
-    containing at least one bad view tuple), ascending by component id;
-    components with nothing to solve are skipped. [partition] (default:
-    computed fresh) lets a session reuse its incrementally maintained
-    one. An arena with no bad tuples yields [[||]]. *)
+(** An active component {e before} compilation: just its member ids in
+    the parent arena (both ascending). Everything a shard arena will
+    contain is a pure function of these lists and the parent — which is
+    what lets {!Fingerprint.shard} key a memo cache without paying for
+    {!materialize}. *)
+type proto_shard = {
+  p_component : int;            (** parent component id *)
+  p_sids : int array;           (** member parent sids, ascending *)
+  p_vids : int array;           (** member parent vids, ascending *)
+}
+
+(** [active_components ?partition a] — the components of [a] containing
+    at least one bad view tuple, ascending by component id; components
+    with nothing to solve are skipped. [partition] (default: computed
+    fresh) lets a session reuse its incrementally maintained one. An
+    arena with no bad tuples yields [[||]]. Cheap: two id sweeps, no
+    provenance restriction. *)
+val active_components : ?partition:partition -> t -> proto_shard array
+
+(** Compile one proto-shard into a standalone solvable {!shard}
+    (restrict + build — the expensive step [shatter] pays for every
+    active component, and a memoizing planner pays only for the dirty
+    ones). *)
+val materialize : t -> proto_shard -> shard
+
+(** [shatter ?partition a] = [active_components] + {!materialize} on
+    every proto-shard. *)
 val shatter : ?partition:partition -> t -> shard array
 
 (** [preserved_degree a sid] — number of preserved view tuples whose

@@ -1,0 +1,99 @@
+module R = Relational
+
+type t = int64
+
+(* FNV-1a over the native 63-bit int lane (boxed Int64 arithmetic
+   allocates per mixed word — the planner hashes every clean shard every
+   round, so the inner loop must not). The multiply wraps mod 2^63; the
+   result widens to int64 only once, at the end. Every ingredient is
+   length-prefixed or tagged, so concatenation ambiguities ("ab"+"c" vs
+   "a"+"bc") cannot collide structurally — remaining collisions are the
+   63-bit birthday bound, far below anything a bounded LRU will ever
+   hold. *)
+let fnv_basis = Int64.to_int 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3
+
+let mix h x = (h lxor x) * fnv_prime
+
+let mix_string h s =
+  let h = ref (mix h (String.length s)) in
+  String.iter (fun c -> h := mix !h (Char.code c)) s;
+  !h
+
+let mix_value h (v : R.Value.t) =
+  match v with
+  | R.Value.Int i -> mix (mix h 0) i
+  | R.Value.Str s -> mix_string (mix h 1) s
+
+let mix_tuple h (tp : R.Tuple.t) =
+  let n = R.Tuple.arity tp in
+  let h = ref (mix h n) in
+  for i = 0 to n - 1 do
+    h := mix_value !h (R.Tuple.get tp i)
+  done;
+  !h
+
+let mix_float h f = mix h (Int64.to_int (Int64.bits_of_float f))
+
+let arena (a : Arena.t) =
+  let ns = Arena.num_stuples a and nv = Arena.num_vtuples a in
+  let h = ref (mix (mix fnv_basis ns) nv) in
+  Array.iter
+    (fun (st : R.Stuple.t) ->
+      h := mix_tuple (mix_string !h st.R.Stuple.rel) st.R.Stuple.tuple)
+    a.Arena.stuples;
+  Array.iteri
+    (fun vid (vt : Vtuple.t) ->
+      h := mix_tuple (mix_string !h vt.Vtuple.query) vt.Vtuple.tuple;
+      h := mix_float !h a.Arena.weights.(vid);
+      h := mix !h (if Setcover.Bitset.mem a.Arena.bad vid then 1 else 0);
+      (* the witness row pins the incidence structure, so instances that
+         happen to share tuple content but join differently stay apart *)
+      let row = a.Arena.witness.(vid) in
+      h := mix !h (Array.length row);
+      Array.iter (fun sid -> h := mix !h sid) row)
+    a.Arena.vtuples;
+  Int64.of_int !h
+
+(* The same hash, computed for one component straight off the parent
+   arena — no [Provenance.restrict], no [Arena.build]. The shard arena's
+   position [k] is the parent id [p_sids.(k)] / [p_vids.(k)] (ascending
+   on both sides, see [Arena.materialize]), so every shard-local
+   ingredient is recoverable: tuples and weights read through the id
+   lists, and a witness row's shard-local sids are the parent sids'
+   ranks within [p_sids]. *)
+let shard (a : Arena.t) (ps : Arena.proto_shard) =
+  let sids = ps.Arena.p_sids and vids = ps.Arena.p_vids in
+  let ns = Array.length sids and nv = Array.length vids in
+  let h = ref (mix (mix fnv_basis ns) nv) in
+  Array.iter
+    (fun gsid ->
+      let st = a.Arena.stuples.(gsid) in
+      h := mix_tuple (mix_string !h st.R.Stuple.rel) st.R.Stuple.tuple)
+    sids;
+  let rank gsid =
+    let lo = ref 0 and hi = ref (ns - 1) and r = ref (-1) in
+    while !r < 0 do
+      let mid = (!lo + !hi) / 2 in
+      if sids.(mid) = gsid then r := mid
+      else if sids.(mid) < gsid then lo := mid + 1
+      else hi := mid - 1
+    done;
+    !r
+  in
+  Array.iter
+    (fun gvid ->
+      let vt = a.Arena.vtuples.(gvid) in
+      h := mix_tuple (mix_string !h vt.Vtuple.query) vt.Vtuple.tuple;
+      h := mix_float !h a.Arena.weights.(gvid);
+      h := mix !h (if Setcover.Bitset.mem a.Arena.bad gvid then 1 else 0);
+      let row = a.Arena.witness.(gvid) in
+      h := mix !h (Array.length row);
+      Array.iter (fun gsid -> h := mix !h (rank gsid)) row)
+    vids;
+  Int64.of_int !h
+
+let equal = Int64.equal
+let compare = Int64.compare
+let to_hex fp = Printf.sprintf "%016Lx" fp
+let pp ppf fp = Format.pp_print_string ppf (to_hex fp)

@@ -1,0 +1,39 @@
+(** Canonical content fingerprints for arenas.
+
+    [arena a] is an FNV-1a hash (mixed on the native 63-bit int lane)
+    over everything a solver can
+    observe of [a]: the interned source tuples (relation + values), the
+    view tuples (query + values), their preservation weights, the bad
+    (ΔV) markers, and the witness incidence rows. Two arenas with the
+    same content hash identically — and because a shard arena is rebuilt
+    over shard-local ids in sorted-tuple order ({!Arena.shatter}), a
+    shard's fingerprint is invariant under the parent's component
+    numbering and under any id compaction earlier deltas performed. That
+    makes it a sound memo key for per-shard solutions ({!Planner}): same
+    fingerprint ⟹ same shard instance ⟹ same deterministic solver
+    answer.
+
+    Collisions are possible in principle (64-bit hash); the planner's
+    cache pairs fingerprint lookup with the engine's conservative dirty
+    tracking, which only consults the cache for components no delta has
+    touched since they were last solved. *)
+
+type t = int64
+
+(** Fingerprint an arena's full solver-visible content (tuples, views,
+    weights, ΔV, witness structure). O(‖D‖ + ‖V‖ + Σ|witness|). *)
+val arena : Arena.t -> t
+
+(** [shard a ps] = [arena (materialize a ps).arena], computed straight
+    off the parent — no provenance restriction, no arena build. This is
+    what makes consulting the cache for a clean component far cheaper
+    than preparing to re-solve it: the planner only pays
+    {!Arena.materialize} for dirty shards and cache misses. The equality
+    with the built shard's fingerprint is enforced by a property test
+    ([test/test_shardcache.ml]). *)
+val shard : Arena.t -> Arena.proto_shard -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_hex : t -> string
+val pp : Format.formatter -> t -> unit

@@ -61,9 +61,13 @@ let solve_with_tau ?prune_wide ?budget (prov : Provenance.t) ~tau =
   solve_with_tau_arena ?prune_wide ?budget (Arena.build prov) ~tau
 
 (* the default wide-pruning threshold √‖V‖ (Claim 2); exposed so a planner
-   solving a shard can impose the parent instance's threshold instead *)
+   solving a shard can impose the parent instance's threshold instead.
+   [Arena.num_vtuples] counts exactly Σ_q |view q| — the provenance
+   indexes one vtuple per view tuple per query — so this avoids
+   [Problem.view_size]'s full query re-evaluation over the database
+   (which used to dominate cheap solve calls on large instances). *)
 let default_wide_threshold (a : Arena.t) =
-  sqrt (float_of_int (Problem.view_size a.Arena.prov.Provenance.problem))
+  sqrt (float_of_int (Arena.num_vtuples a))
 
 let trivial_result prov =
   {

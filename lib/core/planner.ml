@@ -20,6 +20,7 @@ type shard_decision = {
   cost : float;
   exact : bool;
   degraded : bool;
+  cached : bool;
 }
 
 type report = {
@@ -28,6 +29,7 @@ type report = {
   degraded : bool;
   decomposed : bool;
   shards : shard_decision list;
+  shards_cached : int;
 }
 
 let pp_classification ppf = function
@@ -37,11 +39,75 @@ let pp_classification ppf = function
 
 let pp_shard_decision ppf d =
   Format.fprintf ppf
-    "component %d (%d tuples, %d views, %d bad): %a -> %s, cost %g%s%s"
+    "component %d (%d tuples, %d views, %d bad): %a -> %s, cost %g%s%s%s"
     d.component d.stuples d.vtuples d.bad pp_classification d.classification
     d.winner d.cost
     (if d.exact then " (exact)" else "")
     (if d.degraded then " [degraded]" else "")
+    (if d.cached then " [cached]" else "")
+
+(* ---- shard solution cache ---- *)
+
+(* What a future round needs to splice a clean shard's answer back in
+   without re-running any solver: the decision fields plus the deleted
+   set (for the union) and the certificate (for the composite factor).
+   The shard outcome itself is never stored — the composite's outcome is
+   re-evaluated on the whole arena each round anyway. *)
+type cache_entry = {
+  e_classification : classification;
+  e_winner : string;
+  e_deleted : R.Stuple.Set.t;
+  e_cost : float;
+  e_certificate : Solution.certificate;
+  e_forest : bool;
+      (* the shard arena's forest_case flag — needed to recompose the
+         guarantee factor without materializing the shard *)
+  e_threshold : float;
+      (* the parent instance's √‖V‖ wide-pruning threshold at solve
+         time — the one solver input that is *not* a function of the
+         shard's own content *)
+}
+
+type cache = {
+  lru : (Fingerprint.t, cache_entry) Setcover.Lru.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create_cache ?(capacity = 512) () =
+  { lru = Setcover.Lru.create ~capacity; hits = 0; misses = 0 }
+
+let cache_length c = Setcover.Lru.length c.lru
+let cache_hits c = c.hits
+let cache_misses c = c.misses
+let cache_clear c = Setcover.Lru.clear c.lru
+
+(* The LowDeg wide-pruning test is [float_of_int width > threshold]
+   over integer widths, so two thresholds with the same floor prune
+   identically: the effective cutoff is ⌊t⌋ + 1 either way. *)
+let threshold_bucket t = int_of_float (Float.floor t)
+
+(* May [e] stand in for re-solving its shard under the current parent
+   threshold? Exact tiers never saw the threshold; the approximate tier
+   ran the parent-threshold LowDeg variant, whose *behaviour* (hence
+   every solver's cost and the ranking) depends only on the threshold
+   bucket. Its Ratio certificate quotes the exact float, but that is
+   rewritten on reuse (see [entry_certificate]). *)
+let entry_reusable ~wide_global e =
+  match e.e_classification with
+  | Exact_small | Exact_forest -> true
+  | Approximate ->
+    threshold_bucket e.e_threshold = threshold_bucket wide_global
+
+(* the parent-threshold LowDeg variant certifies Ratio (2 · threshold)
+   with the parent's exact float — a fresh solve under an equal-bucket
+   threshold returns the same deletion at the same cost but quotes the
+   *current* float, so splicing rewrites the certificate to match *)
+let entry_certificate ~wide_global e =
+  match e.e_certificate with
+  | Solution.Ratio _ when String.equal e.e_winner "lowdeg-global" ->
+    Solution.Ratio (2.0 *. wide_global)
+  | c -> c
 
 (* One shard, solved through the tier ladder. Each tier is a restricted
    portfolio round on the shard arena (sequential — the fan-out across
@@ -88,64 +154,189 @@ let solve_shard ~exact_threshold ~only ~budget_ms ~wide_global
   in
   attempt [] tiers
 
+(* a shard's answer as the recombination step consumes it — either
+   freshly solved or spliced from the cache (which never pays for
+   [Arena.materialize], so only plain data crosses this interface) *)
+type shard_result = {
+  r_component : int;
+  r_stuples : int;
+  r_vtuples : int;
+  r_bad : int;
+  r_forest : bool;
+  r_classification : classification;
+  r_winner : string;
+  r_deleted : R.Stuple.Set.t;
+  r_cost : float;
+  r_certificate : Solution.certificate;
+  r_degraded : bool;
+  r_failures : Portfolio.failure list;
+  r_cached : bool;
+}
+
+(* Only deterministic answers may be memoized: a degraded ladder, an
+   [Anytime] certificate or any recorded timeout/crash means the budget
+   shaped the result, and a replay under different load could differ. *)
+let cacheable (r : Portfolio.report) (w : Solution.t) =
+  (not r.Portfolio.degraded)
+  && r.Portfolio.failures = []
+  && w.Solution.certificate <> Solution.Anytime
+
 (* Guarantee composition: the optimum of an independent-component
    instance is the sum of the shard optima, so the union's cost is
    within max_c factor_c of it. A primal-dual shard carries a
    multiplicative factor only on forest instances (Theorem 3's l). *)
-let factor_of ~l (sh : Arena.shard) (w : Solution.t) =
-  match w.Solution.certificate with
+let factor_of ~l ~forest (cert : Solution.certificate) =
+  match cert with
   | Solution.Exact -> Some 1.0
   | Solution.Ratio r -> Some r
-  | Solution.Dual_bound _ ->
-    if sh.Arena.arena.Arena.forest_case then Some l else None
+  | Solution.Dual_bound _ -> if forest then Some l else None
   | Solution.Heuristic | Solution.Anytime | Solution.Composite _ -> None
 
 let solve ?(exact_threshold = 16) ?only ?domains ?pool ?budget_ms
-    ?(decompose = true) ?partition (a : Arena.t) =
+    ?(decompose = true) ?partition ?cache ?dirty (a : Arena.t) =
   let whole () =
     let r =
       Portfolio.solutions_report ~exact_threshold ?only ?domains ?pool
         ?budget_ms a
     in
     { solutions = r.Portfolio.solutions; failures = r.Portfolio.failures;
-      degraded = r.Portfolio.degraded; decomposed = false; shards = [] }
+      degraded = r.Portfolio.degraded; decomposed = false; shards = [];
+      shards_cached = 0 }
   in
   if not decompose then whole ()
   else
-    let shards = Arena.shatter ?partition a in
-    let n = Array.length shards in
+    let protos = Arena.active_components ?partition a in
+    let n = Array.length protos in
     if n <= 1 then whole ()
     else begin
       let t0 = Unix.gettimeofday () in
+      (* the budget still splits across *all* shards — a cache hit keeps
+         the per-shard deadline identical to a fresh run's, which the
+         solution-equivalence bar requires *)
       let shard_budget =
         Option.map (fun ms -> ms /. float_of_int n) budget_ms
       in
       let wide_global = Lowdeg.default_wide_threshold a in
-      let task =
-        solve_shard ~exact_threshold ~only ~budget_ms:shard_budget ~wide_global
+      let is_dirty =
+        match (cache, dirty) with
+        | None, _ -> fun _ -> true   (* no cache: nothing to splice from *)
+        | Some _, None -> fun _ -> true
+        | Some _, Some f -> f
       in
-      let shard_list = Array.to_list shards in
-      let results =
+      let bad_of (ps : Arena.proto_shard) =
+        Array.fold_left
+          (fun k gvid -> if Bitset.mem a.Arena.bad gvid then k + 1 else k)
+          0 ps.Arena.p_vids
+      in
+      (* Consult the cache for clean shards only — dirty components
+         re-solve unconditionally, so a fingerprint collision can only
+         matter on a component no delta has touched since it was last
+         solved (where the entry is right by construction). A hit costs
+         one parent-side hash ([Fingerprint.shard]); the shard is never
+         materialized. *)
+      let splice (ps : Arena.proto_shard) =
+        match cache with
+        | None -> None
+        | Some c ->
+          if is_dirty ps.Arena.p_component then None
+          else begin
+            let fp = Fingerprint.shard a ps in
+            match Setcover.Lru.find c.lru fp with
+            | Some e when entry_reusable ~wide_global e ->
+              c.hits <- c.hits + 1;
+              Some
+                { r_component = ps.Arena.p_component;
+                  r_stuples = Array.length ps.Arena.p_sids;
+                  r_vtuples = Array.length ps.Arena.p_vids;
+                  r_bad = bad_of ps; r_forest = e.e_forest;
+                  r_classification = e.e_classification;
+                  r_winner = e.e_winner; r_deleted = e.e_deleted;
+                  r_cost = e.e_cost;
+                  r_certificate = entry_certificate ~wide_global e;
+                  r_degraded = false; r_failures = []; r_cached = true }
+            | _ ->
+              c.misses <- c.misses + 1;
+              None
+          end
+      in
+      let proto_list = Array.to_list protos in
+      let spliced = List.map splice proto_list in
+      let to_solve =
+        List.filter_map
+          (fun (ps, s) -> match s with None -> Some ps | Some _ -> None)
+          (List.combine proto_list spliced)
+      in
+      (* materialization (restrict + build) happens inside the task, so
+         the fan-out parallelizes it along with the solving — and clean
+         shards never pay it at all *)
+      let task ps =
+        let sh = Arena.materialize a ps in
+        let cls, r =
+          solve_shard ~exact_threshold ~only ~budget_ms:shard_budget
+            ~wide_global sh
+        in
+        (sh, cls, r)
+      in
+      let fresh_results =
         match (domains, pool) with
-        | None, None -> List.map (fun sh -> Ok (task sh)) shard_list
-        | _ -> Par.map_result ?domains ?pool task shard_list
+        | None, None -> List.map (fun ps -> Ok (task ps)) to_solve
+        | _ -> Par.map_result ?domains ?pool task to_solve
       in
+      (* re-assemble in shard order: each missing slot takes the next
+         fresh result; solved shards feed the cache as they land *)
+      let fresh = ref fresh_results in
       let solved =
         List.map2
-          (fun sh -> function
-            | Error e ->
-              Log.warn (fun m ->
-                  m "shard %d crashed outside the solver wrapper: %s"
-                    sh.Arena.component (Printexc.to_string e));
-              None
-            | Ok (cls, (r : Portfolio.report)) -> (
-              match r.Portfolio.solutions with
-              | [] ->
+          (fun (ps : Arena.proto_shard) -> function
+            | Some r -> Some r
+            | None -> (
+              let result =
+                match !fresh with
+                | r :: tl ->
+                  fresh := tl;
+                  r
+                | [] -> assert false
+              in
+              match result with
+              | Error e ->
                 Log.warn (fun m ->
-                    m "shard %d produced no feasible answer" sh.Arena.component);
+                    m "shard %d crashed outside the solver wrapper: %s"
+                      ps.Arena.p_component (Printexc.to_string e));
                 None
-              | w :: _ -> Some (sh, cls, w, r)))
-          shard_list results
+              | Ok (sh, cls, (r : Portfolio.report)) -> (
+                match r.Portfolio.solutions with
+                | [] ->
+                  Log.warn (fun m ->
+                      m "shard %d produced no feasible answer"
+                        ps.Arena.p_component);
+                  None
+                | w :: _ ->
+                  let forest = sh.Arena.arena.Arena.forest_case in
+                  (match cache with
+                  | Some c when cacheable r w ->
+                    Setcover.Lru.add c.lru
+                      (Fingerprint.arena sh.Arena.arena)
+                      { e_classification = cls;
+                        e_winner = w.Solution.algorithm;
+                        e_deleted = w.Solution.deleted;
+                        e_cost = Solution.cost w;
+                        e_certificate = w.Solution.certificate;
+                        e_forest = forest; e_threshold = wide_global }
+                  | _ -> ());
+                  Some
+                    { r_component = ps.Arena.p_component;
+                      r_stuples = Arena.num_stuples sh.Arena.arena;
+                      r_vtuples = Arena.num_vtuples sh.Arena.arena;
+                      r_bad = Bitset.cardinal sh.Arena.arena.Arena.bad;
+                      r_forest = forest; r_classification = cls;
+                      r_winner = w.Solution.algorithm;
+                      r_deleted = w.Solution.deleted;
+                      r_cost = Solution.cost w;
+                      r_certificate = w.Solution.certificate;
+                      r_degraded = r.Portfolio.degraded;
+                      r_failures = r.Portfolio.failures; r_cached = false }))
+          )
+          proto_list spliced
       in
       if List.exists Option.is_none solved then begin
         (* an unsolved shard would make the union infeasible — retreat to
@@ -157,29 +348,26 @@ let solve ?(exact_threshold = 16) ?only ?domains ?pool ?budget_ms
         let solved = List.filter_map Fun.id solved in
         let decisions =
           List.map
-            (fun (sh, cls, (w : Solution.t), (r : Portfolio.report)) ->
-              { component = sh.Arena.component;
-                stuples = Arena.num_stuples sh.Arena.arena;
-                vtuples = Arena.num_vtuples sh.Arena.arena;
-                bad = Bitset.cardinal sh.Arena.arena.Arena.bad;
-                classification = cls; winner = w.Solution.algorithm;
-                cost = Solution.cost w;
-                exact = (w.Solution.certificate = Solution.Exact);
-                degraded = r.Portfolio.degraded })
+            (fun r ->
+              { component = r.r_component; stuples = r.r_stuples;
+                vtuples = r.r_vtuples; bad = r.r_bad;
+                classification = r.r_classification; winner = r.r_winner;
+                cost = r.r_cost;
+                exact = (r.r_certificate = Solution.Exact);
+                degraded = r.r_degraded; cached = r.r_cached })
             solved
         in
         let deleted =
           List.fold_left
-            (fun acc (_, _, (w : Solution.t), _) ->
-              R.Stuple.Set.union acc w.Solution.deleted)
+            (fun acc r -> R.Stuple.Set.union acc r.r_deleted)
             R.Stuple.Set.empty solved
         in
         let outcome = Side_effect.eval a.Arena.prov deleted in
         let l = float_of_int (Problem.max_arity a.Arena.prov.Provenance.problem) in
         let factor =
           List.fold_left
-            (fun acc (sh, _, w, _) ->
-              match (acc, factor_of ~l sh w) with
+            (fun acc r ->
+              match (acc, factor_of ~l ~forest:r.r_forest r.r_certificate) with
               | Some f, Some g -> Some (Float.max f g)
               | _ -> None)
             (Some 1.0) solved
@@ -189,9 +377,11 @@ let solve ?(exact_threshold = 16) ?only ?domains ?pool ?budget_ms
             elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000.0;
             certificate = Solution.Composite { shards = n; factor } }
         in
+        let n_cached =
+          List.length (List.filter (fun r -> r.r_cached) solved)
+        in
         { solutions = [ composite ];
-          failures =
-            List.concat_map (fun (_, _, _, r) -> r.Portfolio.failures) solved;
+          failures = List.concat_map (fun r -> r.r_failures) solved;
           degraded = List.exists (fun (d : shard_decision) -> d.degraded) decisions;
-          decomposed = true; shards = decisions }
+          decomposed = true; shards = decisions; shards_cached = n_cached }
     end

@@ -19,7 +19,21 @@
       with the {e parent} instance's √‖V‖ wide-pruning threshold, so the
       decomposed winner never costs more than the whole-instance LowDeg.
     An exact shard whose solver times out or crashes falls back to the
-    approximate tier (and is reported as such). *)
+    approximate tier (and is reported as such).
+
+    {2 Shard memoization}
+
+    The same independence makes per-shard answers {e reusable}: a shard
+    untouched by the deltas since it was last solved is the same
+    sub-instance, and the solvers are deterministic, so its answer can
+    be spliced back without running anything. {!solve} takes an optional
+    {!cache} — a bounded LRU keyed by canonical content fingerprints
+    ({!Fingerprint.arena}, invariant under component renumbering and id
+    compaction) — together with a [dirty] predicate from the caller's
+    delta tracking; only dirty shards re-solve, and the composite
+    certificate is recomputed over {e all} shards (cost = sum,
+    factor = max) so spliced rounds are solution-equivalent to fresh
+    ones. See {!create_cache} for the invalidation rules. *)
 
 type classification =
   | Exact_small     (** candidates ≤ [exact_threshold]: brute force *)
@@ -36,6 +50,7 @@ type shard_decision = {
   cost : float;             (** its side-effect cost *)
   exact : bool;             (** did an exact tier produce the answer? *)
   degraded : bool;          (** shard fell to the unbudgeted-greedy ladder *)
+  cached : bool;            (** spliced from the shard cache, no solver ran *)
 }
 
 type report = {
@@ -48,10 +63,48 @@ type report = {
       (** false when the instance had ≤ 1 active component (or
           [decompose:false]) and the whole-instance portfolio ran *)
   shards : shard_decision list;       (** ascending by component *)
+  shards_cached : int;
+      (** how many of [shards] were spliced from the cache this call *)
 }
 
 val pp_classification : Format.formatter -> classification -> unit
 val pp_shard_decision : Format.formatter -> shard_decision -> unit
+
+(** {2 Shard solution cache} *)
+
+(** A bounded LRU ({!Setcover.Lru}) from {!Fingerprint.t} to memoized
+    shard answers (winner, deleted set, cost, certificate,
+    classification). Reuse rules:
+    - {e exact} entries (brute / DP) depend on nothing outside the shard:
+      reusable unconditionally;
+    - {e approximate} entries also saw the parent instance's √‖V‖
+      LowDeg wide-pruning threshold. The pruning test compares integer
+      witness widths against the threshold, so behaviour depends only on
+      its integer floor (“bucket”): an entry is reusable iff the bucket
+      is unchanged. The parent-threshold variant's [Ratio (2·√‖V‖)]
+      certificate quotes the exact float, so splicing rewrites it to the
+      current threshold — exactly what a fresh solve would certify.
+    Only deterministic answers are stored: a degraded shard, an
+    [Anytime] winner, or any recorded timeout/crash is never cached.
+
+    A cache must not be shared between sessions with different solver
+    configurations ([exact_threshold] / [only]) — the engine owns one
+    cache per session, whose configuration is fixed at [create]. *)
+type cache
+
+(** [create_cache ?capacity ()] — an empty cache holding at most
+    [capacity] (default 512) shard answers. *)
+val create_cache : ?capacity:int -> unit -> cache
+
+val cache_length : cache -> int
+
+(** Lifetime hit / miss counters (a miss is a clean shard whose
+    fingerprint was absent or whose entry failed the reuse rules). *)
+
+val cache_hits : cache -> int
+val cache_misses : cache -> int
+
+val cache_clear : cache -> unit
 
 (** Solve via shatter-and-plan. With ≥ 2 active components the shards
     fan out on [pool] / [domains] ({!Par.map_result}; each shard's inner
@@ -63,7 +116,15 @@ val pp_shard_decision : Format.formatter -> shard_decision -> unit
     {!Portfolio.solutions_report} (shards classify around missing
     tiers). If any shard produces no feasible answer at all, the planner
     falls back to the whole-instance portfolio rather than return an
-    infeasible union. *)
+    infeasible union.
+
+    [cache] enables shard memoization; [dirty component] says whether
+    the caller's deltas may have touched that component since its answer
+    was cached (default: every component — with no tracking the cache
+    only ever stores). A shard is spliced iff it is clean, its
+    fingerprint is present, and the entry passes the reuse rules; the
+    budget still splits across {e all} shards, so spliced rounds see the
+    same per-shard deadlines as fresh ones. *)
 val solve :
   ?exact_threshold:int ->
   ?only:string list ->
@@ -72,5 +133,7 @@ val solve :
   ?budget_ms:float ->
   ?decompose:bool ->
   ?partition:Arena.partition ->
+  ?cache:cache ->
+  ?dirty:(int -> bool) ->
   Arena.t ->
   report

@@ -13,7 +13,7 @@ type stats = {
   patches : int;
   inserts_patched : int;
   rebuilds : int;
-  cache_hits : int;
+  index_hits : int;
   last_solve_ms : float;
   total_solve_ms : float;
   journal_records : int;
@@ -22,6 +22,8 @@ type stats = {
   shards_solved : int;
   shards_exact : int;
   shards_approx : int;
+  shards_cached : int;
+  shards_resolved : int;
 }
 
 let zero_stats =
@@ -33,7 +35,7 @@ let zero_stats =
     patches = 0;
     inserts_patched = 0;
     rebuilds = 0;
-    cache_hits = 0;
+    index_hits = 0;
     last_solve_ms = 0.0;
     total_solve_ms = 0.0;
     journal_records = 0;
@@ -42,18 +44,21 @@ let zero_stats =
     shards_solved = 0;
     shards_exact = 0;
     shards_approx = 0;
+    shards_cached = 0;
+    shards_resolved = 0;
   }
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "@[<v>rounds: %d, applies: %d@ deleted %d / inserted %d source tuple(s)@ index: \
-     %d patch(es), %d insert(s) patched, %d rebuild(s), %d cache hit(s), %d \
+     %d patch(es), %d insert(s) patched, %d rebuild(s), %d index hit(s), %d \
      component(s)@ solve: last %.2f ms, total %.2f ms@ planner: %d shard(s) solved, \
-     %d exact, %d approximate@ journal: %d record(s) appended, %d recovered@]"
+     %d exact, %d approximate, %d cached / %d resolved@ journal: %d record(s) \
+     appended, %d recovered@]"
     s.rounds s.applies s.tuples_deleted s.tuples_inserted s.patches s.inserts_patched
-    s.rebuilds s.cache_hits s.components s.last_solve_ms s.total_solve_ms
-    s.shards_solved s.shards_exact s.shards_approx s.journal_records
-    s.recovered_records
+    s.rebuilds s.index_hits s.components s.last_solve_ms s.total_solve_ms
+    s.shards_solved s.shards_exact s.shards_approx s.shards_cached
+    s.shards_resolved s.journal_records s.recovered_records
 
 type plan = {
   requests : D.Delta_request.t list;
@@ -62,6 +67,7 @@ type plan = {
   degraded : bool;
   decomposed : bool;
   shards : D.Planner.shard_decision list;
+  shards_cached : int;
 }
 
 type index = {
@@ -72,6 +78,15 @@ type index = {
          patch it in place ([Arena.partition_delete], components only
          split), insertions merge it ([Arena.partition_insert]) *)
 }
+
+(* Which components may have changed since the shard cache last saw
+   them. [All] is the conservative top (fresh sessions, recovered
+   sessions, cache-less sessions); [Flags] is a bitset over the *current*
+   partition's component ids, remapped through every committed delta
+   right alongside the partition itself. *)
+type dirty =
+  | All
+  | Flags of Setcover.Bitset.t
 
 type t = {
   queries : Cq.Query.t list;
@@ -87,14 +102,76 @@ type t = {
   mutable mv : D.Matview.t;
   mutable index : index;
   mutable stats : stats;
+  shard_cache : D.Planner.cache option;
+  mutable dirty : dirty;
 }
 
 (* the baseline index always has ΔV = ∅: requests re-target it per round
    via [with_deletions] without disturbing the live copy. Built exactly
    once, in [create] — every mutation afterwards patches it. *)
 let index_of t =
-  t.stats <- { t.stats with cache_hits = t.stats.cache_hits + 1 };
+  t.stats <- { t.stats with index_hits = t.stats.index_hits + 1 };
   t.index
+
+(* ---- dirty-component tracking (the shard cache's invalidation) ----
+
+   The flags live over component ids, and component ids are canonical
+   (first appearance in ascending sid order) — so any delta can renumber
+   even untouched components. Each stage below walks the same sid
+   correspondence the arena patch itself used ([Arena.delete] compacts
+   order-preservingly, [Arena.extend] merges two sorted runs) and
+   carries each flag from its old component id to its new one. *)
+
+module B = Setcover.Bitset
+
+(* after committing the deletion [dd]: the deleted tuples' components
+   turn dirty (every fragment a split produces inherits the flag, since
+   the flag travels per member), the rest keep their state under the
+   renumbering *)
+let dirty_after_delete ~(before : D.Arena.t) ~(p : D.Arena.partition) ~dd
+    ~(p' : D.Arena.partition) flags =
+  let flags = B.copy flags in
+  let ns = D.Arena.num_stuples before in
+  let dead = B.create ns in
+  R.Stuple.Set.iter
+    (fun st ->
+      let sid = D.Arena.stuple_id before st in
+      B.add dead sid;
+      B.add flags p.D.Arena.comp_of_sid.(sid))
+    dd;
+  let out = B.create p'.D.Arena.num_components in
+  let k = ref 0 in
+  for sid = 0 to ns - 1 do
+    if not (B.mem dead sid) then begin
+      if B.mem flags p.D.Arena.comp_of_sid.(sid) then
+        B.add out p'.D.Arena.comp_of_sid.(!k);
+      incr k
+    end
+  done;
+  out
+
+(* after committing an insertion: surviving tuples carry their flag to
+   their (possibly merged, possibly renumbered) component; an inserted
+   tuple dirties its component — which covers every component the insert
+   merged, since they all share the new id *)
+let dirty_after_insert ~(before : D.Arena.t) ~(p : D.Arena.partition)
+    ~(after : D.Arena.t) ~(p' : D.Arena.partition) flags =
+  let out = B.create p'.D.Arena.num_components in
+  let ns = D.Arena.num_stuples before in
+  let ns' = D.Arena.num_stuples after in
+  let i = ref 0 in
+  for sid' = 0 to ns' - 1 do
+    if
+      !i < ns
+      && R.Stuple.equal before.D.Arena.stuples.(!i) after.D.Arena.stuples.(sid')
+    then begin
+      if B.mem flags p.D.Arena.comp_of_sid.(!i) then
+        B.add out p'.D.Arena.comp_of_sid.(sid');
+      incr i
+    end
+    else B.add out p'.D.Arena.comp_of_sid.(sid')
+  done;
+  out
 
 (* ---- raw state transitions (no journaling — the public ops and
    journal replay all commit through [apply_delta_raw]) ---- *)
@@ -119,29 +196,47 @@ let apply_delta_raw t (delta : D.Delta.t) =
       delta.D.Delta.inserts
   in
   let ix = t.index in
-  let (prov, arena, partition), deletes_patched =
-    if R.Stuple.Set.is_empty dd then ((ix.prov, ix.arena, ix.partition), false)
+  let (prov, arena, partition), dirty, deletes_patched =
+    if R.Stuple.Set.is_empty dd then
+      ((ix.prov, ix.arena, ix.partition), t.dirty, false)
     else begin
       let prov' = D.Provenance.delete ix.prov dd in
       let arena' = D.Arena.delete ix.arena ~dd prov' in
       let partition' =
         D.Arena.partition_delete ix.partition ~before:ix.arena ~dd arena'
       in
-      ((prov', arena', partition'), true)
+      let dirty =
+        match t.dirty with
+        | All -> All
+        | Flags f ->
+          Flags
+            (dirty_after_delete ~before:ix.arena ~p:ix.partition ~dd
+               ~p':partition' f)
+      in
+      ((prov', arena', partition'), dirty, true)
     end
   in
-  let prov, arena, partition =
-    if R.Stuple.Set.is_empty ins then (prov, arena, partition)
+  let (prov, arena, partition), dirty =
+    if R.Stuple.Set.is_empty ins then ((prov, arena, partition), dirty)
     else begin
       let prov' =
         R.Stuple.Set.fold (fun st p -> D.Provenance.insert p st) ins prov
       in
       let arena' = D.Arena.extend arena ~ins prov' in
       let partition' = D.Arena.partition_insert partition ~before:arena arena' in
-      (prov', arena', partition')
+      let dirty =
+        match dirty with
+        | All -> All
+        | Flags f ->
+          Flags
+            (dirty_after_insert ~before:arena ~p:partition ~after:arena'
+               ~p':partition' f)
+      in
+      ((prov', arena', partition'), dirty)
     end
   in
   t.index <- { prov; arena; partition };
+  t.dirty <- dirty;
   t.mv <-
     D.Matview.of_views prov.D.Provenance.problem.D.Problem.db t.queries
       prov.D.Provenance.views;
@@ -178,7 +273,7 @@ let journal_append t record =
     t.stats <- { t.stats with journal_records = t.stats.journal_records + 1 }
 
 let create ?weights ?exact_threshold ?algorithms ?(plan = false) ?domains
-    ?budget_ms ?journal ?(recover = false) db queries =
+    ?budget_ms ?journal ?(recover = false) ?(shard_cache = 512) db queries =
   let problem = D.Problem.make ~db ~queries ~deletions:[] ?weights () in
   let prov = D.Provenance.build problem in
   let arena = D.Arena.build prov in
@@ -200,6 +295,13 @@ let create ?weights ?exact_threshold ?algorithms ?(plan = false) ?domains
       stats =
         { zero_stats with rebuilds = 1;
           components = partition.D.Arena.num_components };
+      shard_cache =
+        (if plan && shard_cache > 0 then
+           Some (D.Planner.create_cache ~capacity:shard_cache ())
+         else None);
+      (* a fresh (or recovered) session has solved nothing yet: every
+         component is dirty until its first planner round lands *)
+      dirty = All;
     }
   in
   (match journal with
@@ -238,11 +340,38 @@ let request ?budget_ms t requests =
     let arena' = D.Arena.with_deletions ix.arena prov' in
     let budget_ms = match budget_ms with Some _ as b -> b | None -> t.budget_ms in
     let report =
-      if t.plan_solver then
+      if t.plan_solver then begin
+        let dirty_fn =
+          match (t.shard_cache, t.dirty) with
+          | None, _ | _, All -> None
+          | Some _, Flags f -> Some (fun c -> B.mem f c)
+        in
         (* the partition depends only on witness structure, so the
            session's incrementally maintained one re-targets for free *)
-        D.Planner.solve ?exact_threshold:t.exact_threshold ?only:t.algorithms
-          ?budget_ms ~pool:t.pool ~partition:ix.partition arena'
+        let report =
+          D.Planner.solve ?exact_threshold:t.exact_threshold
+            ?only:t.algorithms ?budget_ms ~pool:t.pool
+            ~partition:ix.partition ?cache:t.shard_cache ?dirty:dirty_fn
+            arena'
+        in
+        (* every shard that just solved (or spliced, staying valid) is
+           now clean; components the round did not activate keep their
+           state. [request] commits nothing, so the partition the flags
+           index is unchanged. *)
+        (if t.shard_cache <> None && report.D.Planner.decomposed then begin
+           let f =
+             match t.dirty with
+             | All -> B.full ix.partition.D.Arena.num_components
+             | Flags f -> f
+           in
+           List.iter
+             (fun (d : D.Planner.shard_decision) ->
+               B.remove f d.D.Planner.component)
+             report.D.Planner.shards;
+           t.dirty <- Flags f
+         end);
+        report
+      end
       else
         let r =
           D.Portfolio.solutions_report ?exact_threshold:t.exact_threshold
@@ -250,7 +379,7 @@ let request ?budget_ms t requests =
         in
         { D.Planner.solutions = r.D.Portfolio.solutions;
           failures = r.D.Portfolio.failures; degraded = r.D.Portfolio.degraded;
-          decomposed = false; shards = [] }
+          decomposed = false; shards = []; shards_cached = 0 }
     in
     let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
     let exact_shards =
@@ -260,6 +389,7 @@ let request ?budget_ms t requests =
            report.D.Planner.shards)
     in
     let n_shards = List.length report.D.Planner.shards in
+    let n_cached = report.D.Planner.shards_cached in
     t.stats <-
       {
         t.stats with
@@ -269,6 +399,8 @@ let request ?budget_ms t requests =
         shards_solved = t.stats.shards_solved + n_shards;
         shards_exact = t.stats.shards_exact + exact_shards;
         shards_approx = t.stats.shards_approx + (n_shards - exact_shards);
+        shards_cached = t.stats.shards_cached + n_cached;
+        shards_resolved = t.stats.shards_resolved + (n_shards - n_cached);
       };
     Log.debug (fun m ->
         m "round %d: %d solution(s), %d failure(s), %d shard(s) in %.2f ms"
@@ -284,6 +416,7 @@ let request ?budget_ms t requests =
         degraded = report.D.Planner.degraded;
         decomposed = report.D.Planner.decomposed;
         shards = report.D.Planner.shards;
+        shards_cached = report.D.Planner.shards_cached;
       }
 
 let apply ?solution t plan =
@@ -363,6 +496,7 @@ let close t =
 module Script = struct
   type op =
     | Solve of D.Delta_request.t list
+    | Propose of D.Delta_request.t list
     | Insert of R.Stuple.t
     | Delete of R.Stuple.t
 
@@ -406,18 +540,24 @@ module Script = struct
     in
     try
       match keyword with
-      | "solve" ->
+      | "solve" | "propose" ->
         let facts =
           String.split_on_char ';' rest
           |> List.map String.trim
           |> List.filter (fun s -> s <> "")
           |> List.map R.Serial.fact_of_string
         in
-        if facts = [] then Error "solve: expected at least one view fact"
-        else Ok (Solve (group_requests facts))
+        if facts = [] then
+          Error (Printf.sprintf "%s: expected at least one view fact" keyword)
+        else
+          let requests = group_requests facts in
+          Ok (if keyword = "solve" then Solve requests else Propose requests)
       | "insert" -> Ok (Insert (parse_fact rest))
       | "delete" -> Ok (Delete (parse_fact rest))
-      | kw -> Error (Printf.sprintf "unknown op %S (expected solve|insert|delete)" kw)
+      | kw ->
+        Error
+          (Printf.sprintf "unknown op %S (expected solve|propose|insert|delete)"
+             kw)
     with R.Serial.Parse_error (_, msg) -> Error msg
 
   let parse text =
@@ -447,6 +587,13 @@ module Script = struct
       | Ok plan ->
         ignore (apply eng plan);
         Ok (Some plan))
+    | Propose requests -> (
+      (* solve-without-apply: the round's plan is reported but nothing
+         commits — repeated proposals over stable components are what
+         the shard cache accelerates *)
+      match request eng requests with
+      | Error e -> Error (D.Delta_request.error_to_string e)
+      | Ok plan -> Ok (Some plan))
     | Insert st -> (
       match insert eng st with
       | () -> Ok None

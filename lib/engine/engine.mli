@@ -49,7 +49,9 @@ type stats = {
                               index (never by invalidate-and-rebuild) *)
   rebuilds : int;         (** full index builds — 1 for the whole session
                               (the one in {!create}); nothing invalidates *)
-  cache_hits : int;       (** operations served by the live index *)
+  index_hits : int;       (** operations served by the live index (named
+                              [cache_hits] before the shard cache existed;
+                              the CLI's JSON still emits both spellings) *)
   last_solve_ms : float;  (** wall time of the last round (patch + portfolio) *)
   total_solve_ms : float; (** cumulative round wall time *)
   journal_records : int;  (** records appended to the journal this session *)
@@ -59,6 +61,11 @@ type stats = {
   shards_solved : int;    (** shards dispatched by the planner, cumulative *)
   shards_exact : int;     (** ... solved by an exact tier (brute / DP) *)
   shards_approx : int;    (** ... solved by the approximation portfolio *)
+  shards_cached : int;    (** ... spliced from the shard solution cache
+                              (no solver ran; see {!create}'s
+                              [shard_cache]) *)
+  shards_resolved : int;  (** ... actually re-solved — [shards_cached +
+                              shards_resolved = shards_solved] *)
 }
 
 (** A solved round: the requests it answered, the ranked feasible
@@ -77,6 +84,9 @@ type plan = {
   degraded : bool;
   decomposed : bool;
   shards : Deleprop.Planner.shard_decision list;
+  shards_cached : int;
+      (** how many of [shards] were spliced from the session's shard
+          cache rather than re-solved this round *)
 }
 
 (** Build the session: evaluates the queries once (shared between the
@@ -103,7 +113,20 @@ type plan = {
     is truncated away, interior corruption raises {!Journal.Error} —
     and the session continues appending; without it any existing file
     is discarded. [db] must be the same database the journal was
-    recorded against. *)
+    recorded against.
+
+    [shard_cache] (default 512; [0] disables) bounds the planner
+    session's shard solution cache ({!Deleprop.Planner.cache}): the
+    engine tracks which components each committed delta touched
+    (remapped through the same sid correspondences the index patches
+    use) and {!request} re-solves only the dirty shards, splicing
+    memoized answers for the clean ones. Cached rounds are
+    solution-equivalent to fresh ones whenever the session is
+    deterministic (no [budget_ms] expiring mid-solver) — the
+    differential suite in [test/test_shardcache.ml] enforces this.
+    Ignored without [~plan:true]. A recovered session starts with a
+    cold cache and every component dirty, so recovery never changes
+    answers. *)
 val create :
   ?weights:Deleprop.Weights.t ->
   ?exact_threshold:int ->
@@ -113,6 +136,7 @@ val create :
   ?budget_ms:float ->
   ?journal:string ->
   ?recover:bool ->
+  ?shard_cache:int ->
   Relational.Instance.t ->
   Cq.Query.t list ->
   t
@@ -197,15 +221,20 @@ val close : t -> unit
     {v
     # comments and blank lines are skipped
     solve Q4(John, TKDE, XML); Q4(Tom, TKDE, XML)
+    propose Q4(Ann, TODS, XML)
     insert T1(Ann, TODS)
     delete T2(TODS, XML, 30)
     v}
     [solve] takes view facts separated by [;] (grouped into one
-    {!Deleprop.Delta_request.t} per view); [insert]/[delete] take one
-    source fact in {!Relational.Serial.fact_of_string} syntax. *)
+    {!Deleprop.Delta_request.t} per view); [propose] is [solve] without
+    the commit — the plan is reported, nothing applies (what-if rounds;
+    under [create ~plan:true] repeated proposals over untouched
+    components hit the shard cache); [insert]/[delete] take one source
+    fact in {!Relational.Serial.fact_of_string} syntax. *)
 module Script : sig
   type op =
     | Solve of Deleprop.Delta_request.t list
+    | Propose of Deleprop.Delta_request.t list
     | Insert of Relational.Stuple.t
     | Delete of Relational.Stuple.t
 
@@ -219,8 +248,9 @@ module Script : sig
   }
 
   (** One executed script line: [plan] is [Some] exactly for successful
-      [Solve] ops (whose cheapest solution was applied); [error] is
-      [Some] only under [replay ~keep_going:true] for ops that failed. *)
+      [Solve] ops (whose cheapest solution was applied) and [Propose]
+      ops (nothing applied); [error] is [Some] only under
+      [replay ~keep_going:true] for ops that failed. *)
   type round = {
     number : int;
     op : op;

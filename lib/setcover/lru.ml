@@ -1,0 +1,90 @@
+(* Bounded LRU map: a hash table over an intrusive doubly-linked recency
+   list. [find] and [add] both move the touched binding to the front;
+   inserting past [capacity] drops the back (least recently used). All
+   operations are O(1) amortized. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;  (* towards the front (most recent) *)
+  mutable next : ('k, 'v) node option;  (* towards the back (least recent) *)
+}
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable front : ('k, 'v) node option;
+  mutable back : ('k, 'v) node option;
+}
+
+let create ~capacity =
+  if capacity < 1 then
+    invalid_arg (Printf.sprintf "Lru.create: capacity %d < 1" capacity);
+  { capacity; table = Hashtbl.create (min capacity 64); front = None; back = None }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+
+(* detach [n] from the recency list (it must be linked) *)
+let unlink t n =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.front <- n.next);
+  (match n.next with
+  | Some s -> s.prev <- n.prev
+  | None -> t.back <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.front;
+  n.prev <- None;
+  (match t.front with Some f -> f.prev <- Some n | None -> t.back <- Some n);
+  t.front <- Some n
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some n ->
+    unlink t n;
+    push_front t n;
+    Some n.value
+
+let mem t k = Hashtbl.mem t.table k
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.table k
+
+let add t k v =
+  match Hashtbl.find_opt t.table k with
+  | Some n ->
+    n.value <- v;
+    unlink t n;
+    push_front t n
+  | None ->
+    if Hashtbl.length t.table >= t.capacity then (
+      match t.back with
+      | None -> ()
+      | Some lru ->
+        unlink t lru;
+        Hashtbl.remove t.table lru.key);
+    let n = { key = k; value = v; prev = None; next = None } in
+    Hashtbl.replace t.table k n;
+    push_front t n
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.front <- None;
+  t.back <- None
+
+(* most-recent-first — the order eviction would *not* take *)
+let fold f t acc =
+  let rec go acc = function
+    | None -> acc
+    | Some n -> go (f n.key n.value acc) n.next
+  in
+  go acc t.front

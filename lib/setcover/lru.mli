@@ -1,0 +1,39 @@
+(** Bounded least-recently-used map.
+
+    A fixed-capacity associative cache: {!find} and {!add} refresh the
+    binding's recency, and inserting a fresh key into a full cache evicts
+    the least recently used one. Backed by a hash table over an intrusive
+    doubly-linked list, so every operation is O(1) amortized.
+
+    The planner's shard-solution cache ({!Deleprop.Planner}) keys this by
+    canonical shard fingerprints; the module is generic so other bounded
+    memo tables can share it. Not thread-safe — callers serialize access
+    (the engine touches its cache only from the session's driving
+    domain). *)
+
+type ('k, 'v) t
+
+(** [create ~capacity] — an empty cache holding at most [capacity]
+    bindings. Raises [Invalid_argument] when [capacity < 1]. *)
+val create : capacity:int -> ('k, 'v) t
+
+val capacity : ('k, 'v) t -> int
+
+(** Current number of bindings (≤ [capacity]). *)
+val length : ('k, 'v) t -> int
+
+(** [find t k] — the binding, refreshed to most-recently-used. *)
+val find : ('k, 'v) t -> 'k -> 'v option
+
+(** Membership without touching recency. *)
+val mem : ('k, 'v) t -> 'k -> bool
+
+(** [add t k v] — insert or replace, making [k] the most recently used;
+    a fresh key on a full cache evicts the least recently used one. *)
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+
+val remove : ('k, 'v) t -> 'k -> unit
+val clear : ('k, 'v) t -> unit
+
+(** Fold over bindings, most recently used first. *)
+val fold : ('k -> 'v -> 'a -> 'a) -> ('k, 'v) t -> 'a -> 'a

@@ -205,6 +205,9 @@ let cert_equal (a : D.Solution.certificate) (b : D.Solution.certificate) =
   | D.Solution.Dual_bound x, D.Solution.Dual_bound y
   | D.Solution.Ratio x, D.Solution.Ratio y ->
     Float.equal x y
+  | ( D.Solution.Composite { shards = x; factor = fx },
+      D.Solution.Composite { shards = y; factor = fy } ) ->
+    x = y && Option.equal Float.equal fx fy
   | _ -> false
 
 let float_array_equal a b =

@@ -25,4 +25,5 @@ let () =
       ("engine", Test_engine.suite);
       ("resilience", Test_resilience.suite);
       ("decompose", Test_decompose.suite);
+      ("shardcache", Test_shardcache.suite);
     ]
