@@ -658,6 +658,98 @@ let bench_shardcache =
          ("pivot_40roots", many_components);
        ])
 
+(* deltafloor: the per-round cost floor of component-local delta
+   sessions — what the tombstone arenas buy. The session shape is the
+   shardcache group's (each round commits a delete + re-insert confined
+   to one component, then solves the standing ΔV without applying), but
+   the variants cross the compaction regime instead of the cache:
+   `eager` (compact_threshold 0) compacts the whole index on every
+   delete and sorted-run-merges every insert — every session's
+   behaviour before the tombstone arenas — while `lazy` (0.5) tombstones
+   and resurrects in place, so its per-round delta work is O(component)
+   and the only index-sized cost left is the clean-shard fingerprint
+   sweep. The scales double the database (pivot roots 40/80/160 with
+   tuples growing in step) while the touched component's size stays
+   constant: the lazy round cost must grow sublinearly in ‖D‖ (only the
+   proto-shard sweep scales) while eager pays the full O(‖index‖)
+   gather every round. BENCH_deltafloor.json tracks this group. *)
+let bench_deltafloor =
+  let rounds = 10 in
+  (* the standing ΔV is confined to ONE component's view tuples: the
+     round's solve work is O(component) no matter how large the database
+     grows, so the per-round floor isolates the index-maintenance cost
+     the regimes differ on *)
+  let requests_of part (arena : D.Arena.t) =
+    let tbl = Hashtbl.create 7 in
+    Array.iteri
+      (fun vid (vt : D.Vtuple.t) ->
+        if part.D.Arena.comp_of_vid.(vid) = 0 then
+          Hashtbl.replace tbl vt.D.Vtuple.query
+            (vt.D.Vtuple.tuple
+            :: (try Hashtbl.find tbl vt.D.Vtuple.query with Not_found -> [])))
+      arena.D.Arena.vtuples;
+    Hashtbl.fold (fun view ts acc -> D.Delta_request.make ~view ts :: acc) tbl []
+  in
+  let run_rounds eng reqs rep ncomp =
+    for round = 1 to rounds do
+      (match rep.(round mod max ncomp 1) with
+      | Some st ->
+        let s = R.Stuple.Set.singleton st in
+        ignore (Engine.apply_delta eng (D.Delta.make ~deletes:s ~inserts:s ()))
+      | None -> ());
+      match Engine.request eng reqs with
+      | Ok _ -> ()
+      | Error _ -> assert false
+    done
+  in
+  let setup ~compact_threshold (p : D.Problem.t) =
+    lazy
+      (let eng =
+         Engine.create ~plan:true ~domains:1 ~compact_threshold p.D.Problem.db
+           p.D.Problem.queries
+       in
+       let part = Engine.partition eng in
+       let _, arena = Engine.index eng in
+       let reqs = requests_of part arena in
+       let ncomp = part.D.Arena.num_components in
+       let rep = Array.make (max ncomp 1) None in
+       Array.iteri
+         (fun sid c ->
+           if rep.(c) = None then rep.(c) <- Some arena.D.Arena.stuples.(sid))
+         part.D.Arena.comp_of_sid;
+       run_rounds eng reqs rep ncomp;
+       (eng, reqs, rep, ncomp))
+  in
+  let session prep () =
+    let eng, reqs, rep, ncomp = Lazy.force prep in
+    run_rounds eng reqs rep ncomp
+  in
+  let pair tag p =
+    [
+      Test.make ~name:(Printf.sprintf "session%d_eager_%s" rounds tag)
+        (Staged.stage (session (setup ~compact_threshold:0.0 p)));
+      Test.make ~name:(Printf.sprintf "session%d_lazy_%s" rounds tag)
+        (Staged.stage (session (setup ~compact_threshold:0.5 p)));
+    ]
+  in
+  (* roots and tuples grow together so the database doubles while each
+     root's component keeps ~constant expected size (~6 tuples per level
+     per root) — the index scales, the touched component does not *)
+  let pivot_scale scale =
+    Workload.Pivot_family.generate ~rng:(rng 179)
+      { Workload.Pivot_family.depth = 3; num_roots = scale;
+        tuples_per_relation = 6 * scale; num_queries = 3;
+        deletion_fraction = 0.3 }
+  in
+  Test.make_grouped ~name:"deltafloor"
+    (List.concat_map
+       (fun (tag, p) -> pair tag p)
+       [
+         ("pivot_40", pivot_scale 40);
+         ("pivot_80", pivot_scale 80);
+         ("pivot_160", pivot_scale 160);
+       ])
+
 (* E21 scaling stages + parallel portfolio + SQL front end *)
 let bench_e21 =
   let biblio =
@@ -719,7 +811,7 @@ let all_tests =
     bench_e1; bench_e2; bench_e3; bench_e5; bench_e6; bench_e7; bench_e8; bench_e9;
     bench_e10; bench_e11; bench_e12; bench_e14; bench_e15; bench_e16; bench_e17;
     bench_e18; bench_arena; bench_engine; bench_mixed; bench_resilience; bench_decompose;
-    bench_shardcache; bench_e21;
+    bench_shardcache; bench_deltafloor; bench_e21;
     bench_containment; bench_phase5;
     bench_substrate;
   ]

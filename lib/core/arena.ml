@@ -26,19 +26,24 @@ type t = {
   weights : float array;
   bad_order : int array;
   forest_case : bool;
+  dead_s : Bitset.t;
+  dead_v : Bitset.t;
+  generation : int;
+  depths : int array option;
 }
 
-let processing_order (prov : Provenance.t) ~witness ~stuples ~bad =
-  (* the order [Primal_dual.processing_order] computes, on ids: bad vids
-     by decreasing lca depth (forest case) or decreasing witness size,
-     ties by ascending vid (= ascending Vtuple.compare) *)
-  let bad_ids = Bitset.elements bad in
-  match Hypergraph.Rel_tree.of_queries prov.Provenance.problem.Problem.queries with
+(* Per-sid rel-tree depth, memoized per physical layout: [stuples] is
+   sorted rel-first, so equal relations form contiguous runs and one
+   tree lookup per run suffices. A relation outside the tree appears in
+   no query body, hence in no witness — max_int is inert. [None] when
+   the query set admits no tree order (the non-forest case). The array
+   depends only on (queries, stuples), so every re-stamp and tombstone
+   of the same layout shares it — this is what keeps [with_deletions]
+   off the O(‖D‖) path. *)
+let compute_depths (queries : Cq.Query.t list) (stuples : R.Stuple.t array) =
+  match Hypergraph.Rel_tree.of_queries queries with
+  | None -> None
   | Some tree ->
-    (* per-sid depth with one tree lookup per relation: [stuples] is
-       sorted rel-first, so equal relations form contiguous runs. A
-       relation outside the tree appears in no query body, hence in no
-       witness — max_int is inert. *)
     let depth = Array.make (Array.length stuples) max_int in
     let run_rel = ref "" and run_depth = ref max_int in
     Array.iteri
@@ -52,6 +57,15 @@ let processing_order (prov : Provenance.t) ~witness ~stuples ~bad =
         end;
         depth.(sid) <- !run_depth)
       stuples;
+    Some depth
+
+let processing_order ~depths ~witness ~bad =
+  (* the order [Primal_dual.processing_order] computes, on ids: bad vids
+     by decreasing lca depth (forest case) or decreasing witness size,
+     ties by ascending vid (= ascending Vtuple.compare) *)
+  let bad_ids = Bitset.elements bad in
+  match depths with
+  | Some depth ->
     let lca_depth vid =
       Array.fold_left (fun acc sid -> min acc depth.(sid)) max_int witness.(vid)
     in
@@ -135,7 +149,8 @@ let build (prov : Provenance.t) =
           fill.(sid) <- fill.(sid) + 1)
         w)
     witness;
-  let forest_case, order = processing_order prov ~witness ~stuples ~bad in
+  let depths = compute_depths prov.Provenance.problem.Problem.queries stuples in
+  let forest_case, order = processing_order ~depths ~witness ~bad in
   {
     prov;
     stuples;
@@ -147,10 +162,24 @@ let build (prov : Provenance.t) =
     weights;
     bad_order = Array.of_list order;
     forest_case;
+    dead_s = Bitset.create ns;
+    dead_v = Bitset.create nv;
+    generation = 0;
+    depths;
   }
 
 let num_stuples t = Array.length t.stuples
 let num_vtuples t = Array.length t.vtuples
+let live_stuples t = num_stuples t - Bitset.cardinal t.dead_s
+let live_vtuples t = num_vtuples t - Bitset.cardinal t.dead_v
+let tombstoned t = not (Bitset.is_empty t.dead_s && Bitset.is_empty t.dead_v)
+
+let tombstone_ratio t =
+  let total = num_stuples t + num_vtuples t in
+  if total = 0 then 0.0
+  else
+    float_of_int (Bitset.cardinal t.dead_s + Bitset.cardinal t.dead_v)
+    /. float_of_int total
 
 (* Id lookups: binary search over the sorted arrays. The hashtables used
    during [build] are not retained — the arena is immutable and shared
@@ -203,93 +232,199 @@ let to_stuple_set t sids =
 (* ---- incremental maintenance ----
 
    Mirrors the ΔV-independent / ΔV-dependent split of the provenance
-   index. Ids are assigned in sorted-tuple order, so deleting tuples and
-   compacting the arrays order-preservingly lands every survivor exactly
-   where a fresh [build] of the patched provenance would put it — the
-   differential property suite checks both paths field by field. *)
+   index, with one extra axis: committed deletions are *tombstones*.
+   [delete] marks slots dead and bumps the generation counter; the
+   physical arrays (and so every id) stay put, and only [compact]
+   rewrites them. Ids are assigned in sorted-tuple order and tombstones
+   never move a slot, so gathering the live slots order-preservingly
+   ([compact]) lands every survivor exactly where a fresh [build] of the
+   patched provenance would put it — the differential property suite
+   checks both paths field by field. *)
 
 let with_deletions (a : t) (prov : Provenance.t) =
+  (* ΔV re-stamp: bad vids are interned from the (live) view answers,
+     preserved is live ∧ ¬bad, and the processing order re-sorts only
+     the bad ids over the memoized per-sid depths — no O(‖D‖) sweep. *)
   let nv = num_vtuples a in
   let bad = Bitset.create nv in
   Vtuple.Set.iter (fun vt -> Bitset.add bad (vtuple_id a vt)) prov.Provenance.bad;
   let preserved = Bitset.diff (Bitset.full nv) bad in
-  let forest_case, order =
-    processing_order prov ~witness:a.witness ~stuples:a.stuples ~bad
-  in
+  Bitset.diff_into ~into:preserved a.dead_v;
+  let forest_case, order = processing_order ~depths:a.depths ~witness:a.witness ~bad in
   { a with prov; bad; preserved; bad_order = Array.of_list order; forest_case }
 
 let delete (a : t) ~dd (prov : Provenance.t) =
-  let ns = num_stuples a and nv = num_vtuples a in
-  let dead_s = Bitset.create ns in
-  R.Stuple.Set.iter (fun st -> Bitset.add dead_s (stuple_id a st)) dd;
-  (* a view tuple dies iff its witness meets [dd] — and conversely a
-     surviving view tuple's witness contains no dead sid, so remapping
-     its row below never hits a dead id *)
-  let dead_v = Bitset.create nv in
-  Bitset.iter (fun sid -> Array.iter (Bitset.add dead_v) a.containing.(sid)) dead_s;
-  let smap = Array.make ns (-1) in
-  let k = ref 0 in
-  for sid = 0 to ns - 1 do
-    if not (Bitset.mem dead_s sid) then begin
-      smap.(sid) <- !k;
-      incr k
-    end
-  done;
-  let ns' = !k in
-  let vmap = Array.make nv (-1) in
-  let k = ref 0 in
-  for vid = 0 to nv - 1 do
-    if not (Bitset.mem dead_v vid) then begin
-      vmap.(vid) <- !k;
-      incr k
-    end
-  done;
-  let nv' = !k in
-  let stuples = Array.make ns' (R.Stuple.make "" (R.Tuple.of_list [])) in
-  for sid = 0 to ns - 1 do
-    if smap.(sid) >= 0 then stuples.(smap.(sid)) <- a.stuples.(sid)
-  done;
-  let vtuples = Array.make nv' (Vtuple.make "" (R.Tuple.of_list [])) in
-  let witness = Array.make nv' [||] in
-  let weights = Array.make nv' 0.0 in
-  let bad = Bitset.create nv' in
-  for vid = 0 to nv - 1 do
-    let nvid = vmap.(vid) in
-    if nvid >= 0 then begin
-      vtuples.(nvid) <- a.vtuples.(vid);
-      witness.(nvid) <- Array.map (fun sid -> smap.(sid)) a.witness.(vid);
-      weights.(nvid) <- a.weights.(vid);
-      if Bitset.mem a.bad vid then Bitset.add bad nvid
-    end
-  done;
-  let preserved = Bitset.diff (Bitset.full nv') bad in
-  let deg = Array.make ns' 0 in
-  Array.iter (Array.iter (fun sid -> deg.(sid) <- deg.(sid) + 1)) witness;
-  let containing = Array.init ns' (fun sid -> Array.make deg.(sid) 0) in
-  let fill = Array.make ns' 0 in
-  Array.iteri
-    (fun vid w ->
-      Array.iter
-        (fun sid ->
-          containing.(sid).(fill.(sid)) <- vid;
-          fill.(sid) <- fill.(sid) + 1)
-        w)
-    witness;
-  let forest_case, order = processing_order prov ~witness ~stuples ~bad in
-  {
-    prov;
-    stuples;
-    vtuples;
-    witness;
-    containing;
-    bad;
-    preserved;
-    weights;
-    bad_order = Array.of_list order;
-    forest_case;
-  }
+  (* tombstone the deleted sids and every view tuple whose witness meets
+     [dd]; no id moves, so every array is shared and the cost is
+     O(‖dd‖ + Σ|containing(dd)|) plus a few bitset words. The stamps
+     stay exact: removing elements from [bad] preserves the processing
+     order of the survivors (their sort keys are untouched), so
+     [bad_order] filters instead of re-sorting. *)
+  let dead_s = Bitset.copy a.dead_s and dead_v = Bitset.copy a.dead_v in
+  R.Stuple.Set.iter
+    (fun st ->
+      let sid = stuple_id a st in
+      Bitset.add dead_s sid;
+      Array.iter (Bitset.add dead_v) a.containing.(sid))
+    dd;
+  let bad = Bitset.diff a.bad dead_v in
+  let preserved = Bitset.diff a.preserved dead_v in
+  let bad_order =
+    if Bitset.equal bad a.bad then a.bad_order
+    else
+      Array.of_list
+        (List.filter
+           (fun vid -> not (Bitset.mem dead_v vid))
+           (Array.to_list a.bad_order))
+  in
+  { a with prov; bad; preserved; bad_order; dead_s; dead_v;
+    generation = a.generation + 1 }
+
+let compact (a : t) =
+  if not (tombstoned a) then a
+  else begin
+    let ns = num_stuples a and nv = num_vtuples a in
+    let smap = Array.make ns (-1) in
+    let k = ref 0 in
+    for sid = 0 to ns - 1 do
+      if not (Bitset.mem a.dead_s sid) then begin
+        smap.(sid) <- !k;
+        incr k
+      end
+    done;
+    let ns' = !k in
+    let vmap = Array.make nv (-1) in
+    let k = ref 0 in
+    for vid = 0 to nv - 1 do
+      if not (Bitset.mem a.dead_v vid) then begin
+        vmap.(vid) <- !k;
+        incr k
+      end
+    done;
+    let nv' = !k in
+    let stuples = Array.make ns' (R.Stuple.make "" (R.Tuple.of_list [])) in
+    for sid = 0 to ns - 1 do
+      if smap.(sid) >= 0 then stuples.(smap.(sid)) <- a.stuples.(sid)
+    done;
+    let vtuples = Array.make nv' (Vtuple.make "" (R.Tuple.of_list [])) in
+    let witness = Array.make nv' [||] in
+    let weights = Array.make nv' 0.0 in
+    let bad = Bitset.create nv' in
+    for vid = 0 to nv - 1 do
+      let nvid = vmap.(vid) in
+      if nvid >= 0 then begin
+        vtuples.(nvid) <- a.vtuples.(vid);
+        (* a live view tuple's witness contains no dead sid, so the
+           remap below never hits a dead id *)
+        witness.(nvid) <- Array.map (fun sid -> smap.(sid)) a.witness.(vid);
+        weights.(nvid) <- a.weights.(vid);
+        if Bitset.mem a.bad vid then Bitset.add bad nvid
+      end
+    done;
+    let preserved = Bitset.diff (Bitset.full nv') bad in
+    let deg = Array.make ns' 0 in
+    Array.iter (Array.iter (fun sid -> deg.(sid) <- deg.(sid) + 1)) witness;
+    let containing = Array.init ns' (fun sid -> Array.make deg.(sid) 0) in
+    let fill = Array.make ns' 0 in
+    Array.iteri
+      (fun vid w ->
+        Array.iter
+          (fun sid ->
+            containing.(sid).(fill.(sid)) <- vid;
+            fill.(sid) <- fill.(sid) + 1)
+          w)
+      witness;
+    let depths = compute_depths a.prov.Provenance.problem.Problem.queries stuples in
+    let forest_case, order = processing_order ~depths ~witness ~bad in
+    {
+      prov = a.prov;
+      stuples;
+      vtuples;
+      witness;
+      containing;
+      bad;
+      preserved;
+      weights;
+      bad_order = Array.of_list order;
+      forest_case;
+      dead_s = Bitset.create ns';
+      dead_v = Bitset.create nv';
+      generation = 0;
+      depths;
+    }
+  end
+
+(* ---- resurrection fast path for [extend] ----
+
+   A delete/re-insert workload re-creates tuples whose slots still sit
+   dead in the arrays. If every inserted tuple bisects to a dead stuple
+   slot, and every view answer it re-creates bisects to a dead vtuple
+   slot whose stored witness row and weight match the new provenance
+   exactly, then flipping those dead bits back *is* the extended arena —
+   no sorted-run merge, no id movement, O(‖ins‖·log + Σ|containing(ins)|).
+   Completeness: a gained view tuple's witness contains an inserted
+   tuple (it is a delta answer), so enumerating [vtuples_containing] of
+   each insert visits every gained answer. Any mismatch — a genuinely
+   new tuple, an answer re-derived through a different witness, a row
+   referencing a still-dead slot — falls back to compact-and-merge. *)
+let try_resurrect (a : t) ~ins (prov' : Provenance.t) =
+  let exception Fallback in
+  try
+    let dead_s = Bitset.copy a.dead_s and dead_v = Bitset.copy a.dead_v in
+    R.Stuple.Set.iter
+      (fun st ->
+        match bisect ~compare:R.Stuple.compare a.stuples st with
+        | Some sid when Bitset.mem dead_s sid -> Bitset.remove dead_s sid
+        | _ -> raise Fallback)
+      ins;
+    let resurrected = ref [] in
+    let wtbl = prov'.Provenance.problem.Problem.weights in
+    R.Stuple.Set.iter
+      (fun st ->
+        Vtuple.Set.iter
+          (fun vt ->
+            match bisect ~compare:Vtuple.compare a.vtuples vt with
+            | None -> raise Fallback
+            | Some vid ->
+              if Bitset.mem dead_v vid then begin
+                (* the dead slot must reproduce the new derivation
+                   bit-exactly: same witness row, same weight *)
+                let row = to_stuple_set a (Array.to_list a.witness.(vid)) in
+                if
+                  (not (R.Stuple.Set.equal row (Provenance.witness_of prov' vt)))
+                  || not (Float.equal a.weights.(vid) (Weights.get wtbl vt))
+                then raise Fallback;
+                Array.iter
+                  (fun sid -> if Bitset.mem dead_s sid then raise Fallback)
+                  a.witness.(vid);
+                Bitset.remove dead_v vid;
+                resurrected := vid :: !resurrected
+              end
+              else if not (Bitset.mem a.dead_v vid) then
+                (* a live view tuple cannot contain a dead source tuple *)
+                raise Fallback)
+          (Provenance.vtuples_containing prov' st))
+      ins;
+    (* resurrected answers are live ∧ ¬bad (ΔV predates them), so only
+       [preserved] grows; [bad]/[bad_order]/[depths] are untouched *)
+    let preserved = Bitset.copy a.preserved in
+    List.iter (Bitset.add preserved) !resurrected;
+    Some
+      { a with prov = prov'; preserved; dead_s; dead_v;
+        generation = a.generation + 1 }
+  with Fallback -> None
+
+let can_extend_in_place (a : t) ~ins (prov' : Provenance.t) =
+  Option.is_some (try_resurrect a ~ins prov')
 
 let extend (a : t) ~ins (prov : Provenance.t) =
+  match try_resurrect a ~ins prov with
+  | Some r -> r
+  | None ->
+  (* merge path: ids move, so dead slots must be gathered out first —
+     the merge below assumes the old arrays are exactly the old live
+     state *)
+  let a = compact a in
   let ns = num_stuples a in
   let ins_arr = Array.of_list (R.Stuple.Set.elements ins) in
   let ni = Array.length ins_arr in
@@ -369,7 +504,8 @@ let extend (a : t) ~ins (prov : Provenance.t) =
           fill.(sid) <- fill.(sid) + 1)
         w)
     witness;
-  let forest_case, order = processing_order prov ~witness ~stuples ~bad in
+  let depths = compute_depths prov.Provenance.problem.Problem.queries stuples in
+  let forest_case, order = processing_order ~depths ~witness ~bad in
   {
     prov;
     stuples;
@@ -381,6 +517,10 @@ let extend (a : t) ~ins (prov : Provenance.t) =
     weights;
     bad_order = Array.of_list order;
     forest_case;
+    dead_s = Bitset.create ns';
+    dead_v = Bitset.create nv';
+    generation = 0;
+    depths;
   }
 
 (* ---- connected components ----
@@ -404,40 +544,78 @@ type partition = {
 let uf_find = Setcover.Unionfind.find
 let uf_union = Setcover.Unionfind.union
 
-(* canonical labels: scanning ascending sid, each root gets the next
-   fresh label on first sight ([labels] doubles as the root->label
-   table — union-by-min guarantees the root is visited first) *)
-let canonical_labels parent =
+(* canonical labels: scanning ascending *live* sid, each root gets the
+   next fresh label on first sight ([labels] doubles as the root->label
+   table — union-by-min guarantees the root is visited first, and a live
+   class's root is live because dead slots are never unioned into live
+   rows). Dead slots keep label -1. Labels therefore depend only on the
+   live membership, which is exactly why tombstoned partitions come out
+   bit-identical to their compacted form modulo the id gather. *)
+let canonical_labels ~dead parent =
   let n = Array.length parent in
   let labels = Array.make n (-1) in
   let next = ref 0 in
   for sid = 0 to n - 1 do
-    let r = uf_find parent sid in
-    if labels.(r) = -1 then begin
-      labels.(r) <- !next;
-      incr next
-    end;
-    labels.(sid) <- labels.(r)
+    if not (Bitset.mem dead sid) then begin
+      let r = uf_find parent sid in
+      if labels.(r) = -1 then begin
+        labels.(r) <- !next;
+        incr next
+      end;
+      labels.(sid) <- labels.(r)
+    end
   done;
   (labels, !next)
 
-let comp_of_vid_of ~comp_of_sid witness =
-  Array.map
-    (fun w -> if Array.length w = 0 then -1 else comp_of_sid.(w.(0)))
+let comp_of_vid_of ~dead_v ~comp_of_sid witness =
+  Array.mapi
+    (fun vid w ->
+      if Bitset.mem dead_v vid || Array.length w = 0 then -1
+      else comp_of_sid.(w.(0)))
     witness
 
 let partition (a : t) =
   let ns = num_stuples a in
   let parent = Setcover.Unionfind.create ns in
-  Array.iter
-    (fun w ->
-      if Array.length w > 1 then begin
+  Array.iteri
+    (fun vid w ->
+      if Array.length w > 1 && not (Bitset.mem a.dead_v vid) then begin
         let s0 = w.(0) in
         Array.iter (fun sid -> uf_union parent s0 sid) w
       end)
     a.witness;
-  let comp_of_sid, num_components = canonical_labels parent in
-  { comp_of_sid; comp_of_vid = comp_of_vid_of ~comp_of_sid a.witness; num_components }
+  let comp_of_sid, num_components = canonical_labels ~dead:a.dead_s parent in
+  {
+    comp_of_sid;
+    comp_of_vid = comp_of_vid_of ~dead_v:a.dead_v ~comp_of_sid a.witness;
+    num_components;
+  }
+
+let compact_partition ~(before : t) (p : partition) =
+  if not (tombstoned before) then p
+  else begin
+    (* canonical labels are assigned over live slots only, so gathering
+       the live entries changes no label — dirty flags keyed by
+       component id survive compaction untouched *)
+    let ns = num_stuples before and nv = num_vtuples before in
+    let comp_of_sid = Array.make (live_stuples before) (-1) in
+    let k = ref 0 in
+    for sid = 0 to ns - 1 do
+      if not (Bitset.mem before.dead_s sid) then begin
+        comp_of_sid.(!k) <- p.comp_of_sid.(sid);
+        incr k
+      end
+    done;
+    let comp_of_vid = Array.make (live_vtuples before) (-1) in
+    let k = ref 0 in
+    for vid = 0 to nv - 1 do
+      if not (Bitset.mem before.dead_v vid) then begin
+        comp_of_vid.(!k) <- p.comp_of_vid.(vid);
+        incr k
+      end
+    done;
+    { comp_of_sid; comp_of_vid; num_components = p.num_components }
+  end
 
 let partition_delete (p : partition) ~(before : t) ~dd (a' : t) =
   (* deletions only split components: no witness row gains members, so a
@@ -445,98 +623,198 @@ let partition_delete (p : partition) ~(before : t) ~dd (a' : t) =
      components containing no deleted tuple keep their membership (and,
      with canonical renumbering, end up exactly where a scratch recompute
      puts them). Only the rows of affected components are re-unioned. *)
-  let ns = num_stuples before in
-  let affected = Array.make p.num_components false in
-  R.Stuple.Set.iter
-    (fun st -> affected.(p.comp_of_sid.(stuple_id before st)) <- true)
-    dd;
-  let dead = Bitset.create ns in
-  R.Stuple.Set.iter (fun st -> Bitset.add dead (stuple_id before st)) dd;
-  let ns' = num_stuples a' in
-  let old_of_new = Array.make ns' (-1) in
-  let k = ref 0 in
-  for sid = 0 to ns - 1 do
-    if not (Bitset.mem dead sid) then begin
-      old_of_new.(!k) <- sid;
-      incr k
-    end
-  done;
-  assert (!k = ns');
-  let old_comp sid' = p.comp_of_sid.(old_of_new.(sid')) in
-  let parent = Setcover.Unionfind.create ns' in
-  Array.iter
-    (fun w ->
-      if Array.length w > 1 && affected.(old_comp w.(0)) then begin
-        let s0 = w.(0) in
-        Array.iter (fun sid -> uf_union parent s0 sid) w
-      end)
-    a'.witness;
-  (* fresh labels by first appearance: unaffected sids keyed by their old
-     component, affected ones by their new union-find root *)
-  let label_of_old = Array.make p.num_components (-1) in
-  let label_of_root = Array.make ns' (-1) in
-  let comp_of_sid = Array.make ns' (-1) in
-  let next = ref 0 in
-  for sid = 0 to ns' - 1 do
-    let c = old_comp sid in
-    if affected.(c) then begin
-      let r = uf_find parent sid in
-      if label_of_root.(r) = -1 then begin
-        label_of_root.(r) <- !next;
-        incr next
-      end;
-      comp_of_sid.(sid) <- label_of_root.(r)
-    end
-    else begin
-      if label_of_old.(c) = -1 then begin
-        label_of_old.(c) <- !next;
-        incr next
-      end;
-      comp_of_sid.(sid) <- label_of_old.(c)
-    end
-  done;
-  {
-    comp_of_sid;
-    comp_of_vid = comp_of_vid_of ~comp_of_sid a'.witness;
-    num_components = !next;
-  }
+  if before.stuples == a'.stuples then begin
+    (* tombstone branch: [a' = delete before ~dd _] shares the physical
+       arrays, so the correspondence is the identity — re-union only the
+       affected components' live rows over the shared slots. The label
+       scan walks ascending live sids exactly like a scratch
+       [partition a'], so the result is bit-identical to it. *)
+    let ns = num_stuples before in
+    let affected = Array.make p.num_components false in
+    R.Stuple.Set.iter
+      (fun st -> affected.(p.comp_of_sid.(stuple_id before st)) <- true)
+      dd;
+    let parent = Setcover.Unionfind.create ns in
+    Array.iteri
+      (fun vid w ->
+        if
+          Array.length w > 1
+          && (not (Bitset.mem a'.dead_v vid))
+          && affected.(p.comp_of_sid.(w.(0)))
+        then begin
+          let s0 = w.(0) in
+          Array.iter (fun sid -> uf_union parent s0 sid) w
+        end)
+      a'.witness;
+    let label_of_old = Array.make p.num_components (-1) in
+    let label_of_root = Array.make ns (-1) in
+    let comp_of_sid = Array.make ns (-1) in
+    let next = ref 0 in
+    for sid = 0 to ns - 1 do
+      if not (Bitset.mem a'.dead_s sid) then begin
+        let c = p.comp_of_sid.(sid) in
+        if affected.(c) then begin
+          let r = uf_find parent sid in
+          if label_of_root.(r) = -1 then begin
+            label_of_root.(r) <- !next;
+            incr next
+          end;
+          comp_of_sid.(sid) <- label_of_root.(r)
+        end
+        else begin
+          if label_of_old.(c) = -1 then begin
+            label_of_old.(c) <- !next;
+            incr next
+          end;
+          comp_of_sid.(sid) <- label_of_old.(c)
+        end
+      end
+    done;
+    {
+      comp_of_sid;
+      comp_of_vid = comp_of_vid_of ~dead_v:a'.dead_v ~comp_of_sid a'.witness;
+      num_components = !next;
+    }
+  end
+  else begin
+    (* gather branch: [a'] is compacted, [before] may itself carry older
+       tombstones — the dead set below folds both axes into one
+       old-to-new correspondence *)
+    let ns = num_stuples before in
+    let affected = Array.make p.num_components false in
+    R.Stuple.Set.iter
+      (fun st -> affected.(p.comp_of_sid.(stuple_id before st)) <- true)
+      dd;
+    let dead = Bitset.copy before.dead_s in
+    R.Stuple.Set.iter (fun st -> Bitset.add dead (stuple_id before st)) dd;
+    let ns' = num_stuples a' in
+    let old_of_new = Array.make ns' (-1) in
+    let k = ref 0 in
+    for sid = 0 to ns - 1 do
+      if not (Bitset.mem dead sid) then begin
+        old_of_new.(!k) <- sid;
+        incr k
+      end
+    done;
+    assert (!k = ns');
+    let old_comp sid' = p.comp_of_sid.(old_of_new.(sid')) in
+    let parent = Setcover.Unionfind.create ns' in
+    Array.iter
+      (fun w ->
+        if Array.length w > 1 && affected.(old_comp w.(0)) then begin
+          let s0 = w.(0) in
+          Array.iter (fun sid -> uf_union parent s0 sid) w
+        end)
+      a'.witness;
+    (* fresh labels by first appearance: unaffected sids keyed by their
+       old component, affected ones by their new union-find root *)
+    let label_of_old = Array.make p.num_components (-1) in
+    let label_of_root = Array.make ns' (-1) in
+    let comp_of_sid = Array.make ns' (-1) in
+    let next = ref 0 in
+    for sid = 0 to ns' - 1 do
+      let c = old_comp sid in
+      if affected.(c) then begin
+        let r = uf_find parent sid in
+        if label_of_root.(r) = -1 then begin
+          label_of_root.(r) <- !next;
+          incr next
+        end;
+        comp_of_sid.(sid) <- label_of_root.(r)
+      end
+      else begin
+        if label_of_old.(c) = -1 then begin
+          label_of_old.(c) <- !next;
+          incr next
+        end;
+        comp_of_sid.(sid) <- label_of_old.(c)
+      end
+    done;
+    {
+      comp_of_sid;
+      comp_of_vid = comp_of_vid_of ~dead_v:a'.dead_v ~comp_of_sid a'.witness;
+      num_components = !next;
+    }
+  end
 
 let partition_insert (p : partition) ~(before : t) (a' : t) =
   (* insertions only merge components: every old witness row survives
-     with its membership intact (ids remapped), so the old partition is a
-     refinement of the new one. Chain-union each old component (its
-     closure over the old rows, cheaper than replaying them), then union
-     only the gained witness rows — the only rows that can bridge
-     shards. Canonical labels are a function of connectivity alone, so
-     the result is bit-identical to [partition a']. *)
-  let ns = num_stuples before and ns' = num_stuples a' in
-  let parent = Setcover.Unionfind.create ns' in
-  let first_of_comp = Array.make p.num_components (-1) in
-  let i = ref 0 in
-  for sid' = 0 to ns' - 1 do
-    if !i < ns && R.Stuple.equal before.stuples.(!i) a'.stuples.(sid') then begin
-      let c = p.comp_of_sid.(!i) in
-      incr i;
-      if first_of_comp.(c) = -1 then first_of_comp.(c) <- sid'
-      else uf_union parent first_of_comp.(c) sid'
-    end
-  done;
-  assert (!i = ns);
-  let nv = num_vtuples before and nv' = num_vtuples a' in
-  let j = ref 0 in
-  for vid' = 0 to nv' - 1 do
-    if !j < nv && Vtuple.equal before.vtuples.(!j) a'.vtuples.(vid') then incr j
-    else begin
-      let w = a'.witness.(vid') in
-      if Array.length w > 1 then begin
-        let s0 = w.(0) in
-        Array.iter (fun sid -> uf_union parent s0 sid) w
+     with its membership intact, so the old partition is a refinement of
+     the new one. Chain-union each old component (its closure over the
+     old rows, cheaper than replaying them), then union only the gained
+     witness rows — the only rows that can bridge shards. Canonical
+     labels are a function of connectivity alone, so the result is
+     bit-identical to [partition a']. *)
+  if before.stuples == a'.stuples then begin
+    (* resurrect branch: the insertion flipped dead bits back in place,
+       so the correspondence is the identity and the gained view tuples
+       are exactly the newly-live vids *)
+    let ns = num_stuples before in
+    let parent = Setcover.Unionfind.create ns in
+    let first_of_comp = Array.make p.num_components (-1) in
+    for sid = 0 to ns - 1 do
+      if not (Bitset.mem before.dead_s sid) then begin
+        let c = p.comp_of_sid.(sid) in
+        if first_of_comp.(c) = -1 then first_of_comp.(c) <- sid
+        else uf_union parent first_of_comp.(c) sid
       end
-    end
-  done;
-  assert (!j = nv);
-  let comp_of_sid, num_components = canonical_labels parent in
-  { comp_of_sid; comp_of_vid = comp_of_vid_of ~comp_of_sid a'.witness; num_components }
+    done;
+    Bitset.iter_diff
+      (fun vid ->
+        let w = a'.witness.(vid) in
+        if Array.length w > 1 then begin
+          let s0 = w.(0) in
+          Array.iter (fun sid -> uf_union parent s0 sid) w
+        end)
+      before.dead_v a'.dead_v;
+    let comp_of_sid, num_components = canonical_labels ~dead:a'.dead_s parent in
+    {
+      comp_of_sid;
+      comp_of_vid = comp_of_vid_of ~dead_v:a'.dead_v ~comp_of_sid a'.witness;
+      num_components;
+    }
+  end
+  else begin
+    (* merge branch: [a'] came out of the sorted-run merge, which
+       compacts first — fold any older tombstones of [before] away so
+       the merge walk below sees exactly the old live run *)
+    let p, before =
+      if tombstoned before then (compact_partition ~before p, compact before)
+      else (p, before)
+    in
+    let ns = num_stuples before and ns' = num_stuples a' in
+    let parent = Setcover.Unionfind.create ns' in
+    let first_of_comp = Array.make p.num_components (-1) in
+    let i = ref 0 in
+    for sid' = 0 to ns' - 1 do
+      if !i < ns && R.Stuple.equal before.stuples.(!i) a'.stuples.(sid') then begin
+        let c = p.comp_of_sid.(!i) in
+        incr i;
+        if first_of_comp.(c) = -1 then first_of_comp.(c) <- sid'
+        else uf_union parent first_of_comp.(c) sid'
+      end
+    done;
+    assert (!i = ns);
+    let nv = num_vtuples before and nv' = num_vtuples a' in
+    let j = ref 0 in
+    for vid' = 0 to nv' - 1 do
+      if !j < nv && Vtuple.equal before.vtuples.(!j) a'.vtuples.(vid') then incr j
+      else begin
+        let w = a'.witness.(vid') in
+        if Array.length w > 1 then begin
+          let s0 = w.(0) in
+          Array.iter (fun sid -> uf_union parent s0 sid) w
+        end
+      end
+    done;
+    assert (!j = nv);
+    let comp_of_sid, num_components = canonical_labels ~dead:a'.dead_s parent in
+    {
+      comp_of_sid;
+      comp_of_vid = comp_of_vid_of ~dead_v:a'.dead_v ~comp_of_sid a'.witness;
+      num_components;
+    }
+  end
 
 (* ---- shattering ---- *)
 
@@ -561,7 +839,7 @@ let active_components ?partition:part (a : t) =
   let sids_of = Array.make p.num_components [] in
   for sid = num_stuples a - 1 downto 0 do
     let c = p.comp_of_sid.(sid) in
-    if active.(c) then sids_of.(c) <- sid :: sids_of.(c)
+    if c >= 0 && active.(c) then sids_of.(c) <- sid :: sids_of.(c)
   done;
   let vids_of = Array.make p.num_components [] in
   for vid = num_vtuples a - 1 downto 0 do

@@ -28,6 +28,16 @@ type t = private {
                                           order (decreasing lca depth on forests,
                                           else decreasing witness size) *)
   forest_case : bool;                 (** did the query set admit the tree order? *)
+  dead_s : Setcover.Bitset.t;         (** tombstoned sids (excluded from every
+                                          live bitset; slots reusable by
+                                          re-insertion) *)
+  dead_v : Setcover.Bitset.t;         (** tombstoned vids *)
+  generation : int;                   (** bumped by every tombstoning delta;
+                                          0 on built/compacted arenas *)
+  depths : int array option;          (** sid -> rel-tree depth memo ([None]
+                                          in the non-forest case); a pure
+                                          function of the physical layout,
+                                          shared across re-stamps *)
 }
 
 (** Compile a provenance index. Cost is one hashtable pass over tuples
@@ -41,25 +51,57 @@ val build : Provenance.t -> t
 val with_deletions : t -> Provenance.t -> t
 
 (** [delete a ~dd prov] — the arena after committing the source deletion
-    [dd], where [prov = Provenance.delete a.prov dd]: dead source and
-    view ids drop out, survivors compact order-preservingly (id order is
-    sorted-tuple order, which deletion preserves), witness rows remap and
-    containing re-inverts. Equals [build prov] with no tuple comparisons
-    or hashing. [dd] must be tuples of the arena's database. *)
+    [dd], where [prov = Provenance.delete a.prov dd]: the deleted sids
+    and every view tuple whose witness meets [dd] are {e tombstoned} —
+    marked dead, generation bumped — and no id moves, so every array is
+    shared and the cost is O(‖dd‖ + Σ|containing(dd)|). Live-equivalent
+    to [build prov]: [compact (delete a ~dd prov)] is bit-identical to
+    [build prov]. [dd] must be live tuples of the arena's database. *)
 val delete : t -> dd:R.Stuple.Set.t -> Provenance.t -> t
 
 (** [extend a ~ins prov] — the arena after committing the source
     insertion [ins], where [prov] is [a.prov] with every tuple of [ins]
-    {!Provenance.insert}ed: the two sorted runs merge (existing ids keep
-    their relative order, shifting only past the inserted tuples — no
-    re-interning pass), surviving witness rows remap, gained view tuples
-    intern their witness by bisection, and containing re-inverts.
-    Equals [build prov]. [ins] must be disjoint from the arena's
-    database. *)
+    {!Provenance.insert}ed. Two regimes: if every inserted tuple (and
+    every view answer it re-creates) bisects to a tombstoned slot whose
+    stored row and weight match [prov] exactly, the dead bits flip back
+    in place — the delete/re-insert fast path, no id movement.
+    Otherwise the arena is compacted and the two sorted runs merge
+    (existing ids keep their relative order, shifting only past the
+    inserted tuples), surviving witness rows remap, gained view tuples
+    intern their witness by bisection, and containing re-inverts — the
+    result then equals [build prov]. [ins] must be disjoint from the
+    arena's {e live} database. *)
 val extend : t -> ins:R.Stuple.Set.t -> Provenance.t -> t
+
+(** [can_extend_in_place a ~ins prov] — would [extend] take the
+    resurrection fast path? Lets a caller that must keep derived state
+    (partitions, dirty flags) aligned with the physical layout compact
+    {e before} a merge-path extend rather than after. *)
+val can_extend_in_place : t -> ins:R.Stuple.Set.t -> Provenance.t -> bool
+
+(** [compact a] — gather the live slots, dropping every tombstone:
+    survivors land order-preservingly exactly where a fresh [build] of
+    [a.prov] puts them (bit-identical, including re-stamped ΔV state),
+    generation resets to 0. The identity (physically [== a]) on arenas
+    with no tombstones, hence idempotent. *)
+val compact : t -> t
 
 val num_stuples : t -> int
 val num_vtuples : t -> int
+
+(** Live counts — [num_stuples]/[num_vtuples] minus tombstones. These
+    are the semantic ‖D‖ and ‖V‖ of the instance the arena currently
+    represents. *)
+
+val live_stuples : t -> int
+val live_vtuples : t -> int
+
+(** Does the arena carry any tombstone? *)
+val tombstoned : t -> bool
+
+(** Dead slots as a fraction of all physical slots (0 when empty) — the
+    engine's compaction trigger. *)
+val tombstone_ratio : t -> float
 
 (** Interning lookups; [Invalid_argument] on tuples unknown to the
     arena. *)
@@ -83,26 +125,42 @@ val to_stuple_set : t -> int list -> R.Stuple.Set.t
     deletions is exact for both feasibility and cost. *)
 
 type partition = {
-  comp_of_sid : int array;      (** sid -> component id *)
+  comp_of_sid : int array;      (** sid -> component id ([-1] for
+                                    tombstoned slots) *)
   comp_of_vid : int array;      (** vid -> component of its witness
-                                    ([-1] for an empty witness, which
-                                    cannot occur on built arenas) *)
+                                    ([-1] for tombstoned slots and empty
+                                    witnesses, the latter impossible on
+                                    built arenas) *)
   num_components : int;
 }
 
-(** Union-find over the witness rows, O(‖D‖ + Σ|witness| α). Components
-    are numbered canonically (by first appearance in ascending sid
-    order), so membership-equal partitions are structurally equal.
-    The partition depends only on the witness structure — it is valid
-    unchanged for any [with_deletions] re-stamp of the same arena. *)
+(** Union-find over the live witness rows, O(‖D‖ + Σ|witness| α).
+    Components are numbered canonically (by first appearance in
+    ascending {e live} sid order), so membership-equal partitions are
+    structurally equal — in particular the partition of a tombstoned
+    arena assigns the same labels as the partition of its compacted
+    form. The partition depends only on the live witness structure — it
+    is valid unchanged for any [with_deletions] re-stamp of the same
+    arena. *)
 val partition : t -> partition
+
+(** [compact_partition ~before p] — the partition of [compact before]
+    given [p = partition before]: live entries gather, labels (and so
+    [num_components]) are untouched, because canonical numbering already
+    skips dead slots. Component-keyed state (dirty flags, caches)
+    survives compaction without remapping. The identity when [before]
+    carries no tombstone. *)
+val compact_partition : before:t -> partition -> partition
 
 (** [partition_delete p ~before ~dd a'] — the partition of
     [a' = delete before ~dd prov'], patched incrementally from
     [p = partition before]: deletions only split components (no witness
     row ever gains a member), so only components containing a deleted
-    tuple are re-unioned, the rest keep their membership. Bit-identical
-    to [partition a'] (checked by the engine differential suite). *)
+    tuple are re-unioned, the rest keep their membership. When [a']
+    shares [before]'s physical arrays (the tombstone regime) the
+    correspondence is the identity; otherwise [a'] must be the compacted
+    form. Bit-identical to [partition a'] (checked by the engine
+    differential suite). *)
 val partition_delete : partition -> before:t -> dd:R.Stuple.Set.t -> t -> partition
 
 (** [partition_insert p ~before a'] — the partition of
@@ -110,9 +168,10 @@ val partition_delete : partition -> before:t -> dd:R.Stuple.Set.t -> t -> partit
     [p = partition before]: insertions only {e merge} components (every
     old witness row survives intact), so the old components are re-used
     wholesale via one chain-union each and only the {e gained} witness
-    rows — the rows that can bridge shards — are unioned in.
-    Bit-identical to [partition a'] (checked by the engine differential
-    suite). *)
+    rows — the rows that can bridge shards — are unioned in. Handles
+    both [extend] regimes: in-place resurrection (shared arrays) and
+    the compact-and-merge path. Bit-identical to [partition a']
+    (checked by the engine differential suite). *)
 val partition_insert : partition -> before:t -> t -> partition
 
 (** One active component, compiled as a standalone arena over the

@@ -35,15 +35,26 @@ let mix_tuple h (tp : R.Tuple.t) =
 
 let mix_float h f = mix h (Int64.to_int (Int64.bits_of_float f))
 
+(* Live slots only, witness sids hashed by their rank among live sids —
+   so the hash is invariant under compaction (tombstoned arena ≡ its
+   compacted form) and, on an arena with no tombstones, bit-identical to
+   the naive whole-array stream (rank = sid there). *)
 let arena (a : Arena.t) =
-  let ns = Arena.num_stuples a and nv = Arena.num_vtuples a in
-  let h = ref (mix (mix fnv_basis ns) nv) in
-  Array.iter
-    (fun (st : R.Stuple.t) ->
-      h := mix_tuple (mix_string !h st.R.Stuple.rel) st.R.Stuple.tuple)
-    a.Arena.stuples;
-  Array.iteri
-    (fun vid (vt : Vtuple.t) ->
+  let ns_phys = Arena.num_stuples a and nv_phys = Arena.num_vtuples a in
+  let h = ref (mix (mix fnv_basis (Arena.live_stuples a)) (Arena.live_vtuples a)) in
+  let rank = Array.make (max 1 ns_phys) (-1) in
+  let k = ref 0 in
+  for sid = 0 to ns_phys - 1 do
+    if not (Setcover.Bitset.mem a.Arena.dead_s sid) then begin
+      rank.(sid) <- !k;
+      incr k;
+      let st = a.Arena.stuples.(sid) in
+      h := mix_tuple (mix_string !h st.R.Stuple.rel) st.R.Stuple.tuple
+    end
+  done;
+  for vid = 0 to nv_phys - 1 do
+    if not (Setcover.Bitset.mem a.Arena.dead_v vid) then begin
+      let vt = a.Arena.vtuples.(vid) in
       h := mix_tuple (mix_string !h vt.Vtuple.query) vt.Vtuple.tuple;
       h := mix_float !h a.Arena.weights.(vid);
       h := mix !h (if Setcover.Bitset.mem a.Arena.bad vid then 1 else 0);
@@ -51,8 +62,9 @@ let arena (a : Arena.t) =
          happen to share tuple content but join differently stay apart *)
       let row = a.Arena.witness.(vid) in
       h := mix !h (Array.length row);
-      Array.iter (fun sid -> h := mix !h sid) row)
-    a.Arena.vtuples;
+      Array.iter (fun sid -> h := mix !h rank.(sid)) row
+    end
+  done;
   Int64.of_int !h
 
 (* The same hash, computed for one component straight off the parent
@@ -61,7 +73,11 @@ let arena (a : Arena.t) =
    on both sides, see [Arena.materialize]), so every shard-local
    ingredient is recoverable: tuples and weights read through the id
    lists, and a witness row's shard-local sids are the parent sids'
-   ranks within [p_sids]. *)
+   ranks within [p_sids]. Tombstone-invariant by the same argument:
+   proto-shards enumerate live member ids only ([Arena.active_components]
+   skips dead slots) and a live vid's witness references live sids, so
+   the hash over a tombstoned parent equals the hash over its compacted
+   form — dead slots never feed a byte into the stream. *)
 let shard (a : Arena.t) (ps : Arena.proto_shard) =
   let sids = ps.Arena.p_sids and vids = ps.Arena.p_vids in
   let ns = Array.length sids and nv = Array.length vids in

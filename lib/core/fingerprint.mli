@@ -21,7 +21,10 @@
 type t = int64
 
 (** Fingerprint an arena's full solver-visible content (tuples, views,
-    weights, ΔV, witness structure). O(‖D‖ + ‖V‖ + Σ|witness|). *)
+    weights, ΔV, witness structure). Live slots only, witness sids
+    hashed by live rank — a tombstoned arena hashes identically to its
+    compacted form, and an arena with no tombstones identically to the
+    pre-tombstone stream. O(‖D‖ + ‖V‖ + Σ|witness|). *)
 val arena : Arena.t -> t
 
 (** [shard a ps] = [arena (materialize a ps).arena], computed straight

@@ -62,12 +62,13 @@ let solve_with_tau ?prune_wide ?budget (prov : Provenance.t) ~tau =
 
 (* the default wide-pruning threshold √‖V‖ (Claim 2); exposed so a planner
    solving a shard can impose the parent instance's threshold instead.
-   [Arena.num_vtuples] counts exactly Σ_q |view q| — the provenance
-   indexes one vtuple per view tuple per query — so this avoids
-   [Problem.view_size]'s full query re-evaluation over the database
-   (which used to dominate cheap solve calls on large instances). *)
+   [Arena.live_vtuples] counts exactly Σ_q |view q| — the provenance
+   indexes one vtuple per view tuple per query, and tombstoned slots are
+   not view tuples — so this avoids [Problem.view_size]'s full query
+   re-evaluation over the database (which used to dominate cheap solve
+   calls on large instances) while staying invariant under compaction. *)
 let default_wide_threshold (a : Arena.t) =
-  sqrt (float_of_int (Arena.num_vtuples a))
+  sqrt (float_of_int (Arena.live_vtuples a))
 
 let trivial_result prov =
   {

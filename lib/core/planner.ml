@@ -72,20 +72,61 @@ type cache = {
   lru : (Fingerprint.t, cache_entry) Setcover.Lru.t;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
+      (* approximate-tier entries dropped by proactive bucket eviction *)
+  mutable last_bucket : int option;
+      (* the parent √‖V‖ threshold bucket the cache last solved under —
+         a drift triggers the eviction sweep *)
 }
 
 let create_cache ?(capacity = 512) () =
-  { lru = Setcover.Lru.create ~capacity; hits = 0; misses = 0 }
+  { lru = Setcover.Lru.create ~capacity; hits = 0; misses = 0; evictions = 0;
+    last_bucket = None }
 
 let cache_length c = Setcover.Lru.length c.lru
 let cache_hits c = c.hits
 let cache_misses c = c.misses
-let cache_clear c = Setcover.Lru.clear c.lru
+let cache_evictions c = c.evictions
+
+let cache_clear c =
+  Setcover.Lru.clear c.lru;
+  c.last_bucket <- None
 
 (* The LowDeg wide-pruning test is [float_of_int width > threshold]
    over integer widths, so two thresholds with the same floor prune
    identically: the effective cutoff is ⌊t⌋ + 1 either way. *)
 let threshold_bucket t = int_of_float (Float.floor t)
+
+(* Proactive threshold-bucket eviction: when the parent √‖V‖ bucket
+   drifts, every approximate-tier entry solved under the old bucket is
+   dead weight — [entry_reusable] would skip it at splice time anyway,
+   but until then it occupies an LRU slot a live entry could use. One
+   sweep per drift (not per round: [last_bucket] latches). Exact-tier
+   entries never saw the threshold and stay. *)
+let evict_stale_buckets c ~wide_global =
+  let bucket = threshold_bucket wide_global in
+  match c.last_bucket with
+  | Some b when b = bucket -> ()
+  | _ ->
+    c.last_bucket <- Some bucket;
+    let stale =
+      Setcover.Lru.fold
+        (fun fp e acc ->
+          match e.e_classification with
+          | Approximate when threshold_bucket e.e_threshold <> bucket ->
+            fp :: acc
+          | _ -> acc)
+        c.lru []
+    in
+    List.iter
+      (fun fp ->
+        Setcover.Lru.remove c.lru fp;
+        c.evictions <- c.evictions + 1)
+      stale;
+    if stale <> [] then
+      Log.debug (fun m ->
+          m "threshold bucket drifted to %d: evicted %d stale entr(ies)" bucket
+            (List.length stale))
 
 (* May [e] stand in for re-solving its shard under the current parent
    threshold? Exact tiers never saw the threshold; the approximate tier
@@ -195,6 +236,9 @@ let factor_of ~l ~forest (cert : Solution.certificate) =
 let solve ?(exact_threshold = 16) ?only ?domains ?pool ?budget_ms
     ?(decompose = true) ?partition ?cache ?dirty (a : Arena.t) =
   let whole () =
+    (* the whole-instance portfolio iterates the physical arrays, so a
+       tombstoned arena compacts first (the identity otherwise) *)
+    let a = Arena.compact a in
     let r =
       Portfolio.solutions_report ~exact_threshold ?only ?domains ?pool
         ?budget_ms a
@@ -207,7 +251,11 @@ let solve ?(exact_threshold = 16) ?only ?domains ?pool ?budget_ms
   else
     let protos = Arena.active_components ?partition a in
     let n = Array.length protos in
-    if n <= 1 then whole ()
+    (* n = 1 routes through the shard pipeline like any other round: the
+       single active component still fingerprints into the shard cache
+       (and gets the whole budget), so sessions whose instance shatters
+       into one component are no longer locked out of memoization *)
+    if n = 0 then whole ()
     else begin
       let t0 = Unix.gettimeofday () in
       (* the budget still splits across *all* shards — a cache hit keeps
@@ -217,6 +265,9 @@ let solve ?(exact_threshold = 16) ?only ?domains ?pool ?budget_ms
         Option.map (fun ms -> ms /. float_of_int n) budget_ms
       in
       let wide_global = Lowdeg.default_wide_threshold a in
+      (match cache with
+      | Some c -> evict_stale_buckets c ~wide_global
+      | None -> ());
       let is_dirty =
         match (cache, dirty) with
         | None, _ -> fun _ -> true   (* no cache: nothing to splice from *)

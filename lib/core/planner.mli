@@ -60,8 +60,11 @@ type report = {
   failures : Portfolio.failure list;  (** across all shards *)
   degraded : bool;                    (** some shard degraded *)
   decomposed : bool;
-      (** false when the instance had ≤ 1 active component (or
-          [decompose:false]) and the whole-instance portfolio ran *)
+      (** true iff the shard pipeline produced the result — any round
+          with ≥ 1 active component under [decompose:true]; false when
+          the instance had nothing to solve, [decompose:false] was
+          passed, or an unsolvable shard forced the whole-instance
+          fallback *)
   shards : shard_decision list;       (** ascending by component *)
   shards_cached : int;
       (** how many of [shards] were spliced from the cache this call *)
@@ -104,14 +107,27 @@ val cache_length : cache -> int
 val cache_hits : cache -> int
 val cache_misses : cache -> int
 
+(** Approximate-tier entries dropped by proactive bucket eviction: when
+    the parent √‖V‖ threshold bucket drifts between rounds, entries
+    solved under the old bucket can never be spliced again and are
+    removed eagerly (one sweep per drift) instead of lingering in LRU
+    slots until discovered stale at splice time. *)
+val cache_evictions : cache -> int
+
 val cache_clear : cache -> unit
 
-(** Solve via shatter-and-plan. With ≥ 2 active components the shards
-    fan out on [pool] / [domains] ({!Par.map_result}; each shard's inner
-    portfolio stays sequential) and [budget_ms] splits evenly across
-    shards; otherwise this is exactly
-    [Portfolio.solutions_report ... a]. [partition] (default: computed
-    fresh) lets the engine pass its incrementally maintained one.
+(** Solve via shatter-and-plan. Every round with ≥ 1 active component
+    routes through the shard pipeline — including the single-component
+    case, which gets the whole [budget_ms] and still consults the shard
+    cache; with ≥ 2 the shards fan out on [pool] / [domains]
+    ({!Par.map_result}; each shard's inner portfolio stays sequential)
+    and [budget_ms] splits evenly across shards. With no active
+    component (or [decompose:false]) this is exactly
+    [Portfolio.solutions_report ... a], compacting a tombstoned arena
+    first — the shard pipeline itself never needs to: proto-shard
+    sweeps, fingerprints, and materialization all skip dead slots.
+    [partition] (default: computed fresh) lets the engine pass its
+    incrementally maintained one.
     [only] restricts the participating algorithms as in
     {!Portfolio.solutions_report} (shards classify around missing
     tiers). If any shard produces no feasible answer at all, the planner

@@ -1,0 +1,113 @@
+(* Shared JSON encoding for machine-readable reports.
+
+   One tiny JSON AST plus the encoders every front end shares —
+   subcommand-specific code assembles [t] values instead of hand-rolling
+   strings, so field spellings and escaping live in exactly one place.
+   [schema_version] stamps every top-level report object; bump it
+   whenever a field is renamed or removed (additions are compatible). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+  | Raw of string
+
+(* version 2: unified Engine.Stats encoding (index_retargets,
+   shard_cache_hits, tombstone_ratio, compactions), schema_version
+   stamped on solve/batch reports. Version 1 is the implicit pre-PR-7
+   ad-hoc encoding. *)
+let schema_version = 2
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%g" f
+
+let rec write b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (float_str f)
+  | String s ->
+    Buffer.add_char b '"';
+    Buffer.add_string b (escape s);
+    Buffer.add_char b '"'
+  | List items ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char b ',';
+        write b v)
+      items;
+    Buffer.add_char b ']'
+  | Obj fields ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape k);
+        Buffer.add_string b "\":";
+        write b v)
+      fields;
+    Buffer.add_char b '}'
+  | Raw s -> Buffer.add_string b s
+
+let to_string v =
+  let b = Buffer.create 256 in
+  write b v;
+  Buffer.contents b
+
+(* ---- shared encoders ---- *)
+
+let solution (s : Solution.t) = Raw (Solution.to_json s)
+
+let failure (f : Portfolio.failure) =
+  Obj
+    [
+      ("algorithm", String f.Portfolio.algorithm);
+      ("elapsed_ms", Raw (Printf.sprintf "%.3f" f.Portfolio.elapsed_ms));
+      ( "reason",
+        String
+          (match f.Portfolio.reason with
+          | Portfolio.Timed_out -> "timeout"
+          | Portfolio.Crashed _ -> "crash") );
+      ( "detail",
+        match f.Portfolio.reason with
+        | Portfolio.Timed_out -> Null
+        | Portfolio.Crashed msg -> String msg );
+    ]
+
+let shard_decision (d : Planner.shard_decision) =
+  Obj
+    [
+      ("component", Int d.Planner.component);
+      ("stuples", Int d.Planner.stuples);
+      ("vtuples", Int d.Planner.vtuples);
+      ("bad", Int d.Planner.bad);
+      ("winner", String d.Planner.winner);
+      ("cost", Float d.Planner.cost);
+      ("exact", Bool d.Planner.exact);
+      ("degraded", Bool d.Planner.degraded);
+      ("cached", Bool d.Planner.cached);
+    ]
+
+(* [versioned fields] — a top-level report object, schema stamp first *)
+let versioned fields = Obj (("schema_version", Int schema_version) :: fields)

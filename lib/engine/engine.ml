@@ -13,7 +13,7 @@ type stats = {
   patches : int;
   inserts_patched : int;
   rebuilds : int;
-  index_hits : int;
+  index_retargets : int;
   last_solve_ms : float;
   total_solve_ms : float;
   journal_records : int;
@@ -24,6 +24,9 @@ type stats = {
   shards_approx : int;
   shards_cached : int;
   shards_resolved : int;
+  shard_cache_hits : int;
+  tombstone_ratio : float;
+  compactions : int;
 }
 
 let zero_stats =
@@ -35,7 +38,7 @@ let zero_stats =
     patches = 0;
     inserts_patched = 0;
     rebuilds = 0;
-    index_hits = 0;
+    index_retargets = 0;
     last_solve_ms = 0.0;
     total_solve_ms = 0.0;
     journal_records = 0;
@@ -46,19 +49,89 @@ let zero_stats =
     shards_approx = 0;
     shards_cached = 0;
     shards_resolved = 0;
+    shard_cache_hits = 0;
+    tombstone_ratio = 0.0;
+    compactions = 0;
   }
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "@[<v>rounds: %d, applies: %d@ deleted %d / inserted %d source tuple(s)@ index: \
-     %d patch(es), %d insert(s) patched, %d rebuild(s), %d index hit(s), %d \
-     component(s)@ solve: last %.2f ms, total %.2f ms@ planner: %d shard(s) solved, \
-     %d exact, %d approximate, %d cached / %d resolved@ journal: %d record(s) \
+     %d patch(es), %d insert(s) patched, %d rebuild(s), %d retarget(s), %d \
+     component(s)@ tombstones: ratio %.3f, %d compaction(s)@ solve: last %.2f ms, \
+     total %.2f ms@ planner: %d shard(s) solved, %d exact, %d approximate, %d \
+     cached / %d resolved (%d lifetime cache hit(s))@ journal: %d record(s) \
      appended, %d recovered@]"
     s.rounds s.applies s.tuples_deleted s.tuples_inserted s.patches s.inserts_patched
-    s.rebuilds s.index_hits s.components s.last_solve_ms s.total_solve_ms
-    s.shards_solved s.shards_exact s.shards_approx s.shards_cached
-    s.shards_resolved s.journal_records s.recovered_records
+    s.rebuilds s.index_retargets s.components s.tombstone_ratio s.compactions
+    s.last_solve_ms s.total_solve_ms s.shards_solved s.shards_exact s.shards_approx
+    s.shards_cached s.shards_resolved s.shard_cache_hits s.journal_records
+    s.recovered_records
+
+(* The typed reporting surface: [Stats.t] is an alias of the flat record
+   (field access through either path), plus the one JSON encoding every
+   front end shares. The deprecated spellings [index_hits] (pre-rename)
+   and [cache_hits] (pre-shard-cache) are emitted alongside
+   [index_retargets] for one release so existing consumers keep
+   parsing. *)
+module Stats = struct
+  type t = stats = {
+    rounds : int;
+    applies : int;
+    tuples_deleted : int;
+    tuples_inserted : int;
+    patches : int;
+    inserts_patched : int;
+    rebuilds : int;
+    index_retargets : int;
+    last_solve_ms : float;
+    total_solve_ms : float;
+    journal_records : int;
+    recovered_records : int;
+    components : int;
+    shards_solved : int;
+    shards_exact : int;
+    shards_approx : int;
+    shards_cached : int;
+    shards_resolved : int;
+    shard_cache_hits : int;
+    tombstone_ratio : float;
+    compactions : int;
+  }
+
+  let zero = zero_stats
+  let pp = pp_stats
+
+  let to_json (s : t) =
+    D.Report.Obj
+      [
+        ("rounds", D.Report.Int s.rounds);
+        ("applies", D.Report.Int s.applies);
+        ("tuples_deleted", D.Report.Int s.tuples_deleted);
+        ("tuples_inserted", D.Report.Int s.tuples_inserted);
+        ("patches", D.Report.Int s.patches);
+        ("inserts_patched", D.Report.Int s.inserts_patched);
+        ("rebuilds", D.Report.Int s.rebuilds);
+        ("index_retargets", D.Report.Int s.index_retargets);
+        (* deprecated aliases of index_retargets, kept one release *)
+        ("index_hits", D.Report.Int s.index_retargets);
+        ("cache_hits", D.Report.Int s.index_retargets);
+        ("last_solve_ms", D.Report.Raw (Printf.sprintf "%.3f" s.last_solve_ms));
+        ("total_solve_ms", D.Report.Raw (Printf.sprintf "%.3f" s.total_solve_ms));
+        ("journal_records", D.Report.Int s.journal_records);
+        ("recovered_records", D.Report.Int s.recovered_records);
+        ("components", D.Report.Int s.components);
+        ("shards_solved", D.Report.Int s.shards_solved);
+        ("shards_exact", D.Report.Int s.shards_exact);
+        ("shards_approx", D.Report.Int s.shards_approx);
+        ("shards_cached", D.Report.Int s.shards_cached);
+        ("shards_resolved", D.Report.Int s.shards_resolved);
+        ("shard_cache_hits", D.Report.Int s.shard_cache_hits);
+        ( "tombstone_ratio",
+          D.Report.Raw (Printf.sprintf "%.3f" s.tombstone_ratio) );
+        ("compactions", D.Report.Int s.compactions);
+      ]
+end
 
 type plan = {
   requests : D.Delta_request.t list;
@@ -95,6 +168,11 @@ type t = {
   algorithms : string list option;
   plan_solver : bool;
   budget_ms : float option;
+  compact_threshold : float;
+      (* tombstone-ratio trigger for amortized compaction; ≤ 0 forces
+         the eager regime (every delete compacts inline, the pre-PR-7
+         behaviour, bit-identical by [Arena.compact]'s differential
+         property) *)
   base_db : R.Instance.t;
   journal_path : string option;
   pool : D.Par.Pool.t;
@@ -106,21 +184,24 @@ type t = {
   mutable dirty : dirty;
 }
 
+let lazy_tombstones t = t.compact_threshold > 0.0
+
 (* the baseline index always has ΔV = ∅: requests re-target it per round
    via [with_deletions] without disturbing the live copy. Built exactly
    once, in [create] — every mutation afterwards patches it. *)
 let index_of t =
-  t.stats <- { t.stats with index_hits = t.stats.index_hits + 1 };
+  t.stats <- { t.stats with index_retargets = t.stats.index_retargets + 1 };
   t.index
 
 (* ---- dirty-component tracking (the shard cache's invalidation) ----
 
    The flags live over component ids, and component ids are canonical
-   (first appearance in ascending sid order) — so any delta can renumber
-   even untouched components. Each stage below walks the same sid
-   correspondence the arena patch itself used ([Arena.delete] compacts
-   order-preservingly, [Arena.extend] merges two sorted runs) and
-   carries each flag from its old component id to its new one. *)
+   (first appearance in ascending live sid order) — so any delta can
+   renumber even untouched components. Each stage below walks the same
+   sid correspondence the arena patch itself used and carries each flag
+   from its old component id to its new one. Tombstone deltas share the
+   physical arrays (the correspondence is the identity over live slots);
+   gather/merge deltas walk the compaction or sorted-run-merge mapping. *)
 
 module B = Setcover.Bitset
 
@@ -129,26 +210,46 @@ module B = Setcover.Bitset
    the flag travels per member), the rest keep their state under the
    renumbering *)
 let dirty_after_delete ~(before : D.Arena.t) ~(p : D.Arena.partition) ~dd
-    ~(p' : D.Arena.partition) flags =
-  let flags = B.copy flags in
-  let ns = D.Arena.num_stuples before in
-  let dead = B.create ns in
-  R.Stuple.Set.iter
-    (fun st ->
-      let sid = D.Arena.stuple_id before st in
-      B.add dead sid;
-      B.add flags p.D.Arena.comp_of_sid.(sid))
-    dd;
-  let out = B.create p'.D.Arena.num_components in
-  let k = ref 0 in
-  for sid = 0 to ns - 1 do
-    if not (B.mem dead sid) then begin
-      if B.mem flags p.D.Arena.comp_of_sid.(sid) then
-        B.add out p'.D.Arena.comp_of_sid.(!k);
-      incr k
-    end
-  done;
-  out
+    ~(a' : D.Arena.t) ~(p' : D.Arena.partition) flags =
+  if before.D.Arena.stuples == a'.D.Arena.stuples then begin
+    (* tombstone delete: identity correspondence over the shared slots *)
+    let flags = B.copy flags in
+    R.Stuple.Set.iter
+      (fun st -> B.add flags p.D.Arena.comp_of_sid.(D.Arena.stuple_id before st))
+      dd;
+    let out = B.create p'.D.Arena.num_components in
+    let ns = D.Arena.num_stuples before in
+    for sid = 0 to ns - 1 do
+      if
+        (not (B.mem a'.D.Arena.dead_s sid))
+        && B.mem flags p.D.Arena.comp_of_sid.(sid)
+      then B.add out p'.D.Arena.comp_of_sid.(sid)
+    done;
+    out
+  end
+  else begin
+    (* gather walk: [a'] is compact; fold [dd] and any older tombstones
+       of [before] into one old-to-new correspondence *)
+    let flags = B.copy flags in
+    let ns = D.Arena.num_stuples before in
+    let dead = B.copy before.D.Arena.dead_s in
+    R.Stuple.Set.iter
+      (fun st ->
+        let sid = D.Arena.stuple_id before st in
+        B.add dead sid;
+        B.add flags p.D.Arena.comp_of_sid.(sid))
+      dd;
+    let out = B.create p'.D.Arena.num_components in
+    let k = ref 0 in
+    for sid = 0 to ns - 1 do
+      if not (B.mem dead sid) then begin
+        if B.mem flags p.D.Arena.comp_of_sid.(sid) then
+          B.add out p'.D.Arena.comp_of_sid.(!k);
+        incr k
+      end
+    done;
+    out
+  end
 
 (* after committing an insertion: surviving tuples carry their flag to
    their (possibly merged, possibly renumbered) component; an inserted
@@ -156,25 +257,58 @@ let dirty_after_delete ~(before : D.Arena.t) ~(p : D.Arena.partition) ~dd
    merged, since they all share the new id *)
 let dirty_after_insert ~(before : D.Arena.t) ~(p : D.Arena.partition)
     ~(after : D.Arena.t) ~(p' : D.Arena.partition) flags =
-  let out = B.create p'.D.Arena.num_components in
-  let ns = D.Arena.num_stuples before in
-  let ns' = D.Arena.num_stuples after in
-  let i = ref 0 in
-  for sid' = 0 to ns' - 1 do
-    if
-      !i < ns
-      && R.Stuple.equal before.D.Arena.stuples.(!i) after.D.Arena.stuples.(sid')
-    then begin
-      if B.mem flags p.D.Arena.comp_of_sid.(!i) then
-        B.add out p'.D.Arena.comp_of_sid.(sid');
-      incr i
-    end
-    else B.add out p'.D.Arena.comp_of_sid.(sid')
-  done;
-  out
+  if before.D.Arena.stuples == after.D.Arena.stuples then begin
+    (* resurrection: live-before slots keep their flag, newly-live slots
+       (dead before, live after) dirty their merged component *)
+    let out = B.create p'.D.Arena.num_components in
+    let ns = D.Arena.num_stuples after in
+    for sid = 0 to ns - 1 do
+      if not (B.mem after.D.Arena.dead_s sid) then
+        if B.mem before.D.Arena.dead_s sid then
+          B.add out p'.D.Arena.comp_of_sid.(sid)
+        else if B.mem flags p.D.Arena.comp_of_sid.(sid) then
+          B.add out p'.D.Arena.comp_of_sid.(sid)
+    done;
+    out
+  end
+  else begin
+    (* merge walk — requires [before] compact, which [apply_delta_raw]
+       guarantees by pre-compacting ahead of a merge-path extend *)
+    let out = B.create p'.D.Arena.num_components in
+    let ns = D.Arena.num_stuples before in
+    let ns' = D.Arena.num_stuples after in
+    let i = ref 0 in
+    for sid' = 0 to ns' - 1 do
+      if
+        !i < ns
+        && R.Stuple.equal before.D.Arena.stuples.(!i) after.D.Arena.stuples.(sid')
+      then begin
+        if B.mem flags p.D.Arena.comp_of_sid.(!i) then
+          B.add out p'.D.Arena.comp_of_sid.(sid');
+        incr i
+      end
+      else B.add out p'.D.Arena.comp_of_sid.(sid')
+    done;
+    out
+  end
 
 (* ---- raw state transitions (no journaling — the public ops and
    journal replay all commit through [apply_delta_raw]) ---- *)
+
+(* amortized compaction: gather the index's live slots (labels — and so
+   the component-keyed dirty flags and shard cache — survive untouched,
+   see [Arena.compact_partition]); counted in [compactions] *)
+let compact_index t =
+  let ix = t.index in
+  if D.Arena.tombstoned ix.arena then begin
+    t.index <-
+      {
+        ix with
+        arena = D.Arena.compact ix.arena;
+        partition = D.Arena.compact_partition ~before:ix.arena ix.partition;
+      };
+    t.stats <- { t.stats with compactions = t.stats.compactions + 1 }
+  end
 
 (* Apply a symmetric update, deletes first then inserts, each side
    patching the live index ([Provenance.delete]/[Arena.delete]/
@@ -184,7 +318,17 @@ let dirty_after_insert ~(before : D.Arena.t) ~(p : D.Arena.partition)
    are skipped (a tuple both deleted and re-inserted counts on both
    sides — a journalled no-op, not a conflict). The session state
    commits only after both patches succeed, so a [Key_violation] or
-   [Ambiguous_witness] raised mid-insert leaves it untouched. *)
+   [Ambiguous_witness] raised mid-insert leaves it untouched.
+
+   Two tombstone regimes ([compact_threshold]):
+   - eager (≤ 0): every delete compacts inline and every insert merges —
+     the pre-tombstone behaviour, bit-identical via [Arena.compact]'s
+     differential property. Inline compaction is not counted in
+     [compactions]: it is the round's own cost, not amortized work.
+   - lazy (> 0): deletes tombstone in place (O(touched) instead of
+     O(‖D‖ + ‖V‖)), inserts resurrect dead slots when they can, and the
+     index compacts only when the tombstone ratio crosses the threshold
+     (or a merge-path insert / checkpoint forces it). *)
 let apply_delta_raw t (delta : D.Delta.t) =
   let db = D.Matview.db t.mv in
   let dd =
@@ -201,7 +345,10 @@ let apply_delta_raw t (delta : D.Delta.t) =
       ((ix.prov, ix.arena, ix.partition), t.dirty, false)
     else begin
       let prov' = D.Provenance.delete ix.prov dd in
-      let arena' = D.Arena.delete ix.arena ~dd prov' in
+      let arena' =
+        let tombstoned = D.Arena.delete ix.arena ~dd prov' in
+        if lazy_tombstones t then tombstoned else D.Arena.compact tombstoned
+      in
       let partition' =
         D.Arena.partition_delete ix.partition ~before:ix.arena ~dd arena'
       in
@@ -210,7 +357,7 @@ let apply_delta_raw t (delta : D.Delta.t) =
         | All -> All
         | Flags f ->
           Flags
-            (dirty_after_delete ~before:ix.arena ~p:ix.partition ~dd
+            (dirty_after_delete ~before:ix.arena ~p:ix.partition ~dd ~a':arena'
                ~p':partition' f)
       in
       ((prov', arena', partition'), dirty, true)
@@ -221,6 +368,19 @@ let apply_delta_raw t (delta : D.Delta.t) =
     else begin
       let prov' =
         R.Stuple.Set.fold (fun st p -> D.Provenance.insert p st) ins prov
+      in
+      (* a merge-path extend of a tombstoned arena would compact inside
+         [Arena.extend], desynchronizing the partition and flags from
+         the physical layout — compact both sides first instead (labels
+         survive, so the flags carry over as-is) *)
+      let arena, partition =
+        if
+          D.Arena.tombstoned arena
+          && not (D.Arena.can_extend_in_place arena ~ins prov')
+        then
+          ( D.Arena.compact arena,
+            D.Arena.compact_partition ~before:arena partition )
+        else (arena, partition)
       in
       let arena' = D.Arena.extend arena ~ins prov' in
       let partition' = D.Arena.partition_insert partition ~before:arena arena' in
@@ -249,6 +409,12 @@ let apply_delta_raw t (delta : D.Delta.t) =
       inserts_patched = t.stats.inserts_patched + R.Stuple.Set.cardinal ins;
       components = partition.D.Arena.num_components;
     };
+  (* amortized trigger, off the per-round critical path until the dead
+     fraction actually matters *)
+  if
+    lazy_tombstones t
+    && D.Arena.tombstone_ratio t.index.arena > t.compact_threshold
+  then compact_index t;
   { D.Delta.deletes = dd; inserts = ins }
 
 (* returns the subset actually deleted (tuples already gone are skipped) *)
@@ -273,11 +439,20 @@ let journal_append t record =
     t.stats <- { t.stats with journal_records = t.stats.journal_records + 1 }
 
 let create ?weights ?exact_threshold ?algorithms ?(plan = false) ?domains
-    ?budget_ms ?journal ?(recover = false) ?(shard_cache = 512) db queries =
+    ?budget_ms ?compact_threshold ?journal ?(recover = false)
+    ?(shard_cache = 512) db queries =
   let problem = D.Problem.make ~db ~queries ~deletions:[] ?weights () in
   let prov = D.Provenance.build problem in
   let arena = D.Arena.build prov in
   let partition = D.Arena.partition arena in
+  (* plan sessions default to lazy tombstones: the shard pipeline skips
+     dead slots natively, so deltas stay sublinear. Flat sessions default
+     to eager — the whole-instance portfolio wants a compact arena every
+     round anyway, so tombstoning would only move the same work after the
+     commit. Both are overridable. *)
+  let compact_threshold =
+    match compact_threshold with Some x -> x | None -> if plan then 0.5 else 0.0
+  in
   let t =
     {
       queries;
@@ -286,6 +461,7 @@ let create ?weights ?exact_threshold ?algorithms ?(plan = false) ?domains
       algorithms;
       plan_solver = plan;
       budget_ms;
+      compact_threshold;
       base_db = db;
       journal_path = journal;
       journal = None;
@@ -322,7 +498,20 @@ let create ?weights ?exact_threshold ?algorithms ?(plan = false) ?domains
 let db t = D.Matview.db t.mv
 let view t name = D.Matview.view t.mv name
 let matview t = t.mv
-let stats t = t.stats
+
+(* the two derived fields are snapshots of live state, stamped at read
+   time: the planner cache owns the hit counter, the arena the ratio *)
+let stats t =
+  {
+    t.stats with
+    shard_cache_hits =
+      (match t.shard_cache with
+      | None -> 0
+      | Some c -> D.Planner.cache_hits c);
+    tombstone_ratio = D.Arena.tombstone_ratio t.index.arena;
+  }
+
+let compact t = compact_index t
 
 let index t =
   let ix = index_of t in
@@ -373,6 +562,13 @@ let request ?budget_ms t requests =
         report
       end
       else
+        (* the flat portfolio iterates the physical arrays, so a
+           tombstoned index must compact for this round's solve (the
+           session index itself stays tombstoned; flat sessions default
+           to eager compaction anyway) *)
+        let arena' =
+          if D.Arena.tombstoned arena' then D.Arena.compact arena' else arena'
+        in
         let r =
           D.Portfolio.solutions_report ?exact_threshold:t.exact_threshold
             ?only:t.algorithms ?budget_ms ~pool:t.pool arena'
@@ -451,6 +647,10 @@ let apply_delta t delta =
   applied
 
 let checkpoint t =
+  (* a checkpoint is the durable summary of the session so far — fold
+     the tombstones away first so the on-disk baseline corresponds to a
+     compact index and recovery replays onto the same physical layout *)
+  compact_index t;
   match t.journal_path with
   | None -> ()
   | Some path ->

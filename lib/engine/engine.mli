@@ -13,14 +13,19 @@
     - {!apply} / {!delete} / {!insert} / {!apply_delta} all commit
       through one symmetric transition on a {!Deleprop.Delta.t}:
       deletions {e patch} the index ([Provenance.delete] /
-      [Arena.delete]: killed rows drop out, ids compact in place) and
+      [Arena.delete]: killed rows tombstone in place, no id moves) and
       insertions patch it too ([Provenance.insert] / [Arena.extend]:
-      gained rows splice in by delta evaluation, no other id moves) —
-      the index is built exactly once, in {!create}, and the component
-      partition stays live across both sides ([Arena.partition_delete]
-      splits, [Arena.partition_insert] merges). Every patch is counted
-      in {!stats} ([patches] / [inserts_patched]); [rebuilds] stays 1
-      for the whole session.
+      gained rows resurrect dead slots or splice in by delta
+      evaluation) — the index is built exactly once, in {!create}, and
+      the component partition stays live across both sides
+      ([Arena.partition_delete] splits, [Arena.partition_insert]
+      merges). Every patch is counted in {!stats} ([patches] /
+      [inserts_patched]); [rebuilds] stays 1 for the whole session.
+      Under the lazy tombstone regime (see {!create}'s
+      [compact_threshold]) dead slots accumulate across rounds and the
+      engine compacts ({!Deleprop.Arena.compact}) only when the
+      tombstone ratio crosses the threshold — amortized O(1) slot
+      movement per round instead of O(‖index‖) per delete.
 
     The session is {e resilient}: rounds run under an optional time
     budget with graceful degradation (see {!Deleprop.Portfolio}), solver
@@ -49,9 +54,11 @@ type stats = {
                               index (never by invalidate-and-rebuild) *)
   rebuilds : int;         (** full index builds — 1 for the whole session
                               (the one in {!create}); nothing invalidates *)
-  index_hits : int;       (** operations served by the live index (named
-                              [cache_hits] before the shard cache existed;
-                              the CLI's JSON still emits both spellings) *)
+  index_retargets : int;  (** operations served by re-targeting the live
+                              index (named [index_hits], and [cache_hits]
+                              before the shard cache existed; the JSON
+                              encoding still emits both deprecated
+                              spellings for one release) *)
   last_solve_ms : float;  (** wall time of the last round (patch + portfolio) *)
   total_solve_ms : float; (** cumulative round wall time *)
   journal_records : int;  (** records appended to the journal this session *)
@@ -66,7 +73,57 @@ type stats = {
                               [shard_cache]) *)
   shards_resolved : int;  (** ... actually re-solved — [shards_cached +
                               shards_resolved = shards_solved] *)
+  shard_cache_hits : int; (** the shard cache's lifetime hit counter
+                              ({!Deleprop.Planner.cache_hits}), read at
+                              {!stats} time; 0 without a cache *)
+  tombstone_ratio : float;(** dead slots / total slots in the live arena,
+                              read at {!stats} time — 0.0 right after a
+                              compaction (and always, under the eager
+                              regime) *)
+  compactions : int;      (** explicit index compactions: threshold
+                              triggers, {!checkpoint}s and {!compact}
+                              calls (eager-regime inline compaction is
+                              not counted — it is part of the delete
+                              itself) *)
 }
+
+(** The typed reporting surface. [Stats.t] is an alias of {!stats} (the
+    same record — field access works through either path); what it adds
+    is the one JSON encoding every front end shares, so the CLI's
+    [--json] output and any embedding application serialize stats
+    identically. {!Stats.to_json} emits every field above, spelling
+    floats with 3 decimals, plus the deprecated aliases [index_hits] and
+    [cache_hits] (both carrying [index_retargets]' value) for one
+    release. *)
+module Stats : sig
+  type t = stats = {
+    rounds : int;
+    applies : int;
+    tuples_deleted : int;
+    tuples_inserted : int;
+    patches : int;
+    inserts_patched : int;
+    rebuilds : int;
+    index_retargets : int;
+    last_solve_ms : float;
+    total_solve_ms : float;
+    journal_records : int;
+    recovered_records : int;
+    components : int;
+    shards_solved : int;
+    shards_exact : int;
+    shards_approx : int;
+    shards_cached : int;
+    shards_resolved : int;
+    shard_cache_hits : int;
+    tombstone_ratio : float;
+    compactions : int;
+  }
+
+  val zero : t
+  val pp : Format.formatter -> t -> unit
+  val to_json : t -> Deleprop.Report.t
+end
 
 (** A solved round: the requests it answered, the ranked feasible
     solutions (cheapest first), and the round's resilience report —
@@ -107,6 +164,22 @@ type plan = {
     [budget_ms] arms every round with a wall-clock deadline (overridable
     per {!request}).
 
+    [compact_threshold] picks the tombstone regime. [<= 0.0]: {e eager}
+    — every committed delete compacts the index inline, reproducing the
+    pre-tombstone behaviour bit-for-bit. [> 0.0]: {e lazy} — deletes
+    tombstone slots in place ({!Deleprop.Arena.delete}), inserts
+    resurrect dead slots when they can
+    ({!Deleprop.Arena.can_extend_in_place}), and the engine compacts
+    only when {!Deleprop.Arena.tombstone_ratio} exceeds the threshold —
+    per-round commit cost proportional to the delta, not the index. The
+    two regimes are observationally identical (solutions, views,
+    fingerprints, recovery — [test/test_tombstone.ml] is the
+    differential proof); only wall-clock and the [tombstone_ratio] /
+    [compactions] stats differ. Default: [0.5] with [~plan:true]
+    (the planner's shard pipeline skips dead slots natively), [0.0]
+    without (the flat portfolio would pay a compaction per round
+    anyway).
+
     [journal] makes committed operations durable in an append-only log
     at that path. With [recover] (default [false]) an existing journal
     is replayed on top of [db] — a torn final record (killed mid-write)
@@ -134,6 +207,7 @@ val create :
   ?plan:bool ->
   ?domains:int ->
   ?budget_ms:float ->
+  ?compact_threshold:float ->
   ?journal:string ->
   ?recover:bool ->
   ?shard_cache:int ->
@@ -183,11 +257,23 @@ val insert_all : t -> Relational.Stuple.Set.t -> unit
     and nothing is journaled. *)
 val apply_delta : t -> Deleprop.Delta.t -> Deleprop.Delta.t
 
+(** Compact the live index now: drop tombstoned slots from the arena
+    and re-gather the partition ({!Deleprop.Arena.compact} /
+    {!Deleprop.Arena.compact_partition} — labels and dirty flags
+    survive). No-op when the index has no tombstones. Counted in
+    [stats.compactions]. The engine calls this itself when the
+    tombstone ratio crosses [compact_threshold] and before every
+    {!checkpoint}; exposing it lets an embedding application compact at
+    its own quiet points. *)
+val compact : t -> unit
+
 (** Compact the journal: atomically rewrite it as the minimal diff
     between the database {!create} was given and the current one — a
     single symmetric [Delta] record (deletes replay before inserts, so
     key updates land cleanly). Recovery cost stops growing with session
-    length. No-op for journal-less sessions. *)
+    length. No-op for journal-less sessions. Compacts the live index
+    first ({!compact}) so the durable baseline corresponds to the
+    compact form. *)
 val checkpoint : t -> unit
 
 val db : t -> Relational.Instance.t
@@ -200,16 +286,23 @@ val matview : t -> Deleprop.Matview.t
 
 (** The session's live baseline index (ΔV = ∅) — built once in
     {!create}, patched by every commit since; what the differential
-    tests compare against scratch construction. *)
+    tests compare against scratch construction. Under the lazy regime
+    the returned arena may carry tombstones; [Arena.compact] of it is
+    bit-identical to a scratch build. *)
 val index : t -> Deleprop.Provenance.t * Deleprop.Arena.t
 
 (** The live index's component partition, maintained incrementally
     across commits ([Arena.partition_delete] splits on deletes,
     [Arena.partition_insert] merges on inserts) — bit-identical to
-    [Arena.partition (snd (index t))]. *)
+    [Arena.partition (snd (index t))] (over a tombstoned arena that
+    partition labels live slots only; dead slots carry [-1]). *)
 val partition : t -> Deleprop.Arena.partition
 
+(** A point-in-time snapshot: the session's counters, with
+    [shard_cache_hits] and [tombstone_ratio] read off the live cache and
+    arena at call time. *)
 val stats : t -> stats
+
 val pp_stats : Format.formatter -> stats -> unit
 
 (** Close the journal (if any) and shut the domain pool down. The engine

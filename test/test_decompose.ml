@@ -174,21 +174,33 @@ let prop_partition_random =
     (check_partition_family random_prov)
 
 (* random deletion streams: the patched partition must be bit-identical
-   to the scratch one after every commit *)
+   to the scratch one after every commit. Deletes tombstone
+   ([Arena.delete] never moves slots), so the stream exercises iterated
+   tombstoning: targets are drawn from the live slots, the patched
+   partition compares against a scratch partition of the tombstoned
+   arena, and the structural invariants are checked on the compacted
+   form (where every slot is live again) — [compact_partition] must
+   carry the patched labels over unchanged. *)
 let check_partition_stream family seed =
   let rng = rng (seed + 7919) in
   let prov = ref (family seed) in
   let arena = ref (D.Arena.build !prov) in
   let part = ref (D.Arena.partition !arena) in
   for _ = 1 to 6 do
-    let n = D.Arena.num_stuples !arena in
+    let live =
+      Array.of_list
+        (List.filter
+           (fun sid -> not (B.mem !arena.D.Arena.dead_s sid))
+           (List.init (D.Arena.num_stuples !arena) Fun.id))
+    in
+    let n = Array.length live in
     if n > 1 then begin
       let k = 1 + Random.State.int rng 2 in
       let dd = ref R.Stuple.Set.empty in
       for _ = 1 to k do
         dd :=
           R.Stuple.Set.add
-            !arena.D.Arena.stuples.(Random.State.int rng n)
+            !arena.D.Arena.stuples.(live.(Random.State.int rng n))
             !dd
       done;
       let prov' = D.Provenance.delete !prov !dd in
@@ -196,7 +208,11 @@ let check_partition_stream family seed =
       let part' = D.Arena.partition_delete !part ~before:!arena ~dd:!dd arena' in
       Alcotest.(check bool) "patched partition = scratch" true
         (partition_equal part' (D.Arena.partition arena'));
-      check_partition_invariants arena' part';
+      let compacted = D.Arena.compact arena' in
+      let cpart = D.Arena.compact_partition ~before:arena' part' in
+      check_partition_invariants compacted cpart;
+      Alcotest.(check bool) "compacted partition = scratch of compacted" true
+        (partition_equal cpart (D.Arena.partition compacted));
       prov := prov';
       arena := arena';
       part := part'

@@ -26,4 +26,5 @@ let () =
       ("resilience", Test_resilience.suite);
       ("decompose", Test_decompose.suite);
       ("shardcache", Test_shardcache.suite);
+      ("tombstone", Test_tombstone.suite);
     ]
