@@ -750,6 +750,80 @@ let bench_deltafloor =
          ("pivot_160", pivot_scale 160);
        ])
 
+(* rewarm: what a durable shard-cache snapshot buys at recovery time.
+   A seeding session (run once, at init) solves the standing workload —
+   filling the shard cache — then commits one component-confined delta
+   and leaves its journal and snapshot on disk. The timed variants
+   re-open that session and run the first post-recovery round:
+   `recover_cold` replays the journal alone (a snapshot-less recovery
+   starts cold and re-solves every shard), `recover_warm` also installs
+   the snapshot, so the round re-solves only the dirty component and
+   splices every clean shard from the re-warmed cache (the equivalence
+   suite in test/test_rewarm.ml proves the answers bit-identical).
+   BENCH_rewarm.json tracks this group; the cold/warm gap is the
+   restart-to-first-answer saving EXPERIMENTS.md reports. *)
+let bench_rewarm =
+  let requests_of (p : D.Problem.t) =
+    D.Smap.fold
+      (fun name ts acc ->
+        if R.Tuple.Set.is_empty ts then acc
+        else D.Delta_request.make ~view:name (R.Tuple.Set.elements ts) :: acc)
+      p.D.Problem.deletions []
+  in
+  (* the shardcache group's dense forest: few components, each shard
+     carrying real solver work — the regime where warmth matters *)
+  let p =
+    let { Workload.Forest_family.problem; _ } =
+      Workload.Forest_family.generate ~rng:(rng 31)
+        { Workload.Forest_family.default with num_relations = 7;
+          tuples_per_relation = 40; num_queries = 5; max_path_len = 7;
+          deletion_fraction = 0.5 }
+    in
+    problem
+  in
+  let db = p.D.Problem.db and queries = p.D.Problem.queries in
+  let reqs = requests_of p in
+  let jpath =
+    Filename.concat (Filename.get_temp_dir_name ()) "deleprop_bench_rewarm.journal"
+  in
+  let spath = jpath ^ ".snap" in
+  (* the crashed session being recovered, seeded once: warm cache, one
+     dirty component, journal + snapshot on disk *)
+  let () =
+    let eng =
+      Engine.create ~plan:true ~domains:1 ~journal:jpath ~snapshot:spath
+        ~snapshot_every:1 db queries
+    in
+    (match Engine.request eng reqs with Ok _ -> () | Error _ -> assert false);
+    let part = Engine.partition eng in
+    let _, arena = Engine.index eng in
+    (match
+       Array.find_index (fun c -> c = 0) part.D.Arena.comp_of_sid
+     with
+    | Some sid ->
+      let s = R.Stuple.Set.singleton arena.D.Arena.stuples.(sid) in
+      ignore (Engine.apply_delta eng (D.Delta.make ~deletes:s ~inserts:s ()))
+    | None -> ());
+    Engine.close eng
+  in
+  (* recovery appends nothing and the round journals nothing, so the
+     on-disk session is bit-stable across timed invocations *)
+  let recover ?snapshot () =
+    let eng =
+      Engine.create ~plan:true ~domains:1 ~journal:jpath ?snapshot
+        ~recover:true db queries
+    in
+    (match Engine.request eng reqs with Ok _ -> () | Error _ -> assert false);
+    Engine.close eng
+  in
+  Test.make_grouped ~name:"rewarm"
+    [
+      Test.make ~name:"recover_cold_forest_40"
+        (Staged.stage (fun () -> recover ()));
+      Test.make ~name:"recover_warm_forest_40"
+        (Staged.stage (fun () -> recover ~snapshot:spath ()));
+    ]
+
 (* E21 scaling stages + parallel portfolio + SQL front end *)
 let bench_e21 =
   let biblio =
@@ -811,7 +885,7 @@ let all_tests =
     bench_e1; bench_e2; bench_e3; bench_e5; bench_e6; bench_e7; bench_e8; bench_e9;
     bench_e10; bench_e11; bench_e12; bench_e14; bench_e15; bench_e16; bench_e17;
     bench_e18; bench_arena; bench_engine; bench_mixed; bench_resilience; bench_decompose;
-    bench_shardcache; bench_deltafloor; bench_e21;
+    bench_shardcache; bench_deltafloor; bench_rewarm; bench_e21;
     bench_containment; bench_phase5;
     bench_substrate;
   ]

@@ -468,8 +468,7 @@ let request_strings (reqs : D.Delta_request.t list) =
 
 (* One round of the batch session as a [Report.t] — the per-round shape
    is unchanged from the hand-rolled encoder it replaces; the engine's
-   stats object now comes from [Engine.Stats.to_json] (which still emits
-   the deprecated [index_hits] / [cache_hits] aliases). *)
+   stats object comes from [Engine.Stats.to_json]. *)
 let batch_round_report (r : Engine.Script.round) =
   let solve_like ~op ~applies reqs =
     let p = r.Engine.Script.plan in
@@ -558,7 +557,8 @@ let batch_report_round (r : Engine.Script.round) =
   | None -> ()
 
 let batch db_path q_path rounds_path algos exact_threshold plan domains budget_ms
-    compact_threshold journal recover keep_going shard_cache json =
+    compact_threshold journal recover keep_going shard_cache snapshot
+    snapshot_every fsync segment_bytes json =
   let* db = load_db db_path in
   let* queries = load_queries ~schema:(R.Instance.schema db) q_path in
   let* ops = Engine.Script.parse_file rounds_path in
@@ -567,7 +567,8 @@ let batch db_path q_path rounds_path algos exact_threshold plan domains budget_m
     try
       Ok
         (Engine.create ?algorithms ?exact_threshold ~plan ?domains ?budget_ms
-           ?compact_threshold ?journal ~recover ?shard_cache db queries)
+           ?compact_threshold ?journal ~recover ?shard_cache ?snapshot
+           ?snapshot_every ~fsync ?segment_bytes db queries)
     with
     | Invalid_argument m -> Error m
     | Engine.Journal.Error e -> Error (Format.asprintf "%a" Engine.Journal.pp_error e)
@@ -764,24 +765,45 @@ let batch_cmd =
                  the JSON stats report shards_cached / shards_resolved and \
                  the cache's lifetime shard_cache_hits.")
   in
+  let snapshot =
+    Arg.(value & opt (some string) None & info [ "snapshot" ] ~docv:"PATH"
+           ~doc:"With --journal and --plan: persist the shard solution cache \
+                 to PATH (atomic, CRC-checked snapshots) so --recover starts \
+                 warm — the first post-recovery round splices untouched \
+                 components instead of re-solving them. A missing, torn or \
+                 corrupt snapshot degrades to a cold cache (reported in the \
+                 stats' snapshot object), never a failed recovery.")
+  in
+  let snapshot_every =
+    Arg.(value & opt (some int) None & info [ "snapshot-every" ] ~docv:"N"
+           ~doc:"Re-snapshot once N journal records accumulate past the last \
+                 snapshot (default 16; 0 = only at checkpoints).")
+  in
+  let fsync =
+    Arg.(value & flag & info [ "fsync" ]
+           ~doc:"Fsync the journal after every append (durability against \
+                 power loss, not just process death, at a per-append cost).")
+  in
+  let segment_bytes =
+    Arg.(value & opt (some int) None & info [ "segment-bytes" ] ~docv:"N"
+           ~doc:"Rotate the journal into sealed segments of about N bytes \
+                 (bounds the size of any single file a crash can tear).")
+  in
   let json =
     Arg.(value & flag & info [ "json" ]
-           ~doc:"Emit the session as one JSON object (schema_version-stamped). \
-                 (Deprecation note: the stats field index_retargets was \
-                 spelled index_hits, and cache_hits before that; both old \
-                 spellings are still emitted with the same value for one \
-                 release and will then disappear.)")
+           ~doc:"Emit the session as one JSON object (schema_version-stamped).")
   in
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Replay a scripted deletion session on the incremental engine")
     Term.(
       ret
-        (const (fun d q r a e p dm b ct jr rc k sc j ->
-             handle (batch d q r a e p dm b ct jr rc k sc j))
+        (const (fun d q r a e p dm b ct jr rc k sc sn se fs sb j ->
+             handle (batch d q r a e p dm b ct jr rc k sc sn se fs sb j))
         $ db_arg $ q_arg $ rounds $ algos $ exact_threshold $ plan $ domains
         $ budget_ms $ compact_threshold $ journal $ recover $ keep_going
-        $ shard_cache $ json))
+        $ shard_cache $ snapshot $ snapshot_every $ fsync $ segment_bytes
+        $ json))
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());

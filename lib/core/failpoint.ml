@@ -2,6 +2,7 @@ type action =
   | Raise
   | Delay_ms of int
   | Crash_after_bytes of int
+  | Corrupt_byte of int
 
 exception Injected of string
 
@@ -15,6 +16,7 @@ let parse_action name = function
       match (kind, int_of_string_opt arg) with
       | "delay", Some n when n >= 0 -> Delay_ms n
       | "crash_after_bytes", Some n when n >= 0 -> Crash_after_bytes n
+      | "corrupt_byte", Some n when n >= 0 -> Corrupt_byte n
       | _ ->
         invalid_arg
           (Printf.sprintf "Failpoint.parse: bad action %S for %S" s name))
@@ -46,9 +48,28 @@ let table : (string, action option) Hashtbl.t = Hashtbl.create 8
 let lock = Mutex.create ()
 let env_loaded = ref false
 
+(* Known site names: the static sites plus everything registered at
+   module-init time (each solver adapter registers its "solver.<name>"
+   site). [DELEPROP_FAILPOINTS] entries are validated against this set —
+   a misspelled name must fail loudly, not silently disarm the
+   injection. Programmatic {!set} registers its name, so test-local
+   sites keep working. *)
+let known : (string, unit) Hashtbl.t = Hashtbl.create 8
+
+let () =
+  List.iter
+    (fun n -> Hashtbl.replace known n ())
+    [
+      "journal.append"; "journal.rewrite"; "snapshot.write"; "snapshot.rename";
+      "snapshot.corrupt";
+    ]
+
 let with_lock f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let register name = with_lock (fun () -> Hashtbl.replace known name ())
+let names () = with_lock (fun () -> Hashtbl.fold (fun n () acc -> n :: acc) known [] |> List.sort compare)
 
 let load_env_locked () =
   if not !env_loaded then begin
@@ -58,11 +79,22 @@ let load_env_locked () =
     | Some spec ->
       List.iter
         (fun (name, action) ->
+          if not (Hashtbl.mem known name) then
+            invalid_arg
+              (Printf.sprintf
+                 "DELEPROP_FAILPOINTS: unknown failpoint %S (known: %s)" name
+                 (String.concat ", "
+                    (Hashtbl.fold (fun n () acc -> n :: acc) known []
+                    |> List.sort compare)));
           if not (Hashtbl.mem table name) then Hashtbl.replace table name (Some action))
         (parse spec)
   end
 
-let set name action = with_lock (fun () -> Hashtbl.replace table name (Some action))
+let set name action =
+  with_lock (fun () ->
+      Hashtbl.replace known name ();
+      Hashtbl.replace table name (Some action))
+
 let clear name = with_lock (fun () -> Hashtbl.replace table name None)
 
 let reset () =
@@ -77,6 +109,6 @@ let find name =
 
 let hit name =
   match find name with
-  | None | Some (Crash_after_bytes _) -> ()
+  | None | Some (Crash_after_bytes _) | Some (Corrupt_byte _) -> ()
   | Some Raise -> raise (Injected name)
   | Some (Delay_ms n) -> if n > 0 then Unix.sleepf (float_of_int n /. 1000.0)

@@ -112,4 +112,14 @@ let shard (a : Arena.t) (ps : Arena.proto_shard) =
 let equal = Int64.equal
 let compare = Int64.compare
 let to_hex fp = Printf.sprintf "%016Lx" fp
+
+(* inverse of [to_hex]: exactly 16 hex digits (Int64.of_string on a 0x
+   literal accepts the full unsigned range, wrapping into the sign bit) *)
+let of_hex s =
+  if String.length s <> 16 then None
+  else
+    match Int64.of_string_opt ("0x" ^ s) with
+    | Some fp when to_hex fp = String.lowercase_ascii s -> Some fp
+    | _ -> None
+
 let pp ppf fp = Format.pp_print_string ppf (to_hex fp)

@@ -39,4 +39,10 @@ val shard : Arena.t -> Arena.proto_shard -> t
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val to_hex : t -> string
+
+(** Inverse of {!to_hex}: parses exactly 16 lowercase/uppercase hex
+    digits, [None] on anything else. The snapshot codec round-trips
+    fingerprints through this pair. *)
+val of_hex : string -> t option
+
 val pp : Format.formatter -> t -> unit

@@ -92,6 +92,46 @@ let cache_clear c =
   Setcover.Lru.clear c.lru;
   c.last_bucket <- None
 
+(* ---- snapshot hooks (crash-consistent warm recovery) ----
+
+   A cache's observable state is plain data: the (fingerprint, entry)
+   bindings in recency order plus the four counters. The engine's
+   snapshot codec serializes exactly this pair and a recovered session
+   restores it, so a re-warmed cache is bit-identical to the live one it
+   was written from — including future eviction order and the lifetime
+   hit counters the stats report. *)
+
+type cache_stats = {
+  s_hits : int;
+  s_misses : int;
+  s_evictions : int;
+  s_last_bucket : int option;
+}
+
+let cache_stats c =
+  { s_hits = c.hits; s_misses = c.misses; s_evictions = c.evictions;
+    s_last_bucket = c.last_bucket }
+
+(* most-recently-used first ([Lru.fold] visits MRU first and cons
+   reverses, so rev restores visit order) *)
+let cache_entries c =
+  List.rev (Setcover.Lru.fold (fun fp e acc -> (fp, e) :: acc) c.lru [])
+
+(* [entries] MRU-first, as [cache_entries] returns them: adding in
+   reverse (LRU-first) rebuilds the same recency chain. Bindings beyond
+   the capacity simply evict in order, so restoring into a smaller cache
+   keeps the most recent ones. *)
+let cache_restore ?stats c entries =
+  Setcover.Lru.clear c.lru;
+  List.iter (fun (fp, e) -> Setcover.Lru.add c.lru fp e) (List.rev entries);
+  match stats with
+  | None -> ()
+  | Some s ->
+    c.hits <- s.s_hits;
+    c.misses <- s.s_misses;
+    c.evictions <- s.s_evictions;
+    c.last_bucket <- s.s_last_bucket
+
 (* The LowDeg wide-pruning test is [float_of_int width > threshold]
    over integer widths, so two thresholds with the same floor prune
    identically: the effective cutoff is ⌊t⌋ + 1 either way. *)

@@ -95,6 +95,21 @@ val pp_shard_decision : Format.formatter -> shard_decision -> unit
     cache per session, whose configuration is fixed at [create]. *)
 type cache
 
+(** One memoized shard answer — {e plain data}, exactly what splicing a
+    clean shard back needs (no arena, no closures): the engine's
+    snapshot codec serializes entries verbatim and a recovered session
+    restores them ({!cache_entries} / {!cache_restore}). *)
+type cache_entry = {
+  e_classification : classification;
+  e_winner : string;             (** algorithm of the memoized answer *)
+  e_deleted : Relational.Stuple.Set.t;
+  e_cost : float;
+  e_certificate : Solution.certificate;
+  e_forest : bool;               (** the shard arena's forest flag *)
+  e_threshold : float;
+      (** the parent √‖V‖ wide-pruning threshold at solve time *)
+}
+
 (** [create_cache ?capacity ()] — an empty cache holding at most
     [capacity] (default 512) shard answers. *)
 val create_cache : ?capacity:int -> unit -> cache
@@ -115,6 +130,35 @@ val cache_misses : cache -> int
 val cache_evictions : cache -> int
 
 val cache_clear : cache -> unit
+
+(** {2 Snapshot hooks}
+
+    A cache's observable state is plain data: the bindings in recency
+    order plus the counters. [Engine]'s crash-consistent snapshots
+    persist exactly this pair; restoring it rebuilds a cache
+    bit-identical to the one written — same future eviction order, same
+    lifetime counters, same bucket latch. *)
+
+(** The counter block, exported and restored alongside the entries. *)
+type cache_stats = {
+  s_hits : int;
+  s_misses : int;
+  s_evictions : int;
+  s_last_bucket : int option;
+      (** the √‖V‖ threshold-bucket latch ({!cache_evictions}) *)
+}
+
+val cache_stats : cache -> cache_stats
+
+(** Current bindings, most-recently-used first. *)
+val cache_entries : cache -> (Fingerprint.t * cache_entry) list
+
+(** Replace the cache's content with [entries] (MRU-first, as
+    {!cache_entries} returns them) and, when given, the counter block.
+    Entries beyond the cache's capacity evict in LRU order, so restoring
+    into a smaller cache keeps the most recent answers. *)
+val cache_restore :
+  ?stats:cache_stats -> cache -> (Fingerprint.t * cache_entry) list -> unit
 
 (** Solve via shatter-and-plan. Every round with ≥ 1 active component
     routes through the shard pipeline — including the single-component

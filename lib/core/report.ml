@@ -16,11 +16,13 @@ type t =
   | Obj of (string * t) list
   | Raw of string
 
-(* version 2: unified Engine.Stats encoding (index_retargets,
-   shard_cache_hits, tombstone_ratio, compactions), schema_version
-   stamped on solve/batch reports. Version 1 is the implicit pre-PR-7
-   ad-hoc encoding. *)
-let schema_version = 2
+(* version 3: the deprecated index_hits / cache_hits alias fields are
+   gone (index_retargets is the only spelling) and stats gained the
+   snapshot status object. Version 2 was the unified Engine.Stats
+   encoding (index_retargets, shard_cache_hits, tombstone_ratio,
+   compactions) with schema_version stamped on solve/batch reports;
+   version 1 the implicit pre-PR-7 ad-hoc encoding. *)
+let schema_version = 3
 
 let escape s =
   let b = Buffer.create (String.length s + 8) in

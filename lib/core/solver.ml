@@ -48,6 +48,9 @@ let name_of (module M : S) = M.name
 
 let register m =
   let n = name_of m in
+  (* [run] executes the "solver.<name>" failpoint, so every registered
+     solver's site is a legal DELEPROP_FAILPOINTS name *)
+  Failpoint.register ("solver." ^ n);
   if List.exists (fun m' -> String.equal (name_of m') n) !registry then
     registry := List.map (fun m' -> if String.equal (name_of m') n then m else m') !registry
   else registry := !registry @ [ m ]

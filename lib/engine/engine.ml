@@ -5,6 +5,38 @@ let src = Logs.Src.create "deleprop.engine" ~doc:"Incremental propagation engine
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* Did the shard cache survive the crash? Stamped once, at [create];
+   [Degraded] carries the typed reason re-warming fell through — always
+   a warning, never a failed recovery. *)
+type snapshot_status =
+  | Cold
+  | Warm of { entries : int; dropped : int }
+  | Degraded of Snapshot.warning
+
+let pp_snapshot_status ppf = function
+  | Cold -> Format.pp_print_string ppf "cold"
+  | Warm { entries; dropped } ->
+    Format.fprintf ppf "warm (%d entr%s re-warmed%s)" entries
+      (if entries = 1 then "y" else "ies")
+      (if dropped = 0 then "" else Printf.sprintf ", %d dropped" dropped)
+  | Degraded w -> Format.fprintf ppf "degraded: %a" Snapshot.pp_warning w
+
+let snapshot_status_to_json = function
+  | Cold -> D.Report.Obj [ ("state", D.Report.String "cold") ]
+  | Warm { entries; dropped } ->
+    D.Report.Obj
+      [
+        ("state", D.Report.String "warm");
+        ("entries", D.Report.Int entries);
+        ("dropped", D.Report.Int dropped);
+      ]
+  | Degraded w ->
+    D.Report.Obj
+      [
+        ("state", D.Report.String "degraded");
+        ("reason", D.Report.String (Snapshot.warning_label w));
+      ]
+
 type stats = {
   rounds : int;
   applies : int;
@@ -27,6 +59,7 @@ type stats = {
   shard_cache_hits : int;
   tombstone_ratio : float;
   compactions : int;
+  snapshot : snapshot_status;
 }
 
 let zero_stats =
@@ -52,6 +85,7 @@ let zero_stats =
     shard_cache_hits = 0;
     tombstone_ratio = 0.0;
     compactions = 0;
+    snapshot = Cold;
   }
 
 let pp_stats ppf s =
@@ -61,19 +95,18 @@ let pp_stats ppf s =
      component(s)@ tombstones: ratio %.3f, %d compaction(s)@ solve: last %.2f ms, \
      total %.2f ms@ planner: %d shard(s) solved, %d exact, %d approximate, %d \
      cached / %d resolved (%d lifetime cache hit(s))@ journal: %d record(s) \
-     appended, %d recovered@]"
+     appended, %d recovered@ snapshot: %a@]"
     s.rounds s.applies s.tuples_deleted s.tuples_inserted s.patches s.inserts_patched
     s.rebuilds s.index_retargets s.components s.tombstone_ratio s.compactions
     s.last_solve_ms s.total_solve_ms s.shards_solved s.shards_exact s.shards_approx
     s.shards_cached s.shards_resolved s.shard_cache_hits s.journal_records
-    s.recovered_records
+    s.recovered_records pp_snapshot_status s.snapshot
 
 (* The typed reporting surface: [Stats.t] is an alias of the flat record
    (field access through either path), plus the one JSON encoding every
-   front end shares. The deprecated spellings [index_hits] (pre-rename)
-   and [cache_hits] (pre-shard-cache) are emitted alongside
-   [index_retargets] for one release so existing consumers keep
-   parsing. *)
+   front end shares. The deprecated alias spellings [index_hits] /
+   [cache_hits] served their one promised release (schema version 2) and
+   are gone as of version 3 — [index_retargets] is the only name. *)
 module Stats = struct
   type t = stats = {
     rounds : int;
@@ -97,6 +130,7 @@ module Stats = struct
     shard_cache_hits : int;
     tombstone_ratio : float;
     compactions : int;
+    snapshot : snapshot_status;
   }
 
   let zero = zero_stats
@@ -113,9 +147,6 @@ module Stats = struct
         ("inserts_patched", D.Report.Int s.inserts_patched);
         ("rebuilds", D.Report.Int s.rebuilds);
         ("index_retargets", D.Report.Int s.index_retargets);
-        (* deprecated aliases of index_retargets, kept one release *)
-        ("index_hits", D.Report.Int s.index_retargets);
-        ("cache_hits", D.Report.Int s.index_retargets);
         ("last_solve_ms", D.Report.Raw (Printf.sprintf "%.3f" s.last_solve_ms));
         ("total_solve_ms", D.Report.Raw (Printf.sprintf "%.3f" s.total_solve_ms));
         ("journal_records", D.Report.Int s.journal_records);
@@ -130,6 +161,7 @@ module Stats = struct
         ( "tombstone_ratio",
           D.Report.Raw (Printf.sprintf "%.3f" s.tombstone_ratio) );
         ("compactions", D.Report.Int s.compactions);
+        ("snapshot", snapshot_status_to_json s.snapshot);
       ]
 end
 
@@ -175,8 +207,18 @@ type t = {
          property) *)
   base_db : R.Instance.t;
   journal_path : string option;
+  snapshot_path : string option;
+  snapshot_every : int;
+      (* amortized snapshot policy: re-snapshot once this many records
+         accumulate past the last one; ≤ 0 = checkpoint-only *)
+  fsync : bool;
+  segment_bytes : int option;
   pool : D.Par.Pool.t;
   mutable journal : Journal.writer option;
+  mutable journal_len : int;
+      (* records currently in the journal = the position a snapshot
+         written now would record *)
+  mutable last_snapshot_len : int;
   mutable mv : D.Matview.t;
   mutable index : index;
   mutable stats : stats;
@@ -431,16 +473,53 @@ let replay_record t = function
   | Journal.Delta { deletes; inserts } ->
     ignore (apply_delta_raw t (D.Delta.make ~deletes ~inserts ()))
 
+(* Persist the shard cache's plain-data state, coordinates first: the
+   journal position, the arena's canonical fingerprint, and the current
+   dirty flags. [Snapshot.write] is atomic (temp + fsync + rename), so a
+   crash mid-write leaves the previous snapshot intact — and stale
+   coordinates merely degrade the next recovery to a cold cache. *)
+let write_snapshot t =
+  match (t.snapshot_path, t.shard_cache) with
+  | Some spath, Some c ->
+    let n = t.index.partition.D.Arena.num_components in
+    let dirty =
+      match t.dirty with
+      | All -> List.init n (fun i -> i)
+      | Flags f -> List.rev (B.fold (fun i acc -> i :: acc) f [])
+    in
+    Snapshot.write spath
+      {
+        Snapshot.position = t.journal_len;
+        arena_fp = D.Fingerprint.arena t.index.arena;
+        components = n;
+        dirty;
+        stats = D.Planner.cache_stats c;
+        entries = D.Planner.cache_entries c;
+      };
+    t.last_snapshot_len <- t.journal_len
+  | _ -> ()
+
 let journal_append t record =
   match t.journal with
   | None -> ()
   | Some w ->
     Journal.append w record;
-    t.stats <- { t.stats with journal_records = t.stats.journal_records + 1 }
+    t.journal_len <- t.journal_len + 1;
+    t.stats <- { t.stats with journal_records = t.stats.journal_records + 1 };
+    if
+      t.snapshot_path <> None && t.snapshot_every > 0
+      && t.journal_len - t.last_snapshot_len >= t.snapshot_every
+    then write_snapshot t
 
 let create ?weights ?exact_threshold ?algorithms ?(plan = false) ?domains
     ?budget_ms ?compact_threshold ?journal ?(recover = false)
-    ?(shard_cache = 512) db queries =
+    ?(shard_cache = 512) ?snapshot ?(snapshot_every = 16) ?(fsync = false)
+    ?segment_bytes db queries =
+  (match (snapshot, journal) with
+  | Some _, None ->
+    invalid_arg "Engine.create: ~snapshot requires ~journal (a snapshot is \
+                 a position in a journal)"
+  | _ -> ());
   let problem = D.Problem.make ~db ~queries ~deletions:[] ?weights () in
   let prov = D.Provenance.build problem in
   let arena = D.Arena.build prov in
@@ -464,7 +543,13 @@ let create ?weights ?exact_threshold ?algorithms ?(plan = false) ?domains
       compact_threshold;
       base_db = db;
       journal_path = journal;
+      snapshot_path = snapshot;
+      snapshot_every;
+      fsync;
+      segment_bytes;
       journal = None;
+      journal_len = 0;
+      last_snapshot_len = 0;
       pool = D.Par.Pool.create ?domains ();
       mv = D.Matview.of_views db queries prov.D.Provenance.views;
       index = { prov; arena; partition };
@@ -483,16 +568,105 @@ let create ?weights ?exact_threshold ?algorithms ?(plan = false) ?domains
   (match journal with
   | None -> ()
   | Some path ->
-    if not recover && Sys.file_exists path then Sys.remove path;
+    if not recover then begin
+      Journal.remove path;
+      Option.iter Snapshot.remove snapshot
+    end;
+    (* The snapshot candidate, loaded before replay (cheap; plain data).
+       Any load failure is a typed warning and a cold cache — never a
+       failed recovery. *)
+    let snap =
+      match snapshot with
+      | Some spath when recover -> (
+        match Snapshot.load spath with
+        | Ok (s, dropped) -> Some (s, dropped)
+        | Error w ->
+          t.stats <- { t.stats with snapshot = Degraded w };
+          Log.warn (fun m ->
+              m "snapshot %s: %a — starting cold" spath Snapshot.pp_warning w);
+          None)
+      | _ -> None
+    in
+    (* A snapshot installs when its coordinates — journal position,
+       partition size, canonical arena fingerprint — match the replayed
+       state at that position. The fingerprint is tombstone/compaction
+       invariant, so physical-layout differences between the crashed
+       process and this replay don't matter. *)
+    let install (s : Snapshot.t) dropped =
+      match t.shard_cache with
+      | None -> false
+      | Some c ->
+        let p = t.index.partition in
+        if
+          s.Snapshot.components = p.D.Arena.num_components
+          && D.Fingerprint.equal s.Snapshot.arena_fp
+               (D.Fingerprint.arena t.index.arena)
+        then begin
+          D.Planner.cache_restore ~stats:s.Snapshot.stats c s.Snapshot.entries;
+          let f = B.create p.D.Arena.num_components in
+          List.iter
+            (fun cid ->
+              if cid >= 0 && cid < p.D.Arena.num_components then B.add f cid)
+            s.Snapshot.dirty;
+          t.dirty <- Flags f;
+          t.stats <-
+            {
+              t.stats with
+              snapshot =
+                Warm { entries = List.length s.Snapshot.entries; dropped };
+            };
+          true
+        end
+        else false
+    in
     (match Journal.load ~repair:true path with
     | Error e -> raise (Journal.Error e)
     | Ok records ->
-      List.iter (replay_record t) records;
-      t.stats <- { t.stats with recovered_records = List.length records };
+      let installed = ref false in
+      (* install mid-replay, at exactly the position the snapshot was
+         written; the tail records then remap the restored dirty flags
+         through [apply_delta_raw] like any live delta *)
+      List.iteri
+        (fun i record ->
+          (match snap with
+          | Some (s, dropped) when (not !installed) && i = s.Snapshot.position
+            ->
+            installed := install s dropped
+          | _ -> ());
+          replay_record t record)
+        records;
+      let n = List.length records in
+      t.journal_len <- n;
+      (match snap with
+      | Some (s, dropped) when not !installed ->
+        (* position = n: the snapshot sits at the journal tip (the
+           common kill-mid-append shape). Any other position is tried
+           once more against the fully replayed state — that salvages
+           the checkpoint crash window between the snapshot rename and
+           the journal mark, where the recorded position describes a
+           journal that was never written but the content still matches
+           the end of the old one. *)
+        installed := install s dropped;
+        if !installed then t.last_snapshot_len <- n
+        else begin
+          t.stats <- { t.stats with snapshot = Degraded Snapshot.Stale };
+          Log.warn (fun m ->
+              m "snapshot %s: %a — starting cold"
+                (Option.get snapshot) Snapshot.pp_warning Snapshot.Stale)
+        end
+      | Some _ -> t.last_snapshot_len <- n
+      | None -> ());
+      t.stats <- { t.stats with recovered_records = n };
       if records <> [] then
         Log.info (fun m ->
-            m "journal %s: replayed %d record(s)" path (List.length records)));
-    t.journal <- Some (Journal.open_writer path));
+            m "journal %s: replayed %d record(s)%s" path n
+              (match t.stats.snapshot with
+              | Warm { entries; _ } ->
+                Printf.sprintf ", re-warmed %d cache entr%s" entries
+                  (if entries = 1 then "y" else "ies")
+              | _ -> "")));
+    t.journal <-
+      Some (Journal.open_writer ~fsync ?segment_bytes path));
   t
 
 let db t = D.Matview.db t.mv
@@ -678,8 +852,16 @@ let checkpoint t =
     let records =
       [ Journal.Delta { deletes = gone; inserts = R.Stuple.Set.of_list added } ]
     in
+    (* snapshot first, at the post-checkpoint position (1 record: the
+       baseline delta), then the journal mark. A crash between the two
+       leaves a snapshot whose position describes a journal that never
+       landed — recovery's end-of-replay fallback still re-warms it,
+       because the old journal replays to the same state. *)
+    t.journal_len <- List.length records;
+    write_snapshot t;
     Journal.rewrite path records;
-    t.journal <- Some (Journal.open_writer path);
+    t.journal <-
+      Some (Journal.open_writer ~fsync:t.fsync ?segment_bytes:t.segment_bytes path);
     Log.info (fun m ->
         m "journal %s: checkpointed to %d record(s)" path (List.length records))
 
@@ -822,6 +1004,8 @@ module Script = struct
     go 1 [] lines
 end
 
-(* re-export: [engine] is the library's interface module, so the journal
-   is reachable from outside as [Engine.Journal] *)
+(* re-exports: [engine] is the library's interface module, so the
+   journal and snapshot machinery are reachable from outside as
+   [Engine.Journal] / [Engine.Snapshot] *)
 module Journal = Journal
+module Snapshot = Snapshot

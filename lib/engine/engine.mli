@@ -31,7 +31,12 @@
     budget with graceful degradation (see {!Deleprop.Portfolio}), solver
     crashes are isolated into {!plan.failures}, and committed operations
     can be journaled to disk ({!Journal}) so a killed session recovers
-    to exactly its last committed state.
+    to exactly its last committed state. With a [snapshot] path the
+    shard solution cache itself is durable ({!Snapshot}): recovery
+    re-warms it and the first post-recovery round splices clean shards
+    instead of re-solving the world — and every snapshot failure shape
+    (missing, torn, bit-flipped, stale, old version) degrades to a cold
+    cache with a typed warning in {!stats}, never a failed recovery.
 
     The differential property suite ([test/test_engine.ml]) drives
     random delete/insert/solve streams through both this incremental
@@ -44,6 +49,21 @@
 
 type t
 
+(** How {!create}'s recovery left the shard cache. Stamped once per
+    session; [Degraded] is the degradation ladder's typed warning — a
+    snapshot problem is never an error. *)
+type snapshot_status =
+  | Cold
+      (** no snapshot in play: fresh session, no [snapshot] path, or a
+          session recovered without one *)
+  | Warm of { entries : int; dropped : int }
+      (** the snapshot installed: [entries] cache entries re-warmed,
+          [dropped] entries the file promised but lost to damage *)
+  | Degraded of Snapshot.warning
+      (** recovery wanted the snapshot but fell back to a cold cache *)
+
+val pp_snapshot_status : Format.formatter -> snapshot_status -> unit
+
 type stats = {
   rounds : int;           (** {!request} calls that reached the solvers *)
   applies : int;          (** committed deletions ({!apply} + {!delete}) *)
@@ -55,10 +75,10 @@ type stats = {
   rebuilds : int;         (** full index builds — 1 for the whole session
                               (the one in {!create}); nothing invalidates *)
   index_retargets : int;  (** operations served by re-targeting the live
-                              index (named [index_hits], and [cache_hits]
-                              before the shard cache existed; the JSON
-                              encoding still emits both deprecated
-                              spellings for one release) *)
+                              index (the historical spellings
+                              [index_hits] / [cache_hits] were emitted as
+                              JSON aliases for one release — schema
+                              version 2 — and are gone as of version 3) *)
   last_solve_ms : float;  (** wall time of the last round (patch + portfolio) *)
   total_solve_ms : float; (** cumulative round wall time *)
   journal_records : int;  (** records appended to the journal this session *)
@@ -85,6 +105,10 @@ type stats = {
                               calls (eager-regime inline compaction is
                               not counted — it is part of the delete
                               itself) *)
+  snapshot : snapshot_status;
+                          (** how recovery left the shard cache: warm
+                              from a durable snapshot, cold, or degraded
+                              with the typed reason *)
 }
 
 (** The typed reporting surface. [Stats.t] is an alias of {!stats} (the
@@ -92,9 +116,10 @@ type stats = {
     is the one JSON encoding every front end shares, so the CLI's
     [--json] output and any embedding application serialize stats
     identically. {!Stats.to_json} emits every field above, spelling
-    floats with 3 decimals, plus the deprecated aliases [index_hits] and
-    [cache_hits] (both carrying [index_retargets]' value) for one
-    release. *)
+    floats with 3 decimals and [snapshot] as a one-object summary
+    ([{"state": "cold" | "warm" | "degraded", ...}] with [entries] /
+    [dropped] counts when warm and the {!Snapshot.warning_label} reason
+    when degraded). *)
 module Stats : sig
   type t = stats = {
     rounds : int;
@@ -118,6 +143,7 @@ module Stats : sig
     shard_cache_hits : int;
     tombstone_ratio : float;
     compactions : int;
+    snapshot : snapshot_status;
   }
 
   val zero : t
@@ -185,8 +211,11 @@ type plan = {
     is replayed on top of [db] — a torn final record (killed mid-write)
     is truncated away, interior corruption raises {!Journal.Error} —
     and the session continues appending; without it any existing file
-    is discarded. [db] must be the same database the journal was
-    recorded against.
+    (and snapshot) is discarded. [db] must be the same database the
+    journal was recorded against. [fsync] (default [false]) upgrades
+    every journal flush to a physical sync — durability against power
+    loss at a per-append cost — and [segment_bytes] bounds the journal's
+    file size by rotating sealed segments ({!Journal.open_writer}).
 
     [shard_cache] (default 512; [0] disables) bounds the planner
     session's shard solution cache ({!Deleprop.Planner.cache}): the
@@ -197,9 +226,23 @@ type plan = {
     solution-equivalent to fresh ones whenever the session is
     deterministic (no [budget_ms] expiring mid-solver) — the
     differential suite in [test/test_shardcache.ml] enforces this.
-    Ignored without [~plan:true]. A recovered session starts with a
-    cold cache and every component dirty, so recovery never changes
-    answers. *)
+    Ignored without [~plan:true]. A session recovered {e without} a
+    snapshot starts with a cold cache and every component dirty, so
+    recovery never changes answers.
+
+    [snapshot] (requires [journal] — [Invalid_argument] otherwise) makes
+    the shard cache itself durable at that path: the engine writes a
+    crash-consistent {!Snapshot} at every {!checkpoint} and, amortized,
+    once [snapshot_every] (default 16; [<= 0] = checkpoint-only) records
+    accumulate past the last one. With [recover], a snapshot whose
+    coordinates (journal position, partition size, canonical arena
+    fingerprint) match the replay installs mid-replay — restoring the
+    entries, the lifetime counters, {e and} the dirty flags, which the
+    remaining journal tail then remaps like live deltas — so the first
+    post-recovery round re-solves only what the crashed session would
+    have. Every failure shape degrades per the {!Snapshot} ladder and
+    stamps [stats.snapshot]; [test/test_rewarm.ml] holds the
+    crash+recover ≡ uninterrupted equivalence property. *)
 val create :
   ?weights:Deleprop.Weights.t ->
   ?exact_threshold:int ->
@@ -211,6 +254,10 @@ val create :
   ?journal:string ->
   ?recover:bool ->
   ?shard_cache:int ->
+  ?snapshot:string ->
+  ?snapshot_every:int ->
+  ?fsync:bool ->
+  ?segment_bytes:int ->
   Relational.Instance.t ->
   Cq.Query.t list ->
   t
@@ -273,7 +320,10 @@ val compact : t -> unit
     key updates land cleanly). Recovery cost stops growing with session
     length. No-op for journal-less sessions. Compacts the live index
     first ({!compact}) so the durable baseline corresponds to the
-    compact form. *)
+    compact form; sealed journal segments of the old generation are
+    superseded and unlinked. With a [snapshot] path, a fresh snapshot is
+    written just before the journal mark — the crash window between the
+    two is covered by recovery's end-of-replay staleness check. *)
 val checkpoint : t -> unit
 
 val db : t -> Relational.Instance.t
@@ -362,6 +412,8 @@ module Script : sig
   val replay : ?keep_going:bool -> t -> line list -> (round list, string) result
 end
 
-(** The session journal, re-exported ([Engine] is the library's
-    interface module). *)
+(** The session journal and the shard-cache snapshot machinery,
+    re-exported ([Engine] is the library's interface module). *)
 module Journal : module type of Journal
+
+module Snapshot : module type of Snapshot

@@ -114,10 +114,88 @@ let read_u32_le s pos =
   lor (Char.code s.[pos + 2] lsl 16)
   lor (Char.code s.[pos + 3] lsl 24)
 
-let encode record =
-  let payload = payload_of record in
+let frame payload =
   let crc = Int32.to_int (crc32 payload) land 0xFFFFFFFF in
   u32_le (String.length payload) ^ u32_le crc ^ payload
+
+let encode record = frame (payload_of record)
+
+(* ---- segments ----
+
+   The active segment lives at [path]; rotation seals it by renaming to
+   [path ^ ".seg-<gen>-<seq>"] (seq ascending = chronological within a
+   generation) and starting a fresh active file. Every segment written
+   by a rotating or rewriting writer opens with a generation marker — a
+   CRC-framed ['G'] record — and {!load} reads exactly the sealed
+   segments whose filename generation matches the active file's marker,
+   in sequence order, then the active itself. {!rewrite} bumps the
+   generation in the replacement image {e before} renaming it over
+   [path], so a crash between the rename and the stale-segment cleanup
+   leaves old sealed segments that the next load provably ignores: the
+   multi-file journal is atomic at the single rename, same as the
+   single-file one. Pre-rotation journals carry no marker and parse as
+   generation 0 with no sealed segments — fully backward compatible. *)
+
+let gen_marker gen = frame (Printf.sprintf "G\n%d" gen)
+let seal_name path gen seq = Printf.sprintf "%s.seg-%d-%d" path gen seq
+
+(* every [path ^ ".seg-<gen>-<seq>"] in path's directory, sorted by
+   (gen, seq) ascending *)
+let sealed_segments path =
+  let dir = Filename.dirname path in
+  let prefix = Filename.basename path ^ ".seg-" in
+  let plen = String.length prefix in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+    Array.to_list entries
+    |> List.filter_map (fun e ->
+           if String.length e > plen && String.sub e 0 plen = prefix then
+             match
+               String.split_on_char '-' (String.sub e plen (String.length e - plen))
+             with
+             | [ g; s ] -> (
+               match (int_of_string_opt g, int_of_string_opt s) with
+               | Some g, Some s -> Some (g, s, Filename.concat dir e)
+               | _ -> None)
+             | _ -> None
+           else None)
+    |> List.sort compare
+
+(* best-effort: the first record's generation marker, [None] for legacy
+   files (whose first record is data). Integrity is not checked here —
+   a corrupt marker surfaces as a typed [Corrupt] during {!load}. *)
+let gen_of_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let mlen = String.length magic in
+        let flen = in_channel_length ic in
+        if flen < mlen + 8 then None
+        else begin
+          let head = really_input_string ic (mlen + 8) in
+          if String.sub head 0 mlen <> magic then None
+          else
+            let plen = read_u32_le head mlen in
+            if plen < 2 || flen < mlen + 8 + plen then None
+            else
+              let payload = really_input_string ic plen in
+              if payload.[0] = 'G' && payload.[1] = '\n' then
+                int_of_string_opt (String.sub payload 2 (plen - 2))
+              else None
+        end)
+
+(* the generation the journal at [path] is currently on: the active
+   file's marker, else (active legacy/absent) the newest sealed
+   segment's, else 0 *)
+let current_gen path =
+  match (if Sys.file_exists path then gen_of_file path else None) with
+  | Some g -> g
+  | None ->
+    List.fold_left (fun m (g, _, _) -> max m g) 0 (sealed_segments path)
 
 (* ---- reading ---- *)
 
@@ -127,71 +205,157 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let load ?(repair = false) path =
-  if not (Sys.file_exists path) then Ok []
+(* One segment's frames, as [(records, error option)] — the records
+   parsed before any failure always travel back, so [keep_going] can
+   salvage the valid prefix of a part-corrupt segment. [allow_torn] (the
+   active segment only): an incomplete or checksum-failing final record
+   is a torn write, dropped (and truncated off with [repair]); anywhere
+   else the same shape is interior corruption. Generation markers are
+   consumed, not emitted. [index0] offsets the typed error's record
+   index so it is global across segments. *)
+let parse_segment ?(repair = false) ~allow_torn ~index0 path =
+  let data = read_file path in
+  let len = String.length data in
+  if len = 0 then ([], None)
+  else if
+    len < String.length magic || String.sub data 0 (String.length magic) <> magic
+  then ([], Some (Bad_magic path))
   else begin
-    let data = read_file path in
-    let len = String.length data in
-    if len = 0 then Ok []
-    else if len < String.length magic || String.sub data 0 (String.length magic) <> magic
-    then Error (Bad_magic path)
-    else begin
-      let truncate_to pos = if repair then Unix.truncate path pos in
-      let rec go pos index acc =
-        if pos = len then Ok (List.rev acc)
-        else if len - pos < 8 then begin
+    let truncate_to pos = if repair && allow_torn then Unix.truncate path pos in
+    let rec go pos index acc =
+      if pos = len then (List.rev acc, None)
+      else if len - pos < 8 then
+        if allow_torn then begin
           (* torn header *)
           truncate_to pos;
-          Ok (List.rev acc)
+          (List.rev acc, None)
         end
-        else begin
-          let plen = read_u32_le data pos in
-          let crc = read_u32_le data (pos + 4) in
-          if len - pos - 8 < plen then begin
+        else
+          ( List.rev acc,
+            Some (Corrupt { index; reason = "torn record in sealed segment" }) )
+      else begin
+        let plen = read_u32_le data pos in
+        let crc = read_u32_le data (pos + 4) in
+        if len - pos - 8 < plen then
+          if allow_torn then begin
             (* torn payload *)
             truncate_to pos;
-            Ok (List.rev acc)
+            (List.rev acc, None)
           end
-          else begin
-            let payload = String.sub data (pos + 8) plen in
-            let next = pos + 8 + plen in
-            if Int32.to_int (crc32 payload) land 0xFFFFFFFF <> crc then
-              if next = len then begin
-                (* checksum failure on the final record: torn write *)
-                truncate_to pos;
-                Ok (List.rev acc)
-              end
-              else Error (Corrupt { index; reason = "checksum mismatch" })
+          else
+            ( List.rev acc,
+              Some (Corrupt { index; reason = "torn record in sealed segment" })
+            )
+        else begin
+          let payload = String.sub data (pos + 8) plen in
+          let next = pos + 8 + plen in
+          if Int32.to_int (crc32 payload) land 0xFFFFFFFF <> crc then
+            if next = len && allow_torn then begin
+              (* checksum failure on the final record: torn write *)
+              truncate_to pos;
+              (List.rev acc, None)
+            end
             else
-              match record_of_payload payload with
-              | record -> go next (index + 1) (record :: acc)
-              | exception (Failure msg | R.Serial.Parse_error (_, msg)) ->
-                (* a checksummed payload that does not decode is corruption
-                   whatever its position — the bytes were written whole *)
-                Error (Corrupt { index; reason = msg })
-          end
+              (List.rev acc, Some (Corrupt { index; reason = "checksum mismatch" }))
+          else if String.length payload >= 1 && payload.[0] = 'G' then
+            (* generation marker: framing only, never replayed *)
+            go next index acc
+          else
+            match record_of_payload payload with
+            | record -> go next (index + 1) (record :: acc)
+            | exception (Failure msg | R.Serial.Parse_error (_, msg)) ->
+              (* a checksummed payload that does not decode is corruption
+                 whatever its position — the bytes were written whole *)
+              (List.rev acc, Some (Corrupt { index; reason = msg }))
         end
-      in
-      go (String.length magic) 0 []
-    end
+      end
+    in
+    go (String.length magic) index0 []
+  end
+
+let load ?(repair = false) ?(keep_going = false) path =
+  let gen = current_gen path in
+  let sealed =
+    List.filter_map
+      (fun (g, _, p) -> if g = gen then Some p else None)
+      (sealed_segments path)
+  in
+  let files =
+    List.map (fun p -> (p, false)) sealed
+    @ (if Sys.file_exists path then [ (path, true) ] else [])
+  in
+  if files = [] then Ok []
+  else begin
+    (* [keep_going]: a typed error mid-stream salvages the valid prefix
+       instead of failing the load — every record before the corruption
+       replays, everything at and after it is dropped (later segments
+       included: replaying past a hole would desynchronize the state) *)
+    let rec go acc index0 = function
+      | [] -> Ok (List.concat (List.rev acc))
+      | (p, final) :: rest -> (
+        match parse_segment ~repair ~allow_torn:final ~index0 p with
+        | records, None -> go (records :: acc) (index0 + List.length records) rest
+        | records, Some e ->
+          if keep_going then Ok (List.concat (List.rev (records :: acc)))
+          else Error e)
+    in
+    go [] 0 files
   end
 
 (* ---- writing ---- *)
 
 type writer = {
   path : string;
+  fsync : bool;
+  segment_bytes : int option;
+  mutable gen : int;
+  mutable seq : int;  (* the next rotation seals as (gen, seq) *)
   mutable oc : out_channel;
 }
 
-let open_channel path =
+let flush_channel ~fsync oc =
+  flush oc;
+  if fsync then Unix.fsync (Unix.descr_of_out_channel oc)
+
+let open_channel ~fsync ~gen path =
   let oc = open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644 path in
   if out_channel_length oc = 0 then begin
     output_string oc magic;
-    flush oc
+    output_string oc (gen_marker gen);
+    flush_channel ~fsync oc
   end;
   oc
 
-let open_writer path = { path; oc = open_channel path }
+let open_writer ?(fsync = false) ?segment_bytes path =
+  (match segment_bytes with
+  | Some n when n <= 0 ->
+    invalid_arg "Journal.open_writer: segment_bytes must be positive"
+  | _ -> ());
+  let gen = current_gen path in
+  let seq =
+    1
+    + List.fold_left
+        (fun m (g, s, _) -> if g = gen then max m s else m)
+        0 (sealed_segments path)
+  in
+  { path; fsync; segment_bytes; gen; seq; oc = open_channel ~fsync ~gen path }
+
+(* seal the active segment once it outgrows the bound: rename (atomic),
+   then start a fresh active of the same generation. A crash between the
+   two leaves no active file — {!load} and {!open_writer} adopt the
+   newest sealed generation, so nothing is lost. Rotation runs after a
+   fully flushed append, which is why a sealed segment can never carry a
+   torn tail of its own. *)
+let maybe_rotate w =
+  match w.segment_bytes with
+  | None -> ()
+  | Some limit ->
+    if pos_out w.oc >= limit then begin
+      close_out_noerr w.oc;
+      Sys.rename w.path (seal_name w.path w.gen w.seq);
+      w.seq <- w.seq + 1;
+      w.oc <- open_channel ~fsync:w.fsync ~gen:w.gen w.path
+    end
 
 let append w record =
   let bytes = encode record in
@@ -204,11 +368,20 @@ let append w record =
   | Some _ -> D.Failpoint.hit "journal.append"
   | None -> ());
   output_string w.oc bytes;
-  flush w.oc
+  flush_channel ~fsync:w.fsync w.oc;
+  maybe_rotate w
 
 let close_writer w = close_out_noerr w.oc
 
 let rewrite path records =
+  let sealed = sealed_segments path in
+  let gen = current_gen path + 1 in
+  let image =
+    String.concat "" (magic :: gen_marker gen :: List.map encode records)
+  in
+  let unlink_sealed () =
+    List.iter (fun (_, _, p) -> try Sys.remove p with Sys_error _ -> ()) sealed
+  in
   let tmp = path ^ ".tmp" in
   let oc = open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 tmp in
   match D.Failpoint.find "journal.rewrite" with
@@ -216,17 +389,16 @@ let rewrite path records =
     (* the compactor dies [n] bytes into the replacement file: a torn
        [.tmp] never renamed over the journal — unless the allowance
        covered the whole image, in which case the rename happened and
-       the kill struck just after the compaction committed *)
-    let bytes =
-      String.concat "" (magic :: List.map (fun r -> encode r) records)
-    in
-    let k = min n (String.length bytes) in
+       the kill struck just after the compaction committed (stale sealed
+       segments survive the simulated crash; the generation bump makes
+       the next load ignore them) *)
+    let k = min n (String.length image) in
     Fun.protect
       ~finally:(fun () -> close_out_noerr oc)
       (fun () ->
-        output_string oc (String.sub bytes 0 k);
+        output_string oc (String.sub image 0 k);
         flush oc);
-    if k = String.length bytes then Sys.rename tmp path;
+    if k = String.length image then Sys.rename tmp path;
     raise (D.Failpoint.Injected "journal.rewrite")
   | fp ->
     (match fp with
@@ -235,7 +407,15 @@ let rewrite path records =
     Fun.protect
       ~finally:(fun () -> close_out_noerr oc)
       (fun () ->
-        output_string oc magic;
-        List.iter (fun r -> output_string oc (encode r)) records;
-        flush oc);
-    Sys.rename tmp path
+        output_string oc image;
+        flush oc;
+        Unix.fsync (Unix.descr_of_out_channel oc));
+    Sys.rename tmp path;
+    (* cleanup after the commit point: crash-safe, see the gen bump *)
+    unlink_sealed ()
+
+let remove path =
+  if Sys.file_exists path then Sys.remove path;
+  List.iter
+    (fun (_, _, p) -> try Sys.remove p with Sys_error _ -> ())
+    (sealed_segments path)

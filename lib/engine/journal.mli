@@ -2,7 +2,7 @@
     operations of one engine session, replayable against the database
     the session was created with.
 
-    On-disk layout (all integers little-endian):
+    On-disk layout of one segment (all integers little-endian):
     {v
     +--------------------------------------------------+
     | magic "DLPJRNL1" (8 bytes)                       |
@@ -30,11 +30,31 @@
     +T1(ann, tods)
     v}
 
-    Every append is flushed before returning; a crash can therefore tear
-    at most the {e final} record. {!load} distinguishes the two failure
-    shapes: an incomplete or checksum-failing final record is a torn
-    write (dropped, and truncated away when [repair] is set), while a
-    checksum failure with intact records {e after} it is real corruption
+    {2 Segments and generations}
+
+    A journal is one {e active} file at [path] plus zero or more
+    {e sealed} segments [path.seg-<gen>-<seq>]. With [segment_bytes] set,
+    {!append} seals the active file by renaming it aside once it
+    outgrows the bound and starts a fresh one — bounding every file a
+    crash can tear while keeping the full record sequence replayable.
+    Each segment a rotating writer creates opens with a framed
+    generation marker ([G] payload, never surfaced as a record);
+    {!rewrite} writes its replacement with the generation {e bumped}, so
+    sealed segments of older generations are provably stale and ignored
+    by {!load} even if a crash struck before they were unlinked — the
+    multi-file journal commits at a single rename, exactly like the
+    single-file one. Journals written before rotation existed carry no
+    marker and read as generation 0 with no sealed segments.
+
+    {2 Failure shapes}
+
+    Every append is flushed before returning (and fsynced under
+    [~fsync]); rotation only follows a completed append, so a crash can
+    tear at most the final record {e of the active file}. {!load}
+    distinguishes the failure shapes: an incomplete or checksum-failing
+    final record there is a torn write (dropped, and truncated away when
+    [repair] is set), while the same shape inside a sealed segment — or
+    a checksum failure with intact records after it — is real corruption
     and surfaces as the typed {!error}. *)
 
 type record =
@@ -54,7 +74,8 @@ type record =
 type error =
   | Bad_magic of string        (** not a journal (path in payload) *)
   | Corrupt of { index : int; reason : string }
-      (** interior record [index] failed its checksum or didn't decode *)
+      (** record [index] (counted across segments, markers excluded)
+          failed its checksum or didn't decode *)
 
 exception Error of error
 
@@ -62,23 +83,38 @@ val pp_error : Format.formatter -> error -> unit
 
 (** {1 Reading} *)
 
-(** Replayable records of the journal at [path], in append order. A torn
-    final record is dropped; with [repair] (default [false]) it is also
-    truncated off the file so subsequent appends start clean. A missing
-    file is an empty journal. *)
-val load : ?repair:bool -> string -> (record list, error) result
+(** Replayable records of the journal at [path] — current-generation
+    sealed segments in sequence order, then the active file — in append
+    order. A torn final record of the active file is dropped; with
+    [repair] (default [false]) it is also truncated off so subsequent
+    appends start clean. A typed error normally fails the load;
+    [keep_going] (default [false]) instead salvages the valid prefix:
+    every record before the first corruption is returned and everything
+    at and after it is dropped, later segments included (replaying past
+    a hole would desynchronize the rebuilt state). A missing file with
+    no sealed segments is an empty journal. *)
+val load :
+  ?repair:bool -> ?keep_going:bool -> string -> (record list, error) result
 
 (** {1 Writing} *)
 
 type writer
 
-(** Open [path] for appending, creating it (with the magic header) when
-    missing or empty. The caller is responsible for having {!load}ed
-    [~repair:true] first — appending after a torn record corrupts the
-    log. *)
-val open_writer : string -> writer
+(** Open [path] for appending, creating it (magic header + generation
+    marker) when missing or empty; an existing journal's generation and
+    next sequence number are adopted from disk. [fsync] (default
+    [false]) upgrades every flush to [Unix.fsync] — durability against
+    power loss, not just process death, at a per-append cost.
+    [segment_bytes] enables rotation: once the active file's size
+    reaches the bound, the {e next} append seals it (must be positive;
+    the bound is a low-water mark — a segment always holds the whole
+    record that crossed it). The caller is responsible for having
+    {!load}ed [~repair:true] first — appending after a torn record
+    corrupts the log. *)
+val open_writer : ?fsync:bool -> ?segment_bytes:int -> string -> writer
 
-(** Append one record and flush. The write crosses the
+(** Append one record and flush (fsync under [~fsync]), then rotate if
+    the segment bound is crossed. The write crosses the
     ["journal.append"] failpoint: [Crash_after_bytes n] emits only the
     first [n] bytes of the encoded record before raising
     {!Deleprop.Failpoint.Injected} — a simulated torn write. *)
@@ -86,16 +122,23 @@ val append : writer -> record -> unit
 
 val close_writer : writer -> unit
 
-(** Atomically replace the journal at [path] with exactly [records]
-    (write to a temp file in the same directory, rename over). The
-    engine's checkpoint compacts a long log into a single {!record.Delta}
-    this way. Crosses the ["journal.rewrite"] failpoint:
-    [Crash_after_bytes n] emits only the first [n] bytes of the
-    replacement image before raising {!Deleprop.Failpoint.Injected} —
-    the rename happens iff the allowance covered the whole image, so the
-    journal holds either the complete old log or the complete new one,
-    never a blend (what the atomicity claim means under a crash). *)
+(** Atomically replace the journal at [path] with exactly [records]:
+    write a temp file in the same directory carrying the {e next}
+    generation, fsync, rename over [path], then unlink the
+    now-stale sealed segments (best-effort — the generation bump makes
+    them invisible to {!load} regardless). The engine's checkpoint
+    compacts a long log into a single {!record.Delta} this way. Crosses
+    the ["journal.rewrite"] failpoint: [Crash_after_bytes n] emits only
+    the first [n] bytes of the replacement image before raising
+    {!Deleprop.Failpoint.Injected} — the rename happens iff the
+    allowance covered the whole image (stale segments are left behind,
+    as a real crash would), so the journal holds either the complete old
+    log or the complete new one, never a blend. *)
 val rewrite : string -> record list -> unit
+
+(** Delete the journal at [path]: the active file and every sealed
+    segment, any generation. Missing files are fine. *)
+val remove : string -> unit
 
 (** {1 Checksums} *)
 

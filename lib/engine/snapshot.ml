@@ -1,0 +1,347 @@
+module R = Relational
+module D = Deleprop
+module S = Deleprop.Solution
+
+let magic = "DLPSNAP1"
+let version = 1
+
+type t = {
+  position : int;
+  arena_fp : D.Fingerprint.t;
+  components : int;
+  dirty : int list;
+  stats : D.Planner.cache_stats;
+  entries : (D.Fingerprint.t * D.Planner.cache_entry) list;
+}
+
+type warning =
+  | Missing
+  | Version_mismatch of int
+  | Corrupt of string
+  | Stale
+
+let pp_warning ppf = function
+  | Missing -> Format.pp_print_string ppf "no snapshot on disk"
+  | Version_mismatch v ->
+    Format.fprintf ppf "snapshot version %d unsupported (this build reads %d)" v version
+  | Corrupt reason -> Format.fprintf ppf "snapshot corrupt: %s" reason
+  | Stale ->
+    Format.pp_print_string ppf "snapshot does not match the journal replay"
+
+let warning_label = function
+  | Missing -> "missing"
+  | Version_mismatch _ -> "version_mismatch"
+  | Corrupt _ -> "corrupt"
+  | Stale -> "stale"
+
+(* ---- framing (shared shape with the journal: u32 LE length, u32 LE
+   CRC-32, payload) ---- *)
+
+let u32_le n =
+  let b = Bytes.create 4 in
+  Bytes.set_uint8 b 0 (n land 0xFF);
+  Bytes.set_uint8 b 1 ((n lsr 8) land 0xFF);
+  Bytes.set_uint8 b 2 ((n lsr 16) land 0xFF);
+  Bytes.set_uint8 b 3 ((n lsr 24) land 0xFF);
+  Bytes.unsafe_to_string b
+
+let read_u32_le s pos =
+  Char.code s.[pos]
+  lor (Char.code s.[pos + 1] lsl 8)
+  lor (Char.code s.[pos + 2] lsl 16)
+  lor (Char.code s.[pos + 3] lsl 24)
+
+let frame payload =
+  let crc = Int32.to_int (Journal.crc32 payload) land 0xFFFFFFFF in
+  u32_le (String.length payload) ^ u32_le crc ^ payload
+
+(* ---- payload codecs ----
+
+   Floats travel as the 16 hex digits of [Int64.bits_of_float], so a
+   restored entry is bit-identical to the cached one — the re-warm
+   equivalence property compares costs and certificates exactly, not up
+   to printing precision. *)
+
+let hex_of_float f = Printf.sprintf "%016Lx" (Int64.bits_of_float f)
+
+let float_of_hex s =
+  match D.Fingerprint.of_hex s with
+  | Some bits -> Int64.float_of_bits bits
+  | None -> failwith "bad float bits"
+
+let fp_of_hex s =
+  match D.Fingerprint.of_hex s with
+  | Some fp -> fp
+  | None -> failwith "bad fingerprint"
+
+(* "key value" with an exact key match; "" for a bare "key" line *)
+let field key line =
+  let klen = String.length key in
+  if
+    String.length line >= klen
+    && String.sub line 0 klen = key
+    && (String.length line = klen || line.[klen] = ' ')
+  then
+    if String.length line = klen then ""
+    else String.sub line (klen + 1) (String.length line - klen - 1)
+  else failwith (Printf.sprintf "expected %S field" key)
+
+let string_of_cert = function
+  | S.Exact -> "exact"
+  | S.Dual_bound f -> "dual " ^ hex_of_float f
+  | S.Ratio f -> "ratio " ^ hex_of_float f
+  | S.Heuristic -> "heuristic"
+  | S.Anytime -> "anytime"
+  | S.Composite { shards; factor } ->
+    Printf.sprintf "composite %d %s" shards
+      (match factor with None -> "-" | Some f -> hex_of_float f)
+
+let cert_of_string s =
+  match String.split_on_char ' ' s with
+  | [ "exact" ] -> S.Exact
+  | [ "dual"; b ] -> S.Dual_bound (float_of_hex b)
+  | [ "ratio"; b ] -> S.Ratio (float_of_hex b)
+  | [ "heuristic" ] -> S.Heuristic
+  | [ "anytime" ] -> S.Anytime
+  | [ "composite"; n; f ] ->
+    S.Composite
+      {
+        shards = int_of_string n;
+        factor = (if f = "-" then None else Some (float_of_hex f));
+      }
+  | _ -> failwith "bad certificate"
+
+let string_of_class = function
+  | D.Planner.Exact_small -> "small"
+  | D.Planner.Exact_forest -> "forest"
+  | D.Planner.Approximate -> "approx"
+
+let class_of_string = function
+  | "small" -> D.Planner.Exact_small
+  | "forest" -> D.Planner.Exact_forest
+  | "approx" -> D.Planner.Approximate
+  | _ -> failwith "bad classification"
+
+let header_payload t =
+  String.concat "\n"
+    [
+      "H";
+      "version " ^ string_of_int version;
+      "position " ^ string_of_int t.position;
+      "arena " ^ D.Fingerprint.to_hex t.arena_fp;
+      "components " ^ string_of_int t.components;
+      String.concat " " ("dirty" :: List.map string_of_int t.dirty);
+      "hits " ^ string_of_int t.stats.D.Planner.s_hits;
+      "misses " ^ string_of_int t.stats.D.Planner.s_misses;
+      "evictions " ^ string_of_int t.stats.D.Planner.s_evictions;
+      ("bucket "
+      ^
+      match t.stats.D.Planner.s_last_bucket with
+      | None -> "-"
+      | Some b -> string_of_int b);
+      "entries " ^ string_of_int (List.length t.entries);
+    ]
+
+exception Bad_version of int
+
+let decode_header payload =
+  match String.split_on_char '\n' payload with
+  | [ "H"; v; pos; ar; comp; dirty; hits; misses; ev; bucket; entries ] ->
+    let v = int_of_string (field "version" v) in
+    if v <> version then raise (Bad_version v);
+    let position = int_of_string (field "position" pos) in
+    let arena_fp = fp_of_hex (field "arena" ar) in
+    let components = int_of_string (field "components" comp) in
+    let dirty =
+      field "dirty" dirty |> String.split_on_char ' '
+      |> List.filter (fun s -> s <> "")
+      |> List.map int_of_string
+    in
+    let stats =
+      {
+        D.Planner.s_hits = int_of_string (field "hits" hits);
+        s_misses = int_of_string (field "misses" misses);
+        s_evictions = int_of_string (field "evictions" ev);
+        s_last_bucket =
+          (match field "bucket" bucket with
+          | "-" -> None
+          | b -> Some (int_of_string b));
+      }
+    in
+    let count = int_of_string (field "entries" entries) in
+    ({ position; arena_fp; components; dirty; stats; entries = [] }, count)
+  | _ -> failwith "malformed header"
+
+let entry_payload (fp, (e : D.Planner.cache_entry)) =
+  String.concat "\n"
+    ([
+       "E";
+       "fp " ^ D.Fingerprint.to_hex fp;
+       "class " ^ string_of_class e.D.Planner.e_classification;
+       "winner " ^ e.D.Planner.e_winner;
+       "cost " ^ hex_of_float e.D.Planner.e_cost;
+       "cert " ^ string_of_cert e.D.Planner.e_certificate;
+       "forest " ^ (if e.D.Planner.e_forest then "1" else "0");
+       "threshold " ^ hex_of_float e.D.Planner.e_threshold;
+       "deleted " ^ string_of_int (R.Stuple.Set.cardinal e.D.Planner.e_deleted);
+     ]
+    @ List.map R.Stuple.to_string (R.Stuple.Set.elements e.D.Planner.e_deleted))
+
+let fact_of_line line =
+  let rel, tuple = R.Serial.fact_of_string line in
+  R.Stuple.make rel tuple
+
+let decode_entry payload =
+  match String.split_on_char '\n' payload with
+  | "E" :: fp :: cls :: winner :: cost :: cert :: forest :: threshold :: deleted
+    :: facts ->
+    let fp = fp_of_hex (field "fp" fp) in
+    let e_classification = class_of_string (field "class" cls) in
+    let e_winner = field "winner" winner in
+    let e_cost = float_of_hex (field "cost" cost) in
+    let e_certificate = cert_of_string (field "cert" cert) in
+    let e_forest =
+      match field "forest" forest with
+      | "1" -> true
+      | "0" -> false
+      | _ -> failwith "bad forest flag"
+    in
+    let e_threshold = float_of_hex (field "threshold" threshold) in
+    let m = int_of_string (field "deleted" deleted) in
+    if List.length facts <> m then failwith "fact count mismatch";
+    let e_deleted = R.Stuple.Set.of_list (List.map fact_of_line facts) in
+    ( fp,
+      {
+        D.Planner.e_classification;
+        e_winner;
+        e_deleted;
+        e_cost;
+        e_certificate;
+        e_forest;
+        e_threshold;
+      } )
+  | _ -> failwith "malformed entry"
+
+(* ---- i/o ---- *)
+
+let encode t =
+  String.concat ""
+    (magic :: frame (header_payload t)
+    :: List.map (fun e -> frame (entry_payload e)) t.entries)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* corruption injection ("snapshot.corrupt"): flip one bit of the
+   committed snapshot in place — the damage a load must degrade on, not
+   crash on *)
+let flip_bit path n =
+  let data = read_file path in
+  let size = String.length data in
+  if size > 0 then begin
+    let i = ((n mod size) + size) mod size in
+    let b = Bytes.of_string data in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+    let oc =
+      open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 path
+    in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_bytes oc b;
+        flush oc)
+  end
+
+let write path t =
+  let image = encode t in
+  let tmp = path ^ ".tmp" in
+  let write_tmp k =
+    let oc =
+      open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 tmp
+    in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (String.sub image 0 k);
+        flush oc;
+        if k = String.length image then Unix.fsync (Unix.descr_of_out_channel oc))
+  in
+  (match D.Failpoint.find "snapshot.write" with
+  | Some (D.Failpoint.Crash_after_bytes n) ->
+    (* die [n] bytes into the temp image: a torn [.tmp] that never
+       replaces the previous snapshot — unless the allowance covered the
+       whole image, in which case the rename committed and the kill
+       struck just after *)
+    let k = min n (String.length image) in
+    write_tmp k;
+    if k = String.length image then Sys.rename tmp path;
+    raise (D.Failpoint.Injected "snapshot.write")
+  | fp ->
+    (match fp with
+    | Some _ -> D.Failpoint.hit "snapshot.write"
+    | None -> ());
+    write_tmp (String.length image);
+    Sys.rename tmp path);
+  (match D.Failpoint.find "snapshot.corrupt" with
+  | Some (D.Failpoint.Corrupt_byte n) -> flip_bit path n
+  | _ -> ());
+  (* crash window between the snapshot commit and the checkpoint's
+     journal mark — arm ["snapshot.rename"] with [raise] to land here *)
+  D.Failpoint.hit "snapshot.rename"
+
+let load path =
+  if not (Sys.file_exists path) then Error Missing
+  else
+    match read_file path with
+    | exception Sys_error msg -> Error (Corrupt msg)
+    | data ->
+      let len = String.length data in
+      let mlen = String.length magic in
+      if len < mlen || String.sub data 0 mlen <> magic then
+        Error (Corrupt "bad magic")
+      else begin
+        (* [None] = no complete frame at [pos] *)
+        let next_frame pos =
+          if len - pos < 8 then None
+          else
+            let plen = read_u32_le data pos in
+            if plen < 0 || len - pos - 8 < plen then None
+            else
+              let crc = read_u32_le data (pos + 4) in
+              let payload = String.sub data (pos + 8) plen in
+              if Int32.to_int (Journal.crc32 payload) land 0xFFFFFFFF <> crc
+              then Some (Error "checksum mismatch", pos + 8 + plen)
+              else Some (Ok payload, pos + 8 + plen)
+        in
+        match next_frame mlen with
+        | None -> Error (Corrupt "truncated header")
+        | Some (Error reason, _) -> Error (Corrupt ("header " ^ reason))
+        | Some (Ok hp, pos0) -> (
+          match decode_header hp with
+          | exception Bad_version v -> Error (Version_mismatch v)
+          | exception Failure msg -> Error (Corrupt ("header: " ^ msg))
+          | meta, count ->
+            (* per-entry degradation: a frame that fails its checksum or
+               doesn't decode drops that entry alone; a frame that can't
+               even be delimited (torn tail, corrupted length) drops the
+               rest. [dropped] = header count − entries loaded. *)
+            let rec go pos k acc dropped =
+              if k = count then (List.rev acc, dropped)
+              else
+                match next_frame pos with
+                | None -> (List.rev acc, dropped + (count - k))
+                | Some (Error _, next) -> go next (k + 1) acc (dropped + 1)
+                | Some (Ok payload, next) -> (
+                  match decode_entry payload with
+                  | exception (Failure _ | R.Serial.Parse_error (_, _)) ->
+                    go next (k + 1) acc (dropped + 1)
+                  | pair -> go next (k + 1) (pair :: acc) dropped)
+            in
+            let entries, dropped = go pos0 0 [] 0 in
+            Ok ({ meta with entries }, dropped))
+      end
+
+let remove path = if Sys.file_exists path then Sys.remove path

@@ -1,0 +1,91 @@
+(** Crash-consistent shard-cache snapshots: the durable image that lets
+    a recovered session start {e warm}.
+
+    A snapshot captures the plain-data state of the engine's shard
+    solution cache ({!Deleprop.Planner.cache_entries} /
+    [cache_stats]) together with the coordinates that tie it to one
+    moment of one journal: the journal [position] (how many records
+    preceded the write), the arena's content fingerprint, the partition
+    size, and the ids of the components dirty at that moment. Recovery
+    replays the journal as usual and — when the stored coordinates match
+    the replayed state — installs the entries and dirty flags, so the
+    first post-recovery round splices clean shards from the cache
+    exactly as the uninterrupted session would have.
+
+    On-disk format, version 1: the magic ["DLPSNAP1"] followed by CRC-32
+    framed payloads in the journal's framing (u32 LE length, u32 LE
+    CRC-32, payload) — one header payload, then one payload per cache
+    entry, most-recently-used first. Floats are serialized as the 16 hex
+    digits of their IEEE-754 bits, so a restored cache is bit-identical
+    to the written one (costs, certificates, thresholds).
+
+    {2 Degradation ladder}
+
+    A snapshot is an optimization, never a correctness input, and no
+    failure shape aborts a recovery:
+    - missing file → {!warning.Missing}, cold cache;
+    - unreadable header, bad magic, or a bit flip in the header frame →
+      {!warning.Corrupt}, whole snapshot dropped, cold cache;
+    - a version this build doesn't read → {!warning.Version_mismatch},
+      cold cache;
+    - a bit flip or torn tail {e inside the entry region} → only the
+      damaged entries drop (the [dropped] count reports how many), the
+      rest re-warm;
+    - coordinates that don't match the journal replay (the engine's
+      check, not {!load}'s) → {!warning.Stale}, cold cache. *)
+
+type t = {
+  position : int;
+      (** journal records preceding this snapshot — recovery installs
+          the cache after replaying exactly this many *)
+  arena_fp : Deleprop.Fingerprint.t;
+      (** {!Deleprop.Fingerprint.arena} of the session arena at the
+          write, tombstone/compaction-invariant *)
+  components : int;  (** partition size at the write *)
+  dirty : int list;
+      (** component ids whose cached answers the deltas since their last
+          solve may have invalidated (canonical ids, ascending) *)
+  stats : Deleprop.Planner.cache_stats;
+      (** lifetime cache counters, restored so recovered sessions report
+          the same hit/miss history *)
+  entries : (Deleprop.Fingerprint.t * Deleprop.Planner.cache_entry) list;
+      (** cache bindings, most-recently-used first *)
+}
+
+(** Why a snapshot did not (fully) re-warm — surfaced as a typed warning
+    in [Engine.Stats], never as an error. *)
+type warning =
+  | Missing             (** no snapshot file on disk *)
+  | Version_mismatch of int  (** written by a format this build doesn't read *)
+  | Corrupt of string   (** header unreadable: bad magic, torn frame, bit flip *)
+  | Stale
+      (** intact, but its coordinates don't match the journal replay
+          (e.g. the journal advanced past it before the crash) *)
+
+val pp_warning : Format.formatter -> warning -> unit
+
+(** Stable machine-readable tag for the stats JSON: ["missing"],
+    ["version_mismatch"], ["corrupt"], ["stale"]. *)
+val warning_label : warning -> string
+
+(** Atomically write [t] to [path]: full image to [path ^ ".tmp"],
+    flush, fsync, rename — a crash leaves either the previous snapshot
+    or the new one, never a blend. Crosses three failpoints:
+    ["snapshot.write"] ([Crash_after_bytes n] emits [n] bytes of the
+    temp image then raises, the rename happening iff the allowance
+    covered the whole image), ["snapshot.corrupt"] ([Corrupt_byte n]
+    flips one bit of the committed file — silent at-rest damage for the
+    degradation tests), and ["snapshot.rename"] (hit after the rename —
+    arm with [raise] to simulate dying between the snapshot commit and
+    the checkpoint's journal mark). *)
+val write : string -> t -> unit
+
+(** [load path] is [Ok (t, dropped)] — [t.entries] holding the entries
+    that survived verbatim, [dropped] how many the header promised but
+    did not decode cleanly — or [Error w] when nothing is salvageable.
+    Never raises on file content. [Error Stale] is never produced here:
+    staleness is the engine's replay-time check. *)
+val load : string -> (t * int, warning) result
+
+(** Delete the snapshot at [path], if any. *)
+val remove : string -> unit

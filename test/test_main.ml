@@ -27,4 +27,5 @@ let () =
       ("decompose", Test_decompose.suite);
       ("shardcache", Test_shardcache.suite);
       ("tombstone", Test_tombstone.suite);
+      ("rewarm", Test_rewarm.suite);
     ]

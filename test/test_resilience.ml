@@ -81,7 +81,9 @@ let test_failpoint_registry () =
     (D.Failpoint.find "resil.c" = Some (D.Failpoint.Crash_after_bytes 4));
   D.Failpoint.clear "resil.d";
   D.Failpoint.clear "resil.c";
-  (* the environment is read on first lookup after a reset *)
+  (* the environment is read on first lookup after a reset — and only
+     names some code path has registered are legal in it *)
+  D.Failpoint.register "resil.env";
   let saved = Sys.getenv_opt "DELEPROP_FAILPOINTS" in
   Fun.protect
     ~finally:(fun () ->
@@ -95,7 +97,28 @@ let test_failpoint_registry () =
       (* programmatic clear shadows the environment entry *)
       D.Failpoint.clear "resil.env";
       Alcotest.(check bool) "clear shadows env" true
-        (D.Failpoint.find "resil.env" = None))
+        (D.Failpoint.find "resil.env" = None);
+      (* an unknown name in the environment is a loud, typed mistake —
+         a typo'd site would otherwise arm nothing, silently *)
+      Unix.putenv "DELEPROP_FAILPOINTS" "no.such.site=raise";
+      D.Failpoint.reset ();
+      (match D.Failpoint.find "resil.env" with
+      | exception Invalid_argument msg ->
+        Alcotest.(check bool) "error names the bad site" true
+          (String.length msg > 0
+          && Astring.String.is_infix ~affix:"no.such.site" msg)
+      | _ -> Alcotest.fail "unknown env failpoint name accepted");
+      (* the known-site registry is queryable and includes the engine's
+         built-in sites *)
+      let names = D.Failpoint.names () in
+      List.iter
+        (fun site ->
+          Alcotest.(check bool) (site ^ " registered") true
+            (List.mem site names))
+        [
+          "journal.append"; "journal.rewrite"; "snapshot.write";
+          "snapshot.rename"; "snapshot.corrupt"; "solver.greedy";
+        ])
 
 (* ---- Par: pool validation, result dialect, concurrent shutdown ---- *)
 
@@ -285,8 +308,8 @@ let write_records path records =
   List.iter (Engine.Journal.append w) records;
   Engine.Journal.close_writer w
 
-let load_ok ?repair path =
-  match Engine.Journal.load ?repair path with
+let load_ok ?repair ?keep_going path =
+  match Engine.Journal.load ?repair ?keep_going path with
   | Ok records -> records
   | Error e -> Alcotest.fail (Format.asprintf "%a" Engine.Journal.pp_error e)
 
@@ -421,6 +444,159 @@ let test_journal_crash_failpoint () =
           D.Failpoint.clear "journal.append";
           Alcotest.(check int) "completed record recovered" 2
             (List.length (load_ok ~repair:true path))))
+
+let read_whole path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read_u32_le s pos =
+  Char.code s.[pos]
+  lor (Char.code s.[pos + 1] lsl 8)
+  lor (Char.code s.[pos + 2] lsl 16)
+  lor (Char.code s.[pos + 3] lsl 24)
+
+(* byte offset of data record [i]'s payload in the file — walks the
+   frame chain, skipping the generation marker the writer now leads
+   with *)
+let payload_offset data i =
+  let rec walk pos idx =
+    let plen = read_u32_le data pos in
+    let payload_start = pos + 8 in
+    if data.[payload_start] = 'G' then walk (payload_start + plen) idx
+    else if idx = i then payload_start
+    else walk (payload_start + plen) (idx + 1)
+  in
+  walk (String.length magic) 0
+
+let flip_byte path offset =
+  let data = read_whole path in
+  let b = Bytes.of_string data in
+  Bytes.set b offset (Char.chr (Char.code (Bytes.get b offset) lxor 0x01));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+(* a single flipped bit in any record type — [A]pply, [D]elete,
+   [I]nsert, [U] delta — is a typed [Corrupt] at that record's index,
+   and [~keep_going] recovery salvages exactly the valid prefix *)
+let test_journal_bitflip_every_tag () =
+  (* one record of each tag, plus a trailing record so every flip is
+     interior corruption (a checksum-failing *final* record is a torn
+     tail by design, dropped silently) *)
+  let records = sample_records @ [ Engine.Journal.Insert (stf "T1(Ned, ICDE)") ] in
+  List.iteri
+    (fun i (r : Engine.Journal.record) ->
+      let tag =
+        match r with
+        | Engine.Journal.Apply _ -> "A"
+        | Engine.Journal.Delete _ -> "D"
+        | Engine.Journal.Insert _ -> "I"
+        | Engine.Journal.Delta _ -> "U"
+      in
+      with_temp_journal (fun path ->
+          write_records path records;
+          flip_byte path (payload_offset (read_whole path) i);
+          (match Engine.Journal.load path with
+          | Error (Engine.Journal.Corrupt { index; _ }) ->
+            Alcotest.(check int) (tag ^ ": Corrupt index") i index
+          | Ok _ -> Alcotest.fail (tag ^ ": bit flip loaded cleanly")
+          | Error e ->
+            Alcotest.fail (Format.asprintf "%s: %a" tag Engine.Journal.pp_error e));
+          (* corruption stays an error under repair... *)
+          (match Engine.Journal.load ~repair:true path with
+          | Error (Engine.Journal.Corrupt _) -> ()
+          | _ -> Alcotest.fail (tag ^ ": repair masked the corruption"));
+          (* ...and [keep_going] turns it into prefix salvage *)
+          match Engine.Journal.load ~keep_going:true path with
+          | Ok prefix ->
+            Alcotest.(check bool) (tag ^ ": valid prefix salvaged") true
+              (records_equal (List.filteri (fun j _ -> j < i) records) prefix)
+          | Error e ->
+            Alcotest.fail
+              (Format.asprintf "%s keep_going: %a" tag Engine.Journal.pp_error e)))
+    (List.filteri (fun i _ -> i < List.length records - 1) records);
+  (* keep_going on an intact journal is the identity *)
+  with_temp_journal (fun path ->
+      write_records path records;
+      Alcotest.(check bool) "keep_going, intact journal" true
+        (records_equal records (load_ok ~keep_going:true path)))
+
+(* ---- Journal segment rotation ---- *)
+
+let sealed_segments path =
+  let dir = Filename.dirname path in
+  let prefix = Filename.basename path ^ ".seg-" in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun e ->
+         String.length e > String.length prefix
+         && String.sub e 0 (String.length prefix) = prefix)
+  |> List.sort compare
+
+let with_temp_journal_segments f =
+  with_temp_journal (fun path ->
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter
+            (fun e ->
+              try Sys.remove (Filename.concat (Filename.dirname path) e)
+              with Sys_error _ -> ())
+            (sealed_segments path))
+        (fun () -> f path))
+
+let test_journal_rotation () =
+  with_temp_journal_segments (fun path ->
+      Sys.remove path;
+      (* a tiny bound: every append crosses it, sealing one segment per
+         record *)
+      let w = Engine.Journal.open_writer ~segment_bytes:16 path in
+      List.iter (Engine.Journal.append w) sample_records;
+      Engine.Journal.close_writer w;
+      Alcotest.(check bool) "appends sealed segments" true
+        (List.length (sealed_segments path) >= List.length sample_records - 1);
+      Alcotest.(check bool) "rotated journal replays in order" true
+        (records_equal sample_records (load_ok path));
+      (* reopening adopts the generation and keeps rotating *)
+      let w = Engine.Journal.open_writer ~segment_bytes:16 path in
+      Engine.Journal.append w (List.hd sample_records);
+      Engine.Journal.close_writer w;
+      Alcotest.(check bool) "reopen appends across rotation" true
+        (records_equal (sample_records @ [ List.hd sample_records ]) (load_ok path));
+      (* a torn write tears only the *active* file; every sealed record
+         survives *)
+      D.Failpoint.set "journal.append" (D.Failpoint.Crash_after_bytes 3);
+      Fun.protect
+        ~finally:(fun () -> D.Failpoint.clear "journal.append")
+        (fun () ->
+          let w = Engine.Journal.open_writer ~segment_bytes:16 path in
+          Alcotest.check_raises "injected crash"
+            (D.Failpoint.Injected "journal.append") (fun () ->
+              Engine.Journal.append w (List.nth sample_records 2));
+          Engine.Journal.close_writer w);
+      Alcotest.(check bool) "sealed records survive the torn tail" true
+        (records_equal
+           (sample_records @ [ List.hd sample_records ])
+           (load_ok ~repair:true path));
+      (* rewrite: one baseline record, a bumped generation, stale
+         segments unlinked *)
+      Engine.Journal.rewrite path [ List.nth sample_records 4 ];
+      Alcotest.(check int) "rewrite unlinks sealed segments" 0
+        (List.length (sealed_segments path));
+      Alcotest.(check bool) "rewrite leaves exactly the baseline" true
+        (records_equal [ List.nth sample_records 4 ] (load_ok path));
+      (* a stale sealed segment a crash left behind is ignored: its
+         generation predates the active file's *)
+      let stale = path ^ ".seg-0-99" in
+      let oc = open_out_bin stale in
+      output_string oc (magic ^ frame "D");
+      close_out oc;
+      Alcotest.(check bool) "stale-generation segment ignored" true
+        (records_equal [ List.nth sample_records 4 ] (load_ok path));
+      (* remove deletes the active file and every sealed segment *)
+      Engine.Journal.remove path;
+      Alcotest.(check bool) "remove clears everything" true
+        ((not (Sys.file_exists path)) && sealed_segments path = []))
 
 (* ---- Engine sessions over a journal ---- *)
 
@@ -772,6 +948,9 @@ let suite =
       test_journal_interior_corrupt;
     Alcotest.test_case "journal: injected torn writes" `Quick
       test_journal_crash_failpoint;
+    Alcotest.test_case "journal: bit flip in every record type" `Quick
+      test_journal_bitflip_every_tag;
+    Alcotest.test_case "journal: segment rotation" `Quick test_journal_rotation;
     Alcotest.test_case "engine: journal recover" `Quick test_engine_journal_recover;
     Alcotest.test_case "engine: checkpoint compaction" `Quick test_engine_checkpoint;
     Alcotest.test_case "engine: checkpoint killed mid-compaction" `Quick
