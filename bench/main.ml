@@ -750,6 +750,125 @@ let bench_deltafloor =
          ("pivot_160", pivot_scale 160);
        ])
 
+(* compindex: what the first-class live component index buys per round.
+   The session shape is the deltafloor group's (each round commits a
+   delete + re-insert confined to one component, then solves the
+   standing single-component ΔV), both variants on lazy compaction with
+   the shard cache on — so the dirty tracking already confines
+   re-solving to the touched component, and the variants differ only in
+   how the planner enumerates: `indexed` walks the live per-component
+   rosters, O(‖ΔV‖ + active), while `sweep` rebuilds every proto-shard
+   from the partition arrays, O(‖D‖ + ‖V‖) per round. The scales double
+   the database while the touched component stays constant-sized, so
+   the indexed curve must stay ~flat while the sweep grows linearly —
+   the O(active) enumeration claim of DESIGN.md §15.
+   BENCH_compindex.json tracks this group. *)
+let bench_compindex =
+  let rounds = 10 in
+  let requests_of part (arena : D.Arena.t) =
+    let tbl = Hashtbl.create 7 in
+    Array.iteri
+      (fun vid (vt : D.Vtuple.t) ->
+        if part.D.Arena.comp_of_vid.(vid) = 0 then
+          Hashtbl.replace tbl vt.D.Vtuple.query
+            (vt.D.Vtuple.tuple
+            :: (try Hashtbl.find tbl vt.D.Vtuple.query with Not_found -> [])))
+      arena.D.Arena.vtuples;
+    Hashtbl.fold (fun view ts acc -> D.Delta_request.make ~view ts :: acc) tbl []
+  in
+  let run_rounds eng reqs rep ncomp =
+    for round = 1 to rounds do
+      (match rep.(round mod max ncomp 1) with
+      | Some st ->
+        let s = R.Stuple.Set.singleton st in
+        ignore (Engine.apply_delta eng (D.Delta.make ~deletes:s ~inserts:s ()))
+      | None -> ());
+      match Engine.request eng reqs with
+      | Ok _ -> ()
+      | Error _ -> assert false
+    done
+  in
+  let setup ~indexed (p : D.Problem.t) =
+    lazy
+      (let eng =
+         Engine.create ~plan:true ~domains:1 ~compact_threshold:0.5 ~indexed
+           p.D.Problem.db p.D.Problem.queries
+       in
+       let part = Engine.partition eng in
+       let _, arena = Engine.index eng in
+       let reqs = requests_of part arena in
+       let ncomp = part.D.Arena.num_components in
+       let rep = Array.make (max ncomp 1) None in
+       Array.iteri
+         (fun sid c ->
+           if rep.(c) = None then rep.(c) <- Some arena.D.Arena.stuples.(sid))
+         part.D.Arena.comp_of_sid;
+       run_rounds eng reqs rep ncomp;
+       (eng, reqs, rep, ncomp))
+  in
+  let session prep () =
+    let eng, reqs, rep, ncomp = Lazy.force prep in
+    run_rounds eng reqs rep ncomp
+  in
+  (* the enumeration step in isolation — the exact call Planner.solve
+     makes per round to group the standing ΔV into active proto-shards.
+     The ΔV touches one constant-sized component, so `active_indexed`
+     (live rosters) must stay flat across the scales while
+     `active_sweep` (the partition-array walk) pays O(‖D‖ + ‖V‖) on
+     every call *)
+  let enum_setup (p : D.Problem.t) =
+    lazy
+      (let eng =
+         Engine.create ~plan:true ~domains:1 ~compact_threshold:0.5
+           p.D.Problem.db p.D.Problem.queries
+       in
+       let part = Engine.partition eng in
+       let prov, arena = Engine.index eng in
+       let cindex = Engine.component_index eng in
+       let reqs = requests_of part arena in
+       let arena' =
+         D.Arena.with_deletions arena (D.Provenance.with_deletions prov reqs)
+       in
+       (part, cindex, arena'))
+  in
+  let pair tag p =
+    let enum = enum_setup p in
+    [
+      Test.make ~name:(Printf.sprintf "session%d_indexed_%s" rounds tag)
+        (Staged.stage (session (setup ~indexed:true p)));
+      Test.make ~name:(Printf.sprintf "session%d_sweep_%s" rounds tag)
+        (Staged.stage (session (setup ~indexed:false p)));
+      (* batched ×100: a single enumeration is sub-µs on the indexed
+         path, below the harness noise floor *)
+      Test.make ~name:("active100_indexed_" ^ tag)
+        (Staged.stage (fun () ->
+             let _, cindex, arena' = Lazy.force enum in
+             for _ = 1 to 100 do
+               ignore (D.Component_index.active cindex arena')
+             done));
+      Test.make ~name:("active100_sweep_" ^ tag)
+        (Staged.stage (fun () ->
+             let part, _, arena' = Lazy.force enum in
+             for _ = 1 to 100 do
+               ignore (D.Arena.active_components ~partition:part arena')
+             done));
+    ]
+  in
+  let pivot_scale scale =
+    Workload.Pivot_family.generate ~rng:(rng 179)
+      { Workload.Pivot_family.depth = 3; num_roots = scale;
+        tuples_per_relation = 6 * scale; num_queries = 3;
+        deletion_fraction = 0.3 }
+  in
+  Test.make_grouped ~name:"compindex"
+    (List.concat_map
+       (fun (tag, p) -> pair tag p)
+       [
+         ("pivot_40", pivot_scale 40);
+         ("pivot_80", pivot_scale 80);
+         ("pivot_160", pivot_scale 160);
+       ])
+
 (* rewarm: what a durable shard-cache snapshot buys at recovery time.
    A seeding session (run once, at init) solves the standing workload —
    filling the shard cache — then commits one component-confined delta
@@ -885,7 +1004,7 @@ let all_tests =
     bench_e1; bench_e2; bench_e3; bench_e5; bench_e6; bench_e7; bench_e8; bench_e9;
     bench_e10; bench_e11; bench_e12; bench_e14; bench_e15; bench_e16; bench_e17;
     bench_e18; bench_arena; bench_engine; bench_mixed; bench_resilience; bench_decompose;
-    bench_shardcache; bench_deltafloor; bench_rewarm; bench_e21;
+    bench_shardcache; bench_deltafloor; bench_compindex; bench_rewarm; bench_e21;
     bench_containment; bench_phase5;
     bench_substrate;
   ]

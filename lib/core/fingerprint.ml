@@ -78,7 +78,10 @@ let arena (a : Arena.t) =
    skips dead slots) and a live vid's witness references live sids, so
    the hash over a tombstoned parent equals the hash over its compacted
    form — dead slots never feed a byte into the stream. *)
-let shard (a : Arena.t) (ps : Arena.proto_shard) =
+let shard ?bad (a : Arena.t) (ps : Arena.proto_shard) =
+  (* [?bad] overrides the parent's ΔV bitset — the split-reuse path
+     hashes a fragment under the memoized request, not the current one *)
+  let bad = match bad with Some b -> b | None -> a.Arena.bad in
   let sids = ps.Arena.p_sids and vids = ps.Arena.p_vids in
   let ns = Array.length sids and nv = Array.length vids in
   let h = ref (mix (mix fnv_basis ns) nv) in
@@ -102,7 +105,7 @@ let shard (a : Arena.t) (ps : Arena.proto_shard) =
       let vt = a.Arena.vtuples.(gvid) in
       h := mix_tuple (mix_string !h vt.Vtuple.query) vt.Vtuple.tuple;
       h := mix_float !h a.Arena.weights.(gvid);
-      h := mix !h (if Setcover.Bitset.mem a.Arena.bad gvid then 1 else 0);
+      h := mix !h (if Setcover.Bitset.mem bad gvid then 1 else 0);
       let row = a.Arena.witness.(gvid) in
       h := mix !h (Array.length row);
       Array.iter (fun gsid -> h := mix !h (rank gsid)) row)

@@ -33,8 +33,13 @@ val arena : Arena.t -> t
     than preparing to re-solve it: the planner only pays
     {!Arena.materialize} for dirty shards and cache misses. The equality
     with the built shard's fingerprint is enforced by a property test
-    ([test/test_shardcache.ml]). *)
-val shard : Arena.t -> Arena.proto_shard -> t
+    ([test/test_shardcache.ml]).
+
+    [?bad] overrides the parent's ΔV bitset (same physical vid space):
+    the split-aware reuse path ({!Planner.seed_fragments}) uses it to
+    hash a surviving fragment under the {e memoized} request rather than
+    whatever ΔV the arena currently carries. *)
+val shard : ?bad:Setcover.Bitset.t -> Arena.t -> Arena.proto_shard -> t
 
 val equal : t -> t -> bool
 val compare : t -> t -> int

@@ -21,6 +21,10 @@ type shard_decision = {
   exact : bool;
   degraded : bool;
   cached : bool;
+  fingerprint : Fingerprint.t option;
+      (* the shard's cache key, when the answer entered (or came from)
+         the shard cache — what the engine's component memos record for
+         split-aware reuse *)
 }
 
 type report = {
@@ -66,6 +70,10 @@ type cache_entry = {
       (* the parent instance's √‖V‖ wide-pruning threshold at solve
          time — the one solver input that is *not* a function of the
          shard's own content *)
+  e_split : bool;
+      (* seeded by [seed_fragments] (a restriction of a solved parent
+         entry onto a surviving fragment) rather than solved directly —
+         splicing such an entry counts as a fragment reuse *)
 }
 
 type cache = {
@@ -77,16 +85,20 @@ type cache = {
   mutable last_bucket : int option;
       (* the parent √‖V‖ threshold bucket the cache last solved under —
          a drift triggers the eviction sweep *)
+  mutable fragment_reuses : int;
+      (* spliced entries that were seeded by fragment restriction rather
+         than solved — the payoff counter for split-aware reuse *)
 }
 
 let create_cache ?(capacity = 512) () =
   { lru = Setcover.Lru.create ~capacity; hits = 0; misses = 0; evictions = 0;
-    last_bucket = None }
+    last_bucket = None; fragment_reuses = 0 }
 
 let cache_length c = Setcover.Lru.length c.lru
 let cache_hits c = c.hits
 let cache_misses c = c.misses
 let cache_evictions c = c.evictions
+let cache_fragment_reuses c = c.fragment_reuses
 
 let cache_clear c =
   Setcover.Lru.clear c.lru;
@@ -106,11 +118,12 @@ type cache_stats = {
   s_misses : int;
   s_evictions : int;
   s_last_bucket : int option;
+  s_fragment_reuses : int;
 }
 
 let cache_stats c =
   { s_hits = c.hits; s_misses = c.misses; s_evictions = c.evictions;
-    s_last_bucket = c.last_bucket }
+    s_last_bucket = c.last_bucket; s_fragment_reuses = c.fragment_reuses }
 
 (* most-recently-used first ([Lru.fold] visits MRU first and cons
    reverses, so rev restores visit order) *)
@@ -130,7 +143,8 @@ let cache_restore ?stats c entries =
     c.hits <- s.s_hits;
     c.misses <- s.s_misses;
     c.evictions <- s.s_evictions;
-    c.last_bucket <- s.s_last_bucket
+    c.last_bucket <- s.s_last_bucket;
+    c.fragment_reuses <- s.s_fragment_reuses
 
 (* The LowDeg wide-pruning test is [float_of_int width > threshold]
    over integer widths, so two thresholds with the same floor prune
@@ -252,6 +266,7 @@ type shard_result = {
   r_degraded : bool;
   r_failures : Portfolio.failure list;
   r_cached : bool;
+  r_fingerprint : Fingerprint.t option;
 }
 
 (* Only deterministic answers may be memoized: a degraded ladder, an
@@ -274,7 +289,7 @@ let factor_of ~l ~forest (cert : Solution.certificate) =
   | Solution.Heuristic | Solution.Anytime | Solution.Composite _ -> None
 
 let solve ?(exact_threshold = 16) ?only ?domains ?pool ?budget_ms
-    ?(decompose = true) ?partition ?cache ?dirty (a : Arena.t) =
+    ?(decompose = true) ?partition ?index ?cache ?dirty (a : Arena.t) =
   let whole () =
     (* the whole-instance portfolio iterates the physical arrays, so a
        tombstoned arena compacts first (the identity otherwise) *)
@@ -289,7 +304,14 @@ let solve ?(exact_threshold = 16) ?only ?domains ?pool ?budget_ms
   in
   if not decompose then whole ()
   else
-    let protos = Arena.active_components ?partition a in
+    (* [index] enumerates active components in O(‖ΔV‖ + active) off the
+       live rosters; the sweep path walks the full comp arrays. Both
+       produce bit-identical proto-shards (lockstep-tested). *)
+    let protos =
+      match index with
+      | Some ix -> Component_index.active ix a
+      | None -> Arena.active_components ?partition a
+    in
     let n = Array.length protos in
     (* n = 1 routes through the shard pipeline like any other round: the
        single active component still fingerprints into the shard cache
@@ -298,12 +320,6 @@ let solve ?(exact_threshold = 16) ?only ?domains ?pool ?budget_ms
     if n = 0 then whole ()
     else begin
       let t0 = Unix.gettimeofday () in
-      (* the budget still splits across *all* shards — a cache hit keeps
-         the per-shard deadline identical to a fresh run's, which the
-         solution-equivalence bar requires *)
-      let shard_budget =
-        Option.map (fun ms -> ms /. float_of_int n) budget_ms
-      in
       let wide_global = Lowdeg.default_wide_threshold a in
       (match cache with
       | Some c -> evict_stale_buckets c ~wide_global
@@ -335,6 +351,7 @@ let solve ?(exact_threshold = 16) ?only ?domains ?pool ?budget_ms
             match Setcover.Lru.find c.lru fp with
             | Some e when entry_reusable ~wide_global e ->
               c.hits <- c.hits + 1;
+              if e.e_split then c.fragment_reuses <- c.fragment_reuses + 1;
               Some
                 { r_component = ps.Arena.p_component;
                   r_stuples = Array.length ps.Arena.p_sids;
@@ -344,7 +361,8 @@ let solve ?(exact_threshold = 16) ?only ?domains ?pool ?budget_ms
                   r_winner = e.e_winner; r_deleted = e.e_deleted;
                   r_cost = e.e_cost;
                   r_certificate = entry_certificate ~wide_global e;
-                  r_degraded = false; r_failures = []; r_cached = true }
+                  r_degraded = false; r_failures = []; r_cached = true;
+                  r_fingerprint = Some fp }
             | _ ->
               c.misses <- c.misses + 1;
               None
@@ -356,6 +374,14 @@ let solve ?(exact_threshold = 16) ?only ?domains ?pool ?budget_ms
         List.filter_map
           (fun (ps, s) -> match s with None -> Some ps | Some _ -> None)
           (List.combine proto_list spliced)
+      in
+      (* the budget splits across the shards actually being re-solved —
+         a spliced shard consumes no wall-clock, so its share belongs to
+         the fresh solves, not to an idle slot *)
+      let shard_budget =
+        Option.map
+          (fun ms -> ms /. float_of_int (max 1 (List.length to_solve)))
+          budget_ms
       in
       (* materialization (restrict + build) happens inside the task, so
          the fan-out parallelizes it along with the solving — and clean
@@ -403,17 +429,21 @@ let solve ?(exact_threshold = 16) ?only ?domains ?pool ?budget_ms
                   None
                 | w :: _ ->
                   let forest = sh.Arena.arena.Arena.forest_case in
-                  (match cache with
-                  | Some c when cacheable r w ->
-                    Setcover.Lru.add c.lru
-                      (Fingerprint.arena sh.Arena.arena)
-                      { e_classification = cls;
-                        e_winner = w.Solution.algorithm;
-                        e_deleted = w.Solution.deleted;
-                        e_cost = Solution.cost w;
-                        e_certificate = w.Solution.certificate;
-                        e_forest = forest; e_threshold = wide_global }
-                  | _ -> ());
+                  let fp =
+                    match cache with
+                    | Some c when cacheable r w ->
+                      let fp = Fingerprint.arena sh.Arena.arena in
+                      Setcover.Lru.add c.lru fp
+                        { e_classification = cls;
+                          e_winner = w.Solution.algorithm;
+                          e_deleted = w.Solution.deleted;
+                          e_cost = Solution.cost w;
+                          e_certificate = w.Solution.certificate;
+                          e_forest = forest; e_threshold = wide_global;
+                          e_split = false };
+                      Some fp
+                    | _ -> None
+                  in
                   Some
                     { r_component = ps.Arena.p_component;
                       r_stuples = Arena.num_stuples sh.Arena.arena;
@@ -425,7 +455,8 @@ let solve ?(exact_threshold = 16) ?only ?domains ?pool ?budget_ms
                       r_cost = Solution.cost w;
                       r_certificate = w.Solution.certificate;
                       r_degraded = r.Portfolio.degraded;
-                      r_failures = r.Portfolio.failures; r_cached = false }))
+                      r_failures = r.Portfolio.failures; r_cached = false;
+                      r_fingerprint = fp }))
           )
           proto_list spliced
       in
@@ -445,7 +476,8 @@ let solve ?(exact_threshold = 16) ?only ?domains ?pool ?budget_ms
                 classification = r.r_classification; winner = r.r_winner;
                 cost = r.r_cost;
                 exact = (r.r_certificate = Solution.Exact);
-                degraded = r.r_degraded; cached = r.r_cached })
+                degraded = r.r_degraded; cached = r.r_cached;
+                fingerprint = r.r_fingerprint })
             solved
         in
         let deleted =
@@ -476,3 +508,115 @@ let solve ?(exact_threshold = 16) ?only ?domains ?pool ?budget_ms
           degraded = List.exists (fun (d : shard_decision) -> d.degraded) decisions;
           decomposed = true; shards = decisions; shards_cached = n_cached }
     end
+
+(* ---- split-aware fragment seeding ----
+
+   When a committed deletion shatters a component, the fragment that
+   still holds the memoized request's ΔV may be solvable by restriction:
+   the Exact_small (brute-force) tier's answer is a function of the
+   candidate set (sids occurring in bad witnesses), the bad view tuples,
+   and the preserved view tuples incident to a candidate — nothing else
+   in the shard feeds the enumeration. If the deletion killed no view
+   tuple whose witness meets the candidates, that whole sub-instance
+   survives verbatim inside the fragment, so the parent's cached entry
+   *is* the fragment's answer: re-key it under the fragment's
+   fingerprint (hashed under the memoized ΔV) without running a solver.
+
+   Restriction is deliberately limited to [Exact_small] entries: the
+   forest DP and the approximate portfolio read whole-shard inputs (the
+   tree order, the √‖V_shard‖ pruning threshold, solver rankings), so a
+   fragment of theirs is a different instance.
+
+   The seeded entry is what a fresh solve of the fragment under the same
+   ΔV would have cached — bit-identical winner, deleted set, cost and
+   certificate (enforced by the lockstep suite in
+   [test/test_compindex.ml]) — and [e_split] marks it so splices count
+   into [fragment_reuses]. *)
+let seed_fragments c ~(before : Arena.t) ~before_index ~dd ~(after : Arena.t)
+    ~after_index =
+  if not (before.Arena.stuples == after.Arena.stuples) then []
+  else begin
+    let p = Component_index.partition before_index in
+    let p' = Component_index.partition after_index in
+    (* affected old components, each considered once, ascending *)
+    let affected =
+      List.sort_uniq Int.compare
+        (R.Stuple.Set.fold
+           (fun st acc ->
+             p.Arena.comp_of_sid.(Arena.stuple_id before st) :: acc)
+           dd [])
+    in
+    let newly_dead vid =
+      Bitset.mem after.Arena.dead_v vid
+      && not (Bitset.mem before.Arena.dead_v vid)
+    in
+    let seed comp =
+      match Component_index.memo before_index comp with
+      | None -> None
+      | Some (fp, bad) -> (
+        if Array.length bad = 0 then None
+        else
+          match Setcover.Lru.find c.lru fp with
+          | Some e when e.e_classification = Exact_small ->
+            (* the memoized ΔV must have survived intact and landed in
+               one fragment (witness containment guarantees its
+               candidates and their incident views went with it) *)
+            if
+              Array.for_all
+                (fun v -> not (Bitset.mem after.Arena.dead_v v))
+                bad
+            then begin
+              let f = p'.Arena.comp_of_vid.(bad.(0)) in
+              if
+                f >= 0
+                && Array.for_all (fun v -> p'.Arena.comp_of_vid.(v) = f) bad
+              then begin
+                let candidates = Hashtbl.create 16 in
+                Array.iter
+                  (fun v ->
+                    Array.iter
+                      (fun s -> Hashtbl.replace candidates s ())
+                      after.Arena.witness.(v))
+                  bad;
+                (* the deletion must not have killed any view tuple
+                   whose witness meets the candidate set — that is the
+                   exact condition for the brute sub-instance to survive
+                   the restriction *)
+                let touched = ref false in
+                R.Stuple.Set.iter
+                  (fun st ->
+                    let sid = Arena.stuple_id before st in
+                    if p.Arena.comp_of_sid.(sid) = comp then
+                      Array.iter
+                        (fun vid ->
+                          if newly_dead vid then
+                            Array.iter
+                              (fun wsid ->
+                                if Hashtbl.mem candidates wsid then
+                                  touched := true)
+                              before.Arena.witness.(vid))
+                        before.Arena.containing.(sid))
+                  dd;
+                if !touched then None
+                else begin
+                  let bb = Bitset.create (Arena.num_vtuples after) in
+                  Array.iter (Bitset.add bb) bad;
+                  let ps =
+                    { Arena.p_component = f;
+                      p_sids = Component_index.sids_of after_index f;
+                      p_vids = Component_index.vids_of after_index f }
+                  in
+                  let fpf = Fingerprint.shard ~bad:bb after ps in
+                  Setcover.Lru.add c.lru fpf { e with e_split = true };
+                  Component_index.record_memo after_index ~component:f
+                    ~fp:fpf ~bad;
+                  Some f
+                end
+              end
+              else None
+            end
+            else None
+          | _ -> None)
+    in
+    List.filter_map seed affected
+  end

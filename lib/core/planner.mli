@@ -51,6 +51,11 @@ type shard_decision = {
   exact : bool;             (** did an exact tier produce the answer? *)
   degraded : bool;          (** shard fell to the unbudgeted-greedy ladder *)
   cached : bool;            (** spliced from the shard cache, no solver ran *)
+  fingerprint : Fingerprint.t option;
+      (** the shard's cache key when its answer entered (or was spliced
+          from) the shard cache; [None] when nothing was memoized. The
+          engine records these in its {!Component_index} memos, which
+          {!seed_fragments} restricts onto surviving fragments. *)
 }
 
 type report = {
@@ -108,6 +113,10 @@ type cache_entry = {
   e_forest : bool;               (** the shard arena's forest flag *)
   e_threshold : float;
       (** the parent √‖V‖ wide-pruning threshold at solve time *)
+  e_split : bool;
+      (** entered the cache by fragment restriction ({!seed_fragments})
+          rather than by solving; splicing it counts as a fragment
+          reuse *)
 }
 
 (** [create_cache ?capacity ()] — an empty cache holding at most
@@ -129,6 +138,11 @@ val cache_misses : cache -> int
     slots until discovered stale at splice time. *)
 val cache_evictions : cache -> int
 
+(** Lifetime count of splices whose entry was seeded by
+    {!seed_fragments} — cache hits that exist only because a split's
+    surviving fragment inherited its parent's answer by restriction. *)
+val cache_fragment_reuses : cache -> int
+
 val cache_clear : cache -> unit
 
 (** {2 Snapshot hooks}
@@ -146,6 +160,7 @@ type cache_stats = {
   s_evictions : int;
   s_last_bucket : int option;
       (** the √‖V‖ threshold-bucket latch ({!cache_evictions}) *)
+  s_fragment_reuses : int;
 }
 
 val cache_stats : cache -> cache_stats
@@ -178,13 +193,19 @@ val cache_restore :
     falls back to the whole-instance portfolio rather than return an
     infeasible union.
 
+    [index] replaces the active-component sweep with the engine's live
+    {!Component_index} — O(‖ΔV‖ + active) enumeration off maintained
+    rosters, bit-identical proto-shards. It wins over [partition] when
+    both are given; [partition] remains the sweep path's reuse hook.
+
     [cache] enables shard memoization; [dirty component] says whether
     the caller's deltas may have touched that component since its answer
     was cached (default: every component — with no tracking the cache
     only ever stores). A shard is spliced iff it is clean, its
     fingerprint is present, and the entry passes the reuse rules; the
-    budget still splits across {e all} shards, so spliced rounds see the
-    same per-shard deadlines as fresh ones. *)
+    budget splits across the shards actually re-solved (a spliced shard
+    consumes no wall-clock), so fresh solves in a mostly-cached round
+    get the deadline headroom the splices freed. *)
 val solve :
   ?exact_threshold:int ->
   ?only:string list ->
@@ -193,7 +214,41 @@ val solve :
   ?budget_ms:float ->
   ?decompose:bool ->
   ?partition:Arena.partition ->
+  ?index:Component_index.t ->
   ?cache:cache ->
   ?dirty:(int -> bool) ->
   Arena.t ->
   report
+
+(** {2 Split-aware fragment seeding}
+
+    [seed_fragments cache ~before ~before_index ~dd ~after ~after_index]
+    — called by the engine right after committing a tombstoning deletion
+    [dd] ([after = Arena.delete before ~dd _]; the identity on the
+    gather path, returning []). For each component of [before] touched
+    by [dd] whose {!Component_index.memo} points at a cached
+    [Exact_small] entry, if the memoized ΔV survived intact inside one
+    fragment of [after] and the deletion killed no view tuple whose
+    witness meets the ΔV's candidate set, the parent's entry is the
+    fragment's answer by restriction: the brute-force tier's result is a
+    function of the candidates, the bad view tuples, and the preserved
+    views incident to a candidate — all of which the fragment inherits
+    verbatim (witness containment keeps them inside one fragment). The
+    entry is re-keyed under the fragment's fingerprint (hashed with the
+    memoized ΔV via [Fingerprint.shard ~bad]), marked [e_split], and the
+    fragment's memo updated so reuse chains across successive splits.
+
+    Returns the seeded fragment components (ascending) — the engine
+    clears their dirty flags, so the next request splices them without
+    materializing or solving anything. Restriction never applies to
+    forest-DP or approximate entries (their answers read whole-shard
+    inputs), and a fresh solve of a seeded fragment would produce a
+    bit-identical answer (lockstep-tested). *)
+val seed_fragments :
+  cache ->
+  before:Arena.t ->
+  before_index:Component_index.t ->
+  dd:Relational.Stuple.Set.t ->
+  after:Arena.t ->
+  after_index:Component_index.t ->
+  int list

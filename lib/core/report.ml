@@ -109,6 +109,10 @@ let shard_decision (d : Planner.shard_decision) =
       ("exact", Bool d.Planner.exact);
       ("degraded", Bool d.Planner.degraded);
       ("cached", Bool d.Planner.cached);
+      ( "fingerprint",
+        match d.Planner.fingerprint with
+        | None -> Null
+        | Some fp -> String (Fingerprint.to_hex fp) );
     ]
 
 (* [versioned fields] — a top-level report object, schema stamp first *)

@@ -57,6 +57,7 @@ type stats = {
   shards_cached : int;
   shards_resolved : int;
   shard_cache_hits : int;
+  fragment_reuses : int;
   tombstone_ratio : float;
   compactions : int;
   snapshot : snapshot_status;
@@ -83,6 +84,7 @@ let zero_stats =
     shards_cached = 0;
     shards_resolved = 0;
     shard_cache_hits = 0;
+    fragment_reuses = 0;
     tombstone_ratio = 0.0;
     compactions = 0;
     snapshot = Cold;
@@ -94,13 +96,13 @@ let pp_stats ppf s =
      %d patch(es), %d insert(s) patched, %d rebuild(s), %d retarget(s), %d \
      component(s)@ tombstones: ratio %.3f, %d compaction(s)@ solve: last %.2f ms, \
      total %.2f ms@ planner: %d shard(s) solved, %d exact, %d approximate, %d \
-     cached / %d resolved (%d lifetime cache hit(s))@ journal: %d record(s) \
-     appended, %d recovered@ snapshot: %a@]"
+     cached / %d resolved (%d lifetime cache hit(s), %d fragment reuse(s))@ \
+     journal: %d record(s) appended, %d recovered@ snapshot: %a@]"
     s.rounds s.applies s.tuples_deleted s.tuples_inserted s.patches s.inserts_patched
     s.rebuilds s.index_retargets s.components s.tombstone_ratio s.compactions
     s.last_solve_ms s.total_solve_ms s.shards_solved s.shards_exact s.shards_approx
-    s.shards_cached s.shards_resolved s.shard_cache_hits s.journal_records
-    s.recovered_records pp_snapshot_status s.snapshot
+    s.shards_cached s.shards_resolved s.shard_cache_hits s.fragment_reuses
+    s.journal_records s.recovered_records pp_snapshot_status s.snapshot
 
 (* The typed reporting surface: [Stats.t] is an alias of the flat record
    (field access through either path), plus the one JSON encoding every
@@ -128,6 +130,7 @@ module Stats = struct
     shards_cached : int;
     shards_resolved : int;
     shard_cache_hits : int;
+    fragment_reuses : int;
     tombstone_ratio : float;
     compactions : int;
     snapshot : snapshot_status;
@@ -158,6 +161,7 @@ module Stats = struct
         ("shards_cached", D.Report.Int s.shards_cached);
         ("shards_resolved", D.Report.Int s.shards_resolved);
         ("shard_cache_hits", D.Report.Int s.shard_cache_hits);
+        ("fragment_reuses", D.Report.Int s.fragment_reuses);
         ( "tombstone_ratio",
           D.Report.Raw (Printf.sprintf "%.3f" s.tombstone_ratio) );
         ("compactions", D.Report.Int s.compactions);
@@ -178,11 +182,15 @@ type plan = {
 type index = {
   prov : D.Provenance.t;
   arena : D.Arena.t;
-  partition : D.Arena.partition;
-      (* maintained with the arena on both sides of a delta: deletions
-         patch it in place ([Arena.partition_delete], components only
-         split), insertions merge it ([Arena.partition_insert]) *)
+  cindex : D.Component_index.t;
+      (* the first-class live component index: the canonical partition
+         plus per-component member rosters and solve memos, maintained
+         with the arena on both sides of a delta — deletions re-roster
+         only the affected components ([Component_index.delete]),
+         insertions only the merged ones ([Component_index.insert]) *)
 }
+
+let part_of ix = D.Component_index.partition ix.cindex
 
 (* Which components may have changed since the shard cache last saw
    them. [All] is the conservative top (fresh sessions, recovered
@@ -224,6 +232,11 @@ type t = {
   mutable stats : stats;
   shard_cache : D.Planner.cache option;
   mutable dirty : dirty;
+  indexed : bool;
+      (* route planner rounds through the live [Component_index]
+         ([Planner.solve ~index] + split-aware fragment seeding) rather
+         than the partition-sweep path; the index itself is maintained
+         either way, so the two modes are lockstep-comparable *)
 }
 
 let lazy_tombstones t = t.compact_threshold > 0.0
@@ -347,7 +360,7 @@ let compact_index t =
       {
         ix with
         arena = D.Arena.compact ix.arena;
-        partition = D.Arena.compact_partition ~before:ix.arena ix.partition;
+        cindex = D.Component_index.compact ix.cindex ~before:ix.arena;
       };
     t.stats <- { t.stats with compactions = t.stats.compactions + 1 }
   end
@@ -382,62 +395,76 @@ let apply_delta_raw t (delta : D.Delta.t) =
       delta.D.Delta.inserts
   in
   let ix = t.index in
-  let (prov, arena, partition), dirty, deletes_patched =
+  let (prov, arena, cindex), dirty, deletes_patched =
     if R.Stuple.Set.is_empty dd then
-      ((ix.prov, ix.arena, ix.partition), t.dirty, false)
+      ((ix.prov, ix.arena, ix.cindex), t.dirty, false)
     else begin
       let prov' = D.Provenance.delete ix.prov dd in
       let arena' =
         let tombstoned = D.Arena.delete ix.arena ~dd prov' in
         if lazy_tombstones t then tombstoned else D.Arena.compact tombstoned
       in
-      let partition' =
-        D.Arena.partition_delete ix.partition ~before:ix.arena ~dd arena'
+      let cindex' =
+        D.Component_index.delete ix.cindex ~before:ix.arena ~dd arena'
       in
       let dirty =
         match t.dirty with
         | All -> All
         | Flags f ->
-          Flags
-            (dirty_after_delete ~before:ix.arena ~p:ix.partition ~dd ~a':arena'
-               ~p':partition' f)
+          let f' =
+            dirty_after_delete ~before:ix.arena ~p:(part_of ix) ~dd ~a':arena'
+              ~p':(D.Component_index.partition cindex') f
+          in
+          (* split-aware cache reuse: when the deletion shattered a
+             memoized component and left a fragment's candidate
+             neighborhood untouched, that fragment inherits the parent's
+             cached answer by restriction and stays clean — only the
+             touched fragments re-solve next round *)
+          (match t.shard_cache with
+          | Some c when t.indexed ->
+            List.iter
+              (fun comp -> B.remove f' comp)
+              (D.Planner.seed_fragments c ~before:ix.arena
+                 ~before_index:ix.cindex ~dd ~after:arena' ~after_index:cindex')
+          | _ -> ());
+          Flags f'
       in
-      ((prov', arena', partition'), dirty, true)
+      ((prov', arena', cindex'), dirty, true)
     end
   in
-  let (prov, arena, partition), dirty =
-    if R.Stuple.Set.is_empty ins then ((prov, arena, partition), dirty)
+  let (prov, arena, cindex), dirty =
+    if R.Stuple.Set.is_empty ins then ((prov, arena, cindex), dirty)
     else begin
       let prov' =
         R.Stuple.Set.fold (fun st p -> D.Provenance.insert p st) ins prov
       in
       (* a merge-path extend of a tombstoned arena would compact inside
-         [Arena.extend], desynchronizing the partition and flags from
-         the physical layout — compact both sides first instead (labels
+         [Arena.extend], desynchronizing the rosters and flags from the
+         physical layout — compact both sides first instead (labels
          survive, so the flags carry over as-is) *)
-      let arena, partition =
+      let arena, cindex =
         if
           D.Arena.tombstoned arena
           && not (D.Arena.can_extend_in_place arena ~ins prov')
         then
-          ( D.Arena.compact arena,
-            D.Arena.compact_partition ~before:arena partition )
-        else (arena, partition)
+          (D.Arena.compact arena, D.Component_index.compact cindex ~before:arena)
+        else (arena, cindex)
       in
       let arena' = D.Arena.extend arena ~ins prov' in
-      let partition' = D.Arena.partition_insert partition ~before:arena arena' in
+      let cindex' = D.Component_index.insert cindex ~before:arena arena' in
       let dirty =
         match dirty with
         | All -> All
         | Flags f ->
           Flags
-            (dirty_after_insert ~before:arena ~p:partition ~after:arena'
-               ~p':partition' f)
+            (dirty_after_insert ~before:arena
+               ~p:(D.Component_index.partition cindex) ~after:arena'
+               ~p':(D.Component_index.partition cindex') f)
       in
-      ((prov', arena', partition'), dirty)
+      ((prov', arena', cindex'), dirty)
     end
   in
-  t.index <- { prov; arena; partition };
+  t.index <- { prov; arena; cindex };
   t.dirty <- dirty;
   t.mv <-
     D.Matview.of_views prov.D.Provenance.problem.D.Problem.db t.queries
@@ -449,7 +476,7 @@ let apply_delta_raw t (delta : D.Delta.t) =
       tuples_inserted = t.stats.tuples_inserted + R.Stuple.Set.cardinal ins;
       patches = t.stats.patches + (if deletes_patched then 1 else 0);
       inserts_patched = t.stats.inserts_patched + R.Stuple.Set.cardinal ins;
-      components = partition.D.Arena.num_components;
+      components = (D.Component_index.partition cindex).D.Arena.num_components;
     };
   (* amortized trigger, off the per-round critical path until the dead
      fraction actually matters *)
@@ -481,19 +508,47 @@ let replay_record t = function
 let write_snapshot t =
   match (t.snapshot_path, t.shard_cache) with
   | Some spath, Some c ->
-    let n = t.index.partition.D.Arena.num_components in
+    let n = (part_of t.index).D.Arena.num_components in
     let dirty =
       match t.dirty with
       | All -> List.init n (fun i -> i)
       | Flags f -> List.rev (B.fold (fun i acc -> i :: acc) f [])
     in
+    (* the generation the recorded position belongs to: the open
+       writer's, or — during a checkpoint, where the writer is closed
+       and the snapshot precedes the [Journal.rewrite] — the bumped one
+       the rewrite is about to stamp *)
+    let generation =
+      match (t.journal, t.journal_path) with
+      | Some w, _ -> Journal.generation w
+      | None, Some path -> Journal.current_gen path + 1
+      | None, None -> 0
+    in
+    (* the session database as a delta against the base: what the fast
+       recovery path applies in place of replaying the [position]-record
+       journal prefix *)
+    let cur = D.Matview.db t.mv in
+    let gone =
+      R.Instance.fold
+        (fun st acc ->
+          if R.Instance.mem cur st then acc else R.Stuple.Set.add st acc)
+        t.base_db R.Stuple.Set.empty
+    in
+    let added =
+      R.Instance.fold
+        (fun st acc ->
+          if R.Instance.mem t.base_db st then acc else R.Stuple.Set.add st acc)
+        cur R.Stuple.Set.empty
+    in
     Snapshot.write spath
       {
         Snapshot.position = t.journal_len;
+        generation;
         arena_fp = D.Fingerprint.arena t.index.arena;
         components = n;
         dirty;
         stats = D.Planner.cache_stats c;
+        baseline = Some (gone, added);
         entries = D.Planner.cache_entries c;
       };
     t.last_snapshot_len <- t.journal_len
@@ -511,10 +566,55 @@ let journal_append t record =
       && t.journal_len - t.last_snapshot_len >= t.snapshot_every
     then write_snapshot t
 
+let checkpoint t =
+  (* a checkpoint is the durable summary of the session so far — fold
+     the tombstones away first so the on-disk baseline corresponds to a
+     compact index and recovery replays onto the same physical layout *)
+  compact_index t;
+  match t.journal_path with
+  | None -> ()
+  | Some path ->
+    (match t.journal with
+    | Some w ->
+      Journal.close_writer w;
+      t.journal <- None
+    | None -> ());
+    let cur = D.Matview.db t.mv in
+    let gone =
+      R.Instance.fold
+        (fun st acc ->
+          if R.Instance.mem cur st then acc else R.Stuple.Set.add st acc)
+        t.base_db R.Stuple.Set.empty
+    in
+    let added =
+      R.Instance.fold
+        (fun st acc ->
+          if R.Instance.mem t.base_db st then acc else st :: acc)
+        cur []
+    in
+    (* a single symmetric record — deletes replay before inserts, so an
+       update (same key, new tuple) drops the old row before its
+       replacement lands *)
+    let records =
+      [ Journal.Delta { deletes = gone; inserts = R.Stuple.Set.of_list added } ]
+    in
+    (* snapshot first, at the post-checkpoint position (1 record: the
+       baseline delta), then the journal mark. A crash between the two
+       leaves a snapshot whose position describes a journal that never
+       landed — recovery's end-of-replay fallback still re-warms it,
+       because the old journal replays to the same state. *)
+    t.journal_len <- List.length records;
+    write_snapshot t;
+    Journal.rewrite path records;
+    t.journal <-
+      Some (Journal.open_writer ~fsync:t.fsync ?segment_bytes:t.segment_bytes path);
+    Log.info (fun m ->
+        m "journal %s: checkpointed to %d record(s)" path (List.length records))
+
 let create ?weights ?exact_threshold ?algorithms ?(plan = false) ?domains
     ?budget_ms ?compact_threshold ?journal ?(recover = false)
     ?(shard_cache = 512) ?snapshot ?(snapshot_every = 16) ?(fsync = false)
-    ?segment_bytes db queries =
+    ?segment_bytes ?(indexed = true) db queries =
   (match (snapshot, journal) with
   | Some _, None ->
     invalid_arg "Engine.create: ~snapshot requires ~journal (a snapshot is \
@@ -523,7 +623,7 @@ let create ?weights ?exact_threshold ?algorithms ?(plan = false) ?domains
   let problem = D.Problem.make ~db ~queries ~deletions:[] ?weights () in
   let prov = D.Provenance.build problem in
   let arena = D.Arena.build prov in
-  let partition = D.Arena.partition arena in
+  let cindex = D.Component_index.build arena in
   (* plan sessions default to lazy tombstones: the shard pipeline skips
      dead slots natively, so deltas stay sublinear. Flat sessions default
      to eager — the whole-instance portfolio wants a compact arena every
@@ -552,10 +652,11 @@ let create ?weights ?exact_threshold ?algorithms ?(plan = false) ?domains
       last_snapshot_len = 0;
       pool = D.Par.Pool.create ?domains ();
       mv = D.Matview.of_views db queries prov.D.Provenance.views;
-      index = { prov; arena; partition };
+      index = { prov; arena; cindex };
       stats =
         { zero_stats with rebuilds = 1;
-          components = partition.D.Arena.num_components };
+          components =
+            (D.Component_index.partition cindex).D.Arena.num_components };
       shard_cache =
         (if plan && shard_cache > 0 then
            Some (D.Planner.create_cache ~capacity:shard_cache ())
@@ -563,6 +664,7 @@ let create ?weights ?exact_threshold ?algorithms ?(plan = false) ?domains
       (* a fresh (or recovered) session has solved nothing yet: every
          component is dirty until its first planner round lands *)
       dirty = All;
+      indexed;
     }
   in
   (match journal with
@@ -596,7 +698,7 @@ let create ?weights ?exact_threshold ?algorithms ?(plan = false) ?domains
       match t.shard_cache with
       | None -> false
       | Some c ->
-        let p = t.index.partition in
+        let p = part_of t.index in
         if
           s.Snapshot.components = p.D.Arena.num_components
           && D.Fingerprint.equal s.Snapshot.arena_fp
@@ -619,6 +721,74 @@ let create ?weights ?exact_threshold ?algorithms ?(plan = false) ?domains
         end
         else false
     in
+    (* the fresh base state, reinstallable if a fast-path attempt below
+       turns out stale: nothing before this point mutates [prov] /
+       [arena] / [cindex] (arena patches copy the dead bitsets) *)
+    let reset_state () =
+      t.mv <- D.Matview.of_views db queries prov.D.Provenance.views;
+      t.index <- { prov; arena; cindex };
+      t.dirty <- All;
+      (match t.shard_cache with
+      | Some c -> D.Planner.cache_clear c
+      | None -> ());
+      t.stats <-
+        {
+          zero_stats with
+          rebuilds = 1;
+          snapshot = t.stats.snapshot;
+          components =
+            (D.Component_index.partition cindex).D.Arena.num_components;
+        }
+    in
+    (* Fast path — sealed-segment reclamation (ROADMAP item 4): with a
+       baseline in the snapshot and the journal still on the snapshot's
+       generation, the journal's first [position] records are provably
+       the ones the snapshot summarizes (within a generation the
+       sequence is append-only; only [rewrite] bumps it). Apply the
+       baseline as one delta in their stead, install, replay only the
+       tail. The sealed segments the skipped prefix lives in are
+       reclaimed by a checkpoint once the writer reopens — never by
+       unlinking them in place, which would shift every surviving
+       record's global index out from under the snapshot's recorded
+       position and poison the *next* recovery. Any mismatch rebuilds
+       the base state and falls back to the full replay below. *)
+    let reclaim = ref false in
+    let fast =
+      match snap with
+      | Some (s, dropped)
+        when s.Snapshot.position > 0
+             && s.Snapshot.baseline <> None
+             && Journal.current_gen path = s.Snapshot.generation -> (
+        match
+          Journal.load_from ~repair:true ~position:s.Snapshot.position path
+        with
+        | Error _ -> false
+        | Ok { Journal.tail; total; covered } ->
+          if total < s.Snapshot.position then false
+          else begin
+            let gone, added = Option.get s.Snapshot.baseline in
+            ignore
+              (apply_delta_raw t (D.Delta.make ~deletes:gone ~inserts:added ()));
+            if install s dropped then begin
+              List.iter (replay_record t) tail;
+              t.journal_len <- total;
+              t.last_snapshot_len <- total;
+              t.stats <- { t.stats with recovered_records = total };
+              reclaim := covered <> [];
+              Log.info (fun m ->
+                  m "journal %s: fast recovery — baseline + %d tail record(s), \
+                     %d sealed segment(s) to reclaim"
+                    path (List.length tail) (List.length covered));
+              true
+            end
+            else begin
+              reset_state ();
+              false
+            end
+          end)
+      | _ -> false
+    in
+    if not fast then
     (match Journal.load ~repair:true path with
     | Error e -> raise (Journal.Error e)
     | Ok records ->
@@ -666,7 +836,12 @@ let create ?weights ?exact_threshold ?algorithms ?(plan = false) ?domains
                   (if entries = 1 then "y" else "ies")
               | _ -> "")));
     t.journal <-
-      Some (Journal.open_writer ~fsync ?segment_bytes path));
+      Some (Journal.open_writer ~fsync ?segment_bytes path);
+    (* fold the snapshot-covered prefix away for real: the checkpoint's
+       generation-bumping rewrite unlinks the sealed segments atomically
+       and leaves a journal+snapshot pair that is self-consistent for
+       the next recovery *)
+    if !reclaim then checkpoint t);
   t
 
 let db t = D.Matview.db t.mv
@@ -682,6 +857,10 @@ let stats t =
       (match t.shard_cache with
       | None -> 0
       | Some c -> D.Planner.cache_hits c);
+    fragment_reuses =
+      (match t.shard_cache with
+      | None -> 0
+      | Some c -> D.Planner.cache_fragment_reuses c);
     tombstone_ratio = D.Arena.tombstone_ratio t.index.arena;
   }
 
@@ -691,7 +870,8 @@ let index t =
   let ix = index_of t in
   (ix.prov, ix.arena)
 
-let partition t = (index_of t).partition
+let partition t = part_of (index_of t)
+let component_index t = (index_of t).cindex
 
 let request ?budget_ms t requests =
   let ix = index_of t in
@@ -709,14 +889,48 @@ let request ?budget_ms t requests =
           | None, _ | _, All -> None
           | Some _, Flags f -> Some (fun c -> B.mem f c)
         in
-        (* the partition depends only on witness structure, so the
-           session's incrementally maintained one re-targets for free *)
+        (* the component index depends only on witness structure, so the
+           session's incrementally maintained one re-targets for free —
+           indexed sessions enumerate active components off the live
+           rosters, sweep-path sessions off the partition arrays *)
         let report =
-          D.Planner.solve ?exact_threshold:t.exact_threshold
-            ?only:t.algorithms ?budget_ms ~pool:t.pool
-            ~partition:ix.partition ?cache:t.shard_cache ?dirty:dirty_fn
-            arena'
+          if t.indexed then
+            D.Planner.solve ?exact_threshold:t.exact_threshold
+              ?only:t.algorithms ?budget_ms ~pool:t.pool ~index:ix.cindex
+              ?cache:t.shard_cache ?dirty:dirty_fn arena'
+          else
+            D.Planner.solve ?exact_threshold:t.exact_threshold
+              ?only:t.algorithms ?budget_ms ~pool:t.pool
+              ~partition:(part_of ix) ?cache:t.shard_cache ?dirty:dirty_fn
+              arena'
         in
+        (* memoize each decided shard's (fingerprint, ΔV) on its
+           component: what [Planner.seed_fragments] restricts onto
+           surviving fragments when a later delete splits it *)
+        (if t.indexed && report.D.Planner.decomposed then begin
+           let p = part_of ix in
+           let by_comp = Hashtbl.create 16 in
+           B.iter
+             (fun vid ->
+               let c = p.D.Arena.comp_of_vid.(vid) in
+               let prev = try Hashtbl.find by_comp c with Not_found -> [] in
+               Hashtbl.replace by_comp c (vid :: prev))
+             arena'.D.Arena.bad;
+           List.iter
+             (fun (d : D.Planner.shard_decision) ->
+               match d.D.Planner.fingerprint with
+               | None -> ()
+               | Some fp ->
+                 let bad =
+                   Array.of_list
+                     (List.rev
+                        (try Hashtbl.find by_comp d.D.Planner.component
+                         with Not_found -> []))
+                 in
+                 D.Component_index.record_memo ix.cindex
+                   ~component:d.D.Planner.component ~fp ~bad)
+             report.D.Planner.shards
+         end);
         (* every shard that just solved (or spliced, staying valid) is
            now clean; components the round did not activate keep their
            state. [request] commits nothing, so the partition the flags
@@ -724,7 +938,7 @@ let request ?budget_ms t requests =
         (if t.shard_cache <> None && report.D.Planner.decomposed then begin
            let f =
              match t.dirty with
-             | All -> B.full ix.partition.D.Arena.num_components
+             | All -> B.full (part_of ix).D.Arena.num_components
              | Flags f -> f
            in
            List.iter
@@ -819,51 +1033,6 @@ let apply_delta t delta =
       (Journal.Delta
          { deletes = applied.D.Delta.deletes; inserts = applied.D.Delta.inserts });
   applied
-
-let checkpoint t =
-  (* a checkpoint is the durable summary of the session so far — fold
-     the tombstones away first so the on-disk baseline corresponds to a
-     compact index and recovery replays onto the same physical layout *)
-  compact_index t;
-  match t.journal_path with
-  | None -> ()
-  | Some path ->
-    (match t.journal with
-    | Some w ->
-      Journal.close_writer w;
-      t.journal <- None
-    | None -> ());
-    let cur = D.Matview.db t.mv in
-    let gone =
-      R.Instance.fold
-        (fun st acc ->
-          if R.Instance.mem cur st then acc else R.Stuple.Set.add st acc)
-        t.base_db R.Stuple.Set.empty
-    in
-    let added =
-      R.Instance.fold
-        (fun st acc ->
-          if R.Instance.mem t.base_db st then acc else st :: acc)
-        cur []
-    in
-    (* a single symmetric record — deletes replay before inserts, so an
-       update (same key, new tuple) drops the old row before its
-       replacement lands *)
-    let records =
-      [ Journal.Delta { deletes = gone; inserts = R.Stuple.Set.of_list added } ]
-    in
-    (* snapshot first, at the post-checkpoint position (1 record: the
-       baseline delta), then the journal mark. A crash between the two
-       leaves a snapshot whose position describes a journal that never
-       landed — recovery's end-of-replay fallback still re-warms it,
-       because the old journal replays to the same state. *)
-    t.journal_len <- List.length records;
-    write_snapshot t;
-    Journal.rewrite path records;
-    t.journal <-
-      Some (Journal.open_writer ~fsync:t.fsync ?segment_bytes:t.segment_bytes path);
-    Log.info (fun m ->
-        m "journal %s: checkpointed to %d record(s)" path (List.length records))
 
 let close t =
   (match t.journal with

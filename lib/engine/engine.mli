@@ -96,6 +96,13 @@ type stats = {
   shard_cache_hits : int; (** the shard cache's lifetime hit counter
                               ({!Deleprop.Planner.cache_hits}), read at
                               {!stats} time; 0 without a cache *)
+  fragment_reuses : int;  (** lifetime splices of entries seeded by
+                              split-aware fragment restriction
+                              ({!Deleprop.Planner.cache_fragment_reuses}),
+                              read at {!stats} time — cache hits that
+                              exist only because a split's surviving
+                              fragment inherited its parent component's
+                              answer; 0 without a cache *)
   tombstone_ratio : float;(** dead slots / total slots in the live arena,
                               read at {!stats} time — 0.0 right after a
                               compaction (and always, under the eager
@@ -141,6 +148,7 @@ module Stats : sig
     shards_cached : int;
     shards_resolved : int;
     shard_cache_hits : int;
+    fragment_reuses : int;
     tombstone_ratio : float;
     compactions : int;
     snapshot : snapshot_status;
@@ -240,9 +248,29 @@ type plan = {
     entries, the lifetime counters, {e and} the dirty flags, which the
     remaining journal tail then remaps like live deltas — so the first
     post-recovery round re-solves only what the crashed session would
-    have. Every failure shape degrades per the {!Snapshot} ladder and
-    stamps [stats.snapshot]; [test/test_rewarm.ml] holds the
-    crash+recover ≡ uninterrupted equivalence property. *)
+    have. When the snapshot additionally carries a database baseline and
+    its recorded journal generation still matches the journal on disk,
+    recovery takes the {e fast path}: the [position]-record prefix is
+    never parsed — the baseline applies as one delta, only the tail
+    replays, and an immediate checkpoint folds the sealed journal
+    segments the prefix lived in away (sealed-segment reclamation, via
+    the generation-bumping rewrite so a crash mid-reclaim can never
+    orphan the snapshot's recorded position). Every failure shape degrades
+    per the {!Snapshot} ladder (the fast path itself degrades to the
+    full replay) and stamps [stats.snapshot]; [test/test_rewarm.ml]
+    holds the crash+recover ≡ uninterrupted equivalence property.
+
+    [indexed] (default [true]) routes planner rounds through the live
+    {!Deleprop.Component_index} — active components enumerate off
+    maintained per-component rosters in O(‖ΔV‖ + active) instead of the
+    O(‖D‖ + ‖V‖) partition sweep — and arms split-aware cache reuse:
+    after a committed deletion splits a memoized component, surviving
+    fragments whose candidate neighborhood the delete did not touch
+    inherit the parent's cached answer by restriction
+    ({!Deleprop.Planner.seed_fragments}) and stay clean. [~indexed:false]
+    keeps the sweep path (the component index is still maintained, so
+    the two modes are lockstep-comparable — [test/test_compindex.ml]
+    proves them bit-identical). *)
 val create :
   ?weights:Deleprop.Weights.t ->
   ?exact_threshold:int ->
@@ -258,6 +286,7 @@ val create :
   ?snapshot_every:int ->
   ?fsync:bool ->
   ?segment_bytes:int ->
+  ?indexed:bool ->
   Relational.Instance.t ->
   Cq.Query.t list ->
   t
@@ -347,6 +376,13 @@ val index : t -> Deleprop.Provenance.t * Deleprop.Arena.t
     [Arena.partition (snd (index t))] (over a tombstoned arena that
     partition labels live slots only; dead slots carry [-1]). *)
 val partition : t -> Deleprop.Arena.partition
+
+(** The session's live component index — the partition above plus the
+    per-component member rosters and solve memos
+    ({!Deleprop.Component_index}), maintained through every commit.
+    What the lockstep differential tests compare against
+    [Component_index.build (snd (index t))]. *)
+val component_index : t -> Deleprop.Component_index.t
 
 (** A point-in-time snapshot: the session's counters, with
     [shard_cache_hits] and [tombstone_ratio] read off the live cache and

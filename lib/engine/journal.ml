@@ -273,6 +273,84 @@ let parse_segment ?(repair = false) ~allow_torn ~index0 path =
     go (String.length magic) index0 []
   end
 
+(* structural record count of one segment: frame hops only — no CRC
+   checks, no payload decoding — with generation markers excluded.
+   [None] when the file is unreadable or not frame-delimitable end to
+   end, in which case the caller must parse it properly. *)
+let count_segment_records path =
+  match read_file path with
+  | exception Sys_error _ -> None
+  | data ->
+    let len = String.length data in
+    let mlen = String.length magic in
+    if len < mlen || String.sub data 0 mlen <> magic then None
+    else begin
+      let rec go pos n =
+        if pos = len then Some n
+        else if len - pos < 8 then None
+        else
+          let plen = read_u32_le data pos in
+          if plen < 0 || len - pos - 8 < plen then None
+          else
+            let is_marker = plen >= 1 && data.[pos + 8] = 'G' in
+            go (pos + 8 + plen) (if is_marker then n else n + 1)
+      in
+      go mlen 0
+    end
+
+type tail = {
+  tail : record list;
+  total : int;
+  covered : string list;
+}
+
+(* [load_from ~position] — the journal's records with global index ≥
+   [position], without decoding the prefix a snapshot already covers:
+   sealed segments lying entirely inside the first [position] records
+   are skipped after a structural skim-count (their paths come back in
+   [covered] so the caller can reclaim them once the install sticks).
+   Skimming checks framing only — a bit flip inside a covered segment is
+   invisible here, which is sound exactly because the caller replaces
+   those records with the snapshot's baseline and never replays them.
+   Segments the prefix only partially covers (always including the
+   active one) parse normally, and any structural damage is the same
+   typed error [load] reports. *)
+let load_from ?(repair = false) ~position path =
+  let gen = current_gen path in
+  let sealed =
+    List.filter_map
+      (fun (g, _, p) -> if g = gen then Some p else None)
+      (sealed_segments path)
+  in
+  let files =
+    List.map (fun p -> (p, false)) sealed
+    @ (if Sys.file_exists path then [ (path, true) ] else [])
+  in
+  let rec go before acc covered = function
+    | [] ->
+      Ok
+        { tail = List.concat (List.rev acc); total = before;
+          covered = List.rev covered }
+    | (p, final) :: rest -> (
+      let skim =
+        if final then None
+        else
+          match count_segment_records p with
+          | Some n when before + n <= position -> Some n
+          | _ -> None
+      in
+      match skim with
+      | Some n -> go (before + n) acc (p :: covered) rest
+      | None -> (
+        match parse_segment ~repair ~allow_torn:final ~index0:before p with
+        | records, None ->
+          let n = List.length records in
+          let keep = List.filteri (fun i _ -> before + i >= position) records in
+          go (before + n) (keep :: acc) covered rest
+        | _, Some e -> Error e))
+  in
+  go 0 [] [] files
+
 let load ?(repair = false) ?(keep_going = false) path =
   let gen = current_gen path in
   let sealed =
@@ -372,6 +450,7 @@ let append w record =
   maybe_rotate w
 
 let close_writer w = close_out_noerr w.oc
+let generation w = w.gen
 
 let rewrite path records =
   let sealed = sealed_segments path in

@@ -96,6 +96,36 @@ val pp_error : Format.formatter -> error -> unit
 val load :
   ?repair:bool -> ?keep_going:bool -> string -> (record list, error) result
 
+(** The generation the journal at [path] is currently on: the active
+    file's marker, else the newest sealed segment's, else 0. Within one
+    generation the record sequence is append-only — only {!rewrite}
+    starts a new one — so a caller that recorded [(generation, position)]
+    and finds the generation unchanged knows the journal's first
+    [position] records are still exactly the ones it summarized. *)
+val current_gen : string -> int
+
+(** What {!load_from} recovers: the records {e after} a snapshot-covered
+    prefix, plus the coordinates to finish the reclamation. *)
+type tail = {
+  tail : record list;  (** records with global index ≥ [position] *)
+  total : int;         (** record count of the whole journal *)
+  covered : string list;
+      (** sealed segments lying entirely inside the skipped prefix —
+          safe to delete once the caller has committed to the snapshot *)
+}
+
+(** [load_from ~position path] — the journal's records from global index
+    [position] on, {e without} parsing the prefix: sealed segments that
+    lie entirely inside the first [position] records are skipped after a
+    structural skim (frame hops only, no checksums — sound because the
+    caller replays a snapshot baseline in their stead, never the records
+    themselves) and reported in [covered] for reclamation. The partially
+    covered boundary segment and the active file parse as in {!load}
+    (torn-tail handling included), and structural damage anywhere that
+    must be parsed is the same typed error. Callers must verify
+    [total ≥ position] (and the generation) before trusting the tail. *)
+val load_from : ?repair:bool -> position:int -> string -> (tail, error) result
+
 (** {1 Writing} *)
 
 type writer
@@ -121,6 +151,11 @@ val open_writer : ?fsync:bool -> ?segment_bytes:int -> string -> writer
 val append : writer -> record -> unit
 
 val close_writer : writer -> unit
+
+(** The generation [w] is appending to — what a snapshot written against
+    this journal must record ({!current_gen} of a path the writer has
+    open agrees with this). *)
+val generation : writer -> int
 
 (** Atomically replace the journal at [path] with exactly [records]:
     write a temp file in the same directory carrying the {e next}

@@ -3,14 +3,24 @@ module D = Deleprop
 module S = Deleprop.Solution
 
 let magic = "DLPSNAP1"
-let version = 1
+
+(* v2: adds the journal generation, the cache's fragment-reuse counter,
+   the per-entry split flag, and an optional baseline delta (the live
+   database as gone/added sets against the base) — the coordinates the
+   engine's fast recovery path needs to install the snapshot without
+   replaying the journal prefix it covers. v1 snapshots load as
+   [Version_mismatch] and degrade to a cold cache, like any other
+   unreadable image. *)
+let version = 2
 
 type t = {
   position : int;
+  generation : int;
   arena_fp : D.Fingerprint.t;
   components : int;
   dirty : int list;
   stats : D.Planner.cache_stats;
+  baseline : (R.Stuple.Set.t * R.Stuple.Set.t) option;
   entries : (D.Fingerprint.t * D.Planner.cache_entry) list;
 }
 
@@ -128,6 +138,7 @@ let header_payload t =
       "H";
       "version " ^ string_of_int version;
       "position " ^ string_of_int t.position;
+      "generation " ^ string_of_int t.generation;
       "arena " ^ D.Fingerprint.to_hex t.arena_fp;
       "components " ^ string_of_int t.components;
       String.concat " " ("dirty" :: List.map string_of_int t.dirty);
@@ -139,6 +150,8 @@ let header_payload t =
       match t.stats.D.Planner.s_last_bucket with
       | None -> "-"
       | Some b -> string_of_int b);
+      "splices " ^ string_of_int t.stats.D.Planner.s_fragment_reuses;
+      ("baseline " ^ match t.baseline with None -> "0" | Some _ -> "1");
       "entries " ^ string_of_int (List.length t.entries);
     ]
 
@@ -146,10 +159,14 @@ exception Bad_version of int
 
 let decode_header payload =
   match String.split_on_char '\n' payload with
-  | [ "H"; v; pos; ar; comp; dirty; hits; misses; ev; bucket; entries ] ->
+  | [
+      "H"; v; pos; gen; ar; comp; dirty; hits; misses; ev; bucket; splices;
+      baseline; entries;
+    ] ->
     let v = int_of_string (field "version" v) in
     if v <> version then raise (Bad_version v);
     let position = int_of_string (field "position" pos) in
+    let generation = int_of_string (field "generation" gen) in
     let arena_fp = fp_of_hex (field "arena" ar) in
     let components = int_of_string (field "components" comp) in
     let dirty =
@@ -166,10 +183,19 @@ let decode_header payload =
           (match field "bucket" bucket with
           | "-" -> None
           | b -> Some (int_of_string b));
+        s_fragment_reuses = int_of_string (field "splices" splices);
       }
     in
+    let has_baseline =
+      match field "baseline" baseline with
+      | "1" -> true
+      | "0" -> false
+      | _ -> failwith "bad baseline flag"
+    in
     let count = int_of_string (field "entries" entries) in
-    ({ position; arena_fp; components; dirty; stats; entries = [] }, count)
+    ( { position; generation; arena_fp; components; dirty; stats;
+        baseline = None; entries = [] },
+      has_baseline, count )
   | _ -> failwith "malformed header"
 
 let entry_payload (fp, (e : D.Planner.cache_entry)) =
@@ -183,6 +209,7 @@ let entry_payload (fp, (e : D.Planner.cache_entry)) =
        "cert " ^ string_of_cert e.D.Planner.e_certificate;
        "forest " ^ (if e.D.Planner.e_forest then "1" else "0");
        "threshold " ^ hex_of_float e.D.Planner.e_threshold;
+       "split " ^ (if e.D.Planner.e_split then "1" else "0");
        "deleted " ^ string_of_int (R.Stuple.Set.cardinal e.D.Planner.e_deleted);
      ]
     @ List.map R.Stuple.to_string (R.Stuple.Set.elements e.D.Planner.e_deleted))
@@ -193,20 +220,22 @@ let fact_of_line line =
 
 let decode_entry payload =
   match String.split_on_char '\n' payload with
-  | "E" :: fp :: cls :: winner :: cost :: cert :: forest :: threshold :: deleted
-    :: facts ->
+  | "E" :: fp :: cls :: winner :: cost :: cert :: forest :: threshold :: split
+    :: deleted :: facts ->
     let fp = fp_of_hex (field "fp" fp) in
     let e_classification = class_of_string (field "class" cls) in
     let e_winner = field "winner" winner in
     let e_cost = float_of_hex (field "cost" cost) in
     let e_certificate = cert_of_string (field "cert" cert) in
-    let e_forest =
-      match field "forest" forest with
+    let flag name line =
+      match field name line with
       | "1" -> true
       | "0" -> false
-      | _ -> failwith "bad forest flag"
+      | _ -> failwith ("bad " ^ name ^ " flag")
     in
+    let e_forest = flag "forest" forest in
     let e_threshold = float_of_hex (field "threshold" threshold) in
+    let e_split = flag "split" split in
     let m = int_of_string (field "deleted" deleted) in
     if List.length facts <> m then failwith "fact count mismatch";
     let e_deleted = R.Stuple.Set.of_list (List.map fact_of_line facts) in
@@ -219,15 +248,48 @@ let decode_entry payload =
         e_certificate;
         e_forest;
         e_threshold;
+        e_split;
       } )
   | _ -> failwith "malformed entry"
+
+(* the baseline delta: the session's live database expressed against its
+   base as (gone, added) fact sets — what the fast recovery path applies
+   instead of replaying the journal prefix the snapshot covers *)
+let baseline_payload (gone, added) =
+  String.concat "\n"
+    ([
+       "B";
+       "gone " ^ string_of_int (R.Stuple.Set.cardinal gone);
+       "added " ^ string_of_int (R.Stuple.Set.cardinal added);
+     ]
+    @ List.map R.Stuple.to_string (R.Stuple.Set.elements gone)
+    @ List.map R.Stuple.to_string (R.Stuple.Set.elements added))
+
+let decode_baseline payload =
+  match String.split_on_char '\n' payload with
+  | "B" :: gone :: added :: facts ->
+    let ng = int_of_string (field "gone" gone) in
+    let na = int_of_string (field "added" added) in
+    if List.length facts <> ng + na then failwith "fact count mismatch";
+    let rec split_at n acc = function
+      | rest when n = 0 -> (List.rev acc, rest)
+      | x :: rest -> split_at (n - 1) (x :: acc) rest
+      | [] -> failwith "fact count mismatch"
+    in
+    let gfacts, afacts = split_at ng [] facts in
+    ( R.Stuple.Set.of_list (List.map fact_of_line gfacts),
+      R.Stuple.Set.of_list (List.map fact_of_line afacts) )
+  | _ -> failwith "malformed baseline"
 
 (* ---- i/o ---- *)
 
 let encode t =
   String.concat ""
-    (magic :: frame (header_payload t)
-    :: List.map (fun e -> frame (entry_payload e)) t.entries)
+    ((magic :: frame (header_payload t)
+     :: (match t.baseline with
+        | None -> []
+        | Some b -> [ frame (baseline_payload b) ]))
+    @ List.map (fun e -> frame (entry_payload e)) t.entries)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -323,7 +385,25 @@ let load path =
           match decode_header hp with
           | exception Bad_version v -> Error (Version_mismatch v)
           | exception Failure msg -> Error (Corrupt ("header: " ^ msg))
-          | meta, count ->
+          | meta, has_baseline, count ->
+            (* the baseline frame (if announced) sits between the header
+               and the entries; damage to it degrades the baseline to
+               [None] — the engine then falls back to full journal
+               replay — without sacrificing the cache entries behind it
+               (unless the frame cannot even be delimited, which loses
+               the rest of the image like any torn tail) *)
+            let baseline, pos0, base_dropped =
+              if not has_baseline then (None, pos0, 0)
+              else
+                match next_frame pos0 with
+                | None -> (None, String.length data, 1)
+                | Some (Error _, next) -> (None, next, 1)
+                | Some (Ok payload, next) -> (
+                  match decode_baseline payload with
+                  | exception (Failure _ | R.Serial.Parse_error (_, _)) ->
+                    (None, next, 1)
+                  | b -> (Some b, next, 0))
+            in
             (* per-entry degradation: a frame that fails its checksum or
                doesn't decode drops that entry alone; a frame that can't
                even be delimited (torn tail, corrupted length) drops the
@@ -341,7 +421,7 @@ let load path =
                   | pair -> go next (k + 1) (pair :: acc) dropped)
             in
             let entries, dropped = go pos0 0 [] 0 in
-            Ok ({ meta with entries }, dropped))
+            Ok ({ meta with baseline; entries }, base_dropped + dropped))
       end
 
 let remove path = if Sys.file_exists path then Sys.remove path

@@ -5,19 +5,26 @@
     solution cache ({!Deleprop.Planner.cache_entries} /
     [cache_stats]) together with the coordinates that tie it to one
     moment of one journal: the journal [position] (how many records
-    preceded the write), the arena's content fingerprint, the partition
-    size, and the ids of the components dirty at that moment. Recovery
-    replays the journal as usual and — when the stored coordinates match
-    the replayed state — installs the entries and dirty flags, so the
-    first post-recovery round splices clean shards from the cache
-    exactly as the uninterrupted session would have.
+    preceded the write) and [generation] (which rewrite lineage those
+    records belong to), the arena's content fingerprint, the partition
+    size, the ids of the components dirty at that moment, and the
+    session database expressed as a [baseline] delta against the base.
+    Recovery replays the journal as usual and — when the stored
+    coordinates match the replayed state — installs the entries and
+    dirty flags, so the first post-recovery round splices clean shards
+    from the cache exactly as the uninterrupted session would have. When
+    the baseline is present and the journal's generation matches,
+    the engine skips replaying the [position]-record prefix entirely
+    (applying the baseline as one delta instead) and reclaims the sealed
+    segments that prefix lived in — see [Engine.create ~recover].
 
-    On-disk format, version 1: the magic ["DLPSNAP1"] followed by CRC-32
+    On-disk format, version 2: the magic ["DLPSNAP1"] followed by CRC-32
     framed payloads in the journal's framing (u32 LE length, u32 LE
-    CRC-32, payload) — one header payload, then one payload per cache
-    entry, most-recently-used first. Floats are serialized as the 16 hex
-    digits of their IEEE-754 bits, so a restored cache is bit-identical
-    to the written one (costs, certificates, thresholds).
+    CRC-32, payload) — one header payload, an optional baseline payload,
+    then one payload per cache entry, most-recently-used first. Floats
+    are serialized as the 16 hex digits of their IEEE-754 bits, so a
+    restored cache is bit-identical to the written one (costs,
+    certificates, thresholds).
 
     {2 Degradation ladder}
 
@@ -26,11 +33,15 @@
     - missing file → {!warning.Missing}, cold cache;
     - unreadable header, bad magic, or a bit flip in the header frame →
       {!warning.Corrupt}, whole snapshot dropped, cold cache;
-    - a version this build doesn't read → {!warning.Version_mismatch},
-      cold cache;
+    - a version this build doesn't read (including v1 images from
+      before the baseline/generation coordinates existed) →
+      {!warning.Version_mismatch}, cold cache;
     - a bit flip or torn tail {e inside the entry region} → only the
       damaged entries drop (the [dropped] count reports how many), the
       rest re-warm;
+    - a damaged baseline frame → the baseline degrades to [None] (the
+      engine falls back to full journal replay; counted in [dropped]),
+      the entries behind it still re-warm when delimitable;
     - coordinates that don't match the journal replay (the engine's
       check, not {!load}'s) → {!warning.Stale}, cold cache. *)
 
@@ -38,6 +49,12 @@ type t = {
   position : int;
       (** journal records preceding this snapshot — recovery installs
           the cache after replaying exactly this many *)
+  generation : int;
+      (** the journal generation those [position] records belong to.
+          Within a generation the record sequence is append-only (only
+          {!Journal.rewrite} bumps it), so a generation match proves the
+          current journal's first [position] records are the ones this
+          snapshot summarizes — the soundness basis for skipping them *)
   arena_fp : Deleprop.Fingerprint.t;
       (** {!Deleprop.Fingerprint.arena} of the session arena at the
           write, tombstone/compaction-invariant *)
@@ -48,6 +65,12 @@ type t = {
   stats : Deleprop.Planner.cache_stats;
       (** lifetime cache counters, restored so recovered sessions report
           the same hit/miss history *)
+  baseline : (Relational.Stuple.Set.t * Relational.Stuple.Set.t) option;
+      (** the live database at the write as (gone, added) fact sets
+          against the session's base database — applying it to the base
+          reproduces the state replaying the first [position] records
+          would. [None] only when the writer had no baseline or the
+          frame was damaged *)
   entries : (Deleprop.Fingerprint.t * Deleprop.Planner.cache_entry) list;
       (** cache bindings, most-recently-used first *)
 }

@@ -1,0 +1,307 @@
+(* The first-class live component index: per-component rosters lockstep
+   with scratch recomputation across mixed delta streams (splits,
+   merges, resurrections, compactions), O(active) enumeration
+   bit-identical to the partition sweep, and split-aware fragment
+   reuse — a shattered component's untouched fragment inherits its
+   parent's cached answer by restriction, bit-identical to a fresh
+   solve. *)
+
+open Util
+module R = Relational
+module D = Deleprop
+
+let seeds = QCheck2.Gen.int_range 0 10_000
+let request_exn = Test_shardcache.request_exn
+let check_decisions_equal = Test_shardcache.check_decisions_equal
+let check_solutions_equal = Test_engine.check_solutions_equal
+
+(* ---- rosters ≡ scratch, labels ≡ scratch ---- *)
+
+let check_index_matches tag cindex (arena : D.Arena.t) =
+  let p = D.Component_index.partition cindex in
+  let ps = D.Arena.partition arena in
+  Alcotest.(check int)
+    (tag ^ ": num_components")
+    ps.D.Arena.num_components p.D.Arena.num_components;
+  Alcotest.(check bool) (tag ^ ": comp_of_sid ≡ scratch") true
+    (p.D.Arena.comp_of_sid = ps.D.Arena.comp_of_sid);
+  Alcotest.(check bool) (tag ^ ": comp_of_vid ≡ scratch") true
+    (p.D.Arena.comp_of_vid = ps.D.Arena.comp_of_vid);
+  let scratch = D.Component_index.of_partition ps in
+  for c = 0 to p.D.Arena.num_components - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: sids_of %d ≡ scratch" tag c)
+      true
+      (D.Component_index.sids_of cindex c = D.Component_index.sids_of scratch c);
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: vids_of %d ≡ scratch" tag c)
+      true
+      (D.Component_index.vids_of cindex c = D.Component_index.vids_of scratch c)
+  done
+
+(* indexed enumeration ≡ the O(‖D‖ + ‖V‖) sweep, proto by proto *)
+let check_active_equal tag cindex (arena' : D.Arena.t) =
+  let fast = D.Component_index.active cindex arena' in
+  let sweep =
+    D.Arena.active_components
+      ~partition:(D.Component_index.partition cindex)
+      arena'
+  in
+  Alcotest.(check int)
+    (tag ^ ": active count")
+    (Array.length sweep) (Array.length fast);
+  Array.iteri
+    (fun i (s : D.Arena.proto_shard) ->
+      let f = fast.(i) in
+      Alcotest.(check int) (tag ^ ": component") s.D.Arena.p_component
+        f.D.Arena.p_component;
+      Alcotest.(check bool) (tag ^ ": p_sids") true
+        (f.D.Arena.p_sids = s.D.Arena.p_sids);
+      Alcotest.(check bool) (tag ^ ": p_vids") true
+        (f.D.Arena.p_vids = s.D.Arena.p_vids))
+    sweep
+
+(* ---- the lockstep stream property ----
+
+   Drive one mixed delete/insert/solve stream through two planner
+   engines — [eng_i] routed through the live component index, [eng_s]
+   on the partition-sweep path — plus scratch recomputation, and
+   require at every step: bit-identical partitions and rosters,
+   bit-identical active proto-shards, and bit-identical ranked
+   solutions and shard decisions. Deltas resurrect from a deleted pool,
+   so tombstone, resurrect, merge and compaction branches all fire. *)
+let check_lockstep_stream ?(scale = 6) seed =
+  let rng = rng seed in
+  let { Workload.Forest_family.problem = p; _ } =
+    Workload.Forest_family.generate ~rng
+      {
+        Workload.Forest_family.default with
+        num_relations = 4;
+        tuples_per_relation = scale;
+        num_queries = 3;
+        deletion_fraction = 0.0;
+      }
+  in
+  let queries = p.D.Problem.queries in
+  let mk indexed =
+    Engine.create ~plan:true ~domains:1 ~indexed p.D.Problem.db queries
+  in
+  let eng_i = mk true in
+  let eng_s = mk false in
+  let deleted_pool = ref [] in
+  for step = 1 to 10 do
+    let tag = Printf.sprintf "compindex seed %d step %d" seed step in
+    let deletes =
+      match R.Instance.stuples (Engine.db eng_i) with
+      | [] -> R.Stuple.Set.empty
+      | sts ->
+        List.init
+          (1 + Random.State.int rng 2)
+          (fun _ -> List.nth sts (Random.State.int rng (List.length sts)))
+        |> R.Stuple.Set.of_list
+    in
+    let inserts =
+      match !deleted_pool with
+      | [] -> R.Stuple.Set.empty
+      | st :: rest ->
+        deleted_pool := rest;
+        R.Stuple.Set.singleton st
+    in
+    let delta = D.Delta.make ~deletes ~inserts () in
+    let a_i = Engine.apply_delta eng_i delta in
+    let a_s = Engine.apply_delta eng_s delta in
+    Alcotest.check Util.stuple_set (tag ^ ": same deletes applied")
+      a_s.D.Delta.deletes a_i.D.Delta.deletes;
+    deleted_pool :=
+      R.Stuple.Set.elements
+        (R.Stuple.Set.diff a_i.D.Delta.deletes a_i.D.Delta.inserts)
+      @ !deleted_pool;
+    (* an explicit compaction now and then exercises the roster/memo
+       remap outside the threshold trigger *)
+    if step mod 4 = 0 then begin
+      Engine.compact eng_i;
+      Engine.compact eng_s
+    end;
+    let prov_i, arena_i = Engine.index eng_i in
+    let cindex = Engine.component_index eng_i in
+    check_index_matches tag cindex arena_i;
+    (* both engines maintain the index; their labels must agree too *)
+    let p_i = Engine.partition eng_i in
+    let p_s = Engine.partition eng_s in
+    Alcotest.(check int)
+      (tag ^ ": engines agree on num_components")
+      p_s.D.Arena.num_components p_i.D.Arena.num_components;
+    match Test_engine.random_requests rng prov_i with
+    | [] -> ()
+    | reqs ->
+      (* the ΔV re-stamp the planner sees: indexed enumeration must be
+         bit-identical to the sweep on it *)
+      let prov' = D.Provenance.with_deletions prov_i reqs in
+      let arena' = D.Arena.with_deletions arena_i prov' in
+      check_active_equal tag cindex arena';
+      let p_i = request_exn tag eng_i reqs in
+      let p_s = request_exn tag eng_s reqs in
+      check_solutions_equal (tag ^ " solutions") p_i.Engine.solutions
+        p_s.Engine.solutions;
+      check_decisions_equal (tag ^ " decisions") p_i.Engine.shards
+        p_s.Engine.shards;
+      if step mod 3 = 0 then begin
+        match (Engine.apply eng_i p_i, Engine.apply eng_s p_s) with
+        | Some s_i, Some s_s ->
+          Alcotest.check Util.stuple_set (tag ^ ": same solution applied")
+            s_s.D.Solution.deleted s_i.D.Solution.deleted;
+          deleted_pool :=
+            R.Stuple.Set.elements s_i.D.Solution.deleted @ !deleted_pool
+        | None, None -> ()
+        | _ -> Alcotest.fail (tag ^ ": apply diverged")
+      end
+  done;
+  Engine.close eng_i;
+  Engine.close eng_s;
+  true
+
+let prop_lockstep =
+  qcheck ~count:15 "compindex: indexed ≡ sweep ≡ scratch over mixed streams"
+    seeds
+    (fun seed -> check_lockstep_stream seed)
+
+(* ---- split-aware fragment reuse ----
+
+   Two disjoint author→journal→topic→conference→city chains, each
+   connected only through its T4 row (the committed data/authors_split.*
+   files mirror this instance). Deleting a T4 tuple shatters the chain;
+   the proposed Q4 answer's fragment is untouched and must splice the
+   parent's cached answer — bit-identical to a cache-less solve. *)
+
+let split_db () =
+  R.Serial.instance_of_string
+    {|rel T1(AuName*, Journal*)
+T1(Ann, J1)
+T1(Cal, J3)
+T1(Bob, J2)
+T1(Dan, J4)
+rel T2(Journal*, Topic*, Papers)
+T2(J1, XML, 30)
+T2(J3, KDD, 5)
+T2(J2, CUBE, 20)
+T2(J4, SQL, 8)
+rel T3(Topic*, Conf*)
+T3(XML, ICDE)
+T3(KDD, ICDE)
+T3(CUBE, VLDB)
+T3(SQL, VLDB)
+rel T4(Conf*, City*)
+T4(ICDE, Rome)
+T4(VLDB, Oslo)|}
+
+let split_queries () =
+  Cq.Parser.queries_of_string
+    {|Q4(X, Y, Z) :- T1(X, Y), T2(Y, Z, W)
+Q6(Y, Z, C) :- T2(Y, Z, W), T3(Z, C)
+Q7(Z, C, L) :- T3(Z, C), T4(C, L)|}
+
+let q4 rows = [ D.Delta_request.make ~view:"Q4" (List.map R.Tuple.strs rows) ]
+let del eng rel vs = Engine.delete eng (R.Stuple.Set.singleton (st rel vs))
+
+let frag_reuses eng = (Engine.stats eng).Engine.fragment_reuses
+
+let test_fragment_reuse_bitidentical () =
+  let mk cache =
+    Engine.create ~plan:true ~domains:1 ~shard_cache:cache (split_db ())
+      (split_queries ())
+  in
+  let eng = mk 512 in
+  let fresh = mk 0 in
+  let round tag reqs =
+    let p = request_exn tag eng reqs in
+    let f = request_exn tag fresh reqs in
+    check_solutions_equal (tag ^ " ≡ fresh") p.Engine.solutions
+      f.Engine.solutions;
+    check_decisions_equal (tag ^ " decisions") p.Engine.shards f.Engine.shards;
+    p
+  in
+  (* warm the memos: one Exact_small answer per conference component *)
+  ignore
+    (round "warm"
+       (q4 [ [ "Ann"; "J1"; "XML" ]; [ "Bob"; "J2"; "CUBE" ] ]));
+  Alcotest.(check int) "two components" 2
+    (Engine.partition eng).D.Arena.num_components;
+  (* split the ICDE chain: Ann's fragment inherits the cached answer *)
+  del eng "T4" [ "ICDE"; "Rome" ];
+  del fresh "T4" [ "ICDE"; "Rome" ];
+  let p = round "post-split" (q4 [ [ "Ann"; "J1"; "XML" ] ]) in
+  Alcotest.(check int) "the seeded fragment splices" 1 p.Engine.shards_cached;
+  Alcotest.(check int) "one fragment reuse" 1 (frag_reuses eng);
+  (* the VLDB chain the same way; Ann's fragment splices again (the
+     seeded entry stays valid), so reuses reach 3 *)
+  del eng "T4" [ "VLDB"; "Oslo" ];
+  del fresh "T4" [ "VLDB"; "Oslo" ];
+  let p =
+    round "both split"
+      (q4 [ [ "Bob"; "J2"; "CUBE" ]; [ "Ann"; "J1"; "XML" ] ])
+  in
+  Alcotest.(check int) "both fragments splice" 2 p.Engine.shards_cached;
+  Alcotest.(check int) "three fragment reuses" 3 (frag_reuses eng);
+  Alcotest.(check int) "fresh engine never reuses" 0 (frag_reuses fresh);
+  (* the fragment the split *did* touch stayed dirty: a fresh solve,
+     still bit-identical *)
+  let p = round "touched fragment" (q4 [ [ "Cal"; "J3"; "KDD" ] ]) in
+  Alcotest.(check int) "touched fragment re-solves" 0 p.Engine.shards_cached;
+  Engine.close eng;
+  Engine.close fresh
+
+(* the negative guard: a deletion that kills a view tuple whose witness
+   meets the memoized answer's candidate set must NOT seed — the
+   restriction would be unsound, so the fragment re-solves *)
+let test_fragment_guard () =
+  let mk cache =
+    Engine.create ~plan:true ~domains:1 ~shard_cache:cache (split_db ())
+      (split_queries ())
+  in
+  let eng = mk 512 in
+  let fresh = mk 0 in
+  ignore (request_exn "warm" eng (q4 [ [ "Ann"; "J1"; "XML" ] ]));
+  (* T3(XML, ICDE) kills Q6(J1, XML, ICDE), whose witness contains the
+     candidate T2(J1, XML, 30) — the candidate neighborhood is touched *)
+  del eng "T3" [ "XML"; "ICDE" ];
+  del fresh "T3" [ "XML"; "ICDE" ];
+  let p = request_exn "guarded" eng (q4 [ [ "Ann"; "J1"; "XML" ] ]) in
+  let f = request_exn "guarded" fresh (q4 [ [ "Ann"; "J1"; "XML" ] ]) in
+  Alcotest.(check int) "no unsound splice" 0 p.Engine.shards_cached;
+  Alcotest.(check int) "no fragment reuse" 0 (frag_reuses eng);
+  check_solutions_equal "guarded ≡ fresh" p.Engine.solutions f.Engine.solutions;
+  (* killing the memoized ΔV itself also refuses to seed *)
+  ignore (request_exn "rewarm" eng (q4 [ [ "Bob"; "J2"; "CUBE" ] ]));
+  Engine.delete eng
+    (R.Stuple.Set.singleton
+       (R.Stuple.make "T2"
+          (R.Tuple.of_list
+             [ R.Value.str "J2"; R.Value.str "CUBE"; R.Value.int 20 ])));
+  Alcotest.(check int) "dead ΔV never seeds" 0 (frag_reuses eng);
+  Engine.close eng;
+  Engine.close fresh
+
+(* seeding composes with durability: reuse counters live in the cache
+   stats block, so a snapshotted session restores them *)
+let test_reuse_counter_durable () =
+  let c = D.Planner.create_cache ~capacity:8 () in
+  let stats = D.Planner.cache_stats c in
+  Alcotest.(check int) "fresh cache: zero reuses" 0
+    stats.D.Planner.s_fragment_reuses;
+  let c' = D.Planner.create_cache ~capacity:8 () in
+  D.Planner.cache_restore
+    ~stats:{ stats with D.Planner.s_fragment_reuses = 7 }
+    c' [];
+  Alcotest.(check int) "restored reuse counter" 7
+    (D.Planner.cache_fragment_reuses c')
+
+let suite =
+  [
+    prop_lockstep;
+    Alcotest.test_case "split: fragment reuse ≡ fresh solve" `Quick
+      test_fragment_reuse_bitidentical;
+    Alcotest.test_case "split: candidate-touching deletes never seed" `Quick
+      test_fragment_guard;
+    Alcotest.test_case "split: reuse counter survives restore" `Quick
+      test_reuse_counter_durable;
+  ]

@@ -28,4 +28,5 @@ let () =
       ("shardcache", Test_shardcache.suite);
       ("tombstone", Test_tombstone.suite);
       ("rewarm", Test_rewarm.suite);
+      ("compindex", Test_compindex.suite);
     ]

@@ -64,6 +64,7 @@ let sample_entries () =
         e_certificate = D.Solution.Exact;
         e_forest = false;
         e_threshold = Float.pi;
+        e_split = true;
       } );
     ( fp "fedcba9876543210",
       {
@@ -75,6 +76,7 @@ let sample_entries () =
           D.Solution.Composite { shards = 3; factor = Some (1. /. 3.) };
         e_forest = true;
         e_threshold = infinity;
+        e_split = false;
       } );
     ( fp "00000000000000ff",
       {
@@ -85,12 +87,14 @@ let sample_entries () =
         e_certificate = D.Solution.Dual_bound 41.5;
         e_forest = true;
         e_threshold = Float.sqrt 6.0;
+        e_split = false;
       } );
   ]
 
 let sample_snapshot () =
   {
     S.position = 7;
+    generation = 2;
     arena_fp = fp "00000000deadbeef";
     components = 3;
     dirty = [ 0; 2 ];
@@ -100,7 +104,13 @@ let sample_snapshot () =
         s_misses = 4;
         s_evictions = 1;
         s_last_bucket = Some 5;
+        s_fragment_reuses = 3;
       };
+    baseline =
+      Some
+        ( R.Stuple.Set.singleton (st "T2" [ "J1"; "X"; "W1" ]),
+          R.Stuple.Set.of_list [ st "T1" [ "A"; "J1" ]; st "T1" [ "B"; "J2" ] ]
+        );
     entries = sample_entries ();
   }
 
@@ -137,11 +147,17 @@ let test_codec_roundtrip () =
       let t', dropped = load_snapshot_exn "round-trip" spath in
       Alcotest.(check int) "nothing dropped" 0 dropped;
       Alcotest.(check int) "position" t.S.position t'.S.position;
+      Alcotest.(check int) "generation" t.S.generation t'.S.generation;
       Alcotest.(check bool) "arena fingerprint" true
         (D.Fingerprint.equal t.S.arena_fp t'.S.arena_fp);
       Alcotest.(check int) "components" t.S.components t'.S.components;
       Alcotest.(check (list int)) "dirty ids" t.S.dirty t'.S.dirty;
       Alcotest.(check bool) "cache counters" true (t.S.stats = t'.S.stats);
+      (match (t.S.baseline, t'.S.baseline) with
+      | Some (g, a), Some (g', a') ->
+        Alcotest.(check bool) "baseline gone" true (R.Stuple.Set.equal g g');
+        Alcotest.(check bool) "baseline added" true (R.Stuple.Set.equal a a')
+      | _ -> Alcotest.fail "baseline did not round-trip");
       Alcotest.(check int) "entry count" (List.length t.S.entries)
         (List.length t'.S.entries);
       List.iteri
@@ -173,9 +189,16 @@ let set_header_version data v =
   ^ payload
   ^ String.sub data (16 + hlen) (String.length data - 16 - hlen)
 
-(* byte offset of the first entry payload: magic, header frame, then
-   the first entry's own 8-byte frame header *)
-let first_entry_offset data = 8 + 8 + Test_resilience.read_u32_le data 8 + 8
+(* byte offset of the baseline payload: magic, header frame, then the
+   baseline frame's own 8-byte header (every engine-written snapshot —
+   and [sample_snapshot] — carries a baseline) *)
+let baseline_offset data = 8 + 8 + Test_resilience.read_u32_le data 8 + 8
+
+(* byte offset of the first entry payload: one more frame hop past the
+   baseline *)
+let first_entry_offset data =
+  let b = 8 + 8 + Test_resilience.read_u32_le data 8 in
+  b + 8 + Test_resilience.read_u32_le data b + 8
 
 let expect_corrupt tag spath =
   match S.load spath with
@@ -209,6 +232,16 @@ let test_load_ladder () =
       | Error w ->
         Alcotest.fail
           (Format.asprintf "expected Version_mismatch 9, got %a" S.pp_warning w));
+      (* a bit flip inside the baseline frame drops only the baseline —
+         the entries behind it still re-warm *)
+      write_whole spath intact;
+      Test_resilience.flip_byte spath (baseline_offset intact);
+      let tb, droppedb = load_snapshot_exn "baseline bit flip" spath in
+      Alcotest.(check bool) "baseline degrades to None" true
+        (tb.S.baseline = None);
+      Alcotest.(check int) "baseline damage counted" 1 droppedb;
+      Alcotest.(check int) "entries behind it survive" 3
+        (List.length tb.S.entries);
       (* a bit flip inside one entry drops exactly that entry *)
       write_whole spath intact;
       Test_resilience.flip_byte spath (first_entry_offset intact);
@@ -480,6 +513,74 @@ let test_checkpoint_boundary_counters () =
       Engine.close eng';
       Engine.close twin)
 
+(* snapshot-covered sealed segments are reclaimed at recovery: the fast
+   path replays only the tail, deletes the covered segment files, and
+   the pruned journal still recovers a second time bit-identically *)
+let test_sealed_segment_reclamation () =
+  with_paths (fun jpath spath ->
+      let seg_count () =
+        let dir = Filename.dirname jpath in
+        let prefix = Filename.basename jpath ^ ".seg-" in
+        Array.fold_left
+          (fun n f ->
+            if String.length f >= String.length prefix
+               && String.sub f 0 (String.length prefix) = prefix
+            then n + 1
+            else n)
+          0 (Sys.readdir dir)
+      in
+      (* tiny segments force rotation on nearly every append *)
+      let mk recover =
+        Engine.create ~plan:true ~domains:1 ~journal:jpath ~snapshot:spath
+          ~snapshot_every:1 ~segment_bytes:32 ~recover (tri_db ())
+          (tri_queries ())
+      in
+      let twin =
+        Engine.create ~plan:true ~domains:1 (tri_db ()) (tri_queries ())
+      in
+      let drive e =
+        ignore (request_exn "seed round" e (all_reqs ()));
+        Engine.insert e (st "T1" [ "D"; "J2" ]);
+        Engine.insert e (st "T1" [ "E"; "J3" ]);
+        Engine.delete e (R.Stuple.Set.singleton (st "T1" [ "D"; "J2" ]))
+      in
+      let eng = mk false in
+      drive eng;
+      drive twin;
+      Engine.close eng;
+      let before = seg_count () in
+      Alcotest.(check bool) "the tiny segments actually rotated" true
+        (before >= 2);
+      let eng' = mk true in
+      (match (Engine.stats eng').Engine.snapshot with
+      | Engine.Warm _ -> ()
+      | s ->
+        Alcotest.fail
+          (Format.asprintf "expected Warm, got %a" Engine.pp_snapshot_status s));
+      Alcotest.(check bool)
+        (Printf.sprintf "covered segments reclaimed (%d -> %d)" before
+           (seg_count ()))
+        true
+        (seg_count () < before);
+      let p' = request_exn "post-reclaim round" eng' (all_reqs ()) in
+      let p = request_exn "twin round" twin (all_reqs ()) in
+      check_solutions_equal "reclaimed recovery ≡ uninterrupted"
+        p'.Engine.solutions p.Engine.solutions;
+      check_decisions_equal "reclaimed recovery decisions" p'.Engine.shards
+        p.Engine.shards;
+      Alcotest.(check bool) "database identical" true
+        (R.Instance.equal (Engine.db eng') (Engine.db twin));
+      Engine.close eng';
+      (* the pruned journal must stand on its own: recover again *)
+      let eng'' = mk true in
+      let p'' = request_exn "second recovery round" eng'' (all_reqs ()) in
+      check_solutions_equal "second recovery ≡ uninterrupted"
+        p''.Engine.solutions p.Engine.solutions;
+      Alcotest.(check bool) "database still identical" true
+        (R.Instance.equal (Engine.db eng'') (Engine.db twin));
+      Engine.close eng'';
+      Engine.close twin)
+
 (* ---- the kill-point fuzz property ---- *)
 
 type op = Round | Ins of string * string | Del of string * string
@@ -611,5 +712,7 @@ let suite =
       test_recover_degraded;
     Alcotest.test_case "checkpoint boundary: counters bit-identical" `Quick
       test_checkpoint_boundary_counters;
+    Alcotest.test_case "recovery reclaims snapshot-covered segments" `Quick
+      test_sealed_segment_reclamation;
     prop_kill_point;
   ]
