@@ -943,6 +943,84 @@ let bench_rewarm =
         (Staged.stage (fun () -> recover ~snapshot:spath ()));
     ]
 
+(* splice: what per-fragment decomposition buys when a memoized
+   component keeps splitting. One hub-rooted tree per scale — H(k1)
+   fanning out to `scale` branches M(k1, aᵢ), each carrying three
+   L(aᵢ, bᵢⱼ) leaves — solved with the brute tier closed so the single
+   component classifies Exact_forest. Each timed session warms the memo
+   once, then runs `rounds` split rounds: a leaf delete prunes the
+   component (invalidating the standing fingerprint every time),
+   followed by the standing propose. The `spliced` variant carries the
+   answer across every split by restricting the recorded DP tree — no
+   shard re-solves or re-materializes after the warm round (the session
+   asserts fragment_reuses_forest = rounds, so a guard regression fails
+   the bench instead of silently timing re-solves) — while the
+   `resolve` twin (~shard_cache:0) re-solves the whole component on
+   every round, exactly what every session paid before decompositions
+   existed. Engine construction and the warm solve are identical in
+   both variants, so the gap is the per-split saving; it must widen
+   with the scale (a DP re-solve re-materializes the shard arena and
+   re-runs the solver over the whole component, the tree replay only
+   walks the recorded nodes). BENCH_splice.json tracks this group. *)
+let bench_splice =
+  let rounds = 8 in
+  let hub scale =
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "rel H(K*)\nH(k1)\nrel M(K*, A*)\n";
+    for i = 1 to scale do
+      Buffer.add_string b (Printf.sprintf "M(k1, a%d)\n" i)
+    done;
+    Buffer.add_string b "rel L(A*, B*)\n";
+    for i = 1 to scale do
+      for j = 1 to 3 do
+        Buffer.add_string b (Printf.sprintf "L(a%d, b%d_%d)\n" i i j)
+      done
+    done;
+    ( R.Serial.instance_of_string (Buffer.contents b),
+      Cq.Parser.queries_of_string
+        "QM(K, A) :- H(K), M(K, A)\nQL(K, A, B) :- H(K), M(K, A), L(A, B)" )
+  in
+  let session ~shard_cache (db, queries) () =
+    let eng =
+      Engine.create ~plan:true ~domains:1 ~exact_threshold:0 ~shard_cache db
+        queries
+    in
+    let reqs =
+      [ D.Delta_request.make ~view:"QM" [ R.Tuple.strs [ "k1"; "a1" ] ] ]
+    in
+    let propose () =
+      match Engine.request eng reqs with Ok _ -> () | Error _ -> assert false
+    in
+    propose ();
+    (* branch 1 holds the ΔV and is never touched; round r prunes the
+       third leaf of branch r, so every split leaves the recorded tree
+       replayable and the next propose splices the seeded fragment *)
+    for r = 2 to rounds + 1 do
+      Engine.delete eng
+        (R.Stuple.Set.singleton
+           (R.Stuple.make "L"
+              (R.Tuple.strs [ Printf.sprintf "a%d" r; Printf.sprintf "b%d_3" r ])));
+      propose ()
+    done;
+    if shard_cache > 0 then begin
+      let s = Engine.stats eng in
+      assert (s.Engine.fragment_reuses_forest = rounds)
+    end;
+    Engine.close eng
+  in
+  let pair tag p =
+    [
+      Test.make ~name:(Printf.sprintf "session%d_resolve_%s" rounds tag)
+        (Staged.stage (session ~shard_cache:0 p));
+      Test.make ~name:(Printf.sprintf "session%d_spliced_%s" rounds tag)
+        (Staged.stage (session ~shard_cache:512 p));
+    ]
+  in
+  Test.make_grouped ~name:"splice"
+    (List.concat_map
+       (fun (tag, scale) -> pair tag (hub scale))
+       [ ("hub_40", 40); ("hub_80", 80); ("hub_160", 160) ])
+
 (* E21 scaling stages + parallel portfolio + SQL front end *)
 let bench_e21 =
   let biblio =
@@ -1004,7 +1082,8 @@ let all_tests =
     bench_e1; bench_e2; bench_e3; bench_e5; bench_e6; bench_e7; bench_e8; bench_e9;
     bench_e10; bench_e11; bench_e12; bench_e14; bench_e15; bench_e16; bench_e17;
     bench_e18; bench_arena; bench_engine; bench_mixed; bench_resilience; bench_decompose;
-    bench_shardcache; bench_deltafloor; bench_compindex; bench_rewarm; bench_e21;
+    bench_shardcache; bench_deltafloor; bench_compindex; bench_rewarm;
+    bench_splice; bench_e21;
     bench_containment; bench_phase5;
     bench_substrate;
   ]

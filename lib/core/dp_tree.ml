@@ -12,6 +12,10 @@ type result = {
   outcome : Side_effect.outcome;
   pivots : R.Stuple.t list;
   optimum : float;
+  decomp : Decomposition.forest_tree list;
+      (** one recorded tree per non-empty graph component, in [pivots]
+          order: node parent/depth/cut/value/slack — what
+          {!Decomposition.restrict_forest} replays after a split *)
 }
 
 type error =
@@ -63,10 +67,10 @@ let solve ?(objective = Standard) ?budget (prov : Provenance.t) =
     let comps = components_with_vtuples prov graph in
     let exception Fail of error in
     try
-      let deletion, pivots, optimum =
+      let deletion, pivots, optimum, trees =
         List.fold_left
-          (fun (deletion, pivots, optimum) (_, vts) ->
-            if vts = [] then (deletion, pivots, optimum)
+          (fun (deletion, pivots, optimum, trees) (_, vts) ->
+            if vts = [] then (deletion, pivots, optimum, trees)
             else begin
               let witnesses = List.map (Provenance.witness_of prov) vts in
               match Tg.find_pivot graph witnesses with
@@ -114,7 +118,9 @@ let solve ?(objective = Standard) ?budget (prov : Provenance.t) =
                 let subtree_pres : (string, float) Hashtbl.t = Hashtbl.create 64 in
                 let value : (string, float) Hashtbl.t = Hashtbl.create 64 in
                 let cut : (string, bool) Hashtbl.t = Hashtbl.create 64 in
-                let order_rev = List.rev (Tg.Rooted.by_increasing_depth rooted) in
+                let slack : (string, float) Hashtbl.t = Hashtbl.create 64 in
+                let order = Tg.Rooted.by_increasing_depth rooted in
+                let order_rev = List.rev order in
                 List.iter
                   (fun st ->
                     Budget.tick_o budget;
@@ -144,7 +150,10 @@ let solve ?(objective = Standard) ?budget (prov : Provenance.t) =
                     end
                     else begin
                       Hashtbl.replace value (key st) nocut_cost;
-                      Hashtbl.replace cut (key st) false
+                      Hashtbl.replace cut (key st) false;
+                      (* how much preserved weight the subtree can lose
+                         before cutting becomes strictly cheaper *)
+                      Hashtbl.replace slack (key st) (cut_cost -. nocut_cost)
                     end)
                   order_rev;
                 (* reconstruct: descend while not cut *)
@@ -155,14 +164,42 @@ let solve ?(objective = Standard) ?budget (prov : Provenance.t) =
                   else List.iter walk (Tg.Rooted.children rooted st)
                 in
                 walk pivot;
+                (* record the rooted tree: parent/depth plus the DP's
+                   per-node decision state, keyed by tuple content *)
+                let parent_of : (string, string) Hashtbl.t = Hashtbl.create 64 in
+                List.iter
+                  (fun st ->
+                    List.iter
+                      (fun c -> Hashtbl.replace parent_of (key c) (key st))
+                      (Tg.Rooted.children rooted st))
+                  order;
+                let nodes =
+                  List.map
+                    (fun st ->
+                      let k = key st in
+                      ( k,
+                        {
+                          Decomposition.fn_parent = Hashtbl.find_opt parent_of k;
+                          fn_depth = Tg.Rooted.depth rooted st;
+                          fn_cut = Hashtbl.find cut k;
+                          fn_value = Hashtbl.find value k;
+                          fn_slack =
+                            Option.value ~default:0.0 (Hashtbl.find_opt slack k);
+                        } ))
+                    order
+                in
+                let tree =
+                  { Decomposition.ft_pivot = key pivot; ft_nodes = nodes }
+                in
                 ( !deletion,
                   pivot :: pivots,
-                  optimum +. Hashtbl.find value (key pivot) )
+                  optimum +. Hashtbl.find value (key pivot),
+                  tree :: trees )
             end)
-          (R.Stuple.Set.empty, [], 0.0) comps
+          (R.Stuple.Set.empty, [], 0.0, []) comps
       in
       let outcome = Side_effect.eval prov deletion in
-      Ok { deletion; outcome; pivots = List.rev pivots; optimum }
+      Ok { deletion; outcome; pivots = List.rev pivots; optimum; decomp = List.rev trees }
     with Fail e -> Error e
   end
 

@@ -24,6 +24,11 @@ type result = {
   outcome : Side_effect.outcome;
   pivots : Relational.Stuple.t list;  (** one per component with view tuples *)
   optimum : float;                    (** the DP value = proven optimal cost *)
+  decomp : Decomposition.forest_tree list;
+      (** the recorded trees, in [pivots] order: per-node parent, depth,
+          cut decision, DP value and decision slack — the structural
+          record {!Decomposition.restrict_forest} projects onto a
+          surviving fragment after a component split *)
 }
 
 type error =

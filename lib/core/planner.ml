@@ -74,6 +74,13 @@ type cache_entry = {
       (* seeded by [seed_fragments] (a restriction of a solved parent
          entry onto a surviving fragment) rather than solved directly —
          splicing such an entry counts as a fragment reuse *)
+  e_decomposition : Decomposition.t option;
+      (* the winner's per-sub-structure decomposition, recorded at solve
+         time — what [seed_fragments] projects onto a surviving fragment
+         for the forest and approximate tiers. [None] on entries loaded
+         from v2 snapshots (and on nothing else): such entries still
+         splice normally but are ineligible for forest/approximate
+         fragment seeding. *)
 }
 
 type cache = {
@@ -88,17 +95,25 @@ type cache = {
   mutable fragment_reuses : int;
       (* spliced entries that were seeded by fragment restriction rather
          than solved — the payoff counter for split-aware reuse *)
+  mutable fragment_reuses_exact : int;
+  mutable fragment_reuses_forest : int;
+  mutable fragment_reuses_approx : int;
+      (* [fragment_reuses] split by the seeded entry's tier *)
 }
 
 let create_cache ?(capacity = 512) () =
   { lru = Setcover.Lru.create ~capacity; hits = 0; misses = 0; evictions = 0;
-    last_bucket = None; fragment_reuses = 0 }
+    last_bucket = None; fragment_reuses = 0; fragment_reuses_exact = 0;
+    fragment_reuses_forest = 0; fragment_reuses_approx = 0 }
 
 let cache_length c = Setcover.Lru.length c.lru
 let cache_hits c = c.hits
 let cache_misses c = c.misses
 let cache_evictions c = c.evictions
 let cache_fragment_reuses c = c.fragment_reuses
+let cache_fragment_reuses_exact c = c.fragment_reuses_exact
+let cache_fragment_reuses_forest c = c.fragment_reuses_forest
+let cache_fragment_reuses_approx c = c.fragment_reuses_approx
 
 let cache_clear c =
   Setcover.Lru.clear c.lru;
@@ -119,11 +134,17 @@ type cache_stats = {
   s_evictions : int;
   s_last_bucket : int option;
   s_fragment_reuses : int;
+  s_fragment_reuses_exact : int;
+  s_fragment_reuses_forest : int;
+  s_fragment_reuses_approx : int;
 }
 
 let cache_stats c =
   { s_hits = c.hits; s_misses = c.misses; s_evictions = c.evictions;
-    s_last_bucket = c.last_bucket; s_fragment_reuses = c.fragment_reuses }
+    s_last_bucket = c.last_bucket; s_fragment_reuses = c.fragment_reuses;
+    s_fragment_reuses_exact = c.fragment_reuses_exact;
+    s_fragment_reuses_forest = c.fragment_reuses_forest;
+    s_fragment_reuses_approx = c.fragment_reuses_approx }
 
 (* most-recently-used first ([Lru.fold] visits MRU first and cons
    reverses, so rev restores visit order) *)
@@ -144,7 +165,10 @@ let cache_restore ?stats c entries =
     c.misses <- s.s_misses;
     c.evictions <- s.s_evictions;
     c.last_bucket <- s.s_last_bucket;
-    c.fragment_reuses <- s.s_fragment_reuses
+    c.fragment_reuses <- s.s_fragment_reuses;
+    c.fragment_reuses_exact <- s.s_fragment_reuses_exact;
+    c.fragment_reuses_forest <- s.s_fragment_reuses_forest;
+    c.fragment_reuses_approx <- s.s_fragment_reuses_approx
 
 (* The LowDeg wide-pruning test is [float_of_int width > threshold]
    over integer widths, so two thresholds with the same floor prune
@@ -351,7 +375,16 @@ let solve ?(exact_threshold = 16) ?only ?domains ?pool ?budget_ms
             match Setcover.Lru.find c.lru fp with
             | Some e when entry_reusable ~wide_global e ->
               c.hits <- c.hits + 1;
-              if e.e_split then c.fragment_reuses <- c.fragment_reuses + 1;
+              if e.e_split then begin
+                c.fragment_reuses <- c.fragment_reuses + 1;
+                match e.e_classification with
+                | Exact_small ->
+                  c.fragment_reuses_exact <- c.fragment_reuses_exact + 1
+                | Exact_forest ->
+                  c.fragment_reuses_forest <- c.fragment_reuses_forest + 1
+                | Approximate ->
+                  c.fragment_reuses_approx <- c.fragment_reuses_approx + 1
+              end;
               Some
                 { r_component = ps.Arena.p_component;
                   r_stuples = Array.length ps.Arena.p_sids;
@@ -440,7 +473,8 @@ let solve ?(exact_threshold = 16) ?only ?domains ?pool ?budget_ms
                           e_cost = Solution.cost w;
                           e_certificate = w.Solution.certificate;
                           e_forest = forest; e_threshold = wide_global;
-                          e_split = false };
+                          e_split = false;
+                          e_decomposition = w.Solution.decomposition };
                       Some fp
                     | _ -> None
                   in
@@ -498,7 +532,10 @@ let solve ?(exact_threshold = 16) ?only ?domains ?pool ?budget_ms
         let composite =
           { Solution.algorithm = "planner"; deleted; outcome;
             elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000.0;
-            certificate = Solution.Composite { shards = n; factor } }
+            certificate = Solution.Composite { shards = n; factor };
+            (* the per-shard decompositions live in the cache entries;
+               the composite itself is never cached *)
+            decomposition = None }
         in
         let n_cached =
           List.length (List.filter (fun r -> r.r_cached) solved)
@@ -512,26 +549,248 @@ let solve ?(exact_threshold = 16) ?only ?domains ?pool ?budget_ms
 (* ---- split-aware fragment seeding ----
 
    When a committed deletion shatters a component, the fragment that
-   still holds the memoized request's ΔV may be solvable by restriction:
-   the Exact_small (brute-force) tier's answer is a function of the
-   candidate set (sids occurring in bad witnesses), the bad view tuples,
-   and the preserved view tuples incident to a candidate — nothing else
-   in the shard feeds the enumeration. If the deletion killed no view
-   tuple whose witness meets the candidates, that whole sub-instance
-   survives verbatim inside the fragment, so the parent's cached entry
-   *is* the fragment's answer: re-key it under the fragment's
-   fingerprint (hashed under the memoized ΔV) without running a solver.
+   still holds the memoized request's ΔV may be solvable by restriction
+   of the parent's cached entry — re-keyed under the fragment's
+   fingerprint without running a solver. All three tiers participate,
+   each under its own soundness guards on top of the shared ones (ΔV
+   intact and confined to one fragment with a live roster). The two
+   *identity* tiers additionally demand that no killed view tuple's
+   witness meets the candidate set — their deleted sets live inside the
+   candidates, so an untouched neighborhood pins the answer's cost in
+   place; the forest tier instead *replays* killed weight through its
+   recorded tree, so it tolerates deletions the identity tiers refuse:
 
-   Restriction is deliberately limited to [Exact_small] entries: the
-   forest DP and the approximate portfolio read whole-shard inputs (the
-   tree order, the √‖V_shard‖ pruning threshold, solver rankings), so a
-   fragment of theirs is a different instance.
+   + [Exact_small]: the brute enumeration is a function of the candidate
+     set, the bad view tuples and the candidate-incident preserved
+     tuples — all of which survive verbatim — so the parent entry *is*
+     the fragment's answer (identity restriction).
+
+   + [Exact_forest]: the recorded {!Decomposition.forest_tree} is
+     projected through {!Decomposition.restrict_forest}: lost preserved
+     endpoint weight is discounted down the recorded tree and every
+     surviving uncut node must retain enough recorded slack that its
+     cut/no-cut decision cannot flip; the fragment must also keep the
+     parent's pivot as the content-minimal common witness member so a
+     fresh solve would root identically. The entry's cost shrinks by
+     the pivot's replayed discount — killed preserved weight under the
+     recorded cut frontier is already gone on the fragment.
+
+   + [Approximate]: identity restriction, additionally requiring that
+     the fragment's √‖V‖ bucket equals the parent shard's recorded one
+     (so the shard-local LowDeg sweep prunes identically), that the
+     fragment is not forest-DP applicable (a fresh solve would change
+     tier), and that the winner's certificate is rewritable — "general"
+     is excluded because its ratio reads the restricted instance's
+     sizes; a winning "lowdeg" [Ratio] is rewritten to the fragment's
+     own [2√‖V_F‖].
 
    The seeded entry is what a fresh solve of the fragment under the same
    ΔV would have cached — bit-identical winner, deleted set, cost and
-   certificate (enforced by the lockstep suite in
-   [test/test_compindex.ml]) — and [e_split] marks it so splices count
-   into [fragment_reuses]. *)
+   certificate (enforced by the lockstep suites in
+   [test/test_compindex.ml] and [test/test_decomp_splice.ml]) — and
+   [e_split] marks it so splices count into the per-tier
+   [fragment_reuses_*] counters. Entries without a recorded
+   decomposition (loaded from v2 snapshots) seed only through the
+   [Exact_small] identity path. *)
+
+let local_bucket nv = threshold_bucket (sqrt (float_of_int nv))
+
+(* Would a fresh solve of the fragment take the forest tier? Structural
+   probe mirroring [Dp_tree.applicable] on the fragment's witness paths:
+   the fragment is one arena component, hence one tuple-graph component,
+   so applicability is [is_forest] plus a pivot for that component. *)
+let fragment_dp_applicable (after : Arena.t) ~f_vids =
+  let prov = after.Arena.prov in
+  let paths =
+    Array.fold_left
+      (fun acc v ->
+        (Vtuple.Map.find after.Arena.vtuples.(v) prov.Provenance.witness_path)
+        :: acc)
+      [] f_vids
+  in
+  let g = Hypergraph.Tuple_graph.of_witness_paths paths in
+  Hypergraph.Tuple_graph.is_forest g
+  &&
+  let witnesses =
+    Array.fold_left
+      (fun acc v -> Provenance.witness_of prov after.Arena.vtuples.(v) :: acc)
+      [] f_vids
+  in
+  Hypergraph.Tuple_graph.find_pivot g witnesses <> None
+
+(* [Exact_small]: identity; only the live-roster size in the recorded
+   decomposition is refreshed so chained splits see fragment-local
+   metadata. *)
+let restrict_small_entry ~nvf (e : cache_entry) =
+  Some
+    { e with
+      e_split = true;
+      e_decomposition =
+        Option.map
+          (fun d -> { d with Decomposition.d_vtuples = nvf })
+          e.e_decomposition }
+
+(* [Exact_forest]: replay the recorded DP tree onto the surviving
+   roster. [lost_pres] are the parent component's preserved vids that
+   died or landed in another fragment; each one's endpoint (deepest
+   witness member under the recorded depths, ties to the
+   content-earliest, mirroring the solver's fold) charges its weight to
+   [lost_end]. *)
+let restrict_forest_entry ~(before : Arena.t) ~(after : Arena.t) ~f_sids
+    ~f_vids ~lost_pres (e : cache_entry) =
+  match e.e_decomposition with
+  | Some
+      ({ Decomposition.d_structure = Decomposition.Forest [ tree ]; _ } as d)
+    -> (
+    let nvf = Array.length f_vids in
+    (* fresh solves root at the content-minimal common witness member;
+       the recorded pivot must still be it *)
+    let cnt : (int, int) Hashtbl.t = Hashtbl.create 16 in
+    Array.iter
+      (fun v ->
+        Array.iter
+          (fun s ->
+            Hashtbl.replace cnt s
+              (succ (Option.value ~default:0 (Hashtbl.find_opt cnt s))))
+          after.Arena.witness.(v))
+      f_vids;
+    let min_common =
+      Hashtbl.fold
+        (fun sid k best ->
+          if k <> nvf then best
+          else
+            match best with
+            | None -> Some sid
+            | Some b ->
+              if
+                R.Stuple.compare after.Arena.stuples.(sid)
+                  after.Arena.stuples.(b)
+                < 0
+              then Some sid
+              else best)
+        cnt None
+    in
+    match min_common with
+    | Some sid
+      when String.equal
+             (Decomposition.key after.Arena.stuples.(sid))
+             tree.Decomposition.ft_pivot -> (
+      let depth : (string, int) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (fun (k, n) -> Hashtbl.replace depth k n.Decomposition.fn_depth)
+        tree.Decomposition.ft_nodes;
+      let lost_end : (string, float) Hashtbl.t = Hashtbl.create 16 in
+      let complete =
+        List.for_all
+          (fun v ->
+            let members =
+              Array.to_list before.Arena.witness.(v)
+              |> List.map (fun s -> before.Arena.stuples.(s))
+              |> List.sort R.Stuple.compare
+            in
+            match members with
+            | [] -> false
+            | first :: rest -> (
+              let endpoint =
+                List.fold_left
+                  (fun best st ->
+                    match best with
+                    | None -> None
+                    | Some b -> (
+                      match
+                        ( Hashtbl.find_opt depth (Decomposition.key st),
+                          Hashtbl.find_opt depth (Decomposition.key b) )
+                      with
+                      | Some dst, Some db ->
+                        if dst > db then Some st else best
+                      | _ -> None))
+                  (Some first) rest
+              in
+              match endpoint with
+              | None -> false (* a member outside the recorded tree *)
+              | Some st ->
+                let k = Decomposition.key st in
+                Hashtbl.replace lost_end k
+                  (before.Arena.weights.(v)
+                  +. Option.value ~default:0.0 (Hashtbl.find_opt lost_end k));
+                true))
+          lost_pres
+      in
+      if not complete then None
+      else
+        let surv : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+        Array.iter
+          (fun sid ->
+            Hashtbl.replace surv
+              (Decomposition.key after.Arena.stuples.(sid))
+              ())
+          f_sids;
+        match
+          Decomposition.restrict_forest tree
+            ~surviving:(fun k -> Hashtbl.mem surv k)
+            ~lost_end:(Hashtbl.fold (fun k w acc -> (k, w) :: acc) lost_end [])
+        with
+        | Error reason ->
+          Log.debug (fun m -> m "forest restriction refused: %s" reason);
+          None
+        | Ok tree' ->
+          (* the pivot's replayed DP value is the fragment's optimum;
+             killed preserved weight the frontier would have deleted is
+             already gone, so the answer's cost drops by exactly the
+             pivot's discount *)
+          let pivot_value t =
+            match List.assoc_opt t.Decomposition.ft_pivot t.Decomposition.ft_nodes with
+            | Some n -> n.Decomposition.fn_value
+            | None -> 0.0
+          in
+          let discount = pivot_value tree -. pivot_value tree' in
+          Some
+            { e with
+              e_split = true;
+              e_cost = e.e_cost -. discount;
+              e_decomposition =
+                Some
+                  { Decomposition.d_vtuples = nvf;
+                    d_parts =
+                      List.map
+                        (fun (pt : Decomposition.part) ->
+                          if String.equal pt.Decomposition.p_label
+                               tree.Decomposition.ft_pivot
+                          then { pt with Decomposition.p_cost = pt.p_cost -. discount }
+                          else pt)
+                        d.Decomposition.d_parts;
+                    d_structure = Decomposition.Forest [ tree' ] } })
+    | _ -> None)
+  | _ -> None
+
+(* [Approximate]: identity under the extra guards described above. *)
+let restrict_approx_entry ~(after : Arena.t) ~f_vids (e : cache_entry) =
+  match e.e_decomposition with
+  | Some ({ Decomposition.d_structure = Decomposition.Contributions; _ } as d)
+    ->
+    let nvf = Array.length f_vids in
+    let winner_ok =
+      List.mem e.e_winner [ "primal-dual"; "lowdeg"; "lowdeg-global"; "greedy" ]
+    in
+    if
+      winner_ok
+      && local_bucket nvf = local_bucket d.Decomposition.d_vtuples
+      && not (fragment_dp_applicable after ~f_vids)
+    then
+      let cert =
+        match e.e_certificate with
+        | Solution.Ratio _ when String.equal e.e_winner "lowdeg" ->
+          Solution.Ratio (2.0 *. sqrt (float_of_int nvf))
+        | c -> c
+      in
+      Some
+        { e with
+          e_split = true;
+          e_certificate = cert;
+          e_decomposition = Some { d with Decomposition.d_vtuples = nvf } }
+    else None
+  | _ -> None
+
 let seed_fragments c ~(before : Arena.t) ~before_index ~dd ~(after : Arena.t)
     ~after_index =
   if not (before.Arena.stuples == after.Arena.stuples) then []
@@ -557,7 +816,8 @@ let seed_fragments c ~(before : Arena.t) ~before_index ~dd ~(after : Arena.t)
         if Array.length bad = 0 then None
         else
           match Setcover.Lru.find c.lru fp with
-          | Some e when e.e_classification = Exact_small ->
+          | None -> None
+          | Some e ->
             (* the memoized ΔV must have survived intact and landed in
                one fragment (witness containment guarantees its
                candidates and their incident views went with it) *)
@@ -571,52 +831,93 @@ let seed_fragments c ~(before : Arena.t) ~before_index ~dd ~(after : Arena.t)
                 f >= 0
                 && Array.for_all (fun v -> p'.Arena.comp_of_vid.(v) = f) bad
               then begin
-                let candidates = Hashtbl.create 16 in
-                Array.iter
-                  (fun v ->
-                    Array.iter
-                      (fun s -> Hashtbl.replace candidates s ())
-                      after.Arena.witness.(v))
-                  bad;
-                (* the deletion must not have killed any view tuple
-                   whose witness meets the candidate set — that is the
-                   exact condition for the brute sub-instance to survive
-                   the restriction *)
-                let touched = ref false in
-                R.Stuple.Set.iter
-                  (fun st ->
-                    let sid = Arena.stuple_id before st in
-                    if p.Arena.comp_of_sid.(sid) = comp then
-                      Array.iter
-                        (fun vid ->
-                          if newly_dead vid then
-                            Array.iter
-                              (fun wsid ->
-                                if Hashtbl.mem candidates wsid then
-                                  touched := true)
-                              before.Arena.witness.(vid))
-                        before.Arena.containing.(sid))
-                  dd;
-                if !touched then None
+                let f_sids = Component_index.sids_of after_index f in
+                let f_vids = Component_index.vids_of after_index f in
+                (* an empty roster has nothing to answer for; seeding it
+                   would only park a dead entry in the LRU *)
+                if Array.length f_sids = 0 || Array.length f_vids = 0 then
+                  None
                 else begin
-                  let bb = Bitset.create (Arena.num_vtuples after) in
-                  Array.iter (Bitset.add bb) bad;
-                  let ps =
-                    { Arena.p_component = f;
-                      p_sids = Component_index.sids_of after_index f;
-                      p_vids = Component_index.vids_of after_index f }
-                  in
-                  let fpf = Fingerprint.shard ~bad:bb after ps in
-                  Setcover.Lru.add c.lru fpf { e with e_split = true };
-                  Component_index.record_memo after_index ~component:f
-                    ~fp:fpf ~bad;
-                  Some f
+                  let candidates = Hashtbl.create 16 in
+                  Array.iter
+                    (fun v ->
+                      Array.iter
+                        (fun s -> Hashtbl.replace candidates s ())
+                        after.Arena.witness.(v))
+                    bad;
+                  (* identity tiers additionally require that the
+                     deletion killed no view tuple whose witness meets
+                     the candidate set — their deleted sets live inside
+                     the candidates, so an untouched neighborhood pins
+                     the answer's side effect in place. The forest tier
+                     skips this check: its tree replay discounts killed
+                     preserved weight explicitly, and any killed view
+                     that would meet the candidates is exactly what the
+                     lost-endpoint accounting absorbs. *)
+                  let touched = ref false in
+                  R.Stuple.Set.iter
+                    (fun st ->
+                      let sid = Arena.stuple_id before st in
+                      if p.Arena.comp_of_sid.(sid) = comp then
+                        Array.iter
+                          (fun vid ->
+                            if newly_dead vid then
+                              Array.iter
+                                (fun wsid ->
+                                  if Hashtbl.mem candidates wsid then
+                                    touched := true)
+                                before.Arena.witness.(vid))
+                          before.Arena.containing.(sid))
+                    dd;
+                  begin
+                    let restricted =
+                      match e.e_classification with
+                      | Exact_small ->
+                        if !touched then None
+                        else restrict_small_entry ~nvf:(Array.length f_vids) e
+                      | Exact_forest ->
+                        let bad_set = Hashtbl.create 16 in
+                        Array.iter
+                          (fun v -> Hashtbl.replace bad_set v ())
+                          bad;
+                        let lost_pres =
+                          Array.fold_left
+                            (fun acc v ->
+                              if Hashtbl.mem bad_set v then acc
+                              else if
+                                Bitset.mem after.Arena.dead_v v
+                                || p'.Arena.comp_of_vid.(v) <> f
+                              then v :: acc
+                              else acc)
+                            []
+                            (Component_index.vids_of before_index comp)
+                        in
+                        restrict_forest_entry ~before ~after ~f_sids ~f_vids
+                          ~lost_pres e
+                      | Approximate ->
+                        if !touched then None
+                        else restrict_approx_entry ~after ~f_vids e
+                    in
+                    match restricted with
+                    | None -> None
+                    | Some e' ->
+                      let bb = Bitset.create (Arena.num_vtuples after) in
+                      Array.iter (Bitset.add bb) bad;
+                      let ps =
+                        { Arena.p_component = f; p_sids = f_sids;
+                          p_vids = f_vids }
+                      in
+                      let fpf = Fingerprint.shard ~bad:bb after ps in
+                      Setcover.Lru.add c.lru fpf e';
+                      Component_index.record_memo after_index ~component:f
+                        ~fp:fpf ~bad;
+                      Some f
+                  end
                 end
               end
               else None
             end
-            else None
-          | _ -> None)
+            else None)
     in
     List.filter_map seed affected
   end

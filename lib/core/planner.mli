@@ -117,6 +117,12 @@ type cache_entry = {
       (** entered the cache by fragment restriction ({!seed_fragments})
           rather than by solving; splicing it counts as a fragment
           reuse *)
+  e_decomposition : Decomposition.t option;
+      (** the winner's per-sub-structure cost decomposition, recorded at
+          solve time — the raw material {!seed_fragments} projects onto
+          surviving fragments. [None] only on entries loaded from
+          pre-decomposition (v2) snapshots; such entries still splice
+          but seed only through the [Exact_small] identity path. *)
 }
 
 (** [create_cache ?capacity ()] — an empty cache holding at most
@@ -143,6 +149,15 @@ val cache_evictions : cache -> int
     surviving fragment inherited its parent's answer by restriction. *)
 val cache_fragment_reuses : cache -> int
 
+(** {!cache_fragment_reuses} split by the seeded entry's tier — which
+    restriction path (identity, forest-tree replay, approximate
+    identity-with-rewrite) produced the spliced answer. The three always
+    sum to the total. *)
+
+val cache_fragment_reuses_exact : cache -> int
+val cache_fragment_reuses_forest : cache -> int
+val cache_fragment_reuses_approx : cache -> int
+
 val cache_clear : cache -> unit
 
 (** {2 Snapshot hooks}
@@ -161,6 +176,9 @@ type cache_stats = {
   s_last_bucket : int option;
       (** the √‖V‖ threshold-bucket latch ({!cache_evictions}) *)
   s_fragment_reuses : int;
+  s_fragment_reuses_exact : int;
+  s_fragment_reuses_forest : int;
+  s_fragment_reuses_approx : int;
 }
 
 val cache_stats : cache -> cache_stats
@@ -226,24 +244,38 @@ val solve :
     — called by the engine right after committing a tombstoning deletion
     [dd] ([after = Arena.delete before ~dd _]; the identity on the
     gather path, returning []). For each component of [before] touched
-    by [dd] whose {!Component_index.memo} points at a cached
-    [Exact_small] entry, if the memoized ΔV survived intact inside one
-    fragment of [after] and the deletion killed no view tuple whose
-    witness meets the ΔV's candidate set, the parent's entry is the
-    fragment's answer by restriction: the brute-force tier's result is a
-    function of the candidates, the bad view tuples, and the preserved
-    views incident to a candidate — all of which the fragment inherits
-    verbatim (witness containment keeps them inside one fragment). The
-    entry is re-keyed under the fragment's fingerprint (hashed with the
-    memoized ΔV via [Fingerprint.shard ~bad]), marked [e_split], and the
-    fragment's memo updated so reuse chains across successive splits.
+    by [dd] whose {!Component_index.memo} points at a cached entry, if
+    the memoized ΔV survived intact inside one non-empty fragment of
+    [after], the parent's entry is restricted onto the fragment — all
+    three tiers participate. The identity tiers ([Exact_small] /
+    [Approximate]) additionally require that the deletion killed no
+    view tuple whose witness meets the ΔV's candidate set; the forest
+    tier replays killed weight through its recorded tree instead:
+
+    - [Exact_small]: identity — the brute-force tier's result is a
+      function of the candidates, the bad view tuples, and the preserved
+      views incident to a candidate, all inherited verbatim;
+    - [Exact_forest]: the recorded DP tree is replayed through
+      {!Decomposition.restrict_forest}, discounting lost preserved
+      endpoint weight (the entry's cost drops by the pivot's replayed
+      discount) and refusing whenever a surviving node's cut decision
+      could flip or the fragment would root at a different pivot;
+    - [Approximate]: identity, additionally requiring the fragment's
+      √‖V‖ bucket to equal the parent shard's recorded one, the fragment
+      to stay outside the forest tier, and a rewritable winner
+      certificate ([Ratio] of a shard-local LowDeg win is rewritten to
+      the fragment's own [2√‖V‖]; a "general" winner never seeds).
+
+    The restricted entry is re-keyed under the fragment's fingerprint
+    (hashed with the memoized ΔV via [Fingerprint.shard ~bad]), marked
+    [e_split], and the fragment's memo updated so reuse chains across
+    successive splits.
 
     Returns the seeded fragment components (ascending) — the engine
     clears their dirty flags, so the next request splices them without
-    materializing or solving anything. Restriction never applies to
-    forest-DP or approximate entries (their answers read whole-shard
-    inputs), and a fresh solve of a seeded fragment would produce a
-    bit-identical answer (lockstep-tested). *)
+    materializing or solving anything. A fresh solve of a seeded
+    fragment produces a bit-identical answer (lockstep-tested in
+    [test/test_compindex.ml] and [test/test_decomp_splice.ml]). *)
 val seed_fragments :
   cache ->
   before:Arena.t ->

@@ -39,6 +39,11 @@ type t = {
   outcome : Side_effect.outcome;        (** its evaluated side-effect *)
   elapsed_ms : float;                   (** wall-clock of this solver alone *)
   certificate : certificate;
+  decomposition : Decomposition.t option;
+      (** the answer's per-sub-structure cost decomposition, recorded at
+          solve time ({!Decomposition}); [None] when the producing
+          surface does not decompose (composite recombinations, legacy
+          snapshot entries) *)
 }
 
 val cost : t -> float
@@ -55,5 +60,7 @@ val pp_certificate : Format.formatter -> certificate -> unit
 (** One-line JSON object: [algorithm], [deleted] (fact strings in
     {!Relational.Serial.fact_of_string} syntax), [feasible], [cost],
     [balanced_cost], [side_effect] / [residual_bad] (cardinalities),
-    [elapsed_ms], and [certificate] as [{"kind": ..., "value": ...}]. *)
+    [elapsed_ms], [certificate] as [{"kind": ..., "value": ...}], and —
+    when the answer decomposes — a [decomposition] summary object
+    (structure name, part count, solved ‖V‖). *)
 val to_json : t -> string

@@ -58,6 +58,9 @@ type stats = {
   shards_resolved : int;
   shard_cache_hits : int;
   fragment_reuses : int;
+  fragment_reuses_exact : int;
+  fragment_reuses_forest : int;
+  fragment_reuses_approx : int;
   tombstone_ratio : float;
   compactions : int;
   snapshot : snapshot_status;
@@ -85,6 +88,9 @@ let zero_stats =
     shards_resolved = 0;
     shard_cache_hits = 0;
     fragment_reuses = 0;
+    fragment_reuses_exact = 0;
+    fragment_reuses_forest = 0;
+    fragment_reuses_approx = 0;
     tombstone_ratio = 0.0;
     compactions = 0;
     snapshot = Cold;
@@ -96,12 +102,14 @@ let pp_stats ppf s =
      %d patch(es), %d insert(s) patched, %d rebuild(s), %d retarget(s), %d \
      component(s)@ tombstones: ratio %.3f, %d compaction(s)@ solve: last %.2f ms, \
      total %.2f ms@ planner: %d shard(s) solved, %d exact, %d approximate, %d \
-     cached / %d resolved (%d lifetime cache hit(s), %d fragment reuse(s))@ \
+     cached / %d resolved (%d lifetime cache hit(s), %d fragment reuse(s): %d \
+     exact / %d forest / %d approx)@ \
      journal: %d record(s) appended, %d recovered@ snapshot: %a@]"
     s.rounds s.applies s.tuples_deleted s.tuples_inserted s.patches s.inserts_patched
     s.rebuilds s.index_retargets s.components s.tombstone_ratio s.compactions
     s.last_solve_ms s.total_solve_ms s.shards_solved s.shards_exact s.shards_approx
     s.shards_cached s.shards_resolved s.shard_cache_hits s.fragment_reuses
+    s.fragment_reuses_exact s.fragment_reuses_forest s.fragment_reuses_approx
     s.journal_records s.recovered_records pp_snapshot_status s.snapshot
 
 (* The typed reporting surface: [Stats.t] is an alias of the flat record
@@ -131,6 +139,9 @@ module Stats = struct
     shards_resolved : int;
     shard_cache_hits : int;
     fragment_reuses : int;
+    fragment_reuses_exact : int;
+    fragment_reuses_forest : int;
+    fragment_reuses_approx : int;
     tombstone_ratio : float;
     compactions : int;
     snapshot : snapshot_status;
@@ -162,6 +173,9 @@ module Stats = struct
         ("shards_resolved", D.Report.Int s.shards_resolved);
         ("shard_cache_hits", D.Report.Int s.shard_cache_hits);
         ("fragment_reuses", D.Report.Int s.fragment_reuses);
+        ("fragment_reuses_exact", D.Report.Int s.fragment_reuses_exact);
+        ("fragment_reuses_forest", D.Report.Int s.fragment_reuses_forest);
+        ("fragment_reuses_approx", D.Report.Int s.fragment_reuses_approx);
         ( "tombstone_ratio",
           D.Report.Raw (Printf.sprintf "%.3f" s.tombstone_ratio) );
         ("compactions", D.Report.Int s.compactions);
@@ -231,6 +245,12 @@ type t = {
   mutable index : index;
   mutable stats : stats;
   shard_cache : D.Planner.cache option;
+  mutable snap_mirror : (D.Fingerprint.t, D.Planner.cache_entry) Hashtbl.t option;
+      (* what the last on-disk snapshot frame holds, binding by binding —
+         the diff base for incremental [Snapshot.append] groups. [None]
+         until the first full [write_snapshot] of THIS session: a
+         recovered image is never delta-chained across sessions, so a
+         torn tail can only lose freshness this session produced *)
   mutable dirty : dirty;
   indexed : bool;
       (* route planner rounds through the live [Component_index]
@@ -540,6 +560,7 @@ let write_snapshot t =
           if R.Instance.mem t.base_db st then acc else R.Stuple.Set.add st acc)
         cur R.Stuple.Set.empty
     in
+    let entries = D.Planner.cache_entries c in
     Snapshot.write spath
       {
         Snapshot.position = t.journal_len;
@@ -549,9 +570,86 @@ let write_snapshot t =
         dirty;
         stats = D.Planner.cache_stats c;
         baseline = Some (gone, added);
-        entries = D.Planner.cache_entries c;
+        entries;
       };
-    t.last_snapshot_len <- t.journal_len
+    t.last_snapshot_len <- t.journal_len;
+    (* refresh the delta-append diff base: the on-disk image now holds
+       exactly these bindings (physical identity — the LRU only ever
+       reorders live entries, so [==] against the mirror detects every
+       upsert) *)
+    let mirror = Hashtbl.create (List.length entries * 2 + 1) in
+    List.iter (fun (fp, e) -> Hashtbl.replace mirror fp e) entries;
+    t.snap_mirror <- Some mirror
+  | _ -> ()
+
+(* The round's database delta as journalled — the same (deletes,
+   inserts) the snapshot fold re-applies to its baseline. *)
+let record_delta = function
+  | Journal.Apply dd | Journal.Delete dd -> (dd, R.Stuple.Set.empty)
+  | Journal.Insert st -> (R.Stuple.Set.empty, R.Stuple.Set.singleton st)
+  | Journal.Delta { deletes; inserts } -> (deletes, inserts)
+
+(* Between full images, persist the round as one incremental delta
+   group: the refreshed coordinates, the cache bindings that changed
+   since the mirror (by physical identity), and the round's database
+   delta. Appends are cheap — O(changed entries), not O(cache) — so the
+   snapshot stays one clean-prefix fold behind the journal even with
+   [snapshot_every] set high. Never across sessions: the mirror is
+   [None] until this session's first full write. *)
+let append_snapshot_delta t record =
+  match (t.snapshot_path, t.shard_cache, t.snap_mirror) with
+  | Some spath, Some c, Some mirror -> (
+    let entries = D.Planner.cache_entries c in
+    let upserts =
+      List.filter
+        (fun (fp, e) ->
+          match Hashtbl.find_opt mirror fp with
+          | Some e0 -> not (e0 == e)
+          | None -> true)
+        entries
+    in
+    let live = Hashtbl.create (List.length entries * 2 + 1) in
+    List.iter (fun (fp, _) -> Hashtbl.replace live fp ()) entries;
+    let removed =
+      Hashtbl.fold
+        (fun fp _ acc -> if Hashtbl.mem live fp then acc else fp :: acc)
+        mirror []
+    in
+    let deletes, inserts = record_delta record in
+    let generation =
+      match t.journal with Some w -> Journal.generation w | None -> 0
+    in
+    let n = (part_of t.index).D.Arena.num_components in
+    let dirty =
+      match t.dirty with
+      | All -> List.init n (fun i -> i)
+      | Flags f -> List.rev (B.fold (fun i acc -> i :: acc) f [])
+    in
+    match
+      Snapshot.append ~fsync:t.fsync spath
+        {
+          Snapshot.d_position = t.journal_len;
+          d_generation = generation;
+          d_arena_fp = D.Fingerprint.arena t.index.arena;
+          d_components = n;
+          d_dirty = dirty;
+          d_stats = D.Planner.cache_stats c;
+          d_removed = removed;
+          d_order = List.map fst entries;
+          d_deletes = deletes;
+          d_inserts = inserts;
+          d_upserts = upserts;
+        }
+    with
+    | () ->
+      List.iter (fun fp -> Hashtbl.remove mirror fp) removed;
+      List.iter (fun (fp, e) -> Hashtbl.replace mirror fp e) upserts
+    | exception Sys_error msg ->
+      (* an unappendable snapshot only costs freshness — drop the
+         mirror so no later append chains past the gap *)
+      t.snap_mirror <- None;
+      Log.warn (fun m -> m "snapshot append failed (%s); disabled until \
+                            the next full write" msg))
   | _ -> ()
 
 let journal_append t record =
@@ -565,6 +663,7 @@ let journal_append t record =
       t.snapshot_path <> None && t.snapshot_every > 0
       && t.journal_len - t.last_snapshot_len >= t.snapshot_every
     then write_snapshot t
+    else append_snapshot_delta t record
 
 let checkpoint t =
   (* a checkpoint is the durable summary of the session so far — fold
@@ -661,6 +760,7 @@ let create ?weights ?exact_threshold ?algorithms ?(plan = false) ?domains
         (if plan && shard_cache > 0 then
            Some (D.Planner.create_cache ~capacity:shard_cache ())
          else None);
+      snap_mirror = None;
       (* a fresh (or recovered) session has solved nothing yet: every
          component is dirty until its first planner round lands *)
       dirty = All;
@@ -861,6 +961,18 @@ let stats t =
       (match t.shard_cache with
       | None -> 0
       | Some c -> D.Planner.cache_fragment_reuses c);
+    fragment_reuses_exact =
+      (match t.shard_cache with
+      | None -> 0
+      | Some c -> D.Planner.cache_fragment_reuses_exact c);
+    fragment_reuses_forest =
+      (match t.shard_cache with
+      | None -> 0
+      | Some c -> D.Planner.cache_fragment_reuses_forest c);
+    fragment_reuses_approx =
+      (match t.shard_cache with
+      | None -> 0
+      | Some c -> D.Planner.cache_fragment_reuses_approx c);
     tombstone_ratio = D.Arena.tombstone_ratio t.index.arena;
   }
 

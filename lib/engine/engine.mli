@@ -103,6 +103,18 @@ type stats = {
                               exist only because a split's surviving
                               fragment inherited its parent component's
                               answer; 0 without a cache *)
+  fragment_reuses_exact : int;
+                          (** {!fragment_reuses} whose seeded entry came
+                              through the brute-force identity
+                              restriction ([Exact_small] parents) *)
+  fragment_reuses_forest : int;
+                          (** ... through the recorded-DP-tree replay
+                              ([Exact_forest] parents) *)
+  fragment_reuses_approx : int;
+                          (** ... through the approximate identity
+                              restriction with certificate rewrite
+                              ([Approximate] parents). The three always
+                              sum to [fragment_reuses] *)
   tombstone_ratio : float;(** dead slots / total slots in the live arena,
                               read at {!stats} time — 0.0 right after a
                               compaction (and always, under the eager
@@ -149,6 +161,9 @@ module Stats : sig
     shards_resolved : int;
     shard_cache_hits : int;
     fragment_reuses : int;
+    fragment_reuses_exact : int;
+    fragment_reuses_forest : int;
+    fragment_reuses_approx : int;
     tombstone_ratio : float;
     compactions : int;
     snapshot : snapshot_status;
@@ -385,8 +400,8 @@ val partition : t -> Deleprop.Arena.partition
 val component_index : t -> Deleprop.Component_index.t
 
 (** A point-in-time snapshot: the session's counters, with
-    [shard_cache_hits] and [tombstone_ratio] read off the live cache and
-    arena at call time. *)
+    [shard_cache_hits], the [fragment_reuses*] family, and
+    [tombstone_ratio] read off the live cache and arena at call time. *)
 val stats : t -> stats
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -4,14 +4,16 @@ module S = Deleprop.Solution
 
 let magic = "DLPSNAP1"
 
-(* v2: adds the journal generation, the cache's fragment-reuse counter,
-   the per-entry split flag, and an optional baseline delta (the live
-   database as gone/added sets against the base) — the coordinates the
-   engine's fast recovery path needs to install the snapshot without
-   replaying the journal prefix it covers. v1 snapshots load as
+(* v3: per-entry decomposition records (the per-fragment cost
+   decompositions [Planner.seed_fragments] restricts across splits), the
+   per-tier fragment-reuse counters, and incremental delta frames
+   appended between full images ({!append}). v2 images still load —
+   their entries carry no decomposition ([None]: they splice normally
+   but seed only through the Exact_small identity path) and their
+   per-tier counters restore as zero. v1 snapshots load as
    [Version_mismatch] and degrade to a cold cache, like any other
    unreadable image. *)
-let version = 2
+let version = 3
 
 type t = {
   position : int;
@@ -22,6 +24,26 @@ type t = {
   stats : D.Planner.cache_stats;
   baseline : (R.Stuple.Set.t * R.Stuple.Set.t) option;
   entries : (D.Fingerprint.t * D.Planner.cache_entry) list;
+}
+
+(* one incremental append between full images: the refreshed
+   coordinates, the cache changes since the previous frame (upserted
+   bindings, removed fingerprints, the full MRU order), and the round's
+   database delta — folding a delta group over the image it follows
+   reproduces the [t] a full write at the same moment would have
+   produced *)
+type delta = {
+  d_position : int;
+  d_generation : int;
+  d_arena_fp : D.Fingerprint.t;
+  d_components : int;
+  d_dirty : int list;
+  d_stats : D.Planner.cache_stats;
+  d_removed : D.Fingerprint.t list;
+  d_order : D.Fingerprint.t list;
+  d_deletes : R.Stuple.Set.t;
+  d_inserts : R.Stuple.Set.t;
+  d_upserts : (D.Fingerprint.t * D.Planner.cache_entry) list;
 }
 
 type warning =
@@ -132,49 +154,30 @@ let class_of_string = function
   | "approx" -> D.Planner.Approximate
   | _ -> failwith "bad classification"
 
-let header_payload t =
-  String.concat "\n"
-    [
-      "H";
-      "version " ^ string_of_int version;
-      "position " ^ string_of_int t.position;
-      "generation " ^ string_of_int t.generation;
-      "arena " ^ D.Fingerprint.to_hex t.arena_fp;
-      "components " ^ string_of_int t.components;
-      String.concat " " ("dirty" :: List.map string_of_int t.dirty);
-      "hits " ^ string_of_int t.stats.D.Planner.s_hits;
-      "misses " ^ string_of_int t.stats.D.Planner.s_misses;
-      "evictions " ^ string_of_int t.stats.D.Planner.s_evictions;
-      ("bucket "
-      ^
-      match t.stats.D.Planner.s_last_bucket with
-      | None -> "-"
-      | Some b -> string_of_int b);
-      "splices " ^ string_of_int t.stats.D.Planner.s_fragment_reuses;
-      ("baseline " ^ match t.baseline with None -> "0" | Some _ -> "1");
-      "entries " ^ string_of_int (List.length t.entries);
-    ]
+(* the counter block travels identically in the header and in delta
+   frames *)
+let stats_lines (s : D.Planner.cache_stats) =
+  [
+    "hits " ^ string_of_int s.D.Planner.s_hits;
+    "misses " ^ string_of_int s.D.Planner.s_misses;
+    "evictions " ^ string_of_int s.D.Planner.s_evictions;
+    ("bucket "
+    ^
+    match s.D.Planner.s_last_bucket with
+    | None -> "-"
+    | Some b -> string_of_int b);
+    "splices " ^ string_of_int s.D.Planner.s_fragment_reuses;
+    "splices_exact " ^ string_of_int s.D.Planner.s_fragment_reuses_exact;
+    "splices_forest " ^ string_of_int s.D.Planner.s_fragment_reuses_forest;
+    "splices_approx " ^ string_of_int s.D.Planner.s_fragment_reuses_approx;
+  ]
 
-exception Bad_version of int
-
-let decode_header payload =
-  match String.split_on_char '\n' payload with
-  | [
-      "H"; v; pos; gen; ar; comp; dirty; hits; misses; ev; bucket; splices;
-      baseline; entries;
-    ] ->
-    let v = int_of_string (field "version" v) in
-    if v <> version then raise (Bad_version v);
-    let position = int_of_string (field "position" pos) in
-    let generation = int_of_string (field "generation" gen) in
-    let arena_fp = fp_of_hex (field "arena" ar) in
-    let components = int_of_string (field "components" comp) in
-    let dirty =
-      field "dirty" dirty |> String.split_on_char ' '
-      |> List.filter (fun s -> s <> "")
-      |> List.map int_of_string
-    in
-    let stats =
+(* decode the 5-line v2 prefix, then — when [tiered] — the 3 per-tier
+   lines v3 adds; returns the stats and the remaining lines *)
+let decode_stats ~tiered lines =
+  match lines with
+  | hits :: misses :: ev :: bucket :: splices :: rest ->
+    let base =
       {
         D.Planner.s_hits = int_of_string (field "hits" hits);
         s_misses = int_of_string (field "misses" misses);
@@ -184,19 +187,242 @@ let decode_header payload =
           | "-" -> None
           | b -> Some (int_of_string b));
         s_fragment_reuses = int_of_string (field "splices" splices);
+        s_fragment_reuses_exact = 0;
+        s_fragment_reuses_forest = 0;
+        s_fragment_reuses_approx = 0;
       }
     in
-    let has_baseline =
-      match field "baseline" baseline with
-      | "1" -> true
-      | "0" -> false
-      | _ -> failwith "bad baseline flag"
+    if not tiered then (base, rest)
+    else (
+      match rest with
+      | se :: sf :: sa :: rest ->
+        ( {
+            base with
+            D.Planner.s_fragment_reuses_exact =
+              int_of_string (field "splices_exact" se);
+            s_fragment_reuses_forest =
+              int_of_string (field "splices_forest" sf);
+            s_fragment_reuses_approx =
+              int_of_string (field "splices_approx" sa);
+          },
+          rest )
+      | _ -> failwith "truncated counter block")
+  | _ -> failwith "truncated counter block"
+
+let header_payload t =
+  String.concat "\n"
+    ([
+       "H";
+       "version " ^ string_of_int version;
+       "position " ^ string_of_int t.position;
+       "generation " ^ string_of_int t.generation;
+       "arena " ^ D.Fingerprint.to_hex t.arena_fp;
+       "components " ^ string_of_int t.components;
+       String.concat " " ("dirty" :: List.map string_of_int t.dirty);
+     ]
+    @ stats_lines t.stats
+    @ [
+        ("baseline " ^ match t.baseline with None -> "0" | Some _ -> "1");
+        "entries " ^ string_of_int (List.length t.entries);
+      ])
+
+exception Bad_version of int
+
+let decode_header payload =
+  match String.split_on_char '\n' payload with
+  | "H" :: v :: pos :: gen :: ar :: comp :: dirty :: rest -> (
+    let v = int_of_string (field "version" v) in
+    if v <> version && v <> 2 then raise (Bad_version v);
+    let position = int_of_string (field "position" pos) in
+    let generation = int_of_string (field "generation" gen) in
+    let arena_fp = fp_of_hex (field "arena" ar) in
+    let components = int_of_string (field "components" comp) in
+    let dirty =
+      field "dirty" dirty |> String.split_on_char ' '
+      |> List.filter (fun s -> s <> "")
+      |> List.map int_of_string
     in
-    let count = int_of_string (field "entries" entries) in
-    ( { position; generation; arena_fp; components; dirty; stats;
-        baseline = None; entries = [] },
-      has_baseline, count )
+    let stats, rest = decode_stats ~tiered:(v >= 3) rest in
+    match rest with
+    | [ baseline; entries ] ->
+      let has_baseline =
+        match field "baseline" baseline with
+        | "1" -> true
+        | "0" -> false
+        | _ -> failwith "bad baseline flag"
+      in
+      let count = int_of_string (field "entries" entries) in
+      ( { position; generation; arena_fp; components; dirty; stats;
+          baseline = None; entries = [] },
+        has_baseline, count )
+    | _ -> failwith "malformed header")
   | _ -> failwith "malformed header"
+
+(* ---- decomposition section (v3 entries; absent in v2) ---- *)
+
+let cert_slice_token = function
+  | D.Decomposition.Slice_exact -> "exact"
+  | D.Decomposition.Slice_heuristic -> "heuristic"
+  | D.Decomposition.Slice_ratio f -> "ratio:" ^ hex_of_float f
+
+let cert_slice_of_token s =
+  match s with
+  | "exact" -> D.Decomposition.Slice_exact
+  | "heuristic" -> D.Decomposition.Slice_heuristic
+  | _ -> (
+    match String.index_opt s ':' with
+    | Some i when String.sub s 0 i = "ratio" ->
+      D.Decomposition.Slice_ratio
+        (float_of_hex (String.sub s (i + 1) (String.length s - i - 1)))
+    | _ -> failwith "bad certificate slice")
+
+(* Labels, node keys and pivots are [Stuple.to_string] content — they
+   may contain spaces, so each travels on its own line, delimited by the
+   counts in the structural lines around it. *)
+let decomp_lines = function
+  | None -> [ "decomp none" ]
+  | Some (d : D.Decomposition.t) ->
+    let trees =
+      match d.D.Decomposition.d_structure with
+      | D.Decomposition.Forest ts -> ts
+      | _ -> []
+    in
+    let tag =
+      match d.D.Decomposition.d_structure with
+      | D.Decomposition.Witness_groups -> "groups"
+      | D.Decomposition.Forest _ -> "forest"
+      | D.Decomposition.Contributions -> "contrib"
+    in
+    Printf.sprintf "decomp %s %d %d %d" tag d.D.Decomposition.d_vtuples
+      (List.length d.D.Decomposition.d_parts)
+      (List.length trees)
+    :: List.concat_map
+         (fun (p : D.Decomposition.part) ->
+           Printf.sprintf "part %s %s %d"
+             (hex_of_float p.D.Decomposition.p_cost)
+             (cert_slice_token p.D.Decomposition.p_cert)
+             (R.Stuple.Set.cardinal p.D.Decomposition.p_deleted)
+           :: p.D.Decomposition.p_label
+           :: List.map R.Stuple.to_string
+                (R.Stuple.Set.elements p.D.Decomposition.p_deleted))
+         d.D.Decomposition.d_parts
+    @ List.concat_map
+        (fun (tr : D.Decomposition.forest_tree) ->
+          Printf.sprintf "tree %d" (List.length tr.D.Decomposition.ft_nodes)
+          :: tr.D.Decomposition.ft_pivot
+          :: List.concat_map
+               (fun (k, (n : D.Decomposition.forest_node)) ->
+                 Printf.sprintf "node %d %s %s %s %s"
+                   n.D.Decomposition.fn_depth
+                   (if n.D.Decomposition.fn_cut then "1" else "0")
+                   (hex_of_float n.D.Decomposition.fn_value)
+                   (hex_of_float n.D.Decomposition.fn_slack)
+                   (match n.D.Decomposition.fn_parent with
+                   | None -> "-"
+                   | Some _ -> "P")
+                 :: k
+                 ::
+                 (match n.D.Decomposition.fn_parent with
+                 | None -> []
+                 | Some pk -> [ pk ]))
+               tr.D.Decomposition.ft_nodes)
+        trees
+
+let take n lines =
+  let rec go n acc = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | x :: rest -> go (n - 1) (x :: acc) rest
+    | [] -> failwith "truncated section"
+  in
+  go n [] lines
+
+let fact_of_line line =
+  let rel, tuple = R.Serial.fact_of_string line in
+  R.Stuple.make rel tuple
+
+let decode_decomp lines =
+  match lines with
+  | [] -> (None, []) (* v2 entry: no decomposition section *)
+  | l :: rest -> (
+    match String.split_on_char ' ' (field "decomp" l) with
+    | [ "none" ] -> (None, rest)
+    | [ tag; nv; np; nt ] ->
+      let nv = int_of_string nv in
+      let np = int_of_string np in
+      let nt = int_of_string nt in
+      let rec parts k acc rest =
+        if k = 0 then (List.rev acc, rest)
+        else
+          match rest with
+          | ph :: label :: rest -> (
+            match String.split_on_char ' ' (field "part" ph) with
+            | [ cost; cert; nd ] ->
+              let facts, rest = take (int_of_string nd) rest in
+              parts (k - 1)
+                ({
+                   D.Decomposition.p_label = label;
+                   p_deleted =
+                     R.Stuple.Set.of_list (List.map fact_of_line facts);
+                   p_cost = float_of_hex cost;
+                   p_cert = cert_slice_of_token cert;
+                 }
+                :: acc)
+                rest
+            | _ -> failwith "bad part")
+          | _ -> failwith "bad part"
+      in
+      let d_parts, rest = parts np [] rest in
+      let rec nodes j acc rest =
+        if j = 0 then (List.rev acc, rest)
+        else
+          match rest with
+          | nh :: key :: rest -> (
+            match String.split_on_char ' ' (field "node" nh) with
+            | [ depth; cut; value; slack; par ] ->
+              let fn_parent, rest =
+                if par = "P" then
+                  match rest with
+                  | pk :: rest -> (Some pk, rest)
+                  | [] -> failwith "bad node"
+                else (None, rest)
+              in
+              nodes (j - 1)
+                (( key,
+                   {
+                     D.Decomposition.fn_parent;
+                     fn_depth = int_of_string depth;
+                     fn_cut = cut = "1";
+                     fn_value = float_of_hex value;
+                     fn_slack = float_of_hex slack;
+                   } )
+                :: acc)
+                rest
+            | _ -> failwith "bad node")
+          | _ -> failwith "bad node"
+      in
+      let rec trees k acc rest =
+        if k = 0 then (List.rev acc, rest)
+        else
+          match rest with
+          | th :: pivot :: rest ->
+            let nn = int_of_string (field "tree" th) in
+            let ft_nodes, rest = nodes nn [] rest in
+            trees (k - 1)
+              ({ D.Decomposition.ft_pivot = pivot; ft_nodes } :: acc)
+              rest
+          | _ -> failwith "bad tree"
+      in
+      let d_trees, rest = trees nt [] rest in
+      let d_structure =
+        match tag with
+        | "groups" when nt = 0 -> D.Decomposition.Witness_groups
+        | "contrib" when nt = 0 -> D.Decomposition.Contributions
+        | "forest" -> D.Decomposition.Forest d_trees
+        | _ -> failwith "bad decomposition tag"
+      in
+      ( Some { D.Decomposition.d_vtuples = nv; d_parts; d_structure },
+        rest )
+    | _ -> failwith "bad decomposition")
 
 let entry_payload (fp, (e : D.Planner.cache_entry)) =
   String.concat "\n"
@@ -212,16 +438,13 @@ let entry_payload (fp, (e : D.Planner.cache_entry)) =
        "split " ^ (if e.D.Planner.e_split then "1" else "0");
        "deleted " ^ string_of_int (R.Stuple.Set.cardinal e.D.Planner.e_deleted);
      ]
-    @ List.map R.Stuple.to_string (R.Stuple.Set.elements e.D.Planner.e_deleted))
-
-let fact_of_line line =
-  let rel, tuple = R.Serial.fact_of_string line in
-  R.Stuple.make rel tuple
+    @ List.map R.Stuple.to_string (R.Stuple.Set.elements e.D.Planner.e_deleted)
+    @ decomp_lines e.D.Planner.e_decomposition)
 
 let decode_entry payload =
   match String.split_on_char '\n' payload with
   | "E" :: fp :: cls :: winner :: cost :: cert :: forest :: threshold :: split
-    :: deleted :: facts ->
+    :: deleted :: rest ->
     let fp = fp_of_hex (field "fp" fp) in
     let e_classification = class_of_string (field "class" cls) in
     let e_winner = field "winner" winner in
@@ -237,8 +460,10 @@ let decode_entry payload =
     let e_threshold = float_of_hex (field "threshold" threshold) in
     let e_split = flag "split" split in
     let m = int_of_string (field "deleted" deleted) in
-    if List.length facts <> m then failwith "fact count mismatch";
+    let facts, rest = take m rest in
     let e_deleted = R.Stuple.Set.of_list (List.map fact_of_line facts) in
+    let e_decomposition, rest = decode_decomp rest in
+    if rest <> [] then failwith "trailing entry lines";
     ( fp,
       {
         D.Planner.e_classification;
@@ -249,6 +474,7 @@ let decode_entry payload =
         e_forest;
         e_threshold;
         e_split;
+        e_decomposition;
       } )
   | _ -> failwith "malformed entry"
 
@@ -280,6 +506,127 @@ let decode_baseline payload =
     ( R.Stuple.Set.of_list (List.map fact_of_line gfacts),
       R.Stuple.Set.of_list (List.map fact_of_line afacts) )
   | _ -> failwith "malformed baseline"
+
+(* ---- incremental delta frames ----
+
+   A delta group is one "D" frame followed by [upserts]-many entry
+   frames. The "D" frame carries the refreshed coordinates and counter
+   block, the removed fingerprints, the full MRU order (authoritative:
+   folding re-orders the surviving bindings by it), and the round's
+   (deletes, inserts) against the live database. *)
+
+let fps_line key fps =
+  String.concat " " (key :: List.map D.Fingerprint.to_hex fps)
+
+let fps_of_line key line =
+  field key line |> String.split_on_char ' '
+  |> List.filter (fun s -> s <> "")
+  |> List.map fp_of_hex
+
+let delta_payload (d : delta) =
+  String.concat "\n"
+    ([
+       "D";
+       "position " ^ string_of_int d.d_position;
+       "generation " ^ string_of_int d.d_generation;
+       "arena " ^ D.Fingerprint.to_hex d.d_arena_fp;
+       "components " ^ string_of_int d.d_components;
+       String.concat " " ("dirty" :: List.map string_of_int d.d_dirty);
+     ]
+    @ stats_lines d.d_stats
+    @ [
+        fps_line "removed" d.d_removed;
+        fps_line "order" d.d_order;
+        "gone " ^ string_of_int (R.Stuple.Set.cardinal d.d_deletes);
+        "added " ^ string_of_int (R.Stuple.Set.cardinal d.d_inserts);
+      ]
+    @ List.map R.Stuple.to_string (R.Stuple.Set.elements d.d_deletes)
+    @ List.map R.Stuple.to_string (R.Stuple.Set.elements d.d_inserts)
+    @ [ "upserts " ^ string_of_int (List.length d.d_upserts) ])
+
+(* returns the delta (with [d_upserts = []]) and the number of entry
+   frames that follow it *)
+let decode_delta payload =
+  match String.split_on_char '\n' payload with
+  | "D" :: pos :: gen :: ar :: comp :: dirty :: rest -> (
+    let d_position = int_of_string (field "position" pos) in
+    let d_generation = int_of_string (field "generation" gen) in
+    let d_arena_fp = fp_of_hex (field "arena" ar) in
+    let d_components = int_of_string (field "components" comp) in
+    let d_dirty =
+      field "dirty" dirty |> String.split_on_char ' '
+      |> List.filter (fun s -> s <> "")
+      |> List.map int_of_string
+    in
+    let d_stats, rest = decode_stats ~tiered:true rest in
+    match rest with
+    | removed :: order :: gone :: added :: rest -> (
+      let d_removed = fps_of_line "removed" removed in
+      let d_order = fps_of_line "order" order in
+      let ng = int_of_string (field "gone" gone) in
+      let na = int_of_string (field "added" added) in
+      let gfacts, rest = take ng rest in
+      let afacts, rest = take na rest in
+      match rest with
+      | [ ups ] ->
+        ( {
+            d_position;
+            d_generation;
+            d_arena_fp;
+            d_components;
+            d_dirty;
+            d_stats;
+            d_removed;
+            d_order;
+            d_deletes = R.Stuple.Set.of_list (List.map fact_of_line gfacts);
+            d_inserts = R.Stuple.Set.of_list (List.map fact_of_line afacts);
+            d_upserts = [];
+          },
+          int_of_string (field "upserts" ups) )
+      | _ -> failwith "malformed delta")
+    | _ -> failwith "malformed delta")
+  | _ -> failwith "malformed delta"
+
+(* Fold one delta group over the image state. The baseline advances by
+   set algebra on the round's delta — deletes first, then inserts, the
+   engine's own commit order — so the folded (gone, added) pair is
+   exactly what a full write at the delta's moment would have stored. *)
+let fold_delta (t : t) (d : delta) =
+  let tbl = Hashtbl.create (List.length t.entries + List.length d.d_upserts) in
+  List.iter (fun (fp, e) -> Hashtbl.replace tbl fp e) t.entries;
+  List.iter (fun fp -> Hashtbl.remove tbl fp) d.d_removed;
+  List.iter (fun (fp, e) -> Hashtbl.replace tbl fp e) d.d_upserts;
+  let entries =
+    List.filter_map
+      (fun fp ->
+        match Hashtbl.find_opt tbl fp with
+        | None -> None
+        | Some e -> Some (fp, e))
+      d.d_order
+  in
+  let baseline =
+    match t.baseline with
+    | None -> None
+    | Some (gone, added) ->
+      let gone1 =
+        R.Stuple.Set.union gone (R.Stuple.Set.diff d.d_deletes added)
+      in
+      Some
+        ( R.Stuple.Set.diff gone1 d.d_inserts,
+          R.Stuple.Set.union
+            (R.Stuple.Set.diff added d.d_deletes)
+            (R.Stuple.Set.diff d.d_inserts gone1) )
+  in
+  {
+    position = d.d_position;
+    generation = d.d_generation;
+    arena_fp = d.d_arena_fp;
+    components = d.d_components;
+    dirty = d.d_dirty;
+    stats = d.d_stats;
+    baseline;
+    entries;
+  }
 
 (* ---- i/o ---- *)
 
@@ -409,10 +756,10 @@ let load path =
                even be delimited (torn tail, corrupted length) drops the
                rest. [dropped] = header count − entries loaded. *)
             let rec go pos k acc dropped =
-              if k = count then (List.rev acc, dropped)
+              if k = count then (List.rev acc, dropped, pos)
               else
                 match next_frame pos with
-                | None -> (List.rev acc, dropped + (count - k))
+                | None -> (List.rev acc, dropped + (count - k), pos)
                 | Some (Error _, next) -> go next (k + 1) acc (dropped + 1)
                 | Some (Ok payload, next) -> (
                   match decode_entry payload with
@@ -420,8 +767,76 @@ let load path =
                     go next (k + 1) acc (dropped + 1)
                   | pair -> go next (k + 1) (pair :: acc) dropped)
             in
-            let entries, dropped = go pos0 0 [] 0 in
-            Ok ({ meta with baseline; entries }, base_dropped + dropped))
+            let entries, dropped, pos1 = go pos0 0 [] 0 in
+            (* Incremental delta groups appended after the full image.
+               Folding stops at the first bad or torn frame — deltas are
+               a strictly ordered suffix, so a clean prefix of them is
+               always a consistent (merely older) state; the journal
+               replay covers whatever the dropped tail described. A
+               group applies only when its "D" frame and all its entry
+               frames decode — a torn group is ignored whole. *)
+            let rec fold_groups t pos =
+              match next_frame pos with
+              | None | Some (Error _, _) -> t
+              | Some (Ok payload, next) -> (
+                match decode_delta payload with
+                | exception (Failure _ | R.Serial.Parse_error (_, _)) -> t
+                | d, nup -> (
+                  let rec ups k acc pos =
+                    if k = 0 then Some (List.rev acc, pos)
+                    else
+                      match next_frame pos with
+                      | None | Some (Error _, _) -> None
+                      | Some (Ok p, next) -> (
+                        match decode_entry p with
+                        | exception (Failure _ | R.Serial.Parse_error (_, _))
+                          ->
+                          None
+                        | pair -> ups (k - 1) (pair :: acc) next)
+                  in
+                  match ups nup [] next with
+                  | None -> t
+                  | Some (d_upserts, next') ->
+                    fold_groups (fold_delta t { d with d_upserts }) next'))
+            in
+            let t = fold_groups { meta with baseline; entries } pos1 in
+            Ok (t, base_dropped + dropped))
       end
+
+(* Append one delta group to the committed image. Appends are not
+   atomic — a crash mid-append leaves a torn group — but the base image
+   is never rewritten, and [load] stops folding at the first bad frame,
+   so the torn tail costs only the freshness it would have added. The
+   ["snapshot.append"] failpoint mirrors the journal's torn-tail
+   injection: [Crash_after_bytes n] emits [n] bytes of the group and
+   raises. *)
+let append ?(fsync = false) path (d : delta) =
+  let data =
+    String.concat ""
+      (frame (delta_payload d)
+      :: List.map (fun e -> frame (entry_payload e)) d.d_upserts)
+  in
+  let write_k k =
+    let oc =
+      open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644
+        path
+    in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (String.sub data 0 k);
+        flush oc;
+        if k = String.length data && fsync then
+          Unix.fsync (Unix.descr_of_out_channel oc))
+  in
+  match D.Failpoint.find "snapshot.append" with
+  | Some (D.Failpoint.Crash_after_bytes n) ->
+    write_k (min n (String.length data));
+    raise (D.Failpoint.Injected "snapshot.append")
+  | fp ->
+    (match fp with
+    | Some _ -> D.Failpoint.hit "snapshot.append"
+    | None -> ());
+    write_k (String.length data)
 
 let remove path = if Sys.file_exists path then Sys.remove path

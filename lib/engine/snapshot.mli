@@ -18,13 +18,18 @@
     (applying the baseline as one delta instead) and reclaims the sealed
     segments that prefix lived in — see [Engine.create ~recover].
 
-    On-disk format, version 2: the magic ["DLPSNAP1"] followed by CRC-32
+    On-disk format, version 3: the magic ["DLPSNAP1"] followed by CRC-32
     framed payloads in the journal's framing (u32 LE length, u32 LE
     CRC-32, payload) — one header payload, an optional baseline payload,
-    then one payload per cache entry, most-recently-used first. Floats
-    are serialized as the 16 hex digits of their IEEE-754 bits, so a
-    restored cache is bit-identical to the written one (costs,
-    certificates, thresholds).
+    one payload per cache entry (most-recently-used first, each carrying
+    the entry's recorded {!Deleprop.Decomposition.t}), then any number
+    of incremental {e delta groups} appended by {!append} between full
+    images. Floats are serialized as the 16 hex digits of their IEEE-754
+    bits, so a restored cache is bit-identical to the written one
+    (costs, certificates, thresholds, decompositions). Version 2 images
+    (no decompositions, no per-tier counters, no deltas) still load:
+    their entries restore with [e_decomposition = None] and the per-tier
+    counters at zero.
 
     {2 Degradation ladder}
 
@@ -75,6 +80,33 @@ type t = {
       (** cache bindings, most-recently-used first *)
 }
 
+(** One incremental append between full images ({!append}): the
+    refreshed coordinates and counter block, the cache changes since the
+    previous frame, and the round's database delta. {!load} folds the
+    clean prefix of appended deltas over the base image, so the returned
+    {!t} is what a full write at the last clean delta's moment would
+    have produced. *)
+type delta = {
+  d_position : int;        (** journal position after the round *)
+  d_generation : int;
+  d_arena_fp : Deleprop.Fingerprint.t;
+  d_components : int;
+  d_dirty : int list;
+  d_stats : Deleprop.Planner.cache_stats;
+  d_removed : Deleprop.Fingerprint.t list;
+      (** bindings gone since the previous frame (LRU evictions, bucket
+          sweeps, clears) *)
+  d_order : Deleprop.Fingerprint.t list;
+      (** the {e full} MRU-first order after the round — authoritative:
+          folding reorders the surviving bindings by it *)
+  d_deletes : Relational.Stuple.Set.t;
+      (** the round's committed deletes (as journalled) *)
+  d_inserts : Relational.Stuple.Set.t;
+      (** the round's committed inserts (as journalled) *)
+  d_upserts : (Deleprop.Fingerprint.t * Deleprop.Planner.cache_entry) list;
+      (** bindings new or changed since the previous frame *)
+}
+
 (** Why a snapshot did not (fully) re-warm — surfaced as a typed warning
     in [Engine.Stats], never as an error. *)
 type warning =
@@ -102,6 +134,16 @@ val warning_label : warning -> string
     arm with [raise] to simulate dying between the snapshot commit and
     the checkpoint's journal mark). *)
 val write : string -> t -> unit
+
+(** Append one delta group (a "D" frame plus the upserted entry frames)
+    to the committed image at [path]. Appends are not atomic: a crash
+    mid-append leaves a torn group, which {!load} ignores along with
+    everything after it — the base image and every previously appended
+    clean group still load, and the journal replay covers the dropped
+    freshness. [fsync] (default false) forces the group to disk.
+    Crosses the ["snapshot.append"] failpoint ([Crash_after_bytes n]
+    emits [n] bytes of the group, then raises). *)
+val append : ?fsync:bool -> string -> delta -> unit
 
 (** [load path] is [Ok (t, dropped)] — [t.entries] holding the entries
     that survived verbatim, [dropped] how many the header promised but

@@ -29,4 +29,5 @@ let () =
       ("tombstone", Test_tombstone.suite);
       ("rewarm", Test_rewarm.suite);
       ("compindex", Test_compindex.suite);
+      ("splice", Test_decomp_splice.suite);
     ]

@@ -65,6 +65,21 @@ let sample_entries () =
         e_forest = false;
         e_threshold = Float.pi;
         e_split = true;
+        e_decomposition =
+          Some
+            {
+              D.Decomposition.d_vtuples = 4;
+              d_parts =
+                [
+                  {
+                    D.Decomposition.p_label = "g0";
+                    p_deleted = R.Stuple.Set.singleton (st "T1" [ "A"; "J1" ]);
+                    p_cost = 0.1 +. 0.2;
+                    p_cert = D.Decomposition.Slice_exact;
+                  };
+                ];
+              d_structure = D.Decomposition.Witness_groups;
+            };
       } );
     ( fp "fedcba9876543210",
       {
@@ -77,6 +92,27 @@ let sample_entries () =
         e_forest = true;
         e_threshold = infinity;
         e_split = false;
+        e_decomposition =
+          Some
+            {
+              D.Decomposition.d_vtuples = 9;
+              d_parts =
+                [
+                  {
+                    D.Decomposition.p_label = "c A J1";
+                    p_deleted = R.Stuple.Set.empty;
+                    p_cost = 1e-300;
+                    p_cert = D.Decomposition.Slice_ratio (2.0 *. Float.sqrt 9.0);
+                  };
+                  {
+                    D.Decomposition.p_label = "c B J2";
+                    p_deleted = R.Stuple.Set.singleton (st "T2" [ "J1"; "X"; "W1" ]);
+                    p_cost = 0.0;
+                    p_cert = D.Decomposition.Slice_heuristic;
+                  };
+                ];
+              d_structure = D.Decomposition.Contributions;
+            };
       } );
     ( fp "00000000000000ff",
       {
@@ -88,6 +124,49 @@ let sample_entries () =
         e_forest = true;
         e_threshold = Float.sqrt 6.0;
         e_split = false;
+        e_decomposition =
+          Some
+            {
+              D.Decomposition.d_vtuples = 6;
+              d_parts =
+                [
+                  {
+                    D.Decomposition.p_label = "t0";
+                    p_deleted =
+                      R.Stuple.Set.singleton (st "T1" [ "B"; "J2" ]);
+                    p_cost = 42.0;
+                    p_cert = D.Decomposition.Slice_exact;
+                  };
+                ];
+              d_structure =
+                D.Decomposition.Forest
+                  [
+                    {
+                      D.Decomposition.ft_pivot =
+                        R.Stuple.to_string (st "T1" [ "B"; "J2" ]);
+                      ft_nodes =
+                        [
+                          ( R.Stuple.to_string (st "T1" [ "B"; "J2" ]),
+                            {
+                              D.Decomposition.fn_parent = None;
+                              fn_depth = 0;
+                              fn_cut = true;
+                              fn_value = 42.0;
+                              fn_slack = 0.0;
+                            } );
+                          ( R.Stuple.to_string (st "T2" [ "J1"; "X"; "W1" ]),
+                            {
+                              D.Decomposition.fn_parent =
+                                Some (R.Stuple.to_string (st "T1" [ "B"; "J2" ]));
+                              fn_depth = 1;
+                              fn_cut = false;
+                              fn_value = 0.25;
+                              fn_slack = 1.5;
+                            } );
+                        ];
+                    };
+                  ];
+            };
       } );
   ]
 
@@ -105,6 +184,9 @@ let sample_snapshot () =
         s_evictions = 1;
         s_last_bucket = Some 5;
         s_fragment_reuses = 3;
+        s_fragment_reuses_exact = 1;
+        s_fragment_reuses_forest = 1;
+        s_fragment_reuses_approx = 1;
       };
     baseline =
       Some
